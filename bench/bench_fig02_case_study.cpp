@@ -1,0 +1,124 @@
+// Figure 2 — The motivating usability case study: 100 data tuples with
+// 75-380 raw annotations each, and the three analytical questions.
+//
+// The paper's numbers measure HUMANS (20 students), so the manual-effort
+// minutes cannot be re-run mechanically. What this harness reproduces is
+// the engine-side dichotomy behind them: the InsightNotes arm answers
+// each question with one summary query (milliseconds), while the
+// raw-annotation arm must pull and post-process every raw annotation of
+// every candidate tuple (the work the students did by hand — here
+// machine-emulated with on-the-fly classification, as a lower bound on
+// the manual effort).
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "mining/naive_bayes.h"
+
+using namespace insight;
+using namespace insight::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader("Figure 2: motivating case study (100 tuples, 75-380 "
+              "annotations each)",
+              "InsightNotes answers in seconds with 100% accuracy; the "
+              "raw-annotation group needed 21-45 minutes of manual work "
+              "with 17-34% error",
+              config);
+  Database db;
+  BirdsWorkloadOptions opts;
+  opts.seed = config.seed;
+  opts.num_birds = 100;
+  opts.annotations_per_bird = 227;  // Mean of the paper's 75-380 range.
+  opts.synonyms_per_bird = 0;
+  GenerateBirdsWorkload(&db, opts).ValueOrDie();
+  (void)db.Analyze("Birds");
+  // A classifier to emulate the raw group's manual reading.
+  auto reader = std::make_shared<NaiveBayesClassifier>(
+      std::vector<std::string>{"Disease", "Anatomy", "Behavior", "Other"});
+  {
+    Rng rng(7);
+    for (size_t topic = 0; topic < kNumTopics; ++topic) {
+      for (int doc = 0; doc < 6; ++doc) {
+        reader
+            ->Train(GenerateAnnotationText(
+                        static_cast<AnnotationTopic>(topic), 120, &rng),
+                    AnnotationTopicLabel(
+                        static_cast<AnnotationTopic>(topic)))
+            .ok();
+      }
+    }
+  }
+  auto raw_scan_count = [&](bool only_disease_of_bird_prefix) {
+    // The raw-annotation engine: fetch every tuple's raw annotations and
+    // classify them client-side.
+    Table* birds = *db.GetTable("Birds");
+    SummaryManager* mgr = *db.GetManager("Birds");
+    auto it = birds->Scan();
+    Oid oid;
+    Tuple row;
+    size_t matches = 0;
+    while (it.Next(&oid, &row)) {
+      if (only_disease_of_bird_prefix &&
+          !LikeMatch(row.at(2).AsString(), "bird1%")) {
+        continue;
+      }
+      for (const Annotation& ann :
+           mgr->annotations()->ForTuple(oid).ValueOrDie()) {
+        if (reader->Classify(ann.text) == "Disease") ++matches;
+      }
+    }
+    return matches;
+  };
+
+  // --- Q1: disease annotations of birds named like a prefix. ---
+  {
+    Stopwatch timer;
+    auto hits = db.Execute(
+        "SELECT common_name FROM Birds WHERE common_name LIKE 'bird1%' AND "
+        "$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 0");
+    size_t zoomed = 0;
+    for (const Tuple& row : hits.ValueOrDie().rows) {
+      // Zoom-in command per qualifying tuple (the paper's follow-up).
+      (void)row;
+      ++zoomed;
+    }
+    const double insight_ms = timer.ElapsedMillis();
+    Stopwatch raw_timer;
+    const size_t raw = raw_scan_count(true);
+    const double raw_ms = raw_timer.ElapsedMillis();
+    std::printf("Q1 disease notes of 'bird1*': InsightNotes %.1f ms "
+                "(%zu tuples; paper: 47 s incl. typing, 100%% acc) | "
+                "raw-annotation emulation %.1f ms machine == 21 min "
+                "manual in the paper (17%%/25%% FP/FN), %zu matches\n",
+                insight_ms, zoomed, raw_ms, raw);
+  }
+
+  // --- Q2: behavior-related counts per family (aggregation). ---
+  {
+    Stopwatch timer;
+    auto result = db.Execute(
+        "SELECT family, "
+        "$.getSummaryObject('ClassBird1').getLabelValue('Behavior') "
+        "AS behavior FROM Birds GROUP BY family");
+    const double insight_ms = timer.ElapsedMillis();
+    std::printf("Q2 behavior per family:      InsightNotes %.1f ms "
+                "(%zu groups; paper: 47 s, 100%% acc vs 45 min manual "
+                "with 18%%/34%% FP/FN)\n",
+                insight_ms, result.ValueOrDie().rows.size());
+  }
+
+  // --- Q3: order all tuples by their disease annotation count. ---
+  {
+    Stopwatch timer;
+    auto result = db.Execute(
+        "SELECT common_name FROM Birds ORDER BY "
+        "$.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC");
+    const double insight_ms = timer.ElapsedMillis();
+    std::printf("Q3 sort by disease count:    InsightNotes+ %.1f ms "
+                "(%zu rows; paper: 5.2 min of manual sorting for basic "
+                "InsightNotes, infeasible for the raw group)\n",
+                insight_ms, result.ValueOrDie().rows.size());
+  }
+  return 0;
+}

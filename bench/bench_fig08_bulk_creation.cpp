@@ -1,0 +1,61 @@
+// Figure 8 — Bulk index creation overhead, relative to data loading.
+//
+// Paper result: building either index after a bulk load costs a few
+// percent of the load time, with the Summary-BTree ~35% cheaper than the
+// Baseline scheme (no de-normalization pass, no replica writes).
+
+#include "bench_util.h"
+
+using namespace insight;
+using namespace insight::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader("Figure 8: bulk index creation (% of data-loading time)",
+              "both ~4-10% of loading time; Summary-BTree up to ~35% "
+              "cheaper than Baseline",
+              config);
+  std::printf("%-10s %12s %16s %16s %9s\n", "x-axis", "load(s)",
+              "sbt (% of load)", "base (% of load)", "sbt/base");
+  for (size_t per_bird : BenchConfig::AnnotationSweep()) {
+    Database db;
+    BirdsWorkloadOptions opts = CorpusOptions(config, per_bird);
+    opts.synonyms_per_bird = 0;
+    opts.classifier_indexable = false;  // Indexes built afterwards, timed.
+    opts.build_baseline_index = false;
+    Stopwatch load_timer;
+    auto workload = GenerateBirdsWorkload(&db, opts);
+    if (!workload.ok()) {
+      std::printf("workload failed: %s\n",
+                  workload.status().ToString().c_str());
+      return 1;
+    }
+    const double load_s = load_timer.ElapsedSeconds();
+
+    SummaryManager* mgr = *db.GetManager("Birds");
+    Stopwatch sbt_timer;
+    auto sbt = SummaryBTree::Create(db.storage(), db.pool(), mgr,
+                                    "ClassBird1", SummaryBTree::Options{});
+    const double sbt_s = sbt_timer.ElapsedSeconds();
+    if (!sbt.ok()) {
+      std::printf("sbt failed: %s\n", sbt.status().ToString().c_str());
+      return 1;
+    }
+
+    Stopwatch base_timer;
+    auto baseline = BaselineClassifierIndex::Create(
+        db.catalog(), mgr, "ClassBird1", BaselineClassifierIndex::Options{});
+    const double base_s = base_timer.ElapsedSeconds();
+    if (!baseline.ok()) {
+      std::printf("baseline failed: %s\n",
+                  baseline.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("%-10s %12.2f %15.1f%% %15.1f%% %9.2f\n",
+                BenchConfig::PaperAxisLabel(per_bird).c_str(), load_s,
+                100.0 * sbt_s / load_s, 100.0 * base_s / load_s,
+                base_s > 0 ? sbt_s / base_s : 0.0);
+  }
+  return 0;
+}

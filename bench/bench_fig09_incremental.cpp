@@ -1,0 +1,58 @@
+// Figure 9 — Incremental indexing overhead per annotation insertion.
+//
+// Paper result: with the Summary-BTree subscribed, inserting an
+// annotation costs ~10-15% more than with no index; the Baseline scheme
+// adds ~20-37% because every update also maintains the normalized
+// replica. (The paper's Fig. 9 uses the {450K, 2.25M, 9M} points.)
+
+#include "bench_util.h"
+
+using namespace insight;
+using namespace insight::bench;
+
+namespace {
+
+enum class IndexArm { kNone, kSummaryBTree, kBaseline };
+
+// Builds a corpus with the chosen index arm subscribed, then measures the
+// average time of 100 further annotation insertions.
+double MeasureInsertMs(const BenchConfig& config, size_t per_bird,
+                       IndexArm arm) {
+  Database db;
+  BirdsWorkloadOptions opts = CorpusOptions(config, per_bird);
+  opts.synonyms_per_bird = 0;
+  opts.classifier_indexable = arm == IndexArm::kSummaryBTree;
+  opts.build_baseline_index = arm == IndexArm::kBaseline;
+  GenerateBirdsWorkload(&db, opts).ValueOrDie();
+
+  Rng rng(config.seed + 99);
+  Stopwatch timer;
+  constexpr size_t kInserts = 100;
+  AddRandomAnnotations(&db, "Birds", opts.num_birds, kInserts, &rng, opts)
+      .ValueOrDie();
+  return timer.ElapsedMillis() / kInserts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  PrintHeader(
+      "Figure 9: incremental indexing (avg ms per annotation insert)",
+      "Summary-BTree adds ~10-15% over no-index; Baseline ~20-37%",
+      config);
+  std::printf("%-10s %12s %12s %12s %12s %12s\n", "x-axis", "none(ms)",
+              "sbt(ms)", "base(ms)", "sbt-ovhd", "base-ovhd");
+  for (size_t per_bird : std::vector<size_t>{10, 50, 200}) {
+    const double none_ms = MeasureInsertMs(config, per_bird, IndexArm::kNone);
+    const double sbt_ms =
+        MeasureInsertMs(config, per_bird, IndexArm::kSummaryBTree);
+    const double base_ms =
+        MeasureInsertMs(config, per_bird, IndexArm::kBaseline);
+    std::printf("%-10s %12.3f %12.3f %12.3f %11.0f%% %11.0f%%\n",
+                BenchConfig::PaperAxisLabel(per_bird).c_str(), none_ms,
+                sbt_ms, base_ms, 100.0 * (sbt_ms - none_ms) / none_ms,
+                100.0 * (base_ms - none_ms) / none_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Micro-benchmarks of the substrate primitives (google-benchmark):
+// B-Tree insert/lookup, heap insert/fetch, tuple serialization, Naive
+// Bayes classification, and the summary merge kernel. These put numbers
+// on the cost-model constants in src/optimizer/optimizer.cc.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "index/btree.h"
+#include "mining/naive_bayes.h"
+#include "storage/heap_file.h"
+#include "summary/summary_algebra.h"
+#include "workload/birds_workload.h"
+
+namespace insight {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  StorageManager storage(StorageManager::Backend::kMemory);
+  BufferPool pool(&storage, 4096);
+  FileId file = *storage.CreateFile("bt");
+  BTree tree = std::move(BTree::Create(&pool, file)).ValueOrDie();
+  Rng rng(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Insert("key:" + ZeroPad(rng.Uniform(0, 999999), 6), i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  StorageManager storage(StorageManager::Backend::kMemory);
+  BufferPool pool(&storage, 4096);
+  FileId file = *storage.CreateFile("bt");
+  BTree tree = std::move(BTree::Create(&pool, file)).ValueOrDie();
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)tree.Insert("key:" + ZeroPad(i, 6), static_cast<uint64_t>(i));
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    auto hits =
+        tree.Lookup("key:" + ZeroPad(rng.Uniform(0, state.range(0) - 1), 6));
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HeapInsert(benchmark::State& state) {
+  StorageManager storage(StorageManager::Backend::kMemory);
+  BufferPool pool(&storage, 4096);
+  FileId file = *storage.CreateFile("heap");
+  HeapFile heap(&pool, file);
+  const std::string record(static_cast<size_t>(state.range(0)), 'r');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.Insert(record));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeapInsert)->Arg(100)->Arg(2000);
+
+void BM_HeapGet(benchmark::State& state) {
+  StorageManager storage(StorageManager::Backend::kMemory);
+  BufferPool pool(&storage, 4096);
+  FileId file = *storage.CreateFile("heap");
+  HeapFile heap(&pool, file);
+  std::vector<RowLocation> locations;
+  for (int i = 0; i < 10000; ++i) {
+    locations.push_back(
+        std::move(heap.Insert("record-" + std::to_string(i))).ValueOrDie());
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        heap.Get(locations[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(locations.size()) - 1))]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapGet);
+
+void BM_NaiveBayesClassify(benchmark::State& state) {
+  NaiveBayesClassifier model({"Disease", "Anatomy", "Behavior", "Other"});
+  Rng rng(4);
+  for (size_t topic = 0; topic < kNumTopics; ++topic) {
+    for (int i = 0; i < 6; ++i) {
+      (void)model.Train(
+          GenerateAnnotationText(static_cast<AnnotationTopic>(topic), 150,
+                                 &rng),
+          AnnotationTopicLabel(static_cast<AnnotationTopic>(topic)));
+    }
+  }
+  const std::string doc =
+      GenerateAnnotationText(AnnotationTopic::kDisease, 400, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ClassifyIndex(doc));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveBayesClassify);
+
+SummaryObject MakeClassifierObject(uint32_t instance, int elements,
+                                   Rng* rng) {
+  SummaryObject obj;
+  obj.instance_id = instance;
+  obj.type = SummaryType::kClassifier;
+  obj.instance_name = "C";
+  obj.reps = {{"A", 0, 0}, {"B", 0, 0}};
+  obj.elements.resize(2);
+  for (int i = 0; i < elements; ++i) {
+    const size_t label = static_cast<size_t>(rng->Uniform(0, 1));
+    obj.elements[label].push_back(
+        {static_cast<AnnId>(rng->Uniform(1, 10000)), 0x1});
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    std::map<AnnId, uint64_t> dedup;
+    for (auto& e : obj.elements[i]) dedup[e.ann_id] |= e.column_mask;
+    obj.elements[i].clear();
+    for (auto& [id, mask] : dedup) obj.elements[i].push_back({id, mask});
+    obj.reps[i].count = static_cast<int64_t>(obj.elements[i].size());
+  }
+  return obj;
+}
+
+void BM_MergeSummaries(benchmark::State& state) {
+  Rng rng(5);
+  SummarySet left({MakeClassifierObject(1, static_cast<int>(state.range(0)),
+                                        &rng)});
+  SummarySet right({MakeClassifierObject(1, static_cast<int>(state.range(0)),
+                                         &rng)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeSummaries(left, right, 4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MergeSummaries)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SummaryObjectSerialize(benchmark::State& state) {
+  Rng rng(6);
+  SummaryObject obj = MakeClassifierObject(1, 200, &rng);
+  for (auto _ : state) {
+    std::string buf;
+    obj.Serialize(&buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_SummaryObjectSerialize);
+
+}  // namespace
+}  // namespace insight
+
+BENCHMARK_MAIN();

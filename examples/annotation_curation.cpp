@@ -1,0 +1,92 @@
+// Annotation curation: the write-side life cycle of summaries and their
+// indexes — incremental maintenance on adds/removes, cluster
+// representative re-election, zoom-in, and instance administration.
+
+#include <cstdio>
+
+#include "sql/database.h"
+
+using insight::AnnId;
+using insight::CellMask;
+using insight::Database;
+using insight::RowMask;
+using insight::SummaryManager;
+using insight::SummarySet;
+
+namespace {
+
+void ShowSummaries(Database* db, insight::Oid oid) {
+  SummaryManager* mgr = db->GetManager("Specimens").ValueOrDie();
+  SummarySet set = mgr->GetSummaries(oid).ValueOrDie();
+  std::printf("  tuple %llu: %s\n", static_cast<unsigned long long>(oid),
+              set.empty() ? "(no summaries)" : set.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  db.Execute("CREATE TABLE Specimens (tag TEXT, site TEXT)").ValueOrDie();
+  db.DefineClassifier(
+        "TopicClass", {"Disease", "Habitat", "Other"},
+        {{"infection disease sick parasite", "Disease"},
+         {"wetland lake habitat territory nesting site", "Habitat"},
+         {"note comment misc", "Other"}})
+      .ok();
+  db.DefineCluster("SimCluster", 0.4).ok();
+  db.Execute("ALTER TABLE Specimens ADD INDEXABLE TopicClass").ValueOrDie();
+  db.Execute("ALTER TABLE Specimens ADD SimCluster").ValueOrDie();
+  db.Execute("INSERT INTO Specimens VALUES ('A-17', 'north-lake'), "
+             "('B-03', 'east-marsh')")
+      .ValueOrDie();
+
+  std::printf("1. Incremental maintenance: summaries grow as annotations "
+              "arrive.\n");
+  AnnId first =
+      db.Annotate("Specimens", "possible infection on the left wing",
+                  {{1, RowMask(2)}})
+          .ValueOrDie();
+  ShowSummaries(&db, 1);
+  db.Annotate("Specimens", "confirmed disease, parasite found",
+              {{1, CellMask(0)}})
+      .ValueOrDie();
+  db.Annotate("Specimens", "prefers the wetland habitat near the lake",
+              {{1, CellMask(1)}})
+      .ValueOrDie();
+  ShowSummaries(&db, 1);
+
+  std::printf("\n2. The Summary-BTree tracks every change (delete + "
+              "re-insert of the modified label only):\n");
+  const insight::SummaryBTree* index =
+      db.GetSummaryIndex("Specimens", "TopicClass").ValueOrDie();
+  std::printf("  index entries=%llu inserts=%llu deletes=%llu\n",
+              static_cast<unsigned long long>(index->num_entries()),
+              static_cast<unsigned long long>(
+                  index->maintenance_stats().key_inserts),
+              static_cast<unsigned long long>(
+                  index->maintenance_stats().key_deletes));
+
+  std::printf("\n3. Removing an annotation rolls its effects back");
+  std::printf(" (cluster representatives re-elect when needed).\n");
+  db.RemoveAnnotation("Specimens", first).ok();
+  ShowSummaries(&db, 1);
+
+  std::printf("\n4. Zoom-in: from summaries back to raw annotations.\n");
+  for (const auto& ann :
+       db.ZoomIn("Specimens", 1, "TopicClass").ValueOrDie()) {
+    std::printf("  [%llu] %s\n", static_cast<unsigned long long>(ann.id),
+                ann.text.c_str());
+  }
+
+  std::printf("\n5. Queries see the curated state immediately.\n");
+  auto result = db.Execute(
+      "SELECT tag FROM Specimens WHERE "
+      "$.getSummaryObject('TopicClass').getLabelValue('Disease') > 0");
+  std::printf("%s", result->ToString().c_str());
+
+  std::printf("\n6. Unlinking an instance strips its objects and index "
+              "entries.\n");
+  db.Execute("ALTER TABLE Specimens DROP SimCluster").ValueOrDie();
+  ShowSummaries(&db, 1);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: create an annotated relation, define summary instances,
+// load annotations, and query the summaries as first-class citizens.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "sql/database.h"
+
+using insight::Database;
+using insight::QueryResult;
+
+namespace {
+
+void Run(Database* db, const std::string& sql) {
+  std::printf("sql> %s\n", sql.c_str());
+  auto result = db->Execute(sql);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", result->ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+
+  // 1. A relation, like any SQL table.
+  Run(&db, "CREATE TABLE Birds (name TEXT, family TEXT, weight DOUBLE)");
+  Run(&db,
+      "INSERT INTO Birds VALUES "
+      "('Swan Goose', 'Anatidae', 3.5), "
+      "('Mute Swan', 'Anatidae', 11.0), "
+      "('Grey Heron', 'Ardeidae', 1.5)");
+
+  // 2. Summary instances: a classifier over annotation topics and a
+  //    snippet summarizer for long annotations. The classifier is a
+  //    Naive Bayes model seeded with a few labeled examples.
+  db.DefineClassifier(
+        "ClassBird1", {"Disease", "Behavior", "Other"},
+        {{"avian influenza infection observed, the bird looked sick",
+          "Disease"},
+         {"parasite outbreak disease symptoms on the wing", "Disease"},
+         {"seen eating stonewort while foraging at dawn", "Behavior"},
+         {"migration and nesting behavior in spring", "Behavior"},
+         {"general note about data provenance", "Other"}})
+      .ok();
+  insight::SnippetSummarizer::Options snip;
+  snip.min_chars = 120;
+  snip.max_snippet_chars = 60;
+  db.DefineSnippet("TextSummary1", snip).ok();
+
+  // 3. Link them to the relation. INDEXABLE builds the Summary-BTree
+  //    (the paper's Section 4 command).
+  Run(&db, "ALTER TABLE Birds ADD INDEXABLE ClassBird1");
+  Run(&db, "ALTER TABLE Birds ADD TextSummary1");
+
+  // 4. Attach raw annotations: to cells, rows, or column sets.
+  Run(&db, "ANNOTATE Birds TUPLE 1 WITH 'found eating stonewort in the lake'");
+  Run(&db, "ANNOTATE Birds TUPLE 1 COLUMN weight WITH 'size seems wrong'");
+  Run(&db,
+      "ANNOTATE Birds TUPLE 1 WITH 'clear avian influenza infection "
+      "symptoms, bird visibly sick'");
+  Run(&db, "ANNOTATE Birds TUPLE 2 WITH 'observed foraging behavior at dusk'");
+  Run(&db,
+      "ANNOTATE Birds TUPLE 2 WITH 'This very long field report describes "
+      "the mute swan colony near the northern lake shore in detail, "
+      "including feeding behavior and seasonal movement patterns.'");
+
+  // 5. Summaries propagate with query answers; summary functions work in
+  //    WHERE, ORDER BY, and the select list.
+  Run(&db,
+      "SELECT name, "
+      "$.getSummaryObject('ClassBird1').getLabelValue('Disease') AS diseases "
+      "FROM Birds "
+      "ORDER BY $.getSummaryObject('ClassBird1').getLabelValue('Disease') "
+      "DESC");
+
+  Run(&db,
+      "SELECT name FROM Birds WHERE "
+      "$.getSummaryObject('ClassBird1').getLabelValue('Behavior') > 0");
+
+  // 6. Zoom in: from a summary of interest back to the raw annotations.
+  Run(&db, "ZOOM IN ON Birds TUPLE 1 INSTANCE 'ClassBird1'");
+
+  // 7. EXPLAIN shows the optimizer picking the Summary-BTree access path.
+  auto plan = db.Explain(
+      "SELECT name FROM Birds WHERE "
+      "$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 1");
+  if (plan.ok()) std::printf("%s\n", plan->c_str());
+  return 0;
+}

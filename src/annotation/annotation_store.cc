@@ -1,0 +1,165 @@
+#include "annotation/annotation_store.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+#include "index/key_codec.h"
+
+namespace insight {
+
+namespace {
+// Process-wide annotation id allocator (see AnnId's uniqueness contract).
+std::atomic<uint64_t> g_next_ann_id{1};
+}  // namespace
+
+uint64_t RowMask(size_t num_columns) {
+  INSIGHT_CHECK(num_columns <= 64) << "relations limited to 64 columns";
+  if (num_columns == 64) return ~0ULL;
+  return (1ULL << num_columns) - 1;
+}
+
+Result<std::unique_ptr<AnnotationStore>> AnnotationStore::Create(
+    Catalog* catalog, const std::string& relation, size_t num_columns) {
+  if (num_columns == 0 || num_columns > 64) {
+    return Status::InvalidArgument("unsupported column count");
+  }
+  auto store =
+      std::unique_ptr<AnnotationStore>(new AnnotationStore(num_columns));
+  INSIGHT_ASSIGN_OR_RETURN(
+      store->annotations_,
+      catalog->CreateTable(relation + "_Annotations",
+                           Schema({{"ann_id", ValueType::kInt64},
+                                   {"text", ValueType::kString}})));
+  INSIGHT_RETURN_NOT_OK(store->annotations_->CreateColumnIndex("ann_id"));
+  INSIGHT_ASSIGN_OR_RETURN(
+      store->links_,
+      catalog->CreateTable(relation + "_AnnLinks",
+                           Schema({{"ann_id", ValueType::kInt64},
+                                   {"tuple_oid", ValueType::kInt64},
+                                   {"mask", ValueType::kInt64}})));
+  INSIGHT_RETURN_NOT_OK(store->links_->CreateColumnIndex("ann_id"));
+  INSIGHT_RETURN_NOT_OK(store->links_->CreateColumnIndex("tuple_oid"));
+  return store;
+}
+
+Result<AnnId> AnnotationStore::Add(
+    const std::string& text, const std::vector<AnnotationTarget>& targets) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("annotation needs at least one target");
+  }
+  for (const AnnotationTarget& t : targets) {
+    if (t.oid == kInvalidOid || t.column_mask == 0) {
+      return Status::InvalidArgument("invalid annotation target");
+    }
+    if ((t.column_mask & ~RowMask(num_columns_)) != 0) {
+      return Status::InvalidArgument("target mask references columns past " +
+                                     std::to_string(num_columns_));
+    }
+  }
+  const AnnId ann_id = g_next_ann_id.fetch_add(1);
+  INSIGHT_RETURN_NOT_OK(
+      annotations_
+          ->Insert(Tuple({Value::Int(static_cast<int64_t>(ann_id)),
+                          Value::String(text)}))
+          .status());
+  for (const AnnotationTarget& t : targets) {
+    INSIGHT_RETURN_NOT_OK(
+        links_
+            ->Insert(Tuple({Value::Int(static_cast<int64_t>(ann_id)),
+                            Value::Int(static_cast<int64_t>(t.oid)),
+                            Value::Int(static_cast<int64_t>(t.column_mask))}))
+            .status());
+  }
+  return ann_id;
+}
+
+Result<Oid> AnnotationStore::RowFor(AnnId id) const {
+  const BTree* by_id = annotations_->GetColumnIndex("ann_id");
+  INSIGHT_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> hits,
+      by_id->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(id)))));
+  if (hits.empty()) {
+    return Status::NotFound("annotation " + std::to_string(id));
+  }
+  return static_cast<Oid>(hits.front());
+}
+
+Result<std::string> AnnotationStore::GetText(AnnId id) const {
+  INSIGHT_ASSIGN_OR_RETURN(Oid row_oid, RowFor(id));
+  INSIGHT_ASSIGN_OR_RETURN(Tuple row, annotations_->Get(row_oid));
+  return row.at(1).AsString();
+}
+
+Result<std::vector<Annotation>> AnnotationStore::ForTuple(Oid oid) const {
+  const BTree* by_tuple = links_->GetColumnIndex("tuple_oid");
+  INSIGHT_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> link_oids,
+      by_tuple->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(oid)))));
+  std::vector<Annotation> out;
+  out.reserve(link_oids.size());
+  for (uint64_t link_oid : link_oids) {
+    INSIGHT_ASSIGN_OR_RETURN(Tuple link, links_->Get(link_oid));
+    Annotation ann;
+    ann.id = static_cast<AnnId>(link.at(0).AsInt());
+    INSIGHT_ASSIGN_OR_RETURN(ann.text, GetText(ann.id));
+    ann.targets.push_back(AnnotationTarget{
+        oid, static_cast<uint64_t>(link.at(2).AsInt())});
+    out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+Result<uint64_t> AnnotationStore::MaskFor(AnnId id, Oid oid) const {
+  const BTree* by_ann = links_->GetColumnIndex("ann_id");
+  INSIGHT_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> link_oids,
+      by_ann->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(id)))));
+  for (uint64_t link_oid : link_oids) {
+    INSIGHT_ASSIGN_OR_RETURN(Tuple link, links_->Get(link_oid));
+    if (static_cast<Oid>(link.at(1).AsInt()) == oid) {
+      return static_cast<uint64_t>(link.at(2).AsInt());
+    }
+  }
+  return 0ULL;
+}
+
+Result<std::vector<Oid>> AnnotationStore::TuplesFor(AnnId id) const {
+  const BTree* by_ann = links_->GetColumnIndex("ann_id");
+  INSIGHT_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> link_oids,
+      by_ann->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(id)))));
+  std::vector<Oid> out;
+  out.reserve(link_oids.size());
+  for (uint64_t link_oid : link_oids) {
+    INSIGHT_ASSIGN_OR_RETURN(Tuple link, links_->Get(link_oid));
+    const Oid oid = static_cast<Oid>(link.at(1).AsInt());
+    bool seen = false;
+    for (Oid existing : out) {
+      if (existing == oid) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(oid);
+  }
+  return out;
+}
+
+Status AnnotationStore::Delete(AnnId id) {
+  const BTree* by_ann = links_->GetColumnIndex("ann_id");
+  INSIGHT_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> link_oids,
+      by_ann->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(id)))));
+  for (uint64_t link_oid : link_oids) {
+    INSIGHT_RETURN_NOT_OK(links_->Delete(link_oid));
+  }
+  INSIGHT_ASSIGN_OR_RETURN(Oid row_oid, RowFor(id));
+  return annotations_->Delete(row_oid);
+}
+
+uint64_t AnnotationStore::storage_bytes() const {
+  return annotations_->heap_bytes() + annotations_->oid_index_bytes() +
+         links_->heap_bytes() + links_->oid_index_bytes();
+}
+
+}  // namespace insight

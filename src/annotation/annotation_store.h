@@ -1,0 +1,95 @@
+#ifndef INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_
+#define INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/catalog.h"
+#include "types/tuple.h"
+
+namespace insight {
+
+/// Identifier of a raw annotation. Globally unique across all relations
+/// (like a PostgreSQL-wide OID): summary-merge deduplication keys on it,
+/// so two different annotations must never share an id even when they
+/// live in different relations' annotation tables.
+using AnnId = uint64_t;
+
+/// Which parts of which tuple an annotation is attached to. The paper's
+/// combinatorial attachment model (cells, rows, columns, arbitrary sets)
+/// reduces to a set of (tuple, column-bitmask) pairs:
+///   one cell            -> one target, single bit
+///   whole row           -> one target, all column bits
+///   whole column        -> one target per tuple, same single bit
+///   arbitrary cell sets -> any combination of targets/masks
+struct AnnotationTarget {
+  Oid oid = kInvalidOid;
+  uint64_t column_mask = 0;
+};
+
+/// Bitmask helpers. Relations are limited to 64 columns (the paper's
+/// largest table has 12).
+inline uint64_t CellMask(size_t column) { return 1ULL << column; }
+uint64_t RowMask(size_t num_columns);
+
+struct Annotation {
+  AnnId id = 0;
+  std::string text;
+  std::vector<AnnotationTarget> targets;
+};
+
+/// Raw-annotation storage for one user relation: an `<rel>_Annotations`
+/// heap table (text) plus an `<rel>_AnnLinks` table (ann_id, tuple oid,
+/// column mask) with B-Tree indexes on both link columns, supporting
+/// zoom-in (tuple -> annotations) and deletion (annotation -> links).
+class AnnotationStore {
+ public:
+  /// Creates the side tables in `catalog`. `relation` is the annotated
+  /// user table's name; `num_columns` its column count.
+  static Result<std::unique_ptr<AnnotationStore>> Create(
+      Catalog* catalog, const std::string& relation, size_t num_columns);
+
+  /// Stores an annotation attached to `targets` (at least one). Returns
+  /// its id.
+  Result<AnnId> Add(const std::string& text,
+                    const std::vector<AnnotationTarget>& targets);
+
+  Result<std::string> GetText(AnnId id) const;
+
+  /// All annotations attached (fully or partially) to a tuple — the
+  /// zoom-in path.
+  Result<std::vector<Annotation>> ForTuple(Oid oid) const;
+
+  /// The column mask with which annotation `id` is attached to `oid`
+  /// (0 when not attached).
+  Result<uint64_t> MaskFor(AnnId id, Oid oid) const;
+
+  /// Distinct tuples annotation `id` is attached to.
+  Result<std::vector<Oid>> TuplesFor(AnnId id) const;
+
+  /// Removes the annotation and all its links.
+  Status Delete(AnnId id);
+
+  uint64_t num_annotations() const { return annotations_->num_rows(); }
+
+  /// Total bytes of raw-annotation storage (text + links + indexes).
+  uint64_t storage_bytes() const;
+
+  size_t num_columns() const { return num_columns_; }
+
+ private:
+  AnnotationStore(size_t num_columns) : num_columns_(num_columns) {}
+
+  /// Row OID in the annotations table for a given (global) annotation id.
+  Result<Oid> RowFor(AnnId id) const;
+
+  size_t num_columns_;
+  Table* annotations_ = nullptr;  // (ann_id INT, text STRING)
+  Table* links_ = nullptr;        // (ann_id INT, tuple_oid INT, mask INT)
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_

@@ -1,0 +1,60 @@
+#ifndef INSIGHTNOTES_COMMON_LOGGING_H_
+#define INSIGHTNOTES_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace insight {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default kWarn so
+/// library code is quiet in tests and benches unless asked.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+};
+
+}  // namespace internal
+}  // namespace insight
+
+#define INSIGHT_LOG(level)                                                   \
+  ::insight::internal::LogMessage(::insight::LogLevel::k##level, __FILE__,   \
+                                  __LINE__)
+
+#define INSIGHT_FATAL()                                                      \
+  ::insight::internal::LogMessage(::insight::LogLevel::kError, __FILE__,     \
+                                  __LINE__, /*fatal=*/true)
+
+/// Invariant check: active in all build types (database engines keep
+/// checks on; corruption is worse than a crash).
+#define INSIGHT_CHECK(cond)                                                  \
+  if (!(cond)) INSIGHT_FATAL() << "Check failed: " #cond " "
+
+#define INSIGHT_DCHECK(cond) INSIGHT_CHECK(cond)
+
+#endif  // INSIGHTNOTES_COMMON_LOGGING_H_

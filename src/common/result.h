@@ -1,0 +1,80 @@
+#ifndef INSIGHTNOTES_COMMON_RESULT_H_
+#define INSIGHTNOTES_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace insight {
+
+/// Result<T> holds either a value of type T or an error Status.
+/// Modeled after arrow::Result: fallible functions that produce a value
+/// return Result<T>; callers unwrap via INSIGHT_ASSIGN_OR_RETURN or
+/// ValueOrDie() when failure is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      // A Result constructed from a Status must carry an error.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  // By value, not T&&: a returned rvalue reference into a temporary
+  // Result dangles in `for (auto& x : SomeCall().ValueOrDie())`; a
+  // prvalue is lifetime-extended by range-for.
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  // By value, not T&&: returning an xvalue reference from a temporary
+  // Result would dangle in `for (auto& x : *SomeCall())` — a prvalue gets
+  // lifetime-extended by range-for, a returned rvalue reference does not.
+  T operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set.
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_COMMON_RESULT_H_

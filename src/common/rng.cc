@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace insight {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 1;
+  if (s <= 0.0) return Uniform(1, n);
+  // Inverse-CDF on the generalized harmonic partial sums would be O(n);
+  // instead use the standard approximation via the integral of x^-s, which
+  // is accurate enough for skewed workload generation.
+  const double u = NextDouble();
+  if (s == 1.0) {
+    const double hn = std::log(static_cast<double>(n) + 1.0);
+    const double x = std::exp(u * hn) - 1.0;
+    int64_t r = static_cast<int64_t>(x) + 1;
+    return r > n ? n : r;
+  }
+  const double t = 1.0 - s;
+  const double hn = (std::pow(static_cast<double>(n) + 1.0, t) - 1.0) / t;
+  const double x = std::pow(u * hn * t + 1.0, 1.0 / t) - 1.0;
+  int64_t r = static_cast<int64_t>(x) + 1;
+  return r > n ? n : r;
+}
+
+}  // namespace insight

@@ -1,0 +1,70 @@
+#ifndef INSIGHTNOTES_COMMON_RNG_H_
+#define INSIGHTNOTES_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace insight {
+
+/// Deterministic pseudo-random generator (xorshift128+) used by the
+/// workload generators and property tests. Every consumer takes an explicit
+/// seed so runs are reproducible across platforms (std::mt19937
+/// distributions are not guaranteed identical across standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the two lanes.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Zipf-distributed rank in [1, n] with skew parameter s (s=0 is uniform).
+  /// Uses rejection-inversion; adequate for workload generation.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Picks one element uniformly from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Next() % v.size())];
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_COMMON_RNG_H_

@@ -1,0 +1,131 @@
+#ifndef INSIGHTNOTES_COMMON_STATUS_H_
+#define INSIGHTNOTES_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace insight {
+
+/// Error categories used across the engine. Mirrors the Arrow/RocksDB idiom:
+/// all fallible APIs return Status (or Result<T>), never throw.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+  kResourceExhausted,
+  kParseError,
+  kTypeError,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status encodes the success or failure of an operation. The OK state is
+/// represented without allocation; error states carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so Status is cheap to copy; error paths are cold.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace insight
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define INSIGHT_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::insight::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#define INSIGHT_CONCAT_IMPL(x, y) x##y
+#define INSIGHT_CONCAT(x, y) INSIGHT_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, otherwise returns the error Status.
+#define INSIGHT_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto INSIGHT_CONCAT(_res_, __LINE__) = (rexpr);                        \
+  if (!INSIGHT_CONCAT(_res_, __LINE__).ok())                             \
+    return INSIGHT_CONCAT(_res_, __LINE__).status();                     \
+  lhs = std::move(INSIGHT_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#endif  // INSIGHTNOTES_COMMON_STATUS_H_

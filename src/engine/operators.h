@@ -1,0 +1,634 @@
+#ifndef INSIGHTNOTES_ENGINE_OPERATORS_H_
+#define INSIGHTNOTES_ENGINE_OPERATORS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/expression.h"
+#include "engine/row.h"
+#include "index/table.h"
+#include "sindex/baseline_index.h"
+#include "sindex/keyword_index.h"
+#include "sindex/summary_btree.h"
+#include "summary/summary_algebra.h"
+#include "summary/summary_manager.h"
+
+namespace insight {
+
+/// Volcano-style physical operator. Standard SQL operators and the
+/// paper's summary-based operators (S, F, J, O) share this interface and
+/// mix freely in one plan (Section 3.2).
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  virtual Status Open() = 0;
+  /// Produces the next row; false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+  virtual void Close() {}
+
+  virtual const Schema& schema() const = 0;
+  /// One-line description for EXPLAIN-style plan dumps.
+  virtual std::string Describe() const = 0;
+  virtual std::vector<const PhysicalOperator*> children() const {
+    return {};
+  }
+
+  /// Multi-line plan rendering rooted at this operator.
+  std::string ExplainTree(int indent = 0) const;
+
+  uint64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  uint64_t rows_produced_ = 0;
+};
+
+using OpPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Runs a plan to completion, collecting all rows.
+Result<std::vector<Row>> CollectRows(PhysicalOperator* root);
+
+// ---------- Scans ----------
+
+/// Full heap scan of a user relation; propagates summary objects when a
+/// SummaryManager is supplied.
+class SeqScanOp : public PhysicalOperator {
+ public:
+  SeqScanOp(Table* table, SummaryManager* mgr, bool propagate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  const Schema& schema() const override { return table_->schema(); }
+  std::string Describe() const override;
+
+ private:
+  Table* table_;
+  SummaryManager* mgr_;
+  bool propagate_;
+  std::optional<Table::Iterator> it_;
+};
+
+/// Data-column B-Tree index scan with an optional [lower, upper] value
+/// range (either bound may be absent).
+class IndexScanOp : public PhysicalOperator {
+ public:
+  IndexScanOp(Table* table, std::string column, std::optional<Value> lower,
+              bool lower_inclusive, std::optional<Value> upper,
+              bool upper_inclusive, SummaryManager* mgr, bool propagate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  const Schema& schema() const override { return table_->schema(); }
+  std::string Describe() const override;
+
+ private:
+  Table* table_;
+  std::string column_;
+  std::optional<Value> lower_;
+  bool lower_inclusive_;
+  std::optional<Value> upper_;
+  bool upper_inclusive_;
+  SummaryManager* mgr_;
+  bool propagate_;
+  std::vector<Oid> oids_;
+  size_t pos_ = 0;
+};
+
+/// Summary-BTree index scan: evaluates a classifier probe and emits the
+/// matching data tuples in ascending label-count order — the interesting
+/// order Rules 3-6 exploit.
+class SummaryIndexScanOp : public PhysicalOperator {
+ public:
+  SummaryIndexScanOp(const SummaryBTree* index, ClassifierProbe probe,
+                     SummaryManager* mgr, bool propagate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  const Schema& schema() const override;
+  std::string Describe() const override;
+
+ private:
+  const SummaryBTree* index_;
+  ClassifierProbe probe_;
+  SummaryManager* mgr_;
+  bool propagate_;
+  std::vector<SummaryIndexHit> hits_;
+  size_t pos_ = 0;
+};
+
+/// Baseline-scheme index scan (Fig. 4(c) comparison arm). When
+/// `reconstruct_summaries` is set, the propagated Classifier object is
+/// re-formed from the normalized rows instead of read from the
+/// de-normalized storage — the slow path measured in Fig. 12.
+class BaselineIndexScanOp : public PhysicalOperator {
+ public:
+  BaselineIndexScanOp(const BaselineClassifierIndex* index,
+                      ClassifierProbe probe, SummaryManager* mgr,
+                      bool propagate, bool reconstruct_summaries);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  const Schema& schema() const override;
+  std::string Describe() const override;
+
+ private:
+  const BaselineClassifierIndex* index_;
+  ClassifierProbe probe_;
+  SummaryManager* mgr_;
+  bool propagate_;
+  bool reconstruct_summaries_;
+  std::vector<SummaryIndexHit> hits_;
+  size_t pos_ = 0;
+};
+
+/// Keyword-index scan: intersects the posting lists of the keywords over
+/// a Snippet instance's inverted index and emits the matching tuples.
+/// Exact for containsUnion predicates; a candidate superset for
+/// containsSingle (the optimizer re-applies the predicate as a residual).
+class KeywordIndexScanOp : public PhysicalOperator {
+ public:
+  KeywordIndexScanOp(const SnippetKeywordIndex* index,
+                     std::vector<std::string> keywords, SummaryManager* mgr,
+                     bool propagate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  const Schema& schema() const override;
+  std::string Describe() const override;
+
+ private:
+  const SnippetKeywordIndex* index_;
+  std::vector<std::string> keywords_;
+  SummaryManager* mgr_;
+  bool propagate_;
+  std::vector<Oid> oids_;
+  size_t pos_ = 0;
+};
+
+/// In-memory row source (tests, intermediate materialization).
+class VectorSourceOp : public PhysicalOperator {
+ public:
+  VectorSourceOp(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  Status Open() override {
+    pos_ = 0;
+    rows_produced_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = rows_[pos_++];
+    ++rows_produced_;
+    return true;
+  }
+  const Schema& schema() const override { return schema_; }
+  std::string Describe() const override;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+// ---------- Selection family ----------
+
+/// Standard selection sigma: passes rows whose data predicate holds;
+/// summaries propagate unchanged.
+class SelectOp : public PhysicalOperator {
+ public:
+  SelectOp(OpPtr child, ExprPtr predicate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Summary-based selection S (Section 3.2): passes rows whose
+/// summary-based predicate over r.$ holds; all summary objects propagate
+/// unchanged. A distinct physical operator (not a UDF) so the optimizer
+/// can reason about it.
+class SummarySelectOp : public PhysicalOperator {
+ public:
+  SummarySelectOp(OpPtr child, ExprPtr predicate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+  const Expression* predicate() const { return predicate_.get(); }
+
+ private:
+  OpPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Object-level predicate for the summary-based filter F. Structural
+/// predicates (instance name / summary type) are the pushable kind of
+/// Rule 8; `custom` marks non-structural content predicates.
+struct ObjectPredicate {
+  std::optional<std::string> instance_name;
+  std::optional<SummaryType> type;
+  std::function<bool(const SummaryObject&)> custom;
+
+  bool structural() const { return custom == nullptr; }
+  bool Matches(const SummaryObject& obj) const;
+  std::string ToString() const;
+};
+
+/// Summary-based filter F: every row passes, carrying only the summary
+/// objects that satisfy the object predicate.
+class SummaryFilterOp : public PhysicalOperator {
+ public:
+  SummaryFilterOp(OpPtr child, ObjectPredicate predicate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  ObjectPredicate predicate_;
+};
+
+// ---------- Projection ----------
+
+/// Projection pi: keeps the named columns and eliminates the projected-out
+/// annotations' effects from every summary object (Theorems 1-2 of the
+/// base system; Example 1).
+class ProjectOp : public PhysicalOperator {
+ public:
+  ProjectOp(OpPtr child, std::vector<std::string> columns,
+            AnnotationResolver resolver);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<std::string> columns_;
+  AnnotationResolver resolver_;
+  std::vector<size_t> indices_;
+  Schema schema_;
+};
+
+// ---------- Joins ----------
+
+/// Block nested-loop join on a data predicate over the concatenated
+/// schema; summary sets of joining rows merge with common-annotation
+/// dedup (Section 2.2). The right input is materialized.
+class NestedLoopJoinOp : public PhysicalOperator {
+ public:
+  NestedLoopJoinOp(OpPtr left, OpPtr right, ExprPtr predicate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OpPtr left_;
+  OpPtr right_;
+  ExprPtr predicate_;
+  Schema schema_;
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool left_valid_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Index nested-loop join: probes the inner table's column index with the
+/// outer key expression (equi-join). Preserves the outer order — the
+/// property Rules 5-6 need.
+class IndexNLJoinOp : public PhysicalOperator {
+ public:
+  IndexNLJoinOp(OpPtr outer, Table* inner, std::string inner_column,
+                ExprPtr outer_key, SummaryManager* inner_mgr,
+                bool propagate_inner);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { outer_->Close(); }
+  const Schema& schema() const override { return schema_; }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {outer_.get()};
+  }
+
+ private:
+  OpPtr outer_;
+  Table* inner_;
+  std::string inner_column_;
+  ExprPtr outer_key_;
+  SummaryManager* inner_mgr_;
+  bool propagate_inner_;
+  Schema schema_;
+  Row current_outer_;
+  bool outer_valid_ = false;
+  std::vector<Oid> matches_;
+  size_t match_pos_ = 0;
+};
+
+/// Hash join on one equi-key pair; non-equi residual conjuncts are
+/// evaluated per candidate pair. The right (build) side is materialized
+/// into a hash table; the left (probe) side streams, so the output
+/// preserves the left order (Rule 5 applies, like the other join
+/// algorithms here). Summary sets merge as in NestedLoopJoinOp.
+class HashJoinOp : public PhysicalOperator {
+ public:
+  HashJoinOp(OpPtr left, OpPtr right, std::string left_key,
+             std::string right_key, ExprPtr residual);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OpPtr left_;
+  OpPtr right_;
+  std::string left_key_;
+  std::string right_key_;
+  ExprPtr residual_;  // May be null.
+  Schema schema_;
+  size_t left_key_idx_ = 0;
+  std::unordered_map<size_t, std::vector<Row>> table_;  // Hash -> rows.
+  size_t right_key_idx_ = 0;
+  Row current_left_;
+  bool left_valid_ = false;
+  const std::vector<Row>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+/// Join predicate of the summary-based join J: either a comparison of a
+/// summary expression evaluated on each side, or a predicate over the
+/// would-be merged summary set.
+struct SummaryJoinPredicate {
+  // Comparison form: left_expr(r.$) <op> right_expr(s.$).
+  ExprPtr left_expr;
+  CompareOp op = CompareOp::kEq;
+  ExprPtr right_expr;
+  // Merged form: predicate over the merged row (set after summary merge).
+  ExprPtr merged_expr;
+
+  bool merged_form() const { return merged_expr != nullptr; }
+  std::string ToString() const;
+  SummaryJoinPredicate Clone() const;
+  /// Instances referenced by the predicate (Rule 11 legality).
+  void CollectInstances(std::vector<std::string>* out) const;
+};
+
+/// Summary-based join J (Section 3.2): joins tuples on predicates over
+/// their summary sets. Strategies: block nested loop, or an index join
+/// probing the inner side's Summary-BTree when the predicate is an
+/// equality of classifier label values (the paper's two implementation
+/// choices).
+class SummaryJoinOp : public PhysicalOperator {
+ public:
+  /// Nested-loop strategy.
+  SummaryJoinOp(OpPtr left, OpPtr right, SummaryJoinPredicate predicate);
+
+  /// Index strategy: `label_instance`/`label` describe the equality
+  /// "left.inst.label = right.inst.label" probe against the right table's
+  /// Summary-BTree.
+  SummaryJoinOp(OpPtr left, Table* right_table, SummaryManager* right_mgr,
+                const SummaryBTree* right_index, std::string label_instance,
+                std::string label, bool propagate_right);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override;
+
+ private:
+  Result<bool> NextNestedLoop(Row* row);
+  Result<bool> NextIndex(Row* row);
+
+  OpPtr left_;
+  OpPtr right_;  // Nested-loop strategy only.
+  SummaryJoinPredicate predicate_;
+  Schema schema_;
+  // Nested-loop state.
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool left_valid_ = false;
+  size_t right_pos_ = 0;
+  // Index strategy state.
+  Table* right_table_ = nullptr;
+  SummaryManager* right_mgr_ = nullptr;
+  const SummaryBTree* right_index_ = nullptr;
+  std::string label_instance_;
+  std::string label_;
+  bool propagate_right_ = true;
+  std::vector<SummaryIndexHit> hits_;
+  size_t hit_pos_ = 0;
+  size_t left_arity_ = 0;
+};
+
+// ---------- Sort ----------
+
+struct SortKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// Sort operator serving both the standard ORDER BY and the paper's
+/// summary-based sort O (keys may be summary functions). kMemory sorts
+/// in RAM; kExternal spills sorted runs to temporary heap files and
+/// k-way-merges them (the Disk arm of Fig. 14).
+class SortOp : public PhysicalOperator {
+ public:
+  enum class Mode { kMemory, kExternal };
+
+  /// `storage`/`pool` are required for kExternal (spill files).
+  SortOp(OpPtr child, std::vector<SortKey> keys, Mode mode,
+         StorageManager* storage = nullptr, BufferPool* pool = nullptr,
+         size_t memory_budget_bytes = 4 << 20);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+  bool summary_based() const;
+  uint64_t runs_spilled() const { return runs_spilled_; }
+
+ private:
+  Result<int> CompareRows(const Row& a, const Row& b) const;
+  Status SpillRun(std::vector<Row>* run);
+
+  OpPtr child_;
+  std::vector<SortKey> keys_;
+  Mode mode_;
+  StorageManager* storage_;
+  BufferPool* pool_;
+  size_t memory_budget_;
+  std::vector<Row> sorted_;  // kMemory result buffer.
+  size_t pos_ = 0;
+  // kExternal state.
+  struct Run {
+    std::unique_ptr<HeapFile> file;
+    std::optional<HeapFile::Iterator> it;
+    std::optional<Row> head;
+  };
+  std::vector<Run> runs_;
+  uint64_t runs_spilled_ = 0;
+};
+
+// ---------- Aggregation / distinct / limit ----------
+
+struct AggregateSpec {
+  enum class Kind { kCount, kSum, kMin, kMax, kAvg };
+  Kind kind = Kind::kCount;
+  ExprPtr arg;  // Null for COUNT(*).
+  std::string output_name;
+};
+
+/// Hash aggregation with summary propagation: each group's summary set is
+/// the merge of its members' sets, each first projected onto the grouping
+/// columns (project-before-merge, Theorems 1-2).
+class HashAggregateOp : public PhysicalOperator {
+ public:
+  HashAggregateOp(OpPtr child, std::vector<std::string> group_columns,
+                  std::vector<AggregateSpec> aggregates,
+                  AnnotationResolver resolver);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<std::string> group_columns_;
+  std::vector<AggregateSpec> aggregates_;
+  AnnotationResolver resolver_;
+  Schema schema_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Duplicate elimination over the data values; summary sets of collapsed
+/// duplicates merge.
+class DistinctOp : public PhysicalOperator {
+ public:
+  explicit DistinctOp(OpPtr child);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Pass-through that renames the child's columns (table aliases:
+/// `FROM Birds v1` exposes `v1.name`, ...). Rows are untouched.
+class RenameOp : public PhysicalOperator {
+ public:
+  /// Prefixes every child column with `alias.`.
+  RenameOp(OpPtr child, const std::string& alias);
+
+  Status Open() override {
+    rows_produced_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (has) ++rows_produced_;
+    return has;
+  }
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+  std::string Describe() const override { return "Rename(" + alias_ + ")"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  std::string alias_;
+  Schema schema_;
+};
+
+/// LIMIT n.
+class LimitOp : public PhysicalOperator {
+ public:
+  LimitOp(OpPtr child, uint64_t limit) : child_(std::move(child)),
+                                         limit_(limit) {}
+
+  Status Open() override {
+    rows_produced_ = 0;
+    emitted_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+  std::string Describe() const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OpPtr child_;
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_ENGINE_OPERATORS_H_

@@ -1,0 +1,442 @@
+#include "common/string_util.h"
+#include "engine/operators.h"
+#include "index/key_codec.h"
+
+namespace insight {
+
+std::string PhysicalOperator::ExplainTree(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const PhysicalOperator* child : children()) {
+    out += child->ExplainTree(indent + 1);
+  }
+  return out;
+}
+
+Result<std::vector<Row>> CollectRows(PhysicalOperator* root) {
+  INSIGHT_RETURN_NOT_OK(root->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, root->Next(&row));
+    if (!has) break;
+    rows.push_back(std::move(row));
+    row = Row();
+  }
+  root->Close();
+  return rows;
+}
+
+// ---------- SeqScanOp ----------
+
+SeqScanOp::SeqScanOp(Table* table, SummaryManager* mgr, bool propagate)
+    : table_(table), mgr_(mgr), propagate_(propagate && mgr != nullptr) {}
+
+Status SeqScanOp::Open() {
+  rows_produced_ = 0;
+  it_.emplace(table_->Scan());
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Row* row) {
+  Oid oid;
+  Tuple tuple;
+  if (!it_->Next(&oid, &tuple)) return false;
+  row->oid = oid;
+  row->data = std::move(tuple);
+  row->summaries = SummarySet();
+  if (propagate_) {
+    INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+  }
+  ++rows_produced_;
+  return true;
+}
+
+std::string SeqScanOp::Describe() const {
+  return "SeqScan(" + table_->name() +
+         (propagate_ ? ", propagate" : "") + ")";
+}
+
+// ---------- IndexScanOp ----------
+
+IndexScanOp::IndexScanOp(Table* table, std::string column,
+                         std::optional<Value> lower, bool lower_inclusive,
+                         std::optional<Value> upper, bool upper_inclusive,
+                         SummaryManager* mgr, bool propagate)
+    : table_(table),
+      column_(std::move(column)),
+      lower_(std::move(lower)),
+      lower_inclusive_(lower_inclusive),
+      upper_(std::move(upper)),
+      upper_inclusive_(upper_inclusive),
+      mgr_(mgr),
+      propagate_(propagate && mgr != nullptr) {}
+
+Status IndexScanOp::Open() {
+  rows_produced_ = 0;
+  pos_ = 0;
+  oids_.clear();
+  const BTree* index = table_->GetColumnIndex(column_);
+  if (index == nullptr) {
+    return Status::InvalidArgument("no index on " + table_->name() + "." +
+                                   column_);
+  }
+  // Type-class sentinels when a bound is missing.
+  std::string lower_key;
+  std::string upper_key;
+  const Value& probe = lower_.has_value() ? *lower_ : *upper_;
+  const bool string_typed = probe.type() == ValueType::kString;
+  lower_key = lower_.has_value()
+                  ? EncodeIndexKey(*lower_)
+                  : (string_typed ? MinStringKey() : MinNumericKey());
+  upper_key = upper_.has_value()
+                  ? EncodeIndexKey(*upper_)
+                  : (string_typed ? MaxStringKey() : MaxNumericKey());
+  INSIGHT_ASSIGN_OR_RETURN(
+      BTree::Iterator it,
+      index->RangeScan(lower_key, lower_inclusive_, upper_key,
+                       upper_inclusive_));
+  for (; it.Valid(); it.Next()) oids_.push_back(it.value());
+  return it.status();
+}
+
+Result<bool> IndexScanOp::Next(Row* row) {
+  if (pos_ >= oids_.size()) return false;
+  const Oid oid = oids_[pos_++];
+  INSIGHT_ASSIGN_OR_RETURN(row->data, table_->Get(oid));
+  row->oid = oid;
+  row->summaries = SummarySet();
+  if (propagate_) {
+    INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+  }
+  ++rows_produced_;
+  return true;
+}
+
+std::string IndexScanOp::Describe() const {
+  std::string out = "IndexScan(" + table_->name() + "." + column_;
+  if (lower_.has_value()) {
+    out += lower_inclusive_ ? ", >= " : ", > ";
+    out += lower_->ToString();
+  }
+  if (upper_.has_value()) {
+    out += upper_inclusive_ ? ", <= " : ", < ";
+    out += upper_->ToString();
+  }
+  if (propagate_) out += ", propagate";
+  return out + ")";
+}
+
+// ---------- SummaryIndexScanOp ----------
+
+SummaryIndexScanOp::SummaryIndexScanOp(const SummaryBTree* index,
+                                       ClassifierProbe probe,
+                                       SummaryManager* mgr, bool propagate)
+    : index_(index), probe_(std::move(probe)), mgr_(mgr),
+      propagate_(propagate) {}
+
+const Schema& SummaryIndexScanOp::schema() const {
+  return mgr_->base()->schema();
+}
+
+Status SummaryIndexScanOp::Open() {
+  rows_produced_ = 0;
+  pos_ = 0;
+  INSIGHT_ASSIGN_OR_RETURN(hits_, index_->Search(probe_));
+  return Status::OK();
+}
+
+Result<bool> SummaryIndexScanOp::Next(Row* row) {
+  if (pos_ >= hits_.size()) return false;
+  const SummaryIndexHit& hit = hits_[pos_++];
+  Oid oid = kInvalidOid;
+  row->summaries = SummarySet();
+  if (propagate_) {
+    // Propagation reads the de-normalized storage — never re-constructs
+    // objects (Section 6). Conventional pointers reuse the storage row
+    // they resolve through.
+    INSIGHT_ASSIGN_OR_RETURN(
+        row->data,
+        index_->FetchDataTupleWithSummaries(hit, &row->summaries, &oid));
+  } else {
+    INSIGHT_ASSIGN_OR_RETURN(row->data, index_->FetchDataTuple(hit, &oid));
+  }
+  row->oid = oid;
+  ++rows_produced_;
+  return true;
+}
+
+std::string SummaryIndexScanOp::Describe() const {
+  std::string out = "SummaryIndexScan(" + probe_.label;
+  if (probe_.lower.has_value()) {
+    out += probe_.lower_inclusive ? " >= " : " > ";
+    out += std::to_string(*probe_.lower);
+  }
+  if (probe_.upper.has_value()) {
+    out += probe_.upper_inclusive ? " <= " : " < ";
+    out += std::to_string(*probe_.upper);
+  }
+  if (propagate_) out += ", propagate";
+  out += index_->pointer_mode() == SummaryBTree::PointerMode::kBackward
+             ? ", backward-ptrs"
+             : ", conventional-ptrs";
+  return out + ")";
+}
+
+// ---------- BaselineIndexScanOp ----------
+
+BaselineIndexScanOp::BaselineIndexScanOp(
+    const BaselineClassifierIndex* index, ClassifierProbe probe,
+    SummaryManager* mgr, bool propagate, bool reconstruct_summaries)
+    : index_(index),
+      probe_(std::move(probe)),
+      mgr_(mgr),
+      propagate_(propagate),
+      reconstruct_summaries_(reconstruct_summaries) {}
+
+const Schema& BaselineIndexScanOp::schema() const {
+  return mgr_->base()->schema();
+}
+
+Status BaselineIndexScanOp::Open() {
+  rows_produced_ = 0;
+  pos_ = 0;
+  INSIGHT_ASSIGN_OR_RETURN(hits_, index_->Search(probe_));
+  return Status::OK();
+}
+
+Result<bool> BaselineIndexScanOp::Next(Row* row) {
+  if (pos_ >= hits_.size()) return false;
+  const SummaryIndexHit& hit = hits_[pos_++];
+  Oid oid = kInvalidOid;
+  INSIGHT_ASSIGN_OR_RETURN(row->data, index_->FetchDataTuple(hit, &oid));
+  row->oid = oid;
+  row->summaries = SummarySet();
+  if (propagate_) {
+    if (reconstruct_summaries_) {
+      // Fig. 12 arm: re-form the object from its normalized primitives.
+      INSIGHT_ASSIGN_OR_RETURN(SummaryObject obj,
+                               index_->ReconstructObject(oid));
+      row->summaries = SummarySet({std::move(obj)});
+    } else {
+      INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+    }
+  }
+  ++rows_produced_;
+  return true;
+}
+
+std::string BaselineIndexScanOp::Describe() const {
+  std::string out = "BaselineIndexScan(" + probe_.label;
+  if (propagate_) {
+    out += reconstruct_summaries_ ? ", propagate:reconstruct"
+                                  : ", propagate:denormalized";
+  }
+  return out + ")";
+}
+
+// ---------- KeywordIndexScanOp ----------
+
+KeywordIndexScanOp::KeywordIndexScanOp(const SnippetKeywordIndex* index,
+                                       std::vector<std::string> keywords,
+                                       SummaryManager* mgr, bool propagate)
+    : index_(index),
+      keywords_(std::move(keywords)),
+      mgr_(mgr),
+      propagate_(propagate) {}
+
+const Schema& KeywordIndexScanOp::schema() const {
+  return mgr_->base()->schema();
+}
+
+Status KeywordIndexScanOp::Open() {
+  rows_produced_ = 0;
+  pos_ = 0;
+  INSIGHT_ASSIGN_OR_RETURN(oids_, index_->SearchAll(keywords_));
+  return Status::OK();
+}
+
+Result<bool> KeywordIndexScanOp::Next(Row* row) {
+  if (pos_ >= oids_.size()) return false;
+  const Oid oid = oids_[pos_++];
+  INSIGHT_ASSIGN_OR_RETURN(row->data, mgr_->base()->Get(oid));
+  row->oid = oid;
+  row->summaries = SummarySet();
+  if (propagate_) {
+    INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+  }
+  ++rows_produced_;
+  return true;
+}
+
+std::string KeywordIndexScanOp::Describe() const {
+  return "KeywordIndexScan(" + Join(keywords_, ", ") +
+         (propagate_ ? ", propagate)" : ")");
+}
+
+std::string VectorSourceOp::Describe() const {
+  return "VectorSource(" + std::to_string(rows_.size()) + " rows)";
+}
+
+// ---------- Selection family ----------
+
+SelectOp::SelectOp(OpPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status SelectOp::Open() {
+  rows_produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> SelectOp::Next(Row* row) {
+  while (true) {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    INSIGHT_ASSIGN_OR_RETURN(bool pass,
+                             predicate_->EvalBool(*row, child_->schema()));
+    if (pass) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+}
+
+std::string SelectOp::Describe() const {
+  return "Select[\xcf\x83](" + predicate_->ToString() + ")";
+}
+
+SummarySelectOp::SummarySelectOp(OpPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status SummarySelectOp::Open() {
+  rows_produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> SummarySelectOp::Next(Row* row) {
+  while (true) {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    INSIGHT_ASSIGN_OR_RETURN(bool pass,
+                             predicate_->EvalBool(*row, child_->schema()));
+    if (pass) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+}
+
+std::string SummarySelectOp::Describe() const {
+  return "SummarySelect[S](" + predicate_->ToString() + ")";
+}
+
+bool ObjectPredicate::Matches(const SummaryObject& obj) const {
+  if (instance_name.has_value() &&
+      !EqualsIgnoreCase(obj.instance_name, *instance_name)) {
+    return false;
+  }
+  if (type.has_value() && obj.type != *type) return false;
+  if (custom != nullptr && !custom(obj)) return false;
+  return true;
+}
+
+std::string ObjectPredicate::ToString() const {
+  std::vector<std::string> parts;
+  if (instance_name.has_value()) {
+    parts.push_back("getSummaryName() = '" + *instance_name + "'");
+  }
+  if (type.has_value()) {
+    parts.push_back(std::string("getSummaryType() = '") +
+                    SummaryTypeToString(*type) + "'");
+  }
+  if (custom != nullptr) parts.push_back("<custom>");
+  return parts.empty() ? "true" : Join(parts, " AND ");
+}
+
+SummaryFilterOp::SummaryFilterOp(OpPtr child, ObjectPredicate predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status SummaryFilterOp::Open() {
+  rows_produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> SummaryFilterOp::Next(Row* row) {
+  INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+  if (!has) return false;
+  std::vector<SummaryObject> kept;
+  for (SummaryObject& obj : row->summaries.objects()) {
+    if (predicate_.Matches(obj)) kept.push_back(std::move(obj));
+  }
+  row->summaries = SummarySet(std::move(kept));
+  ++rows_produced_;
+  return true;
+}
+
+std::string SummaryFilterOp::Describe() const {
+  return "SummaryFilter[F](" + predicate_.ToString() + ")";
+}
+
+// ---------- Projection ----------
+
+ProjectOp::ProjectOp(OpPtr child, std::vector<std::string> columns,
+                     AnnotationResolver resolver)
+    : child_(std::move(child)),
+      columns_(std::move(columns)),
+      resolver_(std::move(resolver)) {
+  for (const std::string& name : columns_) {
+    auto idx = child_->schema().IndexOf(name);
+    INSIGHT_CHECK(idx.ok()) << "projection of unknown column " << name;
+    indices_.push_back(*idx);
+  }
+  schema_ = child_->schema().Project(indices_);
+}
+
+Status ProjectOp::Open() {
+  rows_produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> ProjectOp::Next(Row* row) {
+  INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+  if (!has) return false;
+  row->data = row->data.Project(indices_);
+  if (!row->summaries.empty()) {
+    INSIGHT_ASSIGN_OR_RETURN(
+        row->summaries,
+        ProjectSummaries(row->summaries, indices_, resolver_));
+  }
+  ++rows_produced_;
+  return true;
+}
+
+std::string ProjectOp::Describe() const {
+  return "Project[\xcf\x80](" + Join(columns_, ", ") + ")";
+}
+
+RenameOp::RenameOp(OpPtr child, const std::string& alias)
+    : child_(std::move(child)), alias_(alias) {
+  for (const Column& col : child_->schema().columns()) {
+    // Re-qualify: strip any existing prefix, then apply the alias.
+    const size_t dot = col.name.rfind('.');
+    const std::string base =
+        dot == std::string::npos ? col.name : col.name.substr(dot + 1);
+    schema_.AddColumn({alias_ + "." + base, col.type}).ok();
+  }
+}
+
+Result<bool> LimitOp::Next(Row* row) {
+  if (emitted_ >= limit_) return false;
+  INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+  if (!has) return false;
+  ++emitted_;
+  ++rows_produced_;
+  return true;
+}
+
+std::string LimitOp::Describe() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+
+}  // namespace insight

@@ -1,0 +1,150 @@
+#ifndef INSIGHTNOTES_INDEX_BTREE_H_
+#define INSIGHTNOTES_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace insight {
+
+/// An entry in the tree: a byte-string key plus a 64-bit payload (packed
+/// RowLocation or OID). Duplicate keys are supported; entries order by
+/// (key, value) so every stored entry is unique and deletion is exact.
+struct BTreeEntry {
+  std::string key;
+  uint64_t value = 0;
+};
+
+/// Three-way comparison on (key, value).
+int CompareEntries(std::string_view a_key, uint64_t a_val,
+                   std::string_view b_key, uint64_t b_val);
+
+/// Disk-resident B+Tree over the buffer pool. One tree per page file.
+/// Page 0 is a meta page (root pointer, entry count, height); leaves are
+/// chained for range scans.
+///
+/// Deletion is lazy (no merge/borrow): removing entries never shrinks the
+/// tree, matching the paper's workload where class-label counts are
+/// deleted and immediately re-inserted on every annotation update.
+class BTree {
+ public:
+  /// Creates a fresh tree in an empty page file.
+  static Result<BTree> Create(BufferPool* pool, FileId file);
+
+  /// Opens an existing tree.
+  static Result<BTree> Open(BufferPool* pool, FileId file);
+
+  BTree(BTree&&) = default;
+  BTree& operator=(BTree&&) = default;
+
+  Status Insert(std::string_view key, uint64_t value);
+
+  /// Removes the exact (key, value) entry; NotFound if absent.
+  Status Delete(std::string_view key, uint64_t value);
+
+  /// True if at least one entry with this key exists.
+  Result<bool> Contains(std::string_view key) const;
+
+  /// Collects the payloads of all entries with exactly this key.
+  Result<std::vector<uint64_t>> Lookup(std::string_view key) const;
+
+  /// Forward iterator over a [lower, upper] key range.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return entries_[pos_].key; }
+    uint64_t value() const { return entries_[pos_].value; }
+
+    /// Advances; clears Valid() at the end of the range. I/O errors end
+    /// the scan and are surfaced via status().
+    void Next();
+
+    const Status& status() const { return status_; }
+
+   private:
+    friend class BTree;
+    Iterator(const BTree* tree, std::string upper, bool upper_inclusive)
+        : tree_(tree),
+          upper_(std::move(upper)),
+          upper_inclusive_(upper_inclusive) {}
+
+    void LoadLeaf(PageId page);
+    void CheckUpper();
+
+    const BTree* tree_ = nullptr;
+    std::vector<BTreeEntry> entries_;  // Snapshot of the current leaf.
+    PageId next_leaf_ = kInvalidPageId;
+    size_t pos_ = 0;
+    bool valid_ = false;
+    bool bounded_ = true;
+    std::string upper_;
+    bool upper_inclusive_ = true;
+    Status status_;
+  };
+
+  /// Entries with lower <= key <= upper (flags make either bound strict).
+  /// Matches the paper's range probe: start key "label:c1", stop key
+  /// "label:c2".
+  Result<Iterator> RangeScan(std::string_view lower, bool lower_inclusive,
+                             std::string_view upper,
+                             bool upper_inclusive) const;
+
+  /// All entries in key order.
+  Result<Iterator> ScanAll() const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t height() const { return height_; }
+
+ private:
+  BTree(BufferPool* pool, FileId file) : pool_(pool), file_(file) {}
+
+  // In-memory image of one node; (de)serialized to a page on each access.
+  struct Node {
+    bool is_leaf = true;
+    // Leaf: keys/values parallel. Internal: keys/values are separators
+    // ((key, value) of the smallest entry of children[i + 1]).
+    std::vector<std::string> keys;
+    std::vector<uint64_t> values;
+    std::vector<PageId> children;  // Internal only: keys.size() + 1.
+    PageId next_leaf = kInvalidPageId;
+
+    size_t SerializedSize() const;
+  };
+
+  struct SplitResult {
+    std::string sep_key;
+    uint64_t sep_value;
+    PageId new_page;
+  };
+
+  Result<Node> ReadNode(PageId page) const;
+  Status WriteNode(PageId page, const Node& node);
+  Result<PageId> AllocNode(const Node& node);
+
+  Status ReadMeta();
+  Status WriteMeta();
+
+  /// Recursive insert; returns a split descriptor when `page` split.
+  Result<std::optional<SplitResult>> InsertRec(PageId page,
+                                               std::string_view key,
+                                               uint64_t value);
+
+  /// Leaf page that may contain (key, value); descends the tree.
+  Result<PageId> FindLeaf(std::string_view key, uint64_t value) const;
+
+  BufferPool* pool_;
+  FileId file_;
+  PageId root_ = kInvalidPageId;
+  uint64_t num_entries_ = 0;
+  uint32_t height_ = 1;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_INDEX_BTREE_H_

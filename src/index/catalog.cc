@@ -1,0 +1,36 @@
+#include "index/catalog.h"
+
+#include "common/string_util.h"
+
+namespace insight {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  INSIGHT_ASSIGN_OR_RETURN(
+      auto table, Table::Create(storage_, pool_, name, std::move(schema)));
+  Table* raw = table.get();
+  tables_.emplace(key, std::move(table));
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace insight

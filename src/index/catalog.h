@@ -1,0 +1,45 @@
+#ifndef INSIGHTNOTES_INDEX_CATALOG_H_
+#define INSIGHTNOTES_INDEX_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/table.h"
+
+namespace insight {
+
+/// Name -> Table registry. Owns all user relations; the annotation and
+/// summary layers register their side tables here too (the paper's
+/// R_SummaryStorage lives next to R).
+class Catalog {
+ public:
+  Catalog(StorageManager* storage, BufferPool* pool)
+      : storage_(storage), pool_(pool) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// NotFound when absent. Lookup is case-insensitive.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  StorageManager* storage() const { return storage_; }
+  BufferPool* buffer_pool() const { return pool_; }
+
+ private:
+  StorageManager* storage_;
+  BufferPool* pool_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // Lower-case key.
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_INDEX_CATALOG_H_

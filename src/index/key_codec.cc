@@ -1,0 +1,73 @@
+#include "index/key_codec.h"
+
+#include <cstring>
+
+namespace insight {
+
+namespace {
+
+void AppendOrderedDouble(std::string* out, double d) {
+  if (d == 0.0) d = 0.0;  // Collapse -0.0 and +0.0 to one encoding.
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;  // Negative: invert all bits so more-negative sorts lower.
+  } else {
+    bits |= (1ULL << 63);  // Positive: set sign bit so it sorts above.
+  }
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<char>((bits >> (i * 8)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+std::string EncodeIndexKey(const Value& v) {
+  std::string out;
+  switch (v.type()) {
+    case ValueType::kNull:
+      out.push_back('\x00');
+      break;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      out.push_back('\x01');
+      AppendOrderedDouble(&out, v.AsDouble());
+      break;
+    case ValueType::kBool:
+      out.push_back('\x02');
+      out.push_back(v.AsBool() ? '\x01' : '\x00');
+      break;
+    case ValueType::kString:
+      out.push_back('\x03');
+      out += v.AsString();
+      break;
+  }
+  return out;
+}
+
+std::string MinNumericKey() {
+  std::string out;
+  out.push_back('\x01');
+  return out;  // Prefix of every numeric key; sorts before all of them.
+}
+
+std::string MaxNumericKey() {
+  std::string out;
+  out.push_back('\x01');
+  out.append(8, '\xFF');
+  return out;
+}
+
+std::string MinStringKey() {
+  std::string out;
+  out.push_back('\x03');
+  return out;
+}
+
+std::string MaxStringKey() {
+  std::string out;
+  out.push_back('\x04');  // Type byte past kString: after every string key.
+  return out;
+}
+
+}  // namespace insight

@@ -1,0 +1,189 @@
+#include "index/table.h"
+
+#include "common/serde.h"
+#include "common/string_util.h"
+#include "index/key_codec.h"
+
+namespace insight {
+
+Result<std::unique_ptr<Table>> Table::Create(StorageManager* storage,
+                                             BufferPool* pool,
+                                             std::string name,
+                                             Schema schema) {
+  auto table = std::unique_ptr<Table>(
+      new Table(storage, pool, std::move(name), std::move(schema)));
+  INSIGHT_ASSIGN_OR_RETURN(table->heap_file_,
+                           storage->CreateFile(table->name_ + ".heap"));
+  table->heap_ = std::make_unique<HeapFile>(pool, table->heap_file_);
+  INSIGHT_ASSIGN_OR_RETURN(table->oid_index_file_,
+                           storage->CreateFile(table->name_ + ".oid.idx"));
+  INSIGHT_ASSIGN_OR_RETURN(BTree tree,
+                           BTree::Create(pool, table->oid_index_file_));
+  table->oid_index_ = std::make_unique<BTree>(std::move(tree));
+  return table;
+}
+
+std::string Table::EncodeRecord(Oid oid, const Tuple& tuple) {
+  std::string rec;
+  PutU64(&rec, oid);
+  tuple.Serialize(&rec);
+  return rec;
+}
+
+Result<std::pair<Oid, Tuple>> Table::DecodeRecord(std::string_view rec) {
+  SerdeReader reader(rec);
+  uint64_t oid;
+  if (!reader.ReadU64(&oid)) return Status::Corruption("record: missing oid");
+  INSIGHT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(&reader));
+  return std::make_pair(oid, std::move(tuple));
+}
+
+namespace {
+std::string OidKey(Oid oid) {
+  // Big-endian so lexicographic order equals numeric order.
+  std::string key(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<char>((oid >> ((7 - i) * 8)) & 0xFF);
+  }
+  return key;
+}
+}  // namespace
+
+Result<Oid> Table::Insert(const Tuple& tuple) {
+  if (tuple.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " vs schema " +
+        std::to_string(schema_.num_columns()));
+  }
+  const Oid oid = next_oid_++;
+  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc,
+                           heap_->Insert(EncodeRecord(oid, tuple)));
+  INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), loc.Pack()));
+  INSIGHT_RETURN_NOT_OK(IndexInsert(oid, tuple));
+  ++num_rows_;
+  return oid;
+}
+
+Result<RowLocation> Table::DiskTupleLoc(Oid oid) const {
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<uint64_t> hits,
+                           oid_index_->Lookup(OidKey(oid)));
+  if (hits.empty()) {
+    return Status::NotFound("oid " + std::to_string(oid));
+  }
+  return RowLocation::Unpack(hits.front());
+}
+
+Result<Tuple> Table::Get(Oid oid) const {
+  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc, DiskTupleLoc(oid));
+  return GetAt(loc);
+}
+
+Result<Tuple> Table::GetAt(RowLocation loc, Oid* oid_out) const {
+  INSIGHT_ASSIGN_OR_RETURN(std::string rec, heap_->Get(loc));
+  INSIGHT_ASSIGN_OR_RETURN(auto decoded, DecodeRecord(rec));
+  if (oid_out != nullptr) *oid_out = decoded.first;
+  return std::move(decoded.second);
+}
+
+Status Table::Delete(Oid oid) {
+  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc, DiskTupleLoc(oid));
+  INSIGHT_ASSIGN_OR_RETURN(Tuple old, GetAt(loc));
+  INSIGHT_RETURN_NOT_OK(heap_->Delete(loc));
+  INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
+  INSIGHT_RETURN_NOT_OK(IndexDelete(oid, old));
+  --num_rows_;
+  return Status::OK();
+}
+
+Status Table::Update(Oid oid, const Tuple& tuple) {
+  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc, DiskTupleLoc(oid));
+  INSIGHT_ASSIGN_OR_RETURN(Tuple old, GetAt(loc));
+  INSIGHT_ASSIGN_OR_RETURN(RowLocation new_loc,
+                           heap_->Update(loc, EncodeRecord(oid, tuple)));
+  if (!(new_loc == loc)) {
+    INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
+    INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), new_loc.Pack()));
+  }
+  INSIGHT_RETURN_NOT_OK(IndexDelete(oid, old));
+  INSIGHT_RETURN_NOT_OK(IndexInsert(oid, tuple));
+  return Status::OK();
+}
+
+Status Table::IndexInsert(Oid oid, const Tuple& tuple) {
+  for (auto& [col, idx] : column_indexes_) {
+    INSIGHT_RETURN_NOT_OK(
+        idx.tree->Insert(EncodeIndexKey(tuple.at(idx.column_pos)), oid));
+  }
+  return Status::OK();
+}
+
+Status Table::IndexDelete(Oid oid, const Tuple& tuple) {
+  for (auto& [col, idx] : column_indexes_) {
+    INSIGHT_RETURN_NOT_OK(
+        idx.tree->Delete(EncodeIndexKey(tuple.at(idx.column_pos)), oid));
+  }
+  return Status::OK();
+}
+
+Status Table::CreateColumnIndex(const std::string& column) {
+  const std::string key = ToLower(column);
+  if (column_indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index on " + column);
+  }
+  INSIGHT_ASSIGN_OR_RETURN(size_t pos, schema_.IndexOf(column));
+  ColumnIndex idx;
+  idx.column_pos = pos;
+  INSIGHT_ASSIGN_OR_RETURN(
+      idx.file, storage_->CreateFile(name_ + ".col." + key + ".idx"));
+  INSIGHT_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_, idx.file));
+  idx.tree = std::make_unique<BTree>(std::move(tree));
+  // Backfill.
+  Iterator it = Scan();
+  Oid oid;
+  Tuple tuple;
+  while (it.Next(&oid, &tuple)) {
+    INSIGHT_RETURN_NOT_OK(
+        idx.tree->Insert(EncodeIndexKey(tuple.at(pos)), oid));
+  }
+  column_indexes_.emplace(key, std::move(idx));
+  return Status::OK();
+}
+
+bool Table::HasColumnIndex(const std::string& column) const {
+  return column_indexes_.count(ToLower(column)) > 0;
+}
+
+const BTree* Table::GetColumnIndex(const std::string& column) const {
+  auto it = column_indexes_.find(ToLower(column));
+  return it == column_indexes_.end() ? nullptr : it->second.tree.get();
+}
+
+bool Table::Iterator::Next(Oid* oid, Tuple* tuple) {
+  RowLocation loc;
+  std::string rec;
+  if (!it_.Next(&loc, &rec)) return false;
+  auto decoded = DecodeRecord(rec);
+  if (!decoded.ok()) return false;
+  *oid = decoded.ValueOrDie().first;
+  *tuple = std::move(decoded.ValueOrDie().second);
+  return true;
+}
+
+uint64_t Table::heap_bytes() const {
+  PageStore* store = storage_->GetStore(heap_file_);
+  return store != nullptr ? store->size_bytes() : 0;
+}
+
+uint64_t Table::oid_index_bytes() const {
+  PageStore* store = storage_->GetStore(oid_index_file_);
+  return store != nullptr ? store->size_bytes() : 0;
+}
+
+uint64_t Table::column_index_bytes(const std::string& column) const {
+  auto it = column_indexes_.find(ToLower(column));
+  if (it == column_indexes_.end()) return 0;
+  PageStore* store = storage_->GetStore(it->second.file);
+  return store != nullptr ? store->size_bytes() : 0;
+}
+
+}  // namespace insight

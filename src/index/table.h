@@ -1,0 +1,114 @@
+#ifndef INSIGHTNOTES_INDEX_TABLE_H_
+#define INSIGHTNOTES_INDEX_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/btree.h"
+#include "storage/heap_file.h"
+#include "storage/storage_manager.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace insight {
+
+/// A user relation: slotted heap file + a B-Tree on the OID column (the
+/// paper's `diskTupleLoc()` helper with cost O(log_B M)) + optional
+/// secondary B-Tree indexes on data columns.
+///
+/// Heap records are `oid || tuple` so scans recover OIDs without an index.
+class Table {
+ public:
+  /// Creates the heap and OID-index files under `name.*` in `storage`.
+  static Result<std::unique_ptr<Table>> Create(StorageManager* storage,
+                                               BufferPool* pool,
+                                               std::string name,
+                                               Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Inserts a tuple; assigns and returns its OID.
+  Result<Oid> Insert(const Tuple& tuple);
+
+  /// Fetches by OID (OID index probe + heap read).
+  Result<Tuple> Get(Oid oid) const;
+
+  /// The paper's diskTupleLoc(): heap location of a tuple given its OID.
+  Result<RowLocation> DiskTupleLoc(Oid oid) const;
+
+  /// Direct heap fetch by location (Summary-BTree backward pointers land
+  /// here without touching the OID index).
+  Result<Tuple> GetAt(RowLocation loc, Oid* oid_out = nullptr) const;
+
+  Status Delete(Oid oid);
+
+  /// Rewrites a tuple in place (heap may relocate; indexes follow).
+  Status Update(Oid oid, const Tuple& tuple);
+
+  /// Builds a secondary B-Tree index on one data column. Key = encoded
+  /// column value, payload = OID. Backfills existing rows.
+  Status CreateColumnIndex(const std::string& column);
+
+  bool HasColumnIndex(const std::string& column) const;
+  const BTree* GetColumnIndex(const std::string& column) const;
+
+  /// Scan yielding (oid, tuple) in heap order.
+  class Iterator {
+   public:
+    explicit Iterator(const Table* table) : it_(table->heap_->Scan()) {}
+    bool Next(Oid* oid, Tuple* tuple);
+
+   private:
+    HeapFile::Iterator it_;
+  };
+  Iterator Scan() const { return Iterator(this); }
+
+  /// Storage footprint of the heap file in bytes.
+  uint64_t heap_bytes() const;
+  /// Storage footprint of the OID index in bytes.
+  uint64_t oid_index_bytes() const;
+  /// Storage footprint of one secondary column index (0 when absent).
+  uint64_t column_index_bytes(const std::string& column) const;
+
+ private:
+  Table(StorageManager* storage, BufferPool* pool, std::string name,
+        Schema schema)
+      : storage_(storage),
+        pool_(pool),
+        name_(std::move(name)),
+        schema_(std::move(schema)) {}
+
+  static std::string EncodeRecord(Oid oid, const Tuple& tuple);
+  static Result<std::pair<Oid, Tuple>> DecodeRecord(std::string_view rec);
+
+  Status IndexInsert(Oid oid, const Tuple& tuple);
+  Status IndexDelete(Oid oid, const Tuple& tuple);
+
+  StorageManager* storage_;
+  BufferPool* pool_;
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<BTree> oid_index_;
+  FileId heap_file_ = 0;
+  FileId oid_index_file_ = 0;
+
+  struct ColumnIndex {
+    size_t column_pos;
+    FileId file;
+    std::unique_ptr<BTree> tree;
+  };
+  std::map<std::string, ColumnIndex> column_indexes_;
+
+  Oid next_oid_ = 1;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_INDEX_TABLE_H_

@@ -1,0 +1,146 @@
+#include "mining/clustream.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace insight {
+
+TextFeature FeaturizeText(std::string_view text) {
+  TextFeature f{};
+  for (const std::string& word : TokenizeWords(text)) {
+    const size_t h = std::hash<std::string>{}(word);
+    f[h % kTextFeatureDim] += 1.0;
+  }
+  double norm = 0;
+  for (double v : f) norm += v * v;
+  if (norm > 0) {
+    norm = std::sqrt(norm);
+    for (double& v : f) v /= norm;
+  }
+  return f;
+}
+
+double CosineSimilarity(const TextFeature& a, const TextFeature& b) {
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (size_t i = 0; i < kTextFeatureDim; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0 || nb == 0) return 0;
+  return dot / std::sqrt(na * nb);
+}
+
+TextFeature CluStream::MicroCluster::Centroid() const {
+  TextFeature c{};
+  if (n == 0) return c;
+  for (size_t i = 0; i < kTextFeatureDim; ++i) {
+    c[i] = linear_sum[i] / static_cast<double>(n);
+  }
+  return c;
+}
+
+double CluStream::MicroCluster::RmsRadius() const {
+  if (n <= 1) return 0;
+  // radius^2 = E[x^2] - E[x]^2, summed over dimensions.
+  double r2 = 0;
+  for (size_t i = 0; i < kTextFeatureDim; ++i) {
+    const double mean = linear_sum[i] / static_cast<double>(n);
+    r2 += square_sum[i] / static_cast<double>(n) - mean * mean;
+  }
+  return r2 > 0 ? std::sqrt(r2) : 0;
+}
+
+void CluStream::MicroCluster::Absorb(const TextFeature& point) {
+  ++n;
+  for (size_t i = 0; i < kTextFeatureDim; ++i) {
+    linear_sum[i] += point[i];
+    square_sum[i] += point[i] * point[i];
+  }
+}
+
+void CluStream::MicroCluster::Merge(const MicroCluster& other) {
+  n += other.n;
+  for (size_t i = 0; i < kTextFeatureDim; ++i) {
+    linear_sum[i] += other.linear_sum[i];
+    square_sum[i] += other.square_sum[i];
+  }
+}
+
+double CluStream::Distance(const MicroCluster& c,
+                           const TextFeature& p) const {
+  const TextFeature centroid = c.Centroid();
+  double d2 = 0;
+  for (size_t i = 0; i < kTextFeatureDim; ++i) {
+    const double d = centroid[i] - p[i];
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
+uint64_t CluStream::Add(const TextFeature& point) {
+  // Find the nearest cluster.
+  size_t best = clusters_.size();
+  double best_dist = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    const double d = Distance(clusters_[i], point);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  if (best < clusters_.size()) {
+    MicroCluster& c = clusters_[best];
+    const double radius = c.RmsRadius();
+    const bool within_boundary =
+        radius > 0 ? best_dist <= options_.boundary_factor * radius
+                   : CosineSimilarity(c.Centroid(), point) >=
+                         options_.min_similarity;
+    if (within_boundary) {
+      c.Absorb(point);
+      return c.id;
+    }
+  }
+  // Seed a new cluster; merge the closest pair if at capacity.
+  if (clusters_.size() >= options_.max_clusters) MergeClosestPair();
+  MicroCluster fresh;
+  fresh.id = next_id_++;
+  fresh.Absorb(point);
+  clusters_.push_back(fresh);
+  return fresh.id;
+}
+
+void CluStream::MergeClosestPair() {
+  if (clusters_.size() < 2) return;
+  size_t bi = 0;
+  size_t bj = 1;
+  double best = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    for (size_t j = i + 1; j < clusters_.size(); ++j) {
+      const double d = Distance(clusters_[i], clusters_[j].Centroid());
+      if (d < best) {
+        best = d;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  clusters_[bi].Merge(clusters_[bj]);
+  clusters_.erase(clusters_.begin() + bj);
+}
+
+std::vector<CluStream::ClusterInfo> CluStream::Clusters() const {
+  std::vector<ClusterInfo> out;
+  out.reserve(clusters_.size());
+  for (const MicroCluster& c : clusters_) {
+    out.push_back(ClusterInfo{c.id, c.n, c.Centroid(), c.RmsRadius()});
+  }
+  return out;
+}
+
+}  // namespace insight

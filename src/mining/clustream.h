@@ -1,0 +1,86 @@
+#ifndef INSIGHTNOTES_MINING_CLUSTREAM_H_
+#define INSIGHTNOTES_MINING_CLUSTREAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insight {
+
+/// Dimensionality of the hashed bag-of-words feature space used for
+/// incremental text clustering.
+constexpr size_t kTextFeatureDim = 64;
+
+using TextFeature = std::array<double, kTextFeatureDim>;
+
+/// L2-normalized hashed term-frequency vector of `text`.
+TextFeature FeaturizeText(std::string_view text);
+
+/// Cosine similarity of two feature vectors (0 when either is zero).
+double CosineSimilarity(const TextFeature& a, const TextFeature& b);
+
+/// Incremental micro-cluster maintenance in the style of CluStream
+/// (Aggarwal et al., VLDB'03 — reference [2] of the paper): each cluster
+/// keeps additive cluster-feature statistics (n, linear sum, square sum),
+/// new points join the nearest cluster when within a boundary factor of
+/// its RMS radius, otherwise they seed a new cluster; at capacity the two
+/// closest clusters merge. Timestamps/decay are omitted: annotation
+/// streams per tuple are small and the paper's summaries never expire
+/// annotations.
+class CluStream {
+ public:
+  struct Options {
+    size_t max_clusters = 16;
+    /// New point joins nearest cluster when distance <= boundary_factor x
+    /// cluster RMS radius (or when cosine similarity >= min_similarity
+    /// for singleton clusters, which have no radius yet).
+    double boundary_factor = 2.0;
+    double min_similarity = 0.25;
+  };
+
+  CluStream() : options_(Options{}) {}
+  explicit CluStream(Options options) : options_(options) {}
+
+  /// Inserts one point; returns the id of the cluster it joined. Cluster
+  /// ids are stable across merges (the surviving cluster keeps its id).
+  uint64_t Add(const TextFeature& point);
+
+  /// Convenience overload: featurize then Add.
+  uint64_t AddText(std::string_view text) { return Add(FeaturizeText(text)); }
+
+  size_t num_clusters() const { return clusters_.size(); }
+
+  struct ClusterInfo {
+    uint64_t id;
+    uint64_t size;
+    TextFeature centroid;
+    double rms_radius;
+  };
+  std::vector<ClusterInfo> Clusters() const;
+
+ private:
+  struct MicroCluster {
+    uint64_t id;
+    uint64_t n = 0;
+    TextFeature linear_sum{};
+    TextFeature square_sum{};
+
+    TextFeature Centroid() const;
+    double RmsRadius() const;
+    void Absorb(const TextFeature& point);
+    void Merge(const MicroCluster& other);
+  };
+
+  double Distance(const MicroCluster& c, const TextFeature& p) const;
+  void MergeClosestPair();
+
+  Options options_;
+  std::vector<MicroCluster> clusters_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_MINING_CLUSTREAM_H_

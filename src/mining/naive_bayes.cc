@@ -1,0 +1,69 @@
+#include "mining/naive_bayes.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace insight {
+
+NaiveBayesClassifier::NaiveBayesClassifier(std::vector<std::string> labels)
+    : labels_(std::move(labels)),
+      doc_counts_(labels_.size(), 0),
+      word_totals_(labels_.size(), 0),
+      word_counts_(labels_.size()) {
+  INSIGHT_CHECK(!labels_.empty()) << "classifier needs at least one label";
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    label_index_[ToLower(labels_[i])] = i;
+  }
+}
+
+Status NaiveBayesClassifier::Train(std::string_view text,
+                                   const std::string& label) {
+  auto it = label_index_.find(ToLower(label));
+  if (it == label_index_.end()) {
+    return Status::InvalidArgument("unknown class label " + label);
+  }
+  const size_t idx = it->second;
+  ++doc_counts_[idx];
+  ++total_docs_;
+  for (const std::string& word : TokenizeWords(text)) {
+    ++word_counts_[idx][word];
+    ++word_totals_[idx];
+    vocabulary_[word] = true;
+  }
+  return Status::OK();
+}
+
+size_t NaiveBayesClassifier::ClassifyIndex(std::string_view text) const {
+  if (total_docs_ == 0) return labels_.size() - 1;
+  const std::vector<std::string> words = TokenizeWords(text);
+  const double vocab = static_cast<double>(vocabulary_.size()) + 1.0;
+  double best_score = -1e300;
+  size_t best = labels_.size() - 1;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (doc_counts_[i] == 0) continue;
+    double score = std::log(static_cast<double>(doc_counts_[i]) /
+                            static_cast<double>(total_docs_));
+    const double denom = static_cast<double>(word_totals_[i]) + vocab;
+    for (const std::string& word : words) {
+      auto it = word_counts_[i].find(word);
+      const double count = it == word_counts_[i].end()
+                               ? 0.0
+                               : static_cast<double>(it->second);
+      score += std::log((count + 1.0) / denom);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+const std::string& NaiveBayesClassifier::Classify(
+    std::string_view text) const {
+  return labels_[ClassifyIndex(text)];
+}
+
+}  // namespace insight

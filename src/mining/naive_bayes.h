@@ -1,0 +1,48 @@
+#ifndef INSIGHTNOTES_MINING_NAIVE_BAYES_H_
+#define INSIGHTNOTES_MINING_NAIVE_BAYES_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace insight {
+
+/// Multinomial Naive Bayes text classifier with Laplace smoothing — the
+/// paper's annotation-classification plug-in ([10] in its references).
+/// Labels are fixed at construction (the Classifier summary instance's
+/// class labels, e.g. {Disease, Anatomy, Behavior, Other}).
+class NaiveBayesClassifier {
+ public:
+  explicit NaiveBayesClassifier(std::vector<std::string> labels);
+
+  /// Adds one labeled training document. Unknown labels are rejected.
+  Status Train(std::string_view text, const std::string& label);
+
+  /// Most probable label for `text`. Untrained classifiers fall back to
+  /// the last label (the conventional "Other" bucket).
+  const std::string& Classify(std::string_view text) const;
+
+  /// Index of Classify(text) within labels().
+  size_t ClassifyIndex(std::string_view text) const;
+
+  const std::vector<std::string>& labels() const { return labels_; }
+  size_t num_training_docs() const { return total_docs_; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, size_t> label_index_;
+  // Per-label document counts and per-label word counts.
+  std::vector<int64_t> doc_counts_;
+  std::vector<int64_t> word_totals_;
+  std::vector<std::unordered_map<std::string, int64_t>> word_counts_;
+  std::unordered_map<std::string, bool> vocabulary_;
+  int64_t total_docs_ = 0;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_MINING_NAIVE_BAYES_H_

@@ -1,0 +1,89 @@
+#include "mining/snippet.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace insight {
+
+namespace {
+
+// Splits into sentences on ./!/? boundaries; keeps non-empty pieces.
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::string cur;
+  for (char c : text) {
+    cur += c;
+    if (c == '.' || c == '!' || c == '?') {
+      const std::string_view trimmed = Trim(cur);
+      if (!trimmed.empty()) sentences.emplace_back(trimmed);
+      cur.clear();
+    }
+  }
+  const std::string_view trimmed = Trim(cur);
+  if (!trimmed.empty()) sentences.emplace_back(trimmed);
+  return sentences;
+}
+
+}  // namespace
+
+std::string SnippetSummarizer::Summarize(std::string_view text) const {
+  if (text.size() <= options_.max_snippet_chars) {
+    return std::string(Trim(text));
+  }
+  const std::vector<std::string> sentences = SplitSentences(text);
+  if (sentences.empty()) {
+    return std::string(text.substr(0, options_.max_snippet_chars));
+  }
+
+  // Document-level term frequencies.
+  std::unordered_map<std::string, double> tf;
+  for (const std::string& word : TokenizeWords(text)) tf[word] += 1.0;
+
+  // Score each sentence by mean term salience (length-normalized so long
+  // sentences don't dominate).
+  struct Scored {
+    size_t index;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(sentences.size());
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    const auto words = TokenizeWords(sentences[i]);
+    double score = 0;
+    for (const std::string& w : words) score += tf[w];
+    if (!words.empty()) score /= static_cast<double>(words.size());
+    scored.push_back(Scored{i, score});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.index < b.index;
+  });
+
+  // Greedily take top sentences that fit the budget; emit in document
+  // order for readability.
+  std::vector<size_t> chosen;
+  size_t used = 0;
+  for (const Scored& s : scored) {
+    const size_t cost = sentences[s.index].size() + (chosen.empty() ? 0 : 1);
+    if (used + cost > options_.max_snippet_chars) continue;
+    chosen.push_back(s.index);
+    used += cost;
+  }
+  if (chosen.empty()) {
+    // Even the best sentence exceeds the budget: hard-truncate it.
+    return sentences[scored.front().index].substr(
+        0, options_.max_snippet_chars);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  std::string out;
+  for (size_t idx : chosen) {
+    if (!out.empty()) out += ' ';
+    out += sentences[idx];
+  }
+  return out;
+}
+
+}  // namespace insight

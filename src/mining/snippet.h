@@ -1,0 +1,45 @@
+#ifndef INSIGHTNOTES_MINING_SNIPPET_H_
+#define INSIGHTNOTES_MINING_SNIPPET_H_
+
+#include <string>
+#include <string_view>
+
+namespace insight {
+
+/// Extractive text summarizer producing snippets of large annotations.
+/// Substitution for the paper's LSA-based summarizer ([18]): sentences are
+/// scored by the document-frequency-weighted term salience (the first
+/// singular direction of LSA correlates strongly with high-TF terms on
+/// short documents), and the top-scoring sentences are emitted in original
+/// order until the budget is reached. Structurally the output is the same
+/// Snippet representative the query layer consumes.
+class SnippetSummarizer {
+ public:
+  struct Options {
+    /// Only annotations longer than this are summarized (paper: 1,000).
+    size_t min_chars = 1000;
+    /// Snippet budget (paper: 400).
+    size_t max_snippet_chars = 400;
+  };
+
+  SnippetSummarizer() : options_(Options{}) {}
+  explicit SnippetSummarizer(Options options) : options_(options) {}
+
+  /// True if `text` qualifies for summarization.
+  bool ShouldSummarize(std::string_view text) const {
+    return text.size() > options_.min_chars;
+  }
+
+  /// Produces the snippet (<= max_snippet_chars). Short texts are
+  /// returned truncated-verbatim.
+  std::string Summarize(std::string_view text) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_MINING_SNIPPET_H_

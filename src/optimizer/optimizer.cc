@@ -1,0 +1,1168 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace insight {
+
+namespace {
+
+// Abstract cost weights: 1.0 per page I/O, 0.01 per tuple of CPU.
+constexpr double kTupleCpu = 0.01;
+constexpr double kIndexDescent = 3.0;       // B-Tree root-to-leaf pages.
+constexpr double kBackwardHitIo = 1.1;      // Heap page per hit.
+constexpr double kConventionalHitIo = 2.6;  // Storage row + OID probe + heap.
+constexpr double kBaselineHitIo = 3.2;      // Normalized row + OID probe + heap.
+constexpr double kDataIndexHitIo = 2.1;     // OID probe + heap page.
+constexpr double kPropagationIo = 1.2;      // Summary-storage row per tuple.
+
+// True when `label` is one of the instance's actual (leaf) class labels.
+// Hierarchical inner labels ("Disease" over "Disease/Viral") are valid in
+// predicates but resolve by subtree summation, which neither the
+// Summary-BTree nor the per-leaf statistics cover.
+bool IsLeafLabel(const RelationInfo& info, const std::string& instance,
+                 const std::string& label) {
+  if (info.mgr == nullptr) return false;
+  auto inst = info.mgr->FindInstance(instance);
+  if (!inst.ok()) return false;
+  for (const std::string& leaf : (*inst)->labels()) {
+    if (EqualsIgnoreCase(leaf, label)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ExprPtr> SplitConjuncts(const Expression* expr) {
+  std::vector<ExprPtr> out;
+  const auto* logical = dynamic_cast<const LogicalExpr*>(expr);
+  if (logical != nullptr && logical->kind() == LogicalExpr::Kind::kAnd) {
+    auto left = SplitConjuncts(logical->left());
+    auto right = SplitConjuncts(logical->right());
+    for (auto& e : left) out.push_back(std::move(e));
+    for (auto& e : right) out.push_back(std::move(e));
+    return out;
+  }
+  out.push_back(expr->Clone());
+  return out;
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  ExprPtr out = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = And(std::move(out), std::move(conjuncts[i]));
+  }
+  return out;
+}
+
+std::optional<EquiJoinKeys> MatchEquiJoin(const Expression* expr,
+                                          const Schema& left,
+                                          const Schema& right) {
+  const auto* cmp = dynamic_cast<const CompareExpr*>(expr);
+  if (cmp == nullptr || cmp->op() != CompareOp::kEq) return std::nullopt;
+  const auto* a = dynamic_cast<const ColumnExpr*>(cmp->left());
+  const auto* b = dynamic_cast<const ColumnExpr*>(cmp->right());
+  if (a == nullptr || b == nullptr) return std::nullopt;
+  if (left.IndexOf(a->name()).ok() && right.IndexOf(b->name()).ok()) {
+    return EquiJoinKeys{a->name(), b->name()};
+  }
+  if (left.IndexOf(b->name()).ok() && right.IndexOf(a->name()).ok()) {
+    return EquiJoinKeys{b->name(), a->name()};
+  }
+  return std::nullopt;
+}
+
+// ---------- Schema resolution ----------
+
+Result<Schema> Optimizer::OutputSchema(const LogicalNode& node) {
+  switch (node.kind) {
+    case LogicalKind::kScan: {
+      INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
+                               ctx_->Get(node.table));
+      if (node.alias.empty()) return info->table->schema();
+      Schema renamed;
+      for (const Column& col : info->table->schema().columns()) {
+        renamed.AddColumn({node.alias + "." + col.name, col.type}).ok();
+      }
+      return renamed;
+    }
+    case LogicalKind::kSelect:
+    case LogicalKind::kSummarySelect:
+    case LogicalKind::kSummaryFilter:
+    case LogicalKind::kSort:
+    case LogicalKind::kDistinct:
+    case LogicalKind::kLimit:
+      return OutputSchema(*node.children[0]);
+    case LogicalKind::kProject: {
+      INSIGHT_ASSIGN_OR_RETURN(Schema child,
+                               OutputSchema(*node.children[0]));
+      std::vector<size_t> indices;
+      for (const std::string& name : node.columns) {
+        INSIGHT_ASSIGN_OR_RETURN(size_t idx, child.IndexOf(name));
+        indices.push_back(idx);
+      }
+      return child.Project(indices);
+    }
+    case LogicalKind::kJoin:
+    case LogicalKind::kSummaryJoin: {
+      INSIGHT_ASSIGN_OR_RETURN(Schema left, OutputSchema(*node.children[0]));
+      INSIGHT_ASSIGN_OR_RETURN(Schema right,
+                               OutputSchema(*node.children[1]));
+      return Schema::Concat(left, right);
+    }
+    case LogicalKind::kAggregate: {
+      INSIGHT_ASSIGN_OR_RETURN(Schema child,
+                               OutputSchema(*node.children[0]));
+      Schema out;
+      for (const std::string& name : node.group_columns) {
+        INSIGHT_ASSIGN_OR_RETURN(size_t idx, child.IndexOf(name));
+        out.AddColumn(child.column(idx)).ok();
+      }
+      for (const AggregateSpec& agg : node.aggregates) {
+        out.AddColumn({agg.output_name,
+                       agg.kind == AggregateSpec::Kind::kAvg
+                           ? ValueType::kDouble
+                           : ValueType::kInt64})
+            .ok();
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+// ---------- Rewrite rules ----------
+
+// True when every instance is linked to some table in `subtree`;
+// *any_linked reports whether at least one is.
+Result<bool> Optimizer::InstancesOnlyOn(
+    const std::vector<std::string>& instances, const LogicalNode& subtree,
+    bool* any_linked) {
+  std::vector<std::string> tables;
+  subtree.CollectTables(&tables);
+  bool all = true;
+  bool any = false;
+  for (const std::string& instance : instances) {
+    bool found = false;
+    for (const std::string& table : tables) {
+      INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info, ctx_->Get(table));
+      if (info->HasInstance(instance)) {
+        found = true;
+        break;
+      }
+    }
+    all = all && found;
+    any = any || found;
+  }
+  if (any_linked != nullptr) *any_linked = any;
+  return all && !instances.empty();
+}
+
+Result<bool> Optimizer::ColumnsResolve(
+    const std::vector<std::string>& columns, const LogicalNode& subtree) {
+  INSIGHT_ASSIGN_OR_RETURN(Schema schema, OutputSchema(subtree));
+  for (const std::string& column : columns) {
+    if (!schema.IndexOf(column).ok()) return false;
+  }
+  return true;
+}
+
+Result<bool> Optimizer::PushDownOnce(LogicalNode* node) {
+  bool changed = false;
+
+  // Recurse first so inner opportunities surface before outer ones.
+  for (LogicalPtr& child : node->children) {
+    INSIGHT_ASSIGN_OR_RETURN(bool c, PushDownOnce(child.get()));
+    changed = changed || c;
+  }
+
+  // Rule 1 canonicalization: sigma commutes below S so data predicates sit
+  // closest to the scan (either order is equivalent; this one exposes
+  // data-index access paths uniformly).
+  if (node->kind == LogicalKind::kSummarySelect &&
+      node->children[0]->kind == LogicalKind::kSelect) {
+    // Already canonical (S above sigma): nothing to do.
+  } else if (node->kind == LogicalKind::kSelect &&
+             node->children[0]->kind == LogicalKind::kSummarySelect) {
+    std::swap(node->kind, node->children[0]->kind);
+    std::swap(node->predicate, node->children[0]->predicate);
+    changed = true;
+  }
+
+  // Standard sigma pushdown + Rule 9 (sigma below J) + Rule 2/10
+  // (S below joins).
+  const bool is_select = node->kind == LogicalKind::kSelect;
+  const bool is_ssel = node->kind == LogicalKind::kSummarySelect;
+  if ((is_select || is_ssel) && node->children.size() == 1 &&
+      (node->children[0]->kind == LogicalKind::kJoin ||
+       node->children[0]->kind == LogicalKind::kSummaryJoin)) {
+    LogicalNode* join = node->children[0].get();
+    std::vector<ExprPtr> conjuncts = SplitConjuncts(node->predicate.get());
+    std::vector<ExprPtr> kept;
+    for (ExprPtr& conjunct : conjuncts) {
+      int side = -1;  // 0 = left, 1 = right.
+      if (is_select) {
+        // sigma: pushable when its columns resolve on one side (standard
+        // pushdown; Rule 9 for J).
+        std::vector<std::string> columns;
+        conjunct->CollectColumns(&columns);
+        // Predicates that also touch summaries are S-shaped; treat below.
+        if (!conjunct->IsSummaryBased() && !columns.empty()) {
+          INSIGHT_ASSIGN_OR_RETURN(bool on_left,
+                                   ColumnsResolve(columns,
+                                                  *join->children[0]));
+          INSIGHT_ASSIGN_OR_RETURN(bool on_right,
+                                   ColumnsResolve(columns,
+                                                  *join->children[1]));
+          if (on_left && !on_right) side = 0;
+          if (on_right && !on_left) side = 1;
+        }
+      } else {
+        // S: pushable iff its instances live on exactly one side
+        // (Rule 2 for data joins, Rule 10 for J).
+        std::vector<std::string> instances;
+        conjunct->CollectInstances(&instances);
+        std::vector<std::string> columns;
+        conjunct->CollectColumns(&columns);
+        if (!instances.empty()) {
+          bool left_any = false;
+          bool right_any = false;
+          INSIGHT_ASSIGN_OR_RETURN(
+              bool left_all,
+              InstancesOnlyOn(instances, *join->children[0], &left_any));
+          INSIGHT_ASSIGN_OR_RETURN(
+              bool right_all,
+              InstancesOnlyOn(instances, *join->children[1], &right_any));
+          bool cols_left = true;
+          bool cols_right = true;
+          if (!columns.empty()) {
+            INSIGHT_ASSIGN_OR_RETURN(cols_left,
+                                     ColumnsResolve(columns,
+                                                    *join->children[0]));
+            INSIGHT_ASSIGN_OR_RETURN(cols_right,
+                                     ColumnsResolve(columns,
+                                                    *join->children[1]));
+          }
+          if (left_all && !right_any && cols_left) side = 0;
+          if (right_all && !left_any && cols_right) side = 1;
+        }
+      }
+      if (side < 0) {
+        kept.push_back(std::move(conjunct));
+        continue;
+      }
+      LogicalPtr& target = join->children[static_cast<size_t>(side)];
+      LogicalPtr wrapped =
+          is_select ? LSelect(std::move(target), std::move(conjunct))
+                    : LSummarySelect(std::move(target), std::move(conjunct));
+      target = std::move(wrapped);
+      changed = true;
+    }
+    if (kept.empty()) {
+      // Node dissolves: splice the join up.
+      LogicalPtr join_ptr = std::move(node->children[0]);
+      *node = std::move(*join_ptr);
+      return true;
+    }
+    node->predicate = CombineConjuncts(std::move(kept));
+  }
+
+  // Rules 7 + 8: push the summary filter F below a join.
+  if (node->kind == LogicalKind::kSummaryFilter &&
+      node->children.size() == 1 &&
+      (node->children[0]->kind == LogicalKind::kJoin ||
+       node->children[0]->kind == LogicalKind::kSummaryJoin)) {
+    const ObjectPredicate& pred = node->object_predicate;
+    LogicalNode* join = node->children[0].get();
+    if (pred.structural()) {
+      bool pushed = false;
+      if (pred.instance_name.has_value()) {
+        std::vector<std::string> instances = {*pred.instance_name};
+        bool left_any = false;
+        bool right_any = false;
+        INSIGHT_RETURN_NOT_OK(
+            InstancesOnlyOn(instances, *join->children[0], &left_any)
+                .status());
+        INSIGHT_RETURN_NOT_OK(
+            InstancesOnlyOn(instances, *join->children[1], &right_any)
+                .status());
+        if (left_any && !right_any) {
+          // Rule 7: instance only on the left side.
+          join->children[0] =
+              LSummaryFilter(std::move(join->children[0]), pred);
+          pushed = true;
+        } else if (right_any && !left_any) {
+          join->children[1] =
+              LSummaryFilter(std::move(join->children[1]), pred);
+          pushed = true;
+        } else {
+          // Rule 8: structural predicates push to both sides.
+          join->children[0] =
+              LSummaryFilter(std::move(join->children[0]), pred);
+          join->children[1] =
+              LSummaryFilter(std::move(join->children[1]), pred);
+          pushed = true;
+        }
+      } else {
+        // Type-only structural predicate: Rule 8, both sides.
+        join->children[0] =
+            LSummaryFilter(std::move(join->children[0]), pred);
+        join->children[1] =
+            LSummaryFilter(std::move(join->children[1]), pred);
+        pushed = true;
+      }
+      if (pushed) {
+        LogicalPtr join_ptr = std::move(node->children[0]);
+        *node = std::move(*join_ptr);
+        return true;
+      }
+    }
+  }
+
+  // Rule 11: switch the order of a data join and a summary join.
+  //   Join_c(T, J_p(R, S)) == J_p(Join_c(T, R), S)
+  // (and the mirrored Join_c(J_p(R, S), T)), iff p's instances are not on
+  // T and c does not involve S's attributes.
+  if (node->kind == LogicalKind::kJoin) {
+    for (int sj_side = 0; sj_side < 2; ++sj_side) {
+      LogicalNode* sjoin = node->children[static_cast<size_t>(sj_side)].get();
+      if (sjoin->kind != LogicalKind::kSummaryJoin) continue;
+      LogicalNode* t_node =
+          node->children[static_cast<size_t>(1 - sj_side)].get();
+      // Legality: c's columns resolve without S.
+      std::vector<std::string> c_columns;
+      node->predicate->CollectColumns(&c_columns);
+      // Build a temporary R+T "schema view" by checking resolution against
+      // R and T subtrees.
+      bool c_ok = true;
+      for (const std::string& column : c_columns) {
+        INSIGHT_ASSIGN_OR_RETURN(bool in_r,
+                                 ColumnsResolve({column},
+                                                *sjoin->children[0]));
+        INSIGHT_ASSIGN_OR_RETURN(bool in_t, ColumnsResolve({column}, *t_node));
+        if (!in_r && !in_t) {
+          c_ok = false;
+          break;
+        }
+      }
+      if (!c_ok) continue;
+      // Legality: p's instances not linked on T.
+      std::vector<std::string> p_instances;
+      sjoin->summary_join_predicate.CollectInstances(&p_instances);
+      bool t_any = false;
+      INSIGHT_RETURN_NOT_OK(
+          InstancesOnlyOn(p_instances, *t_node, &t_any).status());
+      if (t_any) continue;
+      // Rewrite: inner data join of (R, T), outer summary join with S.
+      LogicalPtr sjoin_ptr =
+          std::move(node->children[static_cast<size_t>(sj_side)]);
+      LogicalPtr t_ptr =
+          std::move(node->children[static_cast<size_t>(1 - sj_side)]);
+      LogicalPtr r_ptr = std::move(sjoin_ptr->children[0]);
+      LogicalPtr s_ptr = std::move(sjoin_ptr->children[1]);
+      LogicalPtr inner_join =
+          LJoin(std::move(r_ptr), std::move(t_ptr),
+                std::move(node->predicate));
+      LogicalPtr new_top =
+          LSummaryJoin(std::move(inner_join), std::move(s_ptr),
+                       sjoin_ptr->summary_join_predicate.Clone());
+      *node = std::move(*new_top);
+      return true;
+    }
+  }
+
+  return changed;
+}
+
+Result<LogicalPtr> Optimizer::Rewrite(LogicalPtr plan) {
+  if (!options_.enable_rewrite_rules) return plan;
+  for (int pass = 0; pass < 20; ++pass) {
+    INSIGHT_ASSIGN_OR_RETURN(bool changed, PushDownOnce(plan.get()));
+    if (!changed) break;
+  }
+  return plan;
+}
+
+// ---------- Estimation ----------
+
+namespace {
+
+double FallbackSelectivity(const Expression* conjunct) {
+  if (dynamic_cast<const LikeExpr*>(conjunct) != nullptr) return 0.1;
+  return 1.0 / 3;
+}
+
+}  // namespace
+
+Result<PlanEstimate> Optimizer::Estimate(const LogicalNode& node) {
+  switch (node.kind) {
+    case LogicalKind::kScan: {
+      INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
+                               ctx_->Get(node.table));
+      PlanEstimate est;
+      est.rows = info->stats.has_value()
+                     ? static_cast<double>(info->stats->num_rows)
+                     : static_cast<double>(info->table->num_rows());
+      const double pages =
+          info->stats.has_value()
+              ? static_cast<double>(info->stats->heap_pages)
+              : est.rows * kTupleCpu;
+      est.cost = std::max(1.0, pages) + est.rows * kTupleCpu;
+      if (node.propagate_summaries && info->mgr != nullptr) {
+        est.cost += est.rows * kPropagationIo *
+                    (info->stats.has_value() && info->stats->num_rows > 0
+                         ? static_cast<double>(info->stats->annotated_rows) /
+                               info->stats->num_rows
+                         : 1.0);
+      }
+      return est;
+    }
+    case LogicalKind::kSelect:
+    case LogicalKind::kSummarySelect: {
+      INSIGHT_ASSIGN_OR_RETURN(PlanEstimate child,
+                               Estimate(*node.children[0]));
+      // Selectivity: product over conjuncts, consulting the statistics of
+      // the first scan table that owns the referenced column/instance.
+      std::vector<std::string> tables;
+      node.children[0]->CollectTables(&tables);
+      double selectivity = 1.0;
+      for (const ExprPtr& conjunct :
+           SplitConjuncts(node.predicate.get())) {
+        double s = FallbackSelectivity(conjunct.get());
+        auto indexable = MatchIndexablePredicate(conjunct.get());
+        if (indexable.has_value()) {
+          for (const std::string& table : tables) {
+            INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
+                                     ctx_->Get(table));
+            if (info->stats.has_value() &&
+                info->HasInstance(indexable->instance) &&
+                IsLeafLabel(*info, indexable->instance, indexable->label)) {
+              s = info->stats->EstimateLabelSelectivity(
+                  indexable->instance, indexable->label, indexable->op,
+                  indexable->constant);
+              break;
+            }
+          }
+        } else if (const auto* cmp =
+                       dynamic_cast<const CompareExpr*>(conjunct.get())) {
+          const auto* col = dynamic_cast<const ColumnExpr*>(cmp->left());
+          const auto* lit = dynamic_cast<const LiteralExpr*>(cmp->right());
+          if (col != nullptr && lit != nullptr) {
+            for (const std::string& table : tables) {
+              INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
+                                       ctx_->Get(table));
+              if (info->stats.has_value() &&
+                  info->table->schema().IndexOf(col->name()).ok()) {
+                s = info->stats->EstimateColumnSelectivity(
+                    col->name(), cmp->op(), lit->value());
+                break;
+              }
+            }
+          }
+        }
+        selectivity *= s;
+      }
+      PlanEstimate est;
+      est.rows = child.rows * selectivity;
+      est.cost = child.cost + child.rows * kTupleCpu;
+      return est;
+    }
+    case LogicalKind::kSummaryFilter:
+    case LogicalKind::kDistinct: {
+      INSIGHT_ASSIGN_OR_RETURN(PlanEstimate child,
+                               Estimate(*node.children[0]));
+      child.cost += child.rows * kTupleCpu;
+      return child;
+    }
+    case LogicalKind::kProject: {
+      INSIGHT_ASSIGN_OR_RETURN(PlanEstimate child,
+                               Estimate(*node.children[0]));
+      child.cost += child.rows * kTupleCpu;
+      return child;
+    }
+    case LogicalKind::kJoin:
+    case LogicalKind::kSummaryJoin: {
+      INSIGHT_ASSIGN_OR_RETURN(PlanEstimate left,
+                               Estimate(*node.children[0]));
+      INSIGHT_ASSIGN_OR_RETURN(PlanEstimate right,
+                               Estimate(*node.children[1]));
+      PlanEstimate est;
+      double denominator = 3.0;
+      if (node.kind == LogicalKind::kJoin) {
+        INSIGHT_ASSIGN_OR_RETURN(Schema ls, OutputSchema(*node.children[0]));
+        INSIGHT_ASSIGN_OR_RETURN(Schema rs, OutputSchema(*node.children[1]));
+        for (const ExprPtr& conjunct :
+             SplitConjuncts(node.predicate.get())) {
+          auto keys = MatchEquiJoin(conjunct.get(), ls, rs);
+          if (!keys.has_value()) continue;
+          // NDV from whichever side's base tables know the column.
+          uint64_t ndv = 1;
+          for (size_t side = 0; side < 2; ++side) {
+            std::vector<std::string> tables;
+            node.children[side]->CollectTables(&tables);
+            const std::string& column =
+                side == 0 ? keys->left_column : keys->right_column;
+            for (const std::string& table : tables) {
+              INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
+                                       ctx_->Get(table));
+              if (info->stats.has_value() &&
+                  info->table->schema().IndexOf(column).ok()) {
+                ndv = std::max(ndv, info->stats->ColumnDistinct(column));
+              }
+            }
+          }
+          denominator = std::max(denominator, static_cast<double>(ndv));
+        }
+      } else if (!node.summary_join_predicate.merged_form()) {
+        // Equality of classifier label counts: ndv of the count fields.
+        std::vector<std::string> instances;
+        node.summary_join_predicate.CollectInstances(&instances);
+        // Coarse: use fallback 3.0 unless stats say otherwise; refined by
+        // per-side label ndv when available.
+        for (size_t side = 0; side < 2; ++side) {
+          std::vector<std::string> tables;
+          node.children[side]->CollectTables(&tables);
+          for (const std::string& table : tables) {
+            INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
+                                     ctx_->Get(table));
+            if (!info->stats.has_value()) continue;
+            for (const std::string& instance : instances) {
+              for (const auto& [label, stats] :
+                   info->stats->instances.count(ToLower(instance)) > 0
+                       ? info->stats->instances.at(ToLower(instance)).labels
+                       : std::map<std::string, LabelStats>{}) {
+                denominator = std::max(
+                    denominator, static_cast<double>(stats.num_distinct));
+              }
+            }
+          }
+        }
+      }
+      est.rows = left.rows * right.rows / denominator;
+      est.cost = left.cost + right.cost +
+                 left.rows * right.rows * kTupleCpu;
+      return est;
+    }
+    case LogicalKind::kSort: {
+      INSIGHT_ASSIGN_OR_RETURN(PlanEstimate child,
+                               Estimate(*node.children[0]));
+      const double n = std::max(2.0, child.rows);
+      child.cost += n * std::log2(n) * kTupleCpu;
+      if (options_.sort_mode == SortOp::Mode::kExternal) {
+        child.cost += 2.0 * n * kTupleCpu * 10;  // Spill + merge I/O.
+      }
+      return child;
+    }
+    case LogicalKind::kAggregate: {
+      INSIGHT_ASSIGN_OR_RETURN(PlanEstimate child,
+                               Estimate(*node.children[0]));
+      PlanEstimate est;
+      est.rows = std::max(1.0, child.rows / 10);
+      est.cost = child.cost + child.rows * 2 * kTupleCpu;
+      return est;
+    }
+    case LogicalKind::kLimit: {
+      INSIGHT_ASSIGN_OR_RETURN(PlanEstimate child,
+                               Estimate(*node.children[0]));
+      child.rows = std::min(child.rows, static_cast<double>(node.limit));
+      return child;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+// ---------- Lowering ----------
+
+namespace {
+
+// "column <op> literal" data conjunct, for index-scan candidacy.
+struct ColumnPredicate {
+  std::string column;
+  CompareOp op;
+  Value constant;
+};
+
+std::optional<ColumnPredicate> MatchColumnPredicate(const Expression* expr) {
+  const auto* cmp = dynamic_cast<const CompareExpr*>(expr);
+  if (cmp == nullptr || cmp->op() == CompareOp::kNe) return std::nullopt;
+  const auto* col = dynamic_cast<const ColumnExpr*>(cmp->left());
+  const auto* lit = dynamic_cast<const LiteralExpr*>(cmp->right());
+  CompareOp op = cmp->op();
+  if (col == nullptr || lit == nullptr) {
+    col = dynamic_cast<const ColumnExpr*>(cmp->right());
+    lit = dynamic_cast<const LiteralExpr*>(cmp->left());
+    switch (op) {
+      case CompareOp::kLt:
+        op = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        op = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        op = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        op = CompareOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  if (col == nullptr || lit == nullptr) return std::nullopt;
+  return ColumnPredicate{col->name(), op, lit->value()};
+}
+
+ClassifierProbe ProbeFor(const IndexablePredicate& pred) {
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return ClassifierProbe::Equal(pred.label, pred.constant);
+    case CompareOp::kLt:
+      return ClassifierProbe::LessThan(pred.label, pred.constant);
+    case CompareOp::kLe: {
+      ClassifierProbe probe;
+      probe.label = pred.label;
+      probe.upper = pred.constant;
+      return probe;
+    }
+    case CompareOp::kGt:
+      return ClassifierProbe::GreaterThan(pred.label, pred.constant);
+    case CompareOp::kGe: {
+      ClassifierProbe probe;
+      probe.label = pred.label;
+      probe.lower = pred.constant;
+      return probe;
+    }
+    default:
+      break;
+  }
+  ClassifierProbe probe;
+  probe.label = pred.label;
+  return probe;
+}
+
+}  // namespace
+
+Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
+    const LogicalNode& node) {
+  // Walk the selection chain down to the scan.
+  std::vector<ExprPtr> data_conjuncts;
+  std::vector<ExprPtr> summary_conjuncts;
+  const LogicalNode* cur = &node;
+  while (cur->kind == LogicalKind::kSelect ||
+         cur->kind == LogicalKind::kSummarySelect) {
+    for (ExprPtr& conjunct : SplitConjuncts(cur->predicate.get())) {
+      if (conjunct->IsSummaryBased()) {
+        summary_conjuncts.push_back(std::move(conjunct));
+      } else {
+        data_conjuncts.push_back(std::move(conjunct));
+      }
+    }
+    cur = cur->children[0].get();
+  }
+  INSIGHT_CHECK(cur->kind == LogicalKind::kScan);
+  INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info, ctx_->Get(cur->table));
+  const bool propagate = cur->propagate_summaries && info->mgr != nullptr;
+  const double table_rows =
+      info->stats.has_value() ? static_cast<double>(info->stats->num_rows)
+                              : static_cast<double>(info->table->num_rows());
+  const double table_pages =
+      info->stats.has_value()
+          ? std::max<double>(1.0, static_cast<double>(info->stats->heap_pages))
+          : std::max(1.0, table_rows * kTupleCpu);
+
+  struct Candidate {
+    enum class Kind {
+      kSeq,
+      kDataIndex,
+      kSummaryIndex,
+      kBaselineIndex,
+      kKeywordIndex,
+    };
+    Kind kind;
+    double cost;
+    size_t conjunct;  // Consumed conjunct position (in its list).
+    std::optional<PhysOrder> order;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      Candidate{Candidate::Kind::kSeq,
+                table_pages + table_rows * kTupleCpu +
+                    (propagate ? table_rows * kPropagationIo : 0.0),
+                0, std::nullopt});
+
+  if (options_.use_data_indexes) {
+    for (size_t i = 0; i < data_conjuncts.size(); ++i) {
+      auto pred = MatchColumnPredicate(data_conjuncts[i].get());
+      if (!pred.has_value()) continue;
+      if (info->table->GetColumnIndex(pred->column) == nullptr) continue;
+      double selectivity = 0.1;
+      if (info->stats.has_value()) {
+        selectivity = info->stats->EstimateColumnSelectivity(
+            pred->column, pred->op, pred->constant);
+      }
+      const double hits = table_rows * selectivity;
+      candidates.push_back(Candidate{
+          Candidate::Kind::kDataIndex,
+          kIndexDescent + hits * kDataIndexHitIo +
+              (propagate ? hits * kPropagationIo : 0.0),
+          i, std::nullopt});
+    }
+  }
+  for (size_t i = 0; i < summary_conjuncts.size(); ++i) {
+    auto pred = MatchIndexablePredicate(summary_conjuncts[i].get());
+    if (!pred.has_value()) continue;
+    if (!IsLeafLabel(*info, pred->instance, pred->label)) continue;
+    double selectivity = 0.05;
+    if (info->stats.has_value()) {
+      selectivity = info->stats->EstimateLabelSelectivity(
+          pred->instance, pred->label, pred->op, pred->constant);
+    }
+    const double hits = table_rows * selectivity;
+    const SummaryBTree* sbt =
+        options_.use_summary_indexes ? info->SummaryIndexFor(pred->instance)
+                                     : nullptr;
+    if (sbt != nullptr) {
+      const double hit_io =
+          sbt->pointer_mode() == SummaryBTree::PointerMode::kBackward
+              ? kBackwardHitIo
+              : kConventionalHitIo;
+      candidates.push_back(Candidate{
+          Candidate::Kind::kSummaryIndex,
+          kIndexDescent + hits * hit_io +
+              (propagate ? hits * kPropagationIo : 0.0),
+          i, PhysOrder{pred->instance, pred->label}});
+    }
+    const BaselineClassifierIndex* baseline =
+        options_.use_baseline_indexes ? info->BaselineIndexFor(pred->instance)
+                                      : nullptr;
+    if (baseline != nullptr) {
+      candidates.push_back(Candidate{
+          Candidate::Kind::kBaselineIndex,
+          kIndexDescent + hits * kBaselineHitIo +
+              (propagate ? hits * kPropagationIo : 0.0),
+          i, PhysOrder{pred->instance, pred->label}});
+    }
+  }
+
+  if (options_.use_summary_indexes) {
+    // Keyword-index candidates for bare containsSingle/containsUnion
+    // conjuncts over an inverted-indexed Snippet instance.
+    for (size_t i = 0; i < summary_conjuncts.size(); ++i) {
+      const auto* func =
+          dynamic_cast<const SummaryFuncExpr*>(summary_conjuncts[i].get());
+      if (func == nullptr ||
+          (func->kind() != SummaryFuncKind::kContainsSingle &&
+           func->kind() != SummaryFuncKind::kContainsUnion)) {
+        continue;
+      }
+      if (info->KeywordIndexFor(func->instance()) == nullptr) continue;
+      const double hits = table_rows * 0.02;  // Keyword-match heuristic.
+      candidates.push_back(Candidate{
+          Candidate::Kind::kKeywordIndex,
+          kIndexDescent * static_cast<double>(func->keywords().size()) +
+              hits * kDataIndexHitIo +
+              (propagate ? hits * kPropagationIo : 0.0),
+          i, std::nullopt});
+    }
+  }
+
+  const Candidate* best = &candidates[0];
+  for (const Candidate& candidate : candidates) {
+    if (candidate.cost < best->cost) best = &candidate;
+  }
+
+  OpPtr op;
+  std::optional<PhysOrder> order = best->order;
+  switch (best->kind) {
+    case Candidate::Kind::kSeq:
+      op = std::make_unique<SeqScanOp>(info->table, info->mgr, propagate);
+      break;
+    case Candidate::Kind::kDataIndex: {
+      auto pred = *MatchColumnPredicate(data_conjuncts[best->conjunct].get());
+      std::optional<Value> lower;
+      std::optional<Value> upper;
+      bool lower_inc = true;
+      bool upper_inc = true;
+      switch (pred.op) {
+        case CompareOp::kEq:
+          lower = pred.constant;
+          upper = pred.constant;
+          break;
+        case CompareOp::kLt:
+          upper = pred.constant;
+          upper_inc = false;
+          break;
+        case CompareOp::kLe:
+          upper = pred.constant;
+          break;
+        case CompareOp::kGt:
+          lower = pred.constant;
+          lower_inc = false;
+          break;
+        case CompareOp::kGe:
+          lower = pred.constant;
+          break;
+        default:
+          break;
+      }
+      op = std::make_unique<IndexScanOp>(info->table, pred.column, lower,
+                                         lower_inc, upper, upper_inc,
+                                         info->mgr, propagate);
+      data_conjuncts.erase(data_conjuncts.begin() +
+                           static_cast<long>(best->conjunct));
+      break;
+    }
+    case Candidate::Kind::kSummaryIndex: {
+      auto pred =
+          *MatchIndexablePredicate(summary_conjuncts[best->conjunct].get());
+      op = std::make_unique<SummaryIndexScanOp>(
+          info->SummaryIndexFor(pred.instance), ProbeFor(pred), info->mgr,
+          propagate);
+      summary_conjuncts.erase(summary_conjuncts.begin() +
+                              static_cast<long>(best->conjunct));
+      break;
+    }
+    case Candidate::Kind::kBaselineIndex: {
+      auto pred =
+          *MatchIndexablePredicate(summary_conjuncts[best->conjunct].get());
+      op = std::make_unique<BaselineIndexScanOp>(
+          info->BaselineIndexFor(pred.instance), ProbeFor(pred), info->mgr,
+          propagate, /*reconstruct_summaries=*/false);
+      summary_conjuncts.erase(summary_conjuncts.begin() +
+                              static_cast<long>(best->conjunct));
+      break;
+    }
+    case Candidate::Kind::kKeywordIndex: {
+      const auto* func = dynamic_cast<const SummaryFuncExpr*>(
+          summary_conjuncts[best->conjunct].get());
+      const bool exact = func->kind() == SummaryFuncKind::kContainsUnion;
+      op = std::make_unique<KeywordIndexScanOp>(
+          info->KeywordIndexFor(func->instance()), func->keywords(),
+          info->mgr, propagate || !exact);
+      if (exact) {
+        // containsUnion == posting-list intersection: no residual.
+        summary_conjuncts.erase(summary_conjuncts.begin() +
+                                static_cast<long>(best->conjunct));
+      }
+      // containsSingle keeps its conjunct as a residual re-check (the
+      // scan over-approximates), so it stays in summary_conjuncts.
+      break;
+    }
+  }
+
+  // Residuals: data selection first (Rule 1 lets us order freely), then
+  // the summary selection. Both preserve the interesting order (Rules
+  // 3-4).
+  if (!data_conjuncts.empty()) {
+    op = std::make_unique<SelectOp>(std::move(op),
+                                    CombineConjuncts(std::move(data_conjuncts)));
+  }
+  if (!summary_conjuncts.empty()) {
+    op = std::make_unique<SummarySelectOp>(
+        std::move(op), CombineConjuncts(std::move(summary_conjuncts)));
+  }
+  if (!cur->alias.empty()) {
+    op = std::make_unique<RenameOp>(std::move(op), cur->alias);
+  }
+  return Lowered{std::move(op), order};
+}
+
+Result<Optimizer::Lowered> Optimizer::LowerRec(const LogicalNode& node) {
+  switch (node.kind) {
+    case LogicalKind::kScan:
+    case LogicalKind::kSelect:
+    case LogicalKind::kSummarySelect: {
+      // Selection chains over a scan go through access-path selection;
+      // anything else lowers generically.
+      const LogicalNode* cur = &node;
+      while (cur->kind == LogicalKind::kSelect ||
+             cur->kind == LogicalKind::kSummarySelect) {
+        cur = cur->children[0].get();
+      }
+      if (cur->kind == LogicalKind::kScan) return LowerAccessPath(node);
+      INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
+      Lowered out;
+      out.order = child.order;  // Rules 3-4: selections preserve order.
+      if (node.kind == LogicalKind::kSelect) {
+        out.op = std::make_unique<SelectOp>(std::move(child.op),
+                                            node.predicate->Clone());
+      } else {
+        out.op = std::make_unique<SummarySelectOp>(std::move(child.op),
+                                                   node.predicate->Clone());
+      }
+      return out;
+    }
+    case LogicalKind::kSummaryFilter: {
+      INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
+      Lowered out;
+      out.order = child.order;
+      out.op = std::make_unique<SummaryFilterOp>(std::move(child.op),
+                                                 node.object_predicate);
+      return out;
+    }
+    case LogicalKind::kProject: {
+      INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
+      Lowered out;
+      // Projection may eliminate annotation effects, perturbing label
+      // counts: conservatively drop the interesting order.
+      out.op = std::make_unique<ProjectOp>(std::move(child.op), node.columns,
+                                           ctx_->MakeResolver());
+      return out;
+    }
+    case LogicalKind::kJoin: {
+      INSIGHT_ASSIGN_OR_RETURN(Schema left_schema,
+                               OutputSchema(*node.children[0]));
+      INSIGHT_ASSIGN_OR_RETURN(Schema right_schema,
+                               OutputSchema(*node.children[1]));
+      INSIGHT_ASSIGN_OR_RETURN(Lowered left, LowerRec(*node.children[0]));
+
+      // Index join candidacy: right side is a bare scan whose equi-join
+      // column is indexed.
+      std::optional<EquiJoinKeys> keys;
+      for (const ExprPtr& conjunct : SplitConjuncts(node.predicate.get())) {
+        keys = MatchEquiJoin(conjunct.get(), left_schema, right_schema);
+        if (keys.has_value()) break;
+      }
+      const LogicalNode* right_node = node.children[1].get();
+      bool index_join = false;
+      const RelationInfo* right_info = nullptr;
+      // Index joins materialize the inner table's own schema, so an
+      // aliased inner would lose its qualification: require a bare scan.
+      if (options_.use_data_indexes && keys.has_value() &&
+          right_node->kind == LogicalKind::kScan &&
+          right_node->alias.empty()) {
+        INSIGHT_ASSIGN_OR_RETURN(right_info, ctx_->Get(right_node->table));
+        index_join =
+            right_info->table->GetColumnIndex(keys->right_column) != nullptr;
+        if (index_join) {
+          // Cost guard: index join wins unless the outer is huge relative
+          // to the inner (probe per outer row vs one materialization).
+          INSIGHT_ASSIGN_OR_RETURN(PlanEstimate lest,
+                                   Estimate(*node.children[0]));
+          INSIGHT_ASSIGN_OR_RETURN(PlanEstimate rest,
+                                   Estimate(*node.children[1]));
+          const double nl_cost = lest.rows * rest.rows * kTupleCpu;
+          const double inl_cost = lest.rows * (kIndexDescent * kTupleCpu +
+                                               kDataIndexHitIo * kTupleCpu);
+          index_join = inl_cost < nl_cost;
+        }
+      }
+
+      // Order preservation (Rule 5): both join strategies iterate the
+      // outer side; the order survives when its instance is not linked on
+      // the inner side.
+      std::optional<PhysOrder> order = left.order;
+      if (order.has_value()) {
+        bool inner_any = false;
+        INSIGHT_RETURN_NOT_OK(InstancesOnlyOn({order->instance},
+                                              *node.children[1], &inner_any)
+                                  .status());
+        if (inner_any) order.reset();
+      }
+
+      Lowered out;
+      out.order = order;
+      if (index_join) {
+        // Residual conjuncts beyond the equi key become a post-select.
+        std::vector<ExprPtr> residual;
+        for (ExprPtr& conjunct : SplitConjuncts(node.predicate.get())) {
+          auto k = MatchEquiJoin(conjunct.get(), left_schema, right_schema);
+          if (k.has_value() && k->left_column == keys->left_column &&
+              k->right_column == keys->right_column) {
+            continue;
+          }
+          residual.push_back(std::move(conjunct));
+        }
+        out.op = std::make_unique<IndexNLJoinOp>(
+            std::move(left.op), right_info->table, keys->right_column,
+            Col(keys->left_column), right_info->mgr,
+            right_node->propagate_summaries);
+        if (!residual.empty()) {
+          out.op = std::make_unique<SelectOp>(
+              std::move(out.op), CombineConjuncts(std::move(residual)));
+        }
+      } else if (options_.enable_hash_join && keys.has_value()) {
+        // Hash join: build on the right, probe with the left (outer order
+        // preserved, so the Rule 5 analysis above still applies).
+        INSIGHT_ASSIGN_OR_RETURN(Lowered right, LowerRec(*node.children[1]));
+        std::vector<ExprPtr> residual;
+        for (ExprPtr& conjunct : SplitConjuncts(node.predicate.get())) {
+          auto k = MatchEquiJoin(conjunct.get(), left_schema, right_schema);
+          if (k.has_value() && k->left_column == keys->left_column &&
+              k->right_column == keys->right_column) {
+            continue;
+          }
+          residual.push_back(std::move(conjunct));
+        }
+        out.op = std::make_unique<HashJoinOp>(
+            std::move(left.op), std::move(right.op), keys->left_column,
+            keys->right_column, CombineConjuncts(std::move(residual)));
+      } else {
+        INSIGHT_ASSIGN_OR_RETURN(Lowered right, LowerRec(*node.children[1]));
+        out.op = std::make_unique<NestedLoopJoinOp>(std::move(left.op),
+                                                    std::move(right.op),
+                                                    node.predicate->Clone());
+      }
+      return out;
+    }
+    case LogicalKind::kSummaryJoin: {
+      INSIGHT_ASSIGN_OR_RETURN(Lowered left, LowerRec(*node.children[0]));
+      const LogicalNode* right_node = node.children[1].get();
+      const SummaryJoinPredicate& pred = node.summary_join_predicate;
+
+      // Index strategy: equality of the same instance.label on both
+      // sides, right side a bare scan with a Summary-BTree.
+      bool index_join = false;
+      const RelationInfo* right_info = nullptr;
+      const SummaryBTree* right_index = nullptr;
+      std::string instance;
+      std::string label;
+      if (options_.use_summary_indexes && !pred.merged_form() &&
+          pred.op == CompareOp::kEq &&
+          right_node->kind == LogicalKind::kScan &&
+          right_node->alias.empty()) {
+        const auto* lf =
+            dynamic_cast<const SummaryFuncExpr*>(pred.left_expr.get());
+        const auto* rf =
+            dynamic_cast<const SummaryFuncExpr*>(pred.right_expr.get());
+        if (lf != nullptr && rf != nullptr &&
+            lf->kind() == SummaryFuncKind::kLabelValue &&
+            rf->kind() == SummaryFuncKind::kLabelValue &&
+            EqualsIgnoreCase(lf->label(), rf->label())) {
+          INSIGHT_ASSIGN_OR_RETURN(right_info, ctx_->Get(right_node->table));
+          right_index = right_info->SummaryIndexFor(rf->instance());
+          if (right_index != nullptr) {
+            index_join = true;
+            instance = lf->instance();
+            label = lf->label();
+          }
+        }
+      }
+
+      std::optional<PhysOrder> order = left.order;  // Rule 6.
+      if (order.has_value()) {
+        bool inner_any = false;
+        INSIGHT_RETURN_NOT_OK(InstancesOnlyOn({order->instance},
+                                              *node.children[1], &inner_any)
+                                  .status());
+        if (inner_any) order.reset();
+      }
+
+      Lowered out;
+      out.order = order;
+      if (index_join) {
+        out.op = std::make_unique<SummaryJoinOp>(
+            std::move(left.op), right_info->table, right_info->mgr,
+            right_index, instance, label,
+            right_node->propagate_summaries);
+      } else {
+        INSIGHT_ASSIGN_OR_RETURN(Lowered right, LowerRec(*node.children[1]));
+        out.op = std::make_unique<SummaryJoinOp>(
+            std::move(left.op), std::move(right.op), pred.Clone());
+      }
+      return out;
+    }
+    case LogicalKind::kSort: {
+      // Rules 3-6, scan form: a single ascending summary sort over a bare
+      // scan can read the Summary-BTree in full label order instead of
+      // sorting — legal only when the statistics prove every tuple
+      // carries the instance's object (an index scan yields only indexed
+      // tuples, so missing objects would silently drop rows).
+      if (node.sort_keys.size() == 1 && !node.sort_keys[0].descending &&
+          options_.use_summary_indexes &&
+          node.children[0]->kind == LogicalKind::kScan &&
+          node.children[0]->alias.empty()) {
+        const auto* func = dynamic_cast<const SummaryFuncExpr*>(
+            node.sort_keys[0].expr.get());
+        if (func != nullptr &&
+            func->kind() == SummaryFuncKind::kLabelValue) {
+          INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
+                                   ctx_->Get(node.children[0]->table));
+          const SummaryBTree* index =
+              info->SummaryIndexFor(func->instance());
+          const bool complete =
+              info->stats.has_value() &&
+              info->stats->annotated_rows == info->stats->num_rows &&
+              info->stats->num_rows > 0;
+          if (index != nullptr && complete) {
+            ClassifierProbe probe;
+            probe.label = func->label();
+            Lowered out;
+            out.op = std::make_unique<SummaryIndexScanOp>(
+                index, probe, info->mgr,
+                node.children[0]->propagate_summaries);
+            out.order = PhysOrder{func->instance(), func->label()};
+            return out;
+          }
+        }
+      }
+      INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
+      // Rules 3-6 payoff: an ascending single-key summary sort over an
+      // input already ordered by that label is a no-op.
+      if (node.sort_keys.size() == 1 && !node.sort_keys[0].descending &&
+          child.order.has_value()) {
+        const auto* func = dynamic_cast<const SummaryFuncExpr*>(
+            node.sort_keys[0].expr.get());
+        if (func != nullptr &&
+            func->kind() == SummaryFuncKind::kLabelValue &&
+            EqualsIgnoreCase(func->instance(), child.order->instance) &&
+            EqualsIgnoreCase(func->label(), child.order->label)) {
+          return child;  // Sort eliminated.
+        }
+      }
+      std::vector<SortKey> keys;
+      for (const SortKey& key : node.sort_keys) {
+        keys.push_back(SortKey{key.expr->Clone(), key.descending});
+      }
+      Lowered out;
+      out.op = std::make_unique<SortOp>(
+          std::move(child.op), std::move(keys), options_.sort_mode,
+          ctx_->storage(), ctx_->pool(), options_.sort_memory_budget);
+      return out;
+    }
+    case LogicalKind::kAggregate: {
+      INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
+      std::vector<AggregateSpec> aggs;
+      for (const AggregateSpec& agg : node.aggregates) {
+        aggs.push_back(AggregateSpec{
+            agg.kind, agg.arg == nullptr ? nullptr : agg.arg->Clone(),
+            agg.output_name});
+      }
+      Lowered out;
+      out.op = std::make_unique<HashAggregateOp>(
+          std::move(child.op), node.group_columns, std::move(aggs),
+          ctx_->MakeResolver());
+      return out;
+    }
+    case LogicalKind::kDistinct: {
+      INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
+      Lowered out;
+      out.op = std::make_unique<DistinctOp>(std::move(child.op));
+      return out;
+    }
+    case LogicalKind::kLimit: {
+      INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
+      Lowered out;
+      out.order = child.order;
+      out.op = std::make_unique<LimitOp>(std::move(child.op), node.limit);
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<OpPtr> Optimizer::Lower(const LogicalNode& plan) {
+  INSIGHT_ASSIGN_OR_RETURN(Lowered lowered, LowerRec(plan));
+  return std::move(lowered.op);
+}
+
+Result<OpPtr> Optimizer::Optimize(LogicalPtr plan) {
+  INSIGHT_ASSIGN_OR_RETURN(plan, Rewrite(std::move(plan)));
+  return Lower(*plan);
+}
+
+}  // namespace insight

@@ -1,0 +1,115 @@
+#ifndef INSIGHTNOTES_OPTIMIZER_OPTIMIZER_H_
+#define INSIGHTNOTES_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "optimizer/logical_plan.h"
+#include "optimizer/query_context.h"
+
+namespace insight {
+
+/// Optimizer knobs. The benches toggle these to reproduce the paper's
+/// "Optimization-Disabled" vs "Optimization-Enabled" arms (Figs. 14, 15)
+/// and the index on/off comparisons (Figs. 10-13).
+struct OptimizerOptions {
+  /// Apply the Section 5.1 transformation rules before lowering.
+  bool enable_rewrite_rules = true;
+  /// Consider Summary-BTree access paths (Rules 3-6 sort elimination
+  /// included).
+  bool use_summary_indexes = true;
+  /// Consider baseline-scheme access paths when no Summary-BTree exists.
+  bool use_baseline_indexes = true;
+  /// Consider data-column B-Tree access paths and index joins.
+  bool use_data_indexes = true;
+  /// Consider hash joins for data equi-joins (an implementation choice
+  /// beyond the paper's nested-loop/index pair; disable to reproduce the
+  /// paper's engine exactly).
+  bool enable_hash_join = true;
+  /// Sort implementation for Sort/O operators.
+  SortOp::Mode sort_mode = SortOp::Mode::kMemory;
+  size_t sort_memory_budget = 4 << 20;
+};
+
+/// Per-operator cardinality and cost estimate. Costs are abstract units:
+/// 1.0 per page I/O + 0.01 per tuple of CPU, the classical textbook
+/// weighting.
+struct PlanEstimate {
+  double rows = 0;
+  double cost = 0;
+};
+
+/// The extended query optimizer (Section 5): rewrites logical plans with
+/// Rules 1-11, estimates cardinalities from the Fig. 6 statistics, and
+/// lowers to physical operators choosing access paths, join algorithms,
+/// and sort eliminations.
+class Optimizer {
+ public:
+  Optimizer(QueryContext* ctx, OptimizerOptions options)
+      : ctx_(ctx), options_(options) {}
+
+  /// Full pipeline: rewrite (if enabled) then lower.
+  Result<OpPtr> Optimize(LogicalPtr plan);
+
+  /// Rule application only (exposed for tests / EXPLAIN).
+  Result<LogicalPtr> Rewrite(LogicalPtr plan);
+
+  /// Physical lowering only.
+  Result<OpPtr> Lower(const LogicalNode& plan);
+
+  /// Cardinality/cost estimation for a logical subtree.
+  Result<PlanEstimate> Estimate(const LogicalNode& node);
+
+  /// Output schema of a logical subtree (binder-style resolution).
+  Result<Schema> OutputSchema(const LogicalNode& node);
+
+ private:
+  /// Interesting order carried by a physical subplan (Rules 3-6): rows
+  /// arrive ordered by `instance.label` ascending.
+  struct PhysOrder {
+    std::string instance;
+    std::string label;
+  };
+  struct Lowered {
+    OpPtr op;
+    std::optional<PhysOrder> order;
+  };
+
+  // Rewrite helpers (one pass; PushDowns runs to fixpoint).
+  Result<bool> PushDownOnce(LogicalNode* node);
+  Result<bool> InstancesOnlyOn(const std::vector<std::string>& instances,
+                               const LogicalNode& subtree, bool* any_linked);
+  Result<bool> ColumnsResolve(const std::vector<std::string>& columns,
+                              const LogicalNode& subtree);
+
+  Result<Lowered> LowerRec(const LogicalNode& node);
+
+  /// Leaf access-path selection over a chain of selections ending at a
+  /// scan: picks SeqScan / IndexScan / SummaryIndexScan / BaselineIndexScan
+  /// by estimated cost and wraps residual predicates.
+  Result<Lowered> LowerAccessPath(const LogicalNode& node);
+
+  QueryContext* ctx_;
+  OptimizerOptions options_;
+};
+
+/// Splits a conjunctive predicate into its AND-ed conjuncts (each cloned).
+std::vector<ExprPtr> SplitConjuncts(const Expression* expr);
+/// Re-joins conjuncts with AND (nullptr for an empty list).
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+/// Detects an equi-join conjunct "left_col = right_col" where left_col
+/// resolves in `left` and right_col in `right` schemas.
+struct EquiJoinKeys {
+  std::string left_column;
+  std::string right_column;
+};
+std::optional<EquiJoinKeys> MatchEquiJoin(const Expression* expr,
+                                          const Schema& left,
+                                          const Schema& right);
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,125 @@
+#include "optimizer/query_context.h"
+
+#include "common/string_util.h"
+
+namespace insight {
+
+const SummaryBTree* RelationInfo::SummaryIndexFor(
+    const std::string& instance) const {
+  auto it = summary_indexes.find(ToLower(instance));
+  return it == summary_indexes.end() ? nullptr : it->second;
+}
+
+const BaselineClassifierIndex* RelationInfo::BaselineIndexFor(
+    const std::string& instance) const {
+  auto it = baseline_indexes.find(ToLower(instance));
+  return it == baseline_indexes.end() ? nullptr : it->second;
+}
+
+const SnippetKeywordIndex* RelationInfo::KeywordIndexFor(
+    const std::string& instance) const {
+  auto it = keyword_indexes.find(ToLower(instance));
+  return it == keyword_indexes.end() ? nullptr : it->second;
+}
+
+bool RelationInfo::HasInstance(const std::string& instance) const {
+  return mgr != nullptr && mgr->FindInstance(instance).ok();
+}
+
+Status QueryContext::RegisterRelation(Table* table, SummaryManager* mgr) {
+  const std::string key = ToLower(table->name());
+  if (relations_.count(key) > 0) {
+    return Status::AlreadyExists("relation " + table->name() +
+                                 " already registered");
+  }
+  RelationInfo info;
+  info.table = table;
+  info.mgr = mgr;
+  relations_[key] = std::move(info);
+  return Status::OK();
+}
+
+Status QueryContext::RegisterSummaryIndex(const std::string& table,
+                                          const std::string& instance,
+                                          const SummaryBTree* index) {
+  INSIGHT_ASSIGN_OR_RETURN(RelationInfo * info, GetMutable(table));
+  info->summary_indexes[ToLower(instance)] = index;
+  return Status::OK();
+}
+
+Status QueryContext::RegisterBaselineIndex(
+    const std::string& table, const std::string& instance,
+    const BaselineClassifierIndex* index) {
+  INSIGHT_ASSIGN_OR_RETURN(RelationInfo * info, GetMutable(table));
+  info->baseline_indexes[ToLower(instance)] = index;
+  return Status::OK();
+}
+
+Status QueryContext::RegisterKeywordIndex(const std::string& table,
+                                          const std::string& instance,
+                                          const SnippetKeywordIndex* index) {
+  INSIGHT_ASSIGN_OR_RETURN(RelationInfo * info, GetMutable(table));
+  info->keyword_indexes[ToLower(instance)] = index;
+  return Status::OK();
+}
+
+Status QueryContext::UnregisterInstanceIndexes(const std::string& table,
+                                               const std::string& instance) {
+  INSIGHT_ASSIGN_OR_RETURN(RelationInfo * info, GetMutable(table));
+  const std::string key = ToLower(instance);
+  info->summary_indexes.erase(key);
+  info->baseline_indexes.erase(key);
+  info->keyword_indexes.erase(key);
+  return Status::OK();
+}
+
+Status QueryContext::Analyze(const std::string& table) {
+  INSIGHT_ASSIGN_OR_RETURN(RelationInfo * info, GetMutable(table));
+  INSIGHT_ASSIGN_OR_RETURN(TableStats stats,
+                           AnalyzeTable(info->table, info->mgr));
+  info->stats = std::move(stats);
+  if (info->mgr != nullptr && info->live_stats == nullptr) {
+    info->live_stats = std::make_shared<LiveLabelStatistics>(info->mgr);
+    INSIGHT_RETURN_NOT_OK(info->live_stats->SeedFrom(info->mgr));
+  }
+  return Status::OK();
+}
+
+Status QueryContext::RefreshStats(const std::string& table) {
+  INSIGHT_ASSIGN_OR_RETURN(RelationInfo * info, GetMutable(table));
+  if (info->stats.has_value() && info->live_stats != nullptr) {
+    info->live_stats->FoldInto(&*info->stats);
+  }
+  return Status::OK();
+}
+
+Result<const RelationInfo*> QueryContext::Get(
+    const std::string& table) const {
+  auto it = relations_.find(ToLower(table));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + table + " not registered");
+  }
+  return &it->second;
+}
+
+AnnotationResolver QueryContext::MakeResolver() const {
+  const std::map<std::string, RelationInfo>* relations = &relations_;
+  return [relations](AnnId id) -> Result<std::string> {
+    for (const auto& [name, info] : *relations) {
+      if (info.mgr == nullptr) continue;
+      auto text = info.mgr->annotations()->GetText(id);
+      if (text.ok()) return text;
+    }
+    return Status::NotFound("annotation " + std::to_string(id));
+  };
+}
+
+Result<RelationInfo*> QueryContext::GetMutable(const std::string& table) {
+  auto it = relations_.find(ToLower(table));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + table + " not registered");
+  }
+  return &it->second;
+}
+
+}  // namespace insight

@@ -1,0 +1,94 @@
+#ifndef INSIGHTNOTES_OPTIMIZER_QUERY_CONTEXT_H_
+#define INSIGHTNOTES_OPTIMIZER_QUERY_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "optimizer/statistics.h"
+#include "sindex/baseline_index.h"
+#include "sindex/keyword_index.h"
+#include "sindex/summary_btree.h"
+
+namespace insight {
+
+/// Everything the optimizer knows about one relation: its table, summary
+/// manager, registered summary indexes, and collected statistics.
+struct RelationInfo {
+  Table* table = nullptr;
+  SummaryManager* mgr = nullptr;  // Null when the relation is plain.
+  std::map<std::string, const SummaryBTree*> summary_indexes;  // By instance.
+  std::map<std::string, const BaselineClassifierIndex*> baseline_indexes;
+  std::map<std::string, const SnippetKeywordIndex*> keyword_indexes;
+  std::optional<TableStats> stats;
+  /// Maintained-on-update label statistics (Section 5.2); created on the
+  /// first Analyze() of an annotated relation.
+  std::shared_ptr<LiveLabelStatistics> live_stats;
+
+  const SummaryBTree* SummaryIndexFor(const std::string& instance) const;
+  const BaselineClassifierIndex* BaselineIndexFor(
+      const std::string& instance) const;
+  const SnippetKeywordIndex* KeywordIndexFor(
+      const std::string& instance) const;
+  /// True when `instance` is linked to this relation — the predicate of
+  /// Rules 2, 5-7, 10, 11 ("L is not defined on S").
+  bool HasInstance(const std::string& instance) const;
+};
+
+/// Planner-facing registry of relations and shared storage handles.
+class QueryContext {
+ public:
+  QueryContext(Catalog* catalog, StorageManager* storage, BufferPool* pool)
+      : catalog_(catalog), storage_(storage), pool_(pool) {}
+
+  /// Registers a relation (summary manager optional).
+  Status RegisterRelation(Table* table, SummaryManager* mgr);
+
+  /// Registers a Summary-BTree over (relation, instance).
+  Status RegisterSummaryIndex(const std::string& table,
+                              const std::string& instance,
+                              const SummaryBTree* index);
+  Status RegisterBaselineIndex(const std::string& table,
+                               const std::string& instance,
+                               const BaselineClassifierIndex* index);
+  Status RegisterKeywordIndex(const std::string& table,
+                              const std::string& instance,
+                              const SnippetKeywordIndex* index);
+
+  /// Drops every index registration for (table, instance) — called when
+  /// the instance is unlinked so the planner never sees stale pointers.
+  Status UnregisterInstanceIndexes(const std::string& table,
+                                   const std::string& instance);
+
+  /// Collects statistics for one relation (ANALYZE). The first Analyze of
+  /// an annotated relation also attaches LiveLabelStatistics, after which
+  /// the summary-side statistics stay fresh on every annotation update.
+  Status Analyze(const std::string& table);
+
+  /// Folds the live summary statistics into the cached TableStats (no
+  /// scan). No-op for relations without stats or live maintenance.
+  Status RefreshStats(const std::string& table);
+
+  Result<const RelationInfo*> Get(const std::string& table) const;
+  Result<RelationInfo*> GetMutable(const std::string& table);
+
+  /// Resolver that looks a raw annotation up across every registered
+  /// relation's store (annotation ids are globally unique).
+  AnnotationResolver MakeResolver() const;
+
+  Catalog* catalog() const { return catalog_; }
+  StorageManager* storage() const { return storage_; }
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  Catalog* catalog_;
+  StorageManager* storage_;
+  BufferPool* pool_;
+  std::map<std::string, RelationInfo> relations_;  // Lower-cased keys.
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_OPTIMIZER_QUERY_CONTEXT_H_

@@ -1,0 +1,298 @@
+#include "sindex/summary_btree.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace insight {
+
+namespace {
+
+// Distinguishes successive indexes over the same instance (drop +
+// re-add, or parallel pointer-mode variants in benches).
+std::atomic<uint64_t> g_sbt_counter{1};
+
+int DigitsOf(int64_t v) {
+  int digits = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++digits;
+  }
+  return digits;
+}
+
+// Parses the count back out of an itemized key ("Disease:008" -> 8).
+int64_t CountOfKey(const std::string& key) {
+  const size_t pos = key.rfind(':');
+  if (pos == std::string::npos) return 0;
+  return std::strtoll(key.c_str() + pos + 1, nullptr, 10);
+}
+
+}  // namespace
+
+std::string SummaryBTree::ItemizeKey(std::string_view label, int64_t count,
+                                     int width) {
+  std::string key(label);
+  key += ':';
+  key += ZeroPad(count, width);
+  return key;
+}
+
+Result<std::unique_ptr<SummaryBTree>> SummaryBTree::Create(
+    StorageManager* storage, BufferPool* pool, SummaryManager* mgr,
+    const std::string& instance_name, Options options) {
+  INSIGHT_ASSIGN_OR_RETURN(const SummaryInstance* inst,
+                           mgr->FindInstance(instance_name));
+  if (inst->type() != SummaryType::kClassifier) {
+    return Status::InvalidArgument(
+        "Summary-BTree indexes Classifier-type instances; " + instance_name +
+        " is a " + SummaryTypeToString(inst->type()) + " instance");
+  }
+  for (const std::string& label : inst->labels()) {
+    if (label.find(':') != std::string::npos) {
+      return Status::InvalidArgument("class label '" + label +
+                                     "' contains the itemization separator");
+    }
+  }
+  auto index = std::unique_ptr<SummaryBTree>(
+      new SummaryBTree(storage, pool, mgr, options));
+  index->instance_id_ = inst->id();
+  index->instance_name_ = inst->name();
+  const char* mode_tag =
+      options.pointer_mode == PointerMode::kBackward ? "bwd" : "conv";
+  INSIGHT_ASSIGN_OR_RETURN(
+      index->file_,
+      storage->CreateFile(mgr->base()->name() + ".sbt." +
+                          ToLower(instance_name) + "." + mode_tag + "." +
+                          std::to_string(g_sbt_counter.fetch_add(1)) +
+                          ".idx"));
+  INSIGHT_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool, index->file_));
+  index->tree_ = std::make_unique<BTree>(std::move(tree));
+
+  if (options.bulk_build) {
+    SummaryBTree* raw = index.get();
+    // Pass 1: size the ExtendedAnnotationCnt field so the build never
+    // triggers a mid-bulk rebuild.
+    int64_t max_count = 0;
+    INSIGHT_RETURN_NOT_OK(mgr->ForEachSummaryRow(
+        [raw, &max_count](Oid, const SummarySet& set) -> Status {
+          for (const SummaryObject& obj : set.objects()) {
+            if (obj.instance_id != raw->instance_id_) continue;
+            for (const Representative& rep : obj.reps) {
+              max_count = std::max(max_count, rep.count);
+            }
+          }
+          return Status::OK();
+        }));
+    raw->width_ = std::max(raw->width_, DigitsOf(max_count));
+    // Pass 2: itemize and insert; the backward pointer is computed once
+    // per tuple, not once per label key.
+    INSIGHT_RETURN_NOT_OK(mgr->ForEachSummaryRow(
+        [raw](Oid oid, const SummarySet& set) -> Status {
+          for (const SummaryObject& obj : set.objects()) {
+            if (obj.instance_id != raw->instance_id_) continue;
+            INSIGHT_ASSIGN_OR_RETURN(uint64_t payload,
+                                     raw->MakePayload(oid));
+            for (const Representative& rep : obj.reps) {
+              ++raw->stats_.key_inserts;
+              INSIGHT_RETURN_NOT_OK(raw->tree_->Insert(
+                  ItemizeKey(rep.text, rep.count, raw->width_), payload));
+            }
+          }
+          return Status::OK();
+        }));
+  }
+  if (options.subscribe) {
+    SummaryBTree* raw = index.get();
+    index->listener_id_ =
+        mgr->AddListener(inst->id(),
+                         [raw](Oid oid, const SummaryObject* before,
+                               const SummaryObject* after) {
+                           return raw->OnObjectChanged(oid, before, after);
+                         });
+  }
+  return index;
+}
+
+SummaryBTree::~SummaryBTree() {
+  if (listener_id_.has_value()) mgr_->RemoveListener(*listener_id_);
+}
+
+Result<uint64_t> SummaryBTree::MakePayload(Oid oid) const {
+  if (options_.pointer_mode == PointerMode::kBackward) {
+    // diskTupleLoc(): B-Tree probe on R's OID index, O(log_B M).
+    INSIGHT_ASSIGN_OR_RETURN(RowLocation loc,
+                             mgr_->base()->DiskTupleLoc(oid));
+    return loc.Pack();
+  }
+  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, mgr_->StorageRowFor(oid));
+  if (storage_row == kInvalidOid) {
+    return Status::Internal("no summary-storage row for tuple " +
+                            std::to_string(oid));
+  }
+  return static_cast<uint64_t>(storage_row);
+}
+
+Status SummaryBTree::InsertKey(std::string_view label, int64_t count,
+                               Oid oid) {
+  INSIGHT_ASSIGN_OR_RETURN(uint64_t payload, MakePayload(oid));
+  ++stats_.key_inserts;
+  return tree_->Insert(ItemizeKey(label, count, width_), payload);
+}
+
+Status SummaryBTree::DeleteKey(std::string_view label, int64_t count,
+                               Oid oid) {
+  INSIGHT_ASSIGN_OR_RETURN(uint64_t payload, MakePayload(oid));
+  ++stats_.key_deletes;
+  return tree_->Delete(ItemizeKey(label, count, width_), payload);
+}
+
+Status SummaryBTree::OnObjectChanged(Oid oid, const SummaryObject* before,
+                                     const SummaryObject* after) {
+  if (before == nullptr && after == nullptr) return Status::OK();
+  // Width check first: a count outgrowing the ExtendedAnnotationCnt field
+  // rebuilds the whole index from (already persisted) summary storage, so
+  // per-key maintenance for this event must not run on top of it.
+  if (after != nullptr) {
+    int64_t max_count = 0;
+    for (const Representative& rep : after->reps) {
+      max_count = std::max(max_count, rep.count);
+    }
+    if (DigitsOf(max_count) > width_) {
+      return WidenAndRebuild(max_count);
+    }
+  }
+  if (before == nullptr) {
+    // Adding Annotation - Insertion: all k class labels enter the index.
+    for (size_t i = 0; i < after->reps.size(); ++i) {
+      INSIGHT_RETURN_NOT_OK(
+          InsertKey(after->reps[i].text, after->reps[i].count, oid));
+    }
+    return Status::OK();
+  }
+  if (after == nullptr) {
+    // Tuple (or instance) removal: all label keys leave.
+    for (size_t i = 0; i < before->reps.size(); ++i) {
+      INSIGHT_RETURN_NOT_OK(
+          DeleteKey(before->reps[i].text, before->reps[i].count, oid));
+    }
+    return Status::OK();
+  }
+  // Adding Annotation - Update: delete + re-insert only the modified
+  // labels (Section 4.1.2).
+  if (before->reps.size() != after->reps.size()) {
+    return Status::Internal("classifier label set changed under the index");
+  }
+  for (size_t i = 0; i < after->reps.size(); ++i) {
+    if (before->reps[i].count == after->reps[i].count) continue;
+    INSIGHT_RETURN_NOT_OK(
+        DeleteKey(before->reps[i].text, before->reps[i].count, oid));
+    INSIGHT_RETURN_NOT_OK(
+        InsertKey(after->reps[i].text, after->reps[i].count, oid));
+  }
+  return Status::OK();
+}
+
+Status SummaryBTree::WidenAndRebuild(int64_t new_max_count) {
+  ++stats_.rebuilds;
+  width_ = DigitsOf(new_max_count);
+  ++rebuild_generation_;
+  const char* mode_tag =
+      options_.pointer_mode == PointerMode::kBackward ? "bwd" : "conv";
+  INSIGHT_ASSIGN_OR_RETURN(
+      FileId file,
+      storage_->CreateFile(mgr_->base()->name() + ".sbt." +
+                           ToLower(instance_name_) + "." + mode_tag + ".v" +
+                           std::to_string(rebuild_generation_) + ".idx"));
+  INSIGHT_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_, file));
+  file_ = file;
+  tree_ = std::make_unique<BTree>(std::move(tree));
+  // Re-itemize every object of this instance at the new width.
+  return mgr_->ForEachSummaryRow(
+      [this](Oid oid, const SummarySet& set) -> Status {
+        for (const SummaryObject& obj : set.objects()) {
+          if (obj.instance_id != instance_id_) continue;
+          INSIGHT_ASSIGN_OR_RETURN(uint64_t payload, MakePayload(oid));
+          for (const Representative& rep : obj.reps) {
+            INSIGHT_RETURN_NOT_OK(tree_->Insert(
+                ItemizeKey(rep.text, rep.count, width_), payload));
+          }
+        }
+        return Status::OK();
+      });
+}
+
+Result<std::vector<SummaryIndexHit>> SummaryBTree::Search(
+    const ClassifierProbe& probe) const {
+  const int64_t max_count = [&] {
+    int64_t m = 9;
+    for (int i = 1; i < width_; ++i) m = m * 10 + 9;
+    return m;
+  }();
+  const int64_t lo = probe.lower.value_or(0);
+  const int64_t hi = probe.upper.value_or(max_count);
+  const std::string lower_key = ItemizeKey(probe.label, lo, width_);
+  const std::string upper_key = ItemizeKey(probe.label, hi, width_);
+  INSIGHT_ASSIGN_OR_RETURN(
+      BTree::Iterator it,
+      tree_->RangeScan(lower_key, probe.lower_inclusive, upper_key,
+                       probe.upper_inclusive));
+  std::vector<SummaryIndexHit> hits;
+  for (; it.Valid(); it.Next()) {
+    hits.push_back(SummaryIndexHit{CountOfKey(it.key()), it.value(),
+                                   kInvalidOid});
+  }
+  INSIGHT_RETURN_NOT_OK(it.status());
+  return hits;
+}
+
+Result<std::vector<SummaryIndexHit>> SummaryBTree::ScanLabel(
+    const std::string& label) const {
+  ClassifierProbe probe;
+  probe.label = label;
+  return Search(probe);
+}
+
+Result<Tuple> SummaryBTree::FetchDataTuple(const SummaryIndexHit& hit,
+                                           Oid* oid_out) const {
+  if (options_.pointer_mode == PointerMode::kBackward) {
+    // One direct heap read; no SummaryStorage involvement.
+    return mgr_->base()->GetAt(RowLocation::Unpack(hit.payload), oid_out);
+  }
+  // Conventional: indexed-object row -> tuple OID -> OID-index probe ->
+  // heap read (the extra level of indirection of Fig. 4(c)).
+  INSIGHT_ASSIGN_OR_RETURN(Tuple storage_row,
+                           mgr_->storage_table()->Get(hit.payload));
+  const Oid oid = static_cast<Oid>(storage_row.at(0).AsInt());
+  if (oid_out != nullptr) *oid_out = oid;
+  return mgr_->base()->Get(oid);
+}
+
+Result<Tuple> SummaryBTree::FetchDataTupleWithSummaries(
+    const SummaryIndexHit& hit, SummarySet* summaries, Oid* oid_out) const {
+  if (options_.pointer_mode == PointerMode::kBackward) {
+    Oid oid = kInvalidOid;
+    INSIGHT_ASSIGN_OR_RETURN(
+        Tuple tuple, mgr_->base()->GetAt(RowLocation::Unpack(hit.payload),
+                                         &oid));
+    if (oid_out != nullptr) *oid_out = oid;
+    INSIGHT_ASSIGN_OR_RETURN(*summaries, mgr_->GetSummaries(oid));
+    return tuple;
+  }
+  INSIGHT_ASSIGN_OR_RETURN(Tuple storage_row,
+                           mgr_->storage_table()->Get(hit.payload));
+  const Oid oid = static_cast<Oid>(storage_row.at(0).AsInt());
+  if (oid_out != nullptr) *oid_out = oid;
+  INSIGHT_ASSIGN_OR_RETURN(
+      *summaries, SummarySet::Deserialize(storage_row.at(1).AsString()));
+  return mgr_->base()->Get(oid);
+}
+
+uint64_t SummaryBTree::size_bytes() const {
+  PageStore* store = storage_->GetStore(file_);
+  return store != nullptr ? store->size_bytes() : 0;
+}
+
+}  // namespace insight

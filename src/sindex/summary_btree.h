@@ -1,0 +1,167 @@
+#ifndef INSIGHTNOTES_SINDEX_SUMMARY_BTREE_H_
+#define INSIGHTNOTES_SINDEX_SUMMARY_BTREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/btree.h"
+#include "summary/summary_manager.h"
+
+namespace insight {
+
+/// Probe for "classLabel <Op> constant" predicates over a Classifier-type
+/// summary instance. Missing bounds are replaced by the label's 000/999
+/// sentinels, exactly as Section 4.1.2 describes.
+struct ClassifierProbe {
+  std::string label;
+  std::optional<int64_t> lower;
+  bool lower_inclusive = true;
+  std::optional<int64_t> upper;
+  bool upper_inclusive = true;
+
+  static ClassifierProbe Equal(std::string label, int64_t value) {
+    return ClassifierProbe{std::move(label), value, true, value, true};
+  }
+  static ClassifierProbe GreaterThan(std::string label, int64_t value) {
+    return ClassifierProbe{std::move(label), value, false, std::nullopt,
+                           true};
+  }
+  static ClassifierProbe LessThan(std::string label, int64_t value) {
+    return ClassifierProbe{std::move(label), std::nullopt, true, value,
+                           false};
+  }
+  static ClassifierProbe Range(std::string label, int64_t lo, int64_t hi) {
+    return ClassifierProbe{std::move(label), lo, true, hi, true};
+  }
+};
+
+/// One index hit, in (label, count) order — the "interesting order" the
+/// optimizer's Rules 3-6 exploit to drop summary-based sort operators.
+struct SummaryIndexHit {
+  int64_t count = 0;    // The class-label count of the matching object.
+  uint64_t payload = 0; // Packed pointer; interpretation depends on mode.
+  Oid oid = kInvalidOid;
+};
+
+/// The paper's Summary-BTree (Section 4.1): a B-Tree over the itemized
+/// `classLabel:NNN` keys of one Classifier instance's objects, built
+/// directly on the de-normalized summary storage (no replication), whose
+/// leaf payloads are *backward pointers* — heap locations of the annotated
+/// data tuples in the user relation R, not of the indexed objects.
+///
+/// The conventional-pointer variant (Fig. 13's comparison arm) stores the
+/// summary-storage row instead and joins back to R at query time.
+///
+/// Maintenance is event-driven: creation subscribes to the instance's
+/// SummaryManager events and applies the per-label delete+re-insert
+/// protocol of Section 4.1.2.
+class SummaryBTree {
+ public:
+  enum class PointerMode {
+    kBackward,      // Leaf payload = RowLocation in R's heap (+ OID).
+    kConventional,  // Leaf payload = summary-storage row OID.
+  };
+
+  struct Options {
+    PointerMode pointer_mode = PointerMode::kBackward;
+    /// Initial ExtendedAnnotationCnt width (paper: 3 -> "008").
+    int count_width = 3;
+    /// Build from existing summary rows at creation time (bulk mode).
+    bool bulk_build = true;
+    /// Subscribe to maintenance events (incremental mode).
+    bool subscribe = true;
+  };
+
+  /// Creates the index over `instance_name` (must be a linked
+  /// Classifier-type instance of `mgr`'s relation).
+  static Result<std::unique_ptr<SummaryBTree>> Create(
+      StorageManager* storage, BufferPool* pool, SummaryManager* mgr,
+      const std::string& instance_name, Options options);
+
+  /// Deregisters the maintenance subscription.
+  ~SummaryBTree();
+
+  /// Itemization (Fig. 4(d) step 1): "classLabel:ExtendedCnt".
+  static std::string ItemizeKey(std::string_view label, int64_t count,
+                                int width);
+
+  /// Evaluates a probe; hits arrive in ascending count order.
+  Result<std::vector<SummaryIndexHit>> Search(
+      const ClassifierProbe& probe) const;
+
+  /// All entries of one label in ascending count order (summary-based
+  /// sort via index scan).
+  Result<std::vector<SummaryIndexHit>> ScanLabel(
+      const std::string& label) const;
+
+  /// Resolves a hit to the data tuple. Backward mode: one heap read.
+  /// Conventional mode: storage-row fetch + OID-index probe + heap read
+  /// (the extra joins the backward pointers save).
+  Result<Tuple> FetchDataTuple(const SummaryIndexHit& hit,
+                               Oid* oid_out = nullptr) const;
+
+  /// Resolves a hit to the data tuple AND its summary set. Conventional
+  /// pointers land on the storage row anyway and reuse it for
+  /// propagation; backward pointers read it separately — which is why
+  /// the two modes cost about the same when propagating (Fig. 13).
+  Result<Tuple> FetchDataTupleWithSummaries(const SummaryIndexHit& hit,
+                                            SummarySet* summaries,
+                                            Oid* oid_out = nullptr) const;
+
+  uint64_t num_entries() const { return tree_->num_entries(); }
+  uint32_t height() const { return tree_->height(); }
+  int count_width() const { return width_; }
+  PointerMode pointer_mode() const { return options_.pointer_mode; }
+
+  /// Bytes of index storage (the tree's page file).
+  uint64_t size_bytes() const;
+
+  /// Maintenance statistics (exercised by the theory-bounds bench).
+  struct MaintenanceStats {
+    uint64_t key_inserts = 0;
+    uint64_t key_deletes = 0;
+    uint64_t rebuilds = 0;
+  };
+  const MaintenanceStats& maintenance_stats() const { return stats_; }
+
+  /// Applies one maintenance event (also reachable for testing; normally
+  /// invoked via the SummaryManager subscription).
+  Status OnObjectChanged(Oid oid, const SummaryObject* before,
+                         const SummaryObject* after);
+
+ private:
+  SummaryBTree(StorageManager* storage, BufferPool* pool,
+               SummaryManager* mgr, Options options)
+      : storage_(storage), pool_(pool), mgr_(mgr), options_(options),
+        width_(options.count_width) {}
+
+  /// Payload for a tuple under the configured pointer mode.
+  Result<uint64_t> MakePayload(Oid oid) const;
+
+  Status InsertKey(std::string_view label, int64_t count, Oid oid);
+  Status DeleteKey(std::string_view label, int64_t count, Oid oid);
+
+  /// Widens the count field and rebuilds the whole index (paper
+  /// footnote 1: counts past 999 trigger an automatic re-build).
+  Status WidenAndRebuild(int64_t new_max_count);
+
+  StorageManager* storage_;
+  BufferPool* pool_;
+  SummaryManager* mgr_;
+  Options options_;
+  uint32_t instance_id_ = 0;
+  std::string instance_name_;
+  int width_;
+  int rebuild_generation_ = 0;
+  std::unique_ptr<BTree> tree_;
+  FileId file_ = 0;
+  MaintenanceStats stats_;
+  std::optional<SummaryManager::ListenerId> listener_id_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_SINDEX_SUMMARY_BTREE_H_

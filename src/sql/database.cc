@@ -1,0 +1,677 @@
+#include "sql/database.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace insight {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  if (!message.empty()) return message + "\n";
+  if (!annotations.empty()) {
+    std::string out;
+    for (const Annotation& ann : annotations) {
+      out += "[" + std::to_string(ann.id) + "] " + ann.text + "\n";
+    }
+    return out;
+  }
+  std::vector<size_t> widths;
+  for (const Column& col : schema.columns()) {
+    widths.push_back(col.name.size());
+  }
+  const size_t shown = std::min(rows.size(), max_rows);
+  std::vector<std::vector<std::string>> cells;
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      row.push_back(rows[r].at(c).ToString());
+      if (c < widths.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    out += schema.column(c).name;
+    out += std::string(widths[c] - schema.column(c).name.size() + 2, ' ');
+  }
+  out += "\n";
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    out += std::string(widths[c], '-') + "  ";
+  }
+  out += "\n";
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      out += cells[r][c];
+      if (c < widths.size()) {
+        out += std::string(widths[c] - cells[r][c].size() + 2, ' ');
+      }
+    }
+    if (r < summaries.size() && !summaries[r].empty()) {
+      std::string rendered = summaries[r].ToString();
+      constexpr size_t kMaxSummaryChars = 140;
+      if (rendered.size() > kMaxSummaryChars) {
+        rendered.resize(kMaxSummaryChars);
+        rendered += "...}";
+      }
+      out += "  $" + rendered;
+    }
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  out += "(" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+Database::Database(Options options)
+    : storage_(options.backend, options.directory),
+      pool_(&storage_, options.buffer_pool_frames),
+      catalog_(&storage_, &pool_),
+      context_(&catalog_, &storage_, &pool_) {}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  const size_t num_columns = schema.num_columns();
+  INSIGHT_ASSIGN_OR_RETURN(Table * table,
+                           catalog_.CreateTable(name, std::move(schema)));
+  AnnotatedRelation rel;
+  INSIGHT_ASSIGN_OR_RETURN(rel.store,
+                           AnnotationStore::Create(&catalog_, table->name(),
+                                                   num_columns));
+  INSIGHT_ASSIGN_OR_RETURN(
+      rel.mgr, SummaryManager::Create(&catalog_, table, rel.store.get()));
+  INSIGHT_RETURN_NOT_OK(context_.RegisterRelation(table, rel.mgr.get()));
+  relations_[ToLower(name)] = std::move(rel);
+  return table;
+}
+
+Result<Oid> Database::Insert(const std::string& table, Tuple tuple) {
+  INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  return t->Insert(tuple);
+}
+
+Status Database::DeleteTuple(const std::string& table, Oid oid) {
+  INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(table));
+  INSIGHT_RETURN_NOT_OK(mgr->OnTupleDeleted(oid));
+  return t->Delete(oid);
+}
+
+Result<SummaryManager*> Database::GetManager(const std::string& table) {
+  auto it = relations_.find(ToLower(table));
+  if (it == relations_.end()) {
+    return Status::NotFound("no annotated relation " + table);
+  }
+  return it->second.mgr.get();
+}
+
+Result<const SummaryBTree*> Database::GetSummaryIndex(
+    const std::string& table, const std::string& instance) {
+  auto it = relations_.find(ToLower(table));
+  if (it == relations_.end()) {
+    return Status::NotFound("no annotated relation " + table);
+  }
+  auto idx = it->second.indexes.find(ToLower(instance));
+  if (idx == it->second.indexes.end()) {
+    return Status::NotFound("no summary index on " + table + "." + instance);
+  }
+  return idx->second.get();
+}
+
+Result<const SnippetKeywordIndex*> Database::GetKeywordIndex(
+    const std::string& table, const std::string& instance) {
+  auto it = relations_.find(ToLower(table));
+  if (it == relations_.end()) {
+    return Status::NotFound("no annotated relation " + table);
+  }
+  auto idx = it->second.keyword_indexes.find(ToLower(instance));
+  if (idx == it->second.keyword_indexes.end()) {
+    return Status::NotFound("no keyword index on " + table + "." + instance);
+  }
+  return idx->second.get();
+}
+
+Status Database::DefineInstance(SummaryInstance instance) {
+  const std::string key = ToLower(instance.name());
+  if (instance_defs_.count(key) > 0) {
+    return Status::AlreadyExists("instance " + instance.name());
+  }
+  instance_defs_.emplace(key, std::move(instance));
+  return Status::OK();
+}
+
+Status Database::DefineClassifier(
+    const std::string& name, std::vector<std::string> labels,
+    const std::vector<std::pair<std::string, std::string>>& training) {
+  auto model = std::make_shared<NaiveBayesClassifier>(labels);
+  for (const auto& [text, label] : training) {
+    INSIGHT_RETURN_NOT_OK(model->Train(text, label));
+  }
+  return DefineInstance(
+      SummaryInstance::Classifier(name, std::move(labels), std::move(model)));
+}
+
+Status Database::DefineSnippet(const std::string& name,
+                               SnippetSummarizer::Options options) {
+  return DefineInstance(SummaryInstance::Snippet(name, options));
+}
+
+Status Database::DefineCluster(const std::string& name,
+                               double min_similarity) {
+  return DefineInstance(SummaryInstance::Cluster(name, min_similarity));
+}
+
+Status Database::LinkInstance(const std::string& table,
+                              const std::string& instance, bool indexable) {
+  auto rel_it = relations_.find(ToLower(table));
+  if (rel_it == relations_.end()) {
+    return Status::NotFound("no annotated relation " + table);
+  }
+  auto def_it = instance_defs_.find(ToLower(instance));
+  if (def_it == instance_defs_.end()) {
+    return Status::NotFound("no instance definition " + instance);
+  }
+  if (indexable && def_it->second.type() == SummaryType::kCluster) {
+    // Checked before linking so a failed ALTER leaves no partial state.
+    return Status::NotImplemented(
+        "no indexing scheme for Cluster-type instances");
+  }
+  INSIGHT_RETURN_NOT_OK(rel_it->second.mgr->LinkInstance(def_it->second));
+  if (indexable) {
+    // INDEXABLE builds the index matching the instance family:
+    // Summary-BTree for classifiers (Section 4), the inverted keyword
+    // index for snippet instances (extension).
+    if (def_it->second.type() == SummaryType::kClassifier) {
+      INSIGHT_ASSIGN_OR_RETURN(
+          auto index, SummaryBTree::Create(&storage_, &pool_,
+                                           rel_it->second.mgr.get(),
+                                           def_it->second.name(),
+                                           SummaryBTree::Options{}));
+      INSIGHT_RETURN_NOT_OK(context_.RegisterSummaryIndex(
+          table, def_it->second.name(), index.get()));
+      rel_it->second.indexes[ToLower(instance)] = std::move(index);
+    } else if (def_it->second.type() == SummaryType::kSnippet) {
+      INSIGHT_ASSIGN_OR_RETURN(
+          auto index, SnippetKeywordIndex::Create(
+                          &storage_, &pool_, rel_it->second.mgr.get(),
+                          def_it->second.name(),
+                          SnippetKeywordIndex::Options{}));
+      INSIGHT_RETURN_NOT_OK(context_.RegisterKeywordIndex(
+          table, def_it->second.name(), index.get()));
+      rel_it->second.keyword_indexes[ToLower(instance)] = std::move(index);
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::UnlinkInstance(const std::string& table,
+                                const std::string& instance) {
+  auto rel_it = relations_.find(ToLower(table));
+  if (rel_it == relations_.end()) {
+    return Status::NotFound("no annotated relation " + table);
+  }
+  INSIGHT_RETURN_NOT_OK(rel_it->second.mgr->UnlinkInstance(instance));
+  // Tear down the instance's indexes: planner registrations first, then
+  // the objects themselves (their destructors drop the maintenance
+  // subscriptions).
+  INSIGHT_RETURN_NOT_OK(context_.UnregisterInstanceIndexes(table, instance));
+  const std::string key = ToLower(instance);
+  rel_it->second.indexes.erase(key);
+  rel_it->second.baseline_indexes.erase(key);
+  rel_it->second.keyword_indexes.erase(key);
+  return Status::OK();
+}
+
+Status Database::AddBaselineIndex(const std::string& table,
+                                  const std::string& instance) {
+  auto rel_it = relations_.find(ToLower(table));
+  if (rel_it == relations_.end()) {
+    return Status::NotFound("no annotated relation " + table);
+  }
+  INSIGHT_ASSIGN_OR_RETURN(
+      auto index,
+      BaselineClassifierIndex::Create(&catalog_, rel_it->second.mgr.get(),
+                                      instance,
+                                      BaselineClassifierIndex::Options{}));
+  INSIGHT_RETURN_NOT_OK(
+      context_.RegisterBaselineIndex(table, instance, index.get()));
+  rel_it->second.baseline_indexes[ToLower(instance)] = std::move(index);
+  return Status::OK();
+}
+
+Result<AnnId> Database::Annotate(const std::string& table,
+                                 const std::string& text,
+                                 const std::vector<AnnotationTarget>& targets) {
+  INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(table));
+  return mgr->AddAnnotation(text, targets);
+}
+
+Status Database::RemoveAnnotation(const std::string& table, AnnId ann) {
+  INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(table));
+  return mgr->RemoveAnnotation(ann);
+}
+
+Result<std::vector<Annotation>> Database::ZoomIn(const std::string& table,
+                                                 Oid oid,
+                                                 const std::string& instance,
+                                                 const std::string& label,
+                                                 int rep_index) {
+  auto rel_it = relations_.find(ToLower(table));
+  if (rel_it == relations_.end()) {
+    return Status::NotFound("no annotated relation " + table);
+  }
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<Annotation> all,
+                           rel_it->second.store->ForTuple(oid));
+  if (instance.empty()) return all;
+  // Restrict to the annotations contributing to one summary object,
+  // optionally to one representative of it.
+  INSIGHT_ASSIGN_OR_RETURN(SummarySet set,
+                           rel_it->second.mgr->GetSummaries(oid));
+  const SummaryObject* obj = set.GetSummaryObject(instance);
+  if (obj == nullptr) return std::vector<Annotation>{};
+  std::set<AnnId> member_ids;
+  for (size_t i = 0; i < obj->elements.size(); ++i) {
+    if (rep_index >= 0 && i != static_cast<size_t>(rep_index)) continue;
+    if (!label.empty() && !EqualsIgnoreCase(obj->reps[i].text, label)) {
+      continue;
+    }
+    for (const ElementRef& e : obj->elements[i]) member_ids.insert(e.ann_id);
+  }
+  std::vector<Annotation> out;
+  for (Annotation& ann : all) {
+    if (member_ids.count(ann.id) > 0) out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+Status Database::Analyze(const std::string& table) {
+  return context_.Analyze(table);
+}
+
+Result<std::vector<Row>> Database::Run(LogicalPtr plan) {
+  INSIGHT_ASSIGN_OR_RETURN(OpPtr op, Plan(std::move(plan)));
+  return CollectRows(op.get());
+}
+
+Result<OpPtr> Database::Plan(LogicalPtr plan) {
+  Optimizer optimizer(&context_, optimizer_options_);
+  return optimizer.Optimize(std::move(plan));
+}
+
+// ---------- SELECT binding ----------
+
+namespace {
+
+// Aliases (or table names) bound so far, for conjunct routing.
+struct BoundSide {
+  std::set<std::string> names;  // Lower-cased aliases/table names.
+  Schema schema;
+};
+
+bool QualifierIn(const std::string& qualifier, const BoundSide& side) {
+  return side.names.count(ToLower(qualifier)) > 0;
+}
+
+}  // namespace
+
+Result<LogicalPtr> Database::BindSelect(const SelectStatement& select) {
+  if (select.from.empty()) {
+    return Status::ParseError("FROM clause required");
+  }
+  Optimizer opt(&context_, optimizer_options_);
+
+  auto scan_for = [&](const SelectStatement::FromTable& from) {
+    return from.alias.empty() ? LScan(from.table)
+                              : LScanAs(from.table, from.alias);
+  };
+  auto names_for = [&](const SelectStatement::FromTable& from) {
+    return ToLower(from.alias.empty() ? from.table : from.alias);
+  };
+
+  LogicalPtr plan = scan_for(select.from[0]);
+  BoundSide bound;
+  bound.names.insert(names_for(select.from[0]));
+  INSIGHT_ASSIGN_OR_RETURN(bound.schema, opt.OutputSchema(*plan));
+
+  std::vector<ExprPtr> conjuncts;
+  if (select.where != nullptr) {
+    conjuncts = SplitConjuncts(select.where.get());
+  }
+
+  for (size_t t = 1; t < select.from.size(); ++t) {
+    LogicalPtr right = scan_for(select.from[t]);
+    INSIGHT_ASSIGN_OR_RETURN(Schema right_schema, opt.OutputSchema(*right));
+    BoundSide right_side;
+    right_side.names.insert(names_for(select.from[t]));
+    right_side.schema = right_schema;
+
+    // Route conjuncts connecting the bound side with the new table.
+    std::vector<ExprPtr> data_join;
+    std::optional<SummaryJoinPredicate> summary_join;
+    std::vector<ExprPtr> remaining;
+    for (ExprPtr& conjunct : conjuncts) {
+      // Summary-join shape: comparison of two summary functions with
+      // qualifiers on opposite sides.
+      if (const auto* cmp =
+              dynamic_cast<const CompareExpr*>(conjunct.get())) {
+        const auto* lf = dynamic_cast<const SummaryFuncExpr*>(cmp->left());
+        const auto* rf = dynamic_cast<const SummaryFuncExpr*>(cmp->right());
+        if (lf != nullptr && rf != nullptr && !lf->qualifier().empty() &&
+            !rf->qualifier().empty() &&
+            !EqualsIgnoreCase(lf->qualifier(), rf->qualifier())) {
+          const bool lf_bound = QualifierIn(lf->qualifier(), bound);
+          const bool rf_new = QualifierIn(rf->qualifier(), right_side);
+          const bool rf_bound = QualifierIn(rf->qualifier(), bound);
+          const bool lf_new = QualifierIn(lf->qualifier(), right_side);
+          if ((lf_bound && rf_new) || (rf_bound && lf_new)) {
+            if (summary_join.has_value()) {
+              return Status::NotImplemented(
+                  "multiple summary-join predicates between the same "
+                  "relations");
+            }
+            SummaryJoinPredicate pred;
+            pred.op = cmp->op();
+            if (lf_bound) {
+              pred.left_expr = cmp->left()->Clone();
+              pred.right_expr = cmp->right()->Clone();
+            } else {
+              // Mirror so left_expr evaluates on the bound side.
+              pred.left_expr = cmp->right()->Clone();
+              pred.right_expr = cmp->left()->Clone();
+              pred.op = [](CompareOp op) {
+                switch (op) {
+                  case CompareOp::kLt:
+                    return CompareOp::kGt;
+                  case CompareOp::kLe:
+                    return CompareOp::kGe;
+                  case CompareOp::kGt:
+                    return CompareOp::kLt;
+                  case CompareOp::kGe:
+                    return CompareOp::kLe;
+                  default:
+                    return op;
+                }
+              }(pred.op);
+            }
+            summary_join = std::move(pred);
+            conjunct.reset();
+            continue;
+          }
+        }
+      }
+      // Data conjunct spanning both sides?
+      std::vector<std::string> columns;
+      conjunct->CollectColumns(&columns);
+      if (!conjunct->IsSummaryBased() && !columns.empty()) {
+        bool any_bound = false;
+        bool any_new = false;
+        bool all_resolve = true;
+        const Schema combined =
+            Schema::Concat(bound.schema, right_side.schema);
+        for (const std::string& column : columns) {
+          if (bound.schema.IndexOf(column).ok()) {
+            any_bound = true;
+          } else if (right_side.schema.IndexOf(column).ok()) {
+            any_new = true;
+          } else if (!combined.IndexOf(column).ok()) {
+            all_resolve = false;
+          } else {
+            // Resolves only in the combined schema (ambiguous singly).
+            any_bound = any_new = true;
+          }
+        }
+        if (all_resolve && any_bound && any_new) {
+          data_join.push_back(std::move(conjunct));
+          conjunct.reset();
+          continue;
+        }
+      }
+      if (conjunct != nullptr) remaining.push_back(std::move(conjunct));
+    }
+    conjuncts = std::move(remaining);
+
+    if (summary_join.has_value()) {
+      plan = LSummaryJoin(std::move(plan), std::move(right),
+                          std::move(*summary_join));
+      // Data conjuncts between the sides become a selection above the
+      // summary join (the rho(J(R,S)) shape; the optimizer may commute).
+      if (!data_join.empty()) {
+        plan = LSelect(std::move(plan),
+                       CombineConjuncts(std::move(data_join)));
+      }
+    } else {
+      ExprPtr join_pred = data_join.empty()
+                              ? Lit(Value::Bool(true))
+                              : CombineConjuncts(std::move(data_join));
+      plan = LJoin(std::move(plan), std::move(right), std::move(join_pred));
+    }
+    bound.names.insert(names_for(select.from[t]));
+    bound.schema = Schema::Concat(bound.schema, right_side.schema);
+  }
+
+  // Residual WHERE conjuncts: data selections below summary selections.
+  std::vector<ExprPtr> data_conjuncts;
+  std::vector<ExprPtr> summary_conjuncts;
+  for (ExprPtr& conjunct : conjuncts) {
+    if (conjunct->IsSummaryBased()) {
+      summary_conjuncts.push_back(std::move(conjunct));
+    } else {
+      data_conjuncts.push_back(std::move(conjunct));
+    }
+  }
+  if (!data_conjuncts.empty()) {
+    plan = LSelect(std::move(plan),
+                   CombineConjuncts(std::move(data_conjuncts)));
+  }
+  if (!summary_conjuncts.empty()) {
+    plan = LSummarySelect(std::move(plan),
+                          CombineConjuncts(std::move(summary_conjuncts)));
+  }
+
+  // Aggregation.
+  bool has_aggregates = false;
+  for (const SelectItem& item : select.items) {
+    if (item.is_aggregate) has_aggregates = true;
+  }
+  if (has_aggregates || !select.group_by.empty()) {
+    std::vector<AggregateSpec> aggs;
+    for (const SelectItem& item : select.items) {
+      if (!item.is_aggregate) continue;
+      aggs.push_back(AggregateSpec{
+          item.aggregate.kind,
+          item.aggregate.arg == nullptr ? nullptr
+                                        : item.aggregate.arg->Clone(),
+          item.aggregate.output_name});
+    }
+    plan = LAggregate(std::move(plan), select.group_by, std::move(aggs));
+  }
+
+  if (select.distinct) {
+    // DISTINCT applies to the select list: project first (which also
+    // applies the summary projection semantics), then de-duplicate.
+    std::vector<std::string> columns;
+    for (const SelectItem& item : select.items) {
+      const auto* col = dynamic_cast<const ColumnExpr*>(item.expr.get());
+      if (item.star || item.is_aggregate || col == nullptr) {
+        return Status::NotImplemented(
+            "SELECT DISTINCT requires a plain column list");
+      }
+      columns.push_back(col->name());
+    }
+    plan = LProject(std::move(plan), std::move(columns));
+    plan = LDistinct(std::move(plan));
+  }
+
+  if (!select.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const SortKey& key : select.order_by) {
+      keys.push_back(SortKey{key.expr->Clone(), key.descending});
+    }
+    plan = LSort(std::move(plan), std::move(keys));
+  }
+  if (select.limit.has_value()) {
+    plan = LLimit(std::move(plan), *select.limit);
+  }
+  return plan;
+}
+
+Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
+                                            bool explain_only) {
+  // Fold maintained-on-update summary statistics into the planner's view
+  // (Section 5.2); cheap, no scans.
+  for (const SelectStatement::FromTable& from : select.from) {
+    Status refreshed = context_.RefreshStats(from.table);
+    if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
+  }
+  INSIGHT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(select));
+  Optimizer optimizer(&context_, optimizer_options_);
+  if (explain_only) {
+    INSIGHT_ASSIGN_OR_RETURN(LogicalPtr rewritten,
+                             optimizer.Rewrite(plan->Clone()));
+    INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Lower(*rewritten));
+    QueryResult result;
+    result.message = "Logical plan:\n" + rewritten->Explain() +
+                     "Physical plan:\n" + op->ExplainTree();
+    auto estimate = optimizer.Estimate(*rewritten);
+    if (estimate.ok()) {
+      char line[96];
+      std::snprintf(line, sizeof(line),
+                    "Estimated rows: %.1f, cost: %.1f\n", estimate->rows,
+                    estimate->cost);
+      result.message += line;
+    }
+    return result;
+  }
+  INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
+
+  // Materialize the select list.
+  const Schema& plan_schema = op->schema();
+  QueryResult result;
+  std::vector<ExprPtr> output_exprs;
+  for (const SelectItem& item : select.items) {
+    if (item.star) {
+      for (const Column& col : plan_schema.columns()) {
+        result.schema.AddColumn(col).ok();
+        output_exprs.push_back(Col(col.name));
+      }
+    } else if (item.is_aggregate) {
+      result.schema
+          .AddColumn({item.name, item.aggregate.kind ==
+                                         AggregateSpec::Kind::kAvg
+                                     ? ValueType::kDouble
+                                     : ValueType::kInt64})
+          .ok();
+      output_exprs.push_back(Col(item.aggregate.output_name));
+    } else {
+      ValueType type = ValueType::kString;
+      if (const auto* col = dynamic_cast<const ColumnExpr*>(item.expr.get())) {
+        auto idx = plan_schema.IndexOf(col->name());
+        if (idx.ok()) type = plan_schema.column(*idx).type;
+      } else if (item.expr->IsSummaryBased()) {
+        type = ValueType::kInt64;
+      }
+      result.schema.AddColumn({item.name, type}).ok();
+      output_exprs.push_back(item.expr->Clone());
+    }
+  }
+  for (Row& row : rows) {
+    Tuple out;
+    for (const ExprPtr& expr : output_exprs) {
+      INSIGHT_ASSIGN_OR_RETURN(Value v, expr->Eval(row, plan_schema));
+      out.Append(std::move(v));
+    }
+    result.rows.push_back(std::move(out));
+    result.summaries.push_back(std::move(row.summaries));
+  }
+  return result;
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  QueryResult result;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(*stmt.select, false);
+    case Statement::Kind::kExplain:
+      return ExecuteSelect(*stmt.select, true);
+    case Statement::Kind::kCreateTable: {
+      INSIGHT_RETURN_NOT_OK(CreateTable(stmt.table, stmt.schema).status());
+      result.message = "Table " + stmt.table + " created";
+      return result;
+    }
+    case Statement::Kind::kInsert: {
+      INSIGHT_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      for (const std::vector<Value>& row : stmt.rows) {
+        INSIGHT_RETURN_NOT_OK(table->Insert(Tuple(row)).status());
+      }
+      result.message = std::to_string(stmt.rows.size()) + " rows inserted";
+      return result;
+    }
+    case Statement::Kind::kAlterAdd: {
+      INSIGHT_RETURN_NOT_OK(
+          LinkInstance(stmt.table, stmt.instance, stmt.indexable));
+      result.message = "Instance " + stmt.instance + " linked to " +
+                       stmt.table + (stmt.indexable ? " (indexable)" : "");
+      return result;
+    }
+    case Statement::Kind::kAlterDrop: {
+      INSIGHT_RETURN_NOT_OK(UnlinkInstance(stmt.table, stmt.instance));
+      result.message = "Instance " + stmt.instance + " unlinked";
+      return result;
+    }
+    case Statement::Kind::kAnnotate: {
+      INSIGHT_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      uint64_t mask = 0;
+      if (stmt.columns.empty()) {
+        mask = RowMask(table->schema().num_columns());
+      } else {
+        for (const std::string& column : stmt.columns) {
+          INSIGHT_ASSIGN_OR_RETURN(size_t idx,
+                                   table->schema().IndexOf(column));
+          mask |= CellMask(idx);
+        }
+      }
+      INSIGHT_ASSIGN_OR_RETURN(
+          AnnId ann,
+          Annotate(stmt.table, stmt.text, {{stmt.tuple_oid, mask}}));
+      result.message = "Annotation " + std::to_string(ann) + " added";
+      return result;
+    }
+    case Statement::Kind::kZoomIn: {
+      INSIGHT_ASSIGN_OR_RETURN(
+          result.annotations,
+          ZoomIn(stmt.table, stmt.tuple_oid, stmt.instance, stmt.zoom_label,
+                 stmt.zoom_rep_index));
+      return result;
+    }
+    case Statement::Kind::kAnalyze: {
+      INSIGHT_RETURN_NOT_OK(Analyze(stmt.table));
+      result.message = "Statistics collected for " + stmt.table;
+      return result;
+    }
+    case Statement::Kind::kCreateIndex: {
+      INSIGHT_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      INSIGHT_RETURN_NOT_OK(table->CreateColumnIndex(stmt.columns[0]));
+      result.message = "Index created on " + stmt.table + "." +
+                       stmt.columns[0];
+      return result;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect &&
+      stmt.kind != Statement::Kind::kExplain) {
+    return Status::InvalidArgument("can only explain SELECT statements");
+  }
+  INSIGHT_ASSIGN_OR_RETURN(QueryResult result,
+                           ExecuteSelect(*stmt.select, true));
+  return result.message;
+}
+
+}  // namespace insight

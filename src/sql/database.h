@@ -1,0 +1,165 @@
+#ifndef INSIGHTNOTES_SQL_DATABASE_H_
+#define INSIGHTNOTES_SQL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "summary/summary_manager.h"
+
+namespace insight {
+
+/// Result of executing one statement.
+struct QueryResult {
+  Schema schema;
+  std::vector<Tuple> rows;            // Select-list values per output row.
+  std::vector<SummarySet> summaries;  // Parallel: propagated summary sets.
+  std::string message;                // DDL/utility acknowledgements.
+  std::vector<Annotation> annotations;  // ZOOM IN payload.
+
+  /// ASCII-table rendering (summaries shown inline when present).
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+/// The top-level InsightNotes+ engine facade: storage, catalog, annotation
+/// and summary managers, summary indexes, optimizer, and the SQL surface.
+///
+///   Database db;
+///   db.CreateTable("Birds", schema);
+///   db.DefineClassifier("ClassBird1", labels, training);
+///   db.Execute("ALTER TABLE Birds ADD INDEXABLE ClassBird1");
+///   db.Execute("ANNOTATE Birds TUPLE 1 WITH 'observed disease'");
+///   db.Execute("SELECT * FROM Birds WHERE "
+///              "$.getSummaryObject('ClassBird1')"
+///              ".getLabelValue('Disease') > 0");
+class Database {
+ public:
+  struct Options {
+    StorageManager::Backend backend = StorageManager::Backend::kMemory;
+    std::string directory;        // File backend only.
+    size_t buffer_pool_frames = 4096;
+  };
+
+  Database() : Database(Options{}) {}
+  explicit Database(Options options);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- Schema / data ----
+
+  /// Creates an annotatable relation (annotation store + summary manager
+  /// are provisioned automatically).
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  Result<Oid> Insert(const std::string& table, Tuple tuple);
+
+  /// Deletes a tuple, its summary-storage row, and its index entries.
+  Status DeleteTuple(const std::string& table, Oid oid);
+
+  // ---- Summary instances ----
+
+  /// Registers an instance prototype usable in `ALTER TABLE .. ADD`.
+  Status DefineInstance(SummaryInstance instance);
+
+  /// Convenience: defines a Classifier instance with a Naive Bayes model
+  /// trained on (text, label) seed pairs.
+  Status DefineClassifier(
+      const std::string& name, std::vector<std::string> labels,
+      const std::vector<std::pair<std::string, std::string>>& training);
+  Status DefineSnippet(const std::string& name,
+                       SnippetSummarizer::Options options = {});
+  Status DefineCluster(const std::string& name, double min_similarity = 0.3);
+
+  /// `ALTER TABLE <table> ADD [INDEXABLE] <instance>` (Section 4).
+  Status LinkInstance(const std::string& table, const std::string& instance,
+                      bool indexable);
+  Status UnlinkInstance(const std::string& table,
+                        const std::string& instance);
+
+  /// Builds the baseline (normalized) index too — comparison arms of the
+  /// benches only; production setups use only LinkInstance(indexable).
+  Status AddBaselineIndex(const std::string& table,
+                          const std::string& instance);
+
+  // ---- Annotations ----
+
+  Result<AnnId> Annotate(const std::string& table, const std::string& text,
+                         const std::vector<AnnotationTarget>& targets);
+  Status RemoveAnnotation(const std::string& table, AnnId ann);
+
+  /// Zoom-in: raw annotations of one tuple, optionally restricted to one
+  /// instance's summary object, and further to one representative of it —
+  /// a class label (`label`) or a Rep[] position (`rep_index`), the
+  /// paper's "zoom into specific summaries of interest".
+  Result<std::vector<Annotation>> ZoomIn(const std::string& table, Oid oid,
+                                         const std::string& instance = "",
+                                         const std::string& label = "",
+                                         int rep_index = -1);
+
+  // ---- Queries ----
+
+  /// Parses, plans, optimizes, and executes one statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// The optimized physical plan for a SELECT (EXPLAIN).
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Programmatic path: optimize and run a hand-built logical plan.
+  Result<std::vector<Row>> Run(LogicalPtr plan);
+  Result<OpPtr> Plan(LogicalPtr plan);
+
+  Status Analyze(const std::string& table);
+
+  // ---- Accessors ----
+
+  Catalog* catalog() { return &catalog_; }
+  QueryContext* context() { return &context_; }
+  StorageManager* storage() { return &storage_; }
+  BufferPool* pool() { return &pool_; }
+  OptimizerOptions& optimizer_options() { return optimizer_options_; }
+
+  Result<Table*> GetTable(const std::string& name) {
+    return catalog_.GetTable(name);
+  }
+  Result<SummaryManager*> GetManager(const std::string& table);
+  Result<const SummaryBTree*> GetSummaryIndex(const std::string& table,
+                                              const std::string& instance);
+  Result<const SnippetKeywordIndex*> GetKeywordIndex(
+      const std::string& table, const std::string& instance);
+
+ private:
+  struct AnnotatedRelation {
+    std::unique_ptr<AnnotationStore> store;
+    std::unique_ptr<SummaryManager> mgr;
+    std::map<std::string, std::unique_ptr<SummaryBTree>> indexes;
+    std::map<std::string, std::unique_ptr<BaselineClassifierIndex>>
+        baseline_indexes;
+    std::map<std::string, std::unique_ptr<SnippetKeywordIndex>>
+        keyword_indexes;
+  };
+
+  Result<QueryResult> ExecuteSelect(const SelectStatement& select,
+                                    bool explain_only);
+  /// Binds FROM/WHERE into a logical plan (join routing included).
+  Result<LogicalPtr> BindSelect(const SelectStatement& select);
+
+  StorageManager storage_;
+  BufferPool pool_;
+  Catalog catalog_;
+  OptimizerOptions optimizer_options_;
+  std::map<std::string, AnnotatedRelation> relations_;  // Lower-case keys.
+  std::map<std::string, SummaryInstance> instance_defs_;  // Prototypes.
+  // Declared after relations_ deliberately: the context holds live
+  // statistics whose destructors deregister from the summary managers
+  // inside relations_, so it must be destroyed first.
+  QueryContext context_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_SQL_DATABASE_H_

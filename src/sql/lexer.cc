@@ -1,0 +1,107 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace insight {
+
+bool Token::Is(const std::string& s) const {
+  if (type == TokenType::kEnd) return false;
+  return EqualsIgnoreCase(text, s);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !seen_dot))) {
+        if (sql[j] == '.') {
+          // "1.x" where x is not a digit is a number followed by '.'.
+          if (j + 1 >= n ||
+              !std::isdigit(static_cast<unsigned char>(sql[j + 1]))) {
+            break;
+          }
+          seen_dot = true;
+        }
+        ++j;
+      }
+      token.type = TokenType::kNumber;
+      token.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // Escaped quote.
+            value += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value += sql[j++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at position " +
+                                  std::to_string(i));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"<>", "<=", ">=", "!="};
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      for (const char* op : kTwoChar) {
+        if (i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1]) {
+          token.text = op;
+          break;
+        }
+      }
+      static const std::string kSingles = "(),.;*$=<>";
+      if (token.text.size() == 1 &&
+          kSingles.find(c) == std::string::npos) {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at position " + std::to_string(i));
+      }
+      i += token.text.size();
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace insight

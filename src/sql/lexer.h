@@ -1,0 +1,34 @@
+#ifndef INSIGHTNOTES_SQL_LEXER_H_
+#define INSIGHTNOTES_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace insight {
+
+enum class TokenType {
+  kIdentifier,  // Unquoted word (keywords are matched case-insensitively).
+  kString,      // 'single-quoted'
+  kNumber,      // Integer or decimal literal.
+  kSymbol,      // ( ) , . ; * $ = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // Identifier/symbol text or unquoted string payload.
+  size_t position = 0;
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive match against a keyword or symbol.
+  bool Is(const std::string& s) const;
+};
+
+/// Tokenizes a statement; ParseError on malformed literals.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_SQL_LEXER_H_

@@ -1,0 +1,540 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+
+namespace insight {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+  Result<ExprPtr> ParseExpr();
+
+  bool AtEnd() {
+    return Peek().Is(TokenType::kEnd) || Peek().Is(";");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  Token Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Match(const std::string& word) {
+    if (Peek().Is(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const std::string& word) {
+    if (Match(word)) return Status::OK();
+    return Err("expected '" + word + "'");
+  }
+  Status Err(const std::string& message) const {
+    return Status::ParseError(message + " near position " +
+                              std::to_string(Peek().position) +
+                              (Peek().type == TokenType::kEnd
+                                   ? " (end of input)"
+                                   : " ('" + Peek().text + "')"));
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (!Peek().Is(TokenType::kIdentifier)) return Err("expected identifier");
+    return Advance().text;
+  }
+  Result<std::string> ExpectString() {
+    if (!Peek().Is(TokenType::kString)) {
+      return Err("expected string literal");
+    }
+    return Advance().text;
+  }
+  Result<int64_t> ExpectInteger() {
+    if (!Peek().Is(TokenType::kNumber)) return Err("expected number");
+    return std::stoll(Advance().text);
+  }
+
+  Result<Statement> ParseSelectStatement(bool explain);
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseAlter();
+  Result<Statement> ParseAnnotate();
+  Result<Statement> ParseZoomIn();
+
+  Result<SelectItem> ParseSelectItem();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseOperand();
+  Result<ExprPtr> ParseSummaryFunc(std::string qualifier);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Statement> Parser::ParseStatement() {
+  if (Peek().Is("SELECT")) return ParseSelectStatement(false);
+  if (Match("EXPLAIN")) return ParseSelectStatement(true);
+  if (Peek().Is("CREATE")) return ParseCreate();
+  if (Peek().Is("INSERT")) return ParseInsert();
+  if (Peek().Is("ALTER")) return ParseAlter();
+  if (Peek().Is("ANNOTATE")) return ParseAnnotate();
+  if (Peek().Is("ZOOM")) return ParseZoomIn();
+  if (Match("ANALYZE")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kAnalyze;
+    INSIGHT_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    return stmt;
+  }
+  return Err("expected a statement");
+}
+
+Result<Statement> Parser::ParseCreate() {
+  INSIGHT_RETURN_NOT_OK(Expect("CREATE"));
+  if (Match("INDEX")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateIndex;
+    INSIGHT_RETURN_NOT_OK(Expect("ON"));
+    INSIGHT_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    INSIGHT_RETURN_NOT_OK(Expect("("));
+    INSIGHT_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+    stmt.columns.push_back(std::move(column));
+    INSIGHT_RETURN_NOT_OK(Expect(")"));
+    return stmt;
+  }
+  INSIGHT_RETURN_NOT_OK(Expect("TABLE"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kCreateTable;
+  INSIGHT_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  INSIGHT_RETURN_NOT_OK(Expect("("));
+  while (true) {
+    INSIGHT_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    INSIGHT_ASSIGN_OR_RETURN(std::string type, ExpectIdentifier());
+    ValueType vt;
+    if (EqualsIgnoreCase(type, "INT") || EqualsIgnoreCase(type, "INTEGER") ||
+        EqualsIgnoreCase(type, "BIGINT")) {
+      vt = ValueType::kInt64;
+    } else if (EqualsIgnoreCase(type, "DOUBLE") ||
+               EqualsIgnoreCase(type, "FLOAT") ||
+               EqualsIgnoreCase(type, "REAL")) {
+      vt = ValueType::kDouble;
+    } else if (EqualsIgnoreCase(type, "TEXT") ||
+               EqualsIgnoreCase(type, "STRING") ||
+               EqualsIgnoreCase(type, "VARCHAR")) {
+      vt = ValueType::kString;
+    } else if (EqualsIgnoreCase(type, "BOOL") ||
+               EqualsIgnoreCase(type, "BOOLEAN")) {
+      vt = ValueType::kBool;
+    } else {
+      return Err("unknown type " + type);
+    }
+    // Optional length suffix VARCHAR(80).
+    if (Match("(")) {
+      INSIGHT_RETURN_NOT_OK(ExpectInteger().status());
+      INSIGHT_RETURN_NOT_OK(Expect(")"));
+    }
+    INSIGHT_RETURN_NOT_OK(stmt.schema.AddColumn({name, vt}));
+    if (Match(")")) break;
+    INSIGHT_RETURN_NOT_OK(Expect(","));
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  INSIGHT_RETURN_NOT_OK(Expect("INSERT"));
+  INSIGHT_RETURN_NOT_OK(Expect("INTO"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kInsert;
+  INSIGHT_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  INSIGHT_RETURN_NOT_OK(Expect("VALUES"));
+  while (true) {
+    INSIGHT_RETURN_NOT_OK(Expect("("));
+    std::vector<Value> row;
+    while (true) {
+      if (Peek().Is(TokenType::kString)) {
+        row.push_back(Value::String(Advance().text));
+      } else if (Peek().Is(TokenType::kNumber)) {
+        const std::string number = Advance().text;
+        if (number.find('.') != std::string::npos) {
+          row.push_back(Value::Double(std::stod(number)));
+        } else {
+          row.push_back(Value::Int(std::stoll(number)));
+        }
+      } else if (Match("NULL")) {
+        row.push_back(Value::Null());
+      } else if (Match("TRUE")) {
+        row.push_back(Value::Bool(true));
+      } else if (Match("FALSE")) {
+        row.push_back(Value::Bool(false));
+      } else {
+        return Err("expected a literal value");
+      }
+      if (Match(")")) break;
+      INSIGHT_RETURN_NOT_OK(Expect(","));
+    }
+    stmt.rows.push_back(std::move(row));
+    if (!Match(",")) break;
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseAlter() {
+  INSIGHT_RETURN_NOT_OK(Expect("ALTER"));
+  INSIGHT_RETURN_NOT_OK(Expect("TABLE"));
+  Statement stmt;
+  INSIGHT_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  if (Match("ADD")) {
+    stmt.kind = Statement::Kind::kAlterAdd;
+    stmt.indexable = Match("INDEXABLE");
+    INSIGHT_ASSIGN_OR_RETURN(stmt.instance, ExpectIdentifier());
+    return stmt;
+  }
+  if (Match("DROP")) {
+    stmt.kind = Statement::Kind::kAlterDrop;
+    INSIGHT_ASSIGN_OR_RETURN(stmt.instance, ExpectIdentifier());
+    return stmt;
+  }
+  return Err("expected ADD or DROP");
+}
+
+Result<Statement> Parser::ParseAnnotate() {
+  INSIGHT_RETURN_NOT_OK(Expect("ANNOTATE"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kAnnotate;
+  INSIGHT_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  INSIGHT_RETURN_NOT_OK(Expect("TUPLE"));
+  INSIGHT_ASSIGN_OR_RETURN(int64_t oid, ExpectInteger());
+  stmt.tuple_oid = static_cast<uint64_t>(oid);
+  if (Match("COLUMN")) {
+    while (true) {
+      INSIGHT_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      stmt.columns.push_back(std::move(column));
+      if (!Match(",")) break;
+    }
+  }
+  INSIGHT_RETURN_NOT_OK(Expect("WITH"));
+  INSIGHT_ASSIGN_OR_RETURN(stmt.text, ExpectString());
+  return stmt;
+}
+
+Result<Statement> Parser::ParseZoomIn() {
+  INSIGHT_RETURN_NOT_OK(Expect("ZOOM"));
+  INSIGHT_RETURN_NOT_OK(Expect("IN"));
+  INSIGHT_RETURN_NOT_OK(Expect("ON"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kZoomIn;
+  INSIGHT_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  INSIGHT_RETURN_NOT_OK(Expect("TUPLE"));
+  INSIGHT_ASSIGN_OR_RETURN(int64_t oid, ExpectInteger());
+  stmt.tuple_oid = static_cast<uint64_t>(oid);
+  if (Match("INSTANCE")) {
+    INSIGHT_ASSIGN_OR_RETURN(stmt.instance, ExpectString());
+    if (Match("LABEL")) {
+      INSIGHT_ASSIGN_OR_RETURN(stmt.zoom_label, ExpectString());
+    } else if (Match("REP")) {
+      INSIGHT_ASSIGN_OR_RETURN(int64_t index, ExpectInteger());
+      stmt.zoom_rep_index = static_cast<int>(index);
+    }
+  }
+  return stmt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  if (Match("*")) {
+    item.star = true;
+    return item;
+  }
+  // Aggregates.
+  static const struct {
+    const char* keyword;
+    AggregateSpec::Kind kind;
+  } kAggs[] = {{"COUNT", AggregateSpec::Kind::kCount},
+               {"SUM", AggregateSpec::Kind::kSum},
+               {"MIN", AggregateSpec::Kind::kMin},
+               {"MAX", AggregateSpec::Kind::kMax},
+               {"AVG", AggregateSpec::Kind::kAvg}};
+  for (const auto& agg : kAggs) {
+    if (Peek().Is(agg.keyword) && Peek(1).Is("(")) {
+      Advance();
+      Advance();
+      item.is_aggregate = true;
+      item.aggregate.kind = agg.kind;
+      item.name = ToLower(agg.keyword);
+      if (Match("*")) {
+        item.aggregate.arg = nullptr;
+      } else {
+        INSIGHT_ASSIGN_OR_RETURN(item.aggregate.arg, ParseExpr());
+      }
+      INSIGHT_RETURN_NOT_OK(Expect(")"));
+      if (Match("AS")) {
+        INSIGHT_ASSIGN_OR_RETURN(item.name, ExpectIdentifier());
+      }
+      item.aggregate.output_name = item.name;
+      return item;
+    }
+  }
+  INSIGHT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  item.name = item.expr->ToString();
+  if (Match("AS")) {
+    INSIGHT_ASSIGN_OR_RETURN(item.name, ExpectIdentifier());
+  }
+  return item;
+}
+
+Result<Statement> Parser::ParseSelectStatement(bool explain) {
+  INSIGHT_RETURN_NOT_OK(Expect("SELECT"));
+  Statement stmt;
+  stmt.kind = explain ? Statement::Kind::kExplain : Statement::Kind::kSelect;
+  stmt.select = std::make_unique<SelectStatement>();
+  SelectStatement& select = *stmt.select;
+  select.distinct = Match("DISTINCT");
+  while (true) {
+    INSIGHT_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    select.items.push_back(std::move(item));
+    if (!Match(",")) break;
+  }
+  INSIGHT_RETURN_NOT_OK(Expect("FROM"));
+  while (true) {
+    SelectStatement::FromTable from;
+    INSIGHT_ASSIGN_OR_RETURN(from.table, ExpectIdentifier());
+    if (Peek().Is(TokenType::kIdentifier) && !Peek().Is("WHERE") &&
+        !Peek().Is("GROUP") && !Peek().Is("ORDER") && !Peek().Is("LIMIT")) {
+      INSIGHT_ASSIGN_OR_RETURN(from.alias, ExpectIdentifier());
+    }
+    select.from.push_back(std::move(from));
+    if (!Match(",")) break;
+  }
+  if (Match("WHERE")) {
+    INSIGHT_ASSIGN_OR_RETURN(select.where, ParseExpr());
+  }
+  if (Match("GROUP")) {
+    INSIGHT_RETURN_NOT_OK(Expect("BY"));
+    while (true) {
+      INSIGHT_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      // Qualified group-by columns: a.b.
+      while (Match(".")) {
+        INSIGHT_ASSIGN_OR_RETURN(std::string next, ExpectIdentifier());
+        column += "." + next;
+      }
+      select.group_by.push_back(std::move(column));
+      if (!Match(",")) break;
+    }
+  }
+  if (Match("ORDER")) {
+    INSIGHT_RETURN_NOT_OK(Expect("BY"));
+    while (true) {
+      SortKey key;
+      INSIGHT_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+      if (Match("DESC")) {
+        key.descending = true;
+      } else {
+        Match("ASC");
+      }
+      select.order_by.push_back(std::move(key));
+      if (!Match(",")) break;
+    }
+  }
+  if (Match("LIMIT")) {
+    INSIGHT_ASSIGN_OR_RETURN(int64_t limit, ExpectInteger());
+    select.limit = static_cast<uint64_t>(limit);
+  }
+  if (!AtEnd()) return Err("unexpected trailing tokens");
+  return stmt;
+}
+
+// ---------- Expressions ----------
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Match("OR")) {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Or(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Match("AND")) {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = And(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Match("NOT")) {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return Not(std::move(operand));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseOperand());
+  if (Match("LIKE")) {
+    INSIGHT_ASSIGN_OR_RETURN(std::string pattern, ExpectString());
+    return Like(std::move(left), std::move(pattern));
+  }
+  static const struct {
+    const char* symbol;
+    CompareOp op;
+  } kOps[] = {{"=", CompareOp::kEq},  {"<>", CompareOp::kNe},
+              {"!=", CompareOp::kNe}, {"<=", CompareOp::kLe},
+              {">=", CompareOp::kGe}, {"<", CompareOp::kLt},
+              {">", CompareOp::kGt}};
+  for (const auto& entry : kOps) {
+    if (Match(entry.symbol)) {
+      INSIGHT_ASSIGN_OR_RETURN(ExprPtr right, ParseOperand());
+      return Cmp(std::move(left), entry.op, std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseOperand() {
+  if (Match("(")) {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    INSIGHT_RETURN_NOT_OK(Expect(")"));
+    return inner;
+  }
+  if (Peek().Is(TokenType::kString)) {
+    return Lit(Value::String(Advance().text));
+  }
+  if (Peek().Is(TokenType::kNumber)) {
+    const std::string number = Advance().text;
+    if (number.find('.') != std::string::npos) {
+      return Lit(Value::Double(std::stod(number)));
+    }
+    return Lit(Value::Int(std::stoll(number)));
+  }
+  if (Match("TRUE")) return Lit(Value::Bool(true));
+  if (Match("FALSE")) return Lit(Value::Bool(false));
+  if (Match("NULL")) return Lit(Value::Null());
+  if (Match("$")) return ParseSummaryFunc("");
+  if (Peek().Is(TokenType::kIdentifier)) {
+    std::string name = Advance().text;
+    // Qualified forms: alias.column or alias.$.func(...).
+    if (Peek().Is(".")) {
+      if (Peek(1).Is("$")) {
+        Advance();  // '.'
+        Advance();  // '$'
+        return ParseSummaryFunc(name);
+      }
+      while (Match(".")) {
+        INSIGHT_ASSIGN_OR_RETURN(std::string next, ExpectIdentifier());
+        name += "." + next;
+      }
+    }
+    return Col(std::move(name));
+  }
+  return Err("expected an operand");
+}
+
+Result<ExprPtr> Parser::ParseSummaryFunc(std::string qualifier) {
+  INSIGHT_RETURN_NOT_OK(Expect("."));
+  INSIGHT_ASSIGN_OR_RETURN(std::string func, ExpectIdentifier());
+  auto finish = [&](std::unique_ptr<SummaryFuncExpr> expr) -> ExprPtr {
+    expr->set_qualifier(std::move(qualifier));
+    return expr;
+  };
+  if (EqualsIgnoreCase(func, "getSize")) {
+    INSIGHT_RETURN_NOT_OK(Expect("("));
+    INSIGHT_RETURN_NOT_OK(Expect(")"));
+    return finish(std::make_unique<SummaryFuncExpr>());
+  }
+  if (!EqualsIgnoreCase(func, "getSummaryObject")) {
+    return Err("unknown summary-set function " + func);
+  }
+  INSIGHT_RETURN_NOT_OK(Expect("("));
+  INSIGHT_ASSIGN_OR_RETURN(std::string instance, ExpectString());
+  INSIGHT_RETURN_NOT_OK(Expect(")"));
+  INSIGHT_RETURN_NOT_OK(Expect("."));
+  INSIGHT_ASSIGN_OR_RETURN(std::string method, ExpectIdentifier());
+  INSIGHT_RETURN_NOT_OK(Expect("("));
+  if (EqualsIgnoreCase(method, "getSize")) {
+    INSIGHT_RETURN_NOT_OK(Expect(")"));
+    return finish(std::make_unique<SummaryFuncExpr>(
+        SummaryFuncKind::kObjectSize, std::move(instance)));
+  }
+  if (EqualsIgnoreCase(method, "getLabelValue")) {
+    // Overloaded per the paper: a class-label string or a position.
+    if (Peek().Is(TokenType::kNumber)) {
+      INSIGHT_ASSIGN_OR_RETURN(int64_t position, ExpectInteger());
+      INSIGHT_RETURN_NOT_OK(Expect(")"));
+      return finish(std::make_unique<SummaryFuncExpr>(
+          SummaryFuncKind::kLabelValueAt, std::move(instance),
+          static_cast<size_t>(position)));
+    }
+    INSIGHT_ASSIGN_OR_RETURN(std::string label, ExpectString());
+    INSIGHT_RETURN_NOT_OK(Expect(")"));
+    return finish(std::make_unique<SummaryFuncExpr>(std::move(instance),
+                                                    std::move(label)));
+  }
+  // Positional accessors (Section 3.1's per-type functions).
+  static const struct {
+    const char* name;
+    SummaryFuncKind kind;
+  } kPositional[] = {
+      {"getLabelName", SummaryFuncKind::kLabelName},
+      {"getSnippet", SummaryFuncKind::kSnippetAt},
+      {"getGroupSize", SummaryFuncKind::kGroupSizeAt},
+      {"getRepresentative", SummaryFuncKind::kRepresentative},
+  };
+  for (const auto& entry : kPositional) {
+    if (EqualsIgnoreCase(method, entry.name)) {
+      INSIGHT_ASSIGN_OR_RETURN(int64_t position, ExpectInteger());
+      INSIGHT_RETURN_NOT_OK(Expect(")"));
+      return finish(std::make_unique<SummaryFuncExpr>(
+          entry.kind, std::move(instance), static_cast<size_t>(position)));
+    }
+  }
+  if (EqualsIgnoreCase(method, "containsSingle") ||
+      EqualsIgnoreCase(method, "containsUnion")) {
+    std::vector<std::string> keywords;
+    while (true) {
+      INSIGHT_ASSIGN_OR_RETURN(std::string keyword, ExpectString());
+      keywords.push_back(std::move(keyword));
+      if (!Match(",")) break;
+    }
+    INSIGHT_RETURN_NOT_OK(Expect(")"));
+    const SummaryFuncKind kind = EqualsIgnoreCase(method, "containsSingle")
+                                     ? SummaryFuncKind::kContainsSingle
+                                     : SummaryFuncKind::kContainsUnion;
+    return finish(std::make_unique<SummaryFuncExpr>(kind, std::move(instance),
+                                                    std::move(keywords)));
+  }
+  return Err("unknown summary-object method " + method);
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  INSIGHT_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("unexpected trailing tokens");
+  }
+  return stmt;
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  INSIGHT_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("unexpected trailing tokens in expression");
+  }
+  return expr;
+}
+
+}  // namespace insight

@@ -1,0 +1,129 @@
+#include "storage/buffer_pool.h"
+
+namespace insight {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.dirty_ = false;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(StorageManager* storage, size_t capacity_frames)
+    : storage_(storage), frames_(capacity_frames) {
+  INSIGHT_CHECK(capacity_frames >= 4) << "buffer pool too small";
+}
+
+Result<PageGuard> BufferPool::FetchPage(FileId file, PageId page) {
+  const Key key{file, page};
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.referenced = true;
+    ++stats_.hits;
+    return PageGuard(this, it->second, f.page.data);
+  }
+  ++stats_.misses;
+  INSIGHT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Frame& f = frames_[idx];
+  PageStore* store = storage_->GetStore(file);
+  if (store == nullptr) {
+    return Status::InvalidArgument("unknown file " + std::to_string(file));
+  }
+  INSIGHT_RETURN_NOT_OK(store->ReadPage(page, &f.page));
+  f.file = file;
+  f.page_id = page;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.valid = true;
+  f.referenced = true;
+  table_[key] = idx;
+  return PageGuard(this, idx, f.page.data);
+}
+
+Result<PageGuard> BufferPool::NewPage(FileId file, PageId* page_id_out) {
+  PageStore* store = storage_->GetStore(file);
+  if (store == nullptr) {
+    return Status::InvalidArgument("unknown file " + std::to_string(file));
+  }
+  INSIGHT_ASSIGN_OR_RETURN(PageId page, store->AllocatePage());
+  ++stats_.allocations;
+  INSIGHT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Frame& f = frames_[idx];
+  f.page.Zero();
+  f.file = file;
+  f.page_id = page;
+  f.pin_count = 1;
+  f.dirty = true;  // New pages must reach the store even if never written.
+  f.valid = true;
+  f.referenced = true;
+  table_[Key{file, page}] = idx;
+  *page_id_out = page;
+  return PageGuard(this, idx, f.page.data);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      PageStore* store = storage_->GetStore(f.file);
+      INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
+      f.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame, bool dirty) {
+  Frame& f = frames_[frame];
+  INSIGHT_CHECK(f.pin_count > 0) << "unpin of unpinned frame";
+  --f.pin_count;
+  if (dirty) f.dirty = true;
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  // Clock sweep: up to two full passes (first clears reference bits).
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    Frame& f = frames_[idx];
+    if (!f.valid) return idx;
+    if (f.pin_count > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    // Victim found: write back if dirty, drop from the table.
+    if (f.dirty) {
+      PageStore* store = storage_->GetStore(f.file);
+      INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
+      ++stats_.writebacks;
+    }
+    table_.erase(Key{f.file, f.page_id});
+    f.valid = false;
+    f.dirty = false;
+    return idx;
+  }
+  return Status::ResourceExhausted(
+      "buffer pool: all frames pinned (capacity " + std::to_string(n) + ")");
+}
+
+}  // namespace insight

@@ -1,0 +1,121 @@
+#ifndef INSIGHTNOTES_STORAGE_BUFFER_POOL_H_
+#define INSIGHTNOTES_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/storage_manager.h"
+
+namespace insight {
+
+/// Logical I/O counters. The optimizer's cost model is validated against
+/// these, and the benches report them next to wall-clock time.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;       // Pages read from the backing store.
+  uint64_t writebacks = 0;   // Dirty pages written back on eviction/flush.
+  uint64_t allocations = 0;  // New pages created.
+
+  uint64_t logical_reads() const { return hits + misses; }
+};
+
+class BufferPool;
+
+/// RAII pin on one buffered page. Movable, not copyable; unpins on
+/// destruction. Mutators must call MarkDirty().
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame, char* data)
+      : pool_(pool), frame_(frame), data_(data) {}
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  /// Explicit early unpin.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// Page cache shared by every file in the database, with clock eviction.
+/// Capacity is in frames; `BufferPool(sm, 1024)` caches 16 MiB.
+class BufferPool {
+ public:
+  BufferPool(StorageManager* storage, size_t capacity_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins an existing page.
+  Result<PageGuard> FetchPage(FileId file, PageId page);
+
+  /// Allocates a new zeroed page in `file`, pins it, returns its id.
+  Result<PageGuard> NewPage(FileId file, PageId* page_id_out);
+
+  /// Writes back all dirty pages (pages stay cached).
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  size_t capacity() const { return frames_.size(); }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    FileId file = 0;
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    bool referenced = false;
+  };
+
+  struct Key {
+    FileId file;
+    PageId page;
+    bool operator==(const Key& o) const {
+      return file == o.file && page == o.page;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return (static_cast<size_t>(k.file) << 32) ^ k.page;
+    }
+  };
+
+  void Unpin(size_t frame, bool dirty);
+
+  /// Finds a victim frame (unpinned), evicting its current page if dirty.
+  Result<size_t> GrabFrame();
+
+  StorageManager* storage_;
+  std::vector<Frame> frames_;
+  std::unordered_map<Key, size_t, KeyHash> table_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,54 @@
+#ifndef INSIGHTNOTES_STORAGE_PAGE_H_
+#define INSIGHTNOTES_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace insight {
+
+/// Fixed page size. 16 KiB so that the large raw annotations from the
+/// paper's corpus (up to 8,000 characters) fit inline in a slotted page;
+/// anything larger spills to an overflow chain (see HeapFile).
+constexpr size_t kPageSize = 16 * 1024;
+
+using FileId = uint32_t;
+using PageId = uint32_t;
+
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Raw page buffer. Interpretation (slotted, B-Tree node, overflow) is up
+/// to the owning structure.
+struct Page {
+  char data[kPageSize];
+
+  void Zero() { std::memset(data, 0, kPageSize); }
+};
+
+/// Physical address of a record: page + slot within the owning file.
+/// This is the paper's heap location, the target of Summary-BTree
+/// backward pointers.
+struct RowLocation {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+
+  /// Packs into 64 bits for storage as an index payload.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_id) << 16) | slot;
+  }
+  static RowLocation Unpack(uint64_t packed) {
+    RowLocation loc;
+    loc.page_id = static_cast<PageId>(packed >> 16);
+    loc.slot = static_cast<uint16_t>(packed & 0xFFFF);
+    return loc;
+  }
+
+  bool operator==(const RowLocation& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_STORAGE_PAGE_H_

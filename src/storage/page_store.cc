@@ -1,0 +1,100 @@
+#include "storage/page_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace insight {
+
+Result<PageId> InMemoryPageStore::AllocatePage() {
+  auto page = std::make_unique<Page>();
+  page->Zero();
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status InMemoryPageStore::ReadPage(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(id) + " of " +
+                              std::to_string(pages_.size()));
+  }
+  std::memcpy(out->data, pages_[id]->data, kPageSize);
+  return Status::OK();
+}
+
+Status InMemoryPageStore::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(id) + " of " +
+                              std::to_string(pages_.size()));
+  }
+  std::memcpy(pages_[id]->data, page.data, kPageSize);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + std::strerror(errno));
+  }
+  const PageId num_pages = static_cast<PageId>(st.st_size / kPageSize);
+  return std::unique_ptr<FilePageStore>(
+      new FilePageStore(fd, path, num_pages));
+}
+
+FilePageStore::~FilePageStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<PageId> FilePageStore::AllocatePage() {
+  static const Page kZeroPage = [] {
+    Page p;
+    p.Zero();
+    return p;
+  }();
+  const PageId id = num_pages_;
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  const ssize_t n = ::pwrite(fd_, kZeroPage.data, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(alloc) " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  ++num_pages_;
+  return id;
+}
+
+Status FilePageStore::ReadPage(PageId id, Page* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " of " +
+                              std::to_string(num_pages_));
+  }
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  const ssize_t n = ::pread(fd_, out->data, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::WritePage(PageId id, const Page& page) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " of " +
+                              std::to_string(num_pages_));
+  }
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  const ssize_t n = ::pwrite(fd_, page.data, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace insight

@@ -1,0 +1,30 @@
+#include "storage/storage_manager.h"
+
+namespace insight {
+
+Result<FileId> StorageManager::CreateFile(const std::string& name) {
+  for (const std::string& existing : names_) {
+    if (existing == name) {
+      return Status::AlreadyExists("page file " + name);
+    }
+  }
+  std::unique_ptr<PageStore> store;
+  if (backend_ == Backend::kMemory) {
+    store = std::make_unique<InMemoryPageStore>();
+  } else {
+    INSIGHT_ASSIGN_OR_RETURN(auto file_store,
+                             FilePageStore::Open(dir_ + "/" + name));
+    store = std::move(file_store);
+  }
+  stores_.push_back(std::move(store));
+  names_.push_back(name);
+  return static_cast<FileId>(stores_.size() - 1);
+}
+
+uint64_t StorageManager::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& store : stores_) total += store->size_bytes();
+  return total;
+}
+
+}  // namespace insight

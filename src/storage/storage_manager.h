@@ -1,0 +1,51 @@
+#ifndef INSIGHTNOTES_STORAGE_STORAGE_MANAGER_H_
+#define INSIGHTNOTES_STORAGE_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page_store.h"
+
+namespace insight {
+
+/// Factory and registry of page files. A Database owns one StorageManager;
+/// every heap file, index, and summary-storage table lives in its own
+/// page file identified by FileId.
+class StorageManager {
+ public:
+  enum class Backend { kMemory, kFile };
+
+  /// `dir` is required (and must exist) for the file backend.
+  explicit StorageManager(Backend backend, std::string dir = "")
+      : backend_(backend), dir_(std::move(dir)) {}
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Creates a new page file. `name` becomes the on-disk file name for the
+  /// file backend; it must be unique.
+  Result<FileId> CreateFile(const std::string& name);
+
+  PageStore* GetStore(FileId id) {
+    return id < stores_.size() ? stores_[id].get() : nullptr;
+  }
+
+  size_t num_files() const { return stores_.size(); }
+
+  /// Total allocated bytes across all page files.
+  uint64_t TotalBytes() const;
+
+  Backend backend() const { return backend_; }
+
+ private:
+  Backend backend_;
+  std::string dir_;
+  std::vector<std::unique_ptr<PageStore>> stores_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_STORAGE_STORAGE_MANAGER_H_

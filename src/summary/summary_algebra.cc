@@ -1,0 +1,291 @@
+#include "summary/summary_algebra.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace insight {
+
+AnnotationResolver NullResolver() {
+  return [](AnnId) -> Result<std::string> {
+    return Status::NotFound("no annotation resolver");
+  };
+}
+
+namespace {
+
+// Remaps an input-column mask to output positions; 0 when no targeted
+// column survives.
+uint64_t RemapMask(uint64_t mask, const std::vector<size_t>& kept_columns) {
+  uint64_t out = 0;
+  for (size_t j = 0; j < kept_columns.size(); ++j) {
+    if (mask & (1ULL << kept_columns[j])) out |= (1ULL << j);
+  }
+  return out;
+}
+
+std::string ElectedRepText(const AnnotationResolver& resolver, AnnId ann) {
+  auto text = resolver(ann);
+  if (!text.ok()) return "(representative unavailable)";
+  std::string t = std::move(text).ValueOrDie();
+  if (t.size() > kClusterRepMaxChars) t.resize(kClusterRepMaxChars);
+  return t;
+}
+
+Result<SummaryObject> ProjectObject(const SummaryObject& obj,
+                                    const std::vector<size_t>& kept_columns,
+                                    const AnnotationResolver& resolver) {
+  SummaryObject out = obj;
+  for (size_t i = 0; i < out.elements.size(); ++i) {
+    std::vector<ElementRef> kept;
+    kept.reserve(out.elements[i].size());
+    for (const ElementRef& e : out.elements[i]) {
+      const uint64_t mask = RemapMask(e.column_mask, kept_columns);
+      if (mask != 0) kept.push_back(ElementRef{e.ann_id, mask});
+    }
+    out.elements[i] = std::move(kept);
+    switch (out.type) {
+      case SummaryType::kClassifier:
+        out.reps[i].count = static_cast<int64_t>(out.elements[i].size());
+        break;
+      case SummaryType::kSnippet:
+        break;  // Empty element list marks the snippet for removal below.
+      case SummaryType::kCluster: {
+        out.reps[i].count = static_cast<int64_t>(out.elements[i].size());
+        // Re-elect the representative if it was eliminated.
+        if (!out.elements[i].empty()) {
+          const AnnId rep_ann = out.reps[i].source_ann;
+          const bool rep_alive =
+              std::any_of(out.elements[i].begin(), out.elements[i].end(),
+                          [&](const ElementRef& e) {
+                            return e.ann_id == rep_ann;
+                          });
+          if (!rep_alive) {
+            const AnnId elected = out.elements[i].front().ann_id;
+            out.reps[i].source_ann = elected;
+            out.reps[i].text = ElectedRepText(resolver, elected);
+          }
+        }
+        break;
+      }
+    }
+  }
+  // Drop empty snippets and empty cluster groups; classifier labels stay
+  // (with count 0 — see Figure 3's (Other, 0)).
+  if (out.type != SummaryType::kClassifier) {
+    size_t write = 0;
+    for (size_t i = 0; i < out.reps.size(); ++i) {
+      if (!out.elements[i].empty()) {
+        if (write != i) {
+          out.reps[write] = std::move(out.reps[i]);
+          out.elements[write] = std::move(out.elements[i]);
+        }
+        ++write;
+      }
+    }
+    out.reps.resize(write);
+    out.elements.resize(write);
+  }
+  INSIGHT_RETURN_NOT_OK(out.CheckInvariants());
+  return out;
+}
+
+// Deduplicates an element list by annotation id, OR-ing column masks of
+// duplicate references.
+std::vector<ElementRef> DedupElements(std::vector<ElementRef> elems) {
+  std::map<AnnId, uint64_t> merged;
+  for (const ElementRef& e : elems) merged[e.ann_id] |= e.column_mask;
+  std::vector<ElementRef> out;
+  out.reserve(merged.size());
+  for (const auto& [id, mask] : merged) out.push_back(ElementRef{id, mask});
+  return out;
+}
+
+void ShiftMasks(SummaryObject* obj, size_t shift) {
+  if (shift == 0) return;
+  for (auto& elems : obj->elements) {
+    for (ElementRef& e : elems) e.column_mask <<= shift;
+  }
+}
+
+Result<SummaryObject> MergeClassifiers(const SummaryObject& left,
+                                       const SummaryObject& right) {
+  if (left.reps.size() != right.reps.size()) {
+    return Status::Internal("classifier label sets differ for instance " +
+                            left.instance_name);
+  }
+  SummaryObject out = left;
+  for (size_t i = 0; i < out.reps.size(); ++i) {
+    std::vector<ElementRef> combined = out.elements[i];
+    combined.insert(combined.end(), right.elements[i].begin(),
+                    right.elements[i].end());
+    out.elements[i] = DedupElements(std::move(combined));
+    out.reps[i].count = static_cast<int64_t>(out.elements[i].size());
+  }
+  return out;
+}
+
+Result<SummaryObject> MergeSnippets(const SummaryObject& left,
+                                    const SummaryObject& right) {
+  SummaryObject out = left;
+  std::set<AnnId> seen;
+  for (const auto& elems : out.elements) {
+    for (const ElementRef& e : elems) seen.insert(e.ann_id);
+  }
+  for (size_t i = 0; i < right.reps.size(); ++i) {
+    const AnnId src = right.elements[i].front().ann_id;
+    if (seen.count(src) > 0) {
+      // Same annotation summarized on both sides: merge the masks into
+      // the existing entry.
+      for (size_t j = 0; j < out.elements.size(); ++j) {
+        if (out.elements[j].front().ann_id == src) {
+          out.elements[j].front().column_mask |=
+              right.elements[i].front().column_mask;
+          break;
+        }
+      }
+      continue;
+    }
+    seen.insert(src);
+    out.reps.push_back(right.reps[i]);
+    out.elements.push_back(right.elements[i]);
+  }
+  return out;
+}
+
+Result<SummaryObject> MergeClusters(const SummaryObject& left,
+                                    const SummaryObject& right) {
+  // Union-find over groups keyed by shared annotation ids: overlapping
+  // groups combine; disjoint groups propagate separately (Example 1).
+  struct Group {
+    Representative rep;
+    std::vector<ElementRef> elems;
+    bool from_left;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < left.reps.size(); ++i) {
+    groups.push_back(Group{left.reps[i], left.elements[i], true});
+  }
+  for (size_t i = 0; i < right.reps.size(); ++i) {
+    groups.push_back(Group{right.reps[i], right.elements[i], false});
+  }
+  std::vector<size_t> parent(groups.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::map<AnnId, size_t> owner;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const ElementRef& e : groups[g].elems) {
+      auto [it, inserted] = owner.emplace(e.ann_id, g);
+      if (!inserted) parent[find(g)] = find(it->second);
+    }
+  }
+  std::map<size_t, std::vector<size_t>> components;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    components[find(g)].push_back(g);
+  }
+
+  SummaryObject out = left;
+  out.reps.clear();
+  out.elements.clear();
+  for (const auto& [root, members] : components) {
+    std::vector<ElementRef> elems;
+    // Prefer a left-side representative so propagation is deterministic
+    // and matches the figure (A1+B5 keep A1's representative).
+    const Group* rep_group = nullptr;
+    for (size_t g : members) {
+      elems.insert(elems.end(), groups[g].elems.begin(),
+                   groups[g].elems.end());
+      if (rep_group == nullptr || (groups[g].from_left &&
+                                   !rep_group->from_left)) {
+        rep_group = &groups[g];
+      }
+    }
+    elems = DedupElements(std::move(elems));
+    Representative rep = rep_group->rep;
+    rep.count = static_cast<int64_t>(elems.size());
+    out.reps.push_back(std::move(rep));
+    out.elements.push_back(std::move(elems));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SummarySet> ProjectSummaries(const SummarySet& set,
+                                    const std::vector<size_t>& kept_columns,
+                                    const AnnotationResolver& resolver) {
+  std::vector<SummaryObject> out;
+  out.reserve(set.objects().size());
+  for (const SummaryObject& obj : set.objects()) {
+    INSIGHT_ASSIGN_OR_RETURN(SummaryObject projected,
+                             ProjectObject(obj, kept_columns, resolver));
+    // Objects that lost every contributing annotation still propagate
+    // (a classifier with all-zero labels is meaningful: "no annotations
+    // on the projected columns"); snippet/cluster objects with no
+    // representatives left are dropped.
+    if (projected.type == SummaryType::kClassifier ||
+        !projected.reps.empty()) {
+      out.push_back(std::move(projected));
+    }
+  }
+  return SummarySet(std::move(out));
+}
+
+Result<SummarySet> MergeSummaries(const SummarySet& left,
+                                  const SummarySet& right,
+                                  size_t left_arity) {
+  std::vector<SummaryObject> out;
+  std::set<uint32_t> right_merged;
+  for (const SummaryObject& lobj : left.objects()) {
+    const SummaryObject* robj = nullptr;
+    for (const SummaryObject& candidate : right.objects()) {
+      if (candidate.instance_id == lobj.instance_id) {
+        robj = &candidate;
+        break;
+      }
+    }
+    if (robj == nullptr) {
+      out.push_back(lobj);  // No counterpart: propagate unchanged.
+      continue;
+    }
+    right_merged.insert(robj->instance_id);
+    SummaryObject shifted_right = *robj;
+    ShiftMasks(&shifted_right, left_arity);
+    SummaryObject merged;
+    switch (lobj.type) {
+      case SummaryType::kClassifier: {
+        INSIGHT_ASSIGN_OR_RETURN(merged,
+                                 MergeClassifiers(lobj, shifted_right));
+        break;
+      }
+      case SummaryType::kSnippet: {
+        INSIGHT_ASSIGN_OR_RETURN(merged, MergeSnippets(lobj, shifted_right));
+        break;
+      }
+      case SummaryType::kCluster: {
+        INSIGHT_ASSIGN_OR_RETURN(merged, MergeClusters(lobj, shifted_right));
+        break;
+      }
+    }
+    merged.tuple_id = kInvalidOid;  // Merged objects span tuples.
+    INSIGHT_RETURN_NOT_OK(merged.CheckInvariants());
+    out.push_back(std::move(merged));
+  }
+  for (const SummaryObject& robj : right.objects()) {
+    if (right_merged.count(robj.instance_id) > 0) continue;
+    SummaryObject shifted = robj;
+    ShiftMasks(&shifted, left_arity);
+    out.push_back(std::move(shifted));
+  }
+  return SummarySet(std::move(out));
+}
+
+}  // namespace insight

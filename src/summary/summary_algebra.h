@@ -1,0 +1,50 @@
+#ifndef INSIGHTNOTES_SUMMARY_SUMMARY_ALGEBRA_H_
+#define INSIGHTNOTES_SUMMARY_SUMMARY_ALGEBRA_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "summary/summary_object.h"
+
+namespace insight {
+
+/// Fetches a raw annotation's text by id — used to elect a replacement
+/// cluster representative when projection drops the current one
+/// (Example 1: A5 replaces A2). A point lookup, not a scan.
+using AnnotationResolver = std::function<Result<std::string>(AnnId)>;
+
+/// Resolver that never finds anything; callers that cannot reach raw
+/// storage get "(representative unavailable)" texts instead of failures.
+AnnotationResolver NullResolver();
+
+/// Projection semantics over summaries (Theorems 1-2 of the base paper:
+/// annotation effects must be eliminated *before* any merge). Given the
+/// list of input-column positions that survive the projection (in output
+/// order), rewrites each object:
+///   - every element's column mask is remapped to output positions;
+///     elements whose mask becomes empty are eliminated
+///   - Classifier: per-label counts drop; empty labels stay with count 0
+///   - Snippet: snippets of eliminated annotations are removed
+///   - Cluster: group sizes drop; dropped representatives are re-elected
+///     from surviving members via `resolver`; empty groups are removed
+Result<SummarySet> ProjectSummaries(const SummarySet& set,
+                                    const std::vector<size_t>& kept_columns,
+                                    const AnnotationResolver& resolver);
+
+/// Merge semantics for joins and grouping. Objects of instances present on
+/// only one side propagate unchanged; objects of the same instance merge
+/// with common annotations counted once (the paper's double-counting
+/// guard) and, for clusters, overlapping groups (sharing any annotation)
+/// combined while disjoint groups propagate separately.
+///
+/// `left_arity` is the number of data columns of the left input: right-side
+/// element masks are shifted by it so masks index the concatenated output
+/// row. Pass 0 for same-schema merges (grouping/aggregation, duplicate
+/// elimination), where both sides' masks already share one column space.
+Result<SummarySet> MergeSummaries(const SummarySet& left,
+                                  const SummarySet& right, size_t left_arity);
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_SUMMARY_SUMMARY_ALGEBRA_H_

@@ -1,0 +1,84 @@
+#ifndef INSIGHTNOTES_SUMMARY_SUMMARY_INSTANCE_H_
+#define INSIGHTNOTES_SUMMARY_SUMMARY_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/naive_bayes.h"
+#include "mining/snippet.h"
+#include "summary/summary_algebra.h"
+#include "summary/summary_object.h"
+
+namespace insight {
+
+/// A configured summarization technique that can be linked to relations
+/// (the paper's "Summary Instance", Section 2.1). Instance ids are
+/// process-global: linking the same instance to two relations (e.g.
+/// TextSummary1 on both Birds and Synonyms) gives their summary objects
+/// the same id, which is what the merge semantics and optimizer rules
+/// ("instance L is not defined on S") key on.
+///
+/// Copyable: the mining models are shared.
+class SummaryInstance {
+ public:
+  /// Classifier instance: annotations are classified into `labels` by a
+  /// (trainable) Naive Bayes model. Objects always carry every label, in
+  /// this order.
+  static SummaryInstance Classifier(
+      std::string name, std::vector<std::string> labels,
+      std::shared_ptr<NaiveBayesClassifier> model);
+
+  /// Snippet instance: annotations longer than options.min_chars get an
+  /// extractive snippet of at most options.max_snippet_chars.
+  static SummaryInstance Snippet(std::string name,
+                                 SnippetSummarizer::Options options = {});
+
+  /// Cluster instance: annotations join the most similar existing group
+  /// (cosine similarity of hashed term vectors vs the group
+  /// representative >= min_similarity) or seed a new group.
+  static SummaryInstance Cluster(std::string name,
+                                 double min_similarity = 0.25);
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  SummaryType type() const { return type_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  NaiveBayesClassifier* classifier() const { return classifier_.get(); }
+
+  /// A fresh (annotation-free) object for one tuple.
+  SummaryObject NewObject(Oid tuple, uint64_t obj_id) const;
+
+  /// Incorporates one annotation into `obj` (the incremental-maintenance
+  /// path). `mask` is the annotation's column mask on this tuple.
+  Status ApplyAdd(SummaryObject* obj, AnnId ann, const std::string& text,
+                  uint64_t mask) const;
+
+  /// Removes one annotation's contribution from `obj`. The resolver
+  /// re-elects cluster representatives when needed. NotFound if the
+  /// annotation does not contribute to this object.
+  Status ApplyRemove(SummaryObject* obj, AnnId ann,
+                     const AnnotationResolver& resolver) const;
+
+ private:
+  SummaryInstance(std::string name, SummaryType type);
+
+  static uint32_t NextId();
+
+  uint32_t id_;
+  std::string name_;
+  SummaryType type_;
+
+  // Classifier state.
+  std::vector<std::string> labels_;
+  std::shared_ptr<NaiveBayesClassifier> classifier_;
+  // Snippet state.
+  std::shared_ptr<SnippetSummarizer> summarizer_;
+  // Cluster state.
+  double min_similarity_ = 0.25;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_SUMMARY_SUMMARY_INSTANCE_H_

@@ -1,0 +1,268 @@
+#include "summary/summary_manager.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "index/key_codec.h"
+
+namespace insight {
+
+Result<std::unique_ptr<SummaryManager>> SummaryManager::Create(
+    Catalog* catalog, Table* base, AnnotationStore* annotations) {
+  auto mgr = std::unique_ptr<SummaryManager>(
+      new SummaryManager(base, annotations));
+  INSIGHT_ASSIGN_OR_RETURN(
+      mgr->storage_,
+      catalog->CreateTable(base->name() + "_SummaryStorage",
+                           Schema({{"tuple_oid", ValueType::kInt64},
+                                   {"blob", ValueType::kString}})));
+  INSIGHT_RETURN_NOT_OK(mgr->storage_->CreateColumnIndex("tuple_oid"));
+  return mgr;
+}
+
+Status SummaryManager::LinkInstance(SummaryInstance instance) {
+  for (const SummaryInstance& existing : instances_) {
+    if (EqualsIgnoreCase(existing.name(), instance.name())) {
+      return Status::AlreadyExists("instance " + instance.name() +
+                                   " already linked to " + base_->name());
+    }
+  }
+  instances_.push_back(std::move(instance));
+  return Status::OK();
+}
+
+Status SummaryManager::UnlinkInstance(const std::string& name) {
+  size_t pos = instances_.size();
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (EqualsIgnoreCase(instances_[i].name(), name)) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == instances_.size()) {
+    return Status::NotFound("instance " + name + " not linked");
+  }
+  const uint32_t instance_id = instances_[pos].id();
+  instances_.erase(instances_.begin() + pos);
+
+  // Strip the instance's objects from every storage row (admin scan).
+  std::vector<std::pair<Oid, Oid>> rows;  // (storage row, tuple oid)
+  auto it = storage_->Scan();
+  Oid row_oid;
+  Tuple row;
+  while (it.Next(&row_oid, &row)) {
+    rows.emplace_back(row_oid, static_cast<Oid>(row.at(0).AsInt()));
+  }
+  for (const auto& [storage_row, tuple_oid] : rows) {
+    INSIGHT_ASSIGN_OR_RETURN(Tuple blob_row, storage_->Get(storage_row));
+    INSIGHT_ASSIGN_OR_RETURN(
+        SummarySet set, SummarySet::Deserialize(blob_row.at(1).AsString()));
+    std::vector<SummaryObject> kept;
+    const SummaryObject* removed = nullptr;
+    SummaryObject removed_copy;
+    for (SummaryObject& obj : set.objects()) {
+      if (obj.instance_id == instance_id) {
+        removed_copy = obj;
+        removed = &removed_copy;
+      } else {
+        kept.push_back(std::move(obj));
+      }
+    }
+    if (removed == nullptr) continue;
+    INSIGHT_RETURN_NOT_OK(
+        SaveSummaries(tuple_oid, storage_row, SummarySet(std::move(kept))));
+    INSIGHT_RETURN_NOT_OK(Notify(tuple_oid, instance_id, removed, nullptr));
+  }
+  return Status::OK();
+}
+
+Result<const SummaryInstance*> SummaryManager::FindInstance(
+    std::string_view name) const {
+  for (const SummaryInstance& inst : instances_) {
+    if (EqualsIgnoreCase(inst.name(), name)) return &inst;
+  }
+  return Status::NotFound("instance " + std::string(name) + " not linked to " +
+                          base_->name());
+}
+
+bool SummaryManager::HasInstance(uint32_t instance_id) const {
+  for (const SummaryInstance& inst : instances_) {
+    if (inst.id() == instance_id) return true;
+  }
+  return false;
+}
+
+Result<Oid> SummaryManager::FindStorageRow(Oid tuple_oid) const {
+  const BTree* idx = storage_->GetColumnIndex("tuple_oid");
+  INSIGHT_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> hits,
+      idx->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(tuple_oid)))));
+  if (hits.empty()) return kInvalidOid;
+  return static_cast<Oid>(hits.front());
+}
+
+Status SummaryManager::SaveSummaries(Oid tuple_oid, Oid storage_row,
+                                     const SummarySet& set) {
+  std::string blob;
+  set.Serialize(&blob);
+  Tuple row({Value::Int(static_cast<int64_t>(tuple_oid)),
+             Value::String(std::move(blob))});
+  if (storage_row == kInvalidOid) {
+    return storage_->Insert(row).status();
+  }
+  return storage_->Update(storage_row, row);
+}
+
+Status SummaryManager::Notify(Oid oid, uint32_t instance_id,
+                              const SummaryObject* before,
+                              const SummaryObject* after) {
+  auto it = listeners_.find(instance_id);
+  if (it == listeners_.end()) return Status::OK();
+  for (const auto& [id, listener] : it->second) {
+    INSIGHT_RETURN_NOT_OK(listener(oid, before, after));
+  }
+  return Status::OK();
+}
+
+SummaryManager::ListenerId SummaryManager::AddListener(uint32_t instance_id,
+                                                       Listener listener) {
+  const ListenerId id = next_listener_id_++;
+  listeners_[instance_id].emplace_back(id, std::move(listener));
+  return id;
+}
+
+void SummaryManager::RemoveListener(ListenerId id) {
+  for (auto& [instance_id, listeners] : listeners_) {
+    for (size_t i = 0; i < listeners.size(); ++i) {
+      if (listeners[i].first == id) {
+        listeners.erase(listeners.begin() + static_cast<long>(i));
+        return;
+      }
+    }
+  }
+}
+
+AnnotationResolver SummaryManager::MakeResolver() const {
+  AnnotationStore* store = annotations_;
+  return [store](AnnId id) { return store->GetText(id); };
+}
+
+Result<AnnId> SummaryManager::AddAnnotation(
+    const std::string& text, const std::vector<AnnotationTarget>& targets) {
+  INSIGHT_ASSIGN_OR_RETURN(AnnId ann, annotations_->Add(text, targets));
+
+  // Group targets per tuple (an annotation may span cells of one tuple).
+  std::map<Oid, uint64_t> per_tuple;
+  for (const AnnotationTarget& t : targets) {
+    per_tuple[t.oid] |= t.column_mask;
+  }
+  for (const auto& [oid, mask] : per_tuple) {
+    INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid));
+    SummarySet set;
+    if (storage_row != kInvalidOid) {
+      INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row));
+      INSIGHT_ASSIGN_OR_RETURN(set,
+                               SummarySet::Deserialize(row.at(1).AsString()));
+    }
+    // Apply every instance first, then persist, then notify: index
+    // listeners must observe the storage row already in place (backward
+    // and conventional pointers both resolve through it or the base heap).
+    struct Event {
+      uint32_t instance_id;
+      std::optional<SummaryObject> before;
+      SummaryObject after;
+    };
+    std::vector<Event> events;
+    for (const SummaryInstance& inst : instances_) {
+      SummaryObject* obj = nullptr;
+      for (SummaryObject& candidate : set.objects()) {
+        if (candidate.instance_id == inst.id()) {
+          obj = &candidate;
+          break;
+        }
+      }
+      Event event;
+      event.instance_id = inst.id();
+      if (obj == nullptr) {
+        set.Add(inst.NewObject(oid, next_obj_id_++));
+        obj = &set.objects().back();
+      } else {
+        event.before = *obj;
+      }
+      INSIGHT_RETURN_NOT_OK(inst.ApplyAdd(obj, ann, text, mask));
+      event.after = *obj;
+      events.push_back(std::move(event));
+    }
+    INSIGHT_RETURN_NOT_OK(SaveSummaries(oid, storage_row, set));
+    for (const Event& event : events) {
+      INSIGHT_RETURN_NOT_OK(
+          Notify(oid, event.instance_id,
+                 event.before.has_value() ? &*event.before : nullptr,
+                 &event.after));
+    }
+  }
+  return ann;
+}
+
+Status SummaryManager::RemoveAnnotation(AnnId ann) {
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<Oid> tuples,
+                           annotations_->TuplesFor(ann));
+
+  const AnnotationResolver resolver = MakeResolver();
+  for (Oid oid : tuples) {
+    INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid));
+    if (storage_row == kInvalidOid) continue;
+    INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row));
+    INSIGHT_ASSIGN_OR_RETURN(SummarySet set,
+                             SummarySet::Deserialize(row.at(1).AsString()));
+    for (const SummaryInstance& inst : instances_) {
+      SummaryObject* obj = set.GetSummaryObject(inst.name());
+      if (obj == nullptr) continue;
+      SummaryObject before = *obj;
+      Status st = inst.ApplyRemove(obj, ann, resolver);
+      if (st.IsNotFound()) continue;  // Not contributing to this object.
+      INSIGHT_RETURN_NOT_OK(st);
+      INSIGHT_RETURN_NOT_OK(Notify(oid, inst.id(), &before, obj));
+    }
+    INSIGHT_RETURN_NOT_OK(SaveSummaries(oid, storage_row, set));
+  }
+  return annotations_->Delete(ann);
+}
+
+Status SummaryManager::OnTupleDeleted(Oid oid) {
+  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid));
+  if (storage_row == kInvalidOid) return Status::OK();
+  INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row));
+  INSIGHT_ASSIGN_OR_RETURN(SummarySet set,
+                           SummarySet::Deserialize(row.at(1).AsString()));
+  for (const SummaryObject& obj : set.objects()) {
+    INSIGHT_RETURN_NOT_OK(Notify(oid, obj.instance_id, &obj, nullptr));
+  }
+  return storage_->Delete(storage_row);
+}
+
+Result<SummarySet> SummaryManager::GetSummaries(Oid oid) const {
+  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid));
+  if (storage_row == kInvalidOid) return SummarySet();
+  INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row));
+  return SummarySet::Deserialize(row.at(1).AsString());
+}
+
+Status SummaryManager::ForEachSummaryRow(
+    const std::function<Status(Oid, const SummarySet&)>& fn) const {
+  auto it = storage_->Scan();
+  Oid row_oid;
+  Tuple row;
+  while (it.Next(&row_oid, &row)) {
+    INSIGHT_ASSIGN_OR_RETURN(SummarySet set,
+                             SummarySet::Deserialize(row.at(1).AsString()));
+    INSIGHT_RETURN_NOT_OK(fn(static_cast<Oid>(row.at(0).AsInt()), set));
+  }
+  return Status::OK();
+}
+
+uint64_t SummaryManager::summary_storage_bytes() const {
+  return storage_->heap_bytes() + storage_->oid_index_bytes();
+}
+
+}  // namespace insight

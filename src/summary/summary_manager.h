@@ -1,0 +1,124 @@
+#ifndef INSIGHTNOTES_SUMMARY_SUMMARY_MANAGER_H_
+#define INSIGHTNOTES_SUMMARY_SUMMARY_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/result.h"
+#include "index/catalog.h"
+#include "summary/summary_instance.h"
+#include "summary/summary_object.h"
+
+namespace insight {
+
+/// Per-relation orchestration of raw annotations and their summaries:
+///   - owns the de-normalized `<rel>_SummaryStorage` table (one row per
+///     annotated data tuple holding every serialized summary object —
+///     Figure 4(b)), linked 1-1 to the base table by tuple OID
+///   - maintains summary objects incrementally as annotations arrive or
+///     disappear (Section 2 of the base system)
+///   - publishes before/after object events so summary indexes
+///     (Summary-BTree, baseline) stay in sync (Section 4.1.2)
+class SummaryManager {
+ public:
+  static Result<std::unique_ptr<SummaryManager>> Create(
+      Catalog* catalog, Table* base, AnnotationStore* annotations);
+
+  /// Links a summary instance to this relation (the paper's
+  /// `Alter Table <R> Add <InstanceName>`). Existing annotations are NOT
+  /// re-summarized; link instances before loading, as the paper does.
+  Status LinkInstance(SummaryInstance instance);
+
+  /// Unlinks an instance and strips its objects from every storage row
+  /// (admin table-scan operation).
+  Status UnlinkInstance(const std::string& name);
+
+  const std::vector<SummaryInstance>& instances() const { return instances_; }
+  /// NotFound when no linked instance has this name.
+  Result<const SummaryInstance*> FindInstance(std::string_view name) const;
+  bool HasInstance(uint32_t instance_id) const;
+
+  /// Stores a raw annotation and incrementally updates the summary
+  /// objects of every targeted tuple.
+  Result<AnnId> AddAnnotation(const std::string& text,
+                              const std::vector<AnnotationTarget>& targets);
+
+  /// Removes a raw annotation and its effects from all summaries.
+  Status RemoveAnnotation(AnnId ann);
+
+  /// Drops the summary row of a deleted data tuple and notifies
+  /// listeners (index entries must go too).
+  Status OnTupleDeleted(Oid oid);
+
+  /// The tuple's summary set (empty when un-annotated). This is the
+  /// propagation fast path: one index probe + one de-normalized row read.
+  Result<SummarySet> GetSummaries(Oid oid) const;
+
+  /// OID of the tuple's `<rel>_SummaryStorage` row (kInvalidOid when the
+  /// tuple is un-annotated). Conventional-pointer summary indexes store
+  /// this as their payload.
+  Result<Oid> StorageRowFor(Oid tuple_oid) const {
+    return FindStorageRow(tuple_oid);
+  }
+
+  /// The de-normalized storage table itself (1-1 with annotated tuples).
+  Table* storage_table() const { return storage_; }
+
+  /// Invokes `fn` for every (tuple, summary set) row — bulk index builds.
+  Status ForEachSummaryRow(
+      const std::function<Status(Oid, const SummarySet&)>& fn) const;
+
+  /// Maintenance event: `before`/`after` are null when the object is
+  /// created/destroyed. Fired once per (tuple, instance) modification.
+  using Listener =
+      std::function<Status(Oid oid, const SummaryObject* before,
+                           const SummaryObject* after)>;
+  using ListenerId = uint64_t;
+
+  /// Subscribes to modifications of one instance's objects. The returned
+  /// id deregisters via RemoveListener — indexes MUST deregister before
+  /// they are destroyed (they do, in their destructors).
+  ListenerId AddListener(uint32_t instance_id, Listener listener);
+
+  /// Drops a subscription; unknown ids are ignored.
+  void RemoveListener(ListenerId id);
+
+  /// Resolver that reads raw annotation text (cluster rep re-election).
+  AnnotationResolver MakeResolver() const;
+
+  Table* base() const { return base_; }
+  AnnotationStore* annotations() const { return annotations_; }
+
+  /// Bytes used by the de-normalized summary storage (heap + oid index +
+  /// the tuple_oid lookup index).
+  uint64_t summary_storage_bytes() const;
+
+ private:
+  SummaryManager(Table* base, AnnotationStore* annotations)
+      : base_(base), annotations_(annotations) {}
+
+  /// Storage-row OID for a tuple, or kInvalidOid when absent.
+  Result<Oid> FindStorageRow(Oid tuple_oid) const;
+
+  Status SaveSummaries(Oid tuple_oid, Oid storage_row, const SummarySet& set);
+
+  Status Notify(Oid oid, uint32_t instance_id, const SummaryObject* before,
+                const SummaryObject* after);
+
+  Table* base_;
+  AnnotationStore* annotations_;
+  Table* storage_ = nullptr;  // (tuple_oid INT, blob STRING)
+  std::vector<SummaryInstance> instances_;
+  std::map<uint32_t, std::vector<std::pair<ListenerId, Listener>>>
+      listeners_;
+  ListenerId next_listener_id_ = 1;
+  uint64_t next_obj_id_ = 1;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_SUMMARY_SUMMARY_MANAGER_H_

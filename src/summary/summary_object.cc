@@ -1,0 +1,321 @@
+#include "summary/summary_object.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace insight {
+
+const char* SummaryTypeToString(SummaryType t) {
+  switch (t) {
+    case SummaryType::kClassifier:
+      return "Classifier";
+    case SummaryType::kSnippet:
+      return "Snippet";
+    case SummaryType::kCluster:
+      return "Cluster";
+  }
+  return "?";
+}
+
+int64_t SummaryObject::TotalAnnotations() const {
+  std::set<AnnId> distinct;
+  for (const auto& elems : elements) {
+    for (const ElementRef& e : elems) distinct.insert(e.ann_id);
+  }
+  return static_cast<int64_t>(distinct.size());
+}
+
+Result<std::string> SummaryObject::GetLabelName(size_t i) const {
+  if (type != SummaryType::kClassifier) {
+    return Status::TypeError("getLabelName on " + std::string(
+                                 SummaryTypeToString(type)));
+  }
+  if (i >= reps.size()) return Status::OutOfRange("label index");
+  return reps[i].text;
+}
+
+Result<int64_t> SummaryObject::GetLabelValue(size_t i) const {
+  if (type != SummaryType::kClassifier) {
+    return Status::TypeError("getLabelValue on " + std::string(
+                                 SummaryTypeToString(type)));
+  }
+  if (i >= reps.size()) return Status::OutOfRange("label index");
+  return reps[i].count;
+}
+
+Result<size_t> SummaryObject::GetLabelIndex(std::string_view label) const {
+  if (type != SummaryType::kClassifier) {
+    return Status::TypeError("getLabelIndex on " + std::string(
+                                 SummaryTypeToString(type)));
+  }
+  for (size_t i = 0; i < reps.size(); ++i) {
+    if (EqualsIgnoreCase(reps[i].text, label)) return i;
+  }
+  return Status::NotFound("no class label " + std::string(label));
+}
+
+Result<int64_t> SummaryObject::GetLabelValue(std::string_view label) const {
+  auto exact = GetLabelIndex(label);
+  if (exact.ok()) return reps[*exact].count;
+  // Hierarchical lookup: an inner label sums its subtree of leaves.
+  const std::string prefix = ToLower(std::string(label)) + "/";
+  int64_t sum = 0;
+  bool found = false;
+  for (const Representative& rep : reps) {
+    if (StartsWith(ToLower(rep.text), prefix)) {
+      sum += rep.count;
+      found = true;
+    }
+  }
+  if (found) return sum;
+  return exact.status();
+}
+
+Result<std::string> SummaryObject::GetSnippet(size_t i) const {
+  if (type != SummaryType::kSnippet) {
+    return Status::TypeError("getSnippet on " + std::string(
+                                 SummaryTypeToString(type)));
+  }
+  if (i >= reps.size()) return Status::OutOfRange("snippet index");
+  return reps[i].text;
+}
+
+bool SummaryObject::ContainsSingle(
+    const std::vector<std::string>& keywords) const {
+  for (const Representative& rep : reps) {
+    bool all = true;
+    for (const std::string& kw : keywords) {
+      if (!ContainsWord(rep.text, kw)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool SummaryObject::ContainsUnion(
+    const std::vector<std::string>& keywords) const {
+  for (const std::string& kw : keywords) {
+    bool found = false;
+    for (const Representative& rep : reps) {
+      if (ContainsWord(rep.text, kw)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Result<std::string> SummaryObject::GetRepresentative(size_t i) const {
+  if (type != SummaryType::kCluster) {
+    return Status::TypeError("getRepresentative on " + std::string(
+                                 SummaryTypeToString(type)));
+  }
+  if (i >= reps.size()) return Status::OutOfRange("group index");
+  return reps[i].text;
+}
+
+Result<int64_t> SummaryObject::GetGroupSize(size_t i) const {
+  if (type != SummaryType::kCluster) {
+    return Status::TypeError("getGroupSize on " + std::string(
+                                 SummaryTypeToString(type)));
+  }
+  if (i >= reps.size()) return Status::OutOfRange("group index");
+  return reps[i].count;
+}
+
+Status SummaryObject::CheckInvariants() const {
+  if (reps.size() != elements.size()) {
+    return Status::Internal("rep/element arity mismatch in " + instance_name);
+  }
+  for (size_t i = 0; i < reps.size(); ++i) {
+    switch (type) {
+      case SummaryType::kClassifier:
+      case SummaryType::kCluster:
+        if (reps[i].count != static_cast<int64_t>(elements[i].size())) {
+          return Status::Internal(
+              "count " + std::to_string(reps[i].count) + " != elements " +
+              std::to_string(elements[i].size()) + " in " + instance_name);
+        }
+        break;
+      case SummaryType::kSnippet:
+        if (elements[i].size() != 1) {
+          return Status::Internal("snippet rep with " +
+                                  std::to_string(elements[i].size()) +
+                                  " source annotations");
+        }
+        break;
+    }
+    // Cluster groups must contain their representative.
+    if (type == SummaryType::kCluster && !elements[i].empty()) {
+      bool found = false;
+      for (const ElementRef& e : elements[i]) {
+        if (e.ann_id == reps[i].source_ann) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Internal("cluster representative not in its group");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void SummaryObject::Serialize(std::string* dst) const {
+  PutU8(dst, static_cast<uint8_t>(type));
+  PutU64(dst, obj_id);
+  PutU32(dst, instance_id);
+  PutU64(dst, tuple_id);
+  PutString(dst, instance_name);
+  PutU32(dst, static_cast<uint32_t>(reps.size()));
+  for (size_t i = 0; i < reps.size(); ++i) {
+    PutString(dst, reps[i].text);
+    PutI64(dst, reps[i].count);
+    PutU64(dst, reps[i].source_ann);
+    PutU32(dst, static_cast<uint32_t>(elements[i].size()));
+    for (const ElementRef& e : elements[i]) {
+      PutU64(dst, e.ann_id);
+      PutU64(dst, e.column_mask);
+    }
+  }
+}
+
+Result<SummaryObject> SummaryObject::Deserialize(SerdeReader* reader) {
+  SummaryObject obj;
+  uint8_t type;
+  if (!reader->ReadU8(&type)) return Status::Corruption("sobj: type");
+  if (type < 1 || type > 3) return Status::Corruption("sobj: bad type");
+  obj.type = static_cast<SummaryType>(type);
+  if (!reader->ReadU64(&obj.obj_id)) return Status::Corruption("sobj: id");
+  if (!reader->ReadU32(&obj.instance_id)) {
+    return Status::Corruption("sobj: instance");
+  }
+  uint64_t tuple_id;
+  if (!reader->ReadU64(&tuple_id)) return Status::Corruption("sobj: tuple");
+  obj.tuple_id = tuple_id;
+  if (!reader->ReadString(&obj.instance_name)) {
+    return Status::Corruption("sobj: name");
+  }
+  uint32_t nreps;
+  if (!reader->ReadU32(&nreps)) return Status::Corruption("sobj: reps");
+  if (nreps > (1u << 20)) return Status::Corruption("sobj: implausible reps");
+  obj.reps.reserve(nreps);
+  obj.elements.reserve(nreps);
+  for (uint32_t i = 0; i < nreps; ++i) {
+    Representative rep;
+    if (!reader->ReadString(&rep.text)) return Status::Corruption("rep text");
+    if (!reader->ReadI64(&rep.count)) return Status::Corruption("rep count");
+    if (!reader->ReadU64(&rep.source_ann)) {
+      return Status::Corruption("rep source");
+    }
+    uint32_t nelems;
+    if (!reader->ReadU32(&nelems)) return Status::Corruption("rep elems");
+    if (nelems > (1u << 24)) return Status::Corruption("implausible elems");
+    std::vector<ElementRef> elems;
+    elems.reserve(nelems);
+    for (uint32_t j = 0; j < nelems; ++j) {
+      ElementRef e;
+      if (!reader->ReadU64(&e.ann_id)) return Status::Corruption("elem id");
+      if (!reader->ReadU64(&e.column_mask)) {
+        return Status::Corruption("elem mask");
+      }
+      elems.push_back(e);
+    }
+    obj.reps.push_back(std::move(rep));
+    obj.elements.push_back(std::move(elems));
+  }
+  return obj;
+}
+
+std::string SummaryObject::ToString() const {
+  std::string out = instance_name;
+  out += " [";
+  for (size_t i = 0; i < reps.size(); ++i) {
+    if (i > 0) out += ", ";
+    switch (type) {
+      case SummaryType::kClassifier:
+        out += "(" + reps[i].text + ", " + std::to_string(reps[i].count) + ")";
+        break;
+      case SummaryType::kSnippet:
+        out += "\"" + reps[i].text.substr(0, 40) +
+               (reps[i].text.size() > 40 ? "..." : "") + "\"";
+        break;
+      case SummaryType::kCluster:
+        out += "(\"" + reps[i].text.substr(0, 30) +
+               (reps[i].text.size() > 30 ? "..." : "") + "\", " +
+               std::to_string(reps[i].count) + ")";
+        break;
+    }
+  }
+  out += "]";
+  return out;
+}
+
+bool SummaryObject::operator==(const SummaryObject& other) const {
+  if (type != other.type || instance_id != other.instance_id ||
+      reps.size() != other.reps.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < reps.size(); ++i) {
+    if (reps[i].text != other.reps[i].text ||
+        reps[i].count != other.reps[i].count ||
+        !(elements[i] == other.elements[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const SummaryObject* SummarySet::GetSummaryObject(
+    std::string_view name) const {
+  for (const SummaryObject& obj : objects_) {
+    if (EqualsIgnoreCase(obj.instance_name, name)) return &obj;
+  }
+  return nullptr;
+}
+
+SummaryObject* SummarySet::GetSummaryObject(std::string_view name) {
+  for (SummaryObject& obj : objects_) {
+    if (EqualsIgnoreCase(obj.instance_name, name)) return &obj;
+  }
+  return nullptr;
+}
+
+void SummarySet::Serialize(std::string* dst) const {
+  PutU32(dst, static_cast<uint32_t>(objects_.size()));
+  for (const SummaryObject& obj : objects_) obj.Serialize(dst);
+}
+
+Result<SummarySet> SummarySet::Deserialize(std::string_view buf) {
+  SerdeReader reader(buf);
+  uint32_t n;
+  if (!reader.ReadU32(&n)) return Status::Corruption("sset: count");
+  if (n > (1u << 16)) return Status::Corruption("sset: implausible count");
+  std::vector<SummaryObject> objects;
+  objects.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    INSIGHT_ASSIGN_OR_RETURN(SummaryObject obj,
+                             SummaryObject::Deserialize(&reader));
+    objects.push_back(std::move(obj));
+  }
+  return SummarySet(std::move(objects));
+}
+
+std::string SummarySet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += objects_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace insight

@@ -1,0 +1,156 @@
+#ifndef INSIGHTNOTES_SUMMARY_SUMMARY_OBJECT_H_
+#define INSIGHTNOTES_SUMMARY_SUMMARY_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "types/tuple.h"
+
+namespace insight {
+
+using AnnId = uint64_t;
+
+/// The three summarization families InsightNotes supports (Section 2.1).
+enum class SummaryType : uint8_t {
+  kClassifier = 1,
+  kSnippet = 2,
+  kCluster = 3,
+};
+
+const char* SummaryTypeToString(SummaryType t);
+
+/// Reference to one contributing raw annotation: its id plus the bitmask
+/// of the owning tuple's columns it is attached to. The mask is what lets
+/// the projection operator eliminate an annotation's effect when all of
+/// its target columns are projected out (Example 1 of the paper).
+struct ElementRef {
+  AnnId ann_id = 0;
+  uint64_t column_mask = 0;
+
+  bool operator==(const ElementRef& o) const {
+    return ann_id == o.ann_id && column_mask == o.column_mask;
+  }
+};
+
+/// One entry of a summary object's Rep[] array. Field use per type:
+///   Classifier: text = classLabel,        count = annotationCnt
+///   Snippet:    text = snippetValue,      count unused, source_ann = origin
+///   Cluster:    text = representative(truncated), count = groupSize,
+///               source_ann = the representative annotation's id
+struct Representative {
+  std::string text;
+  int64_t count = 0;
+  AnnId source_ann = 0;
+};
+
+/// Cluster representatives keep at most this much of the annotation text;
+/// the full text stays in raw storage and is reachable via zoom-in.
+constexpr size_t kClusterRepMaxChars = 256;
+
+/// A summary object: the paper's five-ary vector
+/// {ObjID, InstanceID, TupleID, Rep[], Elements[][]}.
+/// `Elements[i]` lists the raw annotations contributing to `Rep[i]`.
+/// The instance name is carried along so getSummaryName() works on
+/// propagated objects without a catalog round-trip.
+struct SummaryObject {
+  uint64_t obj_id = 0;
+  uint32_t instance_id = 0;
+  Oid tuple_id = 0;
+  SummaryType type = SummaryType::kClassifier;
+  std::string instance_name;
+  std::vector<Representative> reps;
+  std::vector<std::vector<ElementRef>> elements;  // Parallel to reps.
+
+  // ---- Common manipulation functions (Section 3.1) ----
+
+  SummaryType GetSummaryType() const { return type; }
+  const std::string& GetSummaryName() const { return instance_name; }
+  /// Number of representatives (size of Rep[]).
+  int64_t GetSize() const { return static_cast<int64_t>(reps.size()); }
+
+  /// Total distinct annotations referenced by this object.
+  int64_t TotalAnnotations() const;
+
+  // ---- Classifier functions ----
+
+  /// Class label at position i (labels keep instance-definition order).
+  Result<std::string> GetLabelName(size_t i) const;
+  Result<int64_t> GetLabelValue(size_t i) const;
+  /// Count for `label`. Labels may be hierarchical ("Disease/Viral"):
+  /// looking up an inner label ("Disease") sums every leaf underneath it —
+  /// the paper's multi-level summarization future-work direction.
+  Result<int64_t> GetLabelValue(std::string_view label) const;
+  /// Position of `label` (exact leaf match), NotFound if absent.
+  /// Case-insensitive.
+  Result<size_t> GetLabelIndex(std::string_view label) const;
+
+  // ---- Snippet functions ----
+
+  Result<std::string> GetSnippet(size_t i) const;
+  /// True when every keyword occurs inside a single snippet.
+  bool ContainsSingle(const std::vector<std::string>& keywords) const;
+  /// True when every keyword occurs somewhere in the union of snippets.
+  bool ContainsUnion(const std::vector<std::string>& keywords) const;
+
+  // ---- Cluster functions ----
+
+  Result<std::string> GetRepresentative(size_t i) const;
+  Result<int64_t> GetGroupSize(size_t i) const;
+
+  // ---- Invariants / serialization ----
+
+  /// Validates rep/element parallelism and per-type count invariants.
+  Status CheckInvariants() const;
+
+  void Serialize(std::string* dst) const;
+  static Result<SummaryObject> Deserialize(SerdeReader* reader);
+
+  std::string ToString() const;
+
+  bool operator==(const SummaryObject& other) const;
+};
+
+/// The set of summary objects attached to one tuple — the paper's `$`
+/// variable (r.$). Provides the summary-set manipulation functions and the
+/// serialized form stored in R_SummaryStorage rows.
+class SummarySet {
+ public:
+  SummarySet() = default;
+  explicit SummarySet(std::vector<SummaryObject> objects)
+      : objects_(std::move(objects)) {}
+
+  /// $.getSize().
+  int64_t GetSize() const { return static_cast<int64_t>(objects_.size()); }
+
+  /// $.getSummaryObject(name); nullptr when absent (the paper returns
+  /// Null). Case-insensitive.
+  const SummaryObject* GetSummaryObject(std::string_view name) const;
+  SummaryObject* GetSummaryObject(std::string_view name);
+
+  /// $.getSummaryObject(i); nullptr when out of range.
+  const SummaryObject* GetSummaryObject(size_t i) const {
+    return i < objects_.size() ? &objects_[i] : nullptr;
+  }
+
+  const std::vector<SummaryObject>& objects() const { return objects_; }
+  std::vector<SummaryObject>& objects() { return objects_; }
+  bool empty() const { return objects_.empty(); }
+
+  void Add(SummaryObject obj) { objects_.push_back(std::move(obj)); }
+
+  void Serialize(std::string* dst) const;
+  static Result<SummarySet> Deserialize(std::string_view buf);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<SummaryObject> objects_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_SUMMARY_SUMMARY_OBJECT_H_

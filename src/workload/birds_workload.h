@@ -1,0 +1,88 @@
+#ifndef INSIGHTNOTES_WORKLOAD_BIRDS_WORKLOAD_H_
+#define INSIGHTNOTES_WORKLOAD_BIRDS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/database.h"
+
+namespace insight {
+
+/// Annotation topics matching the paper's ClassBird1 labels. Each topic
+/// has a distinctive vocabulary so the Naive Bayes instance classifies
+/// generated annotations accurately.
+enum class AnnotationTopic { kDisease = 0, kAnatomy, kBehavior, kOther };
+constexpr size_t kNumTopics = 4;
+
+const char* AnnotationTopicLabel(AnnotationTopic topic);
+
+/// Synthetic stand-in for the AKN ornithological corpus (see DESIGN.md's
+/// substitution table): same schema shape (12 attributes), annotation
+/// length distribution (150 to ~8,000 characters with a long-text tail
+/// that feeds the Snippet instance), and per-class keyword signal.
+struct BirdsWorkloadOptions {
+  uint64_t seed = 42;
+  /// Paper: 45,000. Default is 1/10 scale for laptop runs.
+  size_t num_birds = 4500;
+  /// Average raw annotations per bird; the paper sweeps 10 -> 200.
+  size_t annotations_per_bird = 10;
+  /// Synonyms rows per bird (paper: ~225,000 over 45,000 birds = 5).
+  size_t synonyms_per_bird = 5;
+  /// Annotation text lengths (paper: 150-8,000 chars). The long tail is
+  /// capped by default to keep laptop runs quick; raise max_ann_chars to
+  /// the paper's 8,000 for full-size runs.
+  size_t min_ann_chars = 150;
+  size_t max_ann_chars = 2000;
+  /// Fraction of annotations exceeding the snippet threshold (1,000).
+  double long_annotation_fraction = 0.15;
+  /// Skew of annotation placement across birds (0 = uniform).
+  double placement_skew = 0.0;
+  /// Link + index setup.
+  bool link_classifier = true;
+  bool classifier_indexable = true;
+  bool link_snippet = true;
+  bool build_baseline_index = false;
+};
+
+/// Generates one annotation text of the given topic and length.
+std::string GenerateAnnotationText(AnnotationTopic topic, size_t target_chars,
+                                   Rng* rng);
+
+/// Draws a topic (Disease 20%, Anatomy 25%, Behavior 35%, Other 20%).
+AnnotationTopic DrawTopic(Rng* rng);
+
+/// Result handle for a generated corpus.
+struct BirdsWorkload {
+  size_t num_birds = 0;
+  size_t num_annotations = 0;
+  size_t num_synonyms = 0;
+  std::string birds_table = "Birds";
+  std::string synonyms_table = "Synonyms";
+};
+
+/// Creates the Birds table (12 attributes), defines/links the ClassBird1
+/// classifier ({Disease, Anatomy, Behavior, Other}) and TextSummary1
+/// snippet instances, loads birds and raw annotations, and (optionally)
+/// the Synonyms side table. Instances are linked BEFORE annotations
+/// arrive, as the paper's setup does.
+Result<BirdsWorkload> GenerateBirdsWorkload(Database* db,
+                                            const BirdsWorkloadOptions& opts);
+
+/// Appends the Synonyms table (bird_id INT, bird_name TEXT, synonym TEXT)
+/// with an index on bird_name, linked m:1 to Birds.
+Result<size_t> GenerateSynonyms(Database* db, size_t num_birds,
+                                size_t per_bird, uint64_t seed);
+
+/// Adds `count` annotations to random birds (for incremental-maintenance
+/// experiments); returns the generated annotation ids.
+Result<std::vector<AnnId>> AddRandomAnnotations(Database* db,
+                                                const std::string& table,
+                                                size_t num_birds,
+                                                size_t count, Rng* rng,
+                                                const BirdsWorkloadOptions&
+                                                    opts);
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_WORKLOAD_BIRDS_WORKLOAD_H_

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "index/btree.h"
+#include "index/key_codec.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+
+namespace insight {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest()
+      : storage_(StorageManager::Backend::kMemory), pool_(&storage_, 256) {
+    FileId file = *storage_.CreateFile("idx");
+    tree_ = std::make_unique<BTree>(*BTree::Create(&pool_, file));
+  }
+
+  StorageManager storage_;
+  BufferPool pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_->num_entries(), 0u);
+  EXPECT_FALSE(*tree_->Contains("anything"));
+  auto it = tree_->ScanAll();
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(BTreeTest, InsertLookup) {
+  ASSERT_TRUE(tree_->Insert("disease:008", 100).ok());
+  ASSERT_TRUE(tree_->Insert("disease:002", 200).ok());
+  ASSERT_TRUE(tree_->Insert("anatomy:025", 300).ok());
+  EXPECT_EQ(tree_->num_entries(), 3u);
+  EXPECT_TRUE(*tree_->Contains("disease:008"));
+  EXPECT_FALSE(*tree_->Contains("disease:003"));
+  auto hits = tree_->Lookup("disease:002");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], 200u);
+}
+
+TEST_F(BTreeTest, DuplicateKeysKeepAllPayloads) {
+  for (uint64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(tree_->Insert("same", v * 10).ok());
+  }
+  auto hits = tree_->Lookup("same");
+  ASSERT_TRUE(hits.ok());
+  std::vector<uint64_t> expected = {10, 20, 30, 40, 50};
+  EXPECT_EQ(*hits, expected);  // (key, value) order sorts payloads.
+}
+
+TEST_F(BTreeTest, DeleteExactEntry) {
+  ASSERT_TRUE(tree_->Insert("k", 1).ok());
+  ASSERT_TRUE(tree_->Insert("k", 2).ok());
+  ASSERT_TRUE(tree_->Delete("k", 1).ok());
+  EXPECT_TRUE(tree_->Delete("k", 1).IsNotFound());
+  auto hits = tree_->Lookup("k");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], 2u);
+}
+
+TEST_F(BTreeTest, RangeScanInclusiveExclusive) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        tree_->Insert("key:" + ZeroPad(i, 3), static_cast<uint64_t>(i)).ok());
+  }
+  // [10, 20] inclusive.
+  auto it = tree_->RangeScan("key:010", true, "key:020", true);
+  ASSERT_TRUE(it.ok());
+  std::vector<uint64_t> got;
+  for (; it->Valid(); it->Next()) got.push_back(it->value());
+  ASSERT_EQ(got.size(), 11u);
+  EXPECT_EQ(got.front(), 10u);
+  EXPECT_EQ(got.back(), 20u);
+
+  // (10, 20) exclusive.
+  it = tree_->RangeScan("key:010", false, "key:020", false);
+  ASSERT_TRUE(it.ok());
+  got.clear();
+  for (; it->Valid(); it->Next()) got.push_back(it->value());
+  ASSERT_EQ(got.size(), 9u);
+  EXPECT_EQ(got.front(), 11u);
+  EXPECT_EQ(got.back(), 19u);
+}
+
+TEST_F(BTreeTest, RangeScanEmptyRange) {
+  tree_->Insert("b", 1).ok();
+  auto it = tree_->RangeScan("c", true, "d", true);
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+  it = tree_->RangeScan("b", false, "b", false);
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(BTreeTest, SplitsGrowHeight) {
+  // Enough entries with sizable keys to force multiple levels.
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(tree_->Insert("key-padded-for-size:" + ZeroPad(i, 8),
+                              static_cast<uint64_t>(i))
+                    .ok());
+  }
+  EXPECT_GE(tree_->height(), 2u);
+  EXPECT_EQ(tree_->num_entries(), 20000u);
+  // Everything still findable and in order.
+  auto it = tree_->ScanAll();
+  ASSERT_TRUE(it.ok());
+  uint64_t expected = 0;
+  for (; it->Valid(); it->Next()) {
+    EXPECT_EQ(it->value(), expected++);
+  }
+  EXPECT_EQ(expected, 20000u);
+}
+
+TEST_F(BTreeTest, ReopenPreservesContents) {
+  FileId file = *storage_.CreateFile("idx2");
+  {
+    BTree t = *BTree::Create(&pool_, file);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(t.Insert("k" + ZeroPad(i, 4), i).ok());
+    }
+  }
+  BTree t = *BTree::Open(&pool_, file);
+  EXPECT_EQ(t.num_entries(), 500u);
+  EXPECT_TRUE(*t.Contains("k0123"));
+}
+
+TEST(BTreeEntryCompareTest, OrdersByKeyThenValue) {
+  EXPECT_LT(CompareEntries("a", 9, "b", 1), 0);
+  EXPECT_GT(CompareEntries("b", 1, "a", 9), 0);
+  EXPECT_LT(CompareEntries("a", 1, "a", 2), 0);
+  EXPECT_EQ(CompareEntries("a", 1, "a", 1), 0);
+}
+
+TEST(KeyCodecTest, NumericOrderPreserved) {
+  const double values[] = {-1e9, -3.5, -1, -0.0, 0.0, 0.25, 1, 7, 1e9};
+  for (double a : values) {
+    for (double b : values) {
+      const bool key_lt =
+          EncodeIndexKey(Value::Double(a)) < EncodeIndexKey(Value::Double(b));
+      EXPECT_EQ(a < b, key_lt) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(KeyCodecTest, IntAndDoubleSameImage) {
+  EXPECT_EQ(EncodeIndexKey(Value::Int(42)),
+            EncodeIndexKey(Value::Double(42.0)));
+}
+
+TEST(KeyCodecTest, StringOrderPreserved) {
+  EXPECT_LT(EncodeIndexKey(Value::String("Anatomy")),
+            EncodeIndexKey(Value::String("Behavior")));
+}
+
+TEST(KeyCodecTest, RangeSentinels) {
+  EXPECT_LT(MinNumericKey(), EncodeIndexKey(Value::Int(-1000000)));
+  EXPECT_GT(MaxNumericKey(), EncodeIndexKey(Value::Int(1000000)));
+  // MinStringKey equals the encoding of "" (the smallest string); range
+  // scans use it as an inclusive lower bound.
+  EXPECT_LE(MinStringKey(), EncodeIndexKey(Value::String("")));
+  EXPECT_GT(MaxStringKey(), EncodeIndexKey(Value::String(
+                                std::string(100, '\xFF'))));
+}
+
+// Property sweep: the tree mirrors a reference multiset of (key, value)
+// under random inserts/deletes, across several seeds.
+class BTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeFuzzTest, MatchesReferenceModel) {
+  StorageManager storage(StorageManager::Backend::kMemory);
+  BufferPool pool(&storage, 512);
+  FileId file = *storage.CreateFile("fuzz");
+  BTree tree = *BTree::Create(&pool, file);
+
+  Rng rng(GetParam());
+  std::multimap<std::string, uint64_t> model;
+  for (int step = 0; step < 5000; ++step) {
+    const std::string key = "k" + ZeroPad(rng.Uniform(0, 300), 4);
+    if (rng.NextBool(0.7) || model.empty()) {
+      const uint64_t value = static_cast<uint64_t>(rng.Uniform(0, 1 << 20));
+      ASSERT_TRUE(tree.Insert(key, value).ok());
+      model.emplace(key, value);
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(0, static_cast<int64_t>(model.size()) - 1));
+      ASSERT_TRUE(tree.Delete(it->first, it->second).ok());
+      model.erase(it);
+    }
+  }
+  ASSERT_EQ(tree.num_entries(), model.size());
+
+  // Full-scan equivalence (model multimap iterates in sorted key order;
+  // tie-break payload order also matches because entries sort by value).
+  std::vector<std::pair<std::string, uint64_t>> expected(model.begin(),
+                                                         model.end());
+  std::sort(expected.begin(), expected.end());
+  auto it = tree.ScanAll();
+  ASSERT_TRUE(it.ok());
+  size_t i = 0;
+  for (; it->Valid(); it->Next(), ++i) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(it->key(), expected[i].first);
+    EXPECT_EQ(it->value(), expected[i].second);
+  }
+  EXPECT_EQ(i, expected.size());
+
+  // Random range queries match the model.
+  for (int q = 0; q < 50; ++q) {
+    std::string lo = "k" + ZeroPad(rng.Uniform(0, 300), 4);
+    std::string hi = "k" + ZeroPad(rng.Uniform(0, 300), 4);
+    if (lo > hi) std::swap(lo, hi);
+    size_t expected_count = 0;
+    for (const auto& [k, v] : model) {
+      if (k >= lo && k <= hi) ++expected_count;
+    }
+    auto range_it = tree.RangeScan(lo, true, hi, true);
+    ASSERT_TRUE(range_it.ok());
+    size_t got = 0;
+    for (; range_it->Valid(); range_it->Next()) ++got;
+    EXPECT_EQ(got, expected_count) << lo << ".." << hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzzTest,
+                         ::testing::Values(7, 21, 42, 1234));
+
+}  // namespace
+}  // namespace insight

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace insight {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "Not found: missing thing");
+}
+
+TEST(StatusTest, CopyPreservesError) {
+  Status st = Status::IOError("disk gone");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kIOError);
+  EXPECT_EQ(copy.message(), "disk gone");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseResult(int v, int* out) {
+  INSIGHT_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  ASSERT_TRUE(UseResult(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseResult(-5, &out).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfBoundsAndSkew) {
+  Rng rng(5);
+  int64_t ones = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Zipf(100, 1.0);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    if (v == 1) ++ones;
+  }
+  // Rank 1 should dominate under skew 1.0 (expected ~1/H(100) ~ 19%).
+  EXPECT_GT(ones, 200);
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(EqualsIgnoreCase("Disease", "disease"));
+  EXPECT_FALSE(EqualsIgnoreCase("Disease", "diseases"));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("summary_btree", "summary"));
+  EXPECT_FALSE(StartsWith("sum", "summary"));
+  EXPECT_TRUE(EndsWith("file.idx", ".idx"));
+}
+
+TEST(StringUtilTest, ZeroPadPreservesOrder) {
+  // The property the Summary-BTree itemization relies on: lexicographic
+  // order of padded strings equals numeric order.
+  for (int64_t a = 0; a < 1000; a += 37) {
+    for (int64_t b = 0; b < 1000; b += 41) {
+      EXPECT_EQ(a < b, ZeroPad(a, 3) < ZeroPad(b, 3))
+          << a << " vs " << b;
+    }
+  }
+  EXPECT_EQ(ZeroPad(8, 3), "008");
+  EXPECT_EQ(ZeroPad(1234, 3), "1234");
+}
+
+TEST(StringUtilTest, TokenizeWords) {
+  auto words = TokenizeWords("The swan, observed eating stonewort!");
+  std::vector<std::string> expected = {"the", "swan", "observed", "eating",
+                                       "stonewort"};
+  EXPECT_EQ(words, expected);
+}
+
+TEST(StringUtilTest, ContainsWord) {
+  EXPECT_TRUE(ContainsWord("Wikipedia article about hormones", "wikipedia"));
+  EXPECT_FALSE(ContainsWord("Wikipedia article", "wiki"));
+}
+
+TEST(StringUtilTest, LikeMatch) {
+  EXPECT_TRUE(LikeMatch("Swan Goose", "Swan%"));
+  EXPECT_TRUE(LikeMatch("swan goose", "SWAN%"));
+  EXPECT_FALSE(LikeMatch("Goose Swan", "Swan%"));
+  EXPECT_TRUE(LikeMatch("Swan Goose", "%Goose"));
+  EXPECT_TRUE(LikeMatch("Swan Goose", "%an Go%"));
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("cart", "c_t"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("x", ""));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace insight

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "engine/expression.h"
+
+namespace insight {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"name", ValueType::kString},
+                 {"count", ValueType::kInt64},
+                 {"weight", ValueType::kDouble}});
+}
+
+Row TestRow() {
+  Row row;
+  row.data = Tuple({Value::String("Swan Goose"), Value::Int(7),
+                    Value::Double(3.5)});
+  SummaryObject cls;
+  cls.instance_id = 1;
+  cls.type = SummaryType::kClassifier;
+  cls.instance_name = "ClassBird1";
+  cls.reps = {{"Disease", 8, 0}, {"Behavior", 33, 0}};
+  cls.elements = {std::vector<ElementRef>(8, {1, 1}),
+                  std::vector<ElementRef>(33, {2, 1})};
+  SummaryObject snip;
+  snip.instance_id = 2;
+  snip.type = SummaryType::kSnippet;
+  snip.instance_name = "TextSummary1";
+  snip.reps = {{"Experiment about swan hormone", 0, 10},
+               {"Wikipedia entry", 0, 11}};
+  snip.elements = {{{10, 1}}, {{11, 1}}};
+  row.summaries = SummarySet({cls, snip});
+  return row;
+}
+
+TEST(ExpressionTest, ColumnAndLiteral) {
+  const Schema schema = TestSchema();
+  const Row row = TestRow();
+  EXPECT_EQ(Col("name")->Eval(row, schema)->AsString(), "Swan Goose");
+  EXPECT_EQ(Col("COUNT")->Eval(row, schema)->AsInt(), 7);
+  EXPECT_TRUE(Col("nope")->Eval(row, schema).status().IsNotFound());
+  EXPECT_EQ(Lit(Value::Int(3))->Eval(row, schema)->AsInt(), 3);
+}
+
+TEST(ExpressionTest, Comparisons) {
+  const Schema schema = TestSchema();
+  const Row row = TestRow();
+  EXPECT_TRUE(*Cmp(Col("count"), CompareOp::kEq, Lit(Value::Int(7)))
+                   ->EvalBool(row, schema));
+  EXPECT_TRUE(*Cmp(Col("count"), CompareOp::kGt, Lit(Value::Double(6.5)))
+                   ->EvalBool(row, schema));
+  EXPECT_FALSE(*Cmp(Col("count"), CompareOp::kLt, Lit(Value::Int(7)))
+                    ->EvalBool(row, schema));
+  EXPECT_TRUE(*Cmp(Col("name"), CompareOp::kNe, Lit(Value::String("X")))
+                   ->EvalBool(row, schema));
+}
+
+TEST(ExpressionTest, NullComparisonIsFalse) {
+  const Schema schema = TestSchema();
+  Row row = TestRow();
+  row.data.at(1) = Value::Null();
+  EXPECT_FALSE(*Cmp(Col("count"), CompareOp::kEq, Lit(Value::Null()))
+                    ->EvalBool(row, schema));
+  EXPECT_FALSE(*Cmp(Col("count"), CompareOp::kNe, Lit(Value::Int(1)))
+                    ->EvalBool(row, schema));
+}
+
+TEST(ExpressionTest, LogicalShortCircuit) {
+  const Schema schema = TestSchema();
+  const Row row = TestRow();
+  auto t = [&] { return Cmp(Col("count"), CompareOp::kEq, Lit(Value::Int(7))); };
+  auto f = [&] { return Cmp(Col("count"), CompareOp::kEq, Lit(Value::Int(0))); };
+  EXPECT_TRUE(*And(t(), t())->EvalBool(row, schema));
+  EXPECT_FALSE(*And(t(), f())->EvalBool(row, schema));
+  EXPECT_TRUE(*Or(f(), t())->EvalBool(row, schema));
+  EXPECT_FALSE(*Or(f(), f())->EvalBool(row, schema));
+  EXPECT_TRUE(*Not(f())->EvalBool(row, schema));
+}
+
+TEST(ExpressionTest, LikeOnStrings) {
+  const Schema schema = TestSchema();
+  const Row row = TestRow();
+  EXPECT_TRUE(*Like(Col("name"), "Swan%")->EvalBool(row, schema));
+  EXPECT_FALSE(*Like(Col("name"), "Goose%")->EvalBool(row, schema));
+  EXPECT_TRUE(Like(Col("count"), "7%")->EvalBool(row, schema)
+                  .status().IsTypeError());
+}
+
+TEST(ExpressionTest, SummaryFunctions) {
+  const Schema schema = TestSchema();
+  const Row row = TestRow();
+  EXPECT_EQ(LabelValue("ClassBird1", "Disease")->Eval(row, schema)->AsInt(),
+            8);
+  EXPECT_EQ(LabelValue("classbird1", "behavior")->Eval(row, schema)->AsInt(),
+            33);
+  // Missing instance -> NULL -> predicate false.
+  EXPECT_TRUE(LabelValue("Nope", "Disease")->Eval(row, schema)->is_null());
+  EXPECT_FALSE(*Cmp(LabelValue("Nope", "Disease"), CompareOp::kGt,
+                    Lit(Value::Int(0)))
+                    ->EvalBool(row, schema));
+  // Missing label is an error (the instance schema is known).
+  EXPECT_FALSE(LabelValue("ClassBird1", "Provenance")->Eval(row, schema)
+                   .ok());
+
+  EXPECT_TRUE(*ContainsSingle("TextSummary1", {"swan", "hormone"})
+                   ->EvalBool(row, schema));
+  EXPECT_FALSE(*ContainsSingle("TextSummary1", {"wikipedia", "hormone"})
+                    ->EvalBool(row, schema));
+  EXPECT_TRUE(*ContainsUnion("TextSummary1", {"wikipedia", "hormone"})
+                   ->EvalBool(row, schema));
+
+  SummaryFuncExpr set_size;
+  EXPECT_EQ(set_size.Eval(row, schema)->AsInt(), 2);
+  SummaryFuncExpr obj_size(SummaryFuncKind::kObjectSize, "ClassBird1");
+  EXPECT_EQ(obj_size.Eval(row, schema)->AsInt(), 2);
+  SummaryFuncExpr has(SummaryFuncKind::kHasObject, "TextSummary1");
+  EXPECT_TRUE(has.Eval(row, schema)->AsBool());
+}
+
+TEST(ExpressionTest, IsSummaryBasedIntrospection) {
+  EXPECT_FALSE(Cmp(Col("a"), CompareOp::kEq, Lit(Value::Int(1)))
+                   ->IsSummaryBased());
+  EXPECT_TRUE(Cmp(LabelValue("C", "L"), CompareOp::kEq, Lit(Value::Int(1)))
+                  ->IsSummaryBased());
+  auto mixed = And(Cmp(Col("a"), CompareOp::kEq, Lit(Value::Int(1))),
+                   ContainsUnion("T", {"x"}));
+  EXPECT_TRUE(mixed->IsSummaryBased());
+  std::vector<std::string> instances;
+  mixed->CollectInstances(&instances);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0], "T");
+  std::vector<std::string> columns;
+  mixed->CollectColumns(&columns);
+  ASSERT_EQ(columns.size(), 1u);
+  EXPECT_EQ(columns[0], "a");
+}
+
+TEST(ExpressionTest, CloneProducesEqualBehavior) {
+  const Schema schema = TestSchema();
+  const Row row = TestRow();
+  auto orig = And(Cmp(LabelValue("ClassBird1", "Disease"), CompareOp::kGt,
+                      Lit(Value::Int(5))),
+                  Like(Col("name"), "Swan%"));
+  auto copy = orig->Clone();
+  EXPECT_EQ(*orig->EvalBool(row, schema), *copy->EvalBool(row, schema));
+  EXPECT_EQ(orig->ToString(), copy->ToString());
+}
+
+TEST(MatchIndexablePredicateTest, MatchesTargetShapes) {
+  auto expr = Cmp(LabelValue("ClassBird1", "Disease"), CompareOp::kGt,
+                  Lit(Value::Int(5)));
+  auto match = MatchIndexablePredicate(expr.get());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->instance, "ClassBird1");
+  EXPECT_EQ(match->label, "Disease");
+  EXPECT_EQ(match->op, CompareOp::kGt);
+  EXPECT_EQ(match->constant, 5);
+
+  // Flipped: 5 < labelValue  ==  labelValue > 5.
+  auto flipped = Cmp(Lit(Value::Int(5)), CompareOp::kLt,
+                     LabelValue("ClassBird1", "Disease"));
+  match = MatchIndexablePredicate(flipped.get());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->op, CompareOp::kGt);
+  EXPECT_EQ(match->constant, 5);
+}
+
+TEST(MatchIndexablePredicateTest, RejectsNonTargetShapes) {
+  EXPECT_FALSE(MatchIndexablePredicate(
+                   Cmp(Col("a"), CompareOp::kEq, Lit(Value::Int(1))).get())
+                   .has_value());
+  // <> is not index-usable.
+  EXPECT_FALSE(MatchIndexablePredicate(
+                   Cmp(LabelValue("C", "L"), CompareOp::kNe,
+                       Lit(Value::Int(1)))
+                       .get())
+                   .has_value());
+  // Non-integer constant.
+  EXPECT_FALSE(MatchIndexablePredicate(
+                   Cmp(LabelValue("C", "L"), CompareOp::kEq,
+                       Lit(Value::String("x")))
+                       .get())
+                   .has_value());
+  // ContainsUnion is not a label-value predicate.
+  EXPECT_FALSE(MatchIndexablePredicate(
+                   Cmp(ContainsUnion("T", {"x"}), CompareOp::kEq,
+                       Lit(Value::Bool(true)))
+                       .get())
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace insight

@@ -1,0 +1,226 @@
+// Coverage for the Section 3.1 positional manipulation functions at the
+// expression/SQL level, representative-scoped zoom-in, and negative
+// legality cases of the Section 5.1 rewrite rules.
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "optimizer/optimizer.h"
+#include "sql/database.h"
+
+namespace insight {
+namespace {
+
+class FunctionsDbTest : public ::testing::Test {
+ protected:
+  FunctionsDbTest() {
+    db.Execute("CREATE TABLE Specimens (tag TEXT)").ValueOrDie();
+    db.DefineClassifier("C", {"Disease", "Behavior", "Other"},
+                        {{"diseaseword sick infection", "Disease"},
+                         {"behaviorword eating foraging", "Behavior"},
+                         {"otherword note", "Other"}})
+        .ok();
+    db.DefineCluster("Clu", 0.4).ok();
+    SnippetSummarizer::Options snip;
+    snip.min_chars = 60;
+    snip.max_snippet_chars = 200;
+    db.DefineSnippet("Snip", snip).ok();
+    db.Execute("ALTER TABLE Specimens ADD C").ValueOrDie();
+    db.Execute("ALTER TABLE Specimens ADD Clu").ValueOrDie();
+    db.Execute("ALTER TABLE Specimens ADD Snip").ValueOrDie();
+    db.Execute("INSERT INTO Specimens VALUES ('A'), ('B')").ValueOrDie();
+
+    db.Execute("ANNOTATE Specimens TUPLE 1 WITH 'diseaseword sick case'")
+        .ValueOrDie();
+    db.Execute("ANNOTATE Specimens TUPLE 1 WITH 'diseaseword infection'")
+        .ValueOrDie();
+    db.Execute("ANNOTATE Specimens TUPLE 1 WITH 'behaviorword foraging'")
+        .ValueOrDie();
+    db.Execute(
+          "ANNOTATE Specimens TUPLE 1 WITH 'A very long snippet-worthy "
+          "annotation mentioning ospreys and their remarkable habits.'")
+        .ValueOrDie();
+  }
+
+  Database db;
+};
+
+TEST_F(FunctionsDbTest, PositionalClassifierFunctions) {
+  // Label order is the instance-definition order.
+  auto result = db.Execute(
+      "SELECT $.getSummaryObject('C').getLabelName(0) AS l0, "
+      "$.getSummaryObject('C').getLabelValue(0) AS v0, "
+      "$.getSummaryObject('C').getLabelValue(1) AS v1 "
+      "FROM Specimens WHERE tag = 'A'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].at(0).AsString(), "Disease");
+  EXPECT_EQ(result->rows[0].at(1).AsInt(), 2);
+  EXPECT_EQ(result->rows[0].at(2).AsInt(), 1);
+}
+
+TEST_F(FunctionsDbTest, ClusterAndSnippetPositionalFunctions) {
+  auto result = db.Execute(
+      "SELECT $.getSummaryObject('Clu').getGroupSize(0) AS g0, "
+      "$.getSummaryObject('Clu').getRepresentative(0) AS r0, "
+      "$.getSummaryObject('Snip').getSnippet(0) AS s0 "
+      "FROM Specimens WHERE tag = 'A'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_GE(result->rows[0].at(0).AsInt(), 1);
+  EXPECT_FALSE(result->rows[0].at(1).AsString().empty());
+  EXPECT_NE(result->rows[0].at(2).AsString().find("ospreys"),
+            std::string::npos);
+}
+
+TEST_F(FunctionsDbTest, OutOfRangePositionsYieldNull) {
+  auto result = db.Execute(
+      "SELECT $.getSummaryObject('Clu').getGroupSize(99) AS g, "
+      "$.getSummaryObject('Snip').getSnippet(99) AS s "
+      "FROM Specimens WHERE tag = 'A'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->rows[0].at(0).is_null());
+  EXPECT_TRUE(result->rows[0].at(1).is_null());
+  // Un-annotated tuple: object missing -> NULL too.
+  auto b = db.Execute(
+      "SELECT $.getSummaryObject('Clu').getGroupSize(0) AS g "
+      "FROM Specimens WHERE tag = 'B'");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->rows[0].at(0).is_null());
+}
+
+TEST_F(FunctionsDbTest, GroupSizePredicateInWhere) {
+  auto result = db.Execute(
+      "SELECT tag FROM Specimens WHERE "
+      "$.getSummaryObject('Clu').getGroupSize(0) >= 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST_F(FunctionsDbTest, ZoomInScopedToLabel) {
+  auto all = db.Execute("ZOOM IN ON Specimens TUPLE 1 INSTANCE 'C'");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->annotations.size(), 4u);
+
+  auto disease = db.Execute(
+      "ZOOM IN ON Specimens TUPLE 1 INSTANCE 'C' LABEL 'Disease'");
+  ASSERT_TRUE(disease.ok()) << disease.status().ToString();
+  ASSERT_EQ(disease->annotations.size(), 2u);
+  for (const Annotation& ann : disease->annotations) {
+    EXPECT_NE(ann.text.find("diseaseword"), std::string::npos);
+  }
+
+  auto behavior = db.Execute(
+      "ZOOM IN ON Specimens TUPLE 1 INSTANCE 'C' LABEL 'Behavior'");
+  ASSERT_TRUE(behavior.ok());
+  EXPECT_EQ(behavior->annotations.size(), 1u);
+}
+
+TEST_F(FunctionsDbTest, ZoomInScopedToRepIndex) {
+  // Cluster group 0's members only.
+  auto group0 = db.Execute(
+      "ZOOM IN ON Specimens TUPLE 1 INSTANCE 'Clu' REP 0");
+  ASSERT_TRUE(group0.ok()) << group0.status().ToString();
+  EXPECT_GE(group0->annotations.size(), 1u);
+  EXPECT_LT(group0->annotations.size(), 4u);
+}
+
+// ---------- Negative legality of the rewrite rules ----------
+
+class RuleLegalityTest : public ::testing::Test {
+ protected:
+  RuleLegalityTest() : left_db(10) {
+    // A second relation sharing ClassBird1: predicates on it must NOT
+    // push below a join between the two (Rule 2's proviso).
+    shared = *left_db.catalog.CreateTable(
+        "Shared", Schema({{"sname", ValueType::kString}}));
+    shared_store = std::move(AnnotationStore::Create(&left_db.catalog,
+                                                     "Shared", 1))
+                       .ValueOrDie();
+    shared_mgr = std::move(SummaryManager::Create(&left_db.catalog, shared,
+                                                  shared_store.get()))
+                     .ValueOrDie();
+    // Link the SAME instance object (same id) as the Birds table's.
+    const SummaryInstance* inst =
+        *left_db.mgr->FindInstance("ClassBird1");
+    shared_mgr->LinkInstance(*inst).ok();
+
+    ctx = std::make_unique<QueryContext>(&left_db.catalog, &left_db.storage,
+                                         &left_db.pool);
+    ctx->RegisterRelation(left_db.birds, left_db.mgr.get()).ok();
+    ctx->RegisterRelation(shared, shared_mgr.get()).ok();
+  }
+
+  TestDb left_db;
+  Table* shared;
+  std::unique_ptr<AnnotationStore> shared_store;
+  std::unique_ptr<SummaryManager> shared_mgr;
+  std::unique_ptr<QueryContext> ctx;
+};
+
+TEST_F(RuleLegalityTest, Rule2BlockedWhenInstanceOnBothSides) {
+  LogicalPtr plan = LSummarySelect(
+      LJoin(LScan("Birds"), LScan("Shared"),
+            Cmp(Col("name"), CompareOp::kEq, Col("sname"))),
+      Cmp(LabelValue("ClassBird1", "Disease"), CompareOp::kGt,
+          Lit(Value::Int(0))));
+  Optimizer opt(ctx.get(), OptimizerOptions{});
+  auto rewritten = opt.Rewrite(plan->Clone());
+  ASSERT_TRUE(rewritten.ok());
+  // S must stay above the join: the merge would change its predicate's
+  // object.
+  EXPECT_EQ((*rewritten)->kind, LogicalKind::kSummarySelect)
+      << (*rewritten)->Explain();
+  EXPECT_EQ((*rewritten)->children[0]->kind, LogicalKind::kJoin);
+}
+
+TEST_F(RuleLegalityTest, Rule7InstanceFilterNotPushedToWrongSide) {
+  ObjectPredicate pred;
+  pred.instance_name = "ClassBird1";
+  LogicalPtr plan = LSummaryFilter(
+      LJoin(LScan("Birds"), LScan("Shared"),
+            Cmp(Col("name"), CompareOp::kEq, Col("sname"))),
+      pred);
+  Optimizer opt(ctx.get(), OptimizerOptions{});
+  auto rewritten = opt.Rewrite(plan->Clone());
+  ASSERT_TRUE(rewritten.ok());
+  // Instance lives on BOTH sides; structural predicates may push to both
+  // (Rule 8), which is what must have happened — never one-sided.
+  if ((*rewritten)->kind == LogicalKind::kJoin) {
+    EXPECT_EQ((*rewritten)->children[0]->kind,
+              LogicalKind::kSummaryFilter);
+    EXPECT_EQ((*rewritten)->children[1]->kind,
+              LogicalKind::kSummaryFilter);
+  }
+}
+
+TEST_F(RuleLegalityTest, Rule11BlockedWhenInstanceOnT) {
+  // J's predicate instance (ClassBird1) is linked on the would-be T
+  // (Shared): the join-order switch is illegal and must not fire.
+  SummaryJoinPredicate sjp;
+  sjp.left_expr = LabelValue("ClassBird1", "Disease");
+  sjp.op = CompareOp::kEq;
+  sjp.right_expr = LabelValue("ClassBird1", "Disease");
+  LogicalPtr plan = LJoin(
+      LSummaryJoin(LScan("Birds"), LScan("Birds"), sjp.Clone()),
+      LScan("Shared"), Cmp(Col("name"), CompareOp::kEq, Col("sname")));
+  Optimizer opt(ctx.get(), OptimizerOptions{});
+  auto rewritten = opt.Rewrite(plan->Clone());
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->kind, LogicalKind::kJoin)
+      << (*rewritten)->Explain();
+}
+
+TEST_F(RuleLegalityTest, CrossSidePredicateStaysAboveJoin) {
+  // A sigma comparing columns of both sides cannot push either way.
+  LogicalPtr plan = LSelect(
+      LJoin(LScan("Birds"), LScan("Shared"), Lit(Value::Bool(true))),
+      Cmp(Col("name"), CompareOp::kNe, Col("sname")));
+  Optimizer opt(ctx.get(), OptimizerOptions{});
+  auto rewritten = opt.Rewrite(plan->Clone());
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->kind, LogicalKind::kSelect);
+}
+
+}  // namespace
+}  // namespace insight

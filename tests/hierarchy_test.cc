@@ -1,0 +1,117 @@
+// Multi-level (hierarchical) summarization — the paper's future-work
+// item, realized as slash-separated classifier leaf labels. Inner labels
+// resolve by summing their subtree; leaf labels stay indexable via the
+// Summary-BTree.
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "sql/database.h"
+
+namespace insight {
+namespace {
+
+SummaryObject TwoLevelObject() {
+  SummaryObject obj;
+  obj.type = SummaryType::kClassifier;
+  obj.instance_name = "H";
+  obj.reps = {{"Disease/Viral", 3, 0},
+              {"Disease/Parasitic", 2, 0},
+              {"Behavior/Feeding", 4, 0},
+              {"Other", 1, 0}};
+  obj.elements = {std::vector<ElementRef>(3, {1, 1}),
+                  std::vector<ElementRef>(2, {2, 1}),
+                  std::vector<ElementRef>(4, {3, 1}),
+                  std::vector<ElementRef>(1, {4, 1})};
+  // Distinct annotation ids per element for invariant cleanliness.
+  AnnId next = 1;
+  for (auto& elems : obj.elements) {
+    for (auto& e : elems) e.ann_id = next++;
+  }
+  return obj;
+}
+
+TEST(HierarchyTest, LeafLookupIsExact) {
+  SummaryObject obj = TwoLevelObject();
+  EXPECT_EQ(*obj.GetLabelValue("Disease/Viral"), 3);
+  EXPECT_EQ(*obj.GetLabelValue("disease/parasitic"), 2);
+}
+
+TEST(HierarchyTest, InnerLabelSumsSubtree) {
+  SummaryObject obj = TwoLevelObject();
+  EXPECT_EQ(*obj.GetLabelValue("Disease"), 5);    // 3 + 2.
+  EXPECT_EQ(*obj.GetLabelValue("Behavior"), 4);
+  EXPECT_EQ(*obj.GetLabelValue("Other"), 1);      // Plain leaf.
+  EXPECT_TRUE(obj.GetLabelValue("Habitat").status().IsNotFound());
+}
+
+TEST(HierarchyTest, EndToEndThroughSqlAndIndex) {
+  Database db;
+  db.Execute("CREATE TABLE Cases (tag TEXT)").ValueOrDie();
+  db.DefineClassifier(
+        "H", {"Disease/Viral", "Disease/Parasitic", "Other"},
+        {{"virus influenza viral infection", "Disease/Viral"},
+         {"parasite tick worm infestation", "Disease/Parasitic"},
+         {"note comment", "Other"}})
+      .ok();
+  db.Execute("ALTER TABLE Cases ADD INDEXABLE H").ValueOrDie();
+  for (int i = 0; i < 6; ++i) {
+    db.Execute("INSERT INTO Cases VALUES ('case" + std::to_string(i) + "')")
+        .ValueOrDie();
+  }
+  db.Execute("ANNOTATE Cases TUPLE 1 WITH 'virus viral infection'")
+      .ValueOrDie();
+  db.Execute("ANNOTATE Cases TUPLE 1 WITH 'parasite worm found'")
+      .ValueOrDie();
+  db.Execute("ANNOTATE Cases TUPLE 2 WITH 'viral influenza'").ValueOrDie();
+
+  // Inner-label query (evaluated by the S operator; the index covers
+  // leaves, not subtree sums).
+  auto result = db.Execute(
+      "SELECT tag FROM Cases WHERE "
+      "$.getSummaryObject('H').getLabelValue('Disease') >= 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].at(0).AsString(), "case0");
+
+  // Leaf-label query goes through the Summary-BTree.
+  db.Execute("ANALYZE Cases").ValueOrDie();
+  auto plan = db.Explain(
+      "SELECT tag FROM Cases WHERE "
+      "$.getSummaryObject('H').getLabelValue('Disease/Viral') = 1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("SummaryIndexScan"), std::string::npos) << *plan;
+  auto leaf = db.Execute(
+      "SELECT tag FROM Cases WHERE "
+      "$.getSummaryObject('H').getLabelValue('Disease/Viral') = 1");
+  ASSERT_TRUE(leaf.ok()) << leaf.status().ToString();
+  EXPECT_EQ(leaf->rows.size(), 2u);
+}
+
+TEST(HierarchyTest, SubtreeSumsSurviveMergeAndProjection) {
+  TestDb db(4);
+  // Replace the fixture classifier with a hierarchical one on a second
+  // manager-level instance.
+  auto model = std::make_shared<NaiveBayesClassifier>(
+      std::vector<std::string>{"D/V", "D/P", "O"});
+  model->Train("viralword viralword", "D/V").ok();
+  model->Train("parasiteword parasiteword", "D/P").ok();
+  model->Train("otherword", "O").ok();
+  db.mgr->LinkInstance(
+            SummaryInstance::Classifier("H2", {"D/V", "D/P", "O"}, model))
+      .ok();
+  db.mgr->AddAnnotation("viralword case", {{1, CellMask(0)}}).ValueOrDie();
+  db.mgr->AddAnnotation("parasiteword case", {{1, CellMask(1)}})
+      .ValueOrDie();
+
+  SummarySet set = db.mgr->GetSummaries(1).ValueOrDie();
+  EXPECT_EQ(*set.GetSummaryObject("H2")->GetLabelValue("D"), 2);
+
+  // Projecting away column 1 drops the parasite annotation's effect.
+  auto projected =
+      ProjectSummaries(set, {0}, NullResolver()).ValueOrDie();
+  EXPECT_EQ(*projected.GetSummaryObject("H2")->GetLabelValue("D"), 1);
+}
+
+}  // namespace
+}  // namespace insight

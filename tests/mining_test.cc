@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "mining/clustream.h"
+#include "mining/naive_bayes.h"
+#include "mining/snippet.h"
+
+namespace insight {
+namespace {
+
+std::shared_ptr<NaiveBayesClassifier> TrainedBirdClassifier() {
+  auto model = std::make_shared<NaiveBayesClassifier>(
+      std::vector<std::string>{"Disease", "Anatomy", "Behavior", "Other"});
+  // A handful of seed documents per label.
+  model->Train("bird shows infection symptoms and avian flu disease",
+               "Disease");
+  model->Train("observed sick with parasite infection illness", "Disease");
+  model->Train("avian influenza virus outbreak disease spread", "Disease");
+  model->Train("wing span beak shape feather color anatomy", "Anatomy");
+  model->Train("body weight plumage beak length measurements", "Anatomy");
+  model->Train("large beak broad wings anatomy structure", "Anatomy");
+  model->Train("eating stonewort foraging behavior at dawn", "Behavior");
+  model->Train("migration flight pattern nesting behavior", "Behavior");
+  model->Train("feeding on plants behavior during winter", "Behavior");
+  model->Train("general note about the sighting location", "Other");
+  model->Train("metadata comment provenance of this record", "Other");
+  return model;
+}
+
+TEST(NaiveBayesTest, ClassifiesBySignalWords) {
+  auto model = TrainedBirdClassifier();
+  EXPECT_EQ(model->Classify("the bird had a nasty infection"), "Disease");
+  EXPECT_EQ(model->Classify("its beak and wing measurements"), "Anatomy");
+  EXPECT_EQ(model->Classify("seen foraging and eating at dawn"), "Behavior");
+}
+
+TEST(NaiveBayesTest, UntrainedFallsBackToLastLabel) {
+  NaiveBayesClassifier model({"A", "B", "Other"});
+  EXPECT_EQ(model.Classify("anything at all"), "Other");
+}
+
+TEST(NaiveBayesTest, RejectsUnknownLabel) {
+  NaiveBayesClassifier model({"A", "B"});
+  EXPECT_TRUE(model.Train("text", "C").IsInvalidArgument());
+  EXPECT_TRUE(model.Train("text", "a").ok());  // Case-insensitive.
+}
+
+TEST(NaiveBayesTest, PriorsMatterForEmptyText) {
+  NaiveBayesClassifier model({"Common", "Rare"});
+  for (int i = 0; i < 9; ++i) model.Train("word", "Common").ok();
+  model.Train("word", "Rare").ok();
+  // No informative words: the prior should dominate.
+  EXPECT_EQ(model.Classify(""), "Common");
+}
+
+TEST(FeaturizeTest, NormalizedAndDeterministic) {
+  TextFeature f = FeaturizeText("swan goose eating stonewort");
+  double norm = 0;
+  for (double v : f) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+  EXPECT_EQ(f, FeaturizeText("swan goose eating stonewort"));
+}
+
+TEST(FeaturizeTest, EmptyTextIsZeroVector) {
+  TextFeature f = FeaturizeText("...");
+  for (double v : f) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(CosineSimilarity(f, FeaturizeText("words here")), 0.0);
+}
+
+TEST(CosineTest, SelfSimilarityIsOne) {
+  TextFeature f = FeaturizeText("some text about birds");
+  EXPECT_NEAR(CosineSimilarity(f, f), 1.0, 1e-9);
+}
+
+TEST(CosineTest, DisjointTextsLowSimilarity) {
+  TextFeature a = FeaturizeText("alpha beta gamma");
+  TextFeature b = FeaturizeText("delta epsilon zeta");
+  EXPECT_LT(CosineSimilarity(a, b), 0.8);  // Hash collisions allow some.
+}
+
+TEST(CluStreamTest, SimilarPointsShareCluster) {
+  CluStream cs;
+  const uint64_t c1 = cs.AddText("swan eating stonewort plants in lake");
+  const uint64_t c2 = cs.AddText("swan eating stonewort plants in river");
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(cs.num_clusters(), 1u);
+}
+
+TEST(CluStreamTest, DissimilarPointsSplit) {
+  CluStream cs;
+  const uint64_t c1 = cs.AddText("disease infection symptoms observed");
+  const uint64_t c2 = cs.AddText("wingspan beak measurements anatomy");
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(cs.num_clusters(), 2u);
+}
+
+TEST(CluStreamTest, CapacityTriggersMerge) {
+  CluStream::Options opts;
+  opts.max_clusters = 4;
+  opts.min_similarity = 0.99;  // Force every point into its own cluster.
+  CluStream cs(opts);
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) {
+    std::string text;
+    for (int w = 0; w < 6; ++w) {
+      text += "word" + std::to_string(rng.Uniform(0, 5000)) + " ";
+    }
+    cs.AddText(text);
+  }
+  EXPECT_LE(cs.num_clusters(), 4u);
+  // Total mass is conserved across merges.
+  uint64_t total = 0;
+  for (const auto& c : cs.Clusters()) total += c.size;
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(CluStreamTest, ClusterIdsStableAcrossGrowth) {
+  CluStream cs;
+  const uint64_t first = cs.AddText("eating stonewort foraging lake");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cs.AddText("eating stonewort foraging lake"), first);
+  }
+}
+
+TEST(SnippetTest, ShortTextReturnedVerbatim) {
+  SnippetSummarizer s;
+  EXPECT_EQ(s.Summarize("A short note."), "A short note.");
+  EXPECT_FALSE(s.ShouldSummarize("A short note."));
+}
+
+TEST(SnippetTest, LongTextCompressedUnderBudget) {
+  SnippetSummarizer::Options opts;
+  opts.min_chars = 100;
+  opts.max_snippet_chars = 120;
+  SnippetSummarizer s(opts);
+  std::string doc;
+  for (int i = 0; i < 30; ++i) {
+    doc += "Sentence number " + std::to_string(i) +
+           " talks about swans and lakes. ";
+  }
+  doc += "The key finding is that swans swans swans dominate swans. ";
+  ASSERT_TRUE(s.ShouldSummarize(doc));
+  const std::string snippet = s.Summarize(doc);
+  EXPECT_LE(snippet.size(), opts.max_snippet_chars);
+  EXPECT_FALSE(snippet.empty());
+}
+
+TEST(SnippetTest, PrefersHighSalienceSentences) {
+  SnippetSummarizer::Options opts;
+  opts.max_snippet_chars = 80;
+  SnippetSummarizer s(opts);
+  std::string doc =
+      "Filler alpha beta. Filler gamma delta. "
+      "Swans swans swans swans swans swans. "
+      "Filler epsilon zeta. Filler eta theta.";
+  // Pad so it exceeds the budget and needs selection.
+  doc += std::string(" More filler unrelated words here and there.");
+  const std::string snippet = s.Summarize(doc);
+  EXPECT_NE(snippet.find("Swans"), std::string::npos);
+}
+
+TEST(SnippetTest, SingleGiantSentenceTruncated) {
+  SnippetSummarizer::Options opts;
+  opts.max_snippet_chars = 50;
+  SnippetSummarizer s(opts);
+  const std::string doc(500, 'a');  // No sentence boundaries.
+  const std::string snippet = s.Summarize(doc);
+  EXPECT_EQ(snippet.size(), 50u);
+}
+
+}  // namespace
+}  // namespace insight

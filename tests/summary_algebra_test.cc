@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "summary/summary_algebra.h"
+
+namespace insight {
+namespace {
+
+// Resolver over a fixed in-memory corpus.
+AnnotationResolver MapResolver(std::map<AnnId, std::string> texts) {
+  return [texts = std::move(texts)](AnnId id) -> Result<std::string> {
+    auto it = texts.find(id);
+    if (it == texts.end()) return Status::NotFound("ann");
+    return it->second;
+  };
+}
+
+SummaryObject Classifier(uint32_t instance,
+                         std::vector<std::string> labels,
+                         std::vector<std::vector<ElementRef>> elems) {
+  SummaryObject obj;
+  obj.instance_id = instance;
+  obj.type = SummaryType::kClassifier;
+  obj.instance_name = "Class" + std::to_string(instance);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    obj.reps.push_back(Representative{
+        labels[i], static_cast<int64_t>(elems[i].size()), 0});
+  }
+  obj.elements = std::move(elems);
+  return obj;
+}
+
+SummaryObject Cluster(uint32_t instance,
+                      std::vector<std::vector<ElementRef>> groups,
+                      std::vector<std::string> rep_texts) {
+  SummaryObject obj;
+  obj.instance_id = instance;
+  obj.type = SummaryType::kCluster;
+  obj.instance_name = "Cluster" + std::to_string(instance);
+  for (size_t i = 0; i < groups.size(); ++i) {
+    obj.reps.push_back(Representative{rep_texts[i],
+                                      static_cast<int64_t>(groups[i].size()),
+                                      groups[i].front().ann_id});
+  }
+  obj.elements = std::move(groups);
+  return obj;
+}
+
+SummaryObject Snippet(uint32_t instance,
+                      std::vector<std::pair<AnnId, std::string>> snippets,
+                      uint64_t mask = 0x1) {
+  SummaryObject obj;
+  obj.instance_id = instance;
+  obj.type = SummaryType::kSnippet;
+  obj.instance_name = "Snip" + std::to_string(instance);
+  for (const auto& [id, text] : snippets) {
+    obj.reps.push_back(Representative{text, 0, id});
+    obj.elements.push_back({ElementRef{id, mask}});
+  }
+  return obj;
+}
+
+TEST(ProjectSummariesTest, ClassifierCountsDropButLabelsStay) {
+  // Annotations: 1 on col0, 2 on col1, 3 on cols{0,1}, 4 on col2.
+  SummaryObject obj = Classifier(
+      1, {"Disease", "Other"},
+      {{{1, 0x1}, {2, 0x2}, {3, 0x3}}, {{4, 0x4}}});
+  SummarySet set({obj});
+  // Keep only column 0.
+  auto projected = ProjectSummaries(set, {0}, NullResolver());
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+  const SummaryObject* p = projected->GetSummaryObject("Class1");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p->GetLabelValue("Disease"), 2);  // anns 1 and 3 survive.
+  EXPECT_EQ(*p->GetLabelValue("Other"), 0);    // ann 4 eliminated, label kept.
+  EXPECT_EQ(p->GetSize(), 2);                  // Both labels present.
+}
+
+TEST(ProjectSummariesTest, MaskRemappingFollowsOutputPositions) {
+  SummaryObject obj =
+      Classifier(1, {"L"}, {{{1, 0x4 /* col 2 */}}});
+  SummarySet set({obj});
+  // Output columns: (input2, input0) -> ann 1 now targets output col 0.
+  auto projected = ProjectSummaries(set, {2, 0}, NullResolver());
+  ASSERT_TRUE(projected.ok());
+  const auto& elems =
+      projected->GetSummaryObject("Class1")->elements[0];
+  ASSERT_EQ(elems.size(), 1u);
+  EXPECT_EQ(elems[0].column_mask, 0x1u);
+}
+
+TEST(ProjectSummariesTest, SnippetOfProjectedOutColumnRemoved) {
+  SummaryObject obj = Snippet(2, {{10, "Experiment E"}, {11, "Wikipedia"}});
+  obj.elements[1] = {ElementRef{11, 0x2}};  // Wikipedia only on col 1.
+  SummarySet set({obj});
+  auto projected = ProjectSummaries(set, {0}, NullResolver());
+  ASSERT_TRUE(projected.ok());
+  const SummaryObject* p = projected->GetSummaryObject("Snip2");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->GetSize(), 1);
+  EXPECT_EQ(*p->GetSnippet(0), "Experiment E");
+}
+
+TEST(ProjectSummariesTest, SnippetObjectDroppedWhenEmpty) {
+  SummaryObject obj = Snippet(2, {{10, "Only"}}, /*mask=*/0x2);
+  SummarySet set({obj});
+  auto projected = ProjectSummaries(set, {0}, NullResolver());
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->GetSummaryObject("Snip2"), nullptr);
+}
+
+TEST(ProjectSummariesTest, ClusterRepReElectedViaResolver) {
+  // Group: rep ann 20 (on col 1), member ann 21 (on col 0).
+  SummaryObject obj =
+      Cluster(3, {{{20, 0x2}, {21, 0x1}}}, {"rep text of 20"});
+  SummarySet set({obj});
+  auto resolver = MapResolver({{21, "text of annotation 21"}});
+  auto projected = ProjectSummaries(set, {0}, resolver);
+  ASSERT_TRUE(projected.ok());
+  const SummaryObject* p = projected->GetSummaryObject("Cluster3");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->GetSize(), 1);
+  EXPECT_EQ(*p->GetGroupSize(0), 1);
+  EXPECT_EQ(*p->GetRepresentative(0), "text of annotation 21");
+  EXPECT_EQ(p->reps[0].source_ann, 21u);
+}
+
+TEST(ProjectSummariesTest, ClusterGroupDroppedWhenEmptied) {
+  SummaryObject obj = Cluster(3, {{{20, 0x2}}, {{21, 0x1}}}, {"g1", "g2"});
+  SummarySet set({obj});
+  auto projected = ProjectSummaries(set, {0}, NullResolver());
+  ASSERT_TRUE(projected.ok());
+  const SummaryObject* p = projected->GetSummaryObject("Cluster3");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->GetSize(), 1);
+  EXPECT_EQ(*p->GetRepresentative(0), "g2");
+}
+
+TEST(ProjectSummariesTest, IdentityProjectionIsNoOp) {
+  SummaryObject obj = Classifier(
+      1, {"A", "B"}, {{{1, 0x1}, {2, 0x2}}, {{3, 0x1}}});
+  SummarySet set({obj});
+  auto projected = ProjectSummaries(set, {0, 1}, NullResolver());
+  ASSERT_TRUE(projected.ok());
+  EXPECT_TRUE(*projected->GetSummaryObject("Class1") == obj);
+}
+
+// --- Merge (join) semantics ---
+
+TEST(MergeSummariesTest, PaperExampleCommonAnnotationsNotDoubleCounted) {
+  // Paper Section 2.2: r's ClassBird2 has Comment=7+..., s's has
+  // Comment=... with 5 common annotations; merged sum counts them once.
+  // Build: left Comment = {1..7}, right Comment = {3..7, 100..109}
+  // (5 common: 3,4,5,6,7). Left count 7, right count 15, merged = 17.
+  std::vector<ElementRef> left_comment;
+  for (AnnId a = 1; a <= 7; ++a) left_comment.push_back({a, 0x1});
+  std::vector<ElementRef> right_comment;
+  for (AnnId a = 3; a <= 7; ++a) right_comment.push_back({a, 0x1});
+  for (AnnId a = 100; a < 110; ++a) right_comment.push_back({a, 0x1});
+
+  SummaryObject left = Classifier(5, {"Comment"}, {left_comment});
+  SummaryObject right = Classifier(5, {"Comment"}, {right_comment});
+
+  auto merged = MergeSummaries(SummarySet({left}), SummarySet({right}),
+                               /*left_arity=*/2);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const SummaryObject* m = merged->GetSummaryObject("Class5");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(*m->GetLabelValue("Comment"), 17);  // 7 + 15 - 5.
+}
+
+TEST(MergeSummariesTest, NonCounterpartObjectsPropagateUnchanged) {
+  SummaryObject left_only = Classifier(6, {"X"}, {{{1, 0x1}}});
+  SummaryObject right_only = Snippet(7, {{9, "snippet"}});
+  auto merged = MergeSummaries(SummarySet({left_only}),
+                               SummarySet({right_only}), 3);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->GetSize(), 2);
+  // Left masks unchanged.
+  EXPECT_EQ(merged->GetSummaryObject("Class6")->elements[0][0].column_mask,
+            0x1u);
+  // Right masks shifted by left arity 3.
+  EXPECT_EQ(merged->GetSummaryObject("Snip7")->elements[0][0].column_mask,
+            0x1u << 3);
+}
+
+TEST(MergeSummariesTest, ClusterOverlapMergesGroupsKeepingLeftRep) {
+  // Left groups: {A1, A2} rep A1; {A5} rep A5.
+  // Right groups: {A2, B5} rep B5; {B7} rep B7.
+  // A2 shared -> left group 1 and right group 1 combine (rep A1);
+  // {A5} and {B7} propagate separately. (Figure 3.)
+  SummaryObject left =
+      Cluster(8, {{{1, 0x1}, {2, 0x1}}, {{5, 0x1}}}, {"A1 rep", "A5 rep"});
+  SummaryObject right =
+      Cluster(8, {{{2, 0x1}, {15, 0x1}}, {{17, 0x1}}}, {"B5 rep", "B7 rep"});
+  auto merged = MergeSummaries(SummarySet({left}), SummarySet({right}), 0);
+  ASSERT_TRUE(merged.ok());
+  const SummaryObject* m = merged->GetSummaryObject("Cluster8");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->GetSize(), 3);
+
+  // Find the merged group (size 3: anns 1, 2, 15).
+  bool found_merged = false;
+  for (size_t i = 0; i < m->reps.size(); ++i) {
+    if (m->reps[i].count == 3) {
+      found_merged = true;
+      EXPECT_EQ(m->reps[i].text, "A1 rep");  // Left representative kept.
+    }
+  }
+  EXPECT_TRUE(found_merged);
+}
+
+TEST(MergeSummariesTest, SnippetUnionDedupsBySourceAnnotation) {
+  SummaryObject left = Snippet(9, {{50, "shared snip"}, {51, "left snip"}});
+  SummaryObject right = Snippet(9, {{50, "shared snip"}, {52, "right snip"}});
+  auto merged = MergeSummaries(SummarySet({left}), SummarySet({right}), 0);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->GetSummaryObject("Snip9")->GetSize(), 3);
+}
+
+TEST(MergeSummariesTest, ClassifierMergeIsCommutativeOnCounts) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto random_elems = [&](int n) {
+      std::vector<ElementRef> elems;
+      for (int i = 0; i < n; ++i) {
+        elems.push_back(
+            {static_cast<AnnId>(rng.Uniform(1, 40)), 0x1});
+      }
+      std::map<AnnId, uint64_t> dedup;
+      for (auto& e : elems) dedup[e.ann_id] |= e.column_mask;
+      elems.clear();
+      for (auto& [id, mask] : dedup) elems.push_back({id, mask});
+      return elems;
+    };
+    SummaryObject a = Classifier(
+        20, {"P", "Q"},
+        {random_elems(static_cast<int>(rng.Uniform(0, 10))),
+         random_elems(static_cast<int>(rng.Uniform(0, 10)))});
+    SummaryObject b = Classifier(
+        20, {"P", "Q"},
+        {random_elems(static_cast<int>(rng.Uniform(0, 10))),
+         random_elems(static_cast<int>(rng.Uniform(0, 10)))});
+    auto ab = MergeSummaries(SummarySet({a}), SummarySet({b}), 0);
+    auto ba = MergeSummaries(SummarySet({b}), SummarySet({a}), 0);
+    ASSERT_TRUE(ab.ok());
+    ASSERT_TRUE(ba.ok());
+    for (const char* label : {"P", "Q"}) {
+      EXPECT_EQ(*ab->GetSummaryObject("Class20")->GetLabelValue(label),
+                *ba->GetSummaryObject("Class20")->GetLabelValue(label));
+    }
+  }
+}
+
+TEST(MergeSummariesTest, ClassifierMergeIsAssociative) {
+  auto make = [&](std::vector<AnnId> ids) {
+    std::vector<ElementRef> elems;
+    for (AnnId a : ids) elems.push_back({a, 0x1});
+    return Classifier(21, {"L"}, {elems});
+  };
+  SummaryObject a = make({1, 2, 3});
+  SummaryObject b = make({3, 4});
+  SummaryObject c = make({4, 5, 6});
+  auto ab_c = MergeSummaries(
+      *MergeSummaries(SummarySet({a}), SummarySet({b}), 0), SummarySet({c}),
+      0);
+  auto a_bc = MergeSummaries(
+      SummarySet({a}), *MergeSummaries(SummarySet({b}), SummarySet({c}), 0),
+      0);
+  ASSERT_TRUE(ab_c.ok());
+  ASSERT_TRUE(a_bc.ok());
+  EXPECT_EQ(*ab_c->GetSummaryObject("Class21")->GetLabelValue("L"), 6);
+  EXPECT_EQ(*a_bc->GetSummaryObject("Class21")->GetLabelValue("L"), 6);
+}
+
+// Theorem 1/2 of the base system: projecting before the merge gives the
+// same summaries as projecting afterwards, provided the projection keeps
+// the join-relevant columns. We verify the classifier-count version.
+TEST(MergeSummariesTest, ProjectBeforeMergeEqualsProjectAfter) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Left relation: 3 columns; right relation: 2 columns. Keep left col 0
+    // and right col 0 (output positions 0 and 3 pre-projection).
+    auto elems = [&](int n, int ncols) {
+      std::map<AnnId, uint64_t> m;
+      for (int i = 0; i < n; ++i) {
+        m[static_cast<AnnId>(rng.Uniform(1, 30))] |=
+            1ULL << rng.Uniform(0, ncols - 1);
+      }
+      std::vector<ElementRef> out;
+      for (auto& [id, mask] : m) out.push_back({id, mask});
+      return out;
+    };
+    SummaryObject left = Classifier(22, {"L"}, {elems(8, 3)});
+    SummaryObject right = Classifier(22, {"L"}, {elems(8, 2)});
+
+    // Path A: project each side to its kept column, then merge.
+    auto lp = ProjectSummaries(SummarySet({left}), {0}, NullResolver());
+    auto rp = ProjectSummaries(SummarySet({right}), {0}, NullResolver());
+    ASSERT_TRUE(lp.ok());
+    ASSERT_TRUE(rp.ok());
+    auto merged_after_project = MergeSummaries(*lp, *rp, 1);
+
+    // Path B: merge full rows, then project to (left col0, right col0) =
+    // positions {0, 3} of the concatenated 5-column row.
+    auto merged_full =
+        MergeSummaries(SummarySet({left}), SummarySet({right}), 3);
+    ASSERT_TRUE(merged_full.ok());
+    auto projected_after_merge =
+        ProjectSummaries(*merged_full, {0, 3}, NullResolver());
+    ASSERT_TRUE(projected_after_merge.ok());
+
+    const int64_t count_a =
+        *merged_after_project->GetSummaryObject("Class22")->GetLabelValue(
+            "L");
+    const int64_t count_b =
+        *projected_after_merge->GetSummaryObject("Class22")->GetLabelValue(
+            "L");
+    EXPECT_EQ(count_a, count_b) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace insight

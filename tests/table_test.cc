@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "index/catalog.h"
+#include "index/key_codec.h"
+#include "index/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+
+namespace insight {
+namespace {
+
+Schema BirdsSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"name", ValueType::kString},
+                 {"family", ValueType::kString},
+                 {"weight", ValueType::kDouble}});
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest()
+      : storage_(StorageManager::Backend::kMemory),
+        pool_(&storage_, 256),
+        catalog_(&storage_, &pool_) {
+    table_ = *catalog_.CreateTable("birds", BirdsSchema());
+  }
+
+  Tuple MakeBird(int64_t id, const std::string& name,
+                 const std::string& family, double weight) {
+    return Tuple({Value::Int(id), Value::String(name), Value::String(family),
+                  Value::Double(weight)});
+  }
+
+  StorageManager storage_;
+  BufferPool pool_;
+  Catalog catalog_;
+  Table* table_;
+};
+
+TEST_F(TableTest, InsertAssignsSequentialOids) {
+  EXPECT_EQ(*table_->Insert(MakeBird(1, "Swan Goose", "Anatidae", 3.5)), 1u);
+  EXPECT_EQ(*table_->Insert(MakeBird(2, "Mute Swan", "Anatidae", 11.0)), 2u);
+  EXPECT_EQ(table_->num_rows(), 2u);
+}
+
+TEST_F(TableTest, InsertRejectsWrongArity) {
+  EXPECT_TRUE(
+      table_->Insert(Tuple({Value::Int(1)})).status().IsInvalidArgument());
+}
+
+TEST_F(TableTest, GetByOid) {
+  Oid oid = *table_->Insert(MakeBird(7, "Heron", "Ardeidae", 2.0));
+  auto tuple = table_->Get(oid);
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->at(1).AsString(), "Heron");
+  EXPECT_TRUE(table_->Get(999).status().IsNotFound());
+}
+
+TEST_F(TableTest, DiskTupleLocAndGetAt) {
+  Oid oid = *table_->Insert(MakeBird(1, "Crane", "Gruidae", 5.0));
+  auto loc = table_->DiskTupleLoc(oid);
+  ASSERT_TRUE(loc.ok());
+  Oid got_oid = 0;
+  auto tuple = table_->GetAt(*loc, &got_oid);
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(got_oid, oid);
+  EXPECT_EQ(tuple->at(1).AsString(), "Crane");
+}
+
+TEST_F(TableTest, DeleteRemovesRow) {
+  Oid oid = *table_->Insert(MakeBird(1, "Dodo", "Columbidae", 20.0));
+  ASSERT_TRUE(table_->Delete(oid).ok());
+  EXPECT_TRUE(table_->Get(oid).status().IsNotFound());
+  EXPECT_EQ(table_->num_rows(), 0u);
+}
+
+TEST_F(TableTest, UpdateRewritesTupleAndKeepsOid) {
+  Oid oid = *table_->Insert(MakeBird(1, "Sparrow", "Passeridae", 0.03));
+  ASSERT_TRUE(
+      table_->Update(oid, MakeBird(1, "House Sparrow", "Passeridae", 0.035))
+          .ok());
+  auto tuple = table_->Get(oid);
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->at(1).AsString(), "House Sparrow");
+}
+
+TEST_F(TableTest, UpdateWithGrowthRelocatesButStaysAddressable) {
+  Oid oid = *table_->Insert(MakeBird(1, "X", "Y", 1.0));
+  std::string long_name(5000, 'n');
+  ASSERT_TRUE(table_->Update(oid, MakeBird(1, long_name, "Y", 1.0)).ok());
+  auto tuple = table_->Get(oid);
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->at(1).AsString(), long_name);
+}
+
+TEST_F(TableTest, ScanYieldsAllRows) {
+  for (int i = 0; i < 200; ++i) {
+    table_->Insert(MakeBird(i, "bird" + std::to_string(i), "F", i * 0.1))
+        .status();
+  }
+  auto it = table_->Scan();
+  Oid oid;
+  Tuple tuple;
+  int count = 0;
+  while (it.Next(&oid, &tuple)) {
+    EXPECT_EQ(tuple.at(0).AsInt() + 1, static_cast<int64_t>(oid));
+    ++count;
+  }
+  EXPECT_EQ(count, 200);
+}
+
+TEST_F(TableTest, ColumnIndexBackfillsAndMaintains) {
+  for (int i = 0; i < 50; ++i) {
+    table_->Insert(MakeBird(i, "bird", "fam" + std::to_string(i % 5), 1.0))
+        .status();
+  }
+  ASSERT_TRUE(table_->CreateColumnIndex("family").ok());
+  ASSERT_TRUE(table_->HasColumnIndex("Family"));
+  const BTree* idx = table_->GetColumnIndex("family");
+  ASSERT_NE(idx, nullptr);
+  auto hits = idx->Lookup(EncodeIndexKey(Value::String("fam3")));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 10u);
+
+  // Maintained on subsequent inserts/deletes.
+  Oid oid = *table_->Insert(MakeBird(100, "new", "fam3", 1.0));
+  hits = idx->Lookup(EncodeIndexKey(Value::String("fam3")));
+  EXPECT_EQ(hits->size(), 11u);
+  ASSERT_TRUE(table_->Delete(oid).ok());
+  hits = idx->Lookup(EncodeIndexKey(Value::String("fam3")));
+  EXPECT_EQ(hits->size(), 10u);
+}
+
+TEST_F(TableTest, ColumnIndexFollowsUpdates) {
+  Oid oid = *table_->Insert(MakeBird(1, "b", "old_family", 1.0));
+  ASSERT_TRUE(table_->CreateColumnIndex("family").ok());
+  ASSERT_TRUE(table_->Update(oid, MakeBird(1, "b", "new_family", 1.0)).ok());
+  const BTree* idx = table_->GetColumnIndex("family");
+  EXPECT_TRUE(
+      idx->Lookup(EncodeIndexKey(Value::String("old_family")))->empty());
+  EXPECT_EQ(idx->Lookup(EncodeIndexKey(Value::String("new_family")))->size(),
+            1u);
+}
+
+TEST_F(TableTest, DuplicateColumnIndexRejected) {
+  ASSERT_TRUE(table_->CreateColumnIndex("family").ok());
+  EXPECT_EQ(table_->CreateColumnIndex("FAMILY").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(TableTest, CatalogLookup) {
+  EXPECT_TRUE(catalog_.HasTable("BIRDS"));
+  EXPECT_EQ(*catalog_.GetTable("Birds"), table_);
+  EXPECT_TRUE(catalog_.GetTable("nope").status().IsNotFound());
+  EXPECT_EQ(catalog_.CreateTable("birds", BirdsSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog_.TableNames().size(), 1u);
+}
+
+TEST_F(TableTest, StorageFootprintGrowsWithData) {
+  const uint64_t before = table_->heap_bytes();
+  for (int i = 0; i < 2000; ++i) {
+    table_->Insert(MakeBird(i, std::string(100, 'x'), "F", 0.0)).status();
+  }
+  EXPECT_GT(table_->heap_bytes(), before);
+  EXPECT_GT(table_->oid_index_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace insight

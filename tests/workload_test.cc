@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "workload/birds_workload.h"
+
+namespace insight {
+namespace {
+
+TEST(AnnotationTextTest, HitsTargetLengthAndTopic) {
+  Rng rng(3);
+  const std::string text =
+      GenerateAnnotationText(AnnotationTopic::kDisease, 500, &rng);
+  EXPECT_GE(text.size(), 500u);
+  EXPECT_LT(text.size(), 560u);
+  // Topic words present.
+  bool found = false;
+  for (const char* word : {"disease", "infection", "virus", "parasite",
+                           "avian", "sick", "outbreak", "symptom", "lesion",
+                           "influenza", "illness", "pathogen"}) {
+    if (ContainsWord(text, word)) found = true;
+  }
+  EXPECT_TRUE(found) << text;
+}
+
+TEST(AnnotationTextTest, DeterministicPerSeed) {
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(GenerateAnnotationText(AnnotationTopic::kBehavior, 300, &a),
+            GenerateAnnotationText(AnnotationTopic::kBehavior, 300, &b));
+}
+
+TEST(DrawTopicTest, CoversAllTopics) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(static_cast<int>(DrawTopic(&rng)));
+  }
+  EXPECT_EQ(seen.size(), kNumTopics);
+}
+
+TEST(BirdsWorkloadTest, GeneratesCorpusEndToEnd) {
+  Database db;
+  BirdsWorkloadOptions opts;
+  opts.num_birds = 50;
+  opts.annotations_per_bird = 4;
+  opts.synonyms_per_bird = 2;
+  opts.max_ann_chars = 1200;
+  auto workload = GenerateBirdsWorkload(&db, opts);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(workload->num_birds, 50u);
+  EXPECT_EQ(workload->num_annotations, 200u);
+  EXPECT_EQ(workload->num_synonyms, 100u);
+
+  // Tables exist with the right shapes.
+  Table* birds = *db.GetTable("Birds");
+  EXPECT_EQ(birds->num_rows(), 50u);
+  EXPECT_EQ(birds->schema().num_columns(), 12u);
+  Table* synonyms = *db.GetTable("Synonyms");
+  EXPECT_EQ(synonyms->num_rows(), 100u);
+
+  // The classifier instance is linked, indexed, and sees annotations.
+  auto index = db.GetSummaryIndex("Birds", "ClassBird1");
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT((*index)->num_entries(), 0u);
+
+  // Summary-based query returns plausible results.
+  auto result = db.Execute(
+      "SELECT common_name FROM Birds WHERE "
+      "$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 0");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->rows.size(), 0u);
+  EXPECT_LT(result->rows.size(), 50u);
+
+  // Long annotations produced snippets.
+  auto snip = db.Execute(
+      "SELECT common_name FROM Birds WHERE "
+      "$.getSummaryObject('TextSummary1').getSize() > 0");
+  ASSERT_TRUE(snip.ok()) << snip.status().ToString();
+  EXPECT_GT(snip->rows.size(), 0u);
+}
+
+TEST(BirdsWorkloadTest, ReproducibleAcrossRuns) {
+  auto fingerprint = [](uint64_t seed) {
+    Database db;
+    BirdsWorkloadOptions opts;
+    opts.seed = seed;
+    opts.num_birds = 30;
+    opts.annotations_per_bird = 3;
+    opts.synonyms_per_bird = 0;
+    GenerateBirdsWorkload(&db, opts).ValueOrDie();
+    auto result = db.Execute(
+        "SELECT common_name FROM Birds WHERE "
+        "$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 0 "
+        "ORDER BY common_name");
+    std::string out;
+    for (const Tuple& row : result->rows) out += row.ToString();
+    return out;
+  };
+  EXPECT_EQ(fingerprint(11), fingerprint(11));
+  EXPECT_NE(fingerprint(11), fingerprint(12));
+}
+
+TEST(BirdsWorkloadTest, SkewedPlacementConcentratesAnnotations) {
+  Database db;
+  BirdsWorkloadOptions opts;
+  opts.num_birds = 40;
+  opts.annotations_per_bird = 5;
+  opts.synonyms_per_bird = 0;
+  opts.placement_skew = 1.2;
+  GenerateBirdsWorkload(&db, opts).ValueOrDie();
+  // The first bird should collect far more than the mean under skew.
+  SummaryManager* mgr = *db.GetManager("Birds");
+  auto set = mgr->GetSummaries(1);
+  ASSERT_TRUE(set.ok());
+  const SummaryObject* obj = set->GetSummaryObject("ClassBird1");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_GT(obj->TotalAnnotations(), 10);
+}
+
+}  // namespace
+}  // namespace insight
