@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_bulk_creation.dir/bench_fig08_bulk_creation.cpp.o"
+  "CMakeFiles/bench_fig08_bulk_creation.dir/bench_fig08_bulk_creation.cpp.o.d"
+  "bench_fig08_bulk_creation"
+  "bench_fig08_bulk_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_bulk_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

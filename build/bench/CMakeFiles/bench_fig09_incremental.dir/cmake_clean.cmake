@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_incremental.dir/bench_fig09_incremental.cpp.o"
+  "CMakeFiles/bench_fig09_incremental.dir/bench_fig09_incremental.cpp.o.d"
+  "bench_fig09_incremental"
+  "bench_fig09_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

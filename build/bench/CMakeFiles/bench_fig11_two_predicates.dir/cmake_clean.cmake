@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_two_predicates.dir/bench_fig11_two_predicates.cpp.o"
+  "CMakeFiles/bench_fig11_two_predicates.dir/bench_fig11_two_predicates.cpp.o.d"
+  "bench_fig11_two_predicates"
+  "bench_fig11_two_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_two_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

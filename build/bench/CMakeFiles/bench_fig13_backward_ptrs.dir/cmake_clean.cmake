@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_backward_ptrs.dir/bench_fig13_backward_ptrs.cpp.o"
+  "CMakeFiles/bench_fig13_backward_ptrs.dir/bench_fig13_backward_ptrs.cpp.o.d"
+  "bench_fig13_backward_ptrs"
+  "bench_fig13_backward_ptrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_backward_ptrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

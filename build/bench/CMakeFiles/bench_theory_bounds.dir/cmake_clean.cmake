@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_bounds.dir/bench_theory_bounds.cpp.o"
+  "CMakeFiles/bench_theory_bounds.dir/bench_theory_bounds.cpp.o.d"
+  "bench_theory_bounds"
+  "bench_theory_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_curation.dir/annotation_curation.cpp.o"
+  "CMakeFiles/annotation_curation.dir/annotation_curation.cpp.o.d"
+  "annotation_curation"
+  "annotation_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birds_analytics.dir/birds_analytics.cpp.o"
+  "CMakeFiles/birds_analytics.dir/birds_analytics.cpp.o.d"
+  "birds_analytics"
+  "birds_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birds_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

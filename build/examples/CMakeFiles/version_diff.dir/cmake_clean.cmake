@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_diff.dir/version_diff.cpp.o"
+  "CMakeFiles/version_diff.dir/version_diff.cpp.o.d"
+  "version_diff"
+  "version_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/annotation/annotation_store.cc" "src/annotation/CMakeFiles/insight_annotation.dir/annotation_store.cc.o" "gcc" "src/annotation/CMakeFiles/insight_annotation.dir/annotation_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/insight_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/insight_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/insight_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

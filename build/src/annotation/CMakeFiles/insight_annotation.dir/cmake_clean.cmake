@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_annotation.dir/annotation_store.cc.o"
+  "CMakeFiles/insight_annotation.dir/annotation_store.cc.o.d"
+  "libinsight_annotation.a"
+  "libinsight_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

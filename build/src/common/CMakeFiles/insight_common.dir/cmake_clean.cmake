@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_common.dir/logging.cc.o"
+  "CMakeFiles/insight_common.dir/logging.cc.o.d"
+  "CMakeFiles/insight_common.dir/rng.cc.o"
+  "CMakeFiles/insight_common.dir/rng.cc.o.d"
+  "CMakeFiles/insight_common.dir/status.cc.o"
+  "CMakeFiles/insight_common.dir/status.cc.o.d"
+  "CMakeFiles/insight_common.dir/string_util.cc.o"
+  "CMakeFiles/insight_common.dir/string_util.cc.o.d"
+  "libinsight_common.a"
+  "libinsight_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_engine.dir/expression.cc.o"
+  "CMakeFiles/insight_engine.dir/expression.cc.o.d"
+  "CMakeFiles/insight_engine.dir/join_sort_agg_ops.cc.o"
+  "CMakeFiles/insight_engine.dir/join_sort_agg_ops.cc.o.d"
+  "CMakeFiles/insight_engine.dir/scan_select_ops.cc.o"
+  "CMakeFiles/insight_engine.dir/scan_select_ops.cc.o.d"
+  "libinsight_engine.a"
+  "libinsight_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

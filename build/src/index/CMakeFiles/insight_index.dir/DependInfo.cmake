@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/btree.cc" "src/index/CMakeFiles/insight_index.dir/btree.cc.o" "gcc" "src/index/CMakeFiles/insight_index.dir/btree.cc.o.d"
+  "/root/repo/src/index/catalog.cc" "src/index/CMakeFiles/insight_index.dir/catalog.cc.o" "gcc" "src/index/CMakeFiles/insight_index.dir/catalog.cc.o.d"
+  "/root/repo/src/index/key_codec.cc" "src/index/CMakeFiles/insight_index.dir/key_codec.cc.o" "gcc" "src/index/CMakeFiles/insight_index.dir/key_codec.cc.o.d"
+  "/root/repo/src/index/table.cc" "src/index/CMakeFiles/insight_index.dir/table.cc.o" "gcc" "src/index/CMakeFiles/insight_index.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/insight_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/insight_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_index.dir/btree.cc.o"
+  "CMakeFiles/insight_index.dir/btree.cc.o.d"
+  "CMakeFiles/insight_index.dir/catalog.cc.o"
+  "CMakeFiles/insight_index.dir/catalog.cc.o.d"
+  "CMakeFiles/insight_index.dir/key_codec.cc.o"
+  "CMakeFiles/insight_index.dir/key_codec.cc.o.d"
+  "CMakeFiles/insight_index.dir/table.cc.o"
+  "CMakeFiles/insight_index.dir/table.cc.o.d"
+  "libinsight_index.a"
+  "libinsight_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

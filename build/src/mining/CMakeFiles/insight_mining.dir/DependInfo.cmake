@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/clustream.cc" "src/mining/CMakeFiles/insight_mining.dir/clustream.cc.o" "gcc" "src/mining/CMakeFiles/insight_mining.dir/clustream.cc.o.d"
+  "/root/repo/src/mining/naive_bayes.cc" "src/mining/CMakeFiles/insight_mining.dir/naive_bayes.cc.o" "gcc" "src/mining/CMakeFiles/insight_mining.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/mining/snippet.cc" "src/mining/CMakeFiles/insight_mining.dir/snippet.cc.o" "gcc" "src/mining/CMakeFiles/insight_mining.dir/snippet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_mining.dir/clustream.cc.o"
+  "CMakeFiles/insight_mining.dir/clustream.cc.o.d"
+  "CMakeFiles/insight_mining.dir/naive_bayes.cc.o"
+  "CMakeFiles/insight_mining.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/insight_mining.dir/snippet.cc.o"
+  "CMakeFiles/insight_mining.dir/snippet.cc.o.d"
+  "libinsight_mining.a"
+  "libinsight_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_optimizer.dir/logical_plan.cc.o"
+  "CMakeFiles/insight_optimizer.dir/logical_plan.cc.o.d"
+  "CMakeFiles/insight_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/insight_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/insight_optimizer.dir/query_context.cc.o"
+  "CMakeFiles/insight_optimizer.dir/query_context.cc.o.d"
+  "CMakeFiles/insight_optimizer.dir/statistics.cc.o"
+  "CMakeFiles/insight_optimizer.dir/statistics.cc.o.d"
+  "libinsight_optimizer.a"
+  "libinsight_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_sindex.dir/baseline_index.cc.o"
+  "CMakeFiles/insight_sindex.dir/baseline_index.cc.o.d"
+  "CMakeFiles/insight_sindex.dir/keyword_index.cc.o"
+  "CMakeFiles/insight_sindex.dir/keyword_index.cc.o.d"
+  "CMakeFiles/insight_sindex.dir/summary_btree.cc.o"
+  "CMakeFiles/insight_sindex.dir/summary_btree.cc.o.d"
+  "libinsight_sindex.a"
+  "libinsight_sindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_sindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinsight_sindex.a"
+)

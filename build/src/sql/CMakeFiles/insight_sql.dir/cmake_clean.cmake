@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_sql.dir/database.cc.o"
+  "CMakeFiles/insight_sql.dir/database.cc.o.d"
+  "CMakeFiles/insight_sql.dir/lexer.cc.o"
+  "CMakeFiles/insight_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/insight_sql.dir/parser.cc.o"
+  "CMakeFiles/insight_sql.dir/parser.cc.o.d"
+  "libinsight_sql.a"
+  "libinsight_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/insight_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/insight_storage.dir/heap_file.cc.o"
+  "CMakeFiles/insight_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/insight_storage.dir/page_store.cc.o"
+  "CMakeFiles/insight_storage.dir/page_store.cc.o.d"
+  "CMakeFiles/insight_storage.dir/storage_manager.cc.o"
+  "CMakeFiles/insight_storage.dir/storage_manager.cc.o.d"
+  "libinsight_storage.a"
+  "libinsight_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

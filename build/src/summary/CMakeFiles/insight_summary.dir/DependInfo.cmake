@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/summary/summary_algebra.cc" "src/summary/CMakeFiles/insight_summary.dir/summary_algebra.cc.o" "gcc" "src/summary/CMakeFiles/insight_summary.dir/summary_algebra.cc.o.d"
+  "/root/repo/src/summary/summary_instance.cc" "src/summary/CMakeFiles/insight_summary.dir/summary_instance.cc.o" "gcc" "src/summary/CMakeFiles/insight_summary.dir/summary_instance.cc.o.d"
+  "/root/repo/src/summary/summary_manager.cc" "src/summary/CMakeFiles/insight_summary.dir/summary_manager.cc.o" "gcc" "src/summary/CMakeFiles/insight_summary.dir/summary_manager.cc.o.d"
+  "/root/repo/src/summary/summary_object.cc" "src/summary/CMakeFiles/insight_summary.dir/summary_object.cc.o" "gcc" "src/summary/CMakeFiles/insight_summary.dir/summary_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/annotation/CMakeFiles/insight_annotation.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/insight_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/insight_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/insight_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/insight_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_summary.dir/summary_algebra.cc.o"
+  "CMakeFiles/insight_summary.dir/summary_algebra.cc.o.d"
+  "CMakeFiles/insight_summary.dir/summary_instance.cc.o"
+  "CMakeFiles/insight_summary.dir/summary_instance.cc.o.d"
+  "CMakeFiles/insight_summary.dir/summary_manager.cc.o"
+  "CMakeFiles/insight_summary.dir/summary_manager.cc.o.d"
+  "CMakeFiles/insight_summary.dir/summary_object.cc.o"
+  "CMakeFiles/insight_summary.dir/summary_object.cc.o.d"
+  "libinsight_summary.a"
+  "libinsight_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_types.dir/schema.cc.o"
+  "CMakeFiles/insight_types.dir/schema.cc.o.d"
+  "CMakeFiles/insight_types.dir/tuple.cc.o"
+  "CMakeFiles/insight_types.dir/tuple.cc.o.d"
+  "CMakeFiles/insight_types.dir/value.cc.o"
+  "CMakeFiles/insight_types.dir/value.cc.o.d"
+  "libinsight_types.a"
+  "libinsight_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

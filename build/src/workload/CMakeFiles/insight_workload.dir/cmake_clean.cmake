@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_workload.dir/birds_workload.cc.o"
+  "CMakeFiles/insight_workload.dir/birds_workload.cc.o.d"
+  "libinsight_workload.a"
+  "libinsight_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/insight_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/insight_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/insight_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/insight_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sindex/CMakeFiles/insight_sindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/insight_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotation/CMakeFiles/insight_annotation.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/insight_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/insight_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/insight_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/insight_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

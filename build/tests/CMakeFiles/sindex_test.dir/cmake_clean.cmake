@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sindex_test.dir/sindex_test.cc.o"
+  "CMakeFiles/sindex_test.dir/sindex_test.cc.o.d"
+  "sindex_test"
+  "sindex_test.pdb"
+  "sindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_algebra_test.dir/summary_algebra_test.cc.o"
+  "CMakeFiles/summary_algebra_test.dir/summary_algebra_test.cc.o.d"
+  "summary_algebra_test"
+  "summary_algebra_test.pdb"
+  "summary_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

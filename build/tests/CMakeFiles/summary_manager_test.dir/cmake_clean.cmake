@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_manager_test.dir/summary_manager_test.cc.o"
+  "CMakeFiles/summary_manager_test.dir/summary_manager_test.cc.o.d"
+  "summary_manager_test"
+  "summary_manager_test.pdb"
+  "summary_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_object_test.dir/summary_object_test.cc.o"
+  "CMakeFiles/summary_object_test.dir/summary_object_test.cc.o.d"
+  "summary_object_test"
+  "summary_object_test.pdb"
+  "summary_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
