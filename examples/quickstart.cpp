@@ -92,5 +92,13 @@ int main() {
       "SELECT name FROM Birds WHERE "
       "$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 1");
   if (plan.ok()) std::printf("%s\n", plan->c_str());
+
+  // 8. EXPLAIN ANALYZE executes the plan batch-at-a-time and reports each
+  //    operator's rows, batches, and inclusive wall-time.
+  auto analyzed = db.ExplainAnalyze(
+      "SELECT name FROM Birds WHERE weight > 1.0 "
+      "ORDER BY $.getSummaryObject('ClassBird1').getLabelValue('Disease') "
+      "DESC");
+  if (analyzed.ok()) std::printf("%s\n", analyzed->c_str());
   return 0;
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build the default and asan presets and run the full test
+# suite under both. Everything must pass before a change merges.
+#
+#   ./scripts/check.sh          # both presets
+#   ./scripts/check.sh default  # one preset only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> configure (${preset})"
+  cmake --preset "${preset}"
+  echo "==> build (${preset})"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==> test (${preset})"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "==> all checks passed"

@@ -1,0 +1,21 @@
+#include "engine/execution_context.h"
+
+#include "common/string_util.h"
+
+namespace insight {
+
+void ExecutionContext::RegisterManager(const std::string& table,
+                                       SummaryManager* mgr) {
+  managers_[ToLower(table)] = mgr;
+}
+
+void ExecutionContext::UnregisterManager(const std::string& table) {
+  managers_.erase(ToLower(table));
+}
+
+SummaryManager* ExecutionContext::ManagerFor(const std::string& table) const {
+  auto it = managers_.find(ToLower(table));
+  return it == managers_.end() ? nullptr : it->second;
+}
+
+}  // namespace insight

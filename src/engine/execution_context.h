@@ -1,0 +1,56 @@
+#ifndef INSIGHTNOTES_ENGINE_EXECUTION_CONTEXT_H_
+#define INSIGHTNOTES_ENGINE_EXECUTION_CONTEXT_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "engine/row_batch.h"
+
+namespace insight {
+
+class BufferPool;
+class StorageManager;
+class SummaryManager;
+
+/// Shared runtime state threaded through a physical plan: the storage
+/// handles, the per-table summary managers, and the batch-size knob.
+/// Operators resolve their wiring here instead of each constructor
+/// re-plumbing `BufferPool*` / `StorageManager*` / `SummaryManager*`
+/// parameters, and the batch executor reads its capacity from here so one
+/// knob tunes a whole plan.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  ExecutionContext(StorageManager* storage, BufferPool* pool,
+                   size_t batch_size = RowBatch::kDefaultCapacity)
+      : storage_(storage), pool_(pool) {
+    set_batch_size(batch_size);
+  }
+
+  StorageManager* storage() const { return storage_; }
+  BufferPool* pool() const { return pool_; }
+
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t batch_size) {
+    batch_size_ = batch_size == 0 ? RowBatch::kDefaultCapacity : batch_size;
+  }
+
+  /// Registers / replaces the summary manager of `table`.
+  void RegisterManager(const std::string& table, SummaryManager* mgr);
+  void UnregisterManager(const std::string& table);
+
+  /// The summary manager of `table` (case-insensitive); null when the
+  /// relation is plain.
+  SummaryManager* ManagerFor(const std::string& table) const;
+
+ private:
+  StorageManager* storage_ = nullptr;
+  BufferPool* pool_ = nullptr;
+  size_t batch_size_ = RowBatch::kDefaultCapacity;
+  std::map<std::string, SummaryManager*> managers_;  // Lower-cased keys.
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_ENGINE_EXECUTION_CONTEXT_H_

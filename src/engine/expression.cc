@@ -51,6 +51,35 @@ Result<bool> Expression::EvalBool(const Row& row,
   return v.AsBool();
 }
 
+Status Expression::EvalBatch(const RowBatch& batch, const Schema& schema,
+                             std::vector<Value>* out) const {
+  for (const Row& row : batch) {
+    INSIGHT_ASSIGN_OR_RETURN(Value v, Eval(row, schema));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+Status Expression::EvalBoolBatch(const RowBatch& batch, const Schema& schema,
+                                 std::vector<uint8_t>* out) const {
+  std::vector<Value> values;
+  values.reserve(batch.size());
+  INSIGHT_RETURN_NOT_OK(EvalBatch(batch, schema, &values));
+  out->reserve(out->size() + values.size());
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      out->push_back(0);
+      continue;
+    }
+    if (v.type() != ValueType::kBool) {
+      return Status::TypeError("predicate evaluated to " +
+                               std::string(ValueTypeToString(v.type())));
+    }
+    out->push_back(v.AsBool() ? 1 : 0);
+  }
+  return Status::OK();
+}
+
 std::string LiteralExpr::ToString() const {
   if (value_.type() == ValueType::kString) {
     return "'" + value_.AsString() + "'";
@@ -66,11 +95,44 @@ Result<Value> ColumnExpr::Eval(const Row& row, const Schema& schema) const {
   return row.data.at(idx);
 }
 
+Status ColumnExpr::EvalBatch(const RowBatch& batch, const Schema& schema,
+                             std::vector<Value>* out) const {
+  if (batch.empty()) return Status::OK();
+  INSIGHT_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name_));
+  out->reserve(out->size() + batch.size());
+  for (const Row& row : batch) {
+    if (idx >= row.data.size()) {
+      return Status::Internal("column index out of row bounds: " + name_);
+    }
+    out->push_back(row.data.at(idx));
+  }
+  return Status::OK();
+}
+
 Result<Value> CompareExpr::Eval(const Row& row, const Schema& schema) const {
   INSIGHT_ASSIGN_OR_RETURN(Value l, left_->Eval(row, schema));
   INSIGHT_ASSIGN_OR_RETURN(Value r, right_->Eval(row, schema));
   if (l.is_null() || r.is_null()) return Value::Null();
   return Value::Bool(EvalCompare(op_, l.Compare(r)));
+}
+
+Status CompareExpr::EvalBatch(const RowBatch& batch, const Schema& schema,
+                              std::vector<Value>* out) const {
+  std::vector<Value> lhs;
+  std::vector<Value> rhs;
+  lhs.reserve(batch.size());
+  rhs.reserve(batch.size());
+  INSIGHT_RETURN_NOT_OK(left_->EvalBatch(batch, schema, &lhs));
+  INSIGHT_RETURN_NOT_OK(right_->EvalBatch(batch, schema, &rhs));
+  out->reserve(out->size() + batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (lhs[i].is_null() || rhs[i].is_null()) {
+      out->push_back(Value::Null());
+    } else {
+      out->push_back(Value::Bool(EvalCompare(op_, lhs[i].Compare(rhs[i]))));
+    }
+  }
+  return Status::OK();
 }
 
 std::string CompareExpr::ToString() const {
@@ -90,6 +152,24 @@ Result<Value> LogicalExpr::Eval(const Row& row, const Schema& schema) const {
   return Value::Bool(r);
 }
 
+Status LogicalExpr::EvalBatch(const RowBatch& batch, const Schema& schema,
+                              std::vector<Value>* out) const {
+  std::vector<uint8_t> lhs;
+  lhs.reserve(batch.size());
+  INSIGHT_RETURN_NOT_OK(left_->EvalBoolBatch(batch, schema, &lhs));
+  out->reserve(out->size() + batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const bool decided = kind_ == Kind::kAnd ? lhs[i] == 0 : lhs[i] != 0;
+    if (decided) {
+      out->push_back(Value::Bool(kind_ == Kind::kOr));
+      continue;
+    }
+    INSIGHT_ASSIGN_OR_RETURN(bool r, right_->EvalBool(batch[i], schema));
+    out->push_back(Value::Bool(r));
+  }
+  return Status::OK();
+}
+
 std::string LogicalExpr::ToString() const {
   const char* op = kind_ == Kind::kAnd ? " AND " : " OR ";
   return "(" + left_->ToString() + op + right_->ToString() + ")";
@@ -98,6 +178,16 @@ std::string LogicalExpr::ToString() const {
 Result<Value> NotExpr::Eval(const Row& row, const Schema& schema) const {
   INSIGHT_ASSIGN_OR_RETURN(bool v, operand_->EvalBool(row, schema));
   return Value::Bool(!v);
+}
+
+Status NotExpr::EvalBatch(const RowBatch& batch, const Schema& schema,
+                          std::vector<Value>* out) const {
+  std::vector<uint8_t> flags;
+  flags.reserve(batch.size());
+  INSIGHT_RETURN_NOT_OK(operand_->EvalBoolBatch(batch, schema, &flags));
+  out->reserve(out->size() + batch.size());
+  for (uint8_t f : flags) out->push_back(Value::Bool(f == 0));
+  return Status::OK();
 }
 
 Result<Value> LikeExpr::Eval(const Row& row, const Schema& schema) const {

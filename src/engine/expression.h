@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "engine/row.h"
+#include "engine/row_batch.h"
 #include "types/schema.h"
 
 namespace insight {
@@ -47,6 +48,18 @@ class Expression {
   /// Evaluates as a predicate; non-boolean truthiness is an error,
   /// NULL is false (SQL semantics).
   Result<bool> EvalBool(const Row& row, const Schema& schema) const;
+
+  /// Batch evaluation: appends one Value per row of `batch` to `out`.
+  /// The default loops Eval(); subexpressions that can amortize per-row
+  /// work across the batch override it (ColumnExpr resolves its column
+  /// index once per batch instead of once per row).
+  virtual Status EvalBatch(const RowBatch& batch, const Schema& schema,
+                           std::vector<Value>* out) const;
+
+  /// Batch predicate evaluation with EvalBool's SQL semantics (NULL is
+  /// false, non-boolean is a type error): appends one flag per row.
+  Status EvalBoolBatch(const RowBatch& batch, const Schema& schema,
+                       std::vector<uint8_t>* out) const;
 };
 
 using ExprPtr = std::unique_ptr<Expression>;
@@ -57,6 +70,11 @@ class LiteralExpr : public Expression {
   explicit LiteralExpr(Value value) : value_(std::move(value)) {}
   Result<Value> Eval(const Row&, const Schema&) const override {
     return value_;
+  }
+  Status EvalBatch(const RowBatch& batch, const Schema&,
+                   std::vector<Value>* out) const override {
+    out->insert(out->end(), batch.size(), value_);
+    return Status::OK();
   }
   std::string ToString() const override;
   ExprPtr Clone() const override {
@@ -73,6 +91,9 @@ class ColumnExpr : public Expression {
  public:
   explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
   Result<Value> Eval(const Row& row, const Schema& schema) const override;
+  /// Resolves the column index once for the whole batch.
+  Status EvalBatch(const RowBatch& batch, const Schema& schema,
+                   std::vector<Value>* out) const override;
   std::string ToString() const override { return name_; }
   ExprPtr Clone() const override {
     return std::make_unique<ColumnExpr>(name_);
@@ -92,6 +113,8 @@ class CompareExpr : public Expression {
   CompareExpr(ExprPtr left, CompareOp op, ExprPtr right)
       : left_(std::move(left)), op_(op), right_(std::move(right)) {}
   Result<Value> Eval(const Row& row, const Schema& schema) const override;
+  Status EvalBatch(const RowBatch& batch, const Schema& schema,
+                   std::vector<Value>* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_unique<CompareExpr>(left_->Clone(), op_,
@@ -122,6 +145,11 @@ class LogicalExpr : public Expression {
   LogicalExpr(Kind kind, ExprPtr left, ExprPtr right)
       : kind_(kind), left_(std::move(left)), right_(std::move(right)) {}
   Result<Value> Eval(const Row& row, const Schema& schema) const override;
+  /// Evaluates the left side batch-wise; the right side runs only for
+  /// rows the left side leaves undecided, preserving Eval()'s
+  /// short-circuit semantics exactly.
+  Status EvalBatch(const RowBatch& batch, const Schema& schema,
+                   std::vector<Value>* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_unique<LogicalExpr>(kind_, left_->Clone(),
@@ -150,6 +178,8 @@ class NotExpr : public Expression {
  public:
   explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
   Result<Value> Eval(const Row& row, const Schema& schema) const override;
+  Status EvalBatch(const RowBatch& batch, const Schema& schema,
+                   std::vector<Value>* out) const override;
   std::string ToString() const override {
     return "NOT (" + operand_->ToString() + ")";
   }

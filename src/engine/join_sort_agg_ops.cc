@@ -18,7 +18,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(OpPtr left, OpPtr right, ExprPtr predicate)
 }
 
 Status NestedLoopJoinOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   INSIGHT_RETURN_NOT_OK(left_->Open());
   INSIGHT_RETURN_NOT_OK(right_->Open());
   right_rows_.clear();
@@ -88,7 +88,7 @@ IndexNLJoinOp::IndexNLJoinOp(OpPtr outer, Table* inner,
 }
 
 Status IndexNLJoinOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   if (inner_->GetColumnIndex(inner_column_) == nullptr) {
     return Status::InvalidArgument("index join needs an index on " +
                                    inner_->name() + "." + inner_column_);
@@ -153,7 +153,7 @@ HashJoinOp::HashJoinOp(OpPtr left, OpPtr right, std::string left_key,
 }
 
 Status HashJoinOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   INSIGHT_ASSIGN_OR_RETURN(left_key_idx_,
                            left_->schema().IndexOf(left_key_));
   INSIGHT_ASSIGN_OR_RETURN(right_key_idx_,
@@ -161,19 +161,24 @@ Status HashJoinOp::Open() {
   INSIGHT_RETURN_NOT_OK(left_->Open());
   INSIGHT_RETURN_NOT_OK(right_->Open());
   table_.clear();
-  Row row;
+  // Drain the build side batch-at-a-time.
+  RowBatch build;
+  build.set_capacity(batch_capacity());
   while (true) {
-    INSIGHT_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    INSIGHT_ASSIGN_OR_RETURN(bool has, right_->NextBatch(&build));
     if (!has) break;
-    const Value& key = row.data.at(right_key_idx_);
-    if (!key.is_null()) {
-      table_[key.Hash()].push_back(std::move(row));
+    for (Row& row : build) {
+      const Value& key = row.data.at(right_key_idx_);
+      if (!key.is_null()) {
+        table_[key.Hash()].push_back(std::move(row));
+      }
     }
-    row = Row();
   }
   right_->Close();
   left_valid_ = false;
   bucket_ = nullptr;
+  probe_input_.Clear();
+  probe_pos_ = 0;
   return Status::OK();
 }
 
@@ -216,6 +221,56 @@ Result<bool> HashJoinOp::Next(Row* row) {
     }
     left_valid_ = false;
   }
+}
+
+Result<bool> HashJoinOp::NextBatchImpl(RowBatch* batch) {
+  const size_t left_arity = left_->schema().num_columns();
+  if (probe_input_.capacity() != batch_capacity()) {
+    probe_input_.set_capacity(batch_capacity());
+  }
+  while (!batch->full()) {
+    if (!left_valid_) {
+      if (probe_pos_ >= probe_input_.size()) {
+        INSIGHT_ASSIGN_OR_RETURN(bool has, left_->NextBatch(&probe_input_));
+        if (!has) break;
+        probe_pos_ = 0;
+      }
+      current_left_ = std::move(probe_input_.rows()[probe_pos_++]);
+      left_valid_ = true;
+      bucket_ = nullptr;
+      bucket_pos_ = 0;
+      const Value& key = current_left_.data.at(left_key_idx_);
+      if (!key.is_null()) {
+        auto it = table_.find(key.Hash());
+        if (it != table_.end()) bucket_ = &it->second;
+      }
+    }
+    while (bucket_ != nullptr && bucket_pos_ < bucket_->size() &&
+           !batch->full()) {
+      const Row& right = (*bucket_)[bucket_pos_++];
+      if (current_left_.data.at(left_key_idx_)
+              .Compare(right.data.at(right_key_idx_)) != 0) {
+        continue;
+      }
+      Row candidate;
+      candidate.data = Tuple::Concat(current_left_.data, right.data);
+      if (residual_ != nullptr) {
+        INSIGHT_ASSIGN_OR_RETURN(bool pass,
+                                 residual_->EvalBool(candidate, schema_));
+        if (!pass) continue;
+      }
+      INSIGHT_ASSIGN_OR_RETURN(
+          candidate.summaries,
+          MergeSummaries(current_left_.summaries, right.summaries,
+                         left_arity));
+      batch->Push(std::move(candidate));
+      ++rows_produced_;
+    }
+    if (bucket_ == nullptr || bucket_pos_ >= bucket_->size()) {
+      left_valid_ = false;
+    }
+  }
+  return !batch->empty();
 }
 
 void HashJoinOp::Close() {
@@ -276,13 +331,13 @@ SummaryJoinOp::SummaryJoinOp(OpPtr left, Table* right_table,
   schema_ = Schema::Concat(left_->schema(), right_table_->schema());
 }
 
-std::vector<const PhysicalOperator*> SummaryJoinOp::children() const {
+std::vector<PhysicalOperator*> SummaryJoinOp::children() const {
   if (right_ != nullptr) return {left_.get(), right_.get()};
   return {left_.get()};
 }
 
 Status SummaryJoinOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   left_valid_ = false;
   left_arity_ = left_->schema().num_columns();
   INSIGHT_RETURN_NOT_OK(left_->Open());
@@ -421,6 +476,13 @@ SortOp::SortOp(OpPtr child, std::vector<SortKey> keys, Mode mode,
       pool_(pool),
       memory_budget_(memory_budget_bytes) {}
 
+SortOp::SortOp(ExecutionContext* ctx, OpPtr child, std::vector<SortKey> keys,
+               Mode mode, size_t memory_budget_bytes)
+    : SortOp(std::move(child), std::move(keys), mode, ctx->storage(),
+             ctx->pool(), memory_budget_bytes) {
+  exec_ctx_ = ctx;
+}
+
 bool SortOp::summary_based() const {
   for (const SortKey& key : keys_) {
     if (key.expr->IsSummaryBased()) return true;
@@ -474,7 +536,7 @@ Status SortOp::SpillRun(std::vector<Row>* run) {
 }
 
 Status SortOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   pos_ = 0;
   sorted_.clear();
   runs_.clear();
@@ -485,20 +547,22 @@ Status SortOp::Open() {
   }
   size_t bytes = 0;
   std::vector<Row> buffer;
-  Row row;
+  RowBatch input;
+  input.set_capacity(batch_capacity());
   while (true) {
-    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&input));
     if (!has) break;
-    if (mode_ == Mode::kExternal) {
-      std::string tmp;
-      row.Serialize(&tmp);
-      bytes += tmp.size();
-    }
-    buffer.push_back(std::move(row));
-    row = Row();
-    if (mode_ == Mode::kExternal && bytes > memory_budget_) {
-      INSIGHT_RETURN_NOT_OK(SpillRun(&buffer));
-      bytes = 0;
+    for (Row& row : input) {
+      if (mode_ == Mode::kExternal) {
+        std::string tmp;
+        row.Serialize(&tmp);
+        bytes += tmp.size();
+      }
+      buffer.push_back(std::move(row));
+      if (mode_ == Mode::kExternal && bytes > memory_budget_) {
+        INSIGHT_RETURN_NOT_OK(SpillRun(&buffer));
+        bytes = 0;
+      }
     }
   }
   child_->Close();
@@ -532,13 +596,7 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* row) {
-  if (runs_.empty()) {
-    if (pos_ >= sorted_.size()) return false;
-    *row = sorted_[pos_++];
-    ++rows_produced_;
-    return true;
-  }
+Result<bool> SortOp::MergeNext(Row* row) {
   // K-way merge: pick the smallest live head.
   size_t best = runs_.size();
   for (size_t i = 0; i < runs_.size(); ++i) {
@@ -560,8 +618,38 @@ Result<bool> SortOp::Next(Row* row) {
     INSIGHT_ASSIGN_OR_RETURN(Row head, Row::Deserialize(rec));
     runs_[best].head = std::move(head);
   }
-  ++rows_produced_;
   return true;
+}
+
+Result<bool> SortOp::Next(Row* row) {
+  if (runs_.empty()) {
+    if (pos_ >= sorted_.size()) return false;
+    *row = sorted_[pos_++];
+    ++rows_produced_;
+    return true;
+  }
+  INSIGHT_ASSIGN_OR_RETURN(bool has, MergeNext(row));
+  if (has) ++rows_produced_;
+  return has;
+}
+
+Result<bool> SortOp::NextBatchImpl(RowBatch* batch) {
+  if (runs_.empty()) {
+    while (!batch->full() && pos_ < sorted_.size()) {
+      batch->Push(sorted_[pos_++]);
+      ++rows_produced_;
+    }
+    return !batch->empty();
+  }
+  Row row;
+  while (!batch->full()) {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, MergeNext(&row));
+    if (!has) break;
+    batch->Push(std::move(row));
+    row = Row();
+    ++rows_produced_;
+  }
+  return !batch->empty();
 }
 
 std::string SortOp::Describe() const {
@@ -599,7 +687,7 @@ HashAggregateOp::HashAggregateOp(OpPtr child,
 }
 
 Status HashAggregateOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   pos_ = 0;
   results_.clear();
   INSIGHT_RETURN_NOT_OK(child_->Open());
@@ -623,10 +711,7 @@ Status HashAggregateOp::Open() {
   std::unordered_map<std::string, GroupState> groups;
   std::vector<std::string> group_order;
 
-  Row row;
-  while (true) {
-    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) break;
+  auto accumulate = [&](const Row& row) -> Status {
     Tuple key = row.data.Project(group_indices);
     std::string key_bytes;
     key.Serialize(&key_bytes);
@@ -677,6 +762,15 @@ Status HashAggregateOp::Open() {
       INSIGHT_ASSIGN_OR_RETURN(
           state.summaries, MergeSummaries(state.summaries, projected, 0));
     }
+    return Status::OK();
+  };
+
+  RowBatch input;
+  input.set_capacity(batch_capacity());
+  while (true) {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&input));
+    if (!has) break;
+    for (const Row& row : input) INSIGHT_RETURN_NOT_OK(accumulate(row));
   }
   child_->Close();
 
@@ -721,6 +815,14 @@ Result<bool> HashAggregateOp::Next(Row* row) {
   return true;
 }
 
+Result<bool> HashAggregateOp::NextBatchImpl(RowBatch* batch) {
+  while (!batch->full() && pos_ < results_.size()) {
+    batch->Push(results_[pos_++]);
+    ++rows_produced_;
+  }
+  return !batch->empty();
+}
+
 std::string HashAggregateOp::Describe() const {
   std::string out = "HashAggregate(group by " + Join(group_columns_, ", ");
   out += "; " + std::to_string(aggregates_.size()) + " aggregates)";
@@ -732,7 +834,7 @@ std::string HashAggregateOp::Describe() const {
 DistinctOp::DistinctOp(OpPtr child) : child_(std::move(child)) {}
 
 Status DistinctOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   pos_ = 0;
   results_.clear();
   INSIGHT_RETURN_NOT_OK(child_->Open());

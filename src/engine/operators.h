@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "engine/execution_context.h"
 #include "engine/expression.h"
 #include "engine/row.h"
+#include "engine/row_batch.h"
 #include "index/table.h"
 #include "sindex/baseline_index.h"
 #include "sindex/keyword_index.h"
@@ -19,9 +21,26 @@
 
 namespace insight {
 
+/// Per-operator runtime counters, maintained by the NextBatch() wrapper
+/// and rendered by EXPLAIN ANALYZE. `next_ns` is inclusive: time spent in
+/// this operator's NextBatch() including its children's.
+struct OperatorStats {
+  uint64_t rows = 0;     // Rows emitted through NextBatch().
+  uint64_t batches = 0;  // Non-empty batches emitted.
+  uint64_t next_ns = 0;  // Wall-time inside NextBatch().
+};
+
 /// Volcano-style physical operator. Standard SQL operators and the
 /// paper's summary-based operators (S, F, J, O) share this interface and
 /// mix freely in one plan (Section 3.2).
+///
+/// Execution is batch-at-a-time: drivers call NextBatch(), which times
+/// the call, maintains the runtime counters, and delegates to the
+/// virtual NextBatchImpl(). Operators not yet ported inherit the default
+/// NextBatchImpl(), which drains the row-at-a-time Next() — so legacy
+/// operators keep working inside batch plans, and row-at-a-time drivers
+/// keep working against ported operators (every operator retains its
+/// Next() implementation).
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
@@ -31,20 +50,54 @@ class PhysicalOperator {
   virtual Result<bool> Next(Row* row) = 0;
   virtual void Close() {}
 
+  /// Clears `batch` and refills it with up to batch->capacity() rows;
+  /// false once the stream is exhausted (the batch comes back empty).
+  /// Tags the batch with this operator's output schema. Do not interleave
+  /// NextBatch() and Next() calls on one operator within one execution.
+  Result<bool> NextBatch(RowBatch* batch);
+
   virtual const Schema& schema() const = 0;
   /// One-line description for EXPLAIN-style plan dumps.
   virtual std::string Describe() const = 0;
-  virtual std::vector<const PhysicalOperator*> children() const {
-    return {};
-  }
+  virtual std::vector<PhysicalOperator*> children() const { return {}; }
 
   /// Multi-line plan rendering rooted at this operator.
   std::string ExplainTree(int indent = 0) const;
+  /// ExplainTree plus per-operator runtime counters (rows, batches,
+  /// wall-time); render after the plan has run — EXPLAIN ANALYZE.
+  std::string ExplainAnalyzeTree(int indent = 0) const;
+
+  /// Threads the shared ExecutionContext through the whole subtree
+  /// (batch-size knob; storage handles for lazily-resolving operators).
+  void AttachContext(ExecutionContext* ctx);
+  ExecutionContext* exec_context() const { return exec_ctx_; }
+
+  /// Batch capacity this plan runs at (the context's knob, or the
+  /// RowBatch default when no context is attached).
+  size_t batch_capacity() const {
+    return exec_ctx_ != nullptr ? exec_ctx_->batch_size()
+                                : RowBatch::kDefaultCapacity;
+  }
 
   uint64_t rows_produced() const { return rows_produced_; }
+  const OperatorStats& stats() const { return stats_; }
 
  protected:
+  /// Batch production; `batch` arrives cleared. Implementations append
+  /// rows until full() or end-of-stream and return !batch->empty(); they
+  /// maintain rows_produced_ exactly like Next() does. The default
+  /// adapter loops the row-at-a-time Next().
+  virtual Result<bool> NextBatchImpl(RowBatch* batch);
+
+  /// Resets the per-execution counters; every Open() calls this first.
+  void ResetExec() {
+    rows_produced_ = 0;
+    stats_ = OperatorStats{};
+  }
+
   uint64_t rows_produced_ = 0;
+  OperatorStats stats_;
+  ExecutionContext* exec_ctx_ = nullptr;
 };
 
 using OpPtr = std::unique_ptr<PhysicalOperator>;
@@ -59,11 +112,16 @@ Result<std::vector<Row>> CollectRows(PhysicalOperator* root);
 class SeqScanOp : public PhysicalOperator {
  public:
   SeqScanOp(Table* table, SummaryManager* mgr, bool propagate);
+  /// Context form: resolves the table's SummaryManager from `ctx`.
+  SeqScanOp(ExecutionContext* ctx, Table* table, bool propagate);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return table_->schema(); }
   std::string Describe() const override;
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   Table* table_;
@@ -79,11 +137,19 @@ class IndexScanOp : public PhysicalOperator {
   IndexScanOp(Table* table, std::string column, std::optional<Value> lower,
               bool lower_inclusive, std::optional<Value> upper,
               bool upper_inclusive, SummaryManager* mgr, bool propagate);
+  /// Context form: resolves the table's SummaryManager from `ctx`.
+  IndexScanOp(ExecutionContext* ctx, Table* table, std::string column,
+              std::optional<Value> lower, bool lower_inclusive,
+              std::optional<Value> upper, bool upper_inclusive,
+              bool propagate);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return table_->schema(); }
   std::string Describe() const override;
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   Table* table_;
@@ -105,11 +171,18 @@ class SummaryIndexScanOp : public PhysicalOperator {
  public:
   SummaryIndexScanOp(const SummaryBTree* index, ClassifierProbe probe,
                      SummaryManager* mgr, bool propagate);
+  /// Context form: resolves `table`'s SummaryManager from `ctx`.
+  SummaryIndexScanOp(ExecutionContext* ctx, const SummaryBTree* index,
+                     ClassifierProbe probe, const std::string& table,
+                     bool propagate);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override;
   std::string Describe() const override;
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   const SummaryBTree* index_;
@@ -154,11 +227,18 @@ class KeywordIndexScanOp : public PhysicalOperator {
   KeywordIndexScanOp(const SnippetKeywordIndex* index,
                      std::vector<std::string> keywords, SummaryManager* mgr,
                      bool propagate);
+  /// Context form: resolves `table`'s SummaryManager from `ctx`.
+  KeywordIndexScanOp(ExecutionContext* ctx, const SnippetKeywordIndex* index,
+                     std::vector<std::string> keywords,
+                     const std::string& table, bool propagate);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override;
   std::string Describe() const override;
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   const SnippetKeywordIndex* index_;
@@ -176,8 +256,8 @@ class VectorSourceOp : public PhysicalOperator {
       : schema_(std::move(schema)), rows_(std::move(rows)) {}
 
   Status Open() override {
+    ResetExec();
     pos_ = 0;
-    rows_produced_ = 0;
     return Status::OK();
   }
   Result<bool> Next(Row* row) override {
@@ -188,6 +268,15 @@ class VectorSourceOp : public PhysicalOperator {
   }
   const Schema& schema() const override { return schema_; }
   std::string Describe() const override;
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    while (!batch->full() && pos_ < rows_.size()) {
+      batch->Push(rows_[pos_++]);
+      ++rows_produced_;
+    }
+    return !batch->empty();
+  }
 
  private:
   Schema schema_;
@@ -208,13 +297,21 @@ class SelectOp : public PhysicalOperator {
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   OpPtr child_;
   ExprPtr predicate_;
+  // Batch-path state: buffered child batch, its predicate flags, and the
+  // next input row to consume.
+  RowBatch input_;
+  std::vector<uint8_t> flags_;
+  size_t input_pos_ = 0;
 };
 
 /// Summary-based selection S (Section 3.2): passes rows whose
@@ -230,14 +327,20 @@ class SummarySelectOp : public PhysicalOperator {
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
   const Expression* predicate() const { return predicate_.get(); }
 
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
+
  private:
   OpPtr child_;
   ExprPtr predicate_;
+  RowBatch input_;
+  std::vector<uint8_t> flags_;
+  size_t input_pos_ = 0;
 };
 
 /// Object-level predicate for the summary-based filter F. Structural
@@ -264,9 +367,12 @@ class SummaryFilterOp : public PhysicalOperator {
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   OpPtr child_;
@@ -288,9 +394,12 @@ class ProjectOp : public PhysicalOperator {
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return schema_; }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   OpPtr child_;
@@ -314,7 +423,7 @@ class NestedLoopJoinOp : public PhysicalOperator {
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
 
@@ -343,7 +452,7 @@ class IndexNLJoinOp : public PhysicalOperator {
   void Close() override { outer_->Close(); }
   const Schema& schema() const override { return schema_; }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {outer_.get()};
   }
 
@@ -376,9 +485,12 @@ class HashJoinOp : public PhysicalOperator {
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   OpPtr left_;
@@ -394,6 +506,9 @@ class HashJoinOp : public PhysicalOperator {
   bool left_valid_ = false;
   const std::vector<Row>* bucket_ = nullptr;
   size_t bucket_pos_ = 0;
+  // Batch-path probe-side state.
+  RowBatch probe_input_;
+  size_t probe_pos_ = 0;
 };
 
 /// Join predicate of the summary-based join J: either a comparison of a
@@ -436,7 +551,7 @@ class SummaryJoinOp : public PhysicalOperator {
   void Close() override;
   const Schema& schema() const override { return schema_; }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override;
+  std::vector<PhysicalOperator*> children() const override;
 
  private:
   Result<bool> NextNestedLoop(Row* row);
@@ -482,22 +597,30 @@ class SortOp : public PhysicalOperator {
   SortOp(OpPtr child, std::vector<SortKey> keys, Mode mode,
          StorageManager* storage = nullptr, BufferPool* pool = nullptr,
          size_t memory_budget_bytes = 4 << 20);
+  /// Context form: storage and pool come from `ctx` (kExternal spills).
+  SortOp(ExecutionContext* ctx, OpPtr child, std::vector<SortKey> keys,
+         Mode mode, size_t memory_budget_bytes = 4 << 20);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
 
   bool summary_based() const;
   uint64_t runs_spilled() const { return runs_spilled_; }
 
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
+
  private:
   Result<int> CompareRows(const Row& a, const Row& b) const;
   Status SpillRun(std::vector<Row>* run);
+  /// K-way merge step (kExternal with spilled runs).
+  Result<bool> MergeNext(Row* row);
 
   OpPtr child_;
   std::vector<SortKey> keys_;
@@ -540,9 +663,12 @@ class HashAggregateOp : public PhysicalOperator {
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return schema_; }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   OpPtr child_;
@@ -565,7 +691,7 @@ class DistinctOp : public PhysicalOperator {
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
 
@@ -583,7 +709,7 @@ class RenameOp : public PhysicalOperator {
   RenameOp(OpPtr child, const std::string& alias);
 
   Status Open() override {
-    rows_produced_ = 0;
+    ResetExec();
     return child_->Open();
   }
   Result<bool> Next(Row* row) override {
@@ -594,8 +720,15 @@ class RenameOp : public PhysicalOperator {
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return schema_; }
   std::string Describe() const override { return "Rename(" + alias_ + ")"; }
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
+  }
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    rows_produced_ += batch->size();
+    return has;
   }
 
  private:
@@ -611,7 +744,7 @@ class LimitOp : public PhysicalOperator {
                                          limit_(limit) {}
 
   Status Open() override {
-    rows_produced_ = 0;
+    ResetExec();
     emitted_ = 0;
     return child_->Open();
   }
@@ -619,9 +752,12 @@ class LimitOp : public PhysicalOperator {
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
   std::string Describe() const override;
-  std::vector<const PhysicalOperator*> children() const override {
+  std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+
+ protected:
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   OpPtr child_;

@@ -1,8 +1,45 @@
+#include <chrono>
+#include <cstdio>
+
 #include "common/string_util.h"
 #include "engine/operators.h"
 #include "index/key_codec.h"
 
 namespace insight {
+
+Result<bool> PhysicalOperator::NextBatch(RowBatch* batch) {
+  const auto start = std::chrono::steady_clock::now();
+  batch->Clear();
+  Result<bool> result = NextBatchImpl(batch);
+  stats_.next_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (result.ok() && *result) {
+    ++stats_.batches;
+    stats_.rows += batch->size();
+  }
+  batch->set_schema(&schema());
+  return result;
+}
+
+Result<bool> PhysicalOperator::NextBatchImpl(RowBatch* batch) {
+  // Default adapter: drain the row-at-a-time interface. Next() maintains
+  // rows_produced_ itself.
+  Row row;
+  while (!batch->full()) {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, Next(&row));
+    if (!has) break;
+    batch->Push(std::move(row));
+    row = Row();
+  }
+  return !batch->empty();
+}
+
+void PhysicalOperator::AttachContext(ExecutionContext* ctx) {
+  exec_ctx_ = ctx;
+  for (PhysicalOperator* child : children()) child->AttachContext(ctx);
+}
 
 std::string PhysicalOperator::ExplainTree(int indent) const {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
@@ -14,15 +51,33 @@ std::string PhysicalOperator::ExplainTree(int indent) const {
   return out;
 }
 
+std::string PhysicalOperator::ExplainAnalyzeTree(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  char counters[96];
+  std::snprintf(counters, sizeof(counters),
+                "  (rows=%llu batches=%llu time=%.3fms)",
+                static_cast<unsigned long long>(stats_.rows),
+                static_cast<unsigned long long>(stats_.batches),
+                static_cast<double>(stats_.next_ns) / 1e6);
+  out += counters;
+  out += "\n";
+  for (const PhysicalOperator* child : children()) {
+    out += child->ExplainAnalyzeTree(indent + 1);
+  }
+  return out;
+}
+
 Result<std::vector<Row>> CollectRows(PhysicalOperator* root) {
   INSIGHT_RETURN_NOT_OK(root->Open());
   std::vector<Row> rows;
-  Row row;
+  RowBatch batch;
+  batch.set_capacity(root->batch_capacity());
   while (true) {
-    INSIGHT_ASSIGN_OR_RETURN(bool has, root->Next(&row));
+    INSIGHT_ASSIGN_OR_RETURN(bool has, root->NextBatch(&batch));
     if (!has) break;
-    rows.push_back(std::move(row));
-    row = Row();
+    rows.reserve(rows.size() + batch.size());
+    for (Row& row : batch) rows.push_back(std::move(row));
   }
   root->Close();
   return rows;
@@ -33,8 +88,13 @@ Result<std::vector<Row>> CollectRows(PhysicalOperator* root) {
 SeqScanOp::SeqScanOp(Table* table, SummaryManager* mgr, bool propagate)
     : table_(table), mgr_(mgr), propagate_(propagate && mgr != nullptr) {}
 
+SeqScanOp::SeqScanOp(ExecutionContext* ctx, Table* table, bool propagate)
+    : SeqScanOp(table, ctx->ManagerFor(table->name()), propagate) {
+  exec_ctx_ = ctx;
+}
+
 Status SeqScanOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   it_.emplace(table_->Scan());
   return Status::OK();
 }
@@ -51,6 +111,23 @@ Result<bool> SeqScanOp::Next(Row* row) {
   }
   ++rows_produced_;
   return true;
+}
+
+Result<bool> SeqScanOp::NextBatchImpl(RowBatch* batch) {
+  while (!batch->full()) {
+    Oid oid;
+    Tuple tuple;
+    if (!it_->Next(&oid, &tuple)) break;
+    Row row;
+    row.oid = oid;
+    row.data = std::move(tuple);
+    if (propagate_) {
+      INSIGHT_ASSIGN_OR_RETURN(row.summaries, mgr_->GetSummaries(oid));
+    }
+    batch->Push(std::move(row));
+    ++rows_produced_;
+  }
+  return !batch->empty();
 }
 
 std::string SeqScanOp::Describe() const {
@@ -73,8 +150,18 @@ IndexScanOp::IndexScanOp(Table* table, std::string column,
       mgr_(mgr),
       propagate_(propagate && mgr != nullptr) {}
 
+IndexScanOp::IndexScanOp(ExecutionContext* ctx, Table* table,
+                         std::string column, std::optional<Value> lower,
+                         bool lower_inclusive, std::optional<Value> upper,
+                         bool upper_inclusive, bool propagate)
+    : IndexScanOp(table, std::move(column), std::move(lower),
+                  lower_inclusive, std::move(upper), upper_inclusive,
+                  ctx->ManagerFor(table->name()), propagate) {
+  exec_ctx_ = ctx;
+}
+
 Status IndexScanOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   pos_ = 0;
   oids_.clear();
   const BTree* index = table_->GetColumnIndex(column_);
@@ -114,6 +201,21 @@ Result<bool> IndexScanOp::Next(Row* row) {
   return true;
 }
 
+Result<bool> IndexScanOp::NextBatchImpl(RowBatch* batch) {
+  while (!batch->full() && pos_ < oids_.size()) {
+    const Oid oid = oids_[pos_++];
+    Row row;
+    INSIGHT_ASSIGN_OR_RETURN(row.data, table_->Get(oid));
+    row.oid = oid;
+    if (propagate_) {
+      INSIGHT_ASSIGN_OR_RETURN(row.summaries, mgr_->GetSummaries(oid));
+    }
+    batch->Push(std::move(row));
+    ++rows_produced_;
+  }
+  return !batch->empty();
+}
+
 std::string IndexScanOp::Describe() const {
   std::string out = "IndexScan(" + table_->name() + "." + column_;
   if (lower_.has_value()) {
@@ -136,12 +238,22 @@ SummaryIndexScanOp::SummaryIndexScanOp(const SummaryBTree* index,
     : index_(index), probe_(std::move(probe)), mgr_(mgr),
       propagate_(propagate) {}
 
+SummaryIndexScanOp::SummaryIndexScanOp(ExecutionContext* ctx,
+                                       const SummaryBTree* index,
+                                       ClassifierProbe probe,
+                                       const std::string& table,
+                                       bool propagate)
+    : SummaryIndexScanOp(index, std::move(probe), ctx->ManagerFor(table),
+                         propagate) {
+  exec_ctx_ = ctx;
+}
+
 const Schema& SummaryIndexScanOp::schema() const {
   return mgr_->base()->schema();
 }
 
 Status SummaryIndexScanOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   pos_ = 0;
   INSIGHT_ASSIGN_OR_RETURN(hits_, index_->Search(probe_));
   return Status::OK();
@@ -165,6 +277,25 @@ Result<bool> SummaryIndexScanOp::Next(Row* row) {
   row->oid = oid;
   ++rows_produced_;
   return true;
+}
+
+Result<bool> SummaryIndexScanOp::NextBatchImpl(RowBatch* batch) {
+  while (!batch->full() && pos_ < hits_.size()) {
+    const SummaryIndexHit& hit = hits_[pos_++];
+    Oid oid = kInvalidOid;
+    Row row;
+    if (propagate_) {
+      INSIGHT_ASSIGN_OR_RETURN(
+          row.data,
+          index_->FetchDataTupleWithSummaries(hit, &row.summaries, &oid));
+    } else {
+      INSIGHT_ASSIGN_OR_RETURN(row.data, index_->FetchDataTuple(hit, &oid));
+    }
+    row.oid = oid;
+    batch->Push(std::move(row));
+    ++rows_produced_;
+  }
+  return !batch->empty();
 }
 
 std::string SummaryIndexScanOp::Describe() const {
@@ -200,7 +331,7 @@ const Schema& BaselineIndexScanOp::schema() const {
 }
 
 Status BaselineIndexScanOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   pos_ = 0;
   INSIGHT_ASSIGN_OR_RETURN(hits_, index_->Search(probe_));
   return Status::OK();
@@ -246,12 +377,22 @@ KeywordIndexScanOp::KeywordIndexScanOp(const SnippetKeywordIndex* index,
       mgr_(mgr),
       propagate_(propagate) {}
 
+KeywordIndexScanOp::KeywordIndexScanOp(ExecutionContext* ctx,
+                                       const SnippetKeywordIndex* index,
+                                       std::vector<std::string> keywords,
+                                       const std::string& table,
+                                       bool propagate)
+    : KeywordIndexScanOp(index, std::move(keywords), ctx->ManagerFor(table),
+                         propagate) {
+  exec_ctx_ = ctx;
+}
+
 const Schema& KeywordIndexScanOp::schema() const {
   return mgr_->base()->schema();
 }
 
 Status KeywordIndexScanOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   pos_ = 0;
   INSIGHT_ASSIGN_OR_RETURN(oids_, index_->SearchAll(keywords_));
   return Status::OK();
@@ -270,6 +411,21 @@ Result<bool> KeywordIndexScanOp::Next(Row* row) {
   return true;
 }
 
+Result<bool> KeywordIndexScanOp::NextBatchImpl(RowBatch* batch) {
+  while (!batch->full() && pos_ < oids_.size()) {
+    const Oid oid = oids_[pos_++];
+    Row row;
+    INSIGHT_ASSIGN_OR_RETURN(row.data, mgr_->base()->Get(oid));
+    row.oid = oid;
+    if (propagate_) {
+      INSIGHT_ASSIGN_OR_RETURN(row.summaries, mgr_->GetSummaries(oid));
+    }
+    batch->Push(std::move(row));
+    ++rows_produced_;
+  }
+  return !batch->empty();
+}
+
 std::string KeywordIndexScanOp::Describe() const {
   return "KeywordIndexScan(" + Join(keywords_, ", ") +
          (propagate_ ? ", propagate)" : ")");
@@ -281,12 +437,52 @@ std::string VectorSourceOp::Describe() const {
 
 // ---------- Selection family ----------
 
+namespace {
+
+/// Shared batch filter loop for SelectOp / SummarySelectOp: pull child
+/// batches, evaluate the predicate batch-wise (amortized column
+/// resolution), and move the passing rows into `batch` until it fills.
+Result<bool> FilterNextBatch(PhysicalOperator* child,
+                             const Expression* predicate, size_t capacity,
+                             RowBatch* input, std::vector<uint8_t>* flags,
+                             size_t* input_pos, uint64_t* rows_produced,
+                             RowBatch* batch) {
+  if (input->capacity() != capacity) input->set_capacity(capacity);
+  while (!batch->full()) {
+    if (*input_pos >= input->size()) {
+      INSIGHT_ASSIGN_OR_RETURN(bool has, child->NextBatch(input));
+      if (!has) break;
+      flags->clear();
+      INSIGHT_RETURN_NOT_OK(
+          predicate->EvalBoolBatch(*input, child->schema(), flags));
+      *input_pos = 0;
+    }
+    for (; *input_pos < input->size() && !batch->full(); ++*input_pos) {
+      if ((*flags)[*input_pos] != 0) {
+        batch->Push(std::move(input->rows()[*input_pos]));
+        ++*rows_produced;
+      }
+    }
+  }
+  return !batch->empty();
+}
+
+}  // namespace
+
 SelectOp::SelectOp(OpPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
 Status SelectOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
+  input_.Clear();
+  input_pos_ = 0;
   return child_->Open();
+}
+
+Result<bool> SelectOp::NextBatchImpl(RowBatch* batch) {
+  return FilterNextBatch(child_.get(), predicate_.get(), batch_capacity(),
+                         &input_, &flags_, &input_pos_, &rows_produced_,
+                         batch);
 }
 
 Result<bool> SelectOp::Next(Row* row) {
@@ -310,8 +506,16 @@ SummarySelectOp::SummarySelectOp(OpPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
 Status SummarySelectOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
+  input_.Clear();
+  input_pos_ = 0;
   return child_->Open();
+}
+
+Result<bool> SummarySelectOp::NextBatchImpl(RowBatch* batch) {
+  return FilterNextBatch(child_.get(), predicate_.get(), batch_capacity(),
+                         &input_, &flags_, &input_pos_, &rows_produced_,
+                         batch);
 }
 
 Result<bool> SummarySelectOp::Next(Row* row) {
@@ -358,7 +562,7 @@ SummaryFilterOp::SummaryFilterOp(OpPtr child, ObjectPredicate predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
 Status SummaryFilterOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   return child_->Open();
 }
 
@@ -371,6 +575,21 @@ Result<bool> SummaryFilterOp::Next(Row* row) {
   }
   row->summaries = SummarySet(std::move(kept));
   ++rows_produced_;
+  return true;
+}
+
+Result<bool> SummaryFilterOp::NextBatchImpl(RowBatch* batch) {
+  // 1:1 transform: filter each row's summary set in place.
+  INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+  if (!has) return false;
+  for (Row& row : *batch) {
+    std::vector<SummaryObject> kept;
+    for (SummaryObject& obj : row.summaries.objects()) {
+      if (predicate_.Matches(obj)) kept.push_back(std::move(obj));
+    }
+    row.summaries = SummarySet(std::move(kept));
+  }
+  rows_produced_ += batch->size();
   return true;
 }
 
@@ -394,8 +613,23 @@ ProjectOp::ProjectOp(OpPtr child, std::vector<std::string> columns,
 }
 
 Status ProjectOp::Open() {
-  rows_produced_ = 0;
+  ResetExec();
   return child_->Open();
+}
+
+Result<bool> ProjectOp::NextBatchImpl(RowBatch* batch) {
+  INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+  if (!has) return false;
+  for (Row& row : *batch) {
+    row.data = row.data.Project(indices_);
+    if (!row.summaries.empty()) {
+      INSIGHT_ASSIGN_OR_RETURN(
+          row.summaries,
+          ProjectSummaries(row.summaries, indices_, resolver_));
+    }
+  }
+  rows_produced_ += batch->size();
+  return true;
 }
 
 Result<bool> ProjectOp::Next(Row* row) {
@@ -433,6 +667,16 @@ Result<bool> LimitOp::Next(Row* row) {
   ++emitted_;
   ++rows_produced_;
   return true;
+}
+
+Result<bool> LimitOp::NextBatchImpl(RowBatch* batch) {
+  if (emitted_ >= limit_) return false;
+  INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+  if (!has) return false;
+  batch->Truncate(static_cast<size_t>(limit_ - emitted_));
+  emitted_ += batch->size();
+  rows_produced_ += batch->size();
+  return !batch->empty();
 }
 
 std::string LimitOp::Describe() const {

@@ -779,7 +779,8 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
   std::optional<PhysOrder> order = best->order;
   switch (best->kind) {
     case Candidate::Kind::kSeq:
-      op = std::make_unique<SeqScanOp>(info->table, info->mgr, propagate);
+      op = std::make_unique<SeqScanOp>(ctx_->exec_context(), info->table,
+                                       propagate);
       break;
     case Candidate::Kind::kDataIndex: {
       auto pred = *MatchColumnPredicate(data_conjuncts[best->conjunct].get());
@@ -809,9 +810,9 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
         default:
           break;
       }
-      op = std::make_unique<IndexScanOp>(info->table, pred.column, lower,
-                                         lower_inc, upper, upper_inc,
-                                         info->mgr, propagate);
+      op = std::make_unique<IndexScanOp>(ctx_->exec_context(), info->table,
+                                         pred.column, lower, lower_inc, upper,
+                                         upper_inc, propagate);
       data_conjuncts.erase(data_conjuncts.begin() +
                            static_cast<long>(best->conjunct));
       break;
@@ -820,8 +821,8 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
       auto pred =
           *MatchIndexablePredicate(summary_conjuncts[best->conjunct].get());
       op = std::make_unique<SummaryIndexScanOp>(
-          info->SummaryIndexFor(pred.instance), ProbeFor(pred), info->mgr,
-          propagate);
+          ctx_->exec_context(), info->SummaryIndexFor(pred.instance),
+          ProbeFor(pred), info->table->name(), propagate);
       summary_conjuncts.erase(summary_conjuncts.begin() +
                               static_cast<long>(best->conjunct));
       break;
@@ -841,8 +842,8 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
           summary_conjuncts[best->conjunct].get());
       const bool exact = func->kind() == SummaryFuncKind::kContainsUnion;
       op = std::make_unique<KeywordIndexScanOp>(
-          info->KeywordIndexFor(func->instance()), func->keywords(),
-          info->mgr, propagate || !exact);
+          ctx_->exec_context(), info->KeywordIndexFor(func->instance()),
+          func->keywords(), info->table->name(), propagate || !exact);
       if (exact) {
         // containsUnion == posting-list intersection: no residual.
         summary_conjuncts.erase(summary_conjuncts.begin() +
@@ -1093,7 +1094,7 @@ Result<Optimizer::Lowered> Optimizer::LowerRec(const LogicalNode& node) {
             probe.label = func->label();
             Lowered out;
             out.op = std::make_unique<SummaryIndexScanOp>(
-                index, probe, info->mgr,
+                ctx_->exec_context(), index, probe, info->table->name(),
                 node.children[0]->propagate_summaries);
             out.order = PhysOrder{func->instance(), func->label()};
             return out;
@@ -1120,8 +1121,8 @@ Result<Optimizer::Lowered> Optimizer::LowerRec(const LogicalNode& node) {
       }
       Lowered out;
       out.op = std::make_unique<SortOp>(
-          std::move(child.op), std::move(keys), options_.sort_mode,
-          ctx_->storage(), ctx_->pool(), options_.sort_memory_budget);
+          ctx_->exec_context(), std::move(child.op), std::move(keys),
+          options_.sort_mode, options_.sort_memory_budget);
       return out;
     }
     case LogicalKind::kAggregate: {
@@ -1157,6 +1158,10 @@ Result<Optimizer::Lowered> Optimizer::LowerRec(const LogicalNode& node) {
 
 Result<OpPtr> Optimizer::Lower(const LogicalNode& plan) {
   INSIGHT_ASSIGN_OR_RETURN(Lowered lowered, LowerRec(plan));
+  // Thread the runtime context through every operator: non-scan operators
+  // are built with plain constructors, so the tree walk is what hands them
+  // the batch-size knob and storage handles.
+  lowered.op->AttachContext(ctx_->exec_context());
   return std::move(lowered.op);
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "engine/execution_context.h"
 #include "optimizer/statistics.h"
 #include "sindex/baseline_index.h"
 #include "sindex/keyword_index.h"
@@ -41,7 +42,10 @@ struct RelationInfo {
 class QueryContext {
  public:
   QueryContext(Catalog* catalog, StorageManager* storage, BufferPool* pool)
-      : catalog_(catalog), storage_(storage), pool_(pool) {}
+      : catalog_(catalog),
+        storage_(storage),
+        pool_(pool),
+        exec_ctx_(storage, pool) {}
 
   /// Registers a relation (summary manager optional).
   Status RegisterRelation(Table* table, SummaryManager* mgr);
@@ -82,10 +86,15 @@ class QueryContext {
   StorageManager* storage() const { return storage_; }
   BufferPool* pool() const { return pool_; }
 
+  /// Runtime context handed to lowered physical plans. Tracks the same
+  /// summary managers as the relation registry, plus the batch-size knob.
+  ExecutionContext* exec_context() { return &exec_ctx_; }
+
  private:
   Catalog* catalog_;
   StorageManager* storage_;
   BufferPool* pool_;
+  ExecutionContext exec_ctx_;
   std::map<std::string, RelationInfo> relations_;  // Lower-cased keys.
 };
 

@@ -674,4 +674,26 @@ Result<std::string> Database::Explain(const std::string& sql) {
   return result.message;
 }
 
+Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
+  INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect &&
+      stmt.kind != Statement::Kind::kExplain) {
+    return Status::InvalidArgument("can only explain SELECT statements");
+  }
+  const SelectStatement& select = *stmt.select;
+  for (const SelectStatement::FromTable& from : select.from) {
+    Status refreshed = context_.RefreshStats(from.table);
+    if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
+  }
+  INSIGHT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(select));
+  Optimizer optimizer(&context_, optimizer_options_);
+  INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
+  std::string out = "Physical plan (analyzed):\n" + op->ExplainAnalyzeTree();
+  char line[64];
+  std::snprintf(line, sizeof(line), "Rows returned: %zu\n", rows.size());
+  out += line;
+  return out;
+}
+
 }  // namespace insight

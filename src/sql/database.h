@@ -109,6 +109,11 @@ class Database {
   /// The optimized physical plan for a SELECT (EXPLAIN).
   Result<std::string> Explain(const std::string& sql);
 
+  /// EXPLAIN ANALYZE: executes the SELECT batch-at-a-time and returns the
+  /// plan annotated with per-operator runtime counters (rows, batches,
+  /// inclusive wall-time).
+  Result<std::string> ExplainAnalyze(const std::string& sql);
+
   /// Programmatic path: optimize and run a hand-built logical plan.
   Result<std::vector<Row>> Run(LogicalPtr plan);
   Result<OpPtr> Plan(LogicalPtr plan);

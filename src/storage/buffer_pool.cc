@@ -4,12 +4,13 @@ namespace insight {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
-    Release();
+    Release();  // Drop the pin we hold before taking over other's.
     pool_ = other.pool_;
     frame_ = other.frame_;
     data_ = other.data_;
     dirty_ = other.dirty_;
     other.pool_ = nullptr;
+    other.frame_ = 0;
     other.data_ = nullptr;
     other.dirty_ = false;
   }

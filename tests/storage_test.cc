@@ -129,6 +129,51 @@ TEST_F(BufferPoolTest, AllFramesPinnedIsResourceExhausted) {
   EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted);
 }
 
+// Regression: move-assigning onto a guard that already holds a pin must
+// release that pin. A leak here permanently wedges a frame.
+TEST_F(BufferPoolTest, MoveAssignReleasesHeldPin) {
+  FileId file = *storage_.CreateFile("f");
+  std::vector<PageGuard> guards;
+  for (size_t i = 0; i < pool_.capacity(); ++i) {
+    PageId id;
+    auto g = pool_.NewPage(file, &id);
+    ASSERT_TRUE(g.ok());
+    guards.push_back(std::move(*g));
+  }
+  PageId id;
+  EXPECT_EQ(pool_.NewPage(file, &id).status().code(),
+            StatusCode::kResourceExhausted);
+  // Overwriting guards[0] unpins its frame, so exactly one frame becomes
+  // evictable and the pool can admit a new page again.
+  guards[0] = std::move(guards[1]);
+  EXPECT_TRUE(guards[0].valid());
+  EXPECT_FALSE(guards[1].valid());
+  auto admitted = pool_.NewPage(file, &id);
+  EXPECT_TRUE(admitted.ok()) << admitted.status().ToString();
+}
+
+// Regression: self-move-assignment must keep the guard intact — neither
+// dropping the pin nor double-unpinning on destruction.
+TEST_F(BufferPoolTest, SelfMoveAssignKeepsPin) {
+  FileId file = *storage_.CreateFile("f");
+  PageId id;
+  auto g = pool_.NewPage(file, &id);
+  ASSERT_TRUE(g.ok());
+  PageGuard guard = std::move(*g);
+  guard.data()[0] = 'z';
+  guard.MarkDirty();
+  PageGuard& alias = guard;
+  guard = std::move(alias);
+  ASSERT_TRUE(guard.valid());
+  EXPECT_EQ(guard.data()[0], 'z');
+  // Exactly one pin is held: this Release would CHECK-fail on an unpinned
+  // frame if the self-move had already unpinned it.
+  guard.Release();
+  auto again = pool_.FetchPage(file, id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->data()[0], 'z');
+}
+
 TEST_F(BufferPoolTest, FlushAllPersistsToStore) {
   FileId file = *storage_.CreateFile("f");
   PageId id;
