@@ -1,14 +1,24 @@
 // Batch executor ablation — the same scan+select plan driven through the
 // row-at-a-time interface (Next) and the batch interface (NextBatch), at
-// several batch capacities.
+// several batch capacities; then the batch plan against its morsel-driven
+// parallel form at several worker counts.
 //
 // Expectation: batch throughput >= row throughput (the batch path
 // amortizes virtual dispatch, Result construction, and per-row column
-// lookup in the predicate), converging as capacity grows.
+// lookup in the predicate), converging as capacity grows. Parallel
+// speedup tracks the host's core count (a 1-core machine shows ~1.0x).
+//
+// Emits BENCH_parallel.json with the parallel-vs-serial numbers. With
+// --smoke the process exits nonzero when any worker count regresses to
+// more than 2x the serial time or returns a wrong row count — the CI
+// bench-smoke gate.
+
+#include <thread>
 
 #include "bench_util.h"
 #include "engine/execution_context.h"
 #include "engine/operators.h"
+#include "engine/parallel_ops.h"
 #include "engine/row_batch.h"
 
 using namespace insight;
@@ -16,12 +26,29 @@ using namespace insight::bench;
 
 namespace {
 
+ExprPtr WeightPredicate() {
+  // ~25% selectivity over the generated weights.
+  return Cmp(Col("weight"), CompareOp::kLt, Lit(Value::Double(25.0)));
+}
+
 OpPtr BuildPlan(Table* table) {
   auto scan = std::make_unique<SeqScanOp>(table, nullptr, false);
-  // ~25% selectivity over the generated weights.
-  return std::make_unique<SelectOp>(
-      std::move(scan),
-      Cmp(Col("weight"), CompareOp::kLt, Lit(Value::Double(25.0))));
+  return std::make_unique<SelectOp>(std::move(scan), WeightPredicate());
+}
+
+// The same plan in morsel-parallel form: N partition pipelines (parallel
+// scan + the cloned selection) under one gather.
+OpPtr BuildParallelPlan(Table* table, size_t workers) {
+  auto morsels = std::make_shared<MorselSource>(table->heap_pages());
+  std::vector<OpPtr> partitions;
+  partitions.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    OpPtr part =
+        std::make_unique<ParallelScanOp>(table, nullptr, false, morsels);
+    part = std::make_unique<SelectOp>(std::move(part), WeightPredicate());
+    partitions.push_back(std::make_unique<ExchangeOp>(std::move(part), w));
+  }
+  return std::make_unique<GatherOp>(std::move(partitions), morsels);
 }
 
 size_t DriveRows(PhysicalOperator* op) {
@@ -45,6 +72,10 @@ size_t DriveBatches(PhysicalOperator* op, RowBatch* batch) {
 
 int main(int argc, char** argv) {
   BenchConfig config = ParseArgs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   PrintHeader("Ablation: batch-at-a-time vs row-at-a-time scan+select",
               "batch >= 1.0x row throughput at every capacity", config);
 
@@ -71,6 +102,7 @@ int main(int argc, char** argv) {
   std::printf("%-12s %10zu rows -> %8zu hits %10.2f ms (1.00x)\n", "row",
               num_rows, hits, row_ms);
 
+  double serial_ms = row_ms;
   for (size_t capacity : {64u, 256u, 1024u, 4096u}) {
     ExecutionContext ctx(&storage, &pool, capacity);
     plan->AttachContext(&ctx);
@@ -80,6 +112,61 @@ int main(int argc, char** argv) {
         config.query_repeats, [&] { hits = DriveBatches(plan.get(), &batch); });
     std::printf("batch=%-6zu %10zu rows -> %8zu hits %10.2f ms (%.2fx)\n",
                 capacity, num_rows, hits, batch_ms, row_ms / batch_ms);
+    if (capacity == 1024u) serial_ms = batch_ms;  // Parallel baseline.
   }
+  const size_t serial_hits = hits;
+
+  std::printf("--- morsel-driven parallel vs serial (batch=1024, %u cores)\n",
+              std::thread::hardware_concurrency());
+  FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"parallel_scan_select\",\n"
+                 "  \"rows\": %zu,\n  \"hardware_threads\": %u,\n"
+                 "  \"serial_ms\": %.3f,\n  \"arms\": [",
+                 num_rows, std::thread::hardware_concurrency(), serial_ms);
+  }
+  bool smoke_failed = false;
+  bool first_arm = true;
+  for (size_t workers : {1u, 2u, 4u}) {
+    TaskScheduler scheduler(workers);
+    ExecutionContext ctx(&storage, &pool, 1024);
+    ctx.set_parallelism(workers);
+    ctx.set_scheduler(&scheduler);
+    OpPtr parallel = BuildParallelPlan(table, workers);
+    parallel->AttachContext(&ctx);
+    RowBatch batch;
+    batch.set_capacity(1024);
+    size_t parallel_hits = 0;
+    const double parallel_ms = MedianMillis(config.query_repeats, [&] {
+      parallel_hits = DriveBatches(parallel.get(), &batch);
+    });
+    const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+    std::printf("workers=%-4zu %10zu rows -> %8zu hits %10.2f ms (%.2fx)\n",
+                workers, num_rows, parallel_hits, parallel_ms, speedup);
+    if (json != nullptr) {
+      std::fprintf(json, "%s\n    {\"workers\": %zu, \"ms\": %.3f, "
+                         "\"speedup\": %.3f}",
+                   first_arm ? "" : ",", workers, parallel_ms, speedup);
+      first_arm = false;
+    }
+    if (parallel_hits != serial_hits) {
+      std::fprintf(stderr, "FAIL: workers=%zu returned %zu hits, serial %zu\n",
+                   workers, parallel_hits, serial_hits);
+      smoke_failed = true;
+    }
+    if (parallel_ms > 2.0 * serial_ms) {
+      std::fprintf(stderr,
+                   "FAIL: workers=%zu is %.2fx slower than serial (>2x)\n",
+                   workers, parallel_ms / serial_ms);
+      smoke_failed = true;
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_parallel.json\n");
+  }
+  if (smoke && smoke_failed) return 1;
   return 0;
 }

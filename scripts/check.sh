@@ -2,8 +2,12 @@
 # Tier-1 gate: build the default and asan presets and run the full test
 # suite under both. Everything must pass before a change merges.
 #
-#   ./scripts/check.sh          # both presets
+#   ./scripts/check.sh          # default + asan
 #   ./scripts/check.sh default  # one preset only
+#   ./scripts/check.sh tsan     # ThreadSanitizer pass (parallel executor)
+#
+# CI runs all three presets; tsan is opt-in locally because it is the
+# slowest of the three.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

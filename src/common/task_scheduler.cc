@@ -1,0 +1,138 @@
+#include "common/task_scheduler.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace insight {
+
+TaskScheduler::TaskScheduler(size_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+TaskScheduler* TaskScheduler::Default() {
+  static TaskScheduler* pool =
+      new TaskScheduler(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void TaskScheduler::Submit(Task task) {
+  INSIGHT_CHECK(task != nullptr) << "null task";
+  const size_t target =
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lk(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  // Publish under sleep_mu_ so a worker that just checked the predicate
+  // cannot miss the wakeup.
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_one();
+}
+
+void TaskScheduler::RunAndWait(std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = tasks.size();
+  for (Task& task : tasks) {
+    Submit([task = std::move(task), barrier] {
+      task();
+      bool done = false;
+      {
+        std::lock_guard<std::mutex> lk(barrier->mu);
+        done = --barrier->remaining == 0;
+      }
+      if (done) barrier->cv.notify_all();
+    });
+  }
+  // Help drain the queues while waiting: the helper may run tasks of any
+  // group (they are independent), which guarantees progress even when
+  // every pool worker is busy or the machine has one core.
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(barrier->mu);
+      if (barrier->remaining == 0) return;
+    }
+    Task task;
+    if (TryGetTask(SIZE_MAX, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(barrier->mu);
+    barrier->cv.wait_for(lk, std::chrono::milliseconds(1),
+                         [&] { return barrier->remaining == 0; });
+  }
+}
+
+void TaskScheduler::WorkerLoop(size_t self) {
+  while (true) {
+    Task task;
+    if (TryGetTask(self, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    sleep_cv_.wait(lk, [&] {
+      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+bool TaskScheduler::TryGetTask(size_t self, Task* out) {
+  const size_t n = workers_.size();
+  if (self < n && PopBack(self, out)) return true;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t victim = self < n ? (self + 1 + i) % n : i;
+    if (victim == self) continue;
+    if (StealFront(victim, out)) return true;
+  }
+  return false;
+}
+
+bool TaskScheduler::PopBack(size_t worker, Task* out) {
+  Worker& w = *workers_[worker];
+  std::lock_guard<std::mutex> lk(w.mu);
+  if (w.tasks.empty()) return false;
+  *out = std::move(w.tasks.back());
+  w.tasks.pop_back();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TaskScheduler::StealFront(size_t worker, Task* out) {
+  Worker& w = *workers_[worker];
+  std::lock_guard<std::mutex> lk(w.mu);
+  if (w.tasks.empty()) return false;
+  *out = std::move(w.tasks.front());
+  w.tasks.pop_front();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace insight

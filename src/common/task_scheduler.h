@@ -1,0 +1,77 @@
+#ifndef INSIGHTNOTES_COMMON_TASK_SCHEDULER_H_
+#define INSIGHTNOTES_COMMON_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace insight {
+
+/// Fixed pool of worker threads with per-worker work-stealing deques —
+/// the execution substrate for morsel-driven parallel query execution
+/// (GatherOp) and any other fan-out work.
+///
+/// Each worker owns one deque: the owner pushes and pops at the back
+/// (LIFO keeps caches warm), thieves steal from the front (FIFO hands a
+/// thief the coarsest waiting task). External submitters distribute
+/// round-robin across deques. Idle workers sleep on a condition variable
+/// and are woken per submission.
+///
+/// Tasks must not block waiting for other tasks of the same pool (the
+/// engine never nests parallel regions); RunAndWait callers are external
+/// threads and additionally help drain the queues while they wait, so
+/// progress holds even with a single worker.
+class TaskScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  explicit TaskScheduler(size_t num_workers);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Process-wide pool sized to the hardware thread count. Created on
+  /// first use and intentionally never destroyed (workers must outlive
+  /// every user, including static destructors).
+  static TaskScheduler* Default();
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(Task task);
+
+  /// Runs all tasks across the pool, blocking until every one completed.
+  void RunAndWait(std::vector<Task> tasks);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops from `self`'s back, else steals from another worker's front.
+  /// `self` may be SIZE_MAX for external helpers (steal only).
+  bool TryGetTask(size_t self, Task* out);
+  bool PopBack(size_t worker, Task* out);
+  bool StealFront(size_t worker, Task* out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<size_t> next_worker_{0};  // Round-robin submission cursor.
+  std::atomic<size_t> pending_{0};      // Queued (not yet started) tasks.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  bool stop_ = false;  // Guarded by sleep_mu_.
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_COMMON_TASK_SCHEDULER_H_

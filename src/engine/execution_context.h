@@ -12,6 +12,7 @@ namespace insight {
 class BufferPool;
 class StorageManager;
 class SummaryManager;
+class TaskScheduler;
 
 /// Shared runtime state threaded through a physical plan: the storage
 /// handles, the per-table summary managers, and the batch-size knob.
@@ -19,6 +20,11 @@ class SummaryManager;
 /// re-plumbing `BufferPool*` / `StorageManager*` / `SummaryManager*`
 /// parameters, and the batch executor reads its capacity from here so one
 /// knob tunes a whole plan.
+///
+/// The parallelism knob sets the number of morsel workers the optimizer
+/// plans for (1 = serial; the default). Parallel plans execute on
+/// `scheduler()` — when unset, GatherOp falls back to the process-wide
+/// TaskScheduler::Default().
 class ExecutionContext {
  public:
   ExecutionContext() = default;
@@ -36,6 +42,16 @@ class ExecutionContext {
     batch_size_ = batch_size == 0 ? RowBatch::kDefaultCapacity : batch_size;
   }
 
+  /// Morsel workers the optimizer plans for; 1 disables parallelism.
+  size_t parallelism() const { return parallelism_; }
+  void set_parallelism(size_t parallelism) {
+    parallelism_ = parallelism == 0 ? 1 : parallelism;
+  }
+
+  /// Worker pool parallel plans run on (null = process default).
+  TaskScheduler* scheduler() const { return scheduler_; }
+  void set_scheduler(TaskScheduler* scheduler) { scheduler_ = scheduler; }
+
   /// Registers / replaces the summary manager of `table`.
   void RegisterManager(const std::string& table, SummaryManager* mgr);
   void UnregisterManager(const std::string& table);
@@ -48,6 +64,8 @@ class ExecutionContext {
   StorageManager* storage_ = nullptr;
   BufferPool* pool_ = nullptr;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
+  size_t parallelism_ = 1;
+  TaskScheduler* scheduler_ = nullptr;
   std::map<std::string, SummaryManager*> managers_;  // Lower-cased keys.
 };
 

@@ -59,6 +59,9 @@ class PhysicalOperator {
   virtual const Schema& schema() const = 0;
   /// One-line description for EXPLAIN-style plan dumps.
   virtual std::string Describe() const = 0;
+  /// Extra EXPLAIN ANALYZE annotation appended after the counters (e.g.
+  /// GatherOp's per-worker wall times). Empty for most operators.
+  virtual std::string AnalyzeAnnotation() const { return ""; }
   virtual std::vector<PhysicalOperator*> children() const { return {}; }
 
   /// Multi-line plan rendering rooted at this operator.

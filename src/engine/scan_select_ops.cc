@@ -61,6 +61,7 @@ std::string PhysicalOperator::ExplainAnalyzeTree(int indent) const {
                 static_cast<unsigned long long>(stats_.batches),
                 static_cast<double>(stats_.next_ns) / 1e6);
   out += counters;
+  out += AnalyzeAnnotation();
   out += "\n";
   for (const PhysicalOperator* child : children()) {
     out += child->ExplainAnalyzeTree(indent + 1);

@@ -57,16 +57,25 @@ class Table {
   bool HasColumnIndex(const std::string& column) const;
   const BTree* GetColumnIndex(const std::string& column) const;
 
-  /// Scan yielding (oid, tuple) in heap order.
+  /// Scan yielding (oid, tuple) in heap order. The page-range form backs
+  /// morsel-driven parallel scans: workers walk disjoint ranges.
   class Iterator {
    public:
     explicit Iterator(const Table* table) : it_(table->heap_->Scan()) {}
+    Iterator(const Table* table, PageId begin, PageId end)
+        : it_(table->heap_->ScanRange(begin, end)) {}
     bool Next(Oid* oid, Tuple* tuple);
 
    private:
     HeapFile::Iterator it_;
   };
   Iterator Scan() const { return Iterator(this); }
+  Iterator ScanRange(PageId begin, PageId end) const {
+    return Iterator(this, begin, end);
+  }
+
+  /// Heap-file scan extent in pages (the domain morsel sources split).
+  PageId heap_pages() const { return heap_->num_pages(); }
 
   /// Storage footprint of the heap file in bytes.
   uint64_t heap_bytes() const;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "engine/parallel_ops.h"
 
 namespace insight {
 
@@ -18,6 +19,22 @@ constexpr double kConventionalHitIo = 2.6;  // Storage row + OID probe + heap.
 constexpr double kBaselineHitIo = 3.2;      // Normalized row + OID probe + heap.
 constexpr double kDataIndexHitIo = 2.1;     // OID probe + heap page.
 constexpr double kPropagationIo = 1.2;      // Summary-storage row per tuple.
+
+// Clears `*flag` for the current scope and restores it on exit (the
+// optimizer's parallelism gate while lowering under a Sort).
+class ScopedClear {
+ public:
+  explicit ScopedClear(bool* flag) : flag_(flag), saved_(*flag) {
+    *flag = false;
+  }
+  ~ScopedClear() { *flag_ = saved_; }
+  ScopedClear(const ScopedClear&) = delete;
+  ScopedClear& operator=(const ScopedClear&) = delete;
+
+ private:
+  bool* flag_;
+  bool saved_;
+};
 
 // True when `label` is one of the instance's actual (leaf) class labels.
 // Hierarchical inner labels ("Disease" over "Disease/Viral") are valid in
@@ -778,10 +795,53 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
   OpPtr op;
   std::optional<PhysOrder> order = best->order;
   switch (best->kind) {
-    case Candidate::Kind::kSeq:
-      op = std::make_unique<SeqScanOp>(ctx_->exec_context(), info->table,
-                                       propagate);
+    case Candidate::Kind::kSeq: {
+      ExecutionContext* exec = ctx_->exec_context();
+      const size_t workers = exec != nullptr ? exec->parallelism() : 1;
+      if (allow_parallel_ && workers > 1 &&
+          table_rows >= options_.parallel_row_threshold) {
+        // Morsel-parallel scan: N partitions share one morsel dispenser,
+        // residual selections are cloned into every partition so the
+        // filtering runs on the workers, and the Gather merges the
+        // partition streams at its barrier.
+        auto morsels = std::make_shared<MorselSource>(
+            info->table->heap_pages(), options_.morsel_pages);
+        std::vector<OpPtr> partitions;
+        partitions.reserve(workers);
+        for (size_t w = 0; w < workers; ++w) {
+          OpPtr part = std::make_unique<ParallelScanOp>(exec, info->table,
+                                                        propagate, morsels);
+          if (!data_conjuncts.empty()) {
+            std::vector<ExprPtr> cloned;
+            cloned.reserve(data_conjuncts.size());
+            for (const ExprPtr& conjunct : data_conjuncts) {
+              cloned.push_back(conjunct->Clone());
+            }
+            part = std::make_unique<SelectOp>(
+                std::move(part), CombineConjuncts(std::move(cloned)));
+          }
+          if (!summary_conjuncts.empty()) {
+            std::vector<ExprPtr> cloned;
+            cloned.reserve(summary_conjuncts.size());
+            for (const ExprPtr& conjunct : summary_conjuncts) {
+              cloned.push_back(conjunct->Clone());
+            }
+            part = std::make_unique<SummarySelectOp>(
+                std::move(part), CombineConjuncts(std::move(cloned)));
+          }
+          partitions.push_back(
+              std::make_unique<ExchangeOp>(std::move(part), w));
+        }
+        op = std::make_unique<GatherOp>(std::move(partitions), morsels);
+        if (!cur->alias.empty()) {
+          op = std::make_unique<RenameOp>(std::move(op), cur->alias);
+        }
+        // Cross-partition order is nondeterministic: no interesting order.
+        return Lowered{std::move(op), std::nullopt};
+      }
+      op = std::make_unique<SeqScanOp>(exec, info->table, propagate);
       break;
+    }
     case Candidate::Kind::kDataIndex: {
       auto pred = *MatchColumnPredicate(data_conjuncts[best->conjunct].get());
       std::optional<Value> lower;
@@ -1101,6 +1161,10 @@ Result<Optimizer::Lowered> Optimizer::LowerRec(const LogicalNode& node) {
           }
         }
       }
+      // "Never under O": a Gather reorders rows across partitions, which
+      // would invalidate the order this Sort (or a Rules 3-6 elimination)
+      // depends on — lower the whole subtree serially.
+      ScopedClear no_parallel(&allow_parallel_);
       INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
       // Rules 3-6 payoff: an ascending single-key summary sort over an
       // input already ordered by that label is a no-op.

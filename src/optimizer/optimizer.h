@@ -31,6 +31,12 @@ struct OptimizerOptions {
   /// Sort implementation for Sort/O operators.
   SortOp::Mode sort_mode = SortOp::Mode::kMemory;
   size_t sort_memory_budget = 4 << 20;
+  /// Minimum estimated table cardinality before a sequential scan is
+  /// worth parallelizing (morsel dispatch has fixed overhead). Parallel
+  /// plans additionally require ExecutionContext::parallelism() > 1.
+  double parallel_row_threshold = 10000;
+  /// Heap pages per morsel handed to each parallel-scan worker.
+  PageId morsel_pages = 16;
 };
 
 /// Per-operator cardinality and cost estimate. Costs are abstract units:
@@ -93,6 +99,10 @@ class Optimizer {
 
   QueryContext* ctx_;
   OptimizerOptions options_;
+  /// Cleared while lowering under a Sort: a Gather's cross-partition row
+  /// order is nondeterministic, so parallel scans never appear below an
+  /// order-sensitive operator (the "never under O" rule).
+  bool allow_parallel_ = true;
 };
 
 /// Splits a conjunctive predicate into its AND-ed conjuncts (each cloned).

@@ -122,6 +122,13 @@ class Database {
 
   // ---- Accessors ----
 
+  /// Morsel-worker count the optimizer plans SELECTs for (1 = serial).
+  /// Parallel plans appear only above OptimizerOptions'
+  /// parallel_row_threshold and never under an ordering operator.
+  void SetParallelism(size_t workers) {
+    context_.exec_context()->set_parallelism(workers);
+  }
+
   Catalog* catalog() { return &catalog_; }
   QueryContext* context() { return &context_; }
   StorageManager* storage() { return &storage_; }

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 namespace insight {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -9,122 +11,241 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     frame_ = other.frame_;
     data_ = other.data_;
     dirty_ = other.dirty_;
+    latch_ = other.latch_;
     other.pool_ = nullptr;
     other.frame_ = 0;
     other.data_ = nullptr;
     other.dirty_ = false;
+    other.latch_ = LatchMode::kNone;
   }
   return *this;
 }
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_, dirty_);
+    pool_->Unpin(frame_, dirty_, latch_);
     pool_ = nullptr;
     data_ = nullptr;
     dirty_ = false;
+    latch_ = LatchMode::kNone;
   }
 }
 
 BufferPool::BufferPool(StorageManager* storage, size_t capacity_frames)
-    : storage_(storage), frames_(capacity_frames) {
+    : storage_(storage) {
   INSIGHT_CHECK(capacity_frames >= 4) << "buffer pool too small";
+  frames_.reserve(capacity_frames);
+  for (size_t i = 0; i < capacity_frames; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+  }
+  // One shard per ~4 frames, capped: small pools stay single-sharded
+  // (exact single-threaded semantics), big pools spread contention.
+  const size_t num_shards =
+      std::max<size_t>(1, std::min<size_t>(16, capacity_frames / 4));
+  shards_.reserve(num_shards);
+  const size_t base = capacity_frames / num_shards;
+  const size_t extra = capacity_frames % num_shards;
+  size_t next = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->begin = next;
+    next += base + (s < extra ? 1 : 0);
+    shard->end = next;
+    shard->clock_hand = shard->begin;
+    shards_.push_back(std::move(shard));
+  }
+  INSIGHT_CHECK(next == capacity_frames);
 }
 
-Result<PageGuard> BufferPool::FetchPage(FileId file, PageId page) {
-  const Key key{file, page};
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    ++f.pin_count;
-    f.referenced = true;
-    ++stats_.hits;
-    return PageGuard(this, it->second, f.page.data);
+void BufferPool::AcquireLatch(Frame& frame, LatchMode latch) {
+  switch (latch) {
+    case LatchMode::kNone:
+      break;
+    case LatchMode::kShared:
+      frame.latch.lock_shared();
+      break;
+    case LatchMode::kExclusive:
+      frame.latch.lock();
+      break;
   }
-  ++stats_.misses;
-  INSIGHT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
-  Frame& f = frames_[idx];
+}
+
+Result<PageGuard> BufferPool::FetchPage(FileId file, PageId page,
+                                        LatchMode latch) {
+  const Key key{file, page};
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  auto it = shard.table.find(key);
+  if (it != shard.table.end()) {
+    Frame& f = *frames_[it->second];
+    f.pin_count.fetch_add(1);
+    f.referenced.store(true, std::memory_order_relaxed);
+    ++shard.stats.hits;
+    const size_t idx = it->second;
+    lk.unlock();
+    // Latch outside the shard latch: a latch holder may fetch other pages
+    // of this shard, so latch-inside-shard-lock could deadlock.
+    AcquireLatch(f, latch);
+    return PageGuard(this, idx, f.page.data, latch);
+  }
+  ++shard.stats.misses;
+  INSIGHT_ASSIGN_OR_RETURN(size_t idx, GrabFrameLocked(shard));
+  Frame& f = *frames_[idx];
   PageStore* store = storage_->GetStore(file);
   if (store == nullptr) {
     return Status::InvalidArgument("unknown file " + std::to_string(file));
   }
   INSIGHT_RETURN_NOT_OK(store->ReadPage(page, &f.page));
-  f.file = file;
-  f.page_id = page;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.valid = true;
-  f.referenced = true;
-  table_[key] = idx;
-  return PageGuard(this, idx, f.page.data);
+  AdmitLocked(shard, idx, key);
+  f.dirty.store(false, std::memory_order_relaxed);
+  lk.unlock();
+  AcquireLatch(f, latch);
+  return PageGuard(this, idx, f.page.data, latch);
 }
 
-Result<PageGuard> BufferPool::NewPage(FileId file, PageId* page_id_out) {
+Result<PageGuard> BufferPool::NewPage(FileId file, PageId* page_id_out,
+                                      LatchMode latch) {
   PageStore* store = storage_->GetStore(file);
   if (store == nullptr) {
     return Status::InvalidArgument("unknown file " + std::to_string(file));
   }
-  INSIGHT_ASSIGN_OR_RETURN(PageId page, store->AllocatePage());
-  ++stats_.allocations;
-  INSIGHT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
-  Frame& f = frames_[idx];
+  PageId page = kInvalidPageId;
+  {
+    // Prefer a page id orphaned by an earlier failed admission: leaking it
+    // would skew the store's extent AND strand the retry on a different
+    // shard than the one whose frame just freed up.
+    std::lock_guard<std::mutex> sl(spare_mu_);
+    auto spare = spare_pages_.find(file);
+    if (spare != spare_pages_.end() && !spare->second.empty()) {
+      page = spare->second.back();
+      spare->second.pop_back();
+    }
+  }
+  if (page == kInvalidPageId) {
+    INSIGHT_ASSIGN_OR_RETURN(page, store->AllocatePage());
+  }
+  const Key key{file, page};
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  ++shard.stats.allocations;
+  Result<size_t> grabbed = GrabFrameLocked(shard);
+  if (!grabbed.ok()) {
+    lk.unlock();
+    std::lock_guard<std::mutex> sl(spare_mu_);
+    spare_pages_[file].push_back(page);
+    return grabbed.status();
+  }
+  const size_t idx = *grabbed;
+  Frame& f = *frames_[idx];
   f.page.Zero();
-  f.file = file;
-  f.page_id = page;
-  f.pin_count = 1;
-  f.dirty = true;  // New pages must reach the store even if never written.
-  f.valid = true;
-  f.referenced = true;
-  table_[Key{file, page}] = idx;
+  AdmitLocked(shard, idx, key);
+  // New pages must reach the store even if never written.
+  f.dirty.store(true, std::memory_order_relaxed);
+  lk.unlock();
+  AcquireLatch(f, latch);
   *page_id_out = page;
-  return PageGuard(this, idx, f.page.data);
+  return PageGuard(this, idx, f.page.data, latch);
+}
+
+void BufferPool::AdmitLocked(Shard& shard, size_t idx, const Key& key) {
+  Frame& f = *frames_[idx];
+  f.file = key.file;
+  f.page_id = key.page;
+  f.pin_count.store(1);
+  f.valid = true;
+  f.referenced.store(true, std::memory_order_relaxed);
+  shard.table[key] = idx;
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.valid && f.dirty) {
-      PageStore* store = storage_->GetStore(f.file);
-      INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
-      f.dirty = false;
-      ++stats_.writebacks;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    for (size_t i = shard->begin; i < shard->end; ++i) {
+      Frame& f = *frames_[i];
+      if (f.valid && f.dirty.load()) {
+        PageStore* store = storage_->GetStore(f.file);
+        INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
+        f.dirty.store(false);
+        ++shard->stats.writebacks;
+      }
     }
   }
   return Status::OK();
 }
 
-void BufferPool::Unpin(size_t frame, bool dirty) {
-  Frame& f = frames_[frame];
-  INSIGHT_CHECK(f.pin_count > 0) << "unpin of unpinned frame";
-  --f.pin_count;
-  if (dirty) f.dirty = true;
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.writebacks += shard->stats.writebacks;
+    total.allocations += shard->stats.allocations;
+  }
+  return total;
 }
 
-Result<size_t> BufferPool::GrabFrame() {
-  // Clock sweep: up to two full passes (first clears reference bits).
-  const size_t n = frames_.size();
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->stats = BufferPoolStats{};
+  }
+}
+
+PageId BufferPool::FileNumPages(FileId file) const {
+  PageStore* store = storage_->GetStore(file);
+  return store == nullptr ? 0 : store->num_pages();
+}
+
+void BufferPool::Unpin(size_t frame, bool dirty, LatchMode latch) {
+  Frame& f = *frames_[frame];
+  // Order matters: publish the dirty bit and drop the latch before the
+  // pin release makes the frame evictable.
+  if (dirty) f.dirty.store(true);
+  switch (latch) {
+    case LatchMode::kNone:
+      break;
+    case LatchMode::kShared:
+      f.latch.unlock_shared();
+      break;
+    case LatchMode::kExclusive:
+      f.latch.unlock();
+      break;
+  }
+  const int prev = f.pin_count.fetch_sub(1);
+  INSIGHT_CHECK(prev > 0) << "unpin of unpinned frame";
+}
+
+Result<size_t> BufferPool::GrabFrameLocked(Shard& shard) {
+  // Clock sweep over this shard's frames: up to two full passes (the
+  // first clears reference bits).
+  const size_t n = shard.end - shard.begin;
   for (size_t step = 0; step < 2 * n; ++step) {
-    const size_t idx = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
-    Frame& f = frames_[idx];
+    const size_t idx = shard.clock_hand;
+    shard.clock_hand = shard.begin + (idx + 1 - shard.begin) % n;
+    Frame& f = *frames_[idx];
     if (!f.valid) return idx;
-    if (f.pin_count > 0) continue;
-    if (f.referenced) {
-      f.referenced = false;
+    if (f.pin_count.load() > 0) continue;
+    if (f.referenced.load(std::memory_order_relaxed)) {
+      f.referenced.store(false, std::memory_order_relaxed);
       continue;
     }
-    // Victim found: write back if dirty, drop from the table.
-    if (f.dirty) {
+    // Victim found: write back if dirty, drop from the table. The frame
+    // is unpinned and pins only begin under shard.mu (held here), so the
+    // page bytes are stable during writeback.
+    if (f.dirty.load()) {
       PageStore* store = storage_->GetStore(f.file);
       INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
-      ++stats_.writebacks;
+      ++shard.stats.writebacks;
     }
-    table_.erase(Key{f.file, f.page_id});
+    shard.table.erase(Key{f.file, f.page_id});
     f.valid = false;
-    f.dirty = false;
+    f.dirty.store(false);
     return idx;
   }
   return Status::ResourceExhausted(
-      "buffer pool: all frames pinned (capacity " + std::to_string(n) + ")");
+      "buffer pool: all frames of shard pinned (" + std::to_string(n) +
+      " frames/shard, " + std::to_string(frames_.size()) + " total)");
 }
 
 }  // namespace insight

@@ -1,7 +1,11 @@
 #ifndef INSIGHTNOTES_STORAGE_BUFFER_POOL_H_
 #define INSIGHTNOTES_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -25,13 +29,21 @@ struct BufferPoolStats {
 
 class BufferPool;
 
-/// RAII pin on one buffered page. Movable, not copyable; unpins on
-/// destruction. Mutators must call MarkDirty().
+/// Page latch requested alongside a pin. kNone preserves the historical
+/// behavior (pin only) and is what the serial engine paths use — writers
+/// there are single-threaded by construction. Concurrent mutators take
+/// kShared/kExclusive so readers and writers of one page serialize.
+enum class LatchMode { kNone, kShared, kExclusive };
+
+/// RAII pin (and optional latch) on one buffered page. Movable, not
+/// copyable; unpins and unlatches on destruction. Mutators must call
+/// MarkDirty().
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame, char* data)
-      : pool_(pool), frame_(frame), data_(data) {}
+  PageGuard(BufferPool* pool, size_t frame, char* data,
+            LatchMode latch = LatchMode::kNone)
+      : pool_(pool), frame_(frame), data_(data), latch_(latch) {}
 
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
@@ -45,7 +57,7 @@ class PageGuard {
 
   void MarkDirty() { dirty_ = true; }
 
-  /// Explicit early unpin.
+  /// Explicit early unpin (and unlatch).
   void Release();
 
  private:
@@ -53,10 +65,20 @@ class PageGuard {
   size_t frame_ = 0;
   char* data_ = nullptr;
   bool dirty_ = false;
+  LatchMode latch_ = LatchMode::kNone;
 };
 
 /// Page cache shared by every file in the database, with clock eviction.
 /// Capacity is in frames; `BufferPool(sm, 1024)` caches 16 MiB.
+///
+/// Thread-safe: the frame pool is split into shards (latch per shard,
+/// keys hash to exactly one shard), pin counts and dirty/reference bits
+/// are atomic, and eviction only considers frames whose pin count is
+/// zero — a pin transitions 0 -> 1 only under the owning shard's latch,
+/// so a pinned page can never be evicted underneath its guard. Page
+/// *content* synchronization is the caller's job: concurrent readers are
+/// always safe, concurrent writers of one page must take the guard-level
+/// latch (LatchMode) or serialize externally.
 class BufferPool {
  public:
   BufferPool(StorageManager* storage, size_t capacity_frames);
@@ -65,18 +87,28 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Pins an existing page.
-  Result<PageGuard> FetchPage(FileId file, PageId page);
+  Result<PageGuard> FetchPage(FileId file, PageId page,
+                              LatchMode latch = LatchMode::kNone);
 
   /// Allocates a new zeroed page in `file`, pins it, returns its id.
-  Result<PageGuard> NewPage(FileId file, PageId* page_id_out);
+  Result<PageGuard> NewPage(FileId file, PageId* page_id_out,
+                            LatchMode latch = LatchMode::kNone);
 
-  /// Writes back all dirty pages (pages stay cached).
+  /// Writes back all dirty pages (pages stay cached). Not safe against
+  /// concurrent mutators; call from quiesced state.
   Status FlushAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Aggregated counters across all shards (a consistent-enough snapshot;
+  /// shards are locked one at a time).
+  BufferPoolStats stats() const;
+  void ResetStats();
 
   size_t capacity() const { return frames_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Pages currently allocated in `file`'s backing store (0 for unknown
+  /// files) — the scan extent morsel dispensers partition.
+  PageId FileNumPages(FileId file) const;
 
  private:
   friend class PageGuard;
@@ -85,10 +117,11 @@ class BufferPool {
     Page page;
     FileId file = 0;
     PageId page_id = kInvalidPageId;
-    int pin_count = 0;
-    bool dirty = false;
-    bool valid = false;
-    bool referenced = false;
+    std::atomic<int> pin_count{0};
+    std::atomic<bool> dirty{false};
+    std::atomic<bool> referenced{false};
+    bool valid = false;  // Guarded by the owning shard's latch.
+    std::shared_mutex latch;
   };
 
   struct Key {
@@ -104,16 +137,44 @@ class BufferPool {
     }
   };
 
-  void Unpin(size_t frame, bool dirty);
+  /// One shard: a latch, the key -> frame table for its keys, and a clock
+  /// hand sweeping the shard's private frame range [begin, end).
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, size_t, KeyHash> table;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t clock_hand = 0;
+    BufferPoolStats stats;
+  };
 
-  /// Finds a victim frame (unpinned), evicting its current page if dirty.
-  Result<size_t> GrabFrame();
+  /// Modulo (not hashed) sharding: consecutive pages of one file
+  /// round-robin across shards, so a sequential scan spreads its frame
+  /// pressure evenly instead of piling onto whichever shards the hash
+  /// favours.
+  Shard& ShardFor(const Key& key) {
+    return *shards_[(static_cast<size_t>(key.file) + key.page) %
+                    shards_.size()];
+  }
+
+  void Unpin(size_t frame, bool dirty, LatchMode latch);
+  static void AcquireLatch(Frame& frame, LatchMode latch);
+
+  /// Finds a victim frame inside `shard` (unpinned), evicting its current
+  /// page if dirty. Caller holds shard.mu.
+  Result<size_t> GrabFrameLocked(Shard& shard);
+
+  /// Admits (file, page) into `idx` after GrabFrameLocked; caller holds
+  /// the shard latch and fills the page content.
+  void AdmitLocked(Shard& shard, size_t idx, const Key& key);
 
   StorageManager* storage_;
-  std::vector<Frame> frames_;
-  std::unordered_map<Key, size_t, KeyHash> table_;
-  size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Page ids allocated by a NewPage whose frame grab then failed; reused
+  /// by the next NewPage on the same file so they are not leaked.
+  std::mutex spare_mu_;
+  std::unordered_map<FileId, std::vector<PageId>> spare_pages_;
 };
 
 }  // namespace insight

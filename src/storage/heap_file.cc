@@ -383,6 +383,7 @@ Result<RowLocation> HeapFile::Update(RowLocation loc,
 
 bool HeapFile::Iterator::Next(RowLocation* loc, std::string* record) {
   while (true) {
+    if (page_ >= end_) return false;  // Range morsel exhausted.
     auto guard_result = heap_->pool_->FetchPage(heap_->file_, page_);
     if (!guard_result.ok()) return false;  // Past last page.
     PageGuard guard = std::move(guard_result).ValueOrDie();

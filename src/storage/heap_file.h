@@ -49,10 +49,16 @@ class HeapFile {
   /// Rewrites the record. Returns the (possibly new) location.
   Result<RowLocation> Update(RowLocation loc, std::string_view record);
 
-  /// Forward scan over all live records.
+  /// Forward scan over all live records, or over the page range
+  /// [begin, end) for morsel-driven parallel scans (each worker walks a
+  /// disjoint range; records whose home slot lies in the range are
+  /// emitted, overflow chains are followed wherever they live).
   class Iterator {
    public:
-    explicit Iterator(const HeapFile* heap) : heap_(heap) {}
+    explicit Iterator(const HeapFile* heap,
+                      PageId begin = 0,
+                      PageId end = kInvalidPageId)
+        : heap_(heap), page_(begin), end_(end) {}
 
     /// Advances to the next record; false at end. On corruption logs and
     /// stops (heap pages we wrote ourselves only corrupt on engine bugs).
@@ -61,12 +67,20 @@ class HeapFile {
    private:
     const HeapFile* heap_;
     PageId page_ = 0;
+    PageId end_ = kInvalidPageId;  // Exclusive; kInvalidPageId = open.
     uint16_t slot_ = 0;
   };
 
   Iterator Scan() const { return Iterator(this); }
+  /// Scan restricted to heap pages [begin, end).
+  Iterator ScanRange(PageId begin, PageId end) const {
+    return Iterator(this, begin, end);
+  }
 
   FileId file_id() const { return file_; }
+  /// Pages currently allocated in the backing store (scan extent; some
+  /// may be overflow or freed pages, which range scans skip).
+  PageId num_pages() const { return pool_->FileNumPages(file_); }
 
   /// Maximum record bytes stored inline in one page.
   static size_t MaxInlineRecordSize();

@@ -12,25 +12,33 @@ namespace insight {
 Result<PageId> InMemoryPageStore::AllocatePage() {
   auto page = std::make_unique<Page>();
   page->Zero();
+  std::lock_guard<std::mutex> lk(mu_);
   pages_.push_back(std::move(page));
   return static_cast<PageId>(pages_.size() - 1);
 }
 
+Page* InMemoryPageStore::Slot(PageId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return id < pages_.size() ? pages_[id].get() : nullptr;
+}
+
 Status InMemoryPageStore::ReadPage(PageId id, Page* out) {
-  if (id >= pages_.size()) {
+  Page* slot = Slot(id);
+  if (slot == nullptr) {
     return Status::OutOfRange("page " + std::to_string(id) + " of " +
-                              std::to_string(pages_.size()));
+                              std::to_string(num_pages()));
   }
-  std::memcpy(out->data, pages_[id]->data, kPageSize);
+  std::memcpy(out->data, slot->data, kPageSize);
   return Status::OK();
 }
 
 Status InMemoryPageStore::WritePage(PageId id, const Page& page) {
-  if (id >= pages_.size()) {
+  Page* slot = Slot(id);
+  if (slot == nullptr) {
     return Status::OutOfRange("page " + std::to_string(id) + " of " +
-                              std::to_string(pages_.size()));
+                              std::to_string(num_pages()));
   }
-  std::memcpy(pages_[id]->data, page.data, kPageSize);
+  std::memcpy(slot->data, page.data, kPageSize);
   return Status::OK();
 }
 
@@ -60,21 +68,22 @@ Result<PageId> FilePageStore::AllocatePage() {
     p.Zero();
     return p;
   }();
-  const PageId id = num_pages_;
+  std::lock_guard<std::mutex> lk(alloc_mu_);
+  const PageId id = num_pages_.load();
   const off_t offset = static_cast<off_t>(id) * kPageSize;
   const ssize_t n = ::pwrite(fd_, kZeroPage.data, kPageSize, offset);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pwrite(alloc) " + path_ + ": " +
                            std::strerror(errno));
   }
-  ++num_pages_;
+  num_pages_.store(id + 1);
   return id;
 }
 
 Status FilePageStore::ReadPage(PageId id, Page* out) {
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load()) {
     return Status::OutOfRange("page " + std::to_string(id) + " of " +
-                              std::to_string(num_pages_));
+                              std::to_string(num_pages_.load()));
   }
   const off_t offset = static_cast<off_t>(id) * kPageSize;
   const ssize_t n = ::pread(fd_, out->data, kPageSize, offset);
@@ -85,9 +94,9 @@ Status FilePageStore::ReadPage(PageId id, Page* out) {
 }
 
 Status FilePageStore::WritePage(PageId id, const Page& page) {
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load()) {
     return Status::OutOfRange("page " + std::to_string(id) + " of " +
-                              std::to_string(num_pages_));
+                              std::to_string(num_pages_.load()));
   }
   const off_t offset = static_cast<off_t>(id) * kPageSize;
   const ssize_t n = ::pwrite(fd_, page.data, kPageSize, offset);

@@ -1,7 +1,9 @@
 #ifndef INSIGHTNOTES_STORAGE_PAGE_STORE_H_
 #define INSIGHTNOTES_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,16 +37,26 @@ class PageStore {
 /// laptop-scale experiments (the paper's machine had 128 GB of RAM; the
 /// experiments we reproduce are CPU/IO-pattern-bound, not durability
 /// tests).
+///
+/// Thread-safe at the directory level: the mutex guards the page vector
+/// (allocation concurrent with reads/writes); per-page byte copies run
+/// outside it, relying on the buffer pool's invariant that one page is
+/// never read from and written to the store concurrently.
 class InMemoryPageStore : public PageStore {
  public:
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
   PageId num_pages() const override {
+    std::lock_guard<std::mutex> lk(mu_);
     return static_cast<PageId>(pages_.size());
   }
 
  private:
+  /// The page slot for `id`, or null when out of range.
+  Page* Slot(PageId id) const;
+
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
 };
 
@@ -62,7 +74,7 @@ class FilePageStore : public PageStore {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
-  PageId num_pages() const override { return num_pages_; }
+  PageId num_pages() const override { return num_pages_.load(); }
 
  private:
   FilePageStore(int fd, std::string path, PageId num_pages)
@@ -70,7 +82,8 @@ class FilePageStore : public PageStore {
 
   int fd_;
   std::string path_;
-  PageId num_pages_;
+  std::mutex alloc_mu_;  // Serializes file extension.
+  std::atomic<PageId> num_pages_;
 };
 
 }  // namespace insight

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/task_scheduler.h"
+#include "engine/parallel_ops.h"
+#include "sql/database.h"
+
+namespace insight {
+namespace {
+
+// ---------- TaskScheduler ----------
+
+TEST(TaskSchedulerTest, RunAndWaitExecutesEveryTask) {
+  TaskScheduler scheduler(4);
+  std::atomic<int> count{0};
+  std::vector<TaskScheduler::Task> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  scheduler.RunAndWait(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskSchedulerTest, RunAndWaitEmptyIsNoop) {
+  TaskScheduler scheduler(2);
+  scheduler.RunAndWait({});
+}
+
+TEST(TaskSchedulerTest, SubmittedTasksEventuallyRun) {
+  TaskScheduler scheduler(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    scheduler.Submit([&] {
+      std::lock_guard<std::mutex> lk(mu);
+      if (++done == 50) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(mu);
+  ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(30),
+                          [&] { return done == 50; }));
+}
+
+TEST(TaskSchedulerTest, RunAndWaitNestsInsideSubmittedWork) {
+  // A gather running on a worker must not deadlock the pool: RunAndWait
+  // makes the caller help execute tasks.
+  TaskScheduler scheduler(1);
+  std::atomic<int> inner{0};
+  std::vector<TaskScheduler::Task> outer;
+  outer.push_back([&] {
+    std::vector<TaskScheduler::Task> tasks;
+    for (int i = 0; i < 8; ++i) tasks.push_back([&] { inner.fetch_add(1); });
+    scheduler.RunAndWait(std::move(tasks));
+  });
+  scheduler.RunAndWait(std::move(outer));
+  EXPECT_EQ(inner.load(), 8);
+}
+
+// ---------- MorselSource ----------
+
+TEST(MorselSourceTest, CoversExtentExactlyOnce) {
+  MorselSource morsels(100, 16);
+  std::vector<bool> seen(100, false);
+  PageId begin, end;
+  while (morsels.Next(&begin, &end)) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, 100u);
+    for (PageId p = begin; p < end; ++p) {
+      EXPECT_FALSE(seen[p]) << "page " << p << " dispensed twice";
+      seen[p] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(MorselSourceTest, ResetRewindsTheExtent) {
+  MorselSource morsels(10, 4);
+  PageId begin, end;
+  while (morsels.Next(&begin, &end)) {
+  }
+  EXPECT_FALSE(morsels.Next(&begin, &end));
+  morsels.Reset();
+  ASSERT_TRUE(morsels.Next(&begin, &end));
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 4u);
+}
+
+TEST(MorselSourceTest, EmptyExtentDispensesNothing) {
+  MorselSource morsels(0);
+  PageId begin, end;
+  EXPECT_FALSE(morsels.Next(&begin, &end));
+}
+
+// ---------- Parallel plans vs serial plans ----------
+
+// A database big enough to clear the (lowered) parallelism threshold,
+// with a classifier instance and a few annotated rows so summary
+// predicates and propagation run on the workers too.
+class ParallelPlanTest : public ::testing::Test {
+ protected:
+  static constexpr int kRows = 600;
+
+  void SetUp() override {
+    db_.optimizer_options().parallel_row_threshold = 100;
+    Schema schema({{"id", ValueType::kInt64},
+                   {"family", ValueType::kString},
+                   {"weight", ValueType::kDouble}});
+    ASSERT_TRUE(db_.CreateTable("Birds", schema).ok());
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(db_.Insert("Birds",
+                             Tuple({Value::Int(i),
+                                    Value::String("family" +
+                                                  std::to_string(i % 7)),
+                                    Value::Double(i * 0.5)}))
+                      .ok());
+    }
+    ASSERT_TRUE(db_.DefineClassifier("ClassBird1",
+                                     {"Disease", "Behavior", "Other"},
+                                     {{"diseaseword sick", "Disease"},
+                                      {"behaviorword flying", "Behavior"},
+                                      {"otherword misc", "Other"}})
+                    .ok());
+    ASSERT_TRUE(db_.LinkInstance("Birds", "ClassBird1", false).ok());
+    for (Oid oid = 1; oid <= 40; ++oid) {
+      ASSERT_TRUE(db_.Annotate("Birds", "diseaseword note",
+                               {{oid, CellMask(0)}})
+                      .ok());
+    }
+
+    Schema small({{"fam", ValueType::kString},
+                  {"region", ValueType::kString}});
+    ASSERT_TRUE(db_.CreateTable("Families", small).ok());
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE(db_.Insert("Families",
+                             Tuple({Value::String("family" +
+                                                  std::to_string(i)),
+                                    Value::String(i % 2 == 0 ? "north"
+                                                             : "south")}))
+                      .ok());
+    }
+  }
+
+  // Order-insensitive canonical form of a result set.
+  static std::vector<std::string> Canon(const QueryResult& result) {
+    std::vector<std::string> rows;
+    rows.reserve(result.rows.size());
+    for (const Tuple& tuple : result.rows) rows.push_back(tuple.ToString());
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  void ExpectEquivalent(const std::string& sql) {
+    db_.SetParallelism(1);
+    auto serial = db_.Execute(sql);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    db_.SetParallelism(4);
+    auto parallel = db_.Execute(sql);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(Canon(*serial), Canon(*parallel)) << sql;
+    EXPECT_EQ(serial->rows.size(), parallel->rows.size());
+    db_.SetParallelism(1);
+  }
+
+  Database db_;
+};
+
+TEST_F(ParallelPlanTest, ScanMatchesSerial) {
+  ExpectEquivalent("SELECT id, family, weight FROM Birds");
+}
+
+TEST_F(ParallelPlanTest, SelectionMatchesSerial) {
+  ExpectEquivalent("SELECT id FROM Birds WHERE weight < 75.0");
+}
+
+TEST_F(ParallelPlanTest, SummarySelectionMatchesSerial) {
+  ExpectEquivalent(
+      "SELECT id FROM Birds WHERE "
+      "$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 0");
+}
+
+TEST_F(ParallelPlanTest, JoinMatchesSerial) {
+  ExpectEquivalent(
+      "SELECT Birds.id, Families.region FROM Birds, Families "
+      "WHERE Birds.family = Families.fam AND Birds.weight < 50.0");
+}
+
+TEST_F(ParallelPlanTest, AggregateMatchesSerial) {
+  ExpectEquivalent(
+      "SELECT family, COUNT(*) AS cnt FROM Birds GROUP BY family");
+}
+
+TEST_F(ParallelPlanTest, OrderByStaysCorrectAndOrdered) {
+  const std::string sql =
+      "SELECT id FROM Birds WHERE weight < 30.0 ORDER BY id DESC";
+  db_.SetParallelism(4);
+  auto result = db_.Execute(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->rows.empty());
+  for (size_t i = 1; i < result->rows.size(); ++i) {
+    EXPECT_GT(result->rows[i - 1].values()[0].AsInt(),
+              result->rows[i].values()[0].AsInt());
+  }
+  db_.SetParallelism(1);
+}
+
+// ---------- Optimizer gather placement ----------
+
+TEST_F(ParallelPlanTest, ExplainShowsGatherWhenParallel) {
+  db_.SetParallelism(4);
+  auto plan = db_.Explain("SELECT id FROM Birds WHERE weight < 75.0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("Gather(workers=4"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Exchange(worker="), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("ParallelScan(Birds"), std::string::npos) << *plan;
+  db_.SetParallelism(1);
+}
+
+TEST_F(ParallelPlanTest, SerialKnobPlansNoGather) {
+  db_.SetParallelism(1);
+  auto plan = db_.Explain("SELECT id FROM Birds WHERE weight < 75.0");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->find("Gather"), std::string::npos) << *plan;
+}
+
+TEST_F(ParallelPlanTest, SmallTableStaysSerial) {
+  db_.SetParallelism(4);
+  auto plan = db_.Explain("SELECT fam FROM Families");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->find("Gather"), std::string::npos) << *plan;
+  db_.SetParallelism(1);
+}
+
+TEST_F(ParallelPlanTest, NoGatherUnderSort) {
+  db_.SetParallelism(4);
+  auto plan = db_.Explain("SELECT id FROM Birds ORDER BY id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->find("Gather"), std::string::npos) << *plan;
+  db_.SetParallelism(1);
+}
+
+TEST_F(ParallelPlanTest, ExplainAnalyzeReportsWorkerTimes) {
+  db_.SetParallelism(4);
+  auto plan = db_.ExplainAnalyze("SELECT id FROM Birds WHERE weight < 75.0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("workers=4"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("worker_ms=["), std::string::npos) << *plan;
+  db_.SetParallelism(1);
+}
+
+}  // namespace
+}  // namespace insight
