@@ -25,6 +25,17 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==> test (${preset})"
   ctest --preset "${preset}" -j "${jobs}"
+  echo "==> recovery smoke (${preset}: kill-point matrix + WAL suite)"
+  ctest --preset "${preset}" \
+    -R 'KillPointMatrixTest|RecoveryTest|LogManagerTest|WalBeforeDataTest' \
+    -j "${jobs}" --output-on-failure
 done
+
+# End-to-end durability smoke: journal a workload, reopen, and fail if
+# the recovered database lost rows (bench_wal --smoke exits nonzero).
+if [ -x build/bench/bench_wal ]; then
+  echo "==> durability smoke (bench_wal --smoke)"
+  (cd build/bench && ./bench_wal --scale=0.01 --smoke > /dev/null)
+fi
 
 echo "==> all checks passed"

@@ -12,6 +12,14 @@ namespace {
 std::atomic<uint64_t> g_next_ann_id{1};
 }  // namespace
 
+AnnId PeekNextAnnId() { return g_next_ann_id.load(); }
+
+void EnsureAnnIdAtLeast(AnnId next) {
+  uint64_t seen = g_next_ann_id.load();
+  while (seen < next && !g_next_ann_id.compare_exchange_weak(seen, next)) {
+  }
+}
+
 uint64_t RowMask(size_t num_columns) {
   INSIGHT_CHECK(num_columns <= 64) << "relations limited to 64 columns";
   if (num_columns == 64) return ~0ULL;
@@ -71,6 +79,61 @@ Result<AnnId> AnnotationStore::Add(
             .status());
   }
   return ann_id;
+}
+
+Status AnnotationStore::AddWithId(
+    AnnId id, const std::string& text,
+    const std::vector<AnnotationTarget>& targets) {
+  if (id == 0) return Status::InvalidArgument("invalid annotation id 0");
+  if (targets.empty()) {
+    return Status::InvalidArgument("annotation needs at least one target");
+  }
+  for (const AnnotationTarget& t : targets) {
+    if (t.oid == kInvalidOid || t.column_mask == 0) {
+      return Status::InvalidArgument("invalid annotation target");
+    }
+    if ((t.column_mask & ~RowMask(num_columns_)) != 0) {
+      return Status::InvalidArgument("target mask references columns past " +
+                                     std::to_string(num_columns_));
+    }
+  }
+  if (RowFor(id).ok()) {
+    return Status::AlreadyExists("annotation " + std::to_string(id));
+  }
+  INSIGHT_RETURN_NOT_OK(
+      annotations_
+          ->Insert(Tuple({Value::Int(static_cast<int64_t>(id)),
+                          Value::String(text)}))
+          .status());
+  for (const AnnotationTarget& t : targets) {
+    INSIGHT_RETURN_NOT_OK(
+        links_
+            ->Insert(Tuple({Value::Int(static_cast<int64_t>(id)),
+                            Value::Int(static_cast<int64_t>(t.oid)),
+                            Value::Int(static_cast<int64_t>(t.column_mask))}))
+            .status());
+  }
+  EnsureAnnIdAtLeast(id + 1);
+  return Status::OK();
+}
+
+Status AnnotationStore::ForEachAnnotation(
+    const std::function<Status(const Annotation&)>& fn) const {
+  Table::Iterator it = annotations_->Scan();
+  Oid row_oid;
+  Tuple row;
+  while (it.Next(&row_oid, &row)) {
+    Annotation ann;
+    ann.id = static_cast<AnnId>(row.at(0).AsInt());
+    ann.text = row.at(1).AsString();
+    INSIGHT_ASSIGN_OR_RETURN(std::vector<Oid> tuples, TuplesFor(ann.id));
+    for (Oid oid : tuples) {
+      INSIGHT_ASSIGN_OR_RETURN(uint64_t mask, MaskFor(ann.id, oid));
+      ann.targets.push_back(AnnotationTarget{oid, mask});
+    }
+    INSIGHT_RETURN_NOT_OK(fn(ann));
+  }
+  return Status::OK();
 }
 
 Result<Oid> AnnotationStore::RowFor(AnnId id) const {

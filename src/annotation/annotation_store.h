@@ -2,6 +2,7 @@
 #define INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,13 @@ struct AnnotationTarget {
 inline uint64_t CellMask(size_t column) { return 1ULL << column; }
 uint64_t RowMask(size_t num_columns);
 
+/// The next AnnId the process-wide allocator would hand out (checkpoint
+/// snapshots record it so ids never repeat across restarts).
+AnnId PeekNextAnnId();
+
+/// Raises the process-wide allocator to at least `next` (recovery floor).
+void EnsureAnnIdAtLeast(AnnId next);
+
 struct Annotation {
   AnnId id = 0;
   std::string text;
@@ -55,6 +63,16 @@ class AnnotationStore {
   /// its id.
   Result<AnnId> Add(const std::string& text,
                     const std::vector<AnnotationTarget>& targets);
+
+  /// Stores an annotation under a caller-chosen id and bumps the global
+  /// allocator past it (WAL replay reproduces original ids this way).
+  Status AddWithId(AnnId id, const std::string& text,
+                   const std::vector<AnnotationTarget>& targets);
+
+  /// Enumerates every stored annotation in the annotations table's heap
+  /// order (checkpoint snapshots serialize through this).
+  Status ForEachAnnotation(
+      const std::function<Status(const Annotation&)>& fn) const;
 
   Result<std::string> GetText(AnnId id) const;
 

@@ -64,6 +64,31 @@ Result<Oid> Table::Insert(const Tuple& tuple) {
   return oid;
 }
 
+Status Table::InsertWithOid(Oid oid, const Tuple& tuple) {
+  if (tuple.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " vs schema " +
+        std::to_string(schema_.num_columns()));
+  }
+  if (oid == kInvalidOid) {
+    return Status::InvalidArgument("InsertWithOid: invalid oid");
+  }
+  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc,
+                           heap_->Insert(EncodeRecord(oid, tuple)));
+  INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), loc.Pack()));
+  INSIGHT_RETURN_NOT_OK(IndexInsert(oid, tuple));
+  ++num_rows_;
+  if (oid >= next_oid_) next_oid_ = oid + 1;
+  return Status::OK();
+}
+
+std::vector<std::string> Table::IndexedColumns() const {
+  std::vector<std::string> columns;
+  columns.reserve(column_indexes_.size());
+  for (const auto& entry : column_indexes_) columns.push_back(entry.first);
+  return columns;
+}
+
 Result<RowLocation> Table::DiskTupleLoc(Oid oid) const {
   INSIGHT_ASSIGN_OR_RETURN(std::vector<uint64_t> hits,
                            oid_index_->Lookup(OidKey(oid)));

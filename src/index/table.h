@@ -35,6 +35,17 @@ class Table {
   /// Inserts a tuple; assigns and returns its OID.
   Result<Oid> Insert(const Tuple& tuple);
 
+  /// Inserts a tuple under a caller-chosen OID and bumps the allocator
+  /// past it. WAL replay uses this to reproduce the original OIDs; the
+  /// OID must not already be present.
+  Status InsertWithOid(Oid oid, const Tuple& tuple);
+
+  /// Next OID Insert would assign (checkpoint snapshots record it).
+  Oid next_oid() const { return next_oid_; }
+
+  /// Names of columns that have a secondary index, in index order.
+  std::vector<std::string> IndexedColumns() const;
+
   /// Fetches by OID (OID index probe + heap read).
   Result<Tuple> Get(Oid oid) const;
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "wal/crash_point.h"
 
 namespace insight {
 
@@ -189,6 +190,10 @@ Status SummaryBTree::OnObjectChanged(Oid oid, const SummaryObject* before,
     if (before->reps[i].count == after->reps[i].count) continue;
     INSIGHT_RETURN_NOT_OK(
         DeleteKey(before->reps[i].text, before->reps[i].count, oid));
+    // Recovery invariant under test: a crash here leaves the in-memory
+    // index with the old key removed and the new one absent; replaying
+    // the log's maintenance protocol must regenerate both consistently.
+    INSIGHT_CRASH_POINT("sbtree_maintenance");
     INSIGHT_RETURN_NOT_OK(
         InsertKey(after->reps[i].text, after->reps[i].count, oid));
   }

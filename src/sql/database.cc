@@ -1,10 +1,17 @@
 #include "sql/database.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <set>
 
 #include "common/string_util.h"
+#include "wal/crash_point.h"
 
 namespace insight {
 
@@ -67,13 +74,83 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 Database::Database(Options options)
-    : storage_(options.backend, options.directory),
+    : options_(options),
+      storage_(options.backend, options.directory),
       pool_(&storage_, options.buffer_pool_frames),
       catalog_(&storage_, &pool_),
       context_(&catalog_, &storage_, &pool_) {}
 
+namespace {
+
+constexpr const char* kWalFileName = "wal.log";
+
+/// Removes every regular file in `dir` except the log. Page files are
+/// derived state: the catalog that maps them to tables is logical (it
+/// lives in the log), so a restart rebuilds them from replay. Leftover
+/// files from the previous incarnation would otherwise collide with the
+/// fresh CreateFile calls replay issues.
+Status RemoveStalePageFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IOError("opendir " + dir + ": " + std::strerror(errno));
+  }
+  Status st = Status::OK();
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == ".." || name == kWalFileName) continue;
+    const std::string path = dir + "/" + name;
+    struct stat info;
+    if (::stat(path.c_str(), &info) != 0 || !S_ISREG(info.st_mode)) continue;
+    if (::unlink(path.c_str()) != 0) {
+      st = Status::IOError("unlink " + path + ": " + std::strerror(errno));
+      break;
+    }
+  }
+  ::closedir(d);
+  return st;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& directory) {
+  return Open(directory, Options{});
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& directory,
+                                                 Options options) {
+  if (directory.empty()) {
+    return Status::InvalidArgument("Open needs a directory");
+  }
+  if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + directory + ": " +
+                           std::strerror(errno));
+  }
+  options.directory = directory;
+  if (options.backend == StorageManager::Backend::kFile) {
+    INSIGHT_RETURN_NOT_OK(RemoveStalePageFiles(directory));
+  }
+  INSIGHT_ASSIGN_OR_RETURN(auto wal,
+                           LogManager::Open(directory + "/" + kWalFileName));
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<WalRecord> records, wal->ReadAll());
+
+  auto db = std::unique_ptr<Database>(new Database(options));
+  db->replaying_ = true;
+  Result<RecoveryManager::Stats> replayed =
+      RecoveryManager::Replay(records, db.get());
+  db->replaying_ = false;
+  if (!replayed.ok()) return replayed.status();
+  db->recovery_stats_ = *replayed;
+
+  db->wal_ = std::move(wal);
+  // WAL-before-data from here on: dirty pages force the log first.
+  db->pool_.SetWalBridge(db->wal_.get());
+  return db;
+}
+
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
   const size_t num_columns = schema.num_columns();
+  StampNextLsn();
   INSIGHT_ASSIGN_OR_RETURN(Table * table,
                            catalog_.CreateTable(name, std::move(schema)));
   AnnotatedRelation rel;
@@ -84,19 +161,52 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
       rel.mgr, SummaryManager::Create(&catalog_, table, rel.store.get()));
   INSIGHT_RETURN_NOT_OK(context_.RegisterRelation(table, rel.mgr.get()));
   relations_[ToLower(name)] = std::move(rel);
+  if (WalEnabled()) {
+    WalCreateTable rec{table->name(), table->schema()};
+    INSIGHT_RETURN_NOT_OK(LogOp(WalRecordType::kCreateTable, rec.Encode()));
+  }
   return table;
 }
 
 Result<Oid> Database::Insert(const std::string& table, Tuple tuple) {
   INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
-  return t->Insert(tuple);
+  StampNextLsn();
+  INSIGHT_ASSIGN_OR_RETURN(Oid oid, t->Insert(tuple));
+  if (WalEnabled()) {
+    WalInsert rec{t->name(), oid, std::move(tuple)};
+    INSIGHT_RETURN_NOT_OK(LogOp(WalRecordType::kInsert, rec.Encode()));
+  }
+  return oid;
 }
 
 Status Database::DeleteTuple(const std::string& table, Oid oid) {
   INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  StampNextLsn();
+  INSIGHT_RETURN_NOT_OK(DeleteTupleImpl(table, oid));
+  if (WalEnabled()) {
+    WalDelete rec{t->name(), oid};
+    INSIGHT_RETURN_NOT_OK(LogOp(WalRecordType::kDelete, rec.Encode()));
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteTupleImpl(const std::string& table, Oid oid) {
+  INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
   INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(table));
   INSIGHT_RETURN_NOT_OK(mgr->OnTupleDeleted(oid));
   return t->Delete(oid);
+}
+
+Status Database::CreateColumnIndex(const std::string& table,
+                                   const std::string& column) {
+  INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  StampNextLsn();
+  INSIGHT_RETURN_NOT_OK(t->CreateColumnIndex(column));
+  if (WalEnabled()) {
+    WalCreateIndex rec{t->name(), column};
+    INSIGHT_RETURN_NOT_OK(LogOp(WalRecordType::kCreateIndex, rec.Encode()));
+  }
+  return Status::OK();
 }
 
 Result<SummaryManager*> Database::GetManager(const std::string& table) {
@@ -149,22 +259,50 @@ Status Database::DefineClassifier(
   for (const auto& [text, label] : training) {
     INSIGHT_RETURN_NOT_OK(model->Train(text, label));
   }
-  return DefineInstance(
-      SummaryInstance::Classifier(name, std::move(labels), std::move(model)));
+  WalInstanceDef def;
+  def.kind = WalInstanceDef::Kind::kClassifier;
+  def.name = name;
+  def.labels = labels;
+  def.training = training;
+  INSIGHT_RETURN_NOT_OK(DefineInstance(
+      SummaryInstance::Classifier(name, std::move(labels), std::move(model))));
+  // Journal the *parameters*: retraining Naive Bayes from the same seed
+  // pairs is deterministic, so replay re-derives an equivalent instance.
+  instance_def_payloads_.emplace_back(ToLower(name), def.Encode());
+  return LogOp(WalRecordType::kDefineInstance,
+               instance_def_payloads_.back().second);
 }
 
 Status Database::DefineSnippet(const std::string& name,
                                SnippetSummarizer::Options options) {
-  return DefineInstance(SummaryInstance::Snippet(name, options));
+  INSIGHT_RETURN_NOT_OK(
+      DefineInstance(SummaryInstance::Snippet(name, options)));
+  WalInstanceDef def;
+  def.kind = WalInstanceDef::Kind::kSnippet;
+  def.name = name;
+  def.snippet_min_chars = options.min_chars;
+  def.snippet_max_chars = options.max_snippet_chars;
+  instance_def_payloads_.emplace_back(ToLower(name), def.Encode());
+  return LogOp(WalRecordType::kDefineInstance,
+               instance_def_payloads_.back().second);
 }
 
 Status Database::DefineCluster(const std::string& name,
                                double min_similarity) {
-  return DefineInstance(SummaryInstance::Cluster(name, min_similarity));
+  INSIGHT_RETURN_NOT_OK(
+      DefineInstance(SummaryInstance::Cluster(name, min_similarity)));
+  WalInstanceDef def;
+  def.kind = WalInstanceDef::Kind::kCluster;
+  def.name = name;
+  def.cluster_min_similarity = min_similarity;
+  instance_def_payloads_.emplace_back(ToLower(name), def.Encode());
+  return LogOp(WalRecordType::kDefineInstance,
+               instance_def_payloads_.back().second);
 }
 
 Status Database::LinkInstance(const std::string& table,
                               const std::string& instance, bool indexable) {
+  StampNextLsn();
   auto rel_it = relations_.find(ToLower(table));
   if (rel_it == relations_.end()) {
     return Status::NotFound("no annotated relation " + table);
@@ -203,11 +341,17 @@ Status Database::LinkInstance(const std::string& table,
       rel_it->second.keyword_indexes[ToLower(instance)] = std::move(index);
     }
   }
+  if (WalEnabled()) {
+    WalLinkInstance rec{rel_it->second.mgr->base()->name(),
+                        def_it->second.name(), indexable};
+    INSIGHT_RETURN_NOT_OK(LogOp(WalRecordType::kLinkInstance, rec.Encode()));
+  }
   return Status::OK();
 }
 
 Status Database::UnlinkInstance(const std::string& table,
                                 const std::string& instance) {
+  StampNextLsn();
   auto rel_it = relations_.find(ToLower(table));
   if (rel_it == relations_.end()) {
     return Status::NotFound("no annotated relation " + table);
@@ -221,6 +365,11 @@ Status Database::UnlinkInstance(const std::string& table,
   rel_it->second.indexes.erase(key);
   rel_it->second.baseline_indexes.erase(key);
   rel_it->second.keyword_indexes.erase(key);
+  if (WalEnabled()) {
+    WalUnlinkInstance rec{rel_it->second.mgr->base()->name(), instance};
+    INSIGHT_RETURN_NOT_OK(
+        LogOp(WalRecordType::kUnlinkInstance, rec.Encode()));
+  }
   return Status::OK();
 }
 
@@ -245,12 +394,31 @@ Result<AnnId> Database::Annotate(const std::string& table,
                                  const std::string& text,
                                  const std::vector<AnnotationTarget>& targets) {
   INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(table));
-  return mgr->AddAnnotation(text, targets);
+  StampNextLsn();
+  INSIGHT_ASSIGN_OR_RETURN(AnnId ann, mgr->AddAnnotation(text, targets));
+  if (WalEnabled()) {
+    WalAnnotate rec;
+    rec.table = mgr->base()->name();
+    rec.ann_id = ann;
+    rec.text = text;
+    for (const AnnotationTarget& t : targets) {
+      rec.targets.emplace_back(t.oid, t.column_mask);
+    }
+    INSIGHT_RETURN_NOT_OK(LogOp(WalRecordType::kAnnotate, rec.Encode()));
+  }
+  return ann;
 }
 
 Status Database::RemoveAnnotation(const std::string& table, AnnId ann) {
   INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(table));
-  return mgr->RemoveAnnotation(ann);
+  StampNextLsn();
+  INSIGHT_RETURN_NOT_OK(mgr->RemoveAnnotation(ann));
+  if (WalEnabled()) {
+    WalRemoveAnnotation rec{mgr->base()->name(), ann};
+    INSIGHT_RETURN_NOT_OK(
+        LogOp(WalRecordType::kRemoveAnnotation, rec.Encode()));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<Annotation>> Database::ZoomIn(const std::string& table,
@@ -288,6 +456,174 @@ Result<std::vector<Annotation>> Database::ZoomIn(const std::string& table,
 
 Status Database::Analyze(const std::string& table) {
   return context_.Analyze(table);
+}
+
+// ---------- Durability ----------
+
+Status Database::LogOp(WalRecordType type, std::string payload) {
+  if (!WalEnabled()) return Status::OK();
+  INSIGHT_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(type, std::move(payload)));
+  if (options_.wal_sync == WalSyncMode::kEveryOp) {
+    INSIGHT_RETURN_NOT_OK(wal_->Commit(lsn));
+  }
+  ++ops_since_checkpoint_;
+  if (options_.checkpoint_every_ops > 0 && !in_checkpoint_ &&
+      ops_since_checkpoint_ >= options_.checkpoint_every_ops) {
+    INSIGHT_RETURN_NOT_OK(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status Database::WalSync() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+Result<WalSnapshot> Database::BuildSnapshot() {
+  WalSnapshot snap;
+  snap.next_ann_id = PeekNextAnnId();
+
+  // Instance definitions first: links reference them.
+  for (const auto& [name, payload] : instance_def_payloads_) {
+    snap.ops.emplace_back(WalRecordType::kDefineInstance, payload);
+  }
+
+  for (const auto& [key, rel] : relations_) {
+    Table* table = rel.mgr->base();
+    const std::string& name = table->name();
+    snap.ops.emplace_back(WalRecordType::kCreateTable,
+                          WalCreateTable{name, table->schema()}.Encode());
+    for (const std::string& column : table->IndexedColumns()) {
+      snap.ops.emplace_back(WalRecordType::kCreateIndex,
+                            WalCreateIndex{name, column}.Encode());
+    }
+    // Links before data: with the instances in place, restoring the
+    // annotations below re-runs summarization and rebuilds summary
+    // storage (annotations that historically predate a link get
+    // summarized on restore — see DESIGN.md on this divergence).
+    for (const SummaryInstance& inst : rel.mgr->instances()) {
+      const std::string inst_key = ToLower(inst.name());
+      const bool indexable = rel.indexes.count(inst_key) > 0 ||
+                             rel.keyword_indexes.count(inst_key) > 0;
+      snap.ops.emplace_back(
+          WalRecordType::kLinkInstance,
+          WalLinkInstance{name, inst.name(), indexable}.Encode());
+    }
+    Table::Iterator it = table->Scan();
+    Oid oid;
+    Tuple tuple;
+    while (it.Next(&oid, &tuple)) {
+      snap.ops.emplace_back(WalRecordType::kInsert,
+                            WalInsert{name, oid, tuple}.Encode());
+    }
+    INSIGHT_RETURN_NOT_OK(
+        rel.store->ForEachAnnotation([&](const Annotation& ann) {
+          WalAnnotate rec;
+          rec.table = name;
+          rec.ann_id = ann.id;
+          rec.text = ann.text;
+          for (const AnnotationTarget& t : ann.targets) {
+            rec.targets.emplace_back(t.oid, t.column_mask);
+          }
+          snap.ops.emplace_back(WalRecordType::kAnnotate, rec.Encode());
+          return Status::OK();
+        }));
+  }
+  return snap;
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("checkpoint needs an attached WAL");
+  }
+  if (in_checkpoint_) return Status::OK();
+  in_checkpoint_ = true;
+  Status result = [&]() -> Status {
+    INSIGHT_ASSIGN_OR_RETURN(WalSnapshot snap, BuildSnapshot());
+    INSIGHT_ASSIGN_OR_RETURN(
+        Lsn begin, wal_->Append(WalRecordType::kCheckpointBegin,
+                                snap.Encode()));
+    INSIGHT_CRASH_POINT("checkpoint_begin");
+    INSIGHT_RETURN_NOT_OK(wal_->Commit(begin));
+    // Data pages next. Order matters: the snapshot is durable before any
+    // page that might depend on post-checkpoint state is written, and
+    // CheckpointEnd is logged only after the pages are synced.
+    INSIGHT_RETURN_NOT_OK(pool_.FlushAll());
+    INSIGHT_RETURN_NOT_OK(storage_.SyncAll());
+    INSIGHT_CRASH_POINT("checkpoint_after_flush");
+    INSIGHT_ASSIGN_OR_RETURN(
+        Lsn end, wal_->Append(WalRecordType::kCheckpointEnd,
+                              WalCheckpointEnd{begin}.Encode()));
+    INSIGHT_RETURN_NOT_OK(wal_->Commit(end));
+    INSIGHT_CRASH_POINT("checkpoint_end");
+    return Status::OK();
+  }();
+  in_checkpoint_ = false;
+  if (result.ok()) ops_since_checkpoint_ = 0;
+  return result;
+}
+
+// ---------- ReplayTarget ----------
+
+Status Database::ReplayAnnIdFloor(uint64_t next_ann_id) {
+  EnsureAnnIdAtLeast(next_ann_id);
+  return Status::OK();
+}
+
+Status Database::ReplayCreateTable(const WalCreateTable& op) {
+  return CreateTable(op.table, op.schema).status();
+}
+
+Status Database::ReplayCreateIndex(const WalCreateIndex& op) {
+  return CreateColumnIndex(op.table, op.column);
+}
+
+Status Database::ReplayInsert(const WalInsert& op) {
+  INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(op.table));
+  return t->InsertWithOid(op.oid, op.tuple);
+}
+
+Status Database::ReplayDelete(const WalDelete& op) {
+  return DeleteTupleImpl(op.table, op.oid);
+}
+
+Status Database::ReplayDefineInstance(const WalInstanceDef& op) {
+  switch (op.kind) {
+    case WalInstanceDef::Kind::kClassifier:
+      return DefineClassifier(op.name, op.labels, op.training);
+    case WalInstanceDef::Kind::kSnippet: {
+      SnippetSummarizer::Options options;
+      options.min_chars = static_cast<size_t>(op.snippet_min_chars);
+      options.max_snippet_chars = static_cast<size_t>(op.snippet_max_chars);
+      return DefineSnippet(op.name, options);
+    }
+    case WalInstanceDef::Kind::kCluster:
+      return DefineCluster(op.name, op.cluster_min_similarity);
+  }
+  return Status::Corruption("wal: unknown instance kind");
+}
+
+Status Database::ReplayLinkInstance(const WalLinkInstance& op) {
+  return LinkInstance(op.table, op.instance, op.indexable);
+}
+
+Status Database::ReplayUnlinkInstance(const WalUnlinkInstance& op) {
+  return UnlinkInstance(op.table, op.instance);
+}
+
+Status Database::ReplayAnnotate(const WalAnnotate& op) {
+  INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(op.table));
+  std::vector<AnnotationTarget> targets;
+  targets.reserve(op.targets.size());
+  for (const auto& [oid, mask] : op.targets) {
+    targets.push_back(AnnotationTarget{static_cast<Oid>(oid), mask});
+  }
+  return mgr->AddAnnotationWithId(op.ann_id, op.text, targets);
+}
+
+Status Database::ReplayRemoveAnnotation(const WalRemoveAnnotation& op) {
+  INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(op.table));
+  return mgr->RemoveAnnotation(op.ann_id);
 }
 
 Result<std::vector<Row>> Database::Run(LogicalPtr plan) {
@@ -603,10 +939,12 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       return result;
     }
     case Statement::Kind::kInsert: {
-      INSIGHT_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      // Route through Database::Insert so each row is journaled; one
+      // group-commit fsync covers the whole statement.
       for (const std::vector<Value>& row : stmt.rows) {
-        INSIGHT_RETURN_NOT_OK(table->Insert(Tuple(row)).status());
+        INSIGHT_RETURN_NOT_OK(Insert(stmt.table, Tuple(row)).status());
       }
+      INSIGHT_RETURN_NOT_OK(WalSync());
       result.message = std::to_string(stmt.rows.size()) + " rows inserted";
       return result;
     }
@@ -653,8 +991,7 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       return result;
     }
     case Statement::Kind::kCreateIndex: {
-      INSIGHT_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
-      INSIGHT_RETURN_NOT_OK(table->CreateColumnIndex(stmt.columns[0]));
+      INSIGHT_RETURN_NOT_OK(CreateColumnIndex(stmt.table, stmt.columns[0]));
       result.message = "Index created on " + stmt.table + "." +
                        stmt.columns[0];
       return result;

@@ -10,6 +10,8 @@
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 #include "summary/summary_manager.h"
+#include "wal/log_manager.h"
+#include "wal/recovery_manager.h"
 
 namespace insight {
 
@@ -36,16 +38,37 @@ struct QueryResult {
 ///   db.Execute("SELECT * FROM Birds WHERE "
 ///              "$.getSummaryObject('ClassBird1')"
 ///              ".getLabelValue('Disease') > 0");
-class Database {
+class Database : public ReplayTarget {
  public:
+  /// When the write-ahead log is forced to disk.
+  enum class WalSyncMode {
+    kEveryOp,      // Commit (fsync) after every logged operation.
+    kGroupCommit,  // Sync only at statement end / WalSync() / checkpoint;
+                   // concurrent committers share one fsync (leader runs
+                   // it, followers wait on the durable LSN).
+    kNever,        // Tests/benches only: appends without forcing.
+  };
+
   struct Options {
     StorageManager::Backend backend = StorageManager::Backend::kMemory;
-    std::string directory;        // File backend only.
+    std::string directory;        // File backend and/or WAL.
     size_t buffer_pool_frames = 4096;
+    WalSyncMode wal_sync = WalSyncMode::kEveryOp;
+    /// >0: automatic fuzzy checkpoint after this many logged operations.
+    uint64_t checkpoint_every_ops = 0;
   };
 
   Database() : Database(Options{}) {}
   explicit Database(Options options);
+
+  /// Opens (creating if needed) a durable database rooted at `directory`:
+  /// recovers from `<directory>/wal.log` (replaying the tail past the
+  /// last complete checkpoint), then attaches the log so further DML is
+  /// journaled. Page files are derived state rebuilt by replay — the
+  /// catalog is logical — so recovery works even from the log alone.
+  static Result<std::unique_ptr<Database>> Open(const std::string& directory,
+                                                Options options);
+  static Result<std::unique_ptr<Database>> Open(const std::string& directory);
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -80,6 +103,11 @@ class Database {
                       bool indexable);
   Status UnlinkInstance(const std::string& table,
                         const std::string& instance);
+
+  /// Builds a secondary B-Tree index on a data column (the SQL
+  /// `CREATE INDEX` routes here so the DDL is journaled).
+  Status CreateColumnIndex(const std::string& table,
+                           const std::string& column);
 
   /// Builds the baseline (normalized) index too — comparison arms of the
   /// benches only; production setups use only LinkInstance(indexable).
@@ -120,6 +148,38 @@ class Database {
 
   Status Analyze(const std::string& table);
 
+  // ---- Durability ----
+
+  /// Fuzzy checkpoint: logs a logical snapshot of the whole database
+  /// (CheckpointBegin), flushes and syncs the data pages, then seals it
+  /// with CheckpointEnd. Recovery restores the latest sealed snapshot and
+  /// replays only the log tail after it. No-op error when WAL is off.
+  Status Checkpoint();
+
+  /// Forces the log to disk (group-commit barrier). OK when WAL is off.
+  Status WalSync();
+
+  /// The attached log, or null when this database is not journaled.
+  LogManager* wal() { return wal_.get(); }
+
+  /// What recovery did when this database was Open()ed.
+  const RecoveryManager::Stats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
+  // ---- ReplayTarget (crash recovery; applies without re-logging) ----
+
+  Status ReplayAnnIdFloor(uint64_t next_ann_id) override;
+  Status ReplayCreateTable(const WalCreateTable& op) override;
+  Status ReplayCreateIndex(const WalCreateIndex& op) override;
+  Status ReplayInsert(const WalInsert& op) override;
+  Status ReplayDelete(const WalDelete& op) override;
+  Status ReplayDefineInstance(const WalInstanceDef& op) override;
+  Status ReplayLinkInstance(const WalLinkInstance& op) override;
+  Status ReplayUnlinkInstance(const WalUnlinkInstance& op) override;
+  Status ReplayAnnotate(const WalAnnotate& op) override;
+  Status ReplayRemoveAnnotation(const WalRemoveAnnotation& op) override;
+
   // ---- Accessors ----
 
   /// Morsel-worker count the optimizer plans SELECTs for (1 = serial).
@@ -159,6 +219,38 @@ class Database {
                                     bool explain_only);
   /// Binds FROM/WHERE into a logical plan (join routing included).
   Result<LogicalPtr> BindSelect(const SelectStatement& select);
+
+  /// WAL is live: attached and not currently replaying (replayed ops are
+  /// already in the log and must not be re-journaled).
+  bool WalEnabled() const { return wal_ != nullptr && !replaying_; }
+
+  /// Appends one record, commits it per the sync mode, and triggers the
+  /// automatic checkpoint when the op budget is reached.
+  Status LogOp(WalRecordType type, std::string payload);
+
+  /// Stamps the buffer pool with the LSN the next logged op will get, so
+  /// pages it dirties cannot be flushed before that record is durable.
+  void StampNextLsn() {
+    if (WalEnabled()) pool_.SetCurrentLsn(wal_->next_lsn());
+  }
+
+  /// Serializes the full logical state as a checkpoint snapshot.
+  Result<WalSnapshot> BuildSnapshot();
+
+  Status DeleteTupleImpl(const std::string& table, Oid oid);
+
+  /// Declared first: every other member may still force the log while it
+  /// is torn down, so the log must be destroyed last.
+  std::unique_ptr<LogManager> wal_;
+  Options options_;
+  bool replaying_ = false;
+  uint64_t ops_since_checkpoint_ = 0;
+  bool in_checkpoint_ = false;
+  RecoveryManager::Stats recovery_stats_;
+  /// WalInstanceDef payloads of instances defined through the typed
+  /// Define{Classifier,Snippet,Cluster} API, re-emitted into checkpoint
+  /// snapshots (lower-case name -> encoded payload, definition order).
+  std::vector<std::pair<std::string, std::string>> instance_def_payloads_;
 
   StorageManager storage_;
   BufferPool pool_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wal/crash_point.h"
+
 namespace insight {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -98,6 +100,7 @@ Result<PageGuard> BufferPool::FetchPage(FileId file, PageId page,
   INSIGHT_RETURN_NOT_OK(store->ReadPage(page, &f.page));
   AdmitLocked(shard, idx, key);
   f.dirty.store(false, std::memory_order_relaxed);
+  f.page_lsn.store(0, std::memory_order_relaxed);
   lk.unlock();
   AcquireLatch(f, latch);
   return PageGuard(this, idx, f.page.data, latch);
@@ -141,6 +144,8 @@ Result<PageGuard> BufferPool::NewPage(FileId file, PageId* page_id_out,
   AdmitLocked(shard, idx, key);
   // New pages must reach the store even if never written.
   f.dirty.store(true, std::memory_order_relaxed);
+  f.page_lsn.store(current_lsn_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
   lk.unlock();
   AcquireLatch(f, latch);
   *page_id_out = page;
@@ -157,6 +162,13 @@ void BufferPool::AdmitLocked(Shard& shard, size_t idx, const Key& key) {
   shard.table[key] = idx;
 }
 
+Status BufferPool::ForceLogFor(uint64_t page_lsn) {
+  WalBridge* wal = wal_.load();
+  if (wal == nullptr || page_lsn == 0) return Status::OK();
+  if (page_lsn <= wal->DurableLsn()) return Status::OK();
+  return wal->SyncToLsn(page_lsn);
+}
+
 Status BufferPool::FlushAll() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard->mu);
@@ -164,6 +176,8 @@ Status BufferPool::FlushAll() {
       Frame& f = *frames_[i];
       if (f.valid && f.dirty.load()) {
         PageStore* store = storage_->GetStore(f.file);
+        INSIGHT_RETURN_NOT_OK(ForceLogFor(f.page_lsn.load()));
+        INSIGHT_CRASH_POINT("bufferpool_flush_page");
         INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
         f.dirty.store(false);
         ++shard->stats.writebacks;
@@ -201,7 +215,18 @@ void BufferPool::Unpin(size_t frame, bool dirty, LatchMode latch) {
   Frame& f = *frames_[frame];
   // Order matters: publish the dirty bit and drop the latch before the
   // pin release makes the frame evictable.
-  if (dirty) f.dirty.store(true);
+  if (dirty) {
+    // Tag the frame with the LSN of the operation that dirtied it so the
+    // flush paths know how far the log must be forced first. fetch-max:
+    // a page re-dirtied by a later op keeps the later LSN.
+    const uint64_t op_lsn = current_lsn_.load(std::memory_order_relaxed);
+    uint64_t seen = f.page_lsn.load(std::memory_order_relaxed);
+    while (seen < op_lsn &&
+           !f.page_lsn.compare_exchange_weak(seen, op_lsn,
+                                             std::memory_order_relaxed)) {
+    }
+    f.dirty.store(true);
+  }
   switch (latch) {
     case LatchMode::kNone:
       break;
@@ -235,6 +260,8 @@ Result<size_t> BufferPool::GrabFrameLocked(Shard& shard) {
     // page bytes are stable during writeback.
     if (f.dirty.load()) {
       PageStore* store = storage_->GetStore(f.file);
+      // WAL-before-data: force the log before the page leaves the pool.
+      INSIGHT_RETURN_NOT_OK(ForceLogFor(f.page_lsn.load()));
       INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
       ++shard.stats.writebacks;
     }

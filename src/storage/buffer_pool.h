@@ -29,6 +29,22 @@ struct BufferPoolStats {
 
 class BufferPool;
 
+/// Narrow view of the write-ahead log that the buffer pool needs to
+/// enforce WAL-before-data: before a dirty page reaches its backing
+/// store, every log record up to the page's LSN must be durable. The
+/// interface lives here (not in src/wal) so storage stays below wal in
+/// the dependency order; LogManager implements it.
+class WalBridge {
+ public:
+  virtual ~WalBridge() = default;
+
+  /// Highest LSN known durable (fsynced) in the log.
+  virtual uint64_t DurableLsn() const = 0;
+
+  /// Forces the log out through at least `lsn`.
+  virtual Status SyncToLsn(uint64_t lsn) = 0;
+};
+
 /// Page latch requested alongside a pin. kNone preserves the historical
 /// behavior (pin only) and is what the serial engine paths use — writers
 /// there are single-threaded by construction. Concurrent mutators take
@@ -110,6 +126,16 @@ class BufferPool {
   /// files) — the scan extent morsel dispensers partition.
   PageId FileNumPages(FileId file) const;
 
+  /// Installs the log bridge. With a bridge set, any dirty page write
+  /// (eviction or FlushAll) first forces the log through the page's LSN —
+  /// the WAL-before-data invariant. Null detaches.
+  void SetWalBridge(WalBridge* wal) { wal_.store(wal); }
+
+  /// Stamps the LSN that subsequent dirtying operations tag their pages
+  /// with. The DML layer calls this with the (peeked) LSN of the record
+  /// it is about to apply; single-writer DML keeps this race-free.
+  void SetCurrentLsn(uint64_t lsn) { current_lsn_.store(lsn); }
+
  private:
   friend class PageGuard;
 
@@ -119,6 +145,9 @@ class BufferPool {
     PageId page_id = kInvalidPageId;
     std::atomic<int> pin_count{0};
     std::atomic<bool> dirty{false};
+    /// Highest log LSN whose effects this frame may carry; the frame must
+    /// not reach the backing store until the log is durable through it.
+    std::atomic<uint64_t> page_lsn{0};
     std::atomic<bool> referenced{false};
     bool valid = false;  // Guarded by the owning shard's latch.
     std::shared_mutex latch;
@@ -160,6 +189,10 @@ class BufferPool {
   void Unpin(size_t frame, bool dirty, LatchMode latch);
   static void AcquireLatch(Frame& frame, LatchMode latch);
 
+  /// WAL-before-data gate: forces the log through `page_lsn` when a
+  /// bridge is installed and the log is not yet durable that far.
+  Status ForceLogFor(uint64_t page_lsn);
+
   /// Finds a victim frame inside `shard` (unpinned), evicting its current
   /// page if dirty. Caller holds shard.mu.
   Result<size_t> GrabFrameLocked(Shard& shard);
@@ -169,6 +202,8 @@ class BufferPool {
   void AdmitLocked(Shard& shard, size_t idx, const Key& key);
 
   StorageManager* storage_;
+  std::atomic<WalBridge*> wal_{nullptr};
+  std::atomic<uint64_t> current_lsn_{0};
   std::vector<std::unique_ptr<Frame>> frames_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Page ids allocated by a NewPage whose frame grab then failed; reused

@@ -25,6 +25,10 @@ class PageStore {
   virtual Status ReadPage(PageId id, Page* out) = 0;
   virtual Status WritePage(PageId id, const Page& page) = 0;
 
+  /// Makes every completed WritePage durable. Default is a no-op: the
+  /// in-memory store has nothing to flush. FilePageStore issues fsync.
+  virtual Status Sync() { return Status::OK(); }
+
   virtual PageId num_pages() const = 0;
 
   /// Bytes of backing storage currently allocated.
@@ -74,6 +78,7 @@ class FilePageStore : public PageStore {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override;
   PageId num_pages() const override { return num_pages_.load(); }
 
  private:
@@ -85,6 +90,11 @@ class FilePageStore : public PageStore {
   std::mutex alloc_mu_;  // Serializes file extension.
   std::atomic<PageId> num_pages_;
 };
+
+/// fsyncs the directory containing `path`, making a just-created file's
+/// directory entry durable. A file created and fsynced but whose dirent
+/// was never synced can vanish entirely after a crash.
+Status SyncContainingDirectory(const std::string& path);
 
 }  // namespace insight
 

@@ -16,9 +16,17 @@ Result<FileId> StorageManager::CreateFile(const std::string& name) {
                              FilePageStore::Open(dir_ + "/" + name));
     store = std::move(file_store);
   }
+  if (interceptor_) store = interceptor_(name, std::move(store));
   stores_.push_back(std::move(store));
   names_.push_back(name);
   return static_cast<FileId>(stores_.size() - 1);
+}
+
+Status StorageManager::SyncAll() {
+  for (const auto& store : stores_) {
+    INSIGHT_RETURN_NOT_OK(store->Sync());
+  }
+  return Status::OK();
 }
 
 uint64_t StorageManager::TotalBytes() const {

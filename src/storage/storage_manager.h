@@ -1,8 +1,10 @@
 #ifndef INSIGHTNOTES_STORAGE_STORAGE_MANAGER_H_
 #define INSIGHTNOTES_STORAGE_STORAGE_MANAGER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -37,11 +39,25 @@ class StorageManager {
   /// Total allocated bytes across all page files.
   uint64_t TotalBytes() const;
 
+  /// Syncs every page file (checkpoint tail: data pages written by
+  /// FlushAll must hit stable storage before CheckpointEnd is logged).
+  Status SyncAll();
+
   Backend backend() const { return backend_; }
+
+  /// Test hook: wraps every store CreateFile builds before it is
+  /// registered (e.g. in a FaultInjectingPageStore). Applies only to
+  /// files created after the call.
+  using StoreInterceptor = std::function<std::unique_ptr<PageStore>(
+      const std::string& name, std::unique_ptr<PageStore> base)>;
+  void set_store_interceptor(StoreInterceptor interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
 
  private:
   Backend backend_;
   std::string dir_;
+  StoreInterceptor interceptor_;
   std::vector<std::unique_ptr<PageStore>> stores_;
   std::vector<std::string> names_;
 };

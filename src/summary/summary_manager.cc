@@ -150,7 +150,20 @@ AnnotationResolver SummaryManager::MakeResolver() const {
 Result<AnnId> SummaryManager::AddAnnotation(
     const std::string& text, const std::vector<AnnotationTarget>& targets) {
   INSIGHT_ASSIGN_OR_RETURN(AnnId ann, annotations_->Add(text, targets));
+  INSIGHT_RETURN_NOT_OK(SummarizeAdded(ann, text, targets));
+  return ann;
+}
 
+Status SummaryManager::AddAnnotationWithId(
+    AnnId ann, const std::string& text,
+    const std::vector<AnnotationTarget>& targets) {
+  INSIGHT_RETURN_NOT_OK(annotations_->AddWithId(ann, text, targets));
+  return SummarizeAdded(ann, text, targets);
+}
+
+Status SummaryManager::SummarizeAdded(
+    AnnId ann, const std::string& text,
+    const std::vector<AnnotationTarget>& targets) {
   // Group targets per tuple (an annotation may span cells of one tuple).
   std::map<Oid, uint64_t> per_tuple;
   for (const AnnotationTarget& t : targets) {
@@ -201,7 +214,7 @@ Result<AnnId> SummaryManager::AddAnnotation(
                  &event.after));
     }
   }
-  return ann;
+  return Status::OK();
 }
 
 Status SummaryManager::RemoveAnnotation(AnnId ann) {

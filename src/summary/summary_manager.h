@@ -47,6 +47,10 @@ class SummaryManager {
   Result<AnnId> AddAnnotation(const std::string& text,
                               const std::vector<AnnotationTarget>& targets);
 
+  /// Same, but under a caller-chosen annotation id (WAL replay path).
+  Status AddAnnotationWithId(AnnId ann, const std::string& text,
+                             const std::vector<AnnotationTarget>& targets);
+
   /// Removes a raw annotation and its effects from all summaries.
   Status RemoveAnnotation(AnnId ann);
 
@@ -103,6 +107,12 @@ class SummaryManager {
 
   /// Storage-row OID for a tuple, or kInvalidOid when absent.
   Result<Oid> FindStorageRow(Oid tuple_oid) const;
+
+  /// Incremental maintenance shared by AddAnnotation / AddAnnotationWithId:
+  /// folds a freshly stored annotation into every targeted tuple's
+  /// summary set and fires listener events.
+  Status SummarizeAdded(AnnId ann, const std::string& text,
+                        const std::vector<AnnotationTarget>& targets);
 
   Status SaveSummaries(Oid tuple_oid, Oid storage_row, const SummarySet& set);
 

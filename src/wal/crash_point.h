@@ -1,0 +1,49 @@
+#ifndef INSIGHTNOTES_WAL_CRASH_POINT_H_
+#define INSIGHTNOTES_WAL_CRASH_POINT_H_
+
+#include <string>
+#include <vector>
+
+namespace insight {
+
+/// Kill-point fault injection: recovery tests arm a named point and run a
+/// workload; the first code path that reaches the armed point terminates
+/// the process immediately (`_Exit`, no destructors, no flushes), which is
+/// the closest in-process approximation of a crash. The harness then
+/// reopens the database directory and asserts recovery converges.
+///
+/// Note the fidelity limit of process-kill testing: bytes already handed
+/// to the OS (written but not fsynced) survive a process kill even though
+/// they would not survive a power cut, so the pre-/post-fsync points
+/// differ in protocol coverage, not in observable loss.
+
+/// Exit code used by HitCrashPoint so harnesses can tell an injected
+/// crash from an ordinary failure.
+inline constexpr int kCrashPointExitCode = 86;
+
+/// Arms one crash point (process-wide). Points survive fork, so a test
+/// can arm in a child before driving the workload.
+void ArmCrashPoint(const std::string& name);
+
+/// Disarms everything (test teardown).
+void DisarmCrashPoints();
+
+bool CrashPointArmed(const std::string& name);
+
+/// Terminates the process with kCrashPointExitCode when `name` is armed;
+/// no-op otherwise. Never returns after an armed hit.
+void HitCrashPoint(const char* name);
+
+/// Every point name the code base registers, for kill-point matrix tests
+/// (a point is "registered" by appearing in this list AND being reachable
+/// through the public API).
+const std::vector<std::string>& RegisteredCrashPoints();
+
+}  // namespace insight
+
+/// Annotates a kill point in durability-critical code. Zero-cost when
+/// nothing is armed beyond one set lookup guarded by an atomic emptiness
+/// flag.
+#define INSIGHT_CRASH_POINT(name) ::insight::HitCrashPoint(name)
+
+#endif  // INSIGHTNOTES_WAL_CRASH_POINT_H_

@@ -1,0 +1,44 @@
+#include "wal/fault_injection.h"
+
+#include <cstring>
+
+#include "wal/crash_point.h"
+
+namespace insight {
+
+Status FaultInjectingPageStore::ReadPage(PageId id, Page* out) {
+  reads_.fetch_add(1);
+  return base_->ReadPage(id, out);
+}
+
+Status FaultInjectingPageStore::WritePage(PageId id, const Page& page) {
+  if (!options_.crash_point_on_write.empty()) {
+    HitCrashPoint(options_.crash_point_on_write.c_str());
+  }
+  const uint64_t n = writes_.fetch_add(1);
+  if (options_.fail_writes_after >= 0 &&
+      n >= static_cast<uint64_t>(options_.fail_writes_after)) {
+    if (options_.torn_write) {
+      // Persist a half page so readers observe the tear, then fail.
+      Page torn;
+      Status read = base_->ReadPage(id, &torn);
+      if (read.ok()) {
+        std::memcpy(torn.data, page.data, kPageSize / 2);
+        base_->WritePage(id, torn).ok();
+      }
+    }
+    return Status::IOError("injected write fault on page " +
+                           std::to_string(id));
+  }
+  return base_->WritePage(id, page);
+}
+
+Status FaultInjectingPageStore::Sync() {
+  if (!options_.crash_point_on_sync.empty()) {
+    HitCrashPoint(options_.crash_point_on_sync.c_str());
+  }
+  syncs_.fetch_add(1);
+  return base_->Sync();
+}
+
+}  // namespace insight

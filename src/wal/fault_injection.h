@@ -1,0 +1,58 @@
+#ifndef INSIGHTNOTES_WAL_FAULT_INJECTION_H_
+#define INSIGHTNOTES_WAL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "storage/page_store.h"
+
+namespace insight {
+
+/// PageStore decorator that injects faults on the data-page path:
+///   - kill-point crashes: hits a named CrashPoint before every write /
+///     sync, so a test can die between the log fsync and the page write;
+///   - deterministic I/O errors: after `fail_writes_after` successful
+///     writes, every further write returns IOError (Status-propagation
+///     coverage for the flush paths);
+///   - torn page writes: the first failing write persists only the first
+///     half of the page before reporting the error, like a real partial
+///     sector write.
+///
+/// Install via StorageManager::set_store_interceptor so every page file a
+/// Database creates is wrapped.
+class FaultInjectingPageStore : public PageStore {
+ public:
+  struct Options {
+    std::string crash_point_on_write;  // Hit before each WritePage.
+    std::string crash_point_on_sync;   // Hit before each Sync.
+    int fail_writes_after = -1;        // <0 disables error injection.
+    bool torn_write = false;           // Half-write on the failing write.
+  };
+
+  FaultInjectingPageStore(std::unique_ptr<PageStore> base, Options options)
+      : base_(std::move(base)), options_(std::move(options)) {}
+
+  Result<PageId> AllocatePage() override { return base_->AllocatePage(); }
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override;
+  PageId num_pages() const override { return base_->num_pages(); }
+
+  uint64_t reads() const { return reads_.load(); }
+  uint64_t writes() const { return writes_.load(); }
+  uint64_t syncs() const { return syncs_.load(); }
+
+  PageStore* base() { return base_.get(); }
+
+ private:
+  std::unique_ptr<PageStore> base_;
+  Options options_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_WAL_FAULT_INJECTION_H_

@@ -1,0 +1,254 @@
+#include "wal/log_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/serde.h"
+#include "storage/page_store.h"
+#include "wal/crash_point.h"
+
+namespace insight {
+
+namespace {
+
+Status IOErrorFor(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Reads the entire file into `out` (pread loop, EINTR-safe).
+Status ReadWholeFile(int fd, const std::string& path, std::string* out) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return IOErrorFor("fstat", path);
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < out->size()) {
+    const ssize_t n =
+        ::pread(fd, out->data() + done, out->size() - done, done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IOErrorFor("pread", path);
+    }
+    if (n == 0) {  // Concurrent truncation; treat the rest as missing.
+      out->resize(done);
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc.
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+void FrameRecord(std::string* dst, Lsn lsn, WalRecordType type,
+                 std::string_view payload) {
+  std::string body;
+  body.reserve(9 + payload.size());
+  PutU64(&body, lsn);
+  PutU8(&body, static_cast<uint8_t>(type));
+  body.append(payload);
+  PutU32(dst, static_cast<uint32_t>(body.size()));
+  PutU32(dst, Crc32(body));
+  dst->append(body);
+}
+
+}  // namespace
+
+std::vector<WalRecord> LogManager::ScanValidPrefix(std::string_view data,
+                                                   uint64_t* valid_end) {
+  std::vector<WalRecord> records;
+  size_t pos = 0;
+  Lsn expected = 1;
+  while (pos + kFrameHeaderBytes <= data.size()) {
+    uint32_t len, crc;
+    std::memcpy(&len, data.data() + pos, 4);
+    std::memcpy(&crc, data.data() + pos + 4, 4);
+    if (len < 9 || len > kMaxRecordBytes) break;
+    if (pos + kFrameHeaderBytes + len > data.size()) break;  // Torn tail.
+    const std::string_view body =
+        data.substr(pos + kFrameHeaderBytes, len);
+    if (Crc32(body) != crc) break;  // Bit rot or torn overwrite.
+    SerdeReader reader(body);
+    WalRecord record;
+    uint8_t type;
+    if (!reader.ReadU64(&record.lsn) || !reader.ReadU8(&type)) break;
+    if (type > static_cast<uint8_t>(WalRecordType::kCheckpointEnd)) break;
+    if (record.lsn != expected) break;  // LSNs are dense by construction.
+    record.type = static_cast<WalRecordType>(type);
+    record.payload.assign(body.substr(9));
+    records.push_back(std::move(record));
+    pos += kFrameHeaderBytes + len;
+    ++expected;
+  }
+  if (valid_end != nullptr) *valid_end = pos;
+  return records;
+}
+
+Result<std::unique_ptr<LogManager>> LogManager::Open(
+    const std::string& path) {
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return IOErrorFor("open", path);
+  if (!existed) {
+    // A crash right after creation must not lose the directory entry, or
+    // the next recovery would silently start an empty log.
+    Status synced = SyncContainingDirectory(path);
+    if (!synced.ok()) {
+      ::close(fd);
+      return synced;
+    }
+  }
+  std::string data;
+  Status read = ReadWholeFile(fd, path, &data);
+  if (!read.ok()) {
+    ::close(fd);
+    return read;
+  }
+  uint64_t valid_end = 0;
+  std::vector<WalRecord> records = ScanValidPrefix(data, &valid_end);
+  if (valid_end < data.size()) {
+    // Torn tail from a crash mid-append: discard it so future appends
+    // start at a record boundary.
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0 ||
+        ::fsync(fd) != 0) {
+      Status st = IOErrorFor("truncate torn tail of", path);
+      ::close(fd);
+      return st;
+    }
+  }
+  const Lsn next = records.empty() ? 1 : records.back().lsn + 1;
+  return std::unique_ptr<LogManager>(
+      new LogManager(fd, path, next, valid_end));
+}
+
+LogManager::~LogManager() {
+  Sync().ok();  // Best effort; a failure here is a failure at close time.
+  ::close(fd_);
+}
+
+Result<Lsn> LogManager::Append(WalRecordType type, std::string payload) {
+  INSIGHT_CRASH_POINT("wal_append");
+  std::lock_guard<std::mutex> lk(append_mu_);
+  const Lsn lsn = next_lsn_++;
+  FrameRecord(&pending_, lsn, type, payload);
+  last_lsn_ = lsn;
+  return lsn;
+}
+
+Status LogManager::WriteFully(std::string_view data) {
+  size_t done = 0;
+  uint64_t offset = file_bytes_.load(std::memory_order_relaxed);
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IOErrorFor("pwrite", path_);
+    }
+    done += static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  file_bytes_.store(offset, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LogManager::Commit(Lsn lsn) {
+  if (lsn == kInvalidLsn) return Status::OK();
+  std::unique_lock<std::mutex> lk(sync_mu_);
+  for (;;) {
+    if (!poisoned_.ok()) return poisoned_;
+    if (durable_lsn_ >= lsn) return Status::OK();
+    if (sync_in_progress_) {
+      sync_cv_.wait(lk);
+      continue;
+    }
+    // This thread leads one group-commit round: it flushes every record
+    // buffered so far (its own and any concurrent appenders') with a
+    // single write + fsync.
+    sync_in_progress_ = true;
+    std::string batch;
+    Lsn batch_last;
+    {
+      std::lock_guard<std::mutex> alk(append_mu_);
+      batch.swap(pending_);
+      batch_last = last_lsn_;
+      if (lsn > last_lsn_) lsn = last_lsn_;  // Never wait on the future.
+    }
+    lk.unlock();
+    INSIGHT_CRASH_POINT("wal_sync_begin");
+    Status st = Status::OK();
+    if (!batch.empty()) {
+      if (CrashPointArmed("wal_sync_partial") && batch.size() >= 2) {
+        // Simulate a crash that tears the batch: half the bytes reach the
+        // file (and the device), the rest never will.
+        WriteFully(batch.substr(0, batch.size() / 2)).ok();
+        ::fsync(fd_);
+        HitCrashPoint("wal_sync_partial");
+      }
+      st = WriteFully(batch);
+      INSIGHT_CRASH_POINT("wal_sync_before_fsync");
+      if (st.ok() && ::fsync(fd_) != 0) st = IOErrorFor("fsync", path_);
+      INSIGHT_CRASH_POINT("wal_sync_after_fsync");
+    }
+    lk.lock();
+    if (st.ok()) {
+      if (batch_last > durable_lsn_) durable_lsn_ = batch_last;
+    } else {
+      // A half-written batch leaves the durable frontier ambiguous; fail
+      // every future commit rather than risk reporting false durability.
+      poisoned_ = st;
+    }
+    sync_in_progress_ = false;
+    sync_cv_.notify_all();
+    if (!st.ok()) return st;
+    // Loop: our lsn may have been appended after the batch swap, in which
+    // case the next round covers it.
+  }
+}
+
+Status LogManager::Sync() { return Commit(last_lsn()); }
+
+Status LogManager::SyncToLsn(uint64_t lsn) {
+  Lsn target;
+  {
+    std::lock_guard<std::mutex> lk(append_mu_);
+    // A page may carry a reserved stamp whose operation failed before its
+    // record was appended; everything that exists below it still syncs.
+    target = std::min<Lsn>(lsn, last_lsn_);
+  }
+  return Commit(target);
+}
+
+Lsn LogManager::last_lsn() const {
+  std::lock_guard<std::mutex> lk(append_mu_);
+  return last_lsn_;
+}
+
+Lsn LogManager::next_lsn() const {
+  std::lock_guard<std::mutex> lk(append_mu_);
+  return next_lsn_;
+}
+
+Lsn LogManager::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  return durable_lsn_;
+}
+
+uint64_t LogManager::size_bytes() const {
+  std::lock_guard<std::mutex> lk(append_mu_);
+  return file_bytes_.load(std::memory_order_relaxed) + pending_.size();
+}
+
+Result<std::vector<WalRecord>> LogManager::ReadAll() const {
+  std::string data;
+  INSIGHT_RETURN_NOT_OK(ReadWholeFile(fd_, path_, &data));
+  data.resize(std::min<size_t>(
+      data.size(), file_bytes_.load(std::memory_order_relaxed)));
+  return ScanValidPrefix(data, nullptr);
+}
+
+}  // namespace insight

@@ -1,0 +1,113 @@
+#ifndef INSIGHTNOTES_WAL_LOG_MANAGER_H_
+#define INSIGHTNOTES_WAL_LOG_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "wal/wal_record.h"
+
+namespace insight {
+
+/// Append-only, checksummed, LSN-stamped write-ahead log over one segment
+/// file. Writers Append() into an in-memory tail (cheap: one mutex, one
+/// memcpy) and make records durable with Commit()/Sync(), which uses
+/// group commit: one leader writes every buffered record and issues a
+/// single fsync on behalf of all concurrent committers.
+///
+/// On-disk framing per record:
+///   [u32 body_len][u32 crc32(body)][body = u64 lsn | u8 type | payload]
+/// A torn tail (crash mid-write) fails the length or checksum test;
+/// Open() truncates the file back to the last intact record, which is
+/// exactly the commit boundary the crash interrupted.
+///
+/// Implements the buffer pool's WalBridge so the pool can enforce
+/// WAL-before-data: before a dirty page whose page_lsn exceeds the
+/// durable LSN reaches the data file, the pool forces the log first.
+class LogManager : public WalBridge {
+ public:
+  /// Opens (creating if needed) the log at `path`, scanning existing
+  /// records to find the valid prefix and truncating any torn tail.
+  static Result<std::unique_ptr<LogManager>> Open(const std::string& path);
+
+  /// Best-effort Sync() then closes the file.
+  ~LogManager() override;
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Buffers one record and returns its LSN. Not durable until a
+  /// Commit()/Sync() covering the LSN returns.
+  Result<Lsn> Append(WalRecordType type, std::string payload);
+
+  /// Blocks until `lsn` is durable (no-op when it already is). Concurrent
+  /// callers coalesce onto one leader write + fsync.
+  Status Commit(Lsn lsn);
+
+  /// Commit up to the last appended record.
+  Status Sync();
+
+  /// Last LSN handed out by Append (kInvalidLsn when empty).
+  Lsn last_lsn() const;
+  /// Highest LSN guaranteed on disk.
+  Lsn durable_lsn() const;
+  /// The LSN the next Append will return. Single-writer DML stamps dirty
+  /// pages with this before applying an operation.
+  Lsn next_lsn() const;
+
+  /// Bytes of the on-disk segment plus the buffered tail.
+  uint64_t size_bytes() const;
+
+  /// Decodes the entire valid on-disk prefix (recovery input). Buffered,
+  /// un-synced records are NOT included — they are not durable.
+  Result<std::vector<WalRecord>> ReadAll() const;
+
+  // WalBridge:
+  uint64_t DurableLsn() const override { return durable_lsn(); }
+  /// Forces the log so that everything *appended* up to `lsn` is durable.
+  /// An lsn beyond the last appended record (a reserved stamp whose
+  /// operation failed before logging) syncs what exists and succeeds.
+  Status SyncToLsn(uint64_t lsn) override;
+
+  /// Scans `data` (a raw log image) and returns the decoded valid prefix
+  /// plus the byte offset where validity ends. Exposed for tests.
+  static std::vector<WalRecord> ScanValidPrefix(std::string_view data,
+                                                uint64_t* valid_end);
+
+ private:
+  LogManager(int fd, std::string path, Lsn next_lsn, uint64_t file_bytes)
+      : fd_(fd),
+        path_(std::move(path)),
+        next_lsn_(next_lsn),
+        last_lsn_(next_lsn - 1),
+        durable_lsn_(next_lsn - 1),
+        file_bytes_(file_bytes) {}
+
+  /// Appends `data` to the file at file_bytes_, advancing it. Caller
+  /// holds sync ownership (leader).
+  Status WriteFully(std::string_view data);
+
+  const int fd_;
+  const std::string path_;
+
+  mutable std::mutex append_mu_;  // Guards pending_, next/last lsn.
+  std::string pending_;
+  Lsn next_lsn_;
+  Lsn last_lsn_;
+
+  mutable std::mutex sync_mu_;  // Guards the group-commit hand-off.
+  std::condition_variable sync_cv_;
+  bool sync_in_progress_ = false;
+  Lsn durable_lsn_;
+  std::atomic<uint64_t> file_bytes_;
+  Status poisoned_ = Status::OK();  // Sticky write-failure state.
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_WAL_LOG_MANAGER_H_

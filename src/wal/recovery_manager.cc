@@ -1,0 +1,103 @@
+#include "wal/recovery_manager.h"
+
+namespace insight {
+
+Status RecoveryManager::ApplyOne(WalRecordType type, std::string_view payload,
+                                 ReplayTarget* target) {
+  switch (type) {
+    case WalRecordType::kNoop:
+    case WalRecordType::kCheckpointBegin:
+    case WalRecordType::kCheckpointEnd:
+      return Status::OK();
+    case WalRecordType::kCreateTable: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalCreateTable::Decode(payload));
+      return target->ReplayCreateTable(op);
+    }
+    case WalRecordType::kCreateIndex: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalCreateIndex::Decode(payload));
+      return target->ReplayCreateIndex(op);
+    }
+    case WalRecordType::kInsert: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalInsert::Decode(payload));
+      return target->ReplayInsert(op);
+    }
+    case WalRecordType::kDelete: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalDelete::Decode(payload));
+      return target->ReplayDelete(op);
+    }
+    case WalRecordType::kDefineInstance: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalInstanceDef::Decode(payload));
+      return target->ReplayDefineInstance(op);
+    }
+    case WalRecordType::kLinkInstance: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalLinkInstance::Decode(payload));
+      return target->ReplayLinkInstance(op);
+    }
+    case WalRecordType::kUnlinkInstance: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalUnlinkInstance::Decode(payload));
+      return target->ReplayUnlinkInstance(op);
+    }
+    case WalRecordType::kAnnotate: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalAnnotate::Decode(payload));
+      return target->ReplayAnnotate(op);
+    }
+    case WalRecordType::kRemoveAnnotation: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op,
+                               WalRemoveAnnotation::Decode(payload));
+      return target->ReplayRemoveAnnotation(op);
+    }
+  }
+  return Status::Corruption("wal: unknown record type");
+}
+
+Result<RecoveryManager::Stats> RecoveryManager::Replay(
+    const std::vector<WalRecord>& records, ReplayTarget* target) {
+  Stats stats;
+  stats.records_seen = records.size();
+
+  // Locate the last complete checkpoint: the latest CheckpointEnd whose
+  // begin record is present in the valid prefix. An End whose Begin was
+  // torn away cannot happen (Begin precedes End in the log and the valid
+  // prefix is contiguous), but a Begin without its End — a crash mid-
+  // checkpoint — is expected, and is simply skipped in favor of the
+  // previous complete checkpoint.
+  size_t start_index = 0;           // First record index to consider.
+  const WalRecord* snapshot_rec = nullptr;
+  for (size_t i = records.size(); i-- > 0;) {
+    if (records[i].type != WalRecordType::kCheckpointEnd) continue;
+    INSIGHT_ASSIGN_OR_RETURN(WalCheckpointEnd end,
+                             WalCheckpointEnd::Decode(records[i].payload));
+    // LSNs are dense and 1-based, so the begin record (if retained) sits
+    // at index begin_lsn - first_lsn.
+    const Lsn first_lsn = records.front().lsn;
+    if (end.begin_lsn < first_lsn) break;  // Snapshot predates the log view.
+    const size_t begin_index = static_cast<size_t>(end.begin_lsn - first_lsn);
+    if (begin_index >= records.size() ||
+        records[begin_index].type != WalRecordType::kCheckpointBegin) {
+      return Status::Corruption("wal: CheckpointEnd without its Begin");
+    }
+    snapshot_rec = &records[begin_index];
+    stats.checkpoint_begin_lsn = end.begin_lsn;
+    start_index = begin_index + 1;
+    break;
+  }
+
+  if (snapshot_rec != nullptr) {
+    INSIGHT_ASSIGN_OR_RETURN(WalSnapshot snap,
+                             WalSnapshot::Decode(snapshot_rec->payload));
+    INSIGHT_RETURN_NOT_OK(target->ReplayAnnIdFloor(snap.next_ann_id));
+    for (const auto& [type, payload] : snap.ops) {
+      INSIGHT_RETURN_NOT_OK(ApplyOne(type, payload, target));
+      ++stats.snapshot_ops;
+    }
+  }
+
+  for (size_t i = start_index; i < records.size(); ++i) {
+    INSIGHT_RETURN_NOT_OK(
+        ApplyOne(records[i].type, records[i].payload, target));
+    ++stats.records_applied;
+  }
+  return stats;
+}
+
+}  // namespace insight

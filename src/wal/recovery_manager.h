@@ -1,0 +1,62 @@
+#ifndef INSIGHTNOTES_WAL_RECOVERY_MANAGER_H_
+#define INSIGHTNOTES_WAL_RECOVERY_MANAGER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "wal/wal_record.h"
+
+namespace insight {
+
+/// What recovery replays *into*. The Database implements this against its
+/// internal (non-logging) apply paths; keeping the interface here lets
+/// the wal layer stay below the sql layer.
+class ReplayTarget {
+ public:
+  virtual ~ReplayTarget() = default;
+
+  /// Raises the process-global annotation-id floor (snapshot restore).
+  virtual Status ReplayAnnIdFloor(uint64_t next_ann_id) = 0;
+
+  virtual Status ReplayCreateTable(const WalCreateTable& op) = 0;
+  virtual Status ReplayCreateIndex(const WalCreateIndex& op) = 0;
+  virtual Status ReplayInsert(const WalInsert& op) = 0;
+  virtual Status ReplayDelete(const WalDelete& op) = 0;
+  virtual Status ReplayDefineInstance(const WalInstanceDef& op) = 0;
+  virtual Status ReplayLinkInstance(const WalLinkInstance& op) = 0;
+  virtual Status ReplayUnlinkInstance(const WalUnlinkInstance& op) = 0;
+  virtual Status ReplayAnnotate(const WalAnnotate& op) = 0;
+  virtual Status ReplayRemoveAnnotation(const WalRemoveAnnotation& op) = 0;
+};
+
+/// Drives crash recovery over a decoded log: locates the last *complete*
+/// checkpoint (a CheckpointEnd whose matching CheckpointBegin is present),
+/// restores its snapshot, then replays the tail past the checkpoint in
+/// log order. With no complete checkpoint the whole log replays from the
+/// beginning. Summary storage and summary indexes are rebuilt by the
+/// replayed maintenance itself (Section 4.3's protocol re-applied).
+class RecoveryManager {
+ public:
+  struct Stats {
+    size_t records_seen = 0;      // Valid records in the log.
+    size_t records_applied = 0;   // Replayed after the checkpoint.
+    size_t snapshot_ops = 0;      // Ops restored from the snapshot.
+    Lsn checkpoint_begin_lsn = kInvalidLsn;  // 0 = no complete checkpoint.
+  };
+
+  /// Replays `records` (the log's valid prefix, in LSN order) into
+  /// `target`. Checkpoint records steer recovery and are never forwarded
+  /// to the target themselves.
+  static Result<Stats> Replay(const std::vector<WalRecord>& records,
+                              ReplayTarget* target);
+
+  /// Decodes and dispatches one (type, payload) op. Shared by tail replay
+  /// and snapshot restore — a snapshot is a sequence of embedded ops.
+  static Status ApplyOne(WalRecordType type, std::string_view payload,
+                         ReplayTarget* target);
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_WAL_RECOVERY_MANAGER_H_

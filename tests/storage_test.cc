@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -17,6 +19,22 @@
 
 namespace insight {
 namespace {
+
+/// Fresh unique temp directory for one file-backed test case.
+std::string MakeTempDir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  std::string dir = ::testing::TempDir() + "/insight_" + tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string BackendName(
+    const ::testing::TestParamInfo<StorageManager::Backend>& info) {
+  return info.param == StorageManager::Backend::kFile ? "File" : "Memory";
+}
 
 TEST(PageStoreTest, InMemoryReadWrite) {
   InMemoryPageStore store;
@@ -62,36 +80,58 @@ TEST(RowLocationTest, PackUnpackRoundTrip) {
   EXPECT_EQ(back, loc);
 }
 
-class BufferPoolTest : public ::testing::Test {
+/// Runs every buffer-pool case on both backends: the in-memory store and
+/// real page files in a temp directory.
+class BufferPoolTest
+    : public ::testing::TestWithParam<StorageManager::Backend> {
  protected:
-  BufferPoolTest()
-      : storage_(StorageManager::Backend::kMemory), pool_(&storage_, 8) {}
+  void SetUp() override {
+    if (GetParam() == StorageManager::Backend::kFile) {
+      dir_ = MakeTempDir("pool");
+    }
+    storage_ = std::make_unique<StorageManager>(GetParam(), dir_);
+    pool_ = std::make_unique<BufferPool>(storage_.get(), 8);
+  }
+  void TearDown() override {
+    pool_ = nullptr;
+    storage_ = nullptr;
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
 
-  StorageManager storage_;
-  BufferPool pool_;
+  StorageManager& storage() { return *storage_; }
+  BufferPool& pool() { return *pool_; }
+
+  std::string dir_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<BufferPool> pool_;
 };
 
-TEST_F(BufferPoolTest, NewFetchRoundTrip) {
-  FileId file = *storage_.CreateFile("f");
+INSTANTIATE_TEST_SUITE_P(Backends, BufferPoolTest,
+                         ::testing::Values(StorageManager::Backend::kMemory,
+                                           StorageManager::Backend::kFile),
+                         BackendName);
+
+TEST_P(BufferPoolTest, NewFetchRoundTrip) {
+  FileId file = *storage().CreateFile("f");
   PageId id;
   {
-    auto guard = pool_.NewPage(file, &id);
+    auto guard = pool().NewPage(file, &id);
     ASSERT_TRUE(guard.ok());
     guard->data()[0] = 'a';
     guard->MarkDirty();
   }
-  auto guard = pool_.FetchPage(file, id);
+  auto guard = pool().FetchPage(file, id);
   ASSERT_TRUE(guard.ok());
   EXPECT_EQ(guard->data()[0], 'a');
 }
 
-TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
-  FileId file = *storage_.CreateFile("f");
+TEST_P(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  FileId file = *storage().CreateFile("f");
   // Create far more pages than frames; each gets a distinct first byte.
   std::vector<PageId> ids;
   for (int i = 0; i < 50; ++i) {
     PageId id;
-    auto guard = pool_.NewPage(file, &id);
+    auto guard = pool().NewPage(file, &id);
     ASSERT_TRUE(guard.ok());
     guard->data()[0] = static_cast<char>('A' + (i % 26));
     guard->MarkDirty();
@@ -99,70 +139,70 @@ TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
   }
   // All pages readable with correct content after eviction churn.
   for (int i = 0; i < 50; ++i) {
-    auto guard = pool_.FetchPage(file, ids[i]);
+    auto guard = pool().FetchPage(file, ids[i]);
     ASSERT_TRUE(guard.ok());
     EXPECT_EQ(guard->data()[0], static_cast<char>('A' + (i % 26)));
   }
-  EXPECT_GT(pool_.stats().writebacks, 0u);
-  EXPECT_GT(pool_.stats().misses, 0u);
+  EXPECT_GT(pool().stats().writebacks, 0u);
+  EXPECT_GT(pool().stats().misses, 0u);
 }
 
-TEST_F(BufferPoolTest, HitCounting) {
-  FileId file = *storage_.CreateFile("f");
+TEST_P(BufferPoolTest, HitCounting) {
+  FileId file = *storage().CreateFile("f");
   PageId id;
-  pool_.NewPage(file, &id)->Release();
-  pool_.ResetStats();
+  pool().NewPage(file, &id)->Release();
+  pool().ResetStats();
   for (int i = 0; i < 5; ++i) {
-    auto g = pool_.FetchPage(file, id);
+    auto g = pool().FetchPage(file, id);
     ASSERT_TRUE(g.ok());
   }
-  EXPECT_EQ(pool_.stats().hits, 5u);
-  EXPECT_EQ(pool_.stats().misses, 0u);
+  EXPECT_EQ(pool().stats().hits, 5u);
+  EXPECT_EQ(pool().stats().misses, 0u);
 }
 
-TEST_F(BufferPoolTest, AllFramesPinnedIsResourceExhausted) {
-  FileId file = *storage_.CreateFile("f");
+TEST_P(BufferPoolTest, AllFramesPinnedIsResourceExhausted) {
+  FileId file = *storage().CreateFile("f");
   std::vector<PageGuard> guards;
-  for (size_t i = 0; i < pool_.capacity(); ++i) {
+  for (size_t i = 0; i < pool().capacity(); ++i) {
     PageId id;
-    auto g = pool_.NewPage(file, &id);
+    auto g = pool().NewPage(file, &id);
     ASSERT_TRUE(g.ok());
     guards.push_back(std::move(*g));
   }
   PageId id;
-  auto g = pool_.NewPage(file, &id);
+  auto g = pool().NewPage(file, &id);
   EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted);
 }
 
 // Regression: move-assigning onto a guard that already holds a pin must
 // release that pin. A leak here permanently wedges a frame.
-TEST_F(BufferPoolTest, MoveAssignReleasesHeldPin) {
-  FileId file = *storage_.CreateFile("f");
+TEST_P(BufferPoolTest, MoveAssignReleasesHeldPin) {
+  FileId file = *storage().CreateFile("f");
   std::vector<PageGuard> guards;
-  for (size_t i = 0; i < pool_.capacity(); ++i) {
+  for (size_t i = 0; i < pool().capacity(); ++i) {
     PageId id;
-    auto g = pool_.NewPage(file, &id);
+    auto g = pool().NewPage(file, &id);
     ASSERT_TRUE(g.ok());
     guards.push_back(std::move(*g));
   }
   PageId id;
-  EXPECT_EQ(pool_.NewPage(file, &id).status().code(),
+  EXPECT_EQ(pool().NewPage(file, &id).status().code(),
             StatusCode::kResourceExhausted);
   // Overwriting guards[0] unpins its frame, so exactly one frame becomes
   // evictable and the pool can admit a new page again.
   guards[0] = std::move(guards[1]);
   EXPECT_TRUE(guards[0].valid());
   EXPECT_FALSE(guards[1].valid());
-  auto admitted = pool_.NewPage(file, &id);
+  auto admitted = pool().NewPage(file, &id);
   EXPECT_TRUE(admitted.ok()) << admitted.status().ToString();
 }
 
 // Regression: self-move-assignment must keep the guard intact — neither
 // dropping the pin nor double-unpinning on destruction.
-TEST_F(BufferPoolTest, SelfMoveAssignKeepsPin) {
-  FileId file = *storage_.CreateFile("f");
+TEST_P(BufferPoolTest, SelfMoveAssignKeepsPin) {
+  FileId file = *storage().CreateFile("f");
   PageId id;
-  auto g = pool_.NewPage(file, &id);
+  auto g = pool().NewPage(file, &id);
   ASSERT_TRUE(g.ok());
   PageGuard guard = std::move(*g);
   guard.data()[0] = 'z';
@@ -174,40 +214,60 @@ TEST_F(BufferPoolTest, SelfMoveAssignKeepsPin) {
   // Exactly one pin is held: this Release would CHECK-fail on an unpinned
   // frame if the self-move had already unpinned it.
   guard.Release();
-  auto again = pool_.FetchPage(file, id);
+  auto again = pool().FetchPage(file, id);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->data()[0], 'z');
 }
 
-TEST_F(BufferPoolTest, FlushAllPersistsToStore) {
-  FileId file = *storage_.CreateFile("f");
+TEST_P(BufferPoolTest, FlushAllPersistsToStore) {
+  FileId file = *storage().CreateFile("f");
   PageId id;
   {
-    auto g = pool_.NewPage(file, &id);
+    auto g = pool().NewPage(file, &id);
     g->data()[7] = 'z';
     g->MarkDirty();
   }
-  ASSERT_TRUE(pool_.FlushAll().ok());
+  ASSERT_TRUE(pool().FlushAll().ok());
   Page raw;
-  ASSERT_TRUE(storage_.GetStore(file)->ReadPage(id, &raw).ok());
+  ASSERT_TRUE(storage().GetStore(file)->ReadPage(id, &raw).ok());
   EXPECT_EQ(raw.data[7], 'z');
 }
 
-class HeapFileTest : public ::testing::Test {
+class HeapFileTest
+    : public ::testing::TestWithParam<StorageManager::Backend> {
  protected:
-  HeapFileTest()
-      : storage_(StorageManager::Backend::kMemory), pool_(&storage_, 64) {
-    file_ = *storage_.CreateFile("heap");
-    heap_ = std::make_unique<HeapFile>(&pool_, file_);
+  void SetUp() override {
+    if (GetParam() == StorageManager::Backend::kFile) {
+      dir_ = MakeTempDir("heap");
+    }
+    storage_ = std::make_unique<StorageManager>(GetParam(), dir_);
+    pool_ = std::make_unique<BufferPool>(storage_.get(), 64);
+    file_ = *storage_->CreateFile("heap");
+    heap_ = std::make_unique<HeapFile>(pool_.get(), file_);
+  }
+  void TearDown() override {
+    heap_ = nullptr;
+    pool_ = nullptr;
+    storage_ = nullptr;
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
   }
 
-  StorageManager storage_;
-  BufferPool pool_;
+  StorageManager& storage() { return *storage_; }
+  BufferPool& pool() { return *pool_; }
+
+  std::string dir_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<BufferPool> pool_;
   FileId file_;
   std::unique_ptr<HeapFile> heap_;
 };
 
-TEST_F(HeapFileTest, InsertGetRoundTrip) {
+INSTANTIATE_TEST_SUITE_P(Backends, HeapFileTest,
+                         ::testing::Values(StorageManager::Backend::kMemory,
+                                           StorageManager::Backend::kFile),
+                         BackendName);
+
+TEST_P(HeapFileTest, InsertGetRoundTrip) {
   auto loc = heap_->Insert("hello world");
   ASSERT_TRUE(loc.ok());
   auto rec = heap_->Get(*loc);
@@ -215,7 +275,7 @@ TEST_F(HeapFileTest, InsertGetRoundTrip) {
   EXPECT_EQ(*rec, "hello world");
 }
 
-TEST_F(HeapFileTest, ManyRecordsSpanPages) {
+TEST_P(HeapFileTest, ManyRecordsSpanPages) {
   std::map<uint64_t, std::string> expected;
   for (int i = 0; i < 2000; ++i) {
     std::string rec = "record-" + std::to_string(i) +
@@ -231,7 +291,7 @@ TEST_F(HeapFileTest, ManyRecordsSpanPages) {
   }
 }
 
-TEST_F(HeapFileTest, OverflowRecordRoundTrip) {
+TEST_P(HeapFileTest, OverflowRecordRoundTrip) {
   // Larger than one page: exercises the overflow chain.
   std::string big(3 * kPageSize + 123, 'q');
   for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>('a' + i % 26);
@@ -242,7 +302,7 @@ TEST_F(HeapFileTest, OverflowRecordRoundTrip) {
   EXPECT_EQ(*rec, big);
 }
 
-TEST_F(HeapFileTest, DeleteMakesRecordUnreachable) {
+TEST_P(HeapFileTest, DeleteMakesRecordUnreachable) {
   auto loc = heap_->Insert("doomed");
   ASSERT_TRUE(loc.ok());
   ASSERT_TRUE(heap_->Delete(*loc).ok());
@@ -250,7 +310,7 @@ TEST_F(HeapFileTest, DeleteMakesRecordUnreachable) {
   EXPECT_TRUE(heap_->Delete(*loc).IsNotFound());
 }
 
-TEST_F(HeapFileTest, UpdateInPlaceKeepsLocation) {
+TEST_P(HeapFileTest, UpdateInPlaceKeepsLocation) {
   auto loc = heap_->Insert("0123456789");
   ASSERT_TRUE(loc.ok());
   auto new_loc = heap_->Update(*loc, "01234");
@@ -259,7 +319,7 @@ TEST_F(HeapFileTest, UpdateInPlaceKeepsLocation) {
   EXPECT_EQ(*heap_->Get(*new_loc), "01234");
 }
 
-TEST_F(HeapFileTest, UpdateGrowingRecordStaysAddressable) {
+TEST_P(HeapFileTest, UpdateGrowingRecordStaysAddressable) {
   auto loc = heap_->Insert("tiny");
   ASSERT_TRUE(loc.ok());
   std::string bigger(500, 'b');
@@ -272,7 +332,7 @@ TEST_F(HeapFileTest, UpdateGrowingRecordStaysAddressable) {
   EXPECT_TRUE(old.status().IsNotFound() || *old == bigger);
 }
 
-TEST_F(HeapFileTest, RepeatedGrowingUpdatesReuseSpace) {
+TEST_P(HeapFileTest, RepeatedGrowingUpdatesReuseSpace) {
   // The summary-storage pattern: one record rewritten slightly larger
   // hundreds of times. With slot headroom + compaction + overflow reuse,
   // the file stays near the final record size instead of the sum of all
@@ -290,11 +350,11 @@ TEST_F(HeapFileTest, RepeatedGrowingUpdatesReuseSpace) {
   EXPECT_EQ(*heap_->Get(cur), record);
   // Final record ~40 KB; the sum of intermediates is ~8 MB. Allow a
   // generous 8x final-size footprint — far below the no-reuse blowup.
-  const uint64_t file_bytes = storage_.GetStore(file_)->size_bytes();
+  const uint64_t file_bytes = storage().GetStore(file_)->size_bytes();
   EXPECT_LT(file_bytes, 8 * 400 * 100 + 64 * 1024) << file_bytes;
 }
 
-TEST_F(HeapFileTest, ScanSeesLiveRecordsOnly) {
+TEST_P(HeapFileTest, ScanSeesLiveRecordsOnly) {
   std::vector<RowLocation> locs;
   for (int i = 0; i < 100; ++i) {
     locs.push_back(*heap_->Insert("rec" + std::to_string(i)));
@@ -314,7 +374,7 @@ TEST_F(HeapFileTest, ScanSeesLiveRecordsOnly) {
   EXPECT_EQ(count, 50);
 }
 
-TEST_F(HeapFileTest, ScanReassemblesOverflowRecords) {
+TEST_P(HeapFileTest, ScanReassemblesOverflowRecords) {
   std::string big(2 * kPageSize, 'Z');
   heap_->Insert("small-one").status();
   heap_->Insert(big).status();

@@ -1,4 +1,9 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
 
 #include "index/catalog.h"
 #include "index/key_codec.h"
@@ -16,13 +21,28 @@ Schema BirdsSchema() {
                  {"weight", ValueType::kDouble}});
 }
 
-class TableTest : public ::testing::Test {
+/// Every table case runs on both the in-memory store and real page files.
+class TableTest : public ::testing::TestWithParam<StorageManager::Backend> {
  protected:
-  TableTest()
-      : storage_(StorageManager::Backend::kMemory),
-        pool_(&storage_, 256),
-        catalog_(&storage_, &pool_) {
-    table_ = *catalog_.CreateTable("birds", BirdsSchema());
+  void SetUp() override {
+    if (GetParam() == StorageManager::Backend::kFile) {
+      static std::atomic<int> counter{0};
+      dir_ = ::testing::TempDir() + "/insight_table_" +
+             std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1));
+      std::filesystem::remove_all(dir_);
+      std::filesystem::create_directories(dir_);
+    }
+    storage_ = std::make_unique<StorageManager>(GetParam(), dir_);
+    pool_ = std::make_unique<BufferPool>(storage_.get(), 256);
+    catalog_ = std::make_unique<Catalog>(storage_.get(), pool_.get());
+    table_ = *catalog_->CreateTable("birds", BirdsSchema());
+  }
+  void TearDown() override {
+    catalog_ = nullptr;
+    pool_ = nullptr;
+    storage_ = nullptr;
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
   }
 
   Tuple MakeBird(int64_t id, const std::string& name,
@@ -31,24 +51,35 @@ class TableTest : public ::testing::Test {
                   Value::Double(weight)});
   }
 
-  StorageManager storage_;
-  BufferPool pool_;
-  Catalog catalog_;
+  std::string dir_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
   Table* table_;
 };
 
-TEST_F(TableTest, InsertAssignsSequentialOids) {
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TableTest,
+    ::testing::Values(StorageManager::Backend::kMemory,
+                      StorageManager::Backend::kFile),
+    [](const ::testing::TestParamInfo<StorageManager::Backend>& info) {
+      return info.param == StorageManager::Backend::kFile
+                 ? std::string("File")
+                 : std::string("Memory");
+    });
+
+TEST_P(TableTest, InsertAssignsSequentialOids) {
   EXPECT_EQ(*table_->Insert(MakeBird(1, "Swan Goose", "Anatidae", 3.5)), 1u);
   EXPECT_EQ(*table_->Insert(MakeBird(2, "Mute Swan", "Anatidae", 11.0)), 2u);
   EXPECT_EQ(table_->num_rows(), 2u);
 }
 
-TEST_F(TableTest, InsertRejectsWrongArity) {
+TEST_P(TableTest, InsertRejectsWrongArity) {
   EXPECT_TRUE(
       table_->Insert(Tuple({Value::Int(1)})).status().IsInvalidArgument());
 }
 
-TEST_F(TableTest, GetByOid) {
+TEST_P(TableTest, GetByOid) {
   Oid oid = *table_->Insert(MakeBird(7, "Heron", "Ardeidae", 2.0));
   auto tuple = table_->Get(oid);
   ASSERT_TRUE(tuple.ok());
@@ -56,7 +87,7 @@ TEST_F(TableTest, GetByOid) {
   EXPECT_TRUE(table_->Get(999).status().IsNotFound());
 }
 
-TEST_F(TableTest, DiskTupleLocAndGetAt) {
+TEST_P(TableTest, DiskTupleLocAndGetAt) {
   Oid oid = *table_->Insert(MakeBird(1, "Crane", "Gruidae", 5.0));
   auto loc = table_->DiskTupleLoc(oid);
   ASSERT_TRUE(loc.ok());
@@ -67,14 +98,14 @@ TEST_F(TableTest, DiskTupleLocAndGetAt) {
   EXPECT_EQ(tuple->at(1).AsString(), "Crane");
 }
 
-TEST_F(TableTest, DeleteRemovesRow) {
+TEST_P(TableTest, DeleteRemovesRow) {
   Oid oid = *table_->Insert(MakeBird(1, "Dodo", "Columbidae", 20.0));
   ASSERT_TRUE(table_->Delete(oid).ok());
   EXPECT_TRUE(table_->Get(oid).status().IsNotFound());
   EXPECT_EQ(table_->num_rows(), 0u);
 }
 
-TEST_F(TableTest, UpdateRewritesTupleAndKeepsOid) {
+TEST_P(TableTest, UpdateRewritesTupleAndKeepsOid) {
   Oid oid = *table_->Insert(MakeBird(1, "Sparrow", "Passeridae", 0.03));
   ASSERT_TRUE(
       table_->Update(oid, MakeBird(1, "House Sparrow", "Passeridae", 0.035))
@@ -84,7 +115,7 @@ TEST_F(TableTest, UpdateRewritesTupleAndKeepsOid) {
   EXPECT_EQ(tuple->at(1).AsString(), "House Sparrow");
 }
 
-TEST_F(TableTest, UpdateWithGrowthRelocatesButStaysAddressable) {
+TEST_P(TableTest, UpdateWithGrowthRelocatesButStaysAddressable) {
   Oid oid = *table_->Insert(MakeBird(1, "X", "Y", 1.0));
   std::string long_name(5000, 'n');
   ASSERT_TRUE(table_->Update(oid, MakeBird(1, long_name, "Y", 1.0)).ok());
@@ -93,7 +124,7 @@ TEST_F(TableTest, UpdateWithGrowthRelocatesButStaysAddressable) {
   EXPECT_EQ(tuple->at(1).AsString(), long_name);
 }
 
-TEST_F(TableTest, ScanYieldsAllRows) {
+TEST_P(TableTest, ScanYieldsAllRows) {
   for (int i = 0; i < 200; ++i) {
     table_->Insert(MakeBird(i, "bird" + std::to_string(i), "F", i * 0.1))
         .status();
@@ -109,7 +140,7 @@ TEST_F(TableTest, ScanYieldsAllRows) {
   EXPECT_EQ(count, 200);
 }
 
-TEST_F(TableTest, ColumnIndexBackfillsAndMaintains) {
+TEST_P(TableTest, ColumnIndexBackfillsAndMaintains) {
   for (int i = 0; i < 50; ++i) {
     table_->Insert(MakeBird(i, "bird", "fam" + std::to_string(i % 5), 1.0))
         .status();
@@ -131,7 +162,7 @@ TEST_F(TableTest, ColumnIndexBackfillsAndMaintains) {
   EXPECT_EQ(hits->size(), 10u);
 }
 
-TEST_F(TableTest, ColumnIndexFollowsUpdates) {
+TEST_P(TableTest, ColumnIndexFollowsUpdates) {
   Oid oid = *table_->Insert(MakeBird(1, "b", "old_family", 1.0));
   ASSERT_TRUE(table_->CreateColumnIndex("family").ok());
   ASSERT_TRUE(table_->Update(oid, MakeBird(1, "b", "new_family", 1.0)).ok());
@@ -142,22 +173,22 @@ TEST_F(TableTest, ColumnIndexFollowsUpdates) {
             1u);
 }
 
-TEST_F(TableTest, DuplicateColumnIndexRejected) {
+TEST_P(TableTest, DuplicateColumnIndexRejected) {
   ASSERT_TRUE(table_->CreateColumnIndex("family").ok());
   EXPECT_EQ(table_->CreateColumnIndex("FAMILY").code(),
             StatusCode::kAlreadyExists);
 }
 
-TEST_F(TableTest, CatalogLookup) {
-  EXPECT_TRUE(catalog_.HasTable("BIRDS"));
-  EXPECT_EQ(*catalog_.GetTable("Birds"), table_);
-  EXPECT_TRUE(catalog_.GetTable("nope").status().IsNotFound());
-  EXPECT_EQ(catalog_.CreateTable("birds", BirdsSchema()).status().code(),
+TEST_P(TableTest, CatalogLookup) {
+  EXPECT_TRUE(catalog_->HasTable("BIRDS"));
+  EXPECT_EQ(*catalog_->GetTable("Birds"), table_);
+  EXPECT_TRUE(catalog_->GetTable("nope").status().IsNotFound());
+  EXPECT_EQ(catalog_->CreateTable("birds", BirdsSchema()).status().code(),
             StatusCode::kAlreadyExists);
-  EXPECT_EQ(catalog_.TableNames().size(), 1u);
+  EXPECT_EQ(catalog_->TableNames().size(), 1u);
 }
 
-TEST_F(TableTest, StorageFootprintGrowsWithData) {
+TEST_P(TableTest, StorageFootprintGrowsWithData) {
   const uint64_t before = table_->heap_bytes();
   for (int i = 0; i < 2000; ++i) {
     table_->Insert(MakeBird(i, std::string(100, 'x'), "F", 0.0)).status();
