@@ -8,10 +8,12 @@
 // lookup in the predicate), converging as capacity grows. Parallel
 // speedup tracks the host's core count (a 1-core machine shows ~1.0x).
 //
-// Emits BENCH_parallel.json with the parallel-vs-serial numbers. With
-// --smoke the process exits nonzero when any worker count regresses to
-// more than 2x the serial time or returns a wrong row count — the CI
-// bench-smoke gate.
+// Emits BENCH_parallel.json with the parallel-vs-serial numbers, and
+// BENCH_obs.json with the metrics-overhead arm (the same batch plan with
+// engine instrumentation on vs off). With --smoke the process exits
+// nonzero when any worker count regresses to more than 2x the serial
+// time, a wrong row count is returned, or the instrumented run exceeds
+// 1.10x the uninstrumented one — the CI bench-smoke gates.
 
 #include <thread>
 
@@ -20,6 +22,7 @@
 #include "engine/operators.h"
 #include "engine/parallel_ops.h"
 #include "engine/row_batch.h"
+#include "obs/metrics.h"
 
 using namespace insight;
 using namespace insight::bench;
@@ -166,6 +169,57 @@ int main(int argc, char** argv) {
     std::fprintf(json, "\n  ]\n}\n");
     std::fclose(json);
     std::printf("wrote BENCH_parallel.json\n");
+  }
+
+  // --- metrics overhead: the serial batch=1024 plan with the engine
+  // instrumentation enabled vs disabled. The observability layer promises
+  // near-zero cost; gate it at 1.10x (with a small absolute-delta escape
+  // hatch so sub-millisecond timing noise cannot fail a tiny --scale run).
+  std::printf("--- metrics overhead (batch=1024, enabled vs disabled)\n");
+  {
+    ExecutionContext ctx(&storage, &pool, 1024);
+    plan->AttachContext(&ctx);
+    RowBatch batch;
+    batch.set_capacity(1024);
+    SetMetricsEnabled(true);
+    size_t on_hits = 0;
+    const double on_ms = MedianMillis(config.query_repeats, [&] {
+      on_hits = DriveBatches(plan.get(), &batch);
+    });
+    SetMetricsEnabled(false);
+    size_t off_hits = 0;
+    const double off_ms = MedianMillis(config.query_repeats, [&] {
+      off_hits = DriveBatches(plan.get(), &batch);
+    });
+    SetMetricsEnabled(true);
+    const double ratio = off_ms > 0 ? on_ms / off_ms : 1.0;
+    std::printf("metrics=on   %10zu rows -> %8zu hits %10.2f ms\n", num_rows,
+                on_hits, on_ms);
+    std::printf("metrics=off  %10zu rows -> %8zu hits %10.2f ms (%.3fx)\n",
+                num_rows, off_hits, off_ms, ratio);
+    FILE* obs_json = std::fopen("BENCH_obs.json", "w");
+    if (obs_json != nullptr) {
+      std::fprintf(obs_json,
+                   "{\n  \"bench\": \"metrics_overhead\",\n"
+                   "  \"rows\": %zu,\n  \"batch_capacity\": 1024,\n"
+                   "  \"metrics_on_ms\": %.3f,\n  \"metrics_off_ms\": %.3f,\n"
+                   "  \"ratio\": %.4f,\n  \"gate\": 1.10\n}\n",
+                   num_rows, on_ms, off_ms, ratio);
+      std::fclose(obs_json);
+      std::printf("wrote BENCH_obs.json\n");
+    }
+    if (on_hits != off_hits) {
+      std::fprintf(stderr, "FAIL: metrics arm returned %zu hits vs %zu\n",
+                   on_hits, off_hits);
+      smoke_failed = true;
+    }
+    if (ratio > 1.10 && on_ms - off_ms > 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: instrumentation overhead %.3fx (> 1.10x gate, "
+                   "+%.2f ms)\n",
+                   ratio, on_ms - off_ms);
+      smoke_failed = true;
+    }
   }
   if (smoke && smoke_failed) return 1;
   return 0;

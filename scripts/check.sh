@@ -38,4 +38,13 @@ if [ -x build/bench/bench_wal ]; then
   (cd build/bench && ./bench_wal --scale=0.01 --smoke > /dev/null)
 fi
 
+# Metrics-overhead smoke: the instrumented batch scan must stay within
+# 1.10x of the same plan with metrics disabled (bench_batch_executor
+# --smoke exits nonzero and prints the offending ratio).
+if [ -x build/bench/bench_batch_executor ]; then
+  echo "==> metrics overhead smoke (bench_batch_executor --smoke)"
+  (cd build/bench && ./bench_batch_executor --scale=0.05 --repeats=3 --smoke \
+    > /dev/null)
+fi
+
 echo "==> all checks passed"

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace insight {
 
@@ -43,10 +44,14 @@ void TaskScheduler::Submit(Task task) {
   }
   // Publish under sleep_mu_ so a worker that just checked the predicate
   // cannot miss the wakeup.
+  uint64_t queued;
   {
     std::lock_guard<std::mutex> lk(sleep_mu_);
-    pending_.fetch_add(1, std::memory_order_relaxed);
+    queued = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
+  EngineMetrics& m = EngineMetrics::Get();
+  m.scheduler_submits->Add(1);
+  m.scheduler_queue_depth->Set(static_cast<int64_t>(queued));
   sleep_cv_.notify_one();
 }
 
@@ -121,7 +126,10 @@ bool TaskScheduler::PopBack(size_t worker, Task* out) {
   if (w.tasks.empty()) return false;
   *out = std::move(w.tasks.back());
   w.tasks.pop_back();
-  pending_.fetch_sub(1, std::memory_order_relaxed);
+  const uint64_t left = pending_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  EngineMetrics& m = EngineMetrics::Get();
+  m.scheduler_tasks_run->Add(1);
+  m.scheduler_queue_depth->Set(static_cast<int64_t>(left));
   return true;
 }
 
@@ -131,7 +139,11 @@ bool TaskScheduler::StealFront(size_t worker, Task* out) {
   if (w.tasks.empty()) return false;
   *out = std::move(w.tasks.front());
   w.tasks.pop_front();
-  pending_.fetch_sub(1, std::memory_order_relaxed);
+  const uint64_t left = pending_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  EngineMetrics& m = EngineMetrics::Get();
+  m.scheduler_tasks_run->Add(1);
+  m.scheduler_steals->Add(1);
+  m.scheduler_queue_depth->Set(static_cast<int64_t>(left));
   return true;
 }
 

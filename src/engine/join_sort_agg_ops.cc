@@ -17,7 +17,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(OpPtr left, OpPtr right, ExprPtr predicate)
   schema_ = Schema::Concat(left_->schema(), right_->schema());
 }
 
-Status NestedLoopJoinOp::Open() {
+Status NestedLoopJoinOp::OpenImpl() {
   ResetExec();
   INSIGHT_RETURN_NOT_OK(left_->Open());
   INSIGHT_RETURN_NOT_OK(right_->Open());
@@ -87,7 +87,7 @@ IndexNLJoinOp::IndexNLJoinOp(OpPtr outer, Table* inner,
   schema_ = Schema::Concat(outer_->schema(), inner_->schema());
 }
 
-Status IndexNLJoinOp::Open() {
+Status IndexNLJoinOp::OpenImpl() {
   ResetExec();
   if (inner_->GetColumnIndex(inner_column_) == nullptr) {
     return Status::InvalidArgument("index join needs an index on " +
@@ -152,7 +152,7 @@ HashJoinOp::HashJoinOp(OpPtr left, OpPtr right, std::string left_key,
   schema_ = Schema::Concat(left_->schema(), right_->schema());
 }
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   ResetExec();
   INSIGHT_ASSIGN_OR_RETURN(left_key_idx_,
                            left_->schema().IndexOf(left_key_));
@@ -336,7 +336,7 @@ std::vector<PhysicalOperator*> SummaryJoinOp::children() const {
   return {left_.get()};
 }
 
-Status SummaryJoinOp::Open() {
+Status SummaryJoinOp::OpenImpl() {
   ResetExec();
   left_valid_ = false;
   left_arity_ = left_->schema().num_columns();
@@ -535,7 +535,7 @@ Status SortOp::SpillRun(std::vector<Row>* run) {
   return Status::OK();
 }
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   ResetExec();
   pos_ = 0;
   sorted_.clear();
@@ -686,7 +686,7 @@ HashAggregateOp::HashAggregateOp(OpPtr child,
   }
 }
 
-Status HashAggregateOp::Open() {
+Status HashAggregateOp::OpenImpl() {
   ResetExec();
   pos_ = 0;
   results_.clear();
@@ -833,7 +833,7 @@ std::string HashAggregateOp::Describe() const {
 
 DistinctOp::DistinctOp(OpPtr child) : child_(std::move(child)) {}
 
-Status DistinctOp::Open() {
+Status DistinctOp::OpenImpl() {
   ResetExec();
   pos_ = 0;
   results_.clear();

@@ -21,13 +21,20 @@
 
 namespace insight {
 
-/// Per-operator runtime counters, maintained by the NextBatch() wrapper
-/// and rendered by EXPLAIN ANALYZE. `next_ns` is inclusive: time spent in
-/// this operator's NextBatch() including its children's.
+/// Per-operator runtime counters, maintained by the Open()/NextBatch()
+/// wrappers and rendered by EXPLAIN ANALYZE. Both times are inclusive:
+/// time spent in this operator's call including its children's.
 struct OperatorStats {
   uint64_t rows = 0;     // Rows emitted through NextBatch().
   uint64_t batches = 0;  // Non-empty batches emitted.
   uint64_t next_ns = 0;  // Wall-time inside NextBatch().
+  uint64_t open_ns = 0;  // Wall-time inside Open() — pipeline breakers
+                         // (sort, joins, aggregate, gather) drain their
+                         // input here, so it must be reported too.
+
+  /// Inclusive operator wall time. Monotonic down the tree: every child
+  /// Open()/NextBatch() call happens inside the parent's timed calls.
+  uint64_t total_ns() const { return open_ns + next_ns; }
 };
 
 /// Volcano-style physical operator. Standard SQL operators and the
@@ -45,7 +52,11 @@ class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
 
-  virtual Status Open() = 0;
+  /// Prepares the subtree for execution. Non-virtual: times the call into
+  /// stats_.open_ns and delegates to the virtual OpenImpl(), so work a
+  /// pipeline breaker does up front (draining and materializing its
+  /// input) is visible to EXPLAIN ANALYZE instead of vanishing.
+  Status Open();
   /// Produces the next row; false at end of stream.
   virtual Result<bool> Next(Row* row) = 0;
   virtual void Close() {}
@@ -85,7 +96,25 @@ class PhysicalOperator {
   uint64_t rows_produced() const { return rows_produced_; }
   const OperatorStats& stats() const { return stats_; }
 
+  /// Plan-time cardinality estimate, stamped onto the operator by the
+  /// optimizer during lowering and diffed against the runtime row count
+  /// by EXPLAIN ANALYZE (< 0: no estimate available).
+  void set_estimated_rows(double rows) { est_rows_ = rows; }
+  double estimated_rows() const { return est_rows_; }
+  bool has_estimate() const { return est_rows_ >= 0; }
+
+  /// Table whose statistics produced the estimate (access paths only);
+  /// the cardinality-feedback loop reports misestimates back to it.
+  void set_feedback_table(std::string table) {
+    feedback_table_ = std::move(table);
+  }
+  const std::string& feedback_table() const { return feedback_table_; }
+
  protected:
+  /// Per-operator preparation (what Open() used to be). Implementations
+  /// call ResetExec() first, then open their children via the public
+  /// Open().
+  virtual Status OpenImpl() = 0;
   /// Batch production; `batch` arrives cleared. Implementations append
   /// rows until full() or end-of-stream and return !batch->empty(); they
   /// maintain rows_produced_ exactly like Next() does. The default
@@ -101,6 +130,8 @@ class PhysicalOperator {
   uint64_t rows_produced_ = 0;
   OperatorStats stats_;
   ExecutionContext* exec_ctx_ = nullptr;
+  double est_rows_ = -1;
+  std::string feedback_table_;
 };
 
 using OpPtr = std::unique_ptr<PhysicalOperator>;
@@ -118,7 +149,7 @@ class SeqScanOp : public PhysicalOperator {
   /// Context form: resolves the table's SummaryManager from `ctx`.
   SeqScanOp(ExecutionContext* ctx, Table* table, bool propagate);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return table_->schema(); }
   std::string Describe() const override;
@@ -146,7 +177,7 @@ class IndexScanOp : public PhysicalOperator {
               std::optional<Value> upper, bool upper_inclusive,
               bool propagate);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return table_->schema(); }
   std::string Describe() const override;
@@ -179,7 +210,7 @@ class SummaryIndexScanOp : public PhysicalOperator {
                      ClassifierProbe probe, const std::string& table,
                      bool propagate);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override;
   std::string Describe() const override;
@@ -206,7 +237,7 @@ class BaselineIndexScanOp : public PhysicalOperator {
                       ClassifierProbe probe, SummaryManager* mgr,
                       bool propagate, bool reconstruct_summaries);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override;
   std::string Describe() const override;
@@ -235,7 +266,7 @@ class KeywordIndexScanOp : public PhysicalOperator {
                      std::vector<std::string> keywords,
                      const std::string& table, bool propagate);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override;
   std::string Describe() const override;
@@ -258,7 +289,7 @@ class VectorSourceOp : public PhysicalOperator {
   VectorSourceOp(Schema schema, std::vector<Row> rows)
       : schema_(std::move(schema)), rows_(std::move(rows)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     ResetExec();
     pos_ = 0;
     return Status::OK();
@@ -295,7 +326,7 @@ class SelectOp : public PhysicalOperator {
  public:
   SelectOp(OpPtr child, ExprPtr predicate);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
@@ -325,7 +356,7 @@ class SummarySelectOp : public PhysicalOperator {
  public:
   SummarySelectOp(OpPtr child, ExprPtr predicate);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
@@ -365,7 +396,7 @@ class SummaryFilterOp : public PhysicalOperator {
  public:
   SummaryFilterOp(OpPtr child, ObjectPredicate predicate);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
@@ -392,7 +423,7 @@ class ProjectOp : public PhysicalOperator {
   ProjectOp(OpPtr child, std::vector<std::string> columns,
             AnnotationResolver resolver);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return schema_; }
@@ -421,7 +452,7 @@ class NestedLoopJoinOp : public PhysicalOperator {
  public:
   NestedLoopJoinOp(OpPtr left, OpPtr right, ExprPtr predicate);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override;
   const Schema& schema() const override { return schema_; }
@@ -450,7 +481,7 @@ class IndexNLJoinOp : public PhysicalOperator {
                 ExprPtr outer_key, SummaryManager* inner_mgr,
                 bool propagate_inner);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { outer_->Close(); }
   const Schema& schema() const override { return schema_; }
@@ -483,7 +514,7 @@ class HashJoinOp : public PhysicalOperator {
   HashJoinOp(OpPtr left, OpPtr right, std::string left_key,
              std::string right_key, ExprPtr residual);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override;
   const Schema& schema() const override { return schema_; }
@@ -549,7 +580,7 @@ class SummaryJoinOp : public PhysicalOperator {
                 const SummaryBTree* right_index, std::string label_instance,
                 std::string label, bool propagate_right);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override;
   const Schema& schema() const override { return schema_; }
@@ -604,7 +635,7 @@ class SortOp : public PhysicalOperator {
   SortOp(ExecutionContext* ctx, OpPtr child, std::vector<SortKey> keys,
          Mode mode, size_t memory_budget_bytes = 4 << 20);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
@@ -661,7 +692,7 @@ class HashAggregateOp : public PhysicalOperator {
                   std::vector<AggregateSpec> aggregates,
                   AnnotationResolver resolver);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return schema_; }
@@ -689,7 +720,7 @@ class DistinctOp : public PhysicalOperator {
  public:
   explicit DistinctOp(OpPtr child);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
@@ -711,7 +742,7 @@ class RenameOp : public PhysicalOperator {
   /// Prefixes every child column with `alias.`.
   RenameOp(OpPtr child, const std::string& alias);
 
-  Status Open() override {
+  Status OpenImpl() override {
     ResetExec();
     return child_->Open();
   }
@@ -746,7 +777,7 @@ class LimitOp : public PhysicalOperator {
   LimitOp(OpPtr child, uint64_t limit) : child_(std::move(child)),
                                          limit_(limit) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     ResetExec();
     emitted_ = 0;
     return child_->Open();

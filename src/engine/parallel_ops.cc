@@ -25,7 +25,7 @@ ParallelScanOp::ParallelScanOp(ExecutionContext* ctx, Table* table,
   exec_ctx_ = ctx;
 }
 
-Status ParallelScanOp::Open() {
+Status ParallelScanOp::OpenImpl() {
   ResetExec();
   it_.reset();
   return Status::OK();
@@ -91,7 +91,7 @@ std::string ParallelScanOp::Describe() const {
 ExchangeOp::ExchangeOp(OpPtr child, size_t worker_id)
     : child_(std::move(child)), worker_id_(worker_id) {}
 
-Status ExchangeOp::Open() {
+Status ExchangeOp::OpenImpl() {
   ResetExec();
   return child_->Open();
 }
@@ -129,7 +129,7 @@ TaskScheduler* GatherOp::scheduler() const {
   return TaskScheduler::Default();
 }
 
-Status GatherOp::Open() {
+Status GatherOp::OpenImpl() {
   ResetExec();
   worker_pos_ = 0;
   row_pos_ = 0;

@@ -59,7 +59,7 @@ class ParallelScanOp : public PhysicalOperator {
   ParallelScanOp(ExecutionContext* ctx, Table* table, bool propagate,
                  std::shared_ptr<MorselSource> morsels);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return table_->schema(); }
   std::string Describe() const override;
@@ -82,7 +82,7 @@ class ExchangeOp : public PhysicalOperator {
  public:
   ExchangeOp(OpPtr child, size_t worker_id);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
@@ -114,7 +114,7 @@ class GatherOp : public PhysicalOperator {
   GatherOp(std::vector<OpPtr> partitions,
            std::shared_ptr<MorselSource> morsels);
 
-  Status Open() override;
+  Status OpenImpl() override;
   Result<bool> Next(Row* row) override;
   void Close() override;
   const Schema& schema() const override { return partitions_[0]->schema(); }

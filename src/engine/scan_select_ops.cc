@@ -4,8 +4,19 @@
 #include "common/string_util.h"
 #include "engine/operators.h"
 #include "index/key_codec.h"
+#include "obs/trace.h"
 
 namespace insight {
+
+Status PhysicalOperator::Open() {
+  const auto start = std::chrono::steady_clock::now();
+  Status st = OpenImpl();  // Calls ResetExec(), zeroing stats_ first.
+  stats_.open_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return st;
+}
 
 Result<bool> PhysicalOperator::NextBatch(RowBatch* batch) {
   const auto start = std::chrono::steady_clock::now();
@@ -59,8 +70,15 @@ std::string PhysicalOperator::ExplainAnalyzeTree(int indent) const {
                 "  (rows=%llu batches=%llu time=%.3fms)",
                 static_cast<unsigned long long>(stats_.rows),
                 static_cast<unsigned long long>(stats_.batches),
-                static_cast<double>(stats_.next_ns) / 1e6);
+                static_cast<double>(stats_.total_ns()) / 1e6);
   out += counters;
+  if (has_estimate()) {
+    char est[64];
+    std::snprintf(est, sizeof(est), "  (est=%.0f actual=%llu q-err=%.2f)",
+                  est_rows_, static_cast<unsigned long long>(stats_.rows),
+                  QError(est_rows_, static_cast<double>(stats_.rows)));
+    out += est;
+  }
   out += AnalyzeAnnotation();
   out += "\n";
   for (const PhysicalOperator* child : children()) {
@@ -94,7 +112,7 @@ SeqScanOp::SeqScanOp(ExecutionContext* ctx, Table* table, bool propagate)
   exec_ctx_ = ctx;
 }
 
-Status SeqScanOp::Open() {
+Status SeqScanOp::OpenImpl() {
   ResetExec();
   it_.emplace(table_->Scan());
   return Status::OK();
@@ -161,7 +179,7 @@ IndexScanOp::IndexScanOp(ExecutionContext* ctx, Table* table,
   exec_ctx_ = ctx;
 }
 
-Status IndexScanOp::Open() {
+Status IndexScanOp::OpenImpl() {
   ResetExec();
   pos_ = 0;
   oids_.clear();
@@ -253,7 +271,7 @@ const Schema& SummaryIndexScanOp::schema() const {
   return mgr_->base()->schema();
 }
 
-Status SummaryIndexScanOp::Open() {
+Status SummaryIndexScanOp::OpenImpl() {
   ResetExec();
   pos_ = 0;
   INSIGHT_ASSIGN_OR_RETURN(hits_, index_->Search(probe_));
@@ -331,7 +349,7 @@ const Schema& BaselineIndexScanOp::schema() const {
   return mgr_->base()->schema();
 }
 
-Status BaselineIndexScanOp::Open() {
+Status BaselineIndexScanOp::OpenImpl() {
   ResetExec();
   pos_ = 0;
   INSIGHT_ASSIGN_OR_RETURN(hits_, index_->Search(probe_));
@@ -392,7 +410,7 @@ const Schema& KeywordIndexScanOp::schema() const {
   return mgr_->base()->schema();
 }
 
-Status KeywordIndexScanOp::Open() {
+Status KeywordIndexScanOp::OpenImpl() {
   ResetExec();
   pos_ = 0;
   INSIGHT_ASSIGN_OR_RETURN(oids_, index_->SearchAll(keywords_));
@@ -473,7 +491,7 @@ Result<bool> FilterNextBatch(PhysicalOperator* child,
 SelectOp::SelectOp(OpPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-Status SelectOp::Open() {
+Status SelectOp::OpenImpl() {
   ResetExec();
   input_.Clear();
   input_pos_ = 0;
@@ -506,7 +524,7 @@ std::string SelectOp::Describe() const {
 SummarySelectOp::SummarySelectOp(OpPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-Status SummarySelectOp::Open() {
+Status SummarySelectOp::OpenImpl() {
   ResetExec();
   input_.Clear();
   input_pos_ = 0;
@@ -562,7 +580,7 @@ std::string ObjectPredicate::ToString() const {
 SummaryFilterOp::SummaryFilterOp(OpPtr child, ObjectPredicate predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-Status SummaryFilterOp::Open() {
+Status SummaryFilterOp::OpenImpl() {
   ResetExec();
   return child_->Open();
 }
@@ -613,7 +631,7 @@ ProjectOp::ProjectOp(OpPtr child, std::vector<std::string> columns,
   schema_ = child_->schema().Project(indices_);
 }
 
-Status ProjectOp::Open() {
+Status ProjectOp::OpenImpl() {
   ResetExec();
   return child_->Open();
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "obs/metrics.h"
 
 namespace insight {
 
@@ -379,6 +380,7 @@ Result<BTree::Iterator> BTree::RangeScan(std::string_view lower,
                                          bool lower_inclusive,
                                          std::string_view upper,
                                          bool upper_inclusive) const {
+  EngineMetrics::Get().btree_probes->Add(1);
   Iterator it(this, std::string(upper), upper_inclusive);
   // Position at the first entry >= (lower, 0) (or > (lower, MAX) when the
   // lower bound is strict).
@@ -409,6 +411,7 @@ Result<BTree::Iterator> BTree::RangeScan(std::string_view lower,
 }
 
 Result<BTree::Iterator> BTree::ScanAll() const {
+  EngineMetrics::Get().btree_probes->Add(1);
   Iterator it(this, std::string(), true);
   it.bounded_ = false;
   PageId page = root_;

@@ -1,6 +1,8 @@
 #include "index/key_codec.h"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace insight {
 
@@ -8,6 +10,14 @@ namespace {
 
 void AppendOrderedDouble(std::string* out, double d) {
   if (d == 0.0) d = 0.0;  // Collapse -0.0 and +0.0 to one encoding.
+  if (std::isnan(d)) {
+    // Canonicalize every NaN payload (sign bit included) to one positive
+    // quiet NaN, so all NaNs share a single key that sorts above +inf —
+    // matching Value::Compare's NaN ordering. Without this, a sign-bit
+    // NaN would bit-invert and sort below -inf while a positive NaN
+    // sorted above +inf, and equal-comparing NaNs got distinct keys.
+    d = std::numeric_limits<double>::quiet_NaN();
+  }
   uint64_t bits;
   std::memcpy(&bits, &d, 8);
   if (bits & (1ULL << 63)) {

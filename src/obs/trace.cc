@@ -1,0 +1,55 @@
+#include "obs/trace.h"
+
+namespace insight {
+
+double QError(double estimated, double actual) {
+  const double e = std::max(estimated, 1.0);
+  const double a = std::max(actual, 1.0);
+  return std::max(e / a, a / e);
+}
+
+double SlowQueryLog::threshold_ms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return threshold_ms_;
+}
+
+void SlowQueryLog::set_threshold_ms(double ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  threshold_ms_ = ms;
+}
+
+size_t SlowQueryLog::capacity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return capacity_;
+}
+
+void SlowQueryLog::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = n == 0 ? 1 : n;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+bool SlowQueryLog::Record(QueryTrace trace) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (trace.total_ms() < threshold_ms_) return false;
+  entries_.push_back(std::move(trace));
+  while (entries_.size() > capacity_) entries_.pop_front();
+  return true;
+}
+
+std::vector<QueryTrace> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<QueryTrace>(entries_.begin(), entries_.end());
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
+}  // namespace insight

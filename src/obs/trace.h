@@ -1,0 +1,85 @@
+#ifndef INSIGHTNOTES_OBS_TRACE_H_
+#define INSIGHTNOTES_OBS_TRACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace insight {
+
+/// Symmetric relative error of a cardinality estimate, floored at 1 row
+/// on both sides so empty results stay finite:
+///   q = max(est, actual) / min(est, actual), with est, actual >= 1.
+/// q == 1 is a perfect estimate; the optimizer's feedback loop treats
+/// large q as "statistics are lying, refresh them".
+double QError(double estimated, double actual);
+
+/// One operator's slice of a query trace, built from the physical plan
+/// after execution: the plan-time cardinality estimate frozen next to the
+/// runtime counters it is judged against.
+struct TraceSpan {
+  std::string op;          // PhysicalOperator::Describe().
+  int depth = 0;           // Plan-tree depth (root = 0).
+  double est_rows = -1;    // < 0: the optimizer produced no estimate.
+  uint64_t actual_rows = 0;
+  uint64_t time_ns = 0;    // Inclusive open + next time.
+
+  bool has_estimate() const { return est_rows >= 0; }
+  double qerror() const {
+    return has_estimate()
+               ? QError(est_rows, static_cast<double>(actual_rows))
+               : -1;
+  }
+};
+
+/// Everything observed about one executed statement. Hung off the
+/// ExecutionContext for the duration of the query, then fed to the
+/// slow-query log and the cardinality-feedback loop.
+struct QueryTrace {
+  std::string statement;
+  uint64_t total_ns = 0;
+  std::vector<TraceSpan> spans;  // Pre-order over the plan tree.
+  std::string plan;              // EXPLAIN ANALYZE rendering.
+
+  double total_ms() const { return static_cast<double>(total_ns) / 1e6; }
+  /// Worst per-operator q-error (1 when no operator carries an estimate).
+  double max_qerror() const {
+    double worst = 1;
+    for (const TraceSpan& span : spans) {
+      if (span.has_estimate()) worst = std::max(worst, span.qerror());
+    }
+    return worst;
+  }
+};
+
+/// Bounded in-memory log of the slowest statements, with plan capture.
+/// Record() keeps a trace only when it meets the threshold; the ring
+/// drops the oldest entry past capacity. Thread-safe.
+class SlowQueryLog {
+ public:
+  double threshold_ms() const;
+  void set_threshold_ms(double ms);
+  size_t capacity() const;
+  void set_capacity(size_t n);
+
+  /// Files `trace` when trace.total_ms() >= threshold; returns whether it
+  /// was kept.
+  bool Record(QueryTrace trace);
+
+  std::vector<QueryTrace> Snapshot() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<QueryTrace> entries_;
+  double threshold_ms_ = 100;
+  size_t capacity_ = 32;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_OBS_TRACE_H_

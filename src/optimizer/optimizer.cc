@@ -929,10 +929,26 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
   if (!cur->alias.empty()) {
     op = std::make_unique<RenameOp>(std::move(op), cur->alias);
   }
+  // The access-path root is where table statistics turned into an
+  // estimate; misestimates observed at runtime feed back to this table.
+  op->set_feedback_table(cur->table);
   return Lowered{std::move(op), order};
 }
 
 Result<Optimizer::Lowered> Optimizer::LowerRec(const LogicalNode& node) {
+  INSIGHT_ASSIGN_OR_RETURN(Lowered out, LowerRecImpl(node));
+  // Stamp the plan-time cardinality estimate onto the physical operator;
+  // EXPLAIN ANALYZE diffs it against the runtime row count (q-error) and
+  // the feedback loop judges the statistics by it. An estimation failure
+  // only leaves the operator unstamped — it never fails the lowering.
+  if (out.op != nullptr && !out.op->has_estimate()) {
+    Result<PlanEstimate> est = Estimate(node);
+    if (est.ok()) out.op->set_estimated_rows(est->rows);
+  }
+  return out;
+}
+
+Result<Optimizer::Lowered> Optimizer::LowerRecImpl(const LogicalNode& node) {
   switch (node.kind) {
     case LogicalKind::kScan:
     case LogicalKind::kSelect:

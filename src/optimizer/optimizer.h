@@ -37,6 +37,12 @@ struct OptimizerOptions {
   double parallel_row_threshold = 10000;
   /// Heap pages per morsel handed to each parallel-scan worker.
   PageId morsel_pages = 16;
+  /// Cardinality-feedback trigger: when an executed access path's q-error
+  /// (max(est, actual) / min(est, actual)) reaches this value, the table
+  /// is flagged for a statistics refresh, which the next RefreshStats()
+  /// upgrades to a full ANALYZE. 0 disables the feedback loop (default:
+  /// plan choices stay deterministic for tests/benches unless opted in).
+  double feedback_qerror_threshold = 0;
 };
 
 /// Per-operator cardinality and cost estimate. Costs are abstract units:
@@ -90,7 +96,10 @@ class Optimizer {
   Result<bool> ColumnsResolve(const std::vector<std::string>& columns,
                               const LogicalNode& subtree);
 
+  /// Lowers one logical node (recursing through LowerRec) and stamps the
+  /// node's cardinality estimate onto the resulting operator.
   Result<Lowered> LowerRec(const LogicalNode& node);
+  Result<Lowered> LowerRecImpl(const LogicalNode& node);
 
   /// Leaf access-path selection over a chain of selections ending at a
   /// scan: picks SeqScan / IndexScan / SummaryIndexScan / BaselineIndexScan

@@ -1,5 +1,7 @@
 #include "optimizer/query_context.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace insight {
@@ -88,10 +90,25 @@ Status QueryContext::Analyze(const std::string& table) {
 
 Status QueryContext::RefreshStats(const std::string& table) {
   INSIGHT_ASSIGN_OR_RETURN(RelationInfo * info, GetMutable(table));
+  if (info->needs_analyze && info->stats.has_value()) {
+    // Feedback said the cached statistics misestimate badly enough that
+    // incremental folding can't save them; rebuild from the data.
+    info->needs_analyze = false;
+    return Analyze(table);
+  }
   if (info->stats.has_value() && info->live_stats != nullptr) {
     info->live_stats->FoldInto(&*info->stats);
   }
   return Status::OK();
+}
+
+void QueryContext::ReportCardinalityFeedback(const std::string& table,
+                                             double qerror,
+                                             double threshold) {
+  Result<RelationInfo*> info = GetMutable(table);
+  if (!info.ok()) return;
+  (*info)->worst_qerror = std::max((*info)->worst_qerror, qerror);
+  if (threshold > 0 && qerror >= threshold) (*info)->needs_analyze = true;
 }
 
 Result<const RelationInfo*> QueryContext::Get(

@@ -27,6 +27,12 @@ struct RelationInfo {
   /// Maintained-on-update label statistics (Section 5.2); created on the
   /// first Analyze() of an annotated relation.
   std::shared_ptr<LiveLabelStatistics> live_stats;
+  /// Set by the cardinality-feedback loop when an executed plan's q-error
+  /// against this relation crossed the configured threshold; the next
+  /// RefreshStats() upgrades to a full Analyze() and clears it.
+  bool needs_analyze = false;
+  /// Worst q-error ever reported against this relation (diagnostics).
+  double worst_qerror = 1;
 
   const SummaryBTree* SummaryIndexFor(const std::string& instance) const;
   const BaselineClassifierIndex* BaselineIndexFor(
@@ -72,8 +78,18 @@ class QueryContext {
   Status Analyze(const std::string& table);
 
   /// Folds the live summary statistics into the cached TableStats (no
-  /// scan). No-op for relations without stats or live maintenance.
+  /// scan). No-op for relations without stats or live maintenance. When
+  /// cardinality feedback has flagged the relation (needs_analyze), this
+  /// runs a full Analyze() instead.
   Status RefreshStats(const std::string& table);
+
+  /// Cardinality-feedback entry point: records that an executed access
+  /// path over `table` observed `qerror` (max(est,actual)/min(est,actual))
+  /// and flags the relation for re-analysis when `qerror >= threshold`
+  /// (threshold <= 0 records without flagging). Unknown tables are
+  /// ignored.
+  void ReportCardinalityFeedback(const std::string& table, double qerror,
+                                 double threshold);
 
   Result<const RelationInfo*> Get(const std::string& table) const;
   Result<RelationInfo*> GetMutable(const std::string& table);

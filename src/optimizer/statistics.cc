@@ -1,12 +1,55 @@
 #include "optimizer/statistics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/string_util.h"
 #include "storage/page.h"
 
 namespace insight {
+
+namespace {
+
+/// Inclusive-domain bucket width. Computed entirely in double: the integer
+/// form `max - min + 1` is signed-overflow UB whenever the domain spans
+/// more than half the int64 range (e.g. min = INT64_MIN, max = INT64_MAX
+/// wraps to 0, giving width 0 and a division by zero below).
+double BucketWidth(int64_t min, int64_t max) {
+  const double span =
+      static_cast<double>(max) - static_cast<double>(min) + 1.0;
+  return span / EquiWidthHistogram::kNumBuckets;
+}
+
+/// v's bucket under `width`, clamped to [0, kNumBuckets): values at
+/// exactly max_ land in the last bucket. The offset is computed in double
+/// for the same overflow reason as BucketWidth.
+size_t BucketIndex(int64_t v, int64_t min, double width) {
+  const double offset =
+      static_cast<double>(v) - static_cast<double>(min);
+  const double b = offset / width;
+  if (!(b > 0)) return 0;  // Also catches NaN defensively.
+  if (b >= EquiWidthHistogram::kNumBuckets) {
+    return EquiWidthHistogram::kNumBuckets - 1;
+  }
+  return static_cast<size_t>(b);
+}
+
+/// double -> int64 without the UB of a raw cast when the value is outside
+/// the representable range (saturates; NaN maps to 0).
+int64_t SaturatingCastToInt64(double v) {
+  if (std::isnan(v)) return 0;
+  if (v >= 9223372036854775808.0) {  // 2^63: raw cast would be UB.
+    return std::numeric_limits<int64_t>::max();
+  }
+  if (v < -9223372036854775808.0) {
+    return std::numeric_limits<int64_t>::min();
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
 
 EquiWidthHistogram EquiWidthHistogram::Build(
     const std::vector<int64_t>& values) {
@@ -16,12 +59,9 @@ EquiWidthHistogram EquiWidthHistogram::Build(
   h.max_ = *std::max_element(values.begin(), values.end());
   h.total_ = values.size();
   h.buckets_.assign(kNumBuckets, 0);
-  const double width =
-      static_cast<double>(h.max_ - h.min_ + 1) / kNumBuckets;
+  const double width = BucketWidth(h.min_, h.max_);
   for (int64_t v : values) {
-    size_t bucket = static_cast<size_t>((v - h.min_) / width);
-    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
-    ++h.buckets_[bucket];
+    ++h.buckets_[BucketIndex(v, h.min_, width)];
   }
   return h;
 }
@@ -33,12 +73,9 @@ EquiWidthHistogram EquiWidthHistogram::BuildFromCounts(
   h.min_ = counts.begin()->first;
   h.max_ = counts.rbegin()->first;
   h.buckets_.assign(kNumBuckets, 0);
-  const double width =
-      static_cast<double>(h.max_ - h.min_ + 1) / kNumBuckets;
+  const double width = BucketWidth(h.min_, h.max_);
   for (const auto& [value, freq] : counts) {
-    size_t bucket = static_cast<size_t>((value - h.min_) / width);
-    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
-    h.buckets_[bucket] += freq;
+    h.buckets_[BucketIndex(value, h.min_, width)] += freq;
     h.total_ += freq;
   }
   return h;
@@ -48,11 +85,10 @@ double EquiWidthHistogram::EstimateRange(int64_t lo, int64_t hi) const {
   if (total_ == 0 || hi < lo || hi < min_ || lo > max_) return 0;
   lo = std::max(lo, min_);
   hi = std::min(hi, max_);
-  const double width =
-      static_cast<double>(max_ - min_ + 1) / kNumBuckets;
+  const double width = BucketWidth(min_, max_);
   double estimate = 0;
   for (size_t b = 0; b < buckets_.size(); ++b) {
-    const double b_lo = min_ + b * width;
+    const double b_lo = static_cast<double>(min_) + b * width;
     const double b_hi = b_lo + width;  // Exclusive.
     const double overlap_lo = std::max(b_lo, static_cast<double>(lo));
     const double overlap_hi =
@@ -95,13 +131,18 @@ double TableStats::EstimateLabelSelectivity(const std::string& instance,
                  h.EstimateEquals(constant, stats.num_distinct);
       break;
     case CompareOp::kLt:
-      matching = h.EstimateRange(stats.min, constant - 1);
+      // Nothing is < INT64_MIN, and `constant - 1` would overflow.
+      matching = constant == std::numeric_limits<int64_t>::min()
+                     ? 0
+                     : h.EstimateRange(stats.min, constant - 1);
       break;
     case CompareOp::kLe:
       matching = h.EstimateRange(stats.min, constant);
       break;
     case CompareOp::kGt:
-      matching = h.EstimateRange(constant + 1, stats.max);
+      matching = constant == std::numeric_limits<int64_t>::max()
+                     ? 0
+                     : h.EstimateRange(constant + 1, stats.max);
       break;
     case CompareOp::kGe:
       matching = h.EstimateRange(constant, stats.max);
@@ -120,7 +161,7 @@ double TableStats::EstimateColumnSelectivity(const std::string& column,
   if (stats.numeric &&
       (constant.type() == ValueType::kInt64 ||
        constant.type() == ValueType::kDouble)) {
-    const int64_t c = static_cast<int64_t>(constant.AsDouble());
+    const int64_t c = SaturatingCastToInt64(constant.AsDouble());
     const EquiWidthHistogram& h = stats.histogram;
     double matching = 0;
     switch (op) {
@@ -133,10 +174,19 @@ double TableStats::EstimateColumnSelectivity(const std::string& column,
         break;
       case CompareOp::kLt:
       case CompareOp::kLe:
+        // `c - 1` overflows at INT64_MIN (and nothing is < it anyway).
+        if (op == CompareOp::kLt &&
+            c == std::numeric_limits<int64_t>::min()) {
+          break;
+        }
         matching = h.EstimateRange(h.min(), op == CompareOp::kLt ? c - 1 : c);
         break;
       case CompareOp::kGt:
       case CompareOp::kGe:
+        if (op == CompareOp::kGt &&
+            c == std::numeric_limits<int64_t>::max()) {
+          break;
+        }
         matching = h.EstimateRange(op == CompareOp::kGt ? c + 1 : c, h.max());
         break;
     }
@@ -185,7 +235,7 @@ Result<TableStats> AnalyzeTable(Table* table, SummaryManager* mgr) {
       if (v.type() == ValueType::kInt64) {
         numeric_values[c].push_back(v.AsInt());
       } else if (v.type() == ValueType::kDouble) {
-        numeric_values[c].push_back(static_cast<int64_t>(v.AsDouble()));
+        numeric_values[c].push_back(SaturatingCastToInt64(v.AsDouble()));
       }
     }
   }

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "wal/crash_point.h"
 
 namespace insight {
@@ -140,6 +141,7 @@ Status SummaryBTree::InsertKey(std::string_view label, int64_t count,
                                Oid oid) {
   INSIGHT_ASSIGN_OR_RETURN(uint64_t payload, MakePayload(oid));
   ++stats_.key_inserts;
+  EngineMetrics::Get().sbtree_key_inserts->Add(1);
   return tree_->Insert(ItemizeKey(label, count, width_), payload);
 }
 
@@ -147,6 +149,7 @@ Status SummaryBTree::DeleteKey(std::string_view label, int64_t count,
                                Oid oid) {
   INSIGHT_ASSIGN_OR_RETURN(uint64_t payload, MakePayload(oid));
   ++stats_.key_deletes;
+  EngineMetrics::Get().sbtree_key_deletes->Add(1);
   return tree_->Delete(ItemizeKey(label, count, width_), payload);
 }
 
@@ -202,6 +205,7 @@ Status SummaryBTree::OnObjectChanged(Oid oid, const SummaryObject* before,
 
 Status SummaryBTree::WidenAndRebuild(int64_t new_max_count) {
   ++stats_.rebuilds;
+  EngineMetrics::Get().sbtree_rebuilds->Add(1);
   width_ = DigitsOf(new_max_count);
   ++rebuild_generation_;
   const char* mode_tag =
@@ -231,6 +235,7 @@ Status SummaryBTree::WidenAndRebuild(int64_t new_max_count) {
 
 Result<std::vector<SummaryIndexHit>> SummaryBTree::Search(
     const ClassifierProbe& probe) const {
+  EngineMetrics::Get().sbtree_probes->Add(1);
   const int64_t max_count = [&] {
     int64_t m = 9;
     for (int i = 1; i < width_; ++i) m = m * 10 + 9;
@@ -264,6 +269,7 @@ Result<Tuple> SummaryBTree::FetchDataTuple(const SummaryIndexHit& hit,
                                            Oid* oid_out) const {
   if (options_.pointer_mode == PointerMode::kBackward) {
     // One direct heap read; no SummaryStorage involvement.
+    EngineMetrics::Get().sbtree_backward_derefs->Add(1);
     return mgr_->base()->GetAt(RowLocation::Unpack(hit.payload), oid_out);
   }
   // Conventional: indexed-object row -> tuple OID -> OID-index probe ->
@@ -278,6 +284,7 @@ Result<Tuple> SummaryBTree::FetchDataTuple(const SummaryIndexHit& hit,
 Result<Tuple> SummaryBTree::FetchDataTupleWithSummaries(
     const SummaryIndexHit& hit, SummarySet* summaries, Oid* oid_out) const {
   if (options_.pointer_mode == PointerMode::kBackward) {
+    EngineMetrics::Get().sbtree_backward_derefs->Add(1);
     Oid oid = kInvalidOid;
     INSIGHT_ASSIGN_OR_RETURN(
         Tuple tuple, mgr_->base()->GetAt(RowLocation::Unpack(hit.payload),

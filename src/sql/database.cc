@@ -6,11 +6,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <set>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "wal/crash_point.h"
 
 namespace insight {
@@ -854,7 +856,9 @@ Result<LogicalPtr> Database::BindSelect(const SelectStatement& select) {
 }
 
 Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
-                                            bool explain_only) {
+                                            bool explain_only,
+                                            const std::string& sql) {
+  const auto query_start = std::chrono::steady_clock::now();
   // Fold maintained-on-update summary statistics into the planner's view
   // (Section 5.2); cheap, no scans.
   for (const SelectStatement::FromTable& from : select.from) {
@@ -882,6 +886,11 @@ Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
   }
   INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));
   INSIGHT_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
+  ObserveQuery(sql, op.get(),
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - query_start)
+                       .count()));
 
   // Materialize the select list.
   const Schema& plan_schema = op->schema();
@@ -930,9 +939,9 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
   QueryResult result;
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return ExecuteSelect(*stmt.select, false);
+      return ExecuteSelect(*stmt.select, false, sql);
     case Statement::Kind::kExplain:
-      return ExecuteSelect(*stmt.select, true);
+      return ExecuteSelect(*stmt.select, true, sql);
     case Statement::Kind::kCreateTable: {
       INSIGHT_RETURN_NOT_OK(CreateTable(stmt.table, stmt.schema).status());
       result.message = "Table " + stmt.table + " created";
@@ -1011,6 +1020,72 @@ Result<std::string> Database::Explain(const std::string& sql) {
   return result.message;
 }
 
+namespace {
+
+/// Pre-order walk of the physical plan into TraceSpans, pairing each
+/// operator's frozen plan-time estimate with its runtime counters.
+void BuildTraceSpans(const PhysicalOperator* op, int depth,
+                     std::vector<TraceSpan>* spans) {
+  TraceSpan span;
+  span.op = op->Describe();
+  span.depth = depth;
+  span.est_rows = op->has_estimate() ? op->estimated_rows() : -1;
+  span.actual_rows = op->stats().rows;
+  span.time_ns = op->stats().total_ns();
+  spans->push_back(std::move(span));
+  for (const PhysicalOperator* child : op->children()) {
+    BuildTraceSpans(child, depth + 1, spans);
+  }
+}
+
+}  // namespace
+
+void Database::ObserveQuery(const std::string& statement,
+                            PhysicalOperator* root, uint64_t total_ns) {
+  EngineMetrics& m = EngineMetrics::Get();
+  m.queries_total->Add(1);
+  m.query_millis->Observe(static_cast<double>(total_ns) / 1e6);
+
+  QueryTrace trace;
+  trace.statement = statement;
+  trace.total_ns = total_ns;
+  BuildTraceSpans(root, 0, &trace.spans);
+  for (const TraceSpan& span : trace.spans) {
+    if (span.has_estimate()) m.plan_qerror->Observe(span.qerror());
+  }
+
+  // Cardinality feedback: every access-path root carries the table whose
+  // statistics produced its estimate; a big enough q-error flags that
+  // table so the next statistics refresh re-analyzes it.
+  std::vector<PhysicalOperator*> stack{root};
+  while (!stack.empty()) {
+    PhysicalOperator* op = stack.back();
+    stack.pop_back();
+    if (!op->feedback_table().empty() && op->has_estimate()) {
+      context_.ReportCardinalityFeedback(
+          op->feedback_table(),
+          QError(op->estimated_rows(),
+                 static_cast<double>(op->stats().rows)),
+          optimizer_options_.feedback_qerror_threshold);
+    }
+    for (PhysicalOperator* child : op->children()) stack.push_back(child);
+  }
+
+  if (trace.total_ms() >= slow_query_log_.threshold_ms()) {
+    m.slow_queries_total->Add(1);
+    trace.plan = root->ExplainAnalyzeTree();
+    slow_query_log_.Record(std::move(trace));
+  }
+}
+
+std::string Database::DumpMetrics() const {
+  return MetricsRegistry::Global().ToPrometheus();
+}
+
+std::string Database::DumpMetricsJson() const {
+  return MetricsRegistry::Global().ToJson();
+}
+
 Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   if (stmt.kind != Statement::Kind::kSelect &&
@@ -1018,6 +1093,7 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
     return Status::InvalidArgument("can only explain SELECT statements");
   }
   const SelectStatement& select = *stmt.select;
+  const auto query_start = std::chrono::steady_clock::now();
   for (const SelectStatement::FromTable& from : select.from) {
     Status refreshed = context_.RefreshStats(from.table);
     if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
@@ -1026,6 +1102,11 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   Optimizer optimizer(&context_, optimizer_options_);
   INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));
   INSIGHT_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
+  ObserveQuery(sql, op.get(),
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - query_start)
+                       .count()));
   std::string out = "Physical plan (analyzed):\n" + op->ExplainAnalyzeTree();
   char line[64];
   std::snprintf(line, sizeof(line), "Rows returned: %zu\n", rows.size());

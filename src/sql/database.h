@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "annotation/annotation_store.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 #include "summary/summary_manager.h"
@@ -148,6 +149,19 @@ class Database : public ReplayTarget {
 
   Status Analyze(const std::string& table);
 
+  // ---- Observability ----
+
+  /// Prometheus-style text exposition of every engine metric (buffer
+  /// pool, WAL, scheduler, Summary-BTree, access paths, query layer).
+  std::string DumpMetrics() const;
+  /// The same snapshot as one JSON object
+  /// ({"counters":{..},"gauges":{..},"histograms":{..}}).
+  std::string DumpMetricsJson() const;
+
+  /// Bounded in-memory log of the slowest SELECTs with their analyzed
+  /// plans. Tune via set_threshold_ms()/set_capacity().
+  SlowQueryLog* slow_query_log() { return &slow_query_log_; }
+
   // ---- Durability ----
 
   /// Fuzzy checkpoint: logs a logical snapshot of the whole database
@@ -216,7 +230,14 @@ class Database : public ReplayTarget {
   };
 
   Result<QueryResult> ExecuteSelect(const SelectStatement& select,
-                                    bool explain_only);
+                                    bool explain_only,
+                                    const std::string& sql = "");
+
+  /// Post-execution observability: query counters/latency, per-operator
+  /// estimated-vs-actual q-error (fed back to the optimizer statistics),
+  /// and the slow-query log.
+  void ObserveQuery(const std::string& statement, PhysicalOperator* root,
+                    uint64_t total_ns);
   /// Binds FROM/WHERE into a logical plan (join routing included).
   Result<LogicalPtr> BindSelect(const SelectStatement& select);
 
@@ -258,6 +279,7 @@ class Database : public ReplayTarget {
   OptimizerOptions optimizer_options_;
   std::map<std::string, AnnotatedRelation> relations_;  // Lower-case keys.
   std::map<std::string, SummaryInstance> instance_defs_;  // Prototypes.
+  SlowQueryLog slow_query_log_;
   // Declared after relations_ deliberately: the context holds live
   // statistics whose destructors deregister from the summary managers
   // inside relations_, so it must be destroyed first.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "wal/crash_point.h"
 
 namespace insight {
@@ -64,10 +65,18 @@ void BufferPool::AcquireLatch(Frame& frame, LatchMode latch) {
     case LatchMode::kNone:
       break;
     case LatchMode::kShared:
-      frame.latch.lock_shared();
+      if (!frame.latch.try_lock_shared()) {
+        latch_waits_.fetch_add(1, std::memory_order_relaxed);
+        EngineMetrics::Get().bufferpool_latch_waits->Add(1);
+        frame.latch.lock_shared();
+      }
       break;
     case LatchMode::kExclusive:
-      frame.latch.lock();
+      if (!frame.latch.try_lock()) {
+        latch_waits_.fetch_add(1, std::memory_order_relaxed);
+        EngineMetrics::Get().bufferpool_latch_waits->Add(1);
+        frame.latch.lock();
+      }
       break;
   }
 }
@@ -83,6 +92,7 @@ Result<PageGuard> BufferPool::FetchPage(FileId file, PageId page,
     f.pin_count.fetch_add(1);
     f.referenced.store(true, std::memory_order_relaxed);
     ++shard.stats.hits;
+    EngineMetrics::Get().bufferpool_hits->Add(1);
     const size_t idx = it->second;
     lk.unlock();
     // Latch outside the shard latch: a latch holder may fetch other pages
@@ -91,6 +101,7 @@ Result<PageGuard> BufferPool::FetchPage(FileId file, PageId page,
     return PageGuard(this, idx, f.page.data, latch);
   }
   ++shard.stats.misses;
+  EngineMetrics::Get().bufferpool_misses->Add(1);
   INSIGHT_ASSIGN_OR_RETURN(size_t idx, GrabFrameLocked(shard));
   Frame& f = *frames_[idx];
   PageStore* store = storage_->GetStore(file);
@@ -131,6 +142,7 @@ Result<PageGuard> BufferPool::NewPage(FileId file, PageId* page_id_out,
   Shard& shard = ShardFor(key);
   std::unique_lock<std::mutex> lk(shard.mu);
   ++shard.stats.allocations;
+  EngineMetrics::Get().bufferpool_allocations->Add(1);
   Result<size_t> grabbed = GrabFrameLocked(shard);
   if (!grabbed.ok()) {
     lk.unlock();
@@ -181,6 +193,7 @@ Status BufferPool::FlushAll() {
         INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
         f.dirty.store(false);
         ++shard->stats.writebacks;
+        EngineMetrics::Get().bufferpool_writebacks->Add(1);
       }
     }
   }
@@ -195,7 +208,9 @@ BufferPoolStats BufferPool::stats() const {
     total.misses += shard->stats.misses;
     total.writebacks += shard->stats.writebacks;
     total.allocations += shard->stats.allocations;
+    total.evictions += shard->stats.evictions;
   }
+  total.latch_waits = latch_waits_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -204,6 +219,7 @@ void BufferPool::ResetStats() {
     std::lock_guard<std::mutex> lk(shard->mu);
     shard->stats = BufferPoolStats{};
   }
+  latch_waits_.store(0, std::memory_order_relaxed);
 }
 
 PageId BufferPool::FileNumPages(FileId file) const {
@@ -264,7 +280,10 @@ Result<size_t> BufferPool::GrabFrameLocked(Shard& shard) {
       INSIGHT_RETURN_NOT_OK(ForceLogFor(f.page_lsn.load()));
       INSIGHT_RETURN_NOT_OK(store->WritePage(f.page_id, f.page));
       ++shard.stats.writebacks;
+      EngineMetrics::Get().bufferpool_writebacks->Add(1);
     }
+    ++shard.stats.evictions;
+    EngineMetrics::Get().bufferpool_evictions->Add(1);
     shard.table.erase(Key{f.file, f.page_id});
     f.valid = false;
     f.dirty.store(false);

@@ -23,6 +23,8 @@ struct BufferPoolStats {
   uint64_t misses = 0;       // Pages read from the backing store.
   uint64_t writebacks = 0;   // Dirty pages written back on eviction/flush.
   uint64_t allocations = 0;  // New pages created.
+  uint64_t evictions = 0;    // Valid frames reclaimed by the clock sweep.
+  uint64_t latch_waits = 0;  // Page latch acquisitions that blocked.
 
   uint64_t logical_reads() const { return hits + misses; }
 };
@@ -187,7 +189,7 @@ class BufferPool {
   }
 
   void Unpin(size_t frame, bool dirty, LatchMode latch);
-  static void AcquireLatch(Frame& frame, LatchMode latch);
+  void AcquireLatch(Frame& frame, LatchMode latch);
 
   /// WAL-before-data gate: forces the log through `page_lsn` when a
   /// bridge is installed and the log is not yet durable that far.
@@ -202,6 +204,9 @@ class BufferPool {
   void AdmitLocked(Shard& shard, size_t idx, const Key& key);
 
   StorageManager* storage_;
+  /// Latch acquisitions that found the latch held (not shard-local: the
+  /// latch lives on the frame, not under any shard's mutex).
+  std::atomic<uint64_t> latch_waits_{0};
   std::atomic<WalBridge*> wal_{nullptr};
   std::atomic<uint64_t> current_lsn_{0};
   std::vector<std::unique_ptr<Frame>> frames_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace insight {
 
@@ -388,6 +389,9 @@ bool HeapFile::Iterator::Next(RowLocation* loc, std::string* record) {
     if (!guard_result.ok()) return false;  // Past last page.
     PageGuard guard = std::move(guard_result).ValueOrDie();
     const char* page = guard.data();
+    // slot_ == 0 marks the first fetch of this page by this iterator;
+    // resumed mid-page fetches do not recount it.
+    if (slot_ == 0) EngineMetrics::Get().heap_pages_scanned->Add(1);
     if (page[0] != static_cast<char>(kHeapPageType)) {
       ++page_;  // Overflow or freed page: skip.
       slot_ = 0;

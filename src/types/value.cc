@@ -1,6 +1,8 @@
 #include "types/value.h"
 
+#include <cmath>
 #include <functional>
+#include <limits>
 
 namespace insight {
 
@@ -41,6 +43,16 @@ int Value::Compare(const Value& other) const {
     }
     const double x = AsDouble();
     const double y = other.AsDouble();
+    // IEEE comparisons are all-false on NaN, which would report NaN as
+    // "equal" to every number and break the total order sorts and B-Tree
+    // keys rely on. Order NaN above every real number, equal to itself
+    // (mirrors the key codec's canonical NaN encoding).
+    const bool x_nan = std::isnan(x);
+    const bool y_nan = std::isnan(y);
+    if (x_nan || y_nan) {
+      if (x_nan && y_nan) return 0;
+      return x_nan ? 1 : -1;
+    }
     return x < y ? -1 : (x > y ? 1 : 0);
   }
   if (a != b) {
@@ -139,9 +151,14 @@ size_t Value::Hash() const {
     case ValueType::kBool:
       return AsBool() ? 0x85EBCA6Bu : 0xC2B2AE35u;
     case ValueType::kInt64:
-    case ValueType::kDouble:
+    case ValueType::kDouble: {
       // Hash through the double image so cross-type-equal values collide.
-      return std::hash<double>{}(AsDouble());
+      // NaNs compare equal to each other (see Compare), so they must also
+      // hash alike — canonicalize the payload first.
+      double d = AsDouble();
+      if (std::isnan(d)) d = std::numeric_limits<double>::quiet_NaN();
+      return std::hash<double>{}(d);
+    }
     case ValueType::kString:
       return std::hash<std::string>{}(AsString());
   }

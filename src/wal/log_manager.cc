@@ -5,9 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/serde.h"
+#include "obs/metrics.h"
 #include "storage/page_store.h"
 #include "wal/crash_point.h"
 
@@ -134,8 +136,14 @@ Result<Lsn> LogManager::Append(WalRecordType type, std::string payload) {
   INSIGHT_CRASH_POINT("wal_append");
   std::lock_guard<std::mutex> lk(append_mu_);
   const Lsn lsn = next_lsn_++;
+  const size_t framed_before = pending_.size();
   FrameRecord(&pending_, lsn, type, payload);
   last_lsn_ = lsn;
+  EngineMetrics& m = EngineMetrics::Get();
+  m.wal_appends->Add(1);
+  m.wal_append_bytes->Add(pending_.size() - framed_before);
+  // Approximate between syncs; Commit re-stamps the exact lag.
+  m.wal_durable_lag->Add(1);
   return lsn;
 }
 
@@ -170,6 +178,7 @@ Status LogManager::Commit(Lsn lsn) {
     // buffered so far (its own and any concurrent appenders') with a
     // single write + fsync.
     sync_in_progress_ = true;
+    const Lsn prev_durable = durable_lsn_;
     std::string batch;
     Lsn batch_last;
     {
@@ -189,14 +198,31 @@ Status LogManager::Commit(Lsn lsn) {
         ::fsync(fd_);
         HitCrashPoint("wal_sync_partial");
       }
+      const auto sync_start = std::chrono::steady_clock::now();
       st = WriteFully(batch);
       INSIGHT_CRASH_POINT("wal_sync_before_fsync");
       if (st.ok() && ::fsync(fd_) != 0) st = IOErrorFor("fsync", path_);
       INSIGHT_CRASH_POINT("wal_sync_after_fsync");
+      if (st.ok()) {
+        EngineMetrics& m = EngineMetrics::Get();
+        m.wal_fsyncs->Add(1);
+        m.wal_sync_micros->Observe(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - sync_start)
+                .count());
+        if (batch_last > prev_durable) {
+          m.wal_group_commit_records->Observe(
+              static_cast<double>(batch_last - prev_durable));
+        }
+      }
     }
     lk.lock();
     if (st.ok()) {
       if (batch_last > durable_lsn_) durable_lsn_ = batch_last;
+      // sync_mu_ -> append_mu_ matches the batch-swap order above.
+      std::lock_guard<std::mutex> alk(append_mu_);
+      EngineMetrics::Get().wal_durable_lag->Set(
+          static_cast<int64_t>(last_lsn_ - durable_lsn_));
     } else {
       // A half-written batch leaves the durable frontier ambiguous; fail
       // every future commit rather than risk reporting false durability.

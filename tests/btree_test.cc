@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <vector>
@@ -162,6 +164,49 @@ TEST(KeyCodecTest, IntAndDoubleSameImage) {
 TEST(KeyCodecTest, StringOrderPreserved) {
   EXPECT_LT(EncodeIndexKey(Value::String("Anatomy")),
             EncodeIndexKey(Value::String("Behavior")));
+}
+
+TEST(KeyCodecTest, NegativeAndPositiveZeroShareOneKey) {
+  EXPECT_EQ(EncodeIndexKey(Value::Double(-0.0)),
+            EncodeIndexKey(Value::Double(0.0)));
+  EXPECT_EQ(EncodeIndexKey(Value::Double(-0.0)),
+            EncodeIndexKey(Value::Int(0)));
+}
+
+TEST(KeyCodecTest, NanCanonicalizedAboveAllNumbers) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double neg_nan = -qnan;  // Sign-bit NaN: used to bit-invert and
+                                 // sort below -inf while +NaN sorted above
+                                 // +inf — two keys for "equal" values.
+  const std::string nan_key = EncodeIndexKey(Value::Double(qnan));
+  EXPECT_EQ(nan_key, EncodeIndexKey(Value::Double(neg_nan)));
+  // NaN sorts above every real number (Value::Compare's order) but still
+  // below the MaxNumericKey sentinel so numeric range scans cover it.
+  const double reals[] = {-std::numeric_limits<double>::infinity(), -1e300,
+                          -1.0, 0.0, 1.0, 1e300,
+                          std::numeric_limits<double>::infinity()};
+  for (double r : reals) {
+    EXPECT_GT(nan_key, EncodeIndexKey(Value::Double(r))) << r;
+  }
+  EXPECT_LT(nan_key, MaxNumericKey());
+}
+
+TEST(ValueCompareTest, NanTotalOrder) {
+  const Value nan = Value::Double(std::numeric_limits<double>::quiet_NaN());
+  const Value neg_nan = Value::Double(-std::numeric_limits<double>::quiet_NaN());
+  const Value inf = Value::Double(std::numeric_limits<double>::infinity());
+  // NaN used to compare "equal" (0) to everything, breaking strict-weak
+  // ordering for sorts and B-Tree key comparisons.
+  EXPECT_EQ(nan.Compare(nan), 0);
+  EXPECT_EQ(nan.Compare(neg_nan), 0);
+  EXPECT_GT(nan.Compare(inf), 0);
+  EXPECT_GT(nan.Compare(Value::Double(0.0)), 0);
+  EXPECT_GT(nan.Compare(Value::Int(1)), 0);
+  EXPECT_LT(Value::Double(0.0).Compare(nan), 0);
+  EXPECT_LT(Value::Int(-5).Compare(nan), 0);
+  // Hash must agree with the equality NaN == NaN.
+  EXPECT_EQ(nan.Hash(), neg_nan.Hash());
+  EXPECT_EQ(Value::Double(-0.0).Compare(Value::Double(0.0)), 0);
 }
 
 TEST(KeyCodecTest, RangeSentinels) {

@@ -254,5 +254,115 @@ TEST_F(ParallelPlanTest, ExplainAnalyzeReportsWorkerTimes) {
   db_.SetParallelism(1);
 }
 
+// ---------- EXPLAIN ANALYZE timing consistency ----------
+
+// One rendered plan line: indentation depth plus the runtime counters.
+struct AnalyzedLine {
+  int depth = 0;
+  uint64_t rows = 0;
+  double ms = 0;
+};
+
+// Parses every "Op  (rows=N batches=B time=X.XXXms)" line of an EXPLAIN
+// ANALYZE rendering.
+std::vector<AnalyzedLine> ParseAnalyzedPlan(const std::string& text) {
+  std::vector<AnalyzedLine> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t rows_at = line.find("(rows=");
+    const size_t time_at = line.find("time=");
+    if (rows_at == std::string::npos || time_at == std::string::npos) {
+      continue;
+    }
+    AnalyzedLine parsed;
+    size_t indent = 0;
+    while (indent < line.size() && line[indent] == ' ') ++indent;
+    parsed.depth = static_cast<int>(indent / 2);
+    parsed.rows = std::stoull(line.substr(rows_at + 6));
+    parsed.ms = std::stod(line.substr(time_at + 5));
+    lines.push_back(parsed);
+  }
+  return lines;
+}
+
+TEST_F(ParallelPlanTest, SerialExplainAnalyzeTimesAreMonotonic) {
+  db_.SetParallelism(1);
+  auto plan = db_.ExplainAnalyze(
+      "SELECT family, COUNT(*) AS cnt FROM Birds WHERE weight < 200.0 "
+      "GROUP BY family");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<AnalyzedLine> lines = ParseAnalyzedPlan(*plan);
+  ASSERT_GE(lines.size(), 2u) << *plan;
+  // Inclusive timing: every operator's reported time covers its children,
+  // so along each root-to-leaf path time must not increase with depth.
+  // (Pipeline breakers drain children in Open; open time is part of the
+  // total, keeping this monotonic.) Slack covers the 3-decimal rounding.
+  std::vector<double> stack;
+  for (const AnalyzedLine& line : lines) {
+    stack.resize(static_cast<size_t>(line.depth) + 1);
+    stack[line.depth] = line.ms;
+    if (line.depth > 0) {
+      EXPECT_LE(line.ms, stack[line.depth - 1] + 0.002) << *plan;
+    }
+  }
+}
+
+TEST_F(ParallelPlanTest, ParallelExplainAnalyzeDoesNotDoubleCount) {
+  const std::string sql = "SELECT id FROM Birds WHERE weight < 75.0";
+  db_.SetParallelism(1);
+  auto serial = db_.ExplainAnalyze(sql);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  db_.SetParallelism(4);
+  auto parallel = db_.ExplainAnalyze(sql);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  db_.SetParallelism(1);
+  ASSERT_NE(parallel->find("Gather"), std::string::npos) << *parallel;
+
+  // Same answer either way: the root row counts agree.
+  std::vector<AnalyzedLine> serial_lines = ParseAnalyzedPlan(*serial);
+  std::vector<AnalyzedLine> parallel_lines = ParseAnalyzedPlan(*parallel);
+  ASSERT_FALSE(serial_lines.empty());
+  ASSERT_FALSE(parallel_lines.empty());
+  EXPECT_EQ(serial_lines[0].rows, parallel_lines[0].rows);
+
+  // Locate the Gather line; its reported time includes the whole worker
+  // barrier exactly once. Every operator underneath it executed inside
+  // that barrier, so no subtree line may exceed the Gather's time — the
+  // double-count this pins down is worker wall-time being re-added on top
+  // of the barrier wait.
+  int gather_depth = -1;
+  double gather_ms = 0;
+  size_t line_idx = 0;
+  size_t pos = 0;
+  std::vector<AnalyzedLine> subtree;
+  while (pos < parallel->size()) {
+    size_t eol = parallel->find('\n', pos);
+    if (eol == std::string::npos) eol = parallel->size();
+    const std::string line = parallel->substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find("time=") == std::string::npos) continue;
+    const AnalyzedLine& parsed = parallel_lines[line_idx++];
+    if (line.find("Gather(") != std::string::npos) {
+      gather_depth = parsed.depth;
+      gather_ms = parsed.ms;
+    } else if (gather_depth >= 0 && parsed.depth > gather_depth) {
+      subtree.push_back(parsed);
+    } else if (gather_depth >= 0 && parsed.depth <= gather_depth) {
+      break;  // Left the Gather subtree.
+    }
+  }
+  ASSERT_GE(gather_depth, 0) << *parallel;
+  ASSERT_FALSE(subtree.empty()) << *parallel;
+  for (const AnalyzedLine& line : subtree) {
+    EXPECT_LE(line.ms, gather_ms + 0.05) << *parallel;
+  }
+  // Totals stay monotonic above the Gather too: the root covers it.
+  EXPECT_LE(gather_ms, parallel_lines[0].ms + 0.002) << *parallel;
+}
+
 }  // namespace
 }  // namespace insight

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <set>
 
 #include "annotation/annotation_store.h"
 #include "common/rng.h"
 #include "index/catalog.h"
+#include "index/key_codec.h"
+#include "obs/metrics.h"
 #include "sindex/baseline_index.h"
 #include "sindex/summary_btree.h"
 #include "summary/summary_manager.h"
@@ -73,6 +76,54 @@ TEST_F(SindexTest, ItemizationFormat) {
   // Lexicographic order matches numeric order within one label.
   EXPECT_LT(SummaryBTree::ItemizeKey("D", 9, 3),
             SummaryBTree::ItemizeKey("D", 10, 3));
+}
+
+TEST_F(SindexTest, ProbeFindsNegativeZeroAndNanStoredRows) {
+  // Key-codec regression, driven through a real index probe: -0.0 used to
+  // encode differently from +0.0 under some build modes, and every NaN
+  // payload got its own key, so an exact-match probe could miss a stored
+  // row entirely.
+  Table* t = *catalog_.CreateTable("Weights",
+                                   Schema({{"w", ValueType::kDouble}}));
+  const Oid neg_zero_oid = *t->Insert(Tuple({Value::Double(-0.0)}));
+  const Oid nan_oid = *t->Insert(
+      Tuple({Value::Double(-std::numeric_limits<double>::quiet_NaN())}));
+  ASSERT_TRUE(t->CreateColumnIndex("w").ok());
+  const BTree* idx = t->GetColumnIndex("w");
+  ASSERT_NE(idx, nullptr);
+
+  // Probe with the other zero (and the int form): must hit the -0.0 row.
+  for (const Value& probe :
+       {Value::Double(0.0), Value::Double(-0.0), Value::Int(0)}) {
+    auto hits = idx->Lookup(EncodeIndexKey(probe));
+    ASSERT_TRUE(hits.ok());
+    ASSERT_EQ(hits->size(), 1u) << probe.ToString();
+    EXPECT_EQ((*hits)[0], neg_zero_oid);
+  }
+  // Probe with a differently-signed NaN: must hit the NaN row.
+  auto nan_hits = idx->Lookup(
+      EncodeIndexKey(Value::Double(std::numeric_limits<double>::quiet_NaN())));
+  ASSERT_TRUE(nan_hits.ok());
+  ASSERT_EQ(nan_hits->size(), 1u);
+  EXPECT_EQ((*nan_hits)[0], nan_oid);
+}
+
+TEST_F(SindexTest, SearchCountsProbesInEngineMetrics) {
+  Annotate(1, "disease", 3);
+  Annotate(2, "disease", 5);
+  auto index = *SummaryBTree::Create(&storage_, &pool_, mgr_.get(),
+                                     "ClassBird1", SummaryBTree::Options{});
+  EngineMetrics& m = EngineMetrics::Get();
+  const uint64_t probes_before = m.sbtree_probes->value();
+  const uint64_t derefs_before = m.sbtree_backward_derefs->value();
+  auto hits = index->Search(ClassifierProbe::Equal("Disease", 3));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(m.sbtree_probes->value(), probes_before + 1);
+  Oid oid;
+  ASSERT_TRUE(index->FetchDataTuple((*hits)[0], &oid).ok());
+  EXPECT_EQ(oid, 1u);
+  EXPECT_GE(m.sbtree_backward_derefs->value(), derefs_before);
 }
 
 TEST_F(SindexTest, RejectsNonClassifierInstances) {

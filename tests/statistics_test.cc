@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "engine_test_util.h"
 #include "optimizer/query_context.h"
 #include "optimizer/statistics.h"
@@ -197,6 +200,98 @@ TEST(LiveStatisticsTest, SeedMatchesFullAnalyze) {
   EXPECT_EQ(a.max, b.max);
   EXPECT_EQ(a.num_distinct, b.num_distinct);
   EXPECT_EQ(full.annotated_rows, folded.annotated_rows);
+}
+
+// ---- Histogram overflow / degenerate-width regressions ----
+// The bucket width used to be computed as int64 `max - min + 1`, which is
+// signed-overflow UB (and wraps to width <= 0) whenever the value domain
+// spans more than half the int64 range.
+
+TEST(HistogramEdgeCaseTest, FullInt64SpanDoesNotOverflow) {
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  EquiWidthHistogram h = EquiWidthHistogram::Build({kMin, -1, 0, 1, kMax});
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.min(), kMin);
+  EXPECT_EQ(h.max(), kMax);
+  // Every value must have landed in some bucket: the whole-domain range
+  // estimate recovers the full count.
+  const double all = h.EstimateRange(kMin, kMax);
+  EXPECT_TRUE(std::isfinite(all));
+  EXPECT_NEAR(all, 5.0, 1e-6);
+  // Point estimates stay finite and within the total.
+  const double at_zero = h.EstimateRange(0, 0);
+  EXPECT_TRUE(std::isfinite(at_zero));
+  EXPECT_GE(at_zero, 0.0);
+  EXPECT_LE(at_zero, 5.0);
+}
+
+TEST(HistogramEdgeCaseTest, BuildFromCountsFullInt64Span) {
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  std::map<int64_t, uint64_t> counts{{kMin, 3}, {0, 1}, {kMax, 2}};
+  EquiWidthHistogram h = EquiWidthHistogram::BuildFromCounts(counts);
+  EXPECT_EQ(h.total(), 6u);
+  const double all = h.EstimateRange(kMin, kMax);
+  EXPECT_TRUE(std::isfinite(all));
+  EXPECT_NEAR(all, 6.0, 1e-6);
+}
+
+TEST(HistogramEdgeCaseTest, SingleValueDegenerateWidth) {
+  EquiWidthHistogram h = EquiWidthHistogram::Build({42, 42, 42});
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_NEAR(h.EstimateRange(42, 42), 3.0, 1e-6);
+  EXPECT_NEAR(h.EstimateRange(41, 41), 0.0, 1e-9);
+  EXPECT_NEAR(h.EstimateRange(43, 100), 0.0, 1e-9);
+  EXPECT_NEAR(h.EstimateEquals(42, 1), 3.0, 0.2);
+}
+
+TEST(HistogramEdgeCaseTest, ValueAtExactlyMaxLandsInLastBucket) {
+  // 1..32: max_ = 32 must land in bucket 15, not one past the end.
+  std::vector<int64_t> values;
+  for (int64_t v = 1; v <= 32; ++v) values.push_back(v);
+  EquiWidthHistogram h = EquiWidthHistogram::Build(values);
+  EXPECT_NEAR(h.EstimateRange(h.min(), h.max()), 32.0, 1e-6);
+  const double at_max = h.EstimateRange(32, 32);
+  EXPECT_GT(at_max, 0.0);
+  EXPECT_LE(at_max, 2.0 + 1e-9);
+}
+
+TEST_F(StatisticsTest, SelectivityConstantAtInt64Limits) {
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  TableStats stats = AnalyzeTable(db.birds, db.mgr.get()).ValueOrDie();
+  // `< INT64_MIN` matches nothing (the old code computed kMin - 1: UB).
+  EXPECT_EQ(stats.EstimateLabelSelectivity("ClassBird1", "Disease",
+                                           CompareOp::kLt, kMin),
+            0.0);
+  // `> INT64_MAX` matches nothing (the old code computed kMax + 1: UB).
+  EXPECT_EQ(stats.EstimateLabelSelectivity("ClassBird1", "Disease",
+                                           CompareOp::kGt, kMax),
+            0.0);
+  // The inclusive forms at the limits cover everything annotated.
+  EXPECT_GT(stats.EstimateLabelSelectivity("ClassBird1", "Disease",
+                                           CompareOp::kLe, kMax),
+            0.0);
+  EXPECT_GT(stats.EstimateLabelSelectivity("ClassBird1", "Disease",
+                                           CompareOp::kGe, kMin),
+            0.0);
+  // Column path: the same limit constants plus out-of-range / NaN doubles
+  // (the old code cast them straight to int64: UB).
+  for (const Value& c :
+       {Value::Int(kMin), Value::Int(kMax), Value::Double(1e300),
+        Value::Double(-1e300),
+        Value::Double(std::numeric_limits<double>::quiet_NaN())}) {
+    for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                         CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+      const double sel = stats.EstimateColumnSelectivity("weight", op, c);
+      EXPECT_TRUE(std::isfinite(sel));
+      EXPECT_GE(sel, 0.0);
+      EXPECT_LE(sel, 1.0);
+    }
+  }
 }
 
 }  // namespace
