@@ -1,0 +1,213 @@
+// Network service throughput — aggregate statements/sec against a live
+// insightd serving core as the client count grows.
+//
+//   Arms: 1, 4, and 16 concurrent clients, each on its own connection,
+//   all running the same read-only SELECT mix against one table. Every
+//   client verifies each reply (row count and first-row contents), so
+//   the measured path is the full stack: frame parse, statement gate,
+//   execution, result encode, socket write.
+//
+// Expectation: read-only statements hold the database's statement gate
+// in shared mode and run on independent reactor loops, so on a
+// multi-core host the 16-client arm should reach >= 2x the aggregate
+// throughput of the 1-client arm. On a 1-core CI box there is no
+// parallel speedup to claim; --smoke therefore gates correctness only,
+// plus a regression backstop: 16 clients must not be more than 2x
+// SLOWER in aggregate than a single client (fairness / lock-convoy
+// check), and shrinks the statement counts to CI size.
+//
+// Emits BENCH_net.json. With --smoke the process exits nonzero when any
+// statement fails, any reply is wrong, or the backstop ratio is missed.
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sql/database.h"
+
+using namespace insight;
+using namespace insight::bench;
+
+namespace {
+
+constexpr const char* kTable = "Birds";
+
+/// The read-only statement mix. Rotating through several shapes keeps
+/// the per-statement cost from collapsing into one cached plan while
+/// staying cheap enough that the wire + gate overhead is visible.
+std::string MixedSelect(size_t i, size_t rows) {
+  switch (i % 3) {
+    case 0:
+      return "SELECT name FROM " + std::string(kTable) + " WHERE n = " +
+             std::to_string(i % rows);
+    case 1:
+      return "SELECT n, name FROM " + std::string(kTable) +
+             " WHERE n < 8 ORDER BY n";
+    default:
+      return "SELECT n FROM " + std::string(kTable) + " ORDER BY n LIMIT 4";
+  }
+}
+
+/// Expected row count for MixedSelect(i, rows); replies are verified so
+/// the bench cannot quietly measure a stream of Error frames.
+size_t ExpectedRows(size_t i, size_t rows) {
+  switch (i % 3) {
+    case 0:
+      return 1;
+    case 1:
+      return rows < 8 ? rows : 8;
+    default:
+      return rows < 4 ? rows : 4;
+  }
+}
+
+struct ArmResult {
+  size_t clients = 0;
+  size_t statements = 0;  // Aggregate across all clients.
+  double wall_ms = 0.0;
+  double stmts_per_sec = 0.0;
+  size_t errors = 0;
+};
+
+ArmResult RunArm(uint16_t port, size_t clients, size_t per_client,
+                 size_t rows) {
+  ArmResult arm;
+  arm.clients = clients;
+  arm.statements = clients * per_client;
+
+  // Connect everyone first so the timed region is statements only.
+  std::vector<std::unique_ptr<InsightClient>> conns;
+  for (size_t c = 0; c < clients; ++c) {
+    auto conn = InsightClient::Connect("127.0.0.1", port);
+    INSIGHT_CHECK(conn.ok());
+    conns.push_back(std::move(*conn));
+  }
+
+  std::atomic<size_t> errors{0};
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      InsightClient* client = conns[c].get();
+      for (size_t i = 0; i < per_client; ++i) {
+        // Offset per client so the arms don't run in lockstep.
+        const size_t stmt = i + c * 7;
+        auto result = client->Execute(MixedSelect(stmt, rows));
+        if (!result.ok() ||
+            result->rows.size() != ExpectedRows(stmt, rows)) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  arm.wall_ms = timer.ElapsedMillis();
+  arm.errors = errors.load();
+  arm.stmts_per_sec =
+      static_cast<double>(arm.statements) / (arm.wall_ms / 1000.0);
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  PrintHeader("bench_net: concurrent clients vs aggregate throughput",
+              "read scaling across connections (shared statement gate)",
+              config);
+
+  const size_t rows = 512;
+  const size_t per_client = smoke ? 50 : 400;
+
+  Database db;
+  INSIGHT_CHECK(
+      db.Execute("CREATE TABLE " + std::string(kTable) +
+                 " (n INT, name STRING)")
+          .ok());
+  for (size_t i = 0; i < rows; i += 64) {
+    std::string insert = "INSERT INTO " + std::string(kTable) + " VALUES ";
+    for (size_t j = i; j < i + 64 && j < rows; ++j) {
+      if (j > i) insert += ", ";
+      insert += "(" + std::to_string(j) + ", 'bird" + std::to_string(j) +
+                "')";
+    }
+    INSIGHT_CHECK(db.Execute(insert).ok());
+  }
+
+  InsightServer::Options options;
+  options.port = 0;
+  options.io_threads = 4;
+  InsightServer server(&db, options);
+  INSIGHT_CHECK(server.Start().ok());
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("server on 127.0.0.1:%u, %u hardware threads\n",
+              server.port(), cores);
+
+  std::vector<ArmResult> arms;
+  for (size_t clients : {1u, 4u, 16u}) {
+    ArmResult arm = RunArm(server.port(), clients, per_client, rows);
+    std::printf("%2zu clients: %6zu stmts in %8.1f ms -> %9.0f stmts/sec "
+                "(%zu errors)\n",
+                arm.clients, arm.statements, arm.wall_ms,
+                arm.stmts_per_sec, arm.errors);
+    arms.push_back(arm);
+  }
+
+  server.NudgeShutdown();
+  server.Shutdown();
+
+  const double speedup_16 = arms[2].stmts_per_sec / arms[0].stmts_per_sec;
+  std::printf("16-client aggregate speedup over 1 client: %.2fx\n",
+              speedup_16);
+
+  FILE* json = std::fopen("BENCH_net.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"net_concurrent_clients\",\n"
+                 "  \"rows\": %zu,\n  \"statements_per_client\": %zu,\n"
+                 "  \"hardware_threads\": %u,\n  \"arms\": [",
+                 rows, per_client, cores);
+    for (size_t i = 0; i < arms.size(); ++i) {
+      std::fprintf(json,
+                   "%s\n    {\"clients\": %zu, \"statements\": %zu, "
+                   "\"wall_ms\": %.3f, \"stmts_per_sec\": %.1f, "
+                   "\"errors\": %zu}",
+                   i == 0 ? "" : ",", arms[i].clients, arms[i].statements,
+                   arms[i].wall_ms, arms[i].stmts_per_sec, arms[i].errors);
+    }
+    std::fprintf(json, "\n  ],\n  \"speedup_16_over_1\": %.3f\n}\n",
+                 speedup_16);
+    std::fclose(json);
+    std::printf("wrote BENCH_net.json\n");
+  }
+
+  bool failed = false;
+  for (const ArmResult& arm : arms) {
+    if (arm.errors != 0) {
+      std::fprintf(stderr, "FAIL: %zu-client arm had %zu errors\n",
+                   arm.clients, arm.errors);
+      failed = true;
+    }
+  }
+  // Correctness backstop for 1-core CI; the >= 2x multi-core expectation
+  // is reported, not gated, since CI runners may be single-core.
+  if (speedup_16 < 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: 16 clients reached only %.2fx of 1-client "
+                 "aggregate throughput (>2x slowdown)\n",
+                 speedup_16);
+    failed = true;
+  }
+  if (smoke && failed) return 1;
+  return 0;
+}

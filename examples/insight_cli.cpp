@@ -1,0 +1,169 @@
+// insight_cli — interactive shell (and one-shot runner) for a live
+// insightd server. Speaks the binary wire protocol via InsightClient.
+//
+//   insight_cli --host 127.0.0.1 --port 8471          # interactive
+//   insight_cli --port-file /tmp/insightd.port        # port from file
+//   insight_cli --port 8471 -e "SELECT * FROM Birds"  # one-shot, exits
+//
+// Interactive commands beyond SQL:
+//   \ping       round-trip liveness probe
+//   \metrics    print the server's Prometheus metrics text
+//   \shutdown   ask the server to drain and exit
+//   \q          quit the shell (server keeps running)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "net/client.h"
+
+using insight::InsightClient;
+
+namespace {
+
+struct CliArgs {
+  std::string host = "127.0.0.1";
+  uint16_t port = 8471;
+  std::string port_file;
+  std::string one_shot;  // -e STATEMENT: run it, print, exit.
+};
+
+void Usage() {
+  std::printf(
+      "usage: insight_cli [--host H] [--port P | --port-file FILE] "
+      "[-e STATEMENT]\n"
+      "interactive commands: \\ping \\metrics \\shutdown \\q\n");
+}
+
+bool ParseCliArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->port_file = v;
+    } else if (arg == "-e") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->one_shot = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (!args->port_file.empty()) {
+    std::ifstream in(args->port_file);
+    unsigned port = 0;
+    if (!(in >> port) || port == 0 || port > 65535) {
+      std::fprintf(stderr, "could not read a port from %s\n",
+                   args->port_file.c_str());
+      return false;
+    }
+    args->port = static_cast<uint16_t>(port);
+  }
+  return true;
+}
+
+/// Runs one line of shell input. Returns false when the shell should
+/// exit (quit command, shutdown, or a dead connection).
+bool RunLine(InsightClient* client, const std::string& line) {
+  if (line == "\\q" || line == "\\quit" || line == "exit") return false;
+  if (line == "\\ping") {
+    auto status = client->Ping();
+    std::printf("%s\n", status.ok() ? "pong" : status.ToString().c_str());
+    return status.ok();
+  }
+  if (line == "\\metrics") {
+    auto text = client->Metrics();
+    if (!text.ok()) {
+      std::printf("error: %s\n", text.status().ToString().c_str());
+      return false;
+    }
+    std::fputs(text->c_str(), stdout);
+    return true;
+  }
+  if (line == "\\shutdown") {
+    auto status = client->RequestShutdown();
+    std::printf("%s\n",
+                status.ok() ? "server draining" : status.ToString().c_str());
+    return false;
+  }
+  if (!line.empty() && line[0] == '\\') {
+    std::printf("unknown command %s (try \\ping \\metrics \\shutdown \\q)\n",
+                line.c_str());
+    return true;
+  }
+  auto result = client->Execute(line);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    // Statement errors keep the session; only a dead socket ends it.
+    return client->connected();
+  }
+  std::fputs(result->ToString().c_str(), stdout);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseCliArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  auto connected = InsightClient::Connect(args.host, args.port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", args.host.c_str(),
+                 args.port, connected.status().ToString().c_str());
+    return 1;
+  }
+  auto client = std::move(*connected);
+
+  if (!args.one_shot.empty()) {
+    auto result = client->Execute(args.one_shot);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(result->ToString().c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("connected to %s:%u — SQL statements, or \\ping \\metrics "
+              "\\shutdown \\q\n",
+              args.host.c_str(), args.port);
+  std::string line;
+  while (true) {
+    std::fputs("insight> ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim surrounding whitespace and a trailing semicolon.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    auto last = line.find_last_not_of(" \t\r");
+    if (line[last] == ';' && last > first) --last;
+    line = line.substr(first, last - first + 1);
+    if (line.empty()) continue;
+    if (!RunLine(client.get(), line)) break;
+  }
+  return 0;
+}

@@ -47,4 +47,19 @@ if [ -x build/bench/bench_batch_executor ]; then
     > /dev/null)
 fi
 
+# Server smoke: boot insightd, run statements through insight_cli over
+# the wire, scrape the Metrics frame, and require a clean drain exit.
+if [ -x build/src/net/insightd ]; then
+  echo "==> server smoke (insightd + insight_cli)"
+  ./scripts/server_smoke.sh build
+fi
+
+# Network throughput smoke: 1/4/16 concurrent clients, every reply
+# verified; 16 clients must not fall below half the single-client
+# aggregate (bench_net --smoke exits nonzero).
+if [ -x build/bench/bench_net ]; then
+  echo "==> network smoke (bench_net --smoke)"
+  (cd build/bench && ./bench_net --smoke > /dev/null)
+fi
+
 echo "==> all checks passed"

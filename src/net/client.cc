@@ -1,0 +1,143 @@
+#include "net/client.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/serde.h"
+#include "net/socket_util.h"
+#include "wal/wal_record.h"  // Crc32.
+
+namespace insight {
+
+Result<std::unique_ptr<InsightClient>> InsightClient::Connect(
+    const std::string& host, uint16_t port) {
+  INSIGHT_ASSIGN_OR_RETURN(int fd, ConnectTo(host, port));
+  return std::unique_ptr<InsightClient>(new InsightClient(fd));
+}
+
+InsightClient::~InsightClient() { Close(); }
+
+void InsightClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status InsightClient::SendFrame(FrameType type, std::string_view payload) {
+  if (fd_ < 0) return Status::IOError("client connection is closed");
+  const std::string frame = EncodeFrame(type, payload);
+  Status st = WriteFully(fd_, frame.data(), frame.size());
+  if (!st.ok()) Close();
+  return st;
+}
+
+Result<Frame> InsightClient::ReadFrame() {
+  if (fd_ < 0) return Status::IOError("client connection is closed");
+  char header[kFrameHeaderBytes];
+  Status st = ReadFully(fd_, header, sizeof(header));
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  uint32_t body_len, crc;
+  std::memcpy(&body_len, header, 4);
+  std::memcpy(&crc, header + 4, 4);
+  if (body_len == 0 || body_len > kMaxFrameBytes) {
+    Close();
+    return Status::Corruption("oversized frame from server (" +
+                              std::to_string(body_len) + " bytes)");
+  }
+  std::string body(body_len, '\0');
+  st = ReadFully(fd_, body.data(), body.size());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  if (Crc32(body) != crc) {
+    Close();
+    return Status::Corruption("frame checksum mismatch from server");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(body[0]));
+  frame.payload.assign(body.data() + 1, body.size() - 1);
+  return frame;
+}
+
+Result<NetResult> InsightClient::Execute(const std::string& sql) {
+  INSIGHT_RETURN_NOT_OK(SendFrame(FrameType::kQuery, EncodeQuery(sql)));
+  NetResult result;
+  bool saw_header = false;
+  for (;;) {
+    INSIGHT_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    switch (frame.type) {
+      case FrameType::kResultHeader:
+        INSIGHT_RETURN_NOT_OK(DecodeResultHeader(frame.payload, &result));
+        saw_header = true;
+        break;
+      case FrameType::kRowBatch:
+        if (!saw_header) {
+          Close();
+          return Status::Corruption("RowBatch before ResultHeader");
+        }
+        INSIGHT_RETURN_NOT_OK(DecodeRowBatch(frame.payload, &result));
+        break;
+      case FrameType::kResultDone: {
+        INSIGHT_ASSIGN_OR_RETURN(uint64_t total,
+                                 DecodeResultDone(frame.payload));
+        if (!saw_header || total != result.rows.size()) {
+          Close();
+          return Status::Corruption("result stream row-count mismatch");
+        }
+        return result;
+      }
+      case FrameType::kError:
+        return DecodeError(frame.payload);
+      case FrameType::kGoodbye: {
+        Close();
+        std::string reason = frame.payload;
+        return Status::ResourceExhausted(
+            "server closed connection: " +
+            (reason.empty() ? std::string("goodbye") : reason));
+      }
+      default:
+        Close();
+        return Status::Corruption("unexpected frame type " +
+                                  std::to_string(static_cast<int>(frame.type)) +
+                                  " in result stream");
+    }
+  }
+}
+
+Status InsightClient::Ping() {
+  INSIGHT_RETURN_NOT_OK(SendFrame(FrameType::kPing, {}));
+  INSIGHT_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != FrameType::kPong) {
+    return Status::Corruption("expected Pong, got frame type " +
+                              std::to_string(static_cast<int>(frame.type)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> InsightClient::Metrics() {
+  INSIGHT_RETURN_NOT_OK(SendFrame(FrameType::kMetricsRequest, {}));
+  INSIGHT_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type == FrameType::kError) return DecodeError(frame.payload);
+  if (frame.type != FrameType::kMetricsReply) {
+    return Status::Corruption("expected MetricsReply");
+  }
+  // The payload is a length-prefixed string (same shape as Query).
+  return DecodeQuery(frame.payload);
+}
+
+Status InsightClient::RequestShutdown() {
+  INSIGHT_RETURN_NOT_OK(SendFrame(FrameType::kShutdown, {}));
+  INSIGHT_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != FrameType::kShutdownAck) {
+    return Status::Corruption("expected ShutdownAck");
+  }
+  return Status::OK();
+}
+
+}  // namespace insight

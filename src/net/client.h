@@ -1,0 +1,58 @@
+#ifndef INSIGHTNOTES_NET_CLIENT_H_
+#define INSIGHTNOTES_NET_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "net/wire.h"
+
+namespace insight {
+
+/// Small blocking client for the insightd wire protocol. One connection,
+/// one outstanding request at a time (callers wanting concurrency open
+/// one client per thread — see bench_net and the stress tests).
+///
+///   auto client = InsightClient::Connect("127.0.0.1", port);
+///   auto result = client->Execute("SELECT * FROM Birds");
+///   std::cout << result->ToString();
+class InsightClient {
+ public:
+  static Result<std::unique_ptr<InsightClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~InsightClient();
+
+  InsightClient(const InsightClient&) = delete;
+  InsightClient& operator=(const InsightClient&) = delete;
+
+  /// Runs one statement; an Error frame comes back as the decoded Status
+  /// (same code the embedded API would have returned).
+  Result<NetResult> Execute(const std::string& sql);
+
+  /// Round-trip liveness probe.
+  Status Ping();
+
+  /// Prometheus text exposition of the server's metrics registry.
+  Result<std::string> Metrics();
+
+  /// Asks the server to drain and exit; returns after the ack.
+  Status RequestShutdown();
+
+  /// Closes the socket; further calls fail with IOError.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit InsightClient(int fd) : fd_(fd) {}
+
+  /// Reads exactly one frame (header, body, checksum verified).
+  Result<Frame> ReadFrame();
+  Status SendFrame(FrameType type, std::string_view payload);
+
+  int fd_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_NET_CLIENT_H_

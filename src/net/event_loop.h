@@ -1,0 +1,87 @@
+#ifndef INSIGHTNOTES_NET_EVENT_LOOP_H_
+#define INSIGHTNOTES_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace insight {
+
+/// One epoll reactor, at most one per thread (the flamingo/muduo shape):
+/// non-blocking fds register a callback keyed by fd, the owning thread
+/// spins in Loop(), and other threads hand work over with RunInLoop(),
+/// which wakes the epoll_wait through an eventfd. Everything that touches
+/// a registered fd happens on the loop thread, so per-connection state
+/// needs no locking.
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t epoll_events)>;
+  using Functor = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Runs the reactor until Quit(). Must be called on the owning thread
+  /// (the first thread to call it becomes the owner).
+  void Loop();
+
+  /// Signals Loop() to return after the current iteration; safe from any
+  /// thread.
+  void Quit();
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); the callback
+  /// runs on the loop thread with the ready event mask. Loop thread only.
+  Status AddFd(int fd, uint32_t events, FdCallback callback);
+  /// Changes the interest set of a registered fd. Loop thread only.
+  Status UpdateFd(int fd, uint32_t events);
+  /// Deregisters; the callback is dropped. Does not close the fd.
+  Status RemoveFd(int fd);
+
+  /// Runs `fn` on the loop thread: immediately when already there,
+  /// otherwise enqueues and wakes the loop. Safe from any thread.
+  void RunInLoop(Functor fn);
+  /// Always enqueues for the next iteration, even from the loop thread.
+  void QueueInLoop(Functor fn);
+
+  /// Callback invoked roughly every `tick_ms()` on the loop thread
+  /// (idle-timeout sweeps). One slot; set before Loop().
+  void SetTickCallback(Functor fn, int tick_ms = 500) {
+    tick_ = std::move(fn);
+    tick_ms_ = tick_ms;
+  }
+
+  bool IsInLoopThread() const {
+    return owner_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
+ private:
+  void Wakeup();
+  void DrainPending();
+
+  const int epoll_fd_;
+  const int wakeup_fd_;  // eventfd; written by RunInLoop from other threads.
+  std::atomic<bool> quit_{false};
+  std::atomic<std::thread::id> owner_{};
+
+  std::map<int, FdCallback> callbacks_;  // Loop thread only.
+
+  std::mutex pending_mu_;
+  std::vector<Functor> pending_;
+
+  Functor tick_;
+  int tick_ms_ = 500;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_NET_EVENT_LOOP_H_

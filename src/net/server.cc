@@ -1,0 +1,243 @@
+#include "net/server.h"
+
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "net/socket_util.h"
+#include "obs/metrics.h"
+#include "wal/crash_point.h"
+
+namespace insight {
+
+InsightServer::InsightServer(Database* db, Options options)
+    : db_(db),
+      options_(std::move(options)),
+      manager_(SessionManager::Limits{options_.max_connections,
+                                      options_.idle_timeout_ms,
+                                      options_.max_statement_bytes}) {}
+
+InsightServer::~InsightServer() { Shutdown(); }
+
+Status InsightServer::Start() {
+  INSIGHT_CHECK(!started_);
+  INSIGHT_ASSIGN_OR_RETURN(listen_fd_, CreateListener(options_.port));
+  INSIGHT_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
+  if (!options_.port_file.empty()) {
+    FILE* f = std::fopen(options_.port_file.c_str(), "w");
+    if (f == nullptr) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IOError("cannot write port file " + options_.port_file);
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(port_));
+    std::fclose(f);
+  }
+
+  const size_t n_shards = options_.io_threads == 0 ? 1 : options_.io_threads;
+  for (size_t i = 0; i < n_shards; ++i) {
+    auto shard = std::make_unique<LoopShard>();
+    LoopShard* raw = shard.get();
+    raw->loop.SetTickCallback([this, raw] {
+      if (options_.idle_timeout_ms <= 0) return;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& [id, session] : raw->sessions) {
+        if (!session->closed() && session->IdleExpired(now)) {
+          EngineMetrics::Get().net_idle_disconnects->Add(1);
+          session->SendFrame(FrameType::kGoodbye, "idle timeout");
+          session->Close("idle timeout");  // Defer-erased via the host.
+        }
+      }
+    });
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([loop = &shard->loop] { loop->Loop(); });
+  }
+
+  accept_loop_.QueueInLoop([this] {
+    Status st = accept_loop_.AddFd(listen_fd_, EPOLLIN,
+                                   [this](uint32_t) { AcceptReady(); });
+    if (!st.ok()) {
+      INSIGHT_LOG(Error) << "acceptor registration failed: " << st.ToString();
+    }
+  });
+  accept_thread_ = std::thread([this] { accept_loop_.Loop(); });
+
+  started_ = true;
+  INSIGHT_LOG(Info) << "insightd listening on 127.0.0.1:" << port_ << " with "
+                    << shards_.size() << " I/O threads";
+  return Status::OK();
+}
+
+void InsightServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      INSIGHT_LOG(Error) << "accept: " << std::strerror(errno);
+      return;
+    }
+    AdoptConnection(fd);
+  }
+}
+
+void InsightServer::AdoptConnection(int fd) {
+  EngineMetrics& m = EngineMetrics::Get();
+  SetNoDelay(fd).ok();
+  if (!manager_.TryAdmit()) {
+    // Over max_connections: a best-effort Goodbye so the client sees an
+    // admission rejection instead of a bare RST.
+    m.net_connections_rejected->Add(1);
+    const std::string frame =
+        EncodeFrame(FrameType::kGoodbye, "server at max_connections");
+    [[maybe_unused]] ssize_t n = ::write(fd, frame.data(), frame.size());
+    ::close(fd);
+    return;
+  }
+  m.net_connections_opened->Add(1);
+  m.net_active_connections->Set(static_cast<int64_t>(manager_.active()));
+
+  LoopShard* shard = shards_[next_shard_].get();
+  next_shard_ = (next_shard_ + 1) % shards_.size();
+  Session* session =
+      new Session(manager_.NextSessionId(), fd, &shard->loop, this,
+                  manager_.limits());
+  shard->loop.QueueInLoop([this, shard, session] {
+    std::unique_ptr<Session> owned(session);
+    Status st = owned->Register();
+    if (!st.ok()) {
+      INSIGHT_LOG(Error) << "session register failed: " << st.ToString();
+      manager_.Release();
+      return;  // ~Session closes the fd.
+    }
+    shard->sessions.emplace(owned->id(), std::move(owned));
+  });
+}
+
+void InsightServer::HandleQuery(Session* session, const std::string& sql) {
+  EngineMetrics& m = EngineMetrics::Get();
+  Stopwatch timer;
+  session->CountStatement();
+  Result<QueryResult> executed = db_->Execute(sql);
+  m.net_request_millis->Observe(timer.ElapsedMillis());
+  if (!executed.ok()) {
+    m.net_request_errors->Add(1);
+    session->SendFrame(FrameType::kError, EncodeError(executed.status()));
+    return;
+  }
+  // Serving-path kill point: the statement (and its WAL commit) is done
+  // but the client has not been told. A crash here must recover to a
+  // state containing every previously-acknowledged statement.
+  INSIGHT_CRASH_POINT("net_before_reply");
+
+  const QueryResult& result = *executed;
+  std::vector<std::string> annotations;
+  annotations.reserve(result.annotations.size());
+  for (const Annotation& ann : result.annotations) {
+    annotations.push_back("[" + std::to_string(ann.id) + "] " + ann.text);
+  }
+  std::vector<std::string> summaries;
+  if (!result.summaries.empty()) {
+    summaries.reserve(result.rows.size());
+    for (size_t r = 0; r < result.rows.size(); ++r) {
+      summaries.push_back(r < result.summaries.size() &&
+                                  !result.summaries[r].empty()
+                              ? result.summaries[r].ToString()
+                              : std::string());
+    }
+  }
+  session->SendFrame(
+      FrameType::kResultHeader,
+      EncodeResultHeader(result.schema, result.message, annotations));
+  for (size_t begin = 0; begin < result.rows.size();
+       begin += kWireRowsPerBatch) {
+    session->SendFrame(
+        FrameType::kRowBatch,
+        EncodeRowBatch(result.rows, summaries, begin, kWireRowsPerBatch));
+    if (session->closed()) return;
+  }
+  session->SendFrame(FrameType::kResultDone,
+                     EncodeResultDone(result.rows.size()));
+}
+
+std::string InsightServer::MetricsText() { return db_->DumpMetrics(); }
+
+void InsightServer::OnShutdownRequest() { NudgeShutdown(); }
+
+void InsightServer::NudgeShutdown() {
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void InsightServer::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lk(shutdown_mu_);
+  shutdown_cv_.wait(lk, [this] { return shutdown_requested_; });
+}
+
+void InsightServer::OnSessionClosed(Session* session) {
+  manager_.Release();
+  EngineMetrics& m = EngineMetrics::Get();
+  m.net_connections_closed->Add(1);
+  m.net_active_connections->Set(static_cast<int64_t>(manager_.active()));
+  // The close always happens on the session's own loop thread, possibly
+  // inside its own event callback, so destruction is deferred to the next
+  // loop iteration. Match the shard by loop pointer — other shards' maps
+  // belong to other threads and must not be touched here.
+  for (auto& shard : shards_) {
+    if (&shard->loop != session->loop()) continue;
+    LoopShard* raw = shard.get();
+    const uint64_t id = session->id();
+    raw->loop.QueueInLoop([raw, id] { raw->sessions.erase(id); });
+    return;
+  }
+}
+
+void InsightServer::Shutdown() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+
+  // 1. Stop accepting.
+  accept_loop_.QueueInLoop([this] {
+    accept_loop_.RemoveFd(listen_fd_).ok();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  });
+  accept_loop_.Quit();
+  accept_thread_.join();
+
+  // 2. Drain each shard: any in-flight statement finishes before the
+  // queued close runs (statements execute synchronously on the loop
+  // thread), then lingering clients get a Goodbye and the loop exits.
+  for (auto& shard : shards_) {
+    LoopShard* raw = shard.get();
+    raw->loop.QueueInLoop([raw] {
+      for (auto& [id, session] : raw->sessions) {
+        if (session->closed()) continue;
+        session->SendFrame(FrameType::kGoodbye, "server shutting down");
+        session->Close("drain");
+      }
+    });
+    raw->loop.Quit();
+  }
+  for (auto& shard : shards_) {
+    shard->thread.join();
+    shard->sessions.clear();
+  }
+  INSIGHT_LOG(Info) << "insightd drained and stopped";
+}
+
+}  // namespace insight

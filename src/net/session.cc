@@ -1,0 +1,178 @@
+#include "net/session.h"
+
+#include <string.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace insight {
+
+Session::Session(uint64_t id, int fd, EventLoop* loop, SessionHost* host,
+                 const SessionManager::Limits& limits)
+    : id_(id),
+      fd_(fd),
+      loop_(loop),
+      host_(host),
+      idle_timeout_ms_(limits.idle_timeout_ms),
+      // Statements up to the configured limit must fit one Query frame;
+      // anything larger is rejected before it is buffered whole.
+      parser_(static_cast<uint32_t>(limits.max_statement_bytes + 1024)),
+      last_active_(std::chrono::steady_clock::now()) {}
+
+Session::~Session() {
+  if (!closed_) {
+    loop_->RemoveFd(fd_).ok();
+    ::close(fd_);
+    closed_ = true;
+  }
+}
+
+Status Session::Register() {
+  return loop_->AddFd(fd_, EPOLLIN,
+                      [this](uint32_t events) { OnEvents(events); });
+}
+
+void Session::OnEvents(uint32_t events) {
+  if (closed_) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    Close("peer hung up");
+    return;
+  }
+  if (events & EPOLLOUT) {
+    Flush();
+    if (closed_) return;
+  }
+  if (events & EPOLLIN) OnReadable();
+}
+
+void Session::OnReadable() {
+  char buf[64 * 1024];
+  bool saw_eof = false;
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      EngineMetrics::Get().net_bytes_received->Add(static_cast<uint64_t>(n));
+      parser_.Feed(buf, static_cast<size_t>(n));
+      last_active_ = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    Close(std::string("read error: ") + std::strerror(errno));
+    return;
+  }
+  Frame frame;
+  for (;;) {
+    Result<bool> next = parser_.Next(&frame);
+    if (!next.ok()) {
+      // Corrupt or oversized input: tell the peer why, then drop the
+      // connection — a TCP stream cannot resynchronize past bad framing.
+      EngineMetrics::Get().net_frames_corrupt->Add(1);
+      SendFrame(FrameType::kError, EncodeError(next.status()));
+      Close(next.status().message());
+      return;
+    }
+    if (!*next) break;
+    DispatchFrame(frame);
+    if (closed_) return;
+  }
+  if (saw_eof) Close("client closed connection");
+}
+
+void Session::DispatchFrame(const Frame& frame) {
+  EngineMetrics& m = EngineMetrics::Get();
+  m.net_requests_total->Add(1);
+  switch (frame.type) {
+    case FrameType::kQuery: {
+      Result<std::string> sql = DecodeQuery(frame.payload);
+      if (!sql.ok()) {
+        SendFrame(FrameType::kError, EncodeError(sql.status()));
+        return;
+      }
+      host_->HandleQuery(this, *sql);
+      return;
+    }
+    case FrameType::kPing:
+      SendFrame(FrameType::kPong, {});
+      return;
+    case FrameType::kMetricsRequest: {
+      std::string text = host_->MetricsText();
+      SendFrame(FrameType::kMetricsReply, EncodeQuery(text));
+      return;
+    }
+    case FrameType::kShutdown:
+      SendFrame(FrameType::kShutdownAck, {});
+      Flush();
+      host_->OnShutdownRequest();
+      return;
+    default:
+      SendFrame(FrameType::kError,
+                EncodeError(Status::InvalidArgument(
+                    "unexpected client frame type " +
+                    std::to_string(static_cast<int>(frame.type)))));
+      return;
+  }
+}
+
+void Session::SendFrame(FrameType type, std::string_view payload) {
+  if (closed_) return;
+  EncodeFrame(type, payload, &outbuf_);
+  Flush();
+}
+
+void Session::Flush() {
+  if (closed_) return;
+  while (out_sent_ < outbuf_.size()) {
+    const ssize_t n = ::write(fd_, outbuf_.data() + out_sent_,
+                              outbuf_.size() - out_sent_);
+    if (n > 0) {
+      EngineMetrics::Get().net_bytes_sent->Add(static_cast<uint64_t>(n));
+      out_sent_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    Close(std::string("write error: ") + std::strerror(errno));
+    return;
+  }
+  if (out_sent_ == outbuf_.size()) {
+    outbuf_.clear();
+    out_sent_ = 0;
+  } else if (out_sent_ > (1u << 20)) {
+    outbuf_.erase(0, out_sent_);
+    out_sent_ = 0;
+  }
+  UpdateInterest();
+}
+
+void Session::UpdateInterest() {
+  const bool want = out_sent_ < outbuf_.size();
+  if (want == want_write_) return;
+  want_write_ = want;
+  loop_->UpdateFd(fd_, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN).ok();
+}
+
+void Session::Close(const std::string& reason) {
+  if (closed_) return;
+  closed_ = true;
+  INSIGHT_LOG(Debug) << "session " << id_ << " closed: " << reason;
+  loop_->RemoveFd(fd_).ok();
+  ::close(fd_);
+  host_->OnSessionClosed(this);
+}
+
+bool Session::IdleExpired(std::chrono::steady_clock::time_point now) const {
+  if (idle_timeout_ms_ <= 0) return false;
+  return now - last_active_ > std::chrono::milliseconds(idle_timeout_ms_);
+}
+
+}  // namespace insight

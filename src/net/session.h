@@ -1,0 +1,140 @@
+#ifndef INSIGHTNOTES_NET_SESSION_H_
+#define INSIGHTNOTES_NET_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/event_loop.h"
+#include "net/wire.h"
+
+namespace insight {
+
+class Session;
+
+/// What a Session needs from its server. An interface so the session
+/// layer does not depend on InsightServer (and tests can fake it).
+class SessionHost {
+ public:
+  virtual ~SessionHost() = default;
+
+  /// Executes one statement and queues the reply frames on `session`.
+  /// Runs on the session's loop thread.
+  virtual void HandleQuery(Session* session, const std::string& sql) = 0;
+
+  /// Prometheus text exposition for the Metrics frame.
+  virtual std::string MetricsText() = 0;
+
+  /// A client sent Shutdown (after the ack was queued): begin drain.
+  virtual void OnShutdownRequest() = 0;
+
+  /// The session closed its fd; the host must defer-destroy it (the call
+  /// may originate inside the session's own event callback).
+  virtual void OnSessionClosed(Session* session) = 0;
+};
+
+/// Admission control and session accounting shared by every I/O loop.
+/// Sessions are owned by their loop shard; this tracks only counts, so
+/// one atomic is enough and no loop ever blocks on another.
+class SessionManager {
+ public:
+  struct Limits {
+    size_t max_connections = 256;
+    int64_t idle_timeout_ms = 300'000;  // 5 min; <=0 disables the sweep.
+    size_t max_statement_bytes = 1u << 20;
+  };
+
+  explicit SessionManager(Limits limits) : limits_(limits) {}
+
+  /// Reserves one connection slot; false when the server is full (the
+  /// caller sends Goodbye and closes).
+  bool TryAdmit() {
+    size_t cur = active_.load(std::memory_order_relaxed);
+    while (cur < limits_.max_connections) {
+      if (active_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Release() { active_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  uint64_t NextSessionId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  size_t active() const { return active_.load(std::memory_order_relaxed); }
+  const Limits& limits() const { return limits_; }
+
+ private:
+  const Limits limits_;
+  std::atomic<size_t> active_{0};
+  std::atomic<uint64_t> next_id_{1};
+};
+
+/// One client connection, owned by exactly one EventLoop thread: all
+/// methods except the constructor run on that thread, so the buffers and
+/// parser need no locks. Frames are decoded incrementally; each Query is
+/// executed synchronously via the host (readers overlap across loops,
+/// writers serialize on the database's statement gate) and the reply is
+/// streamed back as ResultHeader / RowBatch* / ResultDone.
+class Session {
+ public:
+  Session(uint64_t id, int fd, EventLoop* loop, SessionHost* host,
+          const SessionManager::Limits& limits);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Registers the fd with the loop. Loop thread.
+  Status Register();
+
+  /// Queues one frame and flushes as far as the socket allows.
+  void SendFrame(FrameType type, std::string_view payload);
+
+  /// Sends Goodbye (best effort) and closes. Loop thread.
+  void Close(const std::string& reason);
+
+  /// True when idle longer than the configured timeout.
+  bool IdleExpired(std::chrono::steady_clock::time_point now) const;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  EventLoop* loop() const { return loop_; }
+  bool closed() const { return closed_; }
+  uint64_t statements() const { return statements_; }
+
+  /// Statement counter hook for the host.
+  void CountStatement() { ++statements_; }
+
+ private:
+  void OnEvents(uint32_t events);
+  void OnReadable();
+  void DispatchFrame(const Frame& frame);
+  /// Writes as much buffered output as the socket accepts; toggles
+  /// EPOLLOUT interest accordingly.
+  void Flush();
+  void UpdateInterest();
+
+  const uint64_t id_;
+  const int fd_;
+  EventLoop* const loop_;
+  SessionHost* const host_;
+  const int64_t idle_timeout_ms_;
+
+  FrameParser parser_;
+  std::string outbuf_;
+  size_t out_sent_ = 0;
+  bool want_write_ = false;
+  bool closed_ = false;
+  uint64_t statements_ = 0;
+  std::chrono::steady_clock::time_point last_active_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_NET_SESSION_H_

@@ -1,0 +1,42 @@
+#ifndef INSIGHTNOTES_NET_SOCKET_UTIL_H_
+#define INSIGHTNOTES_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace insight {
+
+/// Thin POSIX socket helpers shared by the reactor and the blocking
+/// client. All functions return Status/Result instead of errno codes so
+/// call sites compose with the rest of the engine.
+
+/// Creates a non-blocking listening TCP socket bound to 127.0.0.1:`port`
+/// (port 0 = kernel-assigned ephemeral port). SO_REUSEADDR is set so
+/// restart-on-same-directory tests do not trip TIME_WAIT.
+Result<int> CreateListener(uint16_t port, int backlog = 128);
+
+/// The port a bound socket actually listens on (resolves port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking connect to host:port; returns a connected blocking fd.
+Result<int> ConnectTo(const std::string& host, uint16_t port);
+
+/// O_NONBLOCK on/off.
+Status SetNonBlocking(int fd, bool enabled);
+
+/// Disables Nagle: the protocol is request/response with small frames,
+/// so coalescing delays round-trips without saving anything.
+Status SetNoDelay(int fd);
+
+/// Reads exactly `len` bytes from a *blocking* fd (client side). Fails
+/// with IOError on EOF or error before `len` bytes arrive.
+Status ReadFully(int fd, void* buf, size_t len);
+
+/// Writes all of `data` to a *blocking* fd, retrying short writes.
+Status WriteFully(int fd, const void* buf, size_t len);
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_NET_SOCKET_UTIL_H_

@@ -1,0 +1,239 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/serde.h"
+#include "wal/wal_record.h"  // Crc32.
+
+namespace insight {
+
+void EncodeFrame(FrameType type, std::string_view payload, std::string* dst) {
+  std::string body;
+  body.reserve(1 + payload.size());
+  PutU8(&body, static_cast<uint8_t>(type));
+  body.append(payload.data(), payload.size());
+  PutU32(dst, static_cast<uint32_t>(body.size()));
+  PutU32(dst, Crc32(body));
+  dst->append(body);
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  EncodeFrame(type, payload, &out);
+  return out;
+}
+
+Result<bool> FrameParser::Next(Frame* out) {
+  // Reclaim consumed prefix lazily so steady-state parsing is O(bytes).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return false;
+  uint32_t body_len, crc;
+  std::memcpy(&body_len, buffer_.data() + consumed_, 4);
+  std::memcpy(&crc, buffer_.data() + consumed_ + 4, 4);
+  if (body_len == 0 || body_len > max_frame_bytes_) {
+    return Status::ResourceExhausted(
+        "wire frame body of " + std::to_string(body_len) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+        "-byte limit");
+  }
+  if (avail < kFrameHeaderBytes + body_len) return false;
+  const std::string_view body(buffer_.data() + consumed_ + kFrameHeaderBytes,
+                              body_len);
+  if (Crc32(body) != crc) {
+    return Status::Corruption("wire frame checksum mismatch");
+  }
+  const uint8_t type = static_cast<uint8_t>(body[0]);
+  if (type < static_cast<uint8_t>(FrameType::kQuery) ||
+      type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+    return Status::Corruption("unknown wire frame type " +
+                              std::to_string(type));
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(body.data() + 1, body.size() - 1);
+  consumed_ += kFrameHeaderBytes + body_len;
+  return true;
+}
+
+// ---- Status over the wire ----
+
+uint16_t WireStatusCode(StatusCode code) {
+  return static_cast<uint16_t>(code);
+}
+
+StatusCode StatusCodeFromWire(uint16_t wire) {
+  if (wire > static_cast<uint16_t>(StatusCode::kTypeError)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(wire);
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  PutU32(&out, WireStatusCode(status.code()));
+  PutString(&out, status.message());
+  return out;
+}
+
+Status DecodeError(std::string_view payload) {
+  SerdeReader reader(payload);
+  uint32_t code;
+  std::string message;
+  if (!reader.ReadU32(&code) || !reader.ReadString(&message)) {
+    return Status::Corruption("malformed Error frame");
+  }
+  StatusCode decoded = StatusCodeFromWire(static_cast<uint16_t>(code));
+  if (decoded == StatusCode::kOk) decoded = StatusCode::kInternal;
+  return Status(decoded, std::move(message));
+}
+
+// ---- Query / result payloads ----
+
+std::string EncodeQuery(std::string_view sql) {
+  std::string out;
+  PutString(&out, sql);
+  return out;
+}
+
+Result<std::string> DecodeQuery(std::string_view payload) {
+  SerdeReader reader(payload);
+  std::string sql;
+  if (!reader.ReadString(&sql) || !reader.AtEnd()) {
+    return Status::Corruption("malformed Query frame");
+  }
+  return sql;
+}
+
+std::string EncodeResultHeader(const Schema& schema,
+                               const std::string& message,
+                               const std::vector<std::string>& annotations) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(schema.num_columns()));
+  for (const Column& col : schema.columns()) {
+    PutString(&out, col.name);
+    PutU8(&out, static_cast<uint8_t>(col.type));
+  }
+  PutString(&out, message);
+  PutU32(&out, static_cast<uint32_t>(annotations.size()));
+  for (const std::string& ann : annotations) PutString(&out, ann);
+  return out;
+}
+
+Status DecodeResultHeader(std::string_view payload, NetResult* out) {
+  SerdeReader reader(payload);
+  uint32_t ncols;
+  if (!reader.ReadU32(&ncols)) {
+    return Status::Corruption("malformed ResultHeader frame");
+  }
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string name;
+    uint8_t type;
+    if (!reader.ReadString(&name) || !reader.ReadU8(&type) ||
+        type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::Corruption("malformed ResultHeader column");
+    }
+    // AddColumn rejects duplicates; wire schemas may legitimately carry
+    // qualified duplicates from joins, so append directly.
+    Status added =
+        out->schema.AddColumn({std::move(name), static_cast<ValueType>(type)});
+    if (!added.ok() && !added.IsInvalidArgument() &&
+        added.code() != StatusCode::kAlreadyExists) {
+      return added;
+    }
+  }
+  uint32_t nanns;
+  if (!reader.ReadString(&out->message) || !reader.ReadU32(&nanns)) {
+    return Status::Corruption("malformed ResultHeader frame");
+  }
+  for (uint32_t i = 0; i < nanns; ++i) {
+    std::string ann;
+    if (!reader.ReadString(&ann)) {
+      return Status::Corruption("malformed ResultHeader annotation");
+    }
+    out->annotations.push_back(std::move(ann));
+  }
+  return Status::OK();
+}
+
+std::string EncodeRowBatch(const std::vector<Tuple>& rows,
+                           const std::vector<std::string>& summaries,
+                           size_t begin, size_t count) {
+  std::string out;
+  const size_t end = std::min(begin + count, rows.size());
+  PutU32(&out, static_cast<uint32_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    rows[i].Serialize(&out);
+    PutString(&out, i < summaries.size() ? summaries[i] : std::string());
+  }
+  return out;
+}
+
+Status DecodeRowBatch(std::string_view payload, NetResult* out) {
+  SerdeReader reader(payload);
+  uint32_t nrows;
+  if (!reader.ReadU32(&nrows)) {
+    return Status::Corruption("malformed RowBatch frame");
+  }
+  for (uint32_t i = 0; i < nrows; ++i) {
+    INSIGHT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(&reader));
+    std::string summary;
+    if (!reader.ReadString(&summary)) {
+      return Status::Corruption("malformed RowBatch summary");
+    }
+    out->rows.push_back(std::move(tuple));
+    out->summaries.push_back(std::move(summary));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in RowBatch frame");
+  }
+  return Status::OK();
+}
+
+std::string EncodeResultDone(uint64_t total_rows) {
+  std::string out;
+  PutU64(&out, total_rows);
+  return out;
+}
+
+Result<uint64_t> DecodeResultDone(std::string_view payload) {
+  SerdeReader reader(payload);
+  uint64_t total;
+  if (!reader.ReadU64(&total) || !reader.AtEnd()) {
+    return Status::Corruption("malformed ResultDone frame");
+  }
+  return total;
+}
+
+std::string NetResult::ToString(size_t max_rows) const {
+  std::string out;
+  if (!message.empty()) out += message + "\n";
+  for (const std::string& ann : annotations) out += "  " + ann + "\n";
+  if (schema.num_columns() == 0 && rows.empty()) return out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += " | ";
+    out += schema.column(c).name;
+  }
+  out += "\n";
+  const size_t shown = std::min(rows.size(), max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows[r].at(c).ToString();
+    }
+    if (r < summaries.size() && !summaries[r].empty()) {
+      out += "  " + summaries[r];
+    }
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  out += "(" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+}  // namespace insight

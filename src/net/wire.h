@@ -1,0 +1,137 @@
+#ifndef INSIGHTNOTES_NET_WIRE_H_
+#define INSIGHTNOTES_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace insight {
+
+/// Binary wire protocol spoken between `insightd` and InsightClient.
+///
+/// Framing mirrors the WAL's on-disk record discipline:
+///   [u32 body_len][u32 crc32(body)][body = u8 type | payload]
+/// so a truncated or bit-flipped frame fails the length or checksum test
+/// instead of being half-interpreted. All integers are little-endian.
+///
+/// One request maps to one of:
+///   Query        -> ResultHeader, RowBatch*, ResultDone   (success)
+///                -> Error                                 (failure)
+///   Ping         -> Pong
+///   MetricsReq   -> MetricsReply (Prometheus text exposition)
+///   Shutdown     -> ShutdownAck, then the server drains and exits
+/// The server may also send Goodbye before closing (admission reject,
+/// idle timeout, drain notice).
+enum class FrameType : uint8_t {
+  kQuery = 1,
+  kResultHeader = 2,
+  kRowBatch = 3,
+  kResultDone = 4,
+  kError = 5,
+  kPing = 6,
+  kPong = 7,
+  kMetricsRequest = 8,
+  kMetricsReply = 9,
+  kShutdown = 10,
+  kShutdownAck = 11,
+  kGoodbye = 12,
+};
+
+/// Frame header bytes preceding the body.
+inline constexpr size_t kFrameHeaderBytes = 8;  // len + crc.
+
+/// Upper bound on one frame body; a peer announcing more is treated as
+/// corrupt/hostile and the connection is dropped. Row batches are split
+/// well below this.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Rows per RowBatch frame the server emits (keeps frames small enough
+/// to interleave with other connections on the same loop).
+inline constexpr size_t kWireRowsPerBatch = 256;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Appends the full encoding of one frame to `*dst`.
+void EncodeFrame(FrameType type, std::string_view payload, std::string* dst);
+std::string EncodeFrame(FrameType type, std::string_view payload = {});
+
+/// Incremental frame decoder over a byte stream. Feed() raw reads, then
+/// drain with Next(): returns true with `*out` filled per complete frame,
+/// false when more bytes are needed, and a Status error on a corrupt or
+/// oversized frame (the connection should be closed — resync is not
+/// attempted on a TCP stream).
+class FrameParser {
+ public:
+  explicit FrameParser(uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(const char* data, size_t len) { buffer_.append(data, len); }
+
+  Result<bool> Next(Frame* out);
+
+  /// Bytes currently buffered but not yet consumed.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const uint32_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already handed out.
+};
+
+// ---- Status over the wire ----
+
+/// StatusCode <-> u16 wire code. Unknown codes decode to kInternal so a
+/// newer server never crashes an older client.
+uint16_t WireStatusCode(StatusCode code);
+StatusCode StatusCodeFromWire(uint16_t wire);
+
+std::string EncodeError(const Status& status);
+/// Decodes an Error frame payload back into a Status.
+Status DecodeError(std::string_view payload);
+
+// ---- Query / result payloads ----
+
+std::string EncodeQuery(std::string_view sql);
+Result<std::string> DecodeQuery(std::string_view payload);
+
+/// Client-side materialized result of one statement: the rows plus the
+/// rendered per-row summary sets and zoom-in annotations (rendered
+/// server-side; the wire ships display text, not summary objects).
+struct NetResult {
+  Schema schema;
+  std::vector<Tuple> rows;
+  std::vector<std::string> summaries;    // Parallel to rows; "" when none.
+  std::string message;                   // DDL/utility acknowledgement.
+  std::vector<std::string> annotations;  // ZOOM IN payload, rendered.
+
+  /// ASCII rendering in the spirit of QueryResult::ToString.
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+/// ResultHeader payload: schema + message + rendered annotations.
+std::string EncodeResultHeader(const Schema& schema,
+                               const std::string& message,
+                               const std::vector<std::string>& annotations);
+Status DecodeResultHeader(std::string_view payload, NetResult* out);
+
+/// RowBatch payload: u32 n, then per row [tuple][summary string].
+std::string EncodeRowBatch(const std::vector<Tuple>& rows,
+                           const std::vector<std::string>& summaries,
+                           size_t begin, size_t count);
+/// Appends the decoded rows/summaries to `out`.
+Status DecodeRowBatch(std::string_view payload, NetResult* out);
+
+std::string EncodeResultDone(uint64_t total_rows);
+Result<uint64_t> DecodeResultDone(std::string_view payload);
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_NET_WIRE_H_

@@ -310,6 +310,36 @@ EngineMetrics& EngineMetrics::Get() {
     m->plan_qerror = r.GetHistogram(
         "insight_plan_qerror", {1, 2, 4, 8, 16, 32, 64, 128},
         "Per-operator estimated-vs-actual cardinality q-error");
+    m->net_connections_opened =
+        r.GetCounter("insight_net_connections_opened_total",
+                     "Client connections accepted and adopted by a loop");
+    m->net_connections_closed =
+        r.GetCounter("insight_net_connections_closed_total",
+                     "Client connections closed (any reason)");
+    m->net_connections_rejected =
+        r.GetCounter("insight_net_connections_rejected_total",
+                     "Connections turned away by admission control");
+    m->net_active_connections =
+        r.GetGauge("insight_net_active_connections",
+                   "Currently admitted client sessions");
+    m->net_requests_total = r.GetCounter(
+        "insight_net_requests_total", "Query frames executed by the server");
+    m->net_request_errors =
+        r.GetCounter("insight_net_request_errors_total",
+                     "Query frames that returned an Error frame");
+    m->net_frames_corrupt =
+        r.GetCounter("insight_net_frames_corrupt_total",
+                     "Frames rejected for bad CRC, unknown type, or size");
+    m->net_idle_disconnects =
+        r.GetCounter("insight_net_idle_disconnects_total",
+                     "Sessions closed by the idle-timeout sweep");
+    m->net_bytes_received = r.GetCounter("insight_net_bytes_received_total",
+                                         "Bytes read from client sockets");
+    m->net_bytes_sent = r.GetCounter("insight_net_bytes_sent_total",
+                                     "Bytes written to client sockets");
+    m->net_request_millis = r.GetHistogram(
+        "insight_net_request_millis", {1, 5, 10, 50, 100, 500, 1000, 5000},
+        "Server-side statement wall time in milliseconds");
     return m;
   }();
   return *metrics;

@@ -201,6 +201,18 @@ struct EngineMetrics {
   Counter* slow_queries_total;
   Histogram* query_millis;
   Histogram* plan_qerror;  // Estimated-vs-actual q-error per operator.
+  // Network service (insightd).
+  Counter* net_connections_opened;
+  Counter* net_connections_closed;
+  Counter* net_connections_rejected;  // Admission-control turn-aways.
+  Gauge* net_active_connections;
+  Counter* net_requests_total;
+  Counter* net_request_errors;
+  Counter* net_frames_corrupt;  // Bad CRC / unknown type / oversized.
+  Counter* net_idle_disconnects;
+  Counter* net_bytes_received;
+  Counter* net_bytes_sent;
+  Histogram* net_request_millis;
 
   static EngineMetrics& Get();
 };

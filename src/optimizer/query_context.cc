@@ -90,10 +90,17 @@ Status QueryContext::Analyze(const std::string& table) {
 
 Status QueryContext::RefreshStats(const std::string& table) {
   INSIGHT_ASSIGN_OR_RETURN(RelationInfo * info, GetMutable(table));
-  if (info->needs_analyze && info->stats.has_value()) {
+  bool rebuild = false;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    if (info->needs_analyze && info->stats.has_value()) {
+      info->needs_analyze = false;
+      rebuild = true;
+    }
+  }
+  if (rebuild) {
     // Feedback said the cached statistics misestimate badly enough that
     // incremental folding can't save them; rebuild from the data.
-    info->needs_analyze = false;
     return Analyze(table);
   }
   if (info->stats.has_value() && info->live_stats != nullptr) {
@@ -107,6 +114,7 @@ void QueryContext::ReportCardinalityFeedback(const std::string& table,
                                              double threshold) {
   Result<RelationInfo*> info = GetMutable(table);
   if (!info.ok()) return;
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   (*info)->worst_qerror = std::max((*info)->worst_qerror, qerror);
   if (threshold > 0 && qerror >= threshold) (*info)->needs_analyze = true;
 }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -112,6 +113,10 @@ class QueryContext {
   BufferPool* pool_;
   ExecutionContext exec_ctx_;
   std::map<std::string, RelationInfo> relations_;  // Lower-cased keys.
+  /// Guards the cardinality-feedback fields (needs_analyze, worst_qerror):
+  /// feedback arrives from concurrent read statements that otherwise only
+  /// hold the Database statement gate in shared mode.
+  mutable std::mutex feedback_mu_;
 };
 
 }  // namespace insight

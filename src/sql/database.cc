@@ -857,13 +857,13 @@ Result<LogicalPtr> Database::BindSelect(const SelectStatement& select) {
 
 Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
                                             bool explain_only,
-                                            const std::string& sql) {
+                                            const std::string& sql,
+                                            bool refresh_stats) {
   const auto query_start = std::chrono::steady_clock::now();
-  // Fold maintained-on-update summary statistics into the planner's view
-  // (Section 5.2); cheap, no scans.
-  for (const SelectStatement::FromTable& from : select.from) {
-    Status refreshed = context_.RefreshStats(from.table);
-    if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
+  // Callers arriving through the shared statement gate have already folded
+  // stats under an exclusive gate and pass refresh_stats=false.
+  if (refresh_stats) {
+    INSIGHT_RETURN_NOT_OK(RefreshSelectStats(select));
   }
   INSIGHT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(select));
   Optimizer optimizer(&context_, optimizer_options_);
@@ -934,14 +934,62 @@ Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
   return result;
 }
 
+Status Database::CheckStatementSize(const std::string& sql) const {
+  if (sql.size() > options_.max_statement_bytes) {
+    return Status::ResourceExhausted(
+        "statement of " + std::to_string(sql.size()) +
+        " bytes exceeds max_statement_bytes=" +
+        std::to_string(options_.max_statement_bytes));
+  }
+  return Status::OK();
+}
+
+Status Database::RefreshSelectStats(const SelectStatement& select) {
+  // Fold maintained-on-update summary statistics into the planner's view
+  // (Section 5.2); cheap, no scans.
+  for (const SelectStatement::FromTable& from : select.from) {
+    Status refreshed = context_.RefreshStats(from.table);
+    if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> Database::Execute(const std::string& sql) {
+  INSIGHT_RETURN_NOT_OK(CheckStatementSize(sql));
   INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  const bool read_only = stmt.kind == Statement::Kind::kSelect ||
+                         stmt.kind == Statement::Kind::kExplain ||
+                         stmt.kind == Statement::Kind::kZoomIn;
+  if (!read_only) {
+    std::unique_lock<std::shared_mutex> gate(statement_mu_);
+    return ExecuteMutation(stmt);
+  }
+  if (stmt.kind != Statement::Kind::kZoomIn) {
+    // Stats folding mutates shared planner state, so it runs under a
+    // brief exclusive gate before the query overlaps with other readers.
+    std::unique_lock<std::shared_mutex> gate(statement_mu_);
+    INSIGHT_RETURN_NOT_OK(RefreshSelectStats(*stmt.select));
+  }
+  std::shared_lock<std::shared_mutex> gate(statement_mu_);
+  if (stmt.kind == Statement::Kind::kZoomIn) {
+    QueryResult result;
+    INSIGHT_ASSIGN_OR_RETURN(
+        result.annotations,
+        ZoomIn(stmt.table, stmt.tuple_oid, stmt.instance, stmt.zoom_label,
+               stmt.zoom_rep_index));
+    return result;
+  }
+  return ExecuteSelect(*stmt.select, stmt.kind == Statement::Kind::kExplain,
+                       sql, /*refresh_stats=*/false);
+}
+
+Result<QueryResult> Database::ExecuteMutation(const Statement& stmt) {
   QueryResult result;
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return ExecuteSelect(*stmt.select, false, sql);
     case Statement::Kind::kExplain:
-      return ExecuteSelect(*stmt.select, true, sql);
+    case Statement::Kind::kZoomIn:
+      return Status::Internal("read statement routed to ExecuteMutation");
     case Statement::Kind::kCreateTable: {
       INSIGHT_RETURN_NOT_OK(CreateTable(stmt.table, stmt.schema).status());
       result.message = "Table " + stmt.table + " created";
@@ -987,13 +1035,6 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       result.message = "Annotation " + std::to_string(ann) + " added";
       return result;
     }
-    case Statement::Kind::kZoomIn: {
-      INSIGHT_ASSIGN_OR_RETURN(
-          result.annotations,
-          ZoomIn(stmt.table, stmt.tuple_oid, stmt.instance, stmt.zoom_label,
-                 stmt.zoom_rep_index));
-      return result;
-    }
     case Statement::Kind::kAnalyze: {
       INSIGHT_RETURN_NOT_OK(Analyze(stmt.table));
       result.message = "Statistics collected for " + stmt.table;
@@ -1010,13 +1051,20 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
 }
 
 Result<std::string> Database::Explain(const std::string& sql) {
+  INSIGHT_RETURN_NOT_OK(CheckStatementSize(sql));
   INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   if (stmt.kind != Statement::Kind::kSelect &&
       stmt.kind != Statement::Kind::kExplain) {
     return Status::InvalidArgument("can only explain SELECT statements");
   }
-  INSIGHT_ASSIGN_OR_RETURN(QueryResult result,
-                           ExecuteSelect(*stmt.select, true));
+  {
+    std::unique_lock<std::shared_mutex> gate(statement_mu_);
+    INSIGHT_RETURN_NOT_OK(RefreshSelectStats(*stmt.select));
+  }
+  std::shared_lock<std::shared_mutex> gate(statement_mu_);
+  INSIGHT_ASSIGN_OR_RETURN(
+      QueryResult result,
+      ExecuteSelect(*stmt.select, true, sql, /*refresh_stats=*/false));
   return result.message;
 }
 
@@ -1087,6 +1135,7 @@ std::string Database::DumpMetricsJson() const {
 }
 
 Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
+  INSIGHT_RETURN_NOT_OK(CheckStatementSize(sql));
   INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   if (stmt.kind != Statement::Kind::kSelect &&
       stmt.kind != Statement::Kind::kExplain) {
@@ -1094,10 +1143,11 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   }
   const SelectStatement& select = *stmt.select;
   const auto query_start = std::chrono::steady_clock::now();
-  for (const SelectStatement::FromTable& from : select.from) {
-    Status refreshed = context_.RefreshStats(from.table);
-    if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
+  {
+    std::unique_lock<std::shared_mutex> exclusive_gate(statement_mu_);
+    INSIGHT_RETURN_NOT_OK(RefreshSelectStats(select));
   }
+  std::shared_lock<std::shared_mutex> gate(statement_mu_);
   INSIGHT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(select));
   Optimizer optimizer(&context_, optimizer_options_);
   INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,10 @@ class Database : public ReplayTarget {
     WalSyncMode wal_sync = WalSyncMode::kEveryOp;
     /// >0: automatic fuzzy checkpoint after this many logged operations.
     uint64_t checkpoint_every_ops = 0;
+    /// Statements longer than this are rejected with ResourceExhausted
+    /// before tokenization, bounding allocation on untrusted input (the
+    /// network path feeds Execute() directly).
+    size_t max_statement_bytes = 1u << 20;
   };
 
   Database() : Database(Options{}) {}
@@ -133,6 +138,13 @@ class Database : public ReplayTarget {
   // ---- Queries ----
 
   /// Parses, plans, optimizes, and executes one statement.
+  ///
+  /// Execute() is the engine's concurrency boundary: read statements
+  /// (SELECT / EXPLAIN / ZOOM IN) run under a shared statement gate and
+  /// overlap freely — concurrent network clients drive the thread-safe
+  /// buffer pool and parallel scans directly — while mutating statements
+  /// take the gate exclusively and batch into the WAL group-commit path.
+  /// Embedded single-threaded callers pay one uncontended lock.
   Result<QueryResult> Execute(const std::string& sql);
 
   /// The optimized physical plan for a SELECT (EXPLAIN).
@@ -231,7 +243,19 @@ class Database : public ReplayTarget {
 
   Result<QueryResult> ExecuteSelect(const SelectStatement& select,
                                     bool explain_only,
-                                    const std::string& sql = "");
+                                    const std::string& sql = "",
+                                    bool refresh_stats = true);
+
+  /// The non-SELECT arm of Execute(); caller holds the exclusive gate.
+  Result<QueryResult> ExecuteMutation(const Statement& stmt);
+
+  /// Folds live summary statistics into the planner's cached TableStats
+  /// for every FROM table. Mutates shared planner state — caller must
+  /// hold the statement gate exclusively (or be single-threaded).
+  Status RefreshSelectStats(const SelectStatement& select);
+
+  /// ResourceExhausted when `sql` exceeds Options::max_statement_bytes.
+  Status CheckStatementSize(const std::string& sql) const;
 
   /// Post-execution observability: query counters/latency, per-operator
   /// estimated-vs-actual q-error (fed back to the optimizer statistics),
@@ -272,6 +296,12 @@ class Database : public ReplayTarget {
   /// Define{Classifier,Snippet,Cluster} API, re-emitted into checkpoint
   /// snapshots (lower-case name -> encoded payload, definition order).
   std::vector<std::pair<std::string, std::string>> instance_def_payloads_;
+
+  /// Statement concurrency gate (see Execute()). Readers share, writers
+  /// are exclusive. Held only at the Execute/Explain/ExplainAnalyze
+  /// surface — internal paths never re-acquire it, so there is no
+  /// recursion hazard.
+  mutable std::shared_mutex statement_mu_;
 
   StorageManager storage_;
   BufferPool pool_;

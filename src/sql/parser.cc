@@ -1,10 +1,36 @@
 #include "sql/parser.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "common/string_util.h"
 
 namespace insight {
 
 namespace {
+
+/// Non-throwing literal conversions: std::stoll/std::stod throw on
+/// out-of-range input, which must never reach the network surface. These
+/// map every malformed or overflowing literal to a ParseError instead.
+Result<int64_t> ParseIntLiteral(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0') {
+    return Status::ParseError("integer literal out of range: " + text);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDoubleLiteral(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0') {
+    return Status::ParseError("numeric literal out of range: " + text);
+  }
+  return v;
+}
 
 /// Recursive-descent parser over the token stream.
 class Parser {
@@ -55,7 +81,7 @@ class Parser {
   }
   Result<int64_t> ExpectInteger() {
     if (!Peek().Is(TokenType::kNumber)) return Err("expected number");
-    return std::stoll(Advance().text);
+    return ParseIntLiteral(Advance().text);
   }
 
   Result<Statement> ParseSelectStatement(bool explain);
@@ -73,8 +99,23 @@ class Parser {
   Result<ExprPtr> ParseOperand();
   Result<ExprPtr> ParseSummaryFunc(std::string qualifier);
 
+  /// Parenthesised operands and chained NOTs recurse; untrusted input can
+  /// nest them arbitrarily deep, so the descent is bounded to keep stack
+  /// use finite (kMaxExprDepth levels is far beyond any sane query).
+  static constexpr int kMaxExprDepth = 100;
+  Status EnterExpr() {
+    if (expr_depth_ >= kMaxExprDepth) {
+      return Status::ParseError("expression nested deeper than " +
+                                std::to_string(kMaxExprDepth) + " levels");
+    }
+    ++expr_depth_;
+    return Status::OK();
+  }
+  void LeaveExpr() { --expr_depth_; }
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int expr_depth_ = 0;
 };
 
 Result<Statement> Parser::ParseStatement() {
@@ -161,9 +202,11 @@ Result<Statement> Parser::ParseInsert() {
       } else if (Peek().Is(TokenType::kNumber)) {
         const std::string number = Advance().text;
         if (number.find('.') != std::string::npos) {
-          row.push_back(Value::Double(std::stod(number)));
+          INSIGHT_ASSIGN_OR_RETURN(double d, ParseDoubleLiteral(number));
+          row.push_back(Value::Double(d));
         } else {
-          row.push_back(Value::Int(std::stoll(number)));
+          INSIGHT_ASSIGN_OR_RETURN(int64_t i, ParseIntLiteral(number));
+          row.push_back(Value::Int(i));
         }
       } else if (Match("NULL")) {
         row.push_back(Value::Null());
@@ -350,7 +393,12 @@ Result<Statement> Parser::ParseSelectStatement(bool explain) {
 
 // ---------- Expressions ----------
 
-Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+Result<ExprPtr> Parser::ParseExpr() {
+  INSIGHT_RETURN_NOT_OK(EnterExpr());
+  Result<ExprPtr> expr = ParseOr();
+  LeaveExpr();
+  return expr;
+}
 
 Result<ExprPtr> Parser::ParseOr() {
   INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
@@ -372,8 +420,11 @@ Result<ExprPtr> Parser::ParseAnd() {
 
 Result<ExprPtr> Parser::ParseNot() {
   if (Match("NOT")) {
-    INSIGHT_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
-    return Not(std::move(operand));
+    INSIGHT_RETURN_NOT_OK(EnterExpr());
+    Result<ExprPtr> operand = ParseNot();
+    LeaveExpr();
+    if (!operand.ok()) return operand.status();
+    return Not(std::move(*operand));
   }
   return ParsePredicate();
 }
@@ -412,9 +463,11 @@ Result<ExprPtr> Parser::ParseOperand() {
   if (Peek().Is(TokenType::kNumber)) {
     const std::string number = Advance().text;
     if (number.find('.') != std::string::npos) {
-      return Lit(Value::Double(std::stod(number)));
+      INSIGHT_ASSIGN_OR_RETURN(double d, ParseDoubleLiteral(number));
+      return Lit(Value::Double(d));
     }
-    return Lit(Value::Int(std::stoll(number)));
+    INSIGHT_ASSIGN_OR_RETURN(int64_t i, ParseIntLiteral(number));
+    return Lit(Value::Int(i));
   }
   if (Match("TRUE")) return Lit(Value::Bool(true));
   if (Match("FALSE")) return Lit(Value::Bool(false));

@@ -59,4 +59,13 @@ const std::vector<std::string>& RegisteredCrashPoints() {
   return kPoints;
 }
 
+const std::vector<std::string>& ServingCrashPoints() {
+  static const std::vector<std::string> kPoints = {
+      "net_before_reply",  // Statement executed + WAL-synced, reply unsent:
+                           // the client sees a dropped connection for a
+                           // change that recovery must preserve.
+  };
+  return kPoints;
+}
+
 }  // namespace insight

@@ -39,6 +39,11 @@ void HitCrashPoint(const char* name);
 /// through the public API).
 const std::vector<std::string>& RegisteredCrashPoints();
 
+/// Crash points that only fire while serving network traffic (insightd).
+/// Kept out of RegisteredCrashPoints() because the storage-level matrix
+/// workload never opens a socket; the net stress tests exercise these.
+const std::vector<std::string>& ServingCrashPoints();
+
 }  // namespace insight
 
 /// Annotates a kill point in durability-critical code. Zero-cost when

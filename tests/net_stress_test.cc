@@ -1,0 +1,277 @@
+// Network-layer stress tests:
+//  1. N client threads run mixed statement streams concurrently against a
+//     live server; the final state must equal a serial replay of the same
+//     streams on an embedded database (statement-gate correctness).
+//  2. A forked server process is killed at the net_before_reply crash
+//     point mid-INSERT; a restarted server over the same directory must
+//     serve every acknowledged statement back over the wire (end-to-end
+//     WAL recovery through the protocol).
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "sql/database.h"
+#include "wal/crash_point.h"
+
+namespace insight {
+namespace {
+
+std::string MakeTempDir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  std::string dir = ::testing::TempDir() + "/insight_net_" + tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// The per-thread statement stream: each thread owns its own table, so a
+/// serial replay in any thread order reaches the same state, while the
+/// interleaved SELECTs against the shared table exercise the shared side
+/// of the statement gate during writes.
+std::vector<std::string> ThreadStatements(int tid, int statements) {
+  const std::string table = "T" + std::to_string(tid);
+  std::vector<std::string> out;
+  out.push_back("CREATE TABLE " + table + " (n INT, tag STRING)");
+  for (int i = 0; i < statements; ++i) {
+    switch (i % 4) {
+      case 0:
+      case 1:
+        out.push_back("INSERT INTO " + table + " VALUES (" +
+                      std::to_string(i) + ", 'row" + std::to_string(i) +
+                      "')");
+        break;
+      case 2:
+        out.push_back("SELECT n FROM " + table + " WHERE n >= 0 ORDER BY n");
+        break;
+      default:
+        out.push_back("SELECT tag FROM Shared ORDER BY tag LIMIT 5");
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(NetStressTest, ConcurrentMixedWorkloadMatchesSerialReplay) {
+  constexpr int kThreads = 4;
+  constexpr int kStatementsPerThread = 32;
+
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE Shared (tag STRING)").ok());
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO Shared VALUES ('a'), ('b'), ('c')").ok());
+
+  InsightServer::Options options;
+  options.port = 0;
+  options.io_threads = 4;
+  InsightServer server(&db, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    workers.emplace_back([&, tid] {
+      auto client = InsightClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (const std::string& sql :
+           ThreadStatements(tid, kStatementsPerThread)) {
+        auto result = (*client)->Execute(sql);
+        if (!result.ok()) {
+          ADD_FAILURE() << "thread " << tid << ": " << sql << " -> "
+                        << result.status().ToString();
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Serial replay of the same streams on an embedded database.
+  Database replay;
+  ASSERT_TRUE(replay.Execute("CREATE TABLE Shared (tag STRING)").ok());
+  ASSERT_TRUE(
+      replay.Execute("INSERT INTO Shared VALUES ('a'), ('b'), ('c')").ok());
+  for (int tid = 0; tid < kThreads; ++tid) {
+    for (const std::string& sql :
+         ThreadStatements(tid, kStatementsPerThread)) {
+      ASSERT_TRUE(replay.Execute(sql).ok()) << sql;
+    }
+  }
+
+  // Diff every table, over the wire, against the replay.
+  auto checker = InsightClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(checker.ok());
+  std::vector<std::string> probes;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    probes.push_back("SELECT n, tag FROM T" + std::to_string(tid) +
+                     " ORDER BY n, tag");
+  }
+  probes.push_back("SELECT tag FROM Shared ORDER BY tag");
+  for (const std::string& probe : probes) {
+    auto live = (*checker)->Execute(probe);
+    auto want = replay.Execute(probe);
+    ASSERT_TRUE(live.ok()) << probe << ": " << live.status().ToString();
+    ASSERT_TRUE(want.ok()) << probe;
+    ASSERT_EQ(live->rows.size(), want->rows.size()) << probe;
+    for (size_t r = 0; r < want->rows.size(); ++r) {
+      for (size_t c = 0; c < want->rows[r].size(); ++c) {
+        EXPECT_EQ(live->rows[r].at(c).ToString(),
+                  want->rows[r].at(c).ToString())
+            << probe << " row " << r << " col " << c;
+      }
+    }
+  }
+
+  server.NudgeShutdown();
+  server.Shutdown();
+}
+
+// ---------- Kill -9 mid-write, recover, verify over the wire ----------
+
+Database::Options DurableOptions(const std::string& dir) {
+  Database::Options options;
+  options.backend = StorageManager::Backend::kFile;
+  options.directory = dir;
+  options.wal_sync = Database::WalSyncMode::kGroupCommit;
+  return options;
+}
+
+/// Child process body: serve `dir` on an ephemeral port, publish it to
+/// `port_file`, and arm net_before_reply after a short delay so a handful
+/// of client statements are acknowledged before the crash. Never returns.
+[[noreturn]] void RunCrashingServer(const std::string& dir,
+                                    const std::string& port_file) {
+  auto opened = Database::Open(dir, DurableOptions(dir));
+  if (!opened.ok()) ::_Exit(3);
+  auto db = std::move(*opened);
+  if (!db->Execute("CREATE TABLE Acked (n INT)").ok()) ::_Exit(4);
+  if (!db->WalSync().ok()) ::_Exit(5);
+
+  InsightServer::Options options;
+  options.port = 0;
+  options.io_threads = 2;
+  options.port_file = port_file;
+  InsightServer server(db.get(), options);
+  if (!server.Start().ok()) ::_Exit(6);
+
+  // Let some INSERTs commit and be acknowledged first; the next execute
+  // after arming dies at net_before_reply (post-WAL-sync, pre-reply).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ArmCrashPoint("net_before_reply");
+
+  server.WaitForShutdownRequest();  // The crash point fires first.
+  ::_Exit(7);
+}
+
+uint16_t WaitForPortFile(const std::string& port_file) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f != nullptr) {
+      unsigned port = 0;
+      const bool got = std::fscanf(f, "%u", &port) == 1;
+      std::fclose(f);
+      if (got && port != 0) return static_cast<uint16_t>(port);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
+TEST(NetStressTest, KillNineMidWriteRecoversEveryAcknowledgedInsert) {
+  const std::string dir = MakeTempDir("kill");
+  const std::string port_file = dir + ".port";
+  std::remove(port_file.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    RunCrashingServer(dir, port_file);  // _Exits, never returns.
+  }
+
+  const uint16_t port = WaitForPortFile(port_file);
+  ASSERT_NE(port, 0) << "server child never published its port";
+  auto connected = InsightClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(*connected);
+
+  // Insert until the armed crash point kills the server mid-statement.
+  // Every acknowledged INSERT ran its WAL sync before the reply, so all
+  // of them must survive; the crashed statement itself committed before
+  // the kill point, so at most one unacknowledged row may also appear.
+  int acked = 0;
+  for (int i = 0; i < 100000; ++i) {
+    auto result =
+        client->Execute("INSERT INTO Acked VALUES (" + std::to_string(i) +
+                        ")");
+    if (!result.ok()) break;
+    ++acked;
+  }
+  ASSERT_GT(acked, 0) << "crash fired before any statement was acknowledged";
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kCrashPointExitCode)
+      << "child exited " << WEXITSTATUS(status) << ", not the crash code";
+
+  // Restart a server over the same directory and verify over the wire.
+  auto reopened = Database::Open(dir, DurableOptions(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto db = std::move(*reopened);
+  InsightServer::Options options;
+  options.port = 0;
+  InsightServer server(db.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto verify = InsightClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(verify.ok());
+  auto rows = (*verify)->Execute("SELECT n FROM Acked ORDER BY n");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  const int recovered = static_cast<int>(rows->rows.size());
+  EXPECT_GE(recovered, acked);
+  EXPECT_LE(recovered, acked + 1);
+  // The acknowledged prefix is exactly 0..acked-1, in order.
+  for (int i = 0; i < acked; ++i) {
+    EXPECT_EQ(rows->rows[i].at(0).AsInt(), i);
+  }
+
+  server.NudgeShutdown();
+  server.Shutdown();
+  (*verify)->Close();
+  db.reset();
+  std::filesystem::remove_all(dir);
+  std::remove(port_file.c_str());
+}
+
+TEST(NetStressTest, ServingCrashPointIsRegisteredSeparately) {
+  // The serving-path point must be exercised by these tests, not by the
+  // storage kill-point matrix (whose workload never opens a socket).
+  const auto& serving = ServingCrashPoints();
+  ASSERT_EQ(serving.size(), 1u);
+  EXPECT_EQ(serving[0], "net_before_reply");
+  for (const std::string& name : RegisteredCrashPoints()) {
+    EXPECT_NE(name, serving[0]);
+  }
+}
+
+}  // namespace
+}  // namespace insight

@@ -1,0 +1,419 @@
+// Network service layer tests: wire codec round-trips and corruption
+// handling, EventLoop cross-thread handoff, and end-to-end server/client
+// behavior (queries, errors, admission control, idle timeout, metrics,
+// graceful drain) against an in-process insightd core.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/event_loop.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "sql/database.h"
+#include "wal/wal_record.h"  // Crc32.
+
+namespace insight {
+namespace {
+
+// ---------- Wire codec ----------
+
+TEST(WireTest, FrameRoundTrip) {
+  const std::string encoded = EncodeFrame(FrameType::kQuery, "SELECT 1");
+  FrameParser parser;
+  parser.Feed(encoded.data(), encoded.size());
+  Frame frame;
+  auto got = parser.Next(&frame);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_EQ(frame.payload, "SELECT 1");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+  got = parser.Next(&frame);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got);
+}
+
+TEST(WireTest, ParserHandlesByteAtATimeDelivery) {
+  std::string stream;
+  EncodeFrame(FrameType::kPing, "", &stream);
+  EncodeFrame(FrameType::kQuery, "SELECT * FROM Birds", &stream);
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (char c : stream) {
+    parser.Feed(&c, 1);
+    Frame frame;
+    for (;;) {
+      auto got = parser.Next(&frame);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      if (!*got) break;
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kPing);
+  EXPECT_EQ(frames[1].type, FrameType::kQuery);
+  EXPECT_EQ(frames[1].payload, "SELECT * FROM Birds");
+}
+
+TEST(WireTest, ParserRejectsBitFlippedBody) {
+  std::string encoded = EncodeFrame(FrameType::kQuery, "SELECT 1");
+  encoded[encoded.size() - 1] ^= 0x40;  // Corrupt the body, not the header.
+  FrameParser parser;
+  parser.Feed(encoded.data(), encoded.size());
+  Frame frame;
+  auto got = parser.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, ParserRejectsOversizedFrame) {
+  FrameParser parser(/*max_frame_bytes=*/64);
+  const std::string encoded =
+      EncodeFrame(FrameType::kQuery, std::string(100, 'x'));
+  parser.Feed(encoded.data(), encoded.size());
+  Frame frame;
+  auto got = parser.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(WireTest, ParserRejectsUnknownFrameType) {
+  // Hand-craft a frame with a valid checksum but a type no FrameType
+  // names: [u32 len][u32 crc(body)][body = {200}].
+  std::string body;
+  body.push_back(static_cast<char>(200));
+  std::string frame_bytes;
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  frame_bytes.append(reinterpret_cast<const char*>(&len), 4);
+  const uint32_t crc = Crc32(body);
+  frame_bytes.append(reinterpret_cast<const char*>(&crc), 4);
+  frame_bytes.append(body);
+  FrameParser parser;
+  parser.Feed(frame_bytes.data(), frame_bytes.size());
+  Frame out_frame;
+  auto got = parser.Next(&out_frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, ErrorStatusRoundTrip) {
+  const Status in = Status::NotFound("relation Birds not registered");
+  const Status out = DecodeError(EncodeError(in));
+  EXPECT_EQ(out.code(), StatusCode::kNotFound);
+  EXPECT_EQ(out.message(), in.message());
+}
+
+TEST(WireTest, UnknownWireStatusCodeDecodesToInternal) {
+  EXPECT_EQ(StatusCodeFromWire(60000), StatusCode::kInternal);
+}
+
+TEST(WireTest, QueryPayloadRoundTrip) {
+  auto sql = DecodeQuery(EncodeQuery("SELECT * FROM t WHERE a = 'x'"));
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql, "SELECT * FROM t WHERE a = 'x'");
+  EXPECT_FALSE(DecodeQuery("\x02\x00").ok());  // Truncated string.
+}
+
+TEST(WireTest, ResultPayloadRoundTrip) {
+  Schema schema({{"name", ValueType::kString}, {"n", ValueType::kInt64}});
+  std::vector<Tuple> rows = {
+      Tuple({Value::String("sparrow"), Value::Int(7)}),
+      Tuple({Value::String("crow"), Value::Int(-2)}),
+  };
+  std::vector<std::string> summaries = {"{Disease: 1}", ""};
+
+  NetResult decoded;
+  ASSERT_TRUE(DecodeResultHeader(
+                  EncodeResultHeader(schema, "ok", {"[3] note"}), &decoded)
+                  .ok());
+  ASSERT_TRUE(
+      DecodeRowBatch(EncodeRowBatch(rows, summaries, 0, 256), &decoded).ok());
+  auto total = DecodeResultDone(EncodeResultDone(rows.size()));
+  ASSERT_TRUE(total.ok());
+
+  EXPECT_EQ(*total, 2u);
+  EXPECT_EQ(decoded.message, "ok");
+  ASSERT_EQ(decoded.annotations.size(), 1u);
+  EXPECT_EQ(decoded.annotations[0], "[3] note");
+  ASSERT_EQ(decoded.schema.num_columns(), 2u);
+  EXPECT_EQ(decoded.schema.column(1).type, ValueType::kInt64);
+  ASSERT_EQ(decoded.rows.size(), 2u);
+  EXPECT_EQ(decoded.rows[0].at(0).AsString(), "sparrow");
+  EXPECT_EQ(decoded.rows[1].at(1).AsInt(), -2);
+  EXPECT_EQ(decoded.summaries[0], "{Disease: 1}");
+  EXPECT_EQ(decoded.summaries[1], "");
+}
+
+TEST(WireTest, RowBatchSplitsAtBoundary) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back(Tuple({Value::Int(i)}));
+  NetResult decoded;
+  ASSERT_TRUE(DecodeRowBatch(EncodeRowBatch(rows, {}, 0, 4), &decoded).ok());
+  ASSERT_TRUE(DecodeRowBatch(EncodeRowBatch(rows, {}, 4, 4), &decoded).ok());
+  ASSERT_TRUE(DecodeRowBatch(EncodeRowBatch(rows, {}, 8, 4), &decoded).ok());
+  ASSERT_EQ(decoded.rows.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(decoded.rows[i].at(0).AsInt(), i);
+}
+
+// ---------- EventLoop ----------
+
+TEST(EventLoopTest, RunsCrossThreadFunctorsInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::thread runner([&loop] { loop.Loop(); });
+  loop.RunInLoop([&] { order.push_back(1); });
+  loop.RunInLoop([&] {
+    order.push_back(2);
+    // From the loop thread, QueueInLoop defers to the next iteration but
+    // still runs before Quit() takes effect.
+    loop.QueueInLoop([&] { order.push_back(3); });
+  });
+  loop.RunInLoop([&loop] { loop.Quit(); });
+  runner.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, TickCallbackFires) {
+  EventLoop loop;
+  std::atomic<int> ticks{0};
+  loop.SetTickCallback([&] { ticks.fetch_add(1); }, /*tick_ms=*/20);
+  std::thread runner([&loop] { loop.Loop(); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ticks.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  loop.Quit();
+  runner.join();
+  EXPECT_GE(ticks.load(), 2);
+}
+
+// ---------- Server / client end to end ----------
+
+class NetEndToEndTest : public ::testing::Test {
+ protected:
+  void StartServer(InsightServer::Options options = {},
+                   Database::Options db_options = {}) {
+    options.port = 0;
+    db_ = std::make_unique<Database>(db_options);
+    server_ = std::make_unique<InsightServer>(db_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::unique_ptr<InsightClient> Connect() {
+    auto client = InsightClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InsightServer> server_;
+};
+
+TEST_F(NetEndToEndTest, CreateInsertSelectOverTheWire) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto created = client->Execute(
+      "CREATE TABLE Birds (name STRING, family STRING, weight DOUBLE)");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_NE(created->message.find("created"), std::string::npos);
+
+  auto inserted = client->Execute(
+      "INSERT INTO Birds VALUES ('sparrow', 'passeridae', 0.03), "
+      "('crow', 'corvidae', 0.5), ('hawk', 'accipitridae', 1.1)");
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+
+  auto rows = client->Execute(
+      "SELECT name FROM Birds WHERE weight > 0.1 ORDER BY name");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 2u);
+  EXPECT_EQ(rows->rows[0].at(0).AsString(), "crow");
+  EXPECT_EQ(rows->rows[1].at(0).AsString(), "hawk");
+  EXPECT_FALSE(rows->ToString().empty());
+}
+
+TEST_F(NetEndToEndTest, LargeResultStreamsAcrossManyBatches) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Execute("CREATE TABLE Nums (n INT)").ok());
+  // 700 rows forces at least three RowBatch frames (256 rows each).
+  for (int batch = 0; batch < 7; ++batch) {
+    std::string sql = "INSERT INTO Nums VALUES ";
+    for (int i = 0; i < 100; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "(" + std::to_string(batch * 100 + i) + ")";
+    }
+    ASSERT_TRUE(client->Execute(sql).ok());
+  }
+  auto rows = client->Execute("SELECT n FROM Nums ORDER BY n");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 700u);
+  EXPECT_EQ(rows->rows[0].at(0).AsInt(), 0);
+  EXPECT_EQ(rows->rows[699].at(0).AsInt(), 699);
+}
+
+TEST_F(NetEndToEndTest, ErrorsCarryTheEngineStatusCode) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto missing = client->Execute("SELECT * FROM NoSuchTable");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound)
+      << missing.status().ToString();
+
+  auto garbage = client->Execute("FLY ME TO THE MOON");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kParseError);
+
+  // The connection survives errors: the next statement still works.
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(NetEndToEndTest, OversizedStatementRejectedByDatabaseKeepsSession) {
+  // The statement fits the frame limit but exceeds the database's
+  // max_statement_bytes: a clean Error frame, session stays usable.
+  Database::Options db_options;
+  db_options.max_statement_bytes = 512;
+  StartServer({}, db_options);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  const std::string big =
+      "SELECT * FROM t WHERE a = '" + std::string(600, 'x') + "'";
+  auto rejected = client->Execute(big);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted)
+      << rejected.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());  // Session stays usable.
+}
+
+TEST_F(NetEndToEndTest, OversizedFrameDropsTheConnection) {
+  // Far over the per-session frame cap (max_statement_bytes + slack): the
+  // server replies with an Error and closes — no resync on a TCP stream.
+  InsightServer::Options options;
+  options.max_statement_bytes = 512;
+  StartServer(options);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  const std::string big = "SELECT '" + std::string(8192, 'x') + "'";
+  auto rejected = client->Execute(big);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted)
+      << rejected.status().ToString();
+  // The server dropped us; the next round-trip must fail.
+  EXPECT_FALSE(client->Ping().ok());
+}
+
+TEST_F(NetEndToEndTest, PingAndMetrics) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->Execute("CREATE TABLE T (a INT)").ok());
+  auto metrics = client->Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // Prometheus text exposition with live net series.
+  EXPECT_NE(metrics->find("# TYPE insight_net_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("insight_net_connections_opened_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("insight_net_active_connections 1"),
+            std::string::npos);
+}
+
+TEST_F(NetEndToEndTest, AdmissionControlRejectsBeyondMaxConnections) {
+  InsightServer::Options options;
+  options.max_connections = 1;
+  StartServer(options);
+  auto first = Connect();
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(first->Ping().ok());  // Fully admitted.
+
+  auto second = InsightClient::Connect("127.0.0.1", server_->port());
+  // The TCP connect itself succeeds; the rejection arrives as a Goodbye
+  // frame (or an already-reset socket) on first use.
+  if (second.ok()) {
+    auto outcome = (*second)->Execute("SELECT a FROM t");
+    EXPECT_FALSE(outcome.ok());
+  }
+  // The admitted session is unaffected.
+  EXPECT_TRUE(first->Ping().ok());
+}
+
+TEST_F(NetEndToEndTest, IdleSessionsAreSwept) {
+  InsightServer::Options options;
+  options.idle_timeout_ms = 100;
+  StartServer(options);
+  const uint64_t sweeps_before =
+      EngineMetrics::Get().net_idle_disconnects->value();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Ping().ok());
+  // Go silent: the loop tick (500ms) must sweep us well within the
+  // deadline. Ping resets last-activity, so poll without extra traffic by
+  // waiting first, then probing.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool dropped = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    if (!client->Ping().ok()) {
+      dropped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_GT(EngineMetrics::Get().net_idle_disconnects->value(),
+            sweeps_before);
+}
+
+TEST_F(NetEndToEndTest, ShutdownFrameDrainsTheServer) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Execute("CREATE TABLE T (a INT)").ok());
+  ASSERT_TRUE(client->RequestShutdown().ok());
+  server_->WaitForShutdownRequest();  // Returns: the frame marked it.
+  server_->Shutdown();
+  EXPECT_EQ(server_->active_sessions(), 0u);
+  // The drained server refuses new work.
+  auto late = InsightClient::Connect("127.0.0.1", server_->port());
+  if (late.ok()) EXPECT_FALSE((*late)->Ping().ok());
+}
+
+TEST_F(NetEndToEndTest, PortFileContainsTheEphemeralPort) {
+  InsightServer::Options options;
+  options.port_file = ::testing::TempDir() + "/insightd_test_port";
+  StartServer(options);
+  FILE* f = std::fopen(options.port_file.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  unsigned port = 0;
+  ASSERT_EQ(std::fscanf(f, "%u", &port), 1);
+  std::fclose(f);
+  EXPECT_EQ(port, server_->port());
+  EXPECT_NE(port, 0u);
+  std::remove(options.port_file.c_str());
+}
+
+TEST_F(NetEndToEndTest, ManySequentialConnections) {
+  StartServer();
+  for (int i = 0; i < 20; ++i) {
+    auto client = Connect();
+    ASSERT_NE(client, nullptr);
+    EXPECT_TRUE(client->Ping().ok());
+  }
+}
+
+}  // namespace
+}  // namespace insight
