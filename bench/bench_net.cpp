@@ -1,20 +1,25 @@
 // Network service throughput — aggregate statements/sec against a live
 // insightd serving core as the client count grows.
 //
-//   Arms: 1, 4, and 16 concurrent clients, each on its own connection,
-//   all running the same read-only SELECT mix against one table. Every
-//   client verifies each reply (row count and first-row contents), so
-//   the measured path is the full stack: frame parse, statement gate,
-//   execution, result encode, socket write.
+//   Read arms: 1, 4, and 16 concurrent clients, each on its own
+//   connection, all running the same read-only SELECT mix against one
+//   table. Every client verifies each reply (row count and first-row
+//   contents), so the measured path is the full stack: frame parse,
+//   snapshot acquisition, execution, result encode, socket write.
 //
-// Expectation: read-only statements hold the database's statement gate
-// in shared mode and run on independent reactor loops, so on a
-// multi-core host the 16-client arm should reach >= 2x the aggregate
-// throughput of the 1-client arm. On a 1-core CI box there is no
-// parallel speedup to claim; --smoke therefore gates correctness only,
-// plus a regression backstop: 16 clients must not be more than 2x
-// SLOWER in aggregate than a single client (fairness / lock-convoy
-// check), and shrinks the statement counts to CI size.
+//   Mixed arms: the same client counts running a 90/10 read/write mix
+//   (every tenth statement is an autocommit INSERT). Writers serialize
+//   on the transaction manager's write gate while the reads between
+//   them run gate-free on MVCC snapshots, so mixed aggregate throughput
+//   should keep scaling with clients instead of convoying behind the
+//   writers the way the retired whole-statement gate did.
+//
+// Expectation: on a multi-core host the 16-client arms should reach
+// >= 2x the aggregate throughput of the 1-client arm. On a 1-core CI
+// box there is no parallel speedup to claim; --smoke therefore gates
+// correctness only, plus a regression backstop: 16 clients must not be
+// more than 2x SLOWER in aggregate than a single client (fairness /
+// lock-convoy check), and shrinks the statement counts to CI size.
 //
 // Emits BENCH_net.json. With --smoke the process exits nonzero when any
 // statement fails, any reply is wrong, or the backstop ratio is missed.
@@ -74,8 +79,12 @@ struct ArmResult {
   size_t errors = 0;
 };
 
+/// `write_every` = 0 runs read-only; N > 0 makes every Nth statement an
+/// autocommit INSERT (the 90/10 mixed arm uses 10). Writes land in a
+/// disjoint key range (n >= 1'000'000) so the read mix's expected row
+/// counts stay exact.
 ArmResult RunArm(uint16_t port, size_t clients, size_t per_client,
-                 size_t rows) {
+                 size_t rows, size_t write_every) {
   ArmResult arm;
   arm.clients = clients;
   arm.statements = clients * per_client;
@@ -97,6 +106,14 @@ ArmResult RunArm(uint16_t port, size_t clients, size_t per_client,
       for (size_t i = 0; i < per_client; ++i) {
         // Offset per client so the arms don't run in lockstep.
         const size_t stmt = i + c * 7;
+        if (write_every != 0 && i % write_every == write_every - 1) {
+          const size_t key = 1'000'000 + c * per_client + i;
+          auto written = client->Execute(
+              "INSERT INTO " + std::string(kTable) + " VALUES (" +
+              std::to_string(key) + ", 'w" + std::to_string(key) + "')");
+          if (!written.ok()) errors.fetch_add(1);
+          continue;
+        }
         auto result = client->Execute(MixedSelect(stmt, rows));
         if (!result.ok() ||
             result->rows.size() != ExpectedRows(stmt, rows)) {
@@ -122,7 +139,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   PrintHeader("bench_net: concurrent clients vs aggregate throughput",
-              "read scaling across connections (shared statement gate)",
+              "read + mixed scaling across connections (MVCC snapshots)",
               config);
 
   const size_t rows = 512;
@@ -153,9 +170,11 @@ int main(int argc, char** argv) {
   std::printf("server on 127.0.0.1:%u, %u hardware threads\n",
               server.port(), cores);
 
+  std::printf("-- read-only arms --\n");
   std::vector<ArmResult> arms;
   for (size_t clients : {1u, 4u, 16u}) {
-    ArmResult arm = RunArm(server.port(), clients, per_client, rows);
+    ArmResult arm =
+        RunArm(server.port(), clients, per_client, rows, /*write_every=*/0);
     std::printf("%2zu clients: %6zu stmts in %8.1f ms -> %9.0f stmts/sec "
                 "(%zu errors)\n",
                 arm.clients, arm.statements, arm.wall_ms,
@@ -163,12 +182,27 @@ int main(int argc, char** argv) {
     arms.push_back(arm);
   }
 
+  std::printf("-- mixed 90/10 read/write arms --\n");
+  std::vector<ArmResult> mixed;
+  for (size_t clients : {1u, 4u, 16u}) {
+    ArmResult arm =
+        RunArm(server.port(), clients, per_client, rows, /*write_every=*/10);
+    std::printf("%2zu clients: %6zu stmts in %8.1f ms -> %9.0f stmts/sec "
+                "(%zu errors)\n",
+                arm.clients, arm.statements, arm.wall_ms,
+                arm.stmts_per_sec, arm.errors);
+    mixed.push_back(arm);
+  }
+
   server.NudgeShutdown();
   server.Shutdown();
 
   const double speedup_16 = arms[2].stmts_per_sec / arms[0].stmts_per_sec;
-  std::printf("16-client aggregate speedup over 1 client: %.2fx\n",
-              speedup_16);
+  const double mixed_speedup_16 =
+      mixed[2].stmts_per_sec / mixed[0].stmts_per_sec;
+  std::printf("16-client aggregate speedup over 1 client: %.2fx read-only, "
+              "%.2fx mixed\n",
+              speedup_16, mixed_speedup_16);
 
   FILE* json = std::fopen("BENCH_net.json", "w");
   if (json != nullptr) {
@@ -185,27 +219,42 @@ int main(int argc, char** argv) {
                    i == 0 ? "" : ",", arms[i].clients, arms[i].statements,
                    arms[i].wall_ms, arms[i].stmts_per_sec, arms[i].errors);
     }
-    std::fprintf(json, "\n  ],\n  \"speedup_16_over_1\": %.3f\n}\n",
-                 speedup_16);
+    std::fprintf(json, "\n  ],\n  \"mixed_write_every\": 10,\n"
+                 "  \"mixed_arms\": [");
+    for (size_t i = 0; i < mixed.size(); ++i) {
+      std::fprintf(json,
+                   "%s\n    {\"clients\": %zu, \"statements\": %zu, "
+                   "\"wall_ms\": %.3f, \"stmts_per_sec\": %.1f, "
+                   "\"errors\": %zu}",
+                   i == 0 ? "" : ",", mixed[i].clients, mixed[i].statements,
+                   mixed[i].wall_ms, mixed[i].stmts_per_sec,
+                   mixed[i].errors);
+    }
+    std::fprintf(json,
+                 "\n  ],\n  \"speedup_16_over_1\": %.3f,\n"
+                 "  \"mixed_speedup_16_over_1\": %.3f\n}\n",
+                 speedup_16, mixed_speedup_16);
     std::fclose(json);
     std::printf("wrote BENCH_net.json\n");
   }
 
   bool failed = false;
-  for (const ArmResult& arm : arms) {
-    if (arm.errors != 0) {
-      std::fprintf(stderr, "FAIL: %zu-client arm had %zu errors\n",
-                   arm.clients, arm.errors);
-      failed = true;
+  for (const std::vector<ArmResult>* group : {&arms, &mixed}) {
+    for (const ArmResult& arm : *group) {
+      if (arm.errors != 0) {
+        std::fprintf(stderr, "FAIL: %zu-client arm had %zu errors\n",
+                     arm.clients, arm.errors);
+        failed = true;
+      }
     }
   }
   // Correctness backstop for 1-core CI; the >= 2x multi-core expectation
   // is reported, not gated, since CI runners may be single-core.
-  if (speedup_16 < 0.5) {
+  if (speedup_16 < 0.5 || mixed_speedup_16 < 0.5) {
     std::fprintf(stderr,
-                 "FAIL: 16 clients reached only %.2fx of 1-client "
-                 "aggregate throughput (>2x slowdown)\n",
-                 speedup_16);
+                 "FAIL: 16 clients reached only %.2fx read-only / %.2fx "
+                 "mixed of 1-client aggregate throughput (>2x slowdown)\n",
+                 speedup_16, mixed_speedup_16);
     failed = true;
   }
   if (smoke && failed) return 1;

@@ -29,6 +29,10 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}" \
     -R 'KillPointMatrixTest|RecoveryTest|LogManagerTest|WalBeforeDataTest' \
     -j "${jobs}" --output-on-failure
+  echo "==> transaction smoke (${preset}: MVCC stress + durability)"
+  ctest --preset "${preset}" \
+    -R 'TxnSqlTest|TxnStressTest|TxnDurabilityTest' \
+    -j "${jobs}" --output-on-failure
 done
 
 # End-to-end durability smoke: journal a workload, reopen, and fail if

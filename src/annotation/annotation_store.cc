@@ -97,8 +97,13 @@ Status AnnotationStore::AddWithId(
                                      std::to_string(num_columns_));
     }
   }
-  if (RowFor(id).ok()) {
-    return Status::AlreadyExists("annotation " + std::to_string(id));
+  {
+    Transaction* txn = CurrentTxn();
+    const Snapshot snap =
+        txn != nullptr ? txn->snapshot() : Snapshot::Latest();
+    if (RowFor(id, snap).ok()) {
+      return Status::AlreadyExists("annotation " + std::to_string(id));
+    }
   }
   INSIGHT_RETURN_NOT_OK(
       annotations_
@@ -136,24 +141,34 @@ Status AnnotationStore::ForEachAnnotation(
   return Status::OK();
 }
 
-Result<Oid> AnnotationStore::RowFor(AnnId id) const {
+Result<Oid> AnnotationStore::RowFor(AnnId id, const Snapshot& snap) const {
   const BTree* by_id = annotations_->GetColumnIndex("ann_id");
   INSIGHT_ASSIGN_OR_RETURN(
       std::vector<uint64_t> hits,
       by_id->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(id)))));
-  if (hits.empty()) {
-    return Status::NotFound("annotation " + std::to_string(id));
+  for (uint64_t hit : hits) {
+    // Index entries may outlive (or precede) the versions visible to this
+    // snapshot; confirm the row resolves before trusting the hit.
+    auto row = annotations_->Get(static_cast<Oid>(hit), snap);
+    if (!row.ok()) {
+      if (row.status().IsNotFound()) continue;
+      return row.status();
+    }
+    if (static_cast<AnnId>(row.ValueOrDie().at(0).AsInt()) != id) continue;
+    return static_cast<Oid>(hit);
   }
-  return static_cast<Oid>(hits.front());
+  return Status::NotFound("annotation " + std::to_string(id));
 }
 
-Result<std::string> AnnotationStore::GetText(AnnId id) const {
-  INSIGHT_ASSIGN_OR_RETURN(Oid row_oid, RowFor(id));
-  INSIGHT_ASSIGN_OR_RETURN(Tuple row, annotations_->Get(row_oid));
+Result<std::string> AnnotationStore::GetText(AnnId id,
+                                             const Snapshot& snap) const {
+  INSIGHT_ASSIGN_OR_RETURN(Oid row_oid, RowFor(id, snap));
+  INSIGHT_ASSIGN_OR_RETURN(Tuple row, annotations_->Get(row_oid, snap));
   return row.at(1).AsString();
 }
 
-Result<std::vector<Annotation>> AnnotationStore::ForTuple(Oid oid) const {
+Result<std::vector<Annotation>> AnnotationStore::ForTuple(
+    Oid oid, const Snapshot& snap) const {
   const BTree* by_tuple = links_->GetColumnIndex("tuple_oid");
   INSIGHT_ASSIGN_OR_RETURN(
       std::vector<uint64_t> link_oids,
@@ -161,10 +176,16 @@ Result<std::vector<Annotation>> AnnotationStore::ForTuple(Oid oid) const {
   std::vector<Annotation> out;
   out.reserve(link_oids.size());
   for (uint64_t link_oid : link_oids) {
-    INSIGHT_ASSIGN_OR_RETURN(Tuple link, links_->Get(link_oid));
+    auto link_or = links_->Get(link_oid, snap);
+    if (!link_or.ok()) {
+      if (link_or.status().IsNotFound()) continue;  // Invisible version.
+      return link_or.status();
+    }
+    const Tuple& link = link_or.ValueOrDie();
+    if (static_cast<Oid>(link.at(1).AsInt()) != oid) continue;
     Annotation ann;
     ann.id = static_cast<AnnId>(link.at(0).AsInt());
-    INSIGHT_ASSIGN_OR_RETURN(ann.text, GetText(ann.id));
+    INSIGHT_ASSIGN_OR_RETURN(ann.text, GetText(ann.id, snap));
     ann.targets.push_back(AnnotationTarget{
         oid, static_cast<uint64_t>(link.at(2).AsInt())});
     out.push_back(std::move(ann));
@@ -172,13 +193,20 @@ Result<std::vector<Annotation>> AnnotationStore::ForTuple(Oid oid) const {
   return out;
 }
 
-Result<uint64_t> AnnotationStore::MaskFor(AnnId id, Oid oid) const {
+Result<uint64_t> AnnotationStore::MaskFor(AnnId id, Oid oid,
+                                          const Snapshot& snap) const {
   const BTree* by_ann = links_->GetColumnIndex("ann_id");
   INSIGHT_ASSIGN_OR_RETURN(
       std::vector<uint64_t> link_oids,
       by_ann->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(id)))));
   for (uint64_t link_oid : link_oids) {
-    INSIGHT_ASSIGN_OR_RETURN(Tuple link, links_->Get(link_oid));
+    auto link_or = links_->Get(link_oid, snap);
+    if (!link_or.ok()) {
+      if (link_or.status().IsNotFound()) continue;
+      return link_or.status();
+    }
+    const Tuple& link = link_or.ValueOrDie();
+    if (static_cast<AnnId>(link.at(0).AsInt()) != id) continue;
     if (static_cast<Oid>(link.at(1).AsInt()) == oid) {
       return static_cast<uint64_t>(link.at(2).AsInt());
     }
@@ -186,7 +214,8 @@ Result<uint64_t> AnnotationStore::MaskFor(AnnId id, Oid oid) const {
   return 0ULL;
 }
 
-Result<std::vector<Oid>> AnnotationStore::TuplesFor(AnnId id) const {
+Result<std::vector<Oid>> AnnotationStore::TuplesFor(
+    AnnId id, const Snapshot& snap) const {
   const BTree* by_ann = links_->GetColumnIndex("ann_id");
   INSIGHT_ASSIGN_OR_RETURN(
       std::vector<uint64_t> link_oids,
@@ -194,7 +223,13 @@ Result<std::vector<Oid>> AnnotationStore::TuplesFor(AnnId id) const {
   std::vector<Oid> out;
   out.reserve(link_oids.size());
   for (uint64_t link_oid : link_oids) {
-    INSIGHT_ASSIGN_OR_RETURN(Tuple link, links_->Get(link_oid));
+    auto link_or = links_->Get(link_oid, snap);
+    if (!link_or.ok()) {
+      if (link_or.status().IsNotFound()) continue;
+      return link_or.status();
+    }
+    const Tuple& link = link_or.ValueOrDie();
+    if (static_cast<AnnId>(link.at(0).AsInt()) != id) continue;
     const Oid oid = static_cast<Oid>(link.at(1).AsInt());
     bool seen = false;
     for (Oid existing : out) {
@@ -209,14 +244,19 @@ Result<std::vector<Oid>> AnnotationStore::TuplesFor(AnnId id) const {
 }
 
 Status AnnotationStore::Delete(AnnId id) {
+  Transaction* txn = CurrentTxn();
+  const Snapshot snap = txn != nullptr ? txn->snapshot() : Snapshot::Latest();
   const BTree* by_ann = links_->GetColumnIndex("ann_id");
   INSIGHT_ASSIGN_OR_RETURN(
       std::vector<uint64_t> link_oids,
       by_ann->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(id)))));
   for (uint64_t link_oid : link_oids) {
-    INSIGHT_RETURN_NOT_OK(links_->Delete(link_oid));
+    const Status st = links_->Delete(link_oid);
+    // Stale index hits (dead versions, rows already gone) are fine;
+    // conflicts (kAborted) and real failures are not.
+    if (!st.ok() && !st.IsNotFound()) return st;
   }
-  INSIGHT_ASSIGN_OR_RETURN(Oid row_oid, RowFor(id));
+  INSIGHT_ASSIGN_OR_RETURN(Oid row_oid, RowFor(id, snap));
   return annotations_->Delete(row_oid);
 }
 

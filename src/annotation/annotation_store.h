@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "index/catalog.h"
+#include "txn/txn.h"
 #include "types/tuple.h"
 
 namespace insight {
@@ -74,18 +75,22 @@ class AnnotationStore {
   Status ForEachAnnotation(
       const std::function<Status(const Annotation&)>& fn) const;
 
-  Result<std::string> GetText(AnnId id) const;
+  Result<std::string> GetText(AnnId id,
+                              const Snapshot& snap = Snapshot::Latest()) const;
 
   /// All annotations attached (fully or partially) to a tuple — the
-  /// zoom-in path.
-  Result<std::vector<Annotation>> ForTuple(Oid oid) const;
+  /// zoom-in path. Sees the versions visible to `snap`.
+  Result<std::vector<Annotation>> ForTuple(
+      Oid oid, const Snapshot& snap = Snapshot::Latest()) const;
 
   /// The column mask with which annotation `id` is attached to `oid`
   /// (0 when not attached).
-  Result<uint64_t> MaskFor(AnnId id, Oid oid) const;
+  Result<uint64_t> MaskFor(AnnId id, Oid oid,
+                           const Snapshot& snap = Snapshot::Latest()) const;
 
   /// Distinct tuples annotation `id` is attached to.
-  Result<std::vector<Oid>> TuplesFor(AnnId id) const;
+  Result<std::vector<Oid>> TuplesFor(
+      AnnId id, const Snapshot& snap = Snapshot::Latest()) const;
 
   /// Removes the annotation and all its links.
   Status Delete(AnnId id);
@@ -100,8 +105,10 @@ class AnnotationStore {
  private:
   AnnotationStore(size_t num_columns) : num_columns_(num_columns) {}
 
-  /// Row OID in the annotations table for a given (global) annotation id.
-  Result<Oid> RowFor(AnnId id) const;
+  /// Row OID in the annotations table for a given (global) annotation id,
+  /// restricted to rows visible to `snap` (index hits for invisible
+  /// versions are filtered out).
+  Result<Oid> RowFor(AnnId id, const Snapshot& snap) const;
 
   size_t num_columns_;
   Table* annotations_ = nullptr;  // (ann_id INT, text STRING)

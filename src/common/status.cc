@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Parse error";
     case StatusCode::kTypeError:
       return "Type error";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

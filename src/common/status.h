@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted,
   kParseError,
   kTypeError,
+  kAborted,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -80,6 +81,12 @@ class Status {
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
+  /// Serialization conflict: the transaction lost a first-writer-wins
+  /// race (or crossed a concurrent commit) and was rolled back. Safe to
+  /// retry from BEGIN.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -95,6 +102,7 @@ class Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

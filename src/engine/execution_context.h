@@ -6,6 +6,7 @@
 #include <string>
 
 #include "engine/row_batch.h"
+#include "txn/txn.h"
 
 namespace insight {
 
@@ -60,12 +61,19 @@ class ExecutionContext {
   /// relation is plain.
   SummaryManager* ManagerFor(const std::string& table) const;
 
+  /// MVCC snapshot every scan/probe in the plan reads at. The executor
+  /// stamps a per-query copy of the context with the session's snapshot
+  /// (the transaction's, or latest-committed for autocommit reads).
+  const Snapshot& snapshot() const { return snapshot_; }
+  void set_snapshot(const Snapshot& snap) { snapshot_ = snap; }
+
  private:
   StorageManager* storage_ = nullptr;
   BufferPool* pool_ = nullptr;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
   size_t parallelism_ = 1;
   TaskScheduler* scheduler_ = nullptr;
+  Snapshot snapshot_ = Snapshot::Latest();
   std::map<std::string, SummaryManager*> managers_;  // Lower-cased keys.
 };
 

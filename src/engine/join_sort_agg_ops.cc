@@ -109,20 +109,32 @@ Result<bool> IndexNLJoinOp::Next(Row* row) {
       outer_valid_ = true;
       INSIGHT_ASSIGN_OR_RETURN(
           Value key, outer_key_->Eval(current_outer_, outer_->schema()));
+      join_key_ = EncodeIndexKey(key);
       INSIGHT_ASSIGN_OR_RETURN(std::vector<uint64_t> hits,
-                               index->Lookup(EncodeIndexKey(key)));
+                               index->Lookup(join_key_));
       matches_.assign(hits.begin(), hits.end());
       match_pos_ = 0;
     }
     if (match_pos_ < matches_.size()) {
       const Oid inner_oid = matches_[match_pos_++];
-      INSIGHT_ASSIGN_OR_RETURN(Tuple inner_tuple, inner_->Get(inner_oid));
+      // Column indexes keep entries for every stored version; fetch the
+      // version visible to this plan's snapshot, skip oids with none, and
+      // re-verify the indexed value against the visible version.
+      auto fetched = inner_->Get(inner_oid, snapshot());
+      if (!fetched.ok()) {
+        if (fetched.status().IsNotFound()) continue;
+        return fetched.status();
+      }
+      Tuple inner_tuple = std::move(fetched.ValueOrDie());
+      INSIGHT_ASSIGN_OR_RETURN(
+          size_t inner_pos, inner_->schema().IndexOf(inner_column_));
+      if (EncodeIndexKey(inner_tuple.at(inner_pos)) != join_key_) continue;
       row->oid = kInvalidOid;
       row->data = Tuple::Concat(current_outer_.data, inner_tuple);
       SummarySet inner_summaries;
       if (propagate_inner_) {
-        INSIGHT_ASSIGN_OR_RETURN(inner_summaries,
-                                 inner_mgr_->GetSummaries(inner_oid));
+        INSIGHT_ASSIGN_OR_RETURN(
+            inner_summaries, inner_mgr_->GetSummaries(inner_oid, snapshot()));
       }
       INSIGHT_ASSIGN_OR_RETURN(
           row->summaries,
@@ -423,22 +435,23 @@ Result<bool> SummaryJoinOp::NextIndex(Row* row) {
         auto count = obj->GetLabelValue(label_);
         if (count.ok()) {
           INSIGHT_ASSIGN_OR_RETURN(
-              hits_,
-              right_index_->Search(ClassifierProbe::Equal(label_, *count)));
+              hits_, right_index_->Search(ClassifierProbe::Equal(label_, *count),
+                                          snapshot()));
         }
       }
     }
     if (hit_pos_ < hits_.size()) {
       const SummaryIndexHit& hit = hits_[hit_pos_++];
       Oid right_oid = kInvalidOid;
-      INSIGHT_ASSIGN_OR_RETURN(Tuple right_tuple,
-                               right_index_->FetchDataTuple(hit, &right_oid));
+      INSIGHT_ASSIGN_OR_RETURN(
+          Tuple right_tuple,
+          right_index_->FetchDataTuple(hit, &right_oid, snapshot()));
       row->oid = kInvalidOid;
       row->data = Tuple::Concat(current_left_.data, right_tuple);
       SummarySet right_summaries;
       if (propagate_right_) {
-        INSIGHT_ASSIGN_OR_RETURN(right_summaries,
-                                 right_mgr_->GetSummaries(right_oid));
+        INSIGHT_ASSIGN_OR_RETURN(
+            right_summaries, right_mgr_->GetSummaries(right_oid, snapshot()));
       }
       INSIGHT_ASSIGN_OR_RETURN(
           row->summaries,

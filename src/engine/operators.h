@@ -93,6 +93,12 @@ class PhysicalOperator {
                                 : RowBatch::kDefaultCapacity;
   }
 
+  /// MVCC snapshot this plan reads at (the context's stamp, or the
+  /// latest-committed view when no context is attached).
+  Snapshot snapshot() const {
+    return exec_ctx_ != nullptr ? exec_ctx_->snapshot() : Snapshot::Latest();
+  }
+
   uint64_t rows_produced() const { return rows_produced_; }
   const OperatorStats& stats() const { return stats_; }
 
@@ -186,6 +192,12 @@ class IndexScanOp : public PhysicalOperator {
   Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
+  /// Resolves one index hit: false when the entry is stale for this
+  /// snapshot (no visible version, or the visible version's column value
+  /// falls outside the probed range) — MVCC column indexes may carry
+  /// entries for versions other snapshots see.
+  Result<bool> FetchVisible(Oid oid, Tuple* tuple) const;
+
   Table* table_;
   std::string column_;
   std::optional<Value> lower_;
@@ -196,6 +208,9 @@ class IndexScanOp : public PhysicalOperator {
   bool propagate_;
   std::vector<Oid> oids_;
   size_t pos_ = 0;
+  size_t col_pos_ = 0;
+  std::string lower_key_;
+  std::string upper_key_;
 };
 
 /// Summary-BTree index scan: evaluates a classifier probe and emits the
@@ -502,6 +517,7 @@ class IndexNLJoinOp : public PhysicalOperator {
   bool outer_valid_ = false;
   std::vector<Oid> matches_;
   size_t match_pos_ = 0;
+  std::string join_key_;  // Encoded probe key; re-checked per version.
 };
 
 /// Hash join on one equi-key pair; non-equi residual conjuncts are

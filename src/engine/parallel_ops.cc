@@ -36,7 +36,7 @@ Result<bool> ParallelScanOp::Next(Row* row) {
     if (!it_.has_value()) {
       PageId begin, end;
       if (!morsels_->Next(&begin, &end)) return false;
-      it_.emplace(table_->ScanRange(begin, end));
+      it_.emplace(table_->ScanRange(begin, end, snapshot()));
     }
     Oid oid;
     Tuple tuple;
@@ -48,7 +48,8 @@ Result<bool> ParallelScanOp::Next(Row* row) {
     row->data = std::move(tuple);
     row->summaries = SummarySet();
     if (propagate_) {
-      INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+      INSIGHT_ASSIGN_OR_RETURN(row->summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
     }
     ++rows_produced_;
     return true;
@@ -60,7 +61,7 @@ Result<bool> ParallelScanOp::NextBatchImpl(RowBatch* batch) {
     if (!it_.has_value()) {
       PageId begin, end;
       if (!morsels_->Next(&begin, &end)) break;
-      it_.emplace(table_->ScanRange(begin, end));
+      it_.emplace(table_->ScanRange(begin, end, snapshot()));
     }
     Oid oid;
     Tuple tuple;
@@ -72,7 +73,8 @@ Result<bool> ParallelScanOp::NextBatchImpl(RowBatch* batch) {
     row.oid = oid;
     row.data = std::move(tuple);
     if (propagate_) {
-      INSIGHT_ASSIGN_OR_RETURN(row.summaries, mgr_->GetSummaries(oid));
+      INSIGHT_ASSIGN_OR_RETURN(row.summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
     }
     batch->Push(std::move(row));
     ++rows_produced_;

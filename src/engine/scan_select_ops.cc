@@ -114,7 +114,7 @@ SeqScanOp::SeqScanOp(ExecutionContext* ctx, Table* table, bool propagate)
 
 Status SeqScanOp::OpenImpl() {
   ResetExec();
-  it_.emplace(table_->Scan());
+  it_.emplace(table_->Scan(snapshot()));
   return Status::OK();
 }
 
@@ -126,7 +126,8 @@ Result<bool> SeqScanOp::Next(Row* row) {
   row->data = std::move(tuple);
   row->summaries = SummarySet();
   if (propagate_) {
-    INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+    INSIGHT_ASSIGN_OR_RETURN(row->summaries,
+                             mgr_->GetSummaries(oid, snapshot()));
   }
   ++rows_produced_;
   return true;
@@ -141,7 +142,8 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* batch) {
     row.oid = oid;
     row.data = std::move(tuple);
     if (propagate_) {
-      INSIGHT_ASSIGN_OR_RETURN(row.summaries, mgr_->GetSummaries(oid));
+      INSIGHT_ASSIGN_OR_RETURN(row.summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
     }
     batch->Push(std::move(row));
     ++rows_produced_;
@@ -188,46 +190,75 @@ Status IndexScanOp::OpenImpl() {
     return Status::InvalidArgument("no index on " + table_->name() + "." +
                                    column_);
   }
+  INSIGHT_ASSIGN_OR_RETURN(col_pos_, table_->schema().IndexOf(column_));
   // Type-class sentinels when a bound is missing.
-  std::string lower_key;
-  std::string upper_key;
   const Value& probe = lower_.has_value() ? *lower_ : *upper_;
   const bool string_typed = probe.type() == ValueType::kString;
-  lower_key = lower_.has_value()
-                  ? EncodeIndexKey(*lower_)
-                  : (string_typed ? MinStringKey() : MinNumericKey());
-  upper_key = upper_.has_value()
-                  ? EncodeIndexKey(*upper_)
-                  : (string_typed ? MaxStringKey() : MaxNumericKey());
+  lower_key_ = lower_.has_value()
+                   ? EncodeIndexKey(*lower_)
+                   : (string_typed ? MinStringKey() : MinNumericKey());
+  upper_key_ = upper_.has_value()
+                   ? EncodeIndexKey(*upper_)
+                   : (string_typed ? MaxStringKey() : MaxNumericKey());
   INSIGHT_ASSIGN_OR_RETURN(
       BTree::Iterator it,
-      index->RangeScan(lower_key, lower_inclusive_, upper_key,
+      index->RangeScan(lower_key_, lower_inclusive_, upper_key_,
                        upper_inclusive_));
   for (; it.Valid(); it.Next()) oids_.push_back(it.value());
   return it.status();
 }
 
-Result<bool> IndexScanOp::Next(Row* row) {
-  if (pos_ >= oids_.size()) return false;
-  const Oid oid = oids_[pos_++];
-  INSIGHT_ASSIGN_OR_RETURN(row->data, table_->Get(oid));
-  row->oid = oid;
-  row->summaries = SummarySet();
-  if (propagate_) {
-    INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+Result<bool> IndexScanOp::FetchVisible(Oid oid, Tuple* tuple) const {
+  auto row = table_->Get(oid, snapshot());
+  if (!row.ok()) {
+    if (row.status().IsNotFound()) return false;  // Stale index entry.
+    return row.status();
   }
-  ++rows_produced_;
+  // Re-verify against the probed range: the index holds entries for
+  // every stored version of the row; the one visible here may carry a
+  // different column value.
+  const std::string key = EncodeIndexKey(row.ValueOrDie().at(col_pos_));
+  if (key < lower_key_ || (key == lower_key_ && !lower_inclusive_)) {
+    return false;
+  }
+  if (key > upper_key_ || (key == upper_key_ && !upper_inclusive_)) {
+    return false;
+  }
+  *tuple = std::move(row.ValueOrDie());
   return true;
+}
+
+Result<bool> IndexScanOp::Next(Row* row) {
+  while (pos_ < oids_.size()) {
+    const Oid oid = oids_[pos_++];
+    Tuple tuple;
+    INSIGHT_ASSIGN_OR_RETURN(bool visible, FetchVisible(oid, &tuple));
+    if (!visible) continue;
+    row->data = std::move(tuple);
+    row->oid = oid;
+    row->summaries = SummarySet();
+    if (propagate_) {
+      INSIGHT_ASSIGN_OR_RETURN(row->summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
+    }
+    ++rows_produced_;
+    return true;
+  }
+  return false;
 }
 
 Result<bool> IndexScanOp::NextBatchImpl(RowBatch* batch) {
   while (!batch->full() && pos_ < oids_.size()) {
     const Oid oid = oids_[pos_++];
+    Tuple tuple;
+    INSIGHT_ASSIGN_OR_RETURN(bool visible, FetchVisible(oid, &tuple));
+    if (!visible) continue;
     Row row;
-    INSIGHT_ASSIGN_OR_RETURN(row.data, table_->Get(oid));
+    row.data = std::move(tuple);
     row.oid = oid;
     if (propagate_) {
-      INSIGHT_ASSIGN_OR_RETURN(row.summaries, mgr_->GetSummaries(oid));
+      INSIGHT_ASSIGN_OR_RETURN(row.summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
     }
     batch->Push(std::move(row));
     ++rows_produced_;
@@ -274,7 +305,7 @@ const Schema& SummaryIndexScanOp::schema() const {
 Status SummaryIndexScanOp::OpenImpl() {
   ResetExec();
   pos_ = 0;
-  INSIGHT_ASSIGN_OR_RETURN(hits_, index_->Search(probe_));
+  INSIGHT_ASSIGN_OR_RETURN(hits_, index_->Search(probe_, snapshot()));
   return Status::OK();
 }
 
@@ -288,10 +319,11 @@ Result<bool> SummaryIndexScanOp::Next(Row* row) {
     // objects (Section 6). Conventional pointers reuse the storage row
     // they resolve through.
     INSIGHT_ASSIGN_OR_RETURN(
-        row->data,
-        index_->FetchDataTupleWithSummaries(hit, &row->summaries, &oid));
+        row->data, index_->FetchDataTupleWithSummaries(hit, &row->summaries,
+                                                       &oid, snapshot()));
   } else {
-    INSIGHT_ASSIGN_OR_RETURN(row->data, index_->FetchDataTuple(hit, &oid));
+    INSIGHT_ASSIGN_OR_RETURN(row->data,
+                             index_->FetchDataTuple(hit, &oid, snapshot()));
   }
   row->oid = oid;
   ++rows_produced_;
@@ -305,10 +337,11 @@ Result<bool> SummaryIndexScanOp::NextBatchImpl(RowBatch* batch) {
     Row row;
     if (propagate_) {
       INSIGHT_ASSIGN_OR_RETURN(
-          row.data,
-          index_->FetchDataTupleWithSummaries(hit, &row.summaries, &oid));
+          row.data, index_->FetchDataTupleWithSummaries(hit, &row.summaries,
+                                                        &oid, snapshot()));
     } else {
-      INSIGHT_ASSIGN_OR_RETURN(row.data, index_->FetchDataTuple(hit, &oid));
+      INSIGHT_ASSIGN_OR_RETURN(row.data,
+                               index_->FetchDataTuple(hit, &oid, snapshot()));
     }
     row.oid = oid;
     batch->Push(std::move(row));
@@ -370,7 +403,8 @@ Result<bool> BaselineIndexScanOp::Next(Row* row) {
                                index_->ReconstructObject(oid));
       row->summaries = SummarySet({std::move(obj)});
     } else {
-      INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+      INSIGHT_ASSIGN_OR_RETURN(row->summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
     }
   }
   ++rows_produced_;
@@ -418,26 +452,40 @@ Status KeywordIndexScanOp::OpenImpl() {
 }
 
 Result<bool> KeywordIndexScanOp::Next(Row* row) {
-  if (pos_ >= oids_.size()) return false;
-  const Oid oid = oids_[pos_++];
-  INSIGHT_ASSIGN_OR_RETURN(row->data, mgr_->base()->Get(oid));
-  row->oid = oid;
-  row->summaries = SummarySet();
-  if (propagate_) {
-    INSIGHT_ASSIGN_OR_RETURN(row->summaries, mgr_->GetSummaries(oid));
+  while (pos_ < oids_.size()) {
+    const Oid oid = oids_[pos_++];
+    auto data = mgr_->base()->Get(oid, snapshot());
+    if (!data.ok()) {
+      if (data.status().IsNotFound()) continue;  // Stale posting entry.
+      return data.status();
+    }
+    row->data = std::move(data.ValueOrDie());
+    row->oid = oid;
+    row->summaries = SummarySet();
+    if (propagate_) {
+      INSIGHT_ASSIGN_OR_RETURN(row->summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
+    }
+    ++rows_produced_;
+    return true;
   }
-  ++rows_produced_;
-  return true;
+  return false;
 }
 
 Result<bool> KeywordIndexScanOp::NextBatchImpl(RowBatch* batch) {
   while (!batch->full() && pos_ < oids_.size()) {
     const Oid oid = oids_[pos_++];
+    auto data = mgr_->base()->Get(oid, snapshot());
+    if (!data.ok()) {
+      if (data.status().IsNotFound()) continue;
+      return data.status();
+    }
     Row row;
-    INSIGHT_ASSIGN_OR_RETURN(row.data, mgr_->base()->Get(oid));
+    row.data = std::move(data.ValueOrDie());
     row.oid = oid;
     if (propagate_) {
-      INSIGHT_ASSIGN_OR_RETURN(row.summaries, mgr_->GetSummaries(oid));
+      INSIGHT_ASSIGN_OR_RETURN(row.summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
     }
     batch->Push(std::move(row));
     ++rows_produced_;

@@ -286,6 +286,7 @@ Status BTree::Insert(std::string_view key, uint64_t value) {
   if (key.size() > 4096) {
     return Status::InvalidArgument("btree key too large");
   }
+  std::unique_lock<std::shared_mutex> lk(*latch_);
   INSIGHT_ASSIGN_OR_RETURN(auto split, InsertRec(root_, key, value));
   if (split.has_value()) {
     Node new_root;
@@ -311,6 +312,7 @@ Result<PageId> BTree::FindLeaf(std::string_view key, uint64_t value) const {
 }
 
 Status BTree::Delete(std::string_view key, uint64_t value) {
+  std::unique_lock<std::shared_mutex> lk(*latch_);
   INSIGHT_ASSIGN_OR_RETURN(PageId leaf_page, FindLeaf(key, value));
   INSIGHT_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaf_page));
   const size_t pos = LowerBound(leaf.keys, leaf.values, key, value);
@@ -339,99 +341,57 @@ Result<std::vector<uint64_t>> BTree::Lookup(std::string_view key) const {
   return out;
 }
 
-void BTree::Iterator::LoadLeaf(PageId page) {
-  auto node_result = tree_->ReadNode(page);
-  if (!node_result.ok()) {
-    status_ = node_result.status();
-    valid_ = false;
-    return;
-  }
-  const Node& node = node_result.ValueOrDie();
-  entries_.clear();
-  entries_.reserve(node.keys.size());
-  for (size_t i = 0; i < node.keys.size(); ++i) {
-    entries_.push_back(BTreeEntry{node.keys[i], node.values[i]});
-  }
-  next_leaf_ = node.next_leaf;
-  pos_ = 0;
-}
-
-void BTree::Iterator::CheckUpper() {
-  if (!valid_ || !bounded_) return;
-  const int c = entries_[pos_].key.compare(upper_);
-  if (c > 0 || (c == 0 && !upper_inclusive_)) valid_ = false;
-}
-
-void BTree::Iterator::Next() {
-  if (!valid_) return;
-  ++pos_;
-  while (pos_ >= entries_.size()) {
-    if (next_leaf_ == kInvalidPageId) {
-      valid_ = false;
-      return;
-    }
-    LoadLeaf(next_leaf_);
-    if (!status_.ok()) return;
-  }
-  CheckUpper();
-}
-
 Result<BTree::Iterator> BTree::RangeScan(std::string_view lower,
                                          bool lower_inclusive,
                                          std::string_view upper,
                                          bool upper_inclusive) const {
   EngineMetrics::Get().btree_probes->Add(1);
-  Iterator it(this, std::string(upper), upper_inclusive);
+  std::shared_lock<std::shared_mutex> lk(*latch_);
+  Iterator it;
   // Position at the first entry >= (lower, 0) (or > (lower, MAX) when the
-  // lower bound is strict).
+  // lower bound is strict), then collect leaf entries until the upper
+  // bound cuts the walk off.
   const uint64_t probe_val = lower_inclusive ? 0 : UINT64_MAX;
   INSIGHT_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(lower, probe_val));
-  it.LoadLeaf(leaf);
-  INSIGHT_RETURN_NOT_OK(it.status());
-  auto past_lower = [&](const BTreeEntry& e) {
-    const int c = e.key.compare(std::string(lower));
+  auto past_lower = [&](const std::string& key) {
+    const int c = key.compare(std::string(lower));
     return lower_inclusive ? c >= 0 : c > 0;
   };
-  while (true) {
-    while (it.pos_ < it.entries_.size() &&
-           !past_lower(it.entries_[it.pos_])) {
-      ++it.pos_;
+  auto within_upper = [&](const std::string& key) {
+    const int c = key.compare(std::string(upper));
+    return upper_inclusive ? c <= 0 : c < 0;
+  };
+  PageId page = leaf;
+  while (page != kInvalidPageId) {
+    INSIGHT_ASSIGN_OR_RETURN(Node node, ReadNode(page));
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      if (!past_lower(node.keys[i])) continue;
+      if (!within_upper(node.keys[i])) return it;
+      it.entries_.push_back(BTreeEntry{node.keys[i], node.values[i]});
     }
-    if (it.pos_ < it.entries_.size()) break;
-    if (it.next_leaf_ == kInvalidPageId) {
-      it.valid_ = false;
-      return it;
-    }
-    it.LoadLeaf(it.next_leaf_);
-    INSIGHT_RETURN_NOT_OK(it.status());
+    page = node.next_leaf;
   }
-  it.valid_ = true;
-  it.CheckUpper();
   return it;
 }
 
 Result<BTree::Iterator> BTree::ScanAll() const {
   EngineMetrics::Get().btree_probes->Add(1);
-  Iterator it(this, std::string(), true);
-  it.bounded_ = false;
+  std::shared_lock<std::shared_mutex> lk(*latch_);
+  Iterator it;
+  it.entries_.reserve(num_entries_);
   PageId page = root_;
   while (true) {
     INSIGHT_ASSIGN_OR_RETURN(Node node, ReadNode(page));
     if (node.is_leaf) break;
     page = node.children[0];
   }
-  it.LoadLeaf(page);
-  INSIGHT_RETURN_NOT_OK(it.status());
-  // Skip over any empty leading leaves (possible after heavy deletion).
-  while (it.pos_ >= it.entries_.size()) {
-    if (it.next_leaf_ == kInvalidPageId) {
-      it.valid_ = false;
-      return it;
+  while (page != kInvalidPageId) {
+    INSIGHT_ASSIGN_OR_RETURN(Node node, ReadNode(page));
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      it.entries_.push_back(BTreeEntry{node.keys[i], node.values[i]});
     }
-    it.LoadLeaf(it.next_leaf_);
-    INSIGHT_RETURN_NOT_OK(it.status());
+    page = node.next_leaf;
   }
-  it.valid_ = true;
   return it;
 }
 

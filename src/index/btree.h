@@ -2,7 +2,9 @@
 #define INSIGHTNOTES_INDEX_BTREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +34,11 @@ int CompareEntries(std::string_view a_key, uint64_t a_val,
 /// Deletion is lazy (no merge/borrow): removing entries never shrinks the
 /// tree, matching the paper's workload where class-label counts are
 /// deleted and immediately re-inserted on every annotation update.
+///
+/// Thread-safe via one internal reader/writer latch per tree: mutators
+/// are exclusive, probes shared. Scans materialize their result set
+/// under the shared latch and release it before returning, so no latch
+/// is ever held across query execution.
 class BTree {
  public:
   /// Creates a fresh tree in an empty page file.
@@ -54,37 +61,29 @@ class BTree {
   /// Collects the payloads of all entries with exactly this key.
   Result<std::vector<uint64_t>> Lookup(std::string_view key) const;
 
-  /// Forward iterator over a [lower, upper] key range.
+  /// Forward iterator over a [lower, upper] key range. The range is
+  /// materialized when the iterator is created (under the tree latch);
+  /// iteration itself touches no shared state, so concurrent mutators
+  /// cannot invalidate a live iterator.
   class Iterator {
    public:
-    bool Valid() const { return valid_; }
+    bool Valid() const { return pos_ < entries_.size(); }
     const std::string& key() const { return entries_[pos_].key; }
     uint64_t value() const { return entries_[pos_].value; }
 
-    /// Advances; clears Valid() at the end of the range. I/O errors end
-    /// the scan and are surfaced via status().
-    void Next();
+    /// Advances; clears Valid() at the end of the range.
+    void Next() {
+      if (pos_ < entries_.size()) ++pos_;
+    }
 
     const Status& status() const { return status_; }
 
    private:
     friend class BTree;
-    Iterator(const BTree* tree, std::string upper, bool upper_inclusive)
-        : tree_(tree),
-          upper_(std::move(upper)),
-          upper_inclusive_(upper_inclusive) {}
+    Iterator() = default;
 
-    void LoadLeaf(PageId page);
-    void CheckUpper();
-
-    const BTree* tree_ = nullptr;
-    std::vector<BTreeEntry> entries_;  // Snapshot of the current leaf.
-    PageId next_leaf_ = kInvalidPageId;
+    std::vector<BTreeEntry> entries_;  // Materialized result set.
     size_t pos_ = 0;
-    bool valid_ = false;
-    bool bounded_ = true;
-    std::string upper_;
-    bool upper_inclusive_ = true;
     Status status_;
   };
 
@@ -98,11 +97,20 @@ class BTree {
   /// All entries in key order.
   Result<Iterator> ScanAll() const;
 
-  uint64_t num_entries() const { return num_entries_; }
-  uint32_t height() const { return height_; }
+  uint64_t num_entries() const {
+    std::shared_lock<std::shared_mutex> lk(*latch_);
+    return num_entries_;
+  }
+  uint32_t height() const {
+    std::shared_lock<std::shared_mutex> lk(*latch_);
+    return height_;
+  }
 
  private:
-  BTree(BufferPool* pool, FileId file) : pool_(pool), file_(file) {}
+  BTree(BufferPool* pool, FileId file)
+      : pool_(pool),
+        file_(file),
+        latch_(std::make_unique<std::shared_mutex>()) {}
 
   // In-memory image of one node; (de)serialized to a page on each access.
   struct Node {
@@ -140,6 +148,8 @@ class BTree {
 
   BufferPool* pool_;
   FileId file_;
+  // unique_ptr keeps BTree movable (shared_mutex is not).
+  mutable std::unique_ptr<std::shared_mutex> latch_;
   PageId root_ = kInvalidPageId;
   uint64_t num_entries_ = 0;
   uint32_t height_ = 1;

@@ -1,10 +1,35 @@
 #include "index/table.h"
 
+#include "common/logging.h"
 #include "common/serde.h"
 #include "common/string_util.h"
 #include "index/key_codec.h"
 
 namespace insight {
+
+namespace {
+
+// Byte offsets of the version stamps inside an encoded record
+// (`oid || begin || end || tuple`, all u64 little-endian).
+constexpr size_t kBeginOffset = 8;
+constexpr size_t kEndOffset = 16;
+
+std::string TsBytes(Ts ts) {
+  std::string out;
+  PutU64(&out, ts);
+  return out;
+}
+
+std::string OidKey(Oid oid) {
+  // Big-endian so lexicographic order equals numeric order.
+  std::string key(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<char>((oid >> ((7 - i) * 8)) & 0xFF);
+  }
+  return key;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Table>> Table::Create(StorageManager* storage,
                                              BufferPool* pool,
@@ -23,31 +48,87 @@ Result<std::unique_ptr<Table>> Table::Create(StorageManager* storage,
   return table;
 }
 
-std::string Table::EncodeRecord(Oid oid, const Tuple& tuple) {
+std::string Table::EncodeRecord(Oid oid, Ts begin, Ts end,
+                                const Tuple& tuple) {
   std::string rec;
   PutU64(&rec, oid);
+  PutU64(&rec, begin);
+  PutU64(&rec, end);
   tuple.Serialize(&rec);
   return rec;
 }
 
-Result<std::pair<Oid, Tuple>> Table::DecodeRecord(std::string_view rec) {
+Result<Table::DecodedRecord> Table::DecodeRecord(std::string_view rec) {
   SerdeReader reader(rec);
+  DecodedRecord out;
   uint64_t oid;
-  if (!reader.ReadU64(&oid)) return Status::Corruption("record: missing oid");
-  INSIGHT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(&reader));
-  return std::make_pair(oid, std::move(tuple));
+  uint64_t begin;
+  uint64_t end;
+  if (!reader.ReadU64(&oid) || !reader.ReadU64(&begin) ||
+      !reader.ReadU64(&end)) {
+    return Status::Corruption("record: missing version header");
+  }
+  INSIGHT_ASSIGN_OR_RETURN(out.tuple, Tuple::Deserialize(&reader));
+  out.oid = oid;
+  out.begin = begin;
+  out.end = end;
+  return out;
 }
 
-namespace {
-std::string OidKey(Oid oid) {
-  // Big-endian so lexicographic order equals numeric order.
-  std::string key(8, '\0');
-  for (int i = 0; i < 8; ++i) {
-    key[i] = static_cast<char>((oid >> ((7 - i) * 8)) & 0xFF);
+Result<std::vector<std::pair<Table::DecodedRecord, RowLocation>>>
+Table::LoadVersions(Oid oid) const {
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<uint64_t> hits,
+                           oid_index_->Lookup(OidKey(oid)));
+  std::vector<std::pair<DecodedRecord, RowLocation>> out;
+  out.reserve(hits.size());
+  for (uint64_t packed : hits) {
+    const RowLocation loc = RowLocation::Unpack(packed);
+    auto rec = heap_->Get(loc);
+    if (!rec.ok()) {
+      // A concurrent GC/undo may have reclaimed this version between the
+      // index probe and the heap read; it was invisible to us anyway.
+      if (rec.status().IsNotFound()) continue;
+      return rec.status();
+    }
+    INSIGHT_ASSIGN_OR_RETURN(DecodedRecord decoded,
+                             DecodeRecord(rec.ValueOrDie()));
+    if (decoded.oid != oid) {
+      // Same race as NotFound, one step later: an aborted txn's undo freed
+      // the slot and a concurrent insert reused it before our stale index
+      // entry was pruned. The version that used to live here was never
+      // committed, so it is invisible to every snapshot — skip it.
+      continue;
+    }
+    out.emplace_back(std::move(decoded), loc);
   }
-  return key;
+  return out;
 }
-}  // namespace
+
+Result<std::vector<Table::VersionInfo>> Table::GetVersions(Oid oid) const {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  std::vector<VersionInfo> out;
+  out.reserve(versions.size());
+  for (const auto& [rec, loc] : versions) {
+    out.push_back(VersionInfo{loc, rec.begin, rec.end});
+  }
+  return out;
+}
+
+Status Table::CheckInsertConflict(Oid oid, const Snapshot& snap) const {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  for (const auto& [rec, loc] : versions) {
+    if (IsTxnStamp(rec.begin)) {
+      if (StampTxnId(rec.begin) != snap.txn_id) {
+        return Status::Aborted("row " + std::to_string(oid) + " in " + name_ +
+                               " is being written by another transaction");
+      }
+    } else if (rec.begin > snap.read_ts) {
+      return Status::Aborted("row " + std::to_string(oid) + " in " + name_ +
+                             " was written after this snapshot");
+    }
+  }
+  return Status::OK();
+}
 
 Result<Oid> Table::Insert(const Tuple& tuple) {
   if (tuple.size() != schema_.num_columns()) {
@@ -55,12 +136,8 @@ Result<Oid> Table::Insert(const Tuple& tuple) {
         "tuple arity " + std::to_string(tuple.size()) + " vs schema " +
         std::to_string(schema_.num_columns()));
   }
-  const Oid oid = next_oid_++;
-  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc,
-                           heap_->Insert(EncodeRecord(oid, tuple)));
-  INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), loc.Pack()));
-  INSIGHT_RETURN_NOT_OK(IndexInsert(oid, tuple));
-  ++num_rows_;
+  const Oid oid = next_oid_.fetch_add(1, std::memory_order_relaxed);
+  INSIGHT_RETURN_NOT_OK(InsertRecord(oid, tuple));
   return oid;
 }
 
@@ -73,12 +150,43 @@ Status Table::InsertWithOid(Oid oid, const Tuple& tuple) {
   if (oid == kInvalidOid) {
     return Status::InvalidArgument("InsertWithOid: invalid oid");
   }
-  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc,
-                           heap_->Insert(EncodeRecord(oid, tuple)));
+  INSIGHT_RETURN_NOT_OK(InsertRecord(oid, tuple));
+  Oid cur = next_oid_.load(std::memory_order_relaxed);
+  while (oid >= cur &&
+         !next_oid_.compare_exchange_weak(cur, oid + 1,
+                                          std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+Status Table::InsertRecord(Oid oid, const Tuple& tuple) {
+  Transaction* txn = CurrentTxn();
+  const Ts begin = txn != nullptr ? txn->stamp() : 0;
+  INSIGHT_ASSIGN_OR_RETURN(
+      RowLocation loc,
+      heap_->Insert(EncodeRecord(oid, begin, kTsInfinity, tuple)));
   INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), loc.Pack()));
-  INSIGHT_RETURN_NOT_OK(IndexInsert(oid, tuple));
-  ++num_rows_;
-  if (oid >= next_oid_) next_oid_ = oid + 1;
+  if (txn != nullptr) {
+    INSIGHT_RETURN_NOT_OK(IndexInsertVersioned(oid, tuple, loc));
+    const Ts marker = txn->stamp();
+    txn->OnCommit([this, oid, marker](Ts commit_ts) {
+      const Status st = RestampBegin(oid, marker, commit_ts);
+      if (!st.ok()) {
+        INSIGHT_LOG(Error) << name_ << ": commit restamp of row " << oid
+                           << ": " << st.ToString();
+      }
+    });
+    txn->OnAbort([this, oid, marker]() {
+      const Status st = RemoveVersionWithBegin(oid, marker);
+      if (!st.ok()) {
+        INSIGHT_LOG(Error) << name_ << ": insert undo of row " << oid << ": "
+                           << st.ToString();
+      }
+    });
+  } else {
+    INSIGHT_RETURN_NOT_OK(IndexInsert(oid, tuple));
+  }
+  num_rows_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -89,49 +197,265 @@ std::vector<std::string> Table::IndexedColumns() const {
   return columns;
 }
 
-Result<RowLocation> Table::DiskTupleLoc(Oid oid) const {
-  INSIGHT_ASSIGN_OR_RETURN(std::vector<uint64_t> hits,
-                           oid_index_->Lookup(OidKey(oid)));
-  if (hits.empty()) {
-    return Status::NotFound("oid " + std::to_string(oid));
+Result<RowLocation> Table::DiskTupleLoc(Oid oid, const Snapshot& snap) const {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  for (const auto& [rec, loc] : versions) {
+    if (VersionVisible(rec.begin, rec.end, snap)) return loc;
   }
-  return RowLocation::Unpack(hits.front());
+  return Status::NotFound("oid " + std::to_string(oid));
 }
 
-Result<Tuple> Table::Get(Oid oid) const {
-  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc, DiskTupleLoc(oid));
-  return GetAt(loc);
+Result<Tuple> Table::Get(Oid oid, const Snapshot& snap) const {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  for (auto& [rec, loc] : versions) {
+    if (VersionVisible(rec.begin, rec.end, snap)) {
+      return std::move(rec.tuple);
+    }
+  }
+  return Status::NotFound("oid " + std::to_string(oid));
 }
 
-Result<Tuple> Table::GetAt(RowLocation loc, Oid* oid_out) const {
+Result<Tuple> Table::GetAt(RowLocation loc, Oid* oid_out,
+                           const Snapshot& snap) const {
   INSIGHT_ASSIGN_OR_RETURN(std::string rec, heap_->Get(loc));
-  INSIGHT_ASSIGN_OR_RETURN(auto decoded, DecodeRecord(rec));
-  if (oid_out != nullptr) *oid_out = decoded.first;
-  return std::move(decoded.second);
+  INSIGHT_ASSIGN_OR_RETURN(DecodedRecord decoded, DecodeRecord(rec));
+  if (oid_out != nullptr) *oid_out = decoded.oid;
+  if (VersionVisible(decoded.begin, decoded.end, snap)) {
+    return std::move(decoded.tuple);
+  }
+  // The version at `loc` is not ours to see; the visible sibling version
+  // of the same row (if any) is.
+  return Get(decoded.oid, snap);
 }
 
 Status Table::Delete(Oid oid) {
-  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc, DiskTupleLoc(oid));
-  INSIGHT_ASSIGN_OR_RETURN(Tuple old, GetAt(loc));
-  INSIGHT_RETURN_NOT_OK(heap_->Delete(loc));
-  INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
-  INSIGHT_RETURN_NOT_OK(IndexDelete(oid, old));
-  --num_rows_;
-  return Status::OK();
+  Transaction* txn = CurrentTxn();
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  if (txn == nullptr) {
+    // Immediate physical delete (replay / embedded single-writer mode).
+    for (auto& [rec, loc] : versions) {
+      if (!VersionVisible(rec.begin, rec.end, Snapshot::Latest())) continue;
+      INSIGHT_RETURN_NOT_OK(IndexDeleteVersioned(oid, rec.tuple, loc));
+      INSIGHT_RETURN_NOT_OK(heap_->Delete(loc));
+      INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
+      num_rows_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    return Status::NotFound("oid " + std::to_string(oid));
+  }
+
+  const Snapshot snap = txn->snapshot();
+  bool any = false;
+  for (auto& [rec, loc] : versions) {
+    if (!VersionVisible(rec.begin, rec.end, snap)) {
+      any = true;
+      continue;
+    }
+    // Writability (first-writer-wins): the visible version must still be
+    // the live chain head.
+    if (IsTxnStamp(rec.end)) {
+      return StampTxnId(rec.end) == txn->id()
+                 ? Status::NotFound("row deleted in this transaction")
+                 : Status::Aborted("row " + std::to_string(oid) + " in " +
+                                   name_ +
+                                   " is being written by another transaction");
+    }
+    if (rec.end != kTsInfinity) {
+      return Status::Aborted("row " + std::to_string(oid) + " in " + name_ +
+                             " was superseded after this snapshot");
+    }
+    const Ts marker = txn->stamp();
+    INSIGHT_RETURN_NOT_OK(
+        heap_->OverwriteRecordBytes(loc, kEndOffset, TsBytes(marker)));
+    num_rows_.fetch_sub(1, std::memory_order_relaxed);
+    txn->OnAbort([this, oid, marker]() {
+      const Status st = RestampEnd(oid, marker, kTsInfinity);
+      if (!st.ok()) {
+        INSIGHT_LOG(Error) << name_ << ": delete undo of row " << oid << ": "
+                           << st.ToString();
+      }
+      num_rows_.fetch_add(1, std::memory_order_relaxed);
+    });
+    txn->OnCommit([this, oid, marker](Ts commit_ts) {
+      const Status st = RestampEnd(oid, marker, commit_ts);
+      if (!st.ok()) {
+        INSIGHT_LOG(Error) << name_ << ": commit restamp of row " << oid
+                           << ": " << st.ToString();
+      }
+    });
+    txn->OnGc([this, oid](Ts horizon) { return VacuumOid(oid, horizon); });
+    return Status::OK();
+  }
+  if (any) {
+    return Status::Aborted("row " + std::to_string(oid) + " in " + name_ +
+                           " is being written by another transaction");
+  }
+  return Status::NotFound("oid " + std::to_string(oid));
 }
 
 Status Table::Update(Oid oid, const Tuple& tuple) {
-  INSIGHT_ASSIGN_OR_RETURN(RowLocation loc, DiskTupleLoc(oid));
-  INSIGHT_ASSIGN_OR_RETURN(Tuple old, GetAt(loc));
-  INSIGHT_ASSIGN_OR_RETURN(RowLocation new_loc,
-                           heap_->Update(loc, EncodeRecord(oid, tuple)));
-  if (!(new_loc == loc)) {
-    INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
-    INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), new_loc.Pack()));
+  Transaction* txn = CurrentTxn();
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  if (txn == nullptr) {
+    // In-place rewrite (replay / embedded single-writer mode).
+    for (auto& [rec, loc] : versions) {
+      if (!VersionVisible(rec.begin, rec.end, Snapshot::Latest())) continue;
+      INSIGHT_ASSIGN_OR_RETURN(
+          RowLocation new_loc,
+          heap_->Update(loc,
+                        EncodeRecord(oid, rec.begin, rec.end, tuple)));
+      if (!(new_loc == loc)) {
+        INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
+        INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), new_loc.Pack()));
+      }
+      INSIGHT_RETURN_NOT_OK(IndexDeleteVersioned(oid, rec.tuple, new_loc));
+      INSIGHT_RETURN_NOT_OK(IndexInsertVersioned(oid, tuple, new_loc));
+      return Status::OK();
+    }
+    return Status::NotFound("oid " + std::to_string(oid));
   }
-  INSIGHT_RETURN_NOT_OK(IndexDelete(oid, old));
-  INSIGHT_RETURN_NOT_OK(IndexInsert(oid, tuple));
+
+  const Snapshot snap = txn->snapshot();
+  bool any = false;
+  for (auto& [rec, loc] : versions) {
+    if (!VersionVisible(rec.begin, rec.end, snap)) {
+      any = true;
+      continue;
+    }
+    if (IsTxnStamp(rec.end)) {
+      return StampTxnId(rec.end) == txn->id()
+                 ? Status::NotFound("row deleted in this transaction")
+                 : Status::Aborted("row " + std::to_string(oid) + " in " +
+                                   name_ +
+                                   " is being written by another transaction");
+    }
+    if (rec.end != kTsInfinity) {
+      return Status::Aborted("row " + std::to_string(oid) + " in " + name_ +
+                             " was superseded after this snapshot");
+    }
+    if (IsTxnStamp(rec.begin)) {
+      // This transaction created the visible version (insert or earlier
+      // update): rewrite it in place, no new version.
+      INSIGHT_ASSIGN_OR_RETURN(
+          RowLocation new_loc,
+          heap_->Update(loc, EncodeRecord(oid, rec.begin, kTsInfinity,
+                                          tuple)));
+      if (!(new_loc == loc)) {
+        INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
+        INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), new_loc.Pack()));
+      }
+      INSIGHT_RETURN_NOT_OK(IndexDeleteVersioned(oid, rec.tuple, new_loc));
+      INSIGHT_RETURN_NOT_OK(IndexInsertVersioned(oid, tuple, new_loc));
+      return Status::OK();
+    }
+    // First write of a committed row by this transaction: end-stamp the
+    // old version (write intent) and install the successor.
+    const Ts marker = txn->stamp();
+    INSIGHT_RETURN_NOT_OK(
+        heap_->OverwriteRecordBytes(loc, kEndOffset, TsBytes(marker)));
+    INSIGHT_ASSIGN_OR_RETURN(
+        RowLocation new_loc,
+        heap_->Insert(EncodeRecord(oid, marker, kTsInfinity, tuple)));
+    INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), new_loc.Pack()));
+    INSIGHT_RETURN_NOT_OK(IndexInsertVersioned(oid, tuple, new_loc));
+    txn->OnAbort([this, oid, marker]() {
+      Status st = RemoveVersionWithBegin(oid, marker);
+      if (st.ok()) {
+        // RemoveVersionWithBegin counts the version as a lost row; the
+        // old version comes back below, so the row never went away.
+        num_rows_.fetch_add(1, std::memory_order_relaxed);
+        st = RestampEnd(oid, marker, kTsInfinity);
+      }
+      if (!st.ok()) {
+        INSIGHT_LOG(Error) << name_ << ": update undo of row " << oid << ": "
+                           << st.ToString();
+      }
+    });
+    txn->OnCommit([this, oid, marker](Ts commit_ts) {
+      Status st = RestampBegin(oid, marker, commit_ts);
+      if (st.ok()) st = RestampEnd(oid, marker, commit_ts);
+      if (!st.ok()) {
+        INSIGHT_LOG(Error) << name_ << ": commit restamp of row " << oid
+                           << ": " << st.ToString();
+      }
+    });
+    txn->OnGc([this, oid](Ts horizon) { return VacuumOid(oid, horizon); });
+    return Status::OK();
+  }
+  if (any) {
+    return Status::Aborted("row " + std::to_string(oid) + " in " + name_ +
+                           " is being written by another transaction");
+  }
+  return Status::NotFound("oid " + std::to_string(oid));
+}
+
+Status Table::RestampBegin(Oid oid, Ts marker, Ts new_begin) {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  bool found = false;
+  for (const auto& [rec, loc] : versions) {
+    if (rec.begin != marker) continue;
+    INSIGHT_RETURN_NOT_OK(
+        heap_->OverwriteRecordBytes(loc, kBeginOffset, TsBytes(new_begin)));
+    found = true;
+  }
+  return found ? Status::OK()
+               : Status::NotFound("no version of oid " + std::to_string(oid) +
+                                  " carries the stamp");
+}
+
+Status Table::RestampEnd(Oid oid, Ts marker, Ts new_end) {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  bool found = false;
+  for (const auto& [rec, loc] : versions) {
+    if (rec.end != marker) continue;
+    INSIGHT_RETURN_NOT_OK(
+        heap_->OverwriteRecordBytes(loc, kEndOffset, TsBytes(new_end)));
+    found = true;
+  }
+  return found ? Status::OK()
+               : Status::NotFound("no version of oid " + std::to_string(oid) +
+                                  " carries the stamp");
+}
+
+Status Table::RemoveVersionWithBegin(Oid oid, Ts marker) {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  bool found = false;
+  for (const auto& [rec, loc] : versions) {
+    if (rec.begin != marker) continue;
+    INSIGHT_RETURN_NOT_OK(IndexDeleteVersioned(oid, rec.tuple, loc));
+    INSIGHT_RETURN_NOT_OK(heap_->Delete(loc));
+    INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
+    num_rows_.fetch_sub(1, std::memory_order_relaxed);
+    found = true;
+  }
+  return found ? Status::OK()
+               : Status::NotFound("no version of oid " + std::to_string(oid) +
+                                  " carries the stamp");
+}
+
+Status Table::VacuumOid(Oid oid, Ts horizon) {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  for (const auto& [rec, loc] : versions) {
+    if (IsTxnStamp(rec.end) || rec.end == kTsInfinity || rec.end > horizon) {
+      continue;
+    }
+    INSIGHT_RETURN_NOT_OK(IndexDeleteVersioned(oid, rec.tuple, loc));
+    INSIGHT_RETURN_NOT_OK(heap_->Delete(loc));
+    INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
+  }
   return Status::OK();
+}
+
+Result<bool> Table::ValueInOtherVersion(Oid oid, size_t column_pos,
+                                        const Value& value,
+                                        RowLocation exclude) const {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  const std::string key = EncodeIndexKey(value);
+  for (const auto& [rec, loc] : versions) {
+    if (loc == exclude) continue;
+    if (EncodeIndexKey(rec.tuple.at(column_pos)) == key) return true;
+  }
+  return false;
 }
 
 Status Table::IndexInsert(Oid oid, const Tuple& tuple) {
@@ -150,6 +474,35 @@ Status Table::IndexDelete(Oid oid, const Tuple& tuple) {
   return Status::OK();
 }
 
+Status Table::IndexInsertVersioned(Oid oid, const Tuple& tuple,
+                                   RowLocation loc) {
+  // Invariant: a column index holds (value, oid) iff SOME stored version
+  // of `oid` has `value` — probes re-check visibility and value on the
+  // fetched version, so surplus entries are only extra work, but a
+  // missing entry would lose rows. Skip the insert when a sibling
+  // version already put the pair in place.
+  for (auto& [col, idx] : column_indexes_) {
+    const Value& v = tuple.at(idx.column_pos);
+    INSIGHT_ASSIGN_OR_RETURN(
+        bool shared, ValueInOtherVersion(oid, idx.column_pos, v, loc));
+    if (shared) continue;
+    INSIGHT_RETURN_NOT_OK(idx.tree->Insert(EncodeIndexKey(v), oid));
+  }
+  return Status::OK();
+}
+
+Status Table::IndexDeleteVersioned(Oid oid, const Tuple& tuple,
+                                   RowLocation loc) {
+  for (auto& [col, idx] : column_indexes_) {
+    const Value& v = tuple.at(idx.column_pos);
+    INSIGHT_ASSIGN_OR_RETURN(
+        bool shared, ValueInOtherVersion(oid, idx.column_pos, v, loc));
+    if (shared) continue;  // Another version still needs the entry.
+    INSIGHT_RETURN_NOT_OK(idx.tree->Delete(EncodeIndexKey(v), oid));
+  }
+  return Status::OK();
+}
+
 Status Table::CreateColumnIndex(const std::string& column) {
   const std::string key = ToLower(column);
   if (column_indexes_.count(key) > 0) {
@@ -162,13 +515,28 @@ Status Table::CreateColumnIndex(const std::string& column) {
       idx.file, storage_->CreateFile(name_ + ".col." + key + ".idx"));
   INSIGHT_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_, idx.file));
   idx.tree = std::make_unique<BTree>(std::move(tree));
-  // Backfill.
-  Iterator it = Scan();
-  Oid oid;
-  Tuple tuple;
-  while (it.Next(&oid, &tuple)) {
-    INSIGHT_RETURN_NOT_OK(
-        idx.tree->Insert(EncodeIndexKey(tuple.at(pos)), oid));
+  // Backfill from the raw heap — every version of every row, so probes at
+  // any snapshot resolve. Duplicate (value, oid) pairs from sibling
+  // versions with equal values are collapsed.
+  HeapFile::Iterator it = heap_->Scan();
+  RowLocation loc;
+  std::string raw;
+  while (it.Next(&loc, &raw)) {
+    auto decoded = DecodeRecord(raw);
+    if (!decoded.ok()) continue;
+    const DecodedRecord& rec = decoded.ValueOrDie();
+    const std::string ekey = EncodeIndexKey(rec.tuple.at(pos));
+    INSIGHT_ASSIGN_OR_RETURN(std::vector<uint64_t> existing,
+                             idx.tree->Lookup(ekey));
+    bool present = false;
+    for (uint64_t v : existing) {
+      if (v == rec.oid) {
+        present = true;
+        break;
+      }
+    }
+    if (present) continue;
+    INSIGHT_RETURN_NOT_OK(idx.tree->Insert(ekey, rec.oid));
   }
   column_indexes_.emplace(key, std::move(idx));
   return Status::OK();
@@ -186,12 +554,16 @@ const BTree* Table::GetColumnIndex(const std::string& column) const {
 bool Table::Iterator::Next(Oid* oid, Tuple* tuple) {
   RowLocation loc;
   std::string rec;
-  if (!it_.Next(&loc, &rec)) return false;
-  auto decoded = DecodeRecord(rec);
-  if (!decoded.ok()) return false;
-  *oid = decoded.ValueOrDie().first;
-  *tuple = std::move(decoded.ValueOrDie().second);
-  return true;
+  while (it_.Next(&loc, &rec)) {
+    auto decoded = DecodeRecord(rec);
+    if (!decoded.ok()) return false;
+    DecodedRecord& d = decoded.ValueOrDie();
+    if (!VersionVisible(d.begin, d.end, snap_)) continue;
+    *oid = d.oid;
+    *tuple = std::move(d.tuple);
+    return true;
+  }
+  return false;
 }
 
 uint64_t Table::heap_bytes() const {

@@ -1,6 +1,7 @@
 #ifndef INSIGHTNOTES_INDEX_TABLE_H_
 #define INSIGHTNOTES_INDEX_TABLE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include "index/btree.h"
 #include "storage/heap_file.h"
 #include "storage/storage_manager.h"
+#include "txn/txn.h"
 #include "types/schema.h"
 #include "types/tuple.h"
 
@@ -19,7 +21,17 @@ namespace insight {
 /// paper's `diskTupleLoc()` helper with cost O(log_B M)) + optional
 /// secondary B-Tree indexes on data columns.
 ///
-/// Heap records are `oid || tuple` so scans recover OIDs without an index.
+/// Heap records are versioned: `oid || begin_ts || end_ts || tuple`. A row
+/// may have several versions (same OID, disjoint [begin, end) lifetimes);
+/// reads carry a Snapshot and see exactly one. When the calling thread has
+/// a current transaction (CurrentTxn()), writes create/stamp versions and
+/// register restamp/undo/GC closures on it; without one they apply with
+/// begin=0 / end=forever — immediately visible to every snapshot — which
+/// is the WAL-replay and embedded single-writer mode.
+///
+/// First-writer-wins: a transactional write to a row whose newest version
+/// is uncommitted-by-another or committed past the writer's snapshot
+/// returns kAborted.
 class Table {
  public:
   /// Creates the heap and OID-index files under `name.*` in `storage`.
@@ -30,7 +42,9 @@ class Table {
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  uint64_t num_rows() const { return num_rows_; }
+  uint64_t num_rows() const {
+    return num_rows_.load(std::memory_order_relaxed);
+  }
 
   /// Inserts a tuple; assigns and returns its OID.
   Result<Oid> Insert(const Tuple& tuple);
@@ -41,48 +55,81 @@ class Table {
   Status InsertWithOid(Oid oid, const Tuple& tuple);
 
   /// Next OID Insert would assign (checkpoint snapshots record it).
-  Oid next_oid() const { return next_oid_; }
+  Oid next_oid() const { return next_oid_.load(std::memory_order_relaxed); }
 
   /// Names of columns that have a secondary index, in index order.
   std::vector<std::string> IndexedColumns() const;
 
-  /// Fetches by OID (OID index probe + heap read).
-  Result<Tuple> Get(Oid oid) const;
+  /// Fetches the version visible to `snap` by OID.
+  Result<Tuple> Get(Oid oid, const Snapshot& snap = Snapshot::Latest()) const;
 
-  /// The paper's diskTupleLoc(): heap location of a tuple given its OID.
-  Result<RowLocation> DiskTupleLoc(Oid oid) const;
+  /// The paper's diskTupleLoc(): heap location of the tuple version
+  /// visible to `snap`, given its OID.
+  Result<RowLocation> DiskTupleLoc(
+      Oid oid, const Snapshot& snap = Snapshot::Latest()) const;
 
   /// Direct heap fetch by location (Summary-BTree backward pointers land
-  /// here without touching the OID index).
-  Result<Tuple> GetAt(RowLocation loc, Oid* oid_out = nullptr) const;
+  /// here without touching the OID index). If the version at `loc` is not
+  /// visible to `snap`, falls back to the visible sibling version of the
+  /// same OID (NotFound when none).
+  Result<Tuple> GetAt(RowLocation loc, Oid* oid_out = nullptr,
+                      const Snapshot& snap = Snapshot::Latest()) const;
 
+  /// Deletes the row (end-stamps its visible version under a transaction;
+  /// physically removes it otherwise).
   Status Delete(Oid oid);
 
-  /// Rewrites a tuple in place (heap may relocate; indexes follow).
+  /// Rewrites a tuple. Under a transaction this installs a new version
+  /// and end-stamps the old one (first-writer-wins on conflicts); without
+  /// one it rewrites in place.
   Status Update(Oid oid, const Tuple& tuple);
 
   /// Builds a secondary B-Tree index on one data column. Key = encoded
-  /// column value, payload = OID. Backfills existing rows.
+  /// column value, payload = OID. Backfills every existing version, so
+  /// index probes at any snapshot find their rows (probes re-check
+  /// visibility against the fetched version).
   Status CreateColumnIndex(const std::string& column);
 
   bool HasColumnIndex(const std::string& column) const;
   const BTree* GetColumnIndex(const std::string& column) const;
 
-  /// Scan yielding (oid, tuple) in heap order. The page-range form backs
-  /// morsel-driven parallel scans: workers walk disjoint ranges.
+  /// One stored version of a row (diagnostics, conflict checks, GC).
+  struct VersionInfo {
+    RowLocation loc;
+    Ts begin = 0;
+    Ts end = kTsInfinity;
+  };
+
+  /// Every stored version of `oid`, any stamp (empty when unknown).
+  Result<std::vector<VersionInfo>> GetVersions(Oid oid) const;
+
+  /// First-writer-wins admission check for inserting a row that `snap`
+  /// believes absent but an index says may exist: kAborted when any
+  /// version of `oid` was written by another open transaction or
+  /// committed after the snapshot; OK when every version is dead history.
+  Status CheckInsertConflict(Oid oid, const Snapshot& snap) const;
+
+  /// Scan yielding (oid, tuple) versions visible to the iterator's
+  /// snapshot, in heap order. The page-range form backs morsel-driven
+  /// parallel scans: workers walk disjoint ranges.
   class Iterator {
    public:
-    explicit Iterator(const Table* table) : it_(table->heap_->Scan()) {}
-    Iterator(const Table* table, PageId begin, PageId end)
-        : it_(table->heap_->ScanRange(begin, end)) {}
+    Iterator(const Table* table, Snapshot snap)
+        : it_(table->heap_->Scan()), snap_(snap) {}
+    Iterator(const Table* table, PageId begin, PageId end, Snapshot snap)
+        : it_(table->heap_->ScanRange(begin, end)), snap_(snap) {}
     bool Next(Oid* oid, Tuple* tuple);
 
    private:
     HeapFile::Iterator it_;
+    Snapshot snap_;
   };
-  Iterator Scan() const { return Iterator(this); }
-  Iterator ScanRange(PageId begin, PageId end) const {
-    return Iterator(this, begin, end);
+  Iterator Scan(const Snapshot& snap = Snapshot::Latest()) const {
+    return Iterator(this, snap);
+  }
+  Iterator ScanRange(PageId begin, PageId end,
+                     const Snapshot& snap = Snapshot::Latest()) const {
+    return Iterator(this, begin, end, snap);
   }
 
   /// Heap-file scan extent in pages (the domain morsel sources split).
@@ -103,11 +150,47 @@ class Table {
         name_(std::move(name)),
         schema_(std::move(schema)) {}
 
-  static std::string EncodeRecord(Oid oid, const Tuple& tuple);
-  static Result<std::pair<Oid, Tuple>> DecodeRecord(std::string_view rec);
+  static std::string EncodeRecord(Oid oid, Ts begin, Ts end,
+                                  const Tuple& tuple);
+  struct DecodedRecord {
+    Oid oid;
+    Ts begin;
+    Ts end;
+    Tuple tuple;
+  };
+  static Result<DecodedRecord> DecodeRecord(std::string_view rec);
+
+  /// Shared insert path: stamps per CurrentTxn() and registers closures.
+  Status InsertRecord(Oid oid, const Tuple& tuple);
+
+  /// Loads and decodes every version of `oid` (with tuples).
+  Result<std::vector<std::pair<DecodedRecord, RowLocation>>> LoadVersions(
+      Oid oid) const;
+
+  // ---- Version plumbing used by transaction closures ----
+  /// Overwrites the begin stamp of the version currently stamped
+  /// `marker`.
+  Status RestampBegin(Oid oid, Ts marker, Ts new_begin);
+  /// Overwrites the end stamp of the version currently stamped `marker`.
+  Status RestampEnd(Oid oid, Ts marker, Ts new_end);
+  /// Physically removes the version whose begin stamp is `marker`
+  /// (insert undo).
+  Status RemoveVersionWithBegin(Oid oid, Ts marker);
+  /// Physically removes every version of `oid` whose committed end stamp
+  /// is <= horizon (epoch GC of dead versions).
+  Status VacuumOid(Oid oid, Ts horizon);
+
+  /// True when another stored version of `oid` (excluding `exclude`) has
+  /// `value` in column `column_pos` — guards column-index entry reuse.
+  Result<bool> ValueInOtherVersion(Oid oid, size_t column_pos,
+                                   const Value& value,
+                                   RowLocation exclude) const;
 
   Status IndexInsert(Oid oid, const Tuple& tuple);
   Status IndexDelete(Oid oid, const Tuple& tuple);
+  /// Index maintenance that keeps entries shared by other versions.
+  Status IndexInsertVersioned(Oid oid, const Tuple& tuple, RowLocation loc);
+  Status IndexDeleteVersioned(Oid oid, const Tuple& tuple, RowLocation loc);
 
   StorageManager* storage_;
   BufferPool* pool_;
@@ -125,8 +208,8 @@ class Table {
   };
   std::map<std::string, ColumnIndex> column_indexes_;
 
-  Oid next_oid_ = 1;
-  uint64_t num_rows_ = 0;
+  std::atomic<Oid> next_oid_{1};
+  std::atomic<uint64_t> num_rows_{0};
 };
 
 }  // namespace insight

@@ -66,6 +66,7 @@ Result<Frame> InsightClient::ReadFrame() {
 }
 
 Result<NetResult> InsightClient::Execute(const std::string& sql) {
+  last_error_retryable_ = false;
   INSIGHT_RETURN_NOT_OK(SendFrame(FrameType::kQuery, EncodeQuery(sql)));
   NetResult result;
   bool saw_header = false;
@@ -92,8 +93,11 @@ Result<NetResult> InsightClient::Execute(const std::string& sql) {
         }
         return result;
       }
-      case FrameType::kError:
-        return DecodeError(frame.payload);
+      case FrameType::kError: {
+        Status err = DecodeError(frame.payload);
+        last_error_retryable_ = IsRetryable(err);
+        return err;
+      }
       case FrameType::kGoodbye: {
         Close();
         std::string reason = frame.payload;

@@ -29,6 +29,18 @@ class InsightClient {
   /// (same code the embedded API would have returned).
   Result<NetResult> Execute(const std::string& sql);
 
+  /// True when `status` is a serialization conflict (first-writer-wins
+  /// abort): the server already rolled the transaction back, so the
+  /// client can safely retry the whole transaction from BEGIN. Transport
+  /// failures and semantic errors are not retryable.
+  static bool IsRetryable(const Status& status) {
+    return status.IsAborted();
+  }
+
+  /// Whether the most recent Execute failure was retryable; false after a
+  /// success or before any Execute.
+  bool last_error_retryable() const { return last_error_retryable_; }
+
   /// Round-trip liveness probe.
   Status Ping();
 
@@ -51,6 +63,7 @@ class InsightClient {
   Status SendFrame(FrameType type, std::string_view payload);
 
   int fd_;
+  bool last_error_retryable_ = false;
 };
 
 }  // namespace insight

@@ -129,7 +129,7 @@ void InsightServer::HandleQuery(Session* session, const std::string& sql) {
   EngineMetrics& m = EngineMetrics::Get();
   Stopwatch timer;
   session->CountStatement();
-  Result<QueryResult> executed = db_->Execute(sql);
+  Result<QueryResult> executed = db_->Execute(sql, session->txn_handle());
   m.net_request_millis->Observe(timer.ElapsedMillis());
   if (!executed.ok()) {
     m.net_request_errors->Add(1);
@@ -189,6 +189,13 @@ void InsightServer::WaitForShutdownRequest() {
 }
 
 void InsightServer::OnSessionClosed(Session* session) {
+  // A connection that drops mid-transaction must not leave its writes
+  // pinned forever: roll the transaction back. The handle may already be
+  // stale (conflict auto-abort), so a failure here is expected.
+  if (session->open_txn() != 0) {
+    db_->txn_manager()->Abort(session->open_txn()).ok();
+    *session->txn_handle() = 0;
+  }
   manager_.Release();
   EngineMetrics& m = EngineMetrics::Get();
   m.net_connections_closed->Add(1);

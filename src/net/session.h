@@ -78,9 +78,15 @@ class SessionManager {
 /// One client connection, owned by exactly one EventLoop thread: all
 /// methods except the constructor run on that thread, so the buffers and
 /// parser need no locks. Frames are decoded incrementally; each Query is
-/// executed synchronously via the host (readers overlap across loops,
-/// writers serialize on the database's statement gate) and the reply is
-/// streamed back as ResultHeader / RowBatch* / ResultDone.
+/// executed synchronously via the host (readers run against their own
+/// MVCC snapshot and overlap freely across loops, writers serialize on
+/// the transaction manager's write gate) and the reply is streamed back
+/// as ResultHeader / RowBatch* / ResultDone.
+///
+/// The session carries its client's open explicit transaction between
+/// statements: BEGIN stores the handle here, COMMIT/ROLLBACK clear it,
+/// and a connection that drops mid-transaction gets rolled back by the
+/// host.
 class Session {
  public:
   Session(uint64_t id, int fd, EventLoop* loop, SessionHost* host,
@@ -111,6 +117,11 @@ class Session {
   /// Statement counter hook for the host.
   void CountStatement() { ++statements_; }
 
+  /// The open explicit transaction (0 = none), threaded through
+  /// Database::Execute so BEGIN/COMMIT/ROLLBACK span statements.
+  uint64_t* txn_handle() { return &txn_handle_; }
+  uint64_t open_txn() const { return txn_handle_; }
+
  private:
   void OnEvents(uint32_t events);
   void OnReadable();
@@ -132,6 +143,7 @@ class Session {
   bool want_write_ = false;
   bool closed_ = false;
   uint64_t statements_ = 0;
+  uint64_t txn_handle_ = 0;
   std::chrono::steady_clock::time_point last_active_;
 };
 

@@ -66,7 +66,7 @@ uint16_t WireStatusCode(StatusCode code) {
 }
 
 StatusCode StatusCodeFromWire(uint16_t wire) {
-  if (wire > static_cast<uint16_t>(StatusCode::kTypeError)) {
+  if (wire > static_cast<uint16_t>(StatusCode::kAborted)) {
     return StatusCode::kInternal;
   }
   return static_cast<StatusCode>(wire);

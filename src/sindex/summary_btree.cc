@@ -123,13 +123,15 @@ SummaryBTree::~SummaryBTree() {
 }
 
 Result<uint64_t> SummaryBTree::MakePayload(Oid oid) const {
+  Transaction* txn = CurrentTxn();
+  const Snapshot snap = txn != nullptr ? txn->snapshot() : Snapshot::Latest();
   if (options_.pointer_mode == PointerMode::kBackward) {
     // diskTupleLoc(): B-Tree probe on R's OID index, O(log_B M).
     INSIGHT_ASSIGN_OR_RETURN(RowLocation loc,
-                             mgr_->base()->DiskTupleLoc(oid));
+                             mgr_->base()->DiskTupleLoc(oid, snap));
     return loc.Pack();
   }
-  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, mgr_->StorageRowFor(oid));
+  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, mgr_->StorageRowFor(oid, snap));
   if (storage_row == kInvalidOid) {
     return Status::Internal("no summary-storage row for tuple " +
                             std::to_string(oid));
@@ -137,12 +139,91 @@ Result<uint64_t> SummaryBTree::MakePayload(Oid oid) const {
   return static_cast<uint64_t>(storage_row);
 }
 
+bool SummaryBTree::EntryVisible(const std::string& label, int64_t count,
+                                uint64_t payload, const Snapshot& snap) const {
+  std::lock_guard<std::mutex> lk(ver_mu_);
+  auto it = versions_.find(EntryId{label, count, payload});
+  if (it == versions_.end()) return true;  // Long-committed entry.
+  return VersionVisible(it->second.begin, it->second.end, snap);
+}
+
 Status SummaryBTree::InsertKey(std::string_view label, int64_t count,
                                Oid oid) {
   INSIGHT_ASSIGN_OR_RETURN(uint64_t payload, MakePayload(oid));
   ++stats_.key_inserts;
   EngineMetrics::Get().sbtree_key_inserts->Add(1);
-  return tree_->Insert(ItemizeKey(label, count, width_), payload);
+  Transaction* txn = CurrentTxn();
+  const EntryId id{std::string(label), count, payload};
+  if (txn == nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(ver_mu_);
+      versions_.erase(id);
+    }
+    return tree_->Insert(ItemizeKey(label, count, width_), payload);
+  }
+
+  const Ts marker = txn->stamp();
+  {
+    std::lock_guard<std::mutex> lk(ver_mu_);
+    auto it = versions_.find(id);
+    if (it != versions_.end()) {
+      EntryStamp& st = it->second;
+      if (st.end == marker) {
+        // Re-inserting an entry this transaction deleted earlier: cancel
+        // the delete intent (its closures see end != marker and no-op).
+        st.end = kTsInfinity;
+        return Status::OK();
+      }
+      if (st.begin == marker && st.end == kTsInfinity) {
+        return Status::OK();  // Already ours and live.
+      }
+      // Another transaction owns this entry, or a committed-dead copy is
+      // still visible to an old snapshot; a single [begin, end) interval
+      // cannot hold both histories. First writer (or history) wins.
+      return Status::Aborted("summary index entry " + id.label + ":" +
+                             std::to_string(count) + " is contended");
+    }
+    versions_.emplace(id, EntryStamp{marker, kTsInfinity});
+  }
+  INSIGHT_RETURN_NOT_OK(
+      tree_->Insert(ItemizeKey(label, count, width_), payload));
+  txn->OnCommit([this, id, marker](Ts commit_ts) {
+    std::lock_guard<std::mutex> lk(ver_mu_);
+    auto it = versions_.find(id);
+    if (it != versions_.end() && it->second.begin == marker) {
+      it->second.begin = commit_ts;
+    }
+  });
+  txn->OnAbort([this, id, marker]() {
+    bool drop = false;
+    {
+      std::lock_guard<std::mutex> lk(ver_mu_);
+      auto it = versions_.find(id);
+      if (it != versions_.end() && it->second.begin == marker) {
+        versions_.erase(it);
+        drop = true;
+      }
+    }
+    if (drop) {
+      const Status st =
+          tree_->Delete(ItemizeKey(id.label, id.count, width_), id.payload);
+      if (!st.ok() && !st.IsNotFound()) {
+        INSIGHT_LOG(Error) << "summary index insert undo: " << st.ToString();
+      }
+    }
+  });
+  txn->OnGc([this, id](Ts horizon) {
+    // Once every snapshot starts at/after the commit, the entry needs no
+    // sidecar record anymore (implicit = committed forever).
+    std::lock_guard<std::mutex> lk(ver_mu_);
+    auto it = versions_.find(id);
+    if (it != versions_.end() && !IsTxnStamp(it->second.begin) &&
+        it->second.begin <= horizon && it->second.end == kTsInfinity) {
+      versions_.erase(it);
+    }
+    return Status::OK();
+  });
+  return Status::OK();
 }
 
 Status SummaryBTree::DeleteKey(std::string_view label, int64_t count,
@@ -150,7 +231,75 @@ Status SummaryBTree::DeleteKey(std::string_view label, int64_t count,
   INSIGHT_ASSIGN_OR_RETURN(uint64_t payload, MakePayload(oid));
   ++stats_.key_deletes;
   EngineMetrics::Get().sbtree_key_deletes->Add(1);
-  return tree_->Delete(ItemizeKey(label, count, width_), payload);
+  Transaction* txn = CurrentTxn();
+  const EntryId id{std::string(label), count, payload};
+  if (txn == nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(ver_mu_);
+      versions_.erase(id);
+    }
+    return tree_->Delete(ItemizeKey(label, count, width_), payload);
+  }
+
+  const Ts marker = txn->stamp();
+  bool physical = false;
+  {
+    std::lock_guard<std::mutex> lk(ver_mu_);
+    auto it = versions_.find(id);
+    if (it != versions_.end()) {
+      EntryStamp& st = it->second;
+      if (st.begin == marker && st.end == kTsInfinity) {
+        // Deleting our own uncommitted insert: remove it outright (the
+        // insert's closures see the record gone and no-op).
+        versions_.erase(it);
+        physical = true;
+      } else if (IsTxnStamp(st.begin) || IsTxnStamp(st.end) ||
+                 st.end != kTsInfinity) {
+        return Status::Aborted("summary index entry " + id.label + ":" +
+                               std::to_string(count) + " is contended");
+      } else {
+        st.end = marker;  // Committed entry: mark the delete intent.
+      }
+    } else {
+      versions_.emplace(id, EntryStamp{0, marker});
+    }
+  }
+  if (physical) {
+    return tree_->Delete(ItemizeKey(label, count, width_), payload);
+  }
+  txn->OnCommit([this, id, marker](Ts commit_ts) {
+    std::lock_guard<std::mutex> lk(ver_mu_);
+    auto it = versions_.find(id);
+    if (it != versions_.end() && it->second.end == marker) {
+      it->second.end = commit_ts;
+    }
+  });
+  txn->OnAbort([this, id, marker]() {
+    std::lock_guard<std::mutex> lk(ver_mu_);
+    auto it = versions_.find(id);
+    if (it != versions_.end() && it->second.end == marker) {
+      if (it->second.begin == 0) {
+        versions_.erase(it);  // Back to the implicit committed state.
+      } else {
+        it->second.end = kTsInfinity;
+      }
+    }
+  });
+  txn->OnGc([this, id](Ts horizon) {
+    bool drop = false;
+    {
+      std::lock_guard<std::mutex> lk(ver_mu_);
+      auto it = versions_.find(id);
+      if (it != versions_.end() && !IsTxnStamp(it->second.end) &&
+          it->second.end != kTsInfinity && it->second.end <= horizon) {
+        versions_.erase(it);
+        drop = true;
+      }
+    }
+    if (!drop) return Status::OK();
+    return tree_->Delete(ItemizeKey(id.label, id.count, width_), id.payload);
+  });
+  return Status::OK();
 }
 
 Status SummaryBTree::OnObjectChanged(Oid oid, const SummaryObject* before,
@@ -165,7 +314,12 @@ Status SummaryBTree::OnObjectChanged(Oid oid, const SummaryObject* before,
       max_count = std::max(max_count, rep.count);
     }
     if (DigitsOf(max_count) > width_) {
-      return WidenAndRebuild(max_count);
+      INSIGHT_RETURN_NOT_OK(WidenAndRebuild(max_count));
+      // Outside a transaction the rebuild already read the final storage
+      // state, so the event is fully absorbed. Under a transaction it
+      // read the latest *committed* state: the event's own delta still
+      // needs versioned per-key maintenance below.
+      if (CurrentTxn() == nullptr) return Status::OK();
     }
   }
   if (before == nullptr) {
@@ -218,8 +372,10 @@ Status SummaryBTree::WidenAndRebuild(int64_t new_max_count) {
   INSIGHT_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_, file));
   file_ = file;
   tree_ = std::make_unique<BTree>(std::move(tree));
-  // Re-itemize every object of this instance at the new width.
-  return mgr_->ForEachSummaryRow(
+  // Re-itemize every object of this instance at the new width. The scan
+  // sees the latest committed storage rows only, so uncommitted entries
+  // (tracked in the sidecar) are re-applied afterwards.
+  INSIGHT_RETURN_NOT_OK(mgr_->ForEachSummaryRow(
       [this](Oid oid, const SummarySet& set) -> Status {
         for (const SummaryObject& obj : set.objects()) {
           if (obj.instance_id != instance_id_) continue;
@@ -230,11 +386,23 @@ Status SummaryBTree::WidenAndRebuild(int64_t new_max_count) {
           }
         }
         return Status::OK();
-      });
+      }));
+  std::vector<EntryId> uncommitted;
+  {
+    std::lock_guard<std::mutex> lk(ver_mu_);
+    for (const auto& [id, st] : versions_) {
+      if (IsTxnStamp(st.begin)) uncommitted.push_back(id);
+    }
+  }
+  for (const EntryId& id : uncommitted) {
+    INSIGHT_RETURN_NOT_OK(
+        tree_->Insert(ItemizeKey(id.label, id.count, width_), id.payload));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<SummaryIndexHit>> SummaryBTree::Search(
-    const ClassifierProbe& probe) const {
+    const ClassifierProbe& probe, const Snapshot& snap) const {
   EngineMetrics::Get().sbtree_probes->Add(1);
   const int64_t max_count = [&] {
     int64_t m = 9;
@@ -251,55 +419,59 @@ Result<std::vector<SummaryIndexHit>> SummaryBTree::Search(
                        probe.upper_inclusive));
   std::vector<SummaryIndexHit> hits;
   for (; it.Valid(); it.Next()) {
-    hits.push_back(SummaryIndexHit{CountOfKey(it.key()), it.value(),
-                                   kInvalidOid});
+    const int64_t count = CountOfKey(it.key());
+    if (!EntryVisible(probe.label, count, it.value(), snap)) continue;
+    hits.push_back(SummaryIndexHit{count, it.value(), kInvalidOid});
   }
   INSIGHT_RETURN_NOT_OK(it.status());
   return hits;
 }
 
 Result<std::vector<SummaryIndexHit>> SummaryBTree::ScanLabel(
-    const std::string& label) const {
+    const std::string& label, const Snapshot& snap) const {
   ClassifierProbe probe;
   probe.label = label;
-  return Search(probe);
+  return Search(probe, snap);
 }
 
 Result<Tuple> SummaryBTree::FetchDataTuple(const SummaryIndexHit& hit,
-                                           Oid* oid_out) const {
+                                           Oid* oid_out,
+                                           const Snapshot& snap) const {
   if (options_.pointer_mode == PointerMode::kBackward) {
     // One direct heap read; no SummaryStorage involvement.
     EngineMetrics::Get().sbtree_backward_derefs->Add(1);
-    return mgr_->base()->GetAt(RowLocation::Unpack(hit.payload), oid_out);
+    return mgr_->base()->GetAt(RowLocation::Unpack(hit.payload), oid_out,
+                               snap);
   }
   // Conventional: indexed-object row -> tuple OID -> OID-index probe ->
   // heap read (the extra level of indirection of Fig. 4(c)).
   INSIGHT_ASSIGN_OR_RETURN(Tuple storage_row,
-                           mgr_->storage_table()->Get(hit.payload));
+                           mgr_->storage_table()->Get(hit.payload, snap));
   const Oid oid = static_cast<Oid>(storage_row.at(0).AsInt());
   if (oid_out != nullptr) *oid_out = oid;
-  return mgr_->base()->Get(oid);
+  return mgr_->base()->Get(oid, snap);
 }
 
 Result<Tuple> SummaryBTree::FetchDataTupleWithSummaries(
-    const SummaryIndexHit& hit, SummarySet* summaries, Oid* oid_out) const {
+    const SummaryIndexHit& hit, SummarySet* summaries, Oid* oid_out,
+    const Snapshot& snap) const {
   if (options_.pointer_mode == PointerMode::kBackward) {
     EngineMetrics::Get().sbtree_backward_derefs->Add(1);
     Oid oid = kInvalidOid;
     INSIGHT_ASSIGN_OR_RETURN(
         Tuple tuple, mgr_->base()->GetAt(RowLocation::Unpack(hit.payload),
-                                         &oid));
+                                         &oid, snap));
     if (oid_out != nullptr) *oid_out = oid;
-    INSIGHT_ASSIGN_OR_RETURN(*summaries, mgr_->GetSummaries(oid));
+    INSIGHT_ASSIGN_OR_RETURN(*summaries, mgr_->GetSummaries(oid, snap));
     return tuple;
   }
   INSIGHT_ASSIGN_OR_RETURN(Tuple storage_row,
-                           mgr_->storage_table()->Get(hit.payload));
+                           mgr_->storage_table()->Get(hit.payload, snap));
   const Oid oid = static_cast<Oid>(storage_row.at(0).AsInt());
   if (oid_out != nullptr) *oid_out = oid;
   INSIGHT_ASSIGN_OR_RETURN(
       *summaries, SummarySet::Deserialize(storage_row.at(1).AsString()));
-  return mgr_->base()->Get(oid);
+  return mgr_->base()->Get(oid, snap);
 }
 
 uint64_t SummaryBTree::size_bytes() const {

@@ -1,14 +1,18 @@
 #ifndef INSIGHTNOTES_SINDEX_SUMMARY_BTREE_H_
 #define INSIGHTNOTES_SINDEX_SUMMARY_BTREE_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/result.h"
 #include "index/btree.h"
 #include "summary/summary_manager.h"
+#include "txn/txn.h"
 
 namespace insight {
 
@@ -88,28 +92,33 @@ class SummaryBTree {
   static std::string ItemizeKey(std::string_view label, int64_t count,
                                 int width);
 
-  /// Evaluates a probe; hits arrive in ascending count order.
+  /// Evaluates a probe; hits arrive in ascending count order. Entries
+  /// written by uncommitted transactions (other than `snap`'s own) or
+  /// deleted before `snap` are filtered out via the version sidecar.
   Result<std::vector<SummaryIndexHit>> Search(
-      const ClassifierProbe& probe) const;
+      const ClassifierProbe& probe,
+      const Snapshot& snap = Snapshot::Latest()) const;
 
   /// All entries of one label in ascending count order (summary-based
   /// sort via index scan).
   Result<std::vector<SummaryIndexHit>> ScanLabel(
-      const std::string& label) const;
+      const std::string& label,
+      const Snapshot& snap = Snapshot::Latest()) const;
 
   /// Resolves a hit to the data tuple. Backward mode: one heap read.
   /// Conventional mode: storage-row fetch + OID-index probe + heap read
   /// (the extra joins the backward pointers save).
   Result<Tuple> FetchDataTuple(const SummaryIndexHit& hit,
-                               Oid* oid_out = nullptr) const;
+                               Oid* oid_out = nullptr,
+                               const Snapshot& snap = Snapshot::Latest()) const;
 
   /// Resolves a hit to the data tuple AND its summary set. Conventional
   /// pointers land on the storage row anyway and reuse it for
   /// propagation; backward pointers read it separately — which is why
   /// the two modes cost about the same when propagating (Fig. 13).
-  Result<Tuple> FetchDataTupleWithSummaries(const SummaryIndexHit& hit,
-                                            SummarySet* summaries,
-                                            Oid* oid_out = nullptr) const;
+  Result<Tuple> FetchDataTupleWithSummaries(
+      const SummaryIndexHit& hit, SummarySet* summaries,
+      Oid* oid_out = nullptr, const Snapshot& snap = Snapshot::Latest()) const;
 
   uint64_t num_entries() const { return tree_->num_entries(); }
   uint32_t height() const { return tree_->height(); }
@@ -132,11 +141,39 @@ class SummaryBTree {
   Status OnObjectChanged(Oid oid, const SummaryObject* before,
                          const SummaryObject* after);
 
+  /// Number of entries in the MVCC version sidecar (tests/diagnostics).
+  size_t versioned_entries() const {
+    std::lock_guard<std::mutex> lk(ver_mu_);
+    return versions_.size();
+  }
+
  private:
   SummaryBTree(StorageManager* storage, BufferPool* pool,
                SummaryManager* mgr, Options options)
       : storage_(storage), pool_(pool), mgr_(mgr), options_(options),
         width_(options.count_width) {}
+
+  /// Identity of one index entry independent of the current count width
+  /// (rebuilds re-itemize keys, so the sidecar keys on the logical
+  /// triple, not the encoded key).
+  struct EntryId {
+    std::string label;
+    int64_t count = 0;
+    uint64_t payload = 0;
+    bool operator<(const EntryId& o) const {
+      return std::tie(label, count, payload) <
+             std::tie(o.label, o.count, o.payload);
+    }
+  };
+  /// Version interval of one entry. Tree entries with no sidecar record
+  /// are committed long ago: implicitly {begin = 0, end = forever}.
+  struct EntryStamp {
+    Ts begin = 0;
+    Ts end = kTsInfinity;
+  };
+
+  bool EntryVisible(const std::string& label, int64_t count,
+                    uint64_t payload, const Snapshot& snap) const;
 
   /// Payload for a tuple under the configured pointer mode.
   Result<uint64_t> MakePayload(Oid oid) const;
@@ -160,6 +197,13 @@ class SummaryBTree {
   FileId file_ = 0;
   MaintenanceStats stats_;
   std::optional<SummaryManager::ListenerId> listener_id_;
+
+  // MVCC version sidecar: stamps for entries in flight (uncommitted, or
+  // committed but still visible to old snapshots). Mutated only by the
+  // (serialized) write path and transaction closures; probes read it
+  // under ver_mu_ to filter tree hits.
+  mutable std::mutex ver_mu_;
+  std::map<EntryId, EntryStamp> versions_;
 };
 
 }  // namespace insight

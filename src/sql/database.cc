@@ -4,11 +4,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
-#include <chrono>
-#include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <set>
 
 #include "common/string_util.h"
@@ -17,70 +15,50 @@
 
 namespace insight {
 
-std::string QueryResult::ToString(size_t max_rows) const {
-  if (!message.empty()) return message + "\n";
-  if (!annotations.empty()) {
-    std::string out;
-    for (const Annotation& ann : annotations) {
-      out += "[" + std::to_string(ann.id) + "] " + ann.text + "\n";
-    }
-    return out;
-  }
-  std::vector<size_t> widths;
-  for (const Column& col : schema.columns()) {
-    widths.push_back(col.name.size());
-  }
-  const size_t shown = std::min(rows.size(), max_rows);
-  std::vector<std::vector<std::string>> cells;
-  for (size_t r = 0; r < shown; ++r) {
-    std::vector<std::string> row;
-    for (size_t c = 0; c < rows[r].size(); ++c) {
-      row.push_back(rows[r].at(c).ToString());
-      if (c < widths.size()) widths[c] = std::max(widths[c], row[c].size());
-    }
-    cells.push_back(std::move(row));
-  }
-  std::string out;
-  for (size_t c = 0; c < schema.num_columns(); ++c) {
-    out += schema.column(c).name;
-    out += std::string(widths[c] - schema.column(c).name.size() + 2, ' ');
-  }
-  out += "\n";
-  for (size_t c = 0; c < schema.num_columns(); ++c) {
-    out += std::string(widths[c], '-') + "  ";
-  }
-  out += "\n";
-  for (size_t r = 0; r < cells.size(); ++r) {
-    for (size_t c = 0; c < cells[r].size(); ++c) {
-      out += cells[r][c];
-      if (c < widths.size()) {
-        out += std::string(widths[c] - cells[r][c].size() + 2, ' ');
-      }
-    }
-    if (r < summaries.size() && !summaries[r].empty()) {
-      std::string rendered = summaries[r].ToString();
-      constexpr size_t kMaxSummaryChars = 140;
-      if (rendered.size() > kMaxSummaryChars) {
-        rendered.resize(kMaxSummaryChars);
-        rendered += "...}";
-      }
-      out += "  $" + rendered;
-    }
-    out += "\n";
-  }
-  if (rows.size() > shown) {
-    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
-  }
-  out += "(" + std::to_string(rows.size()) + " rows)\n";
-  return out;
-}
-
 Database::Database(Options options)
     : options_(options),
       storage_(options.backend, options.directory),
       pool_(&storage_, options.buffer_pool_frames),
       catalog_(&storage_, &pool_),
-      context_(&catalog_, &storage_, &pool_) {}
+      context_(&catalog_, &storage_, &pool_) {
+  InstallWalHooks();
+}
+
+void Database::InstallWalHooks() {
+  TransactionManager::WalHooks hooks;
+  hooks.begin = [this](const Transaction& txn) -> Status {
+    if (!WalEnabled()) return Status::OK();
+    return wal_->Append(WalRecordType::kTxnBegin, WalTxnBegin{txn.id()}.Encode())
+        .status();
+  };
+  hooks.commit = [this](const Transaction& txn, Ts) -> Status {
+    if (!WalEnabled()) return Status::OK();
+    INSIGHT_ASSIGN_OR_RETURN(
+        Lsn lsn, wal_->Append(WalRecordType::kTxnCommit,
+                              WalTxnCommit{txn.id()}.Encode()));
+    INSIGHT_CRASH_POINT("txn_commit_appended");
+    // The commit record is THE durability point of the transaction: its
+    // buffered kTxnOp records ride the same force. Only after this fsync
+    // may the transaction's effects become visible. kNever (tests/benches
+    // measuring non-durable throughput) opts out of the force, as it does
+    // for plain records.
+    if (options_.wal_sync != WalSyncMode::kNever) {
+      INSIGHT_RETURN_NOT_OK(wal_->Commit(lsn));
+    }
+    INSIGHT_CRASH_POINT("txn_commit_durable");
+    return Status::OK();
+  };
+  hooks.abort = [this](const Transaction& txn) -> Status {
+    if (!WalEnabled()) return Status::OK();
+    // Fires after the in-memory undo, before the abort record lands: a
+    // crash here must recover to the same no-effects state (the kTxnOps
+    // are in the log but no commit record ever will be).
+    INSIGHT_CRASH_POINT("txn_abort_mid");
+    return wal_->Append(WalRecordType::kTxnAbort, WalTxnAbort{txn.id()}.Encode())
+        .status();
+  };
+  txn_mgr_.SetWalHooks(std::move(hooks));
+}
 
 namespace {
 
@@ -427,18 +405,19 @@ Result<std::vector<Annotation>> Database::ZoomIn(const std::string& table,
                                                  Oid oid,
                                                  const std::string& instance,
                                                  const std::string& label,
-                                                 int rep_index) {
+                                                 int rep_index,
+                                                 const Snapshot& snap) {
   auto rel_it = relations_.find(ToLower(table));
   if (rel_it == relations_.end()) {
     return Status::NotFound("no annotated relation " + table);
   }
   INSIGHT_ASSIGN_OR_RETURN(std::vector<Annotation> all,
-                           rel_it->second.store->ForTuple(oid));
+                           rel_it->second.store->ForTuple(oid, snap));
   if (instance.empty()) return all;
   // Restrict to the annotations contributing to one summary object,
   // optionally to one representative of it.
   INSIGHT_ASSIGN_OR_RETURN(SummarySet set,
-                           rel_it->second.mgr->GetSummaries(oid));
+                           rel_it->second.mgr->GetSummaries(oid, snap));
   const SummaryObject* obj = set.GetSummaryObject(instance);
   if (obj == nullptr) return std::vector<Annotation>{};
   std::set<AnnId> member_ids;
@@ -464,16 +443,34 @@ Status Database::Analyze(const std::string& table) {
 
 Status Database::LogOp(WalRecordType type, std::string payload) {
   if (!WalEnabled()) return Status::OK();
+  if (Transaction* txn = CurrentTxn()) {
+    // Transactional op: wrapped so recovery can tie it to its commit
+    // record. No per-op force — durability comes from the commit record —
+    // and no auto-checkpoint from inside the transaction (it is taken
+    // after commit instead).
+    WalTxnOp op{txn->id(), type, std::move(payload)};
+    INSIGHT_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kTxnOp, op.Encode()).status());
+    ++ops_since_checkpoint_;
+    return Status::OK();
+  }
   INSIGHT_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(type, std::move(payload)));
   if (options_.wal_sync == WalSyncMode::kEveryOp) {
     INSIGHT_RETURN_NOT_OK(wal_->Commit(lsn));
   }
   ++ops_since_checkpoint_;
-  if (options_.checkpoint_every_ops > 0 && !in_checkpoint_ &&
-      ops_since_checkpoint_ >= options_.checkpoint_every_ops) {
-    INSIGHT_RETURN_NOT_OK(Checkpoint());
+  return MaybeAutoCheckpoint();
+}
+
+Status Database::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_every_ops == 0 || in_checkpoint_) {
+    return Status::OK();
   }
-  return Status::OK();
+  if (CurrentTxn() != nullptr) return Status::OK();
+  if (ops_since_checkpoint_ < options_.checkpoint_every_ops) {
+    return Status::OK();
+  }
+  return Checkpoint();
 }
 
 Status Database::WalSync() {
@@ -511,6 +508,9 @@ Result<WalSnapshot> Database::BuildSnapshot() {
           WalRecordType::kLinkInstance,
           WalLinkInstance{name, inst.name(), indexable}.Encode());
     }
+    // Latest-committed snapshot: open transactions' uncommitted versions
+    // carry txn stamps and are excluded; if they commit, their wrapped
+    // ops are still in the log and replay after this checkpoint.
     Table::Iterator it = table->Scan();
     Oid oid;
     Tuple tuple;
@@ -538,6 +538,9 @@ Status Database::Checkpoint() {
   if (wal_ == nullptr) {
     return Status::InvalidArgument("checkpoint needs an attached WAL");
   }
+  // Quiesce writers (recursive, so a writer-triggered auto-checkpoint
+  // re-enters): no statement is mid-apply while state is serialized.
+  std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
   if (in_checkpoint_) return Status::OK();
   in_checkpoint_ = true;
   Status result = [&]() -> Status {
@@ -638,301 +641,7 @@ Result<OpPtr> Database::Plan(LogicalPtr plan) {
   return optimizer.Optimize(std::move(plan));
 }
 
-// ---------- SELECT binding ----------
-
-namespace {
-
-// Aliases (or table names) bound so far, for conjunct routing.
-struct BoundSide {
-  std::set<std::string> names;  // Lower-cased aliases/table names.
-  Schema schema;
-};
-
-bool QualifierIn(const std::string& qualifier, const BoundSide& side) {
-  return side.names.count(ToLower(qualifier)) > 0;
-}
-
-}  // namespace
-
-Result<LogicalPtr> Database::BindSelect(const SelectStatement& select) {
-  if (select.from.empty()) {
-    return Status::ParseError("FROM clause required");
-  }
-  Optimizer opt(&context_, optimizer_options_);
-
-  auto scan_for = [&](const SelectStatement::FromTable& from) {
-    return from.alias.empty() ? LScan(from.table)
-                              : LScanAs(from.table, from.alias);
-  };
-  auto names_for = [&](const SelectStatement::FromTable& from) {
-    return ToLower(from.alias.empty() ? from.table : from.alias);
-  };
-
-  LogicalPtr plan = scan_for(select.from[0]);
-  BoundSide bound;
-  bound.names.insert(names_for(select.from[0]));
-  INSIGHT_ASSIGN_OR_RETURN(bound.schema, opt.OutputSchema(*plan));
-
-  std::vector<ExprPtr> conjuncts;
-  if (select.where != nullptr) {
-    conjuncts = SplitConjuncts(select.where.get());
-  }
-
-  for (size_t t = 1; t < select.from.size(); ++t) {
-    LogicalPtr right = scan_for(select.from[t]);
-    INSIGHT_ASSIGN_OR_RETURN(Schema right_schema, opt.OutputSchema(*right));
-    BoundSide right_side;
-    right_side.names.insert(names_for(select.from[t]));
-    right_side.schema = right_schema;
-
-    // Route conjuncts connecting the bound side with the new table.
-    std::vector<ExprPtr> data_join;
-    std::optional<SummaryJoinPredicate> summary_join;
-    std::vector<ExprPtr> remaining;
-    for (ExprPtr& conjunct : conjuncts) {
-      // Summary-join shape: comparison of two summary functions with
-      // qualifiers on opposite sides.
-      if (const auto* cmp =
-              dynamic_cast<const CompareExpr*>(conjunct.get())) {
-        const auto* lf = dynamic_cast<const SummaryFuncExpr*>(cmp->left());
-        const auto* rf = dynamic_cast<const SummaryFuncExpr*>(cmp->right());
-        if (lf != nullptr && rf != nullptr && !lf->qualifier().empty() &&
-            !rf->qualifier().empty() &&
-            !EqualsIgnoreCase(lf->qualifier(), rf->qualifier())) {
-          const bool lf_bound = QualifierIn(lf->qualifier(), bound);
-          const bool rf_new = QualifierIn(rf->qualifier(), right_side);
-          const bool rf_bound = QualifierIn(rf->qualifier(), bound);
-          const bool lf_new = QualifierIn(lf->qualifier(), right_side);
-          if ((lf_bound && rf_new) || (rf_bound && lf_new)) {
-            if (summary_join.has_value()) {
-              return Status::NotImplemented(
-                  "multiple summary-join predicates between the same "
-                  "relations");
-            }
-            SummaryJoinPredicate pred;
-            pred.op = cmp->op();
-            if (lf_bound) {
-              pred.left_expr = cmp->left()->Clone();
-              pred.right_expr = cmp->right()->Clone();
-            } else {
-              // Mirror so left_expr evaluates on the bound side.
-              pred.left_expr = cmp->right()->Clone();
-              pred.right_expr = cmp->left()->Clone();
-              pred.op = [](CompareOp op) {
-                switch (op) {
-                  case CompareOp::kLt:
-                    return CompareOp::kGt;
-                  case CompareOp::kLe:
-                    return CompareOp::kGe;
-                  case CompareOp::kGt:
-                    return CompareOp::kLt;
-                  case CompareOp::kGe:
-                    return CompareOp::kLe;
-                  default:
-                    return op;
-                }
-              }(pred.op);
-            }
-            summary_join = std::move(pred);
-            conjunct.reset();
-            continue;
-          }
-        }
-      }
-      // Data conjunct spanning both sides?
-      std::vector<std::string> columns;
-      conjunct->CollectColumns(&columns);
-      if (!conjunct->IsSummaryBased() && !columns.empty()) {
-        bool any_bound = false;
-        bool any_new = false;
-        bool all_resolve = true;
-        const Schema combined =
-            Schema::Concat(bound.schema, right_side.schema);
-        for (const std::string& column : columns) {
-          if (bound.schema.IndexOf(column).ok()) {
-            any_bound = true;
-          } else if (right_side.schema.IndexOf(column).ok()) {
-            any_new = true;
-          } else if (!combined.IndexOf(column).ok()) {
-            all_resolve = false;
-          } else {
-            // Resolves only in the combined schema (ambiguous singly).
-            any_bound = any_new = true;
-          }
-        }
-        if (all_resolve && any_bound && any_new) {
-          data_join.push_back(std::move(conjunct));
-          conjunct.reset();
-          continue;
-        }
-      }
-      if (conjunct != nullptr) remaining.push_back(std::move(conjunct));
-    }
-    conjuncts = std::move(remaining);
-
-    if (summary_join.has_value()) {
-      plan = LSummaryJoin(std::move(plan), std::move(right),
-                          std::move(*summary_join));
-      // Data conjuncts between the sides become a selection above the
-      // summary join (the rho(J(R,S)) shape; the optimizer may commute).
-      if (!data_join.empty()) {
-        plan = LSelect(std::move(plan),
-                       CombineConjuncts(std::move(data_join)));
-      }
-    } else {
-      ExprPtr join_pred = data_join.empty()
-                              ? Lit(Value::Bool(true))
-                              : CombineConjuncts(std::move(data_join));
-      plan = LJoin(std::move(plan), std::move(right), std::move(join_pred));
-    }
-    bound.names.insert(names_for(select.from[t]));
-    bound.schema = Schema::Concat(bound.schema, right_side.schema);
-  }
-
-  // Residual WHERE conjuncts: data selections below summary selections.
-  std::vector<ExprPtr> data_conjuncts;
-  std::vector<ExprPtr> summary_conjuncts;
-  for (ExprPtr& conjunct : conjuncts) {
-    if (conjunct->IsSummaryBased()) {
-      summary_conjuncts.push_back(std::move(conjunct));
-    } else {
-      data_conjuncts.push_back(std::move(conjunct));
-    }
-  }
-  if (!data_conjuncts.empty()) {
-    plan = LSelect(std::move(plan),
-                   CombineConjuncts(std::move(data_conjuncts)));
-  }
-  if (!summary_conjuncts.empty()) {
-    plan = LSummarySelect(std::move(plan),
-                          CombineConjuncts(std::move(summary_conjuncts)));
-  }
-
-  // Aggregation.
-  bool has_aggregates = false;
-  for (const SelectItem& item : select.items) {
-    if (item.is_aggregate) has_aggregates = true;
-  }
-  if (has_aggregates || !select.group_by.empty()) {
-    std::vector<AggregateSpec> aggs;
-    for (const SelectItem& item : select.items) {
-      if (!item.is_aggregate) continue;
-      aggs.push_back(AggregateSpec{
-          item.aggregate.kind,
-          item.aggregate.arg == nullptr ? nullptr
-                                        : item.aggregate.arg->Clone(),
-          item.aggregate.output_name});
-    }
-    plan = LAggregate(std::move(plan), select.group_by, std::move(aggs));
-  }
-
-  if (select.distinct) {
-    // DISTINCT applies to the select list: project first (which also
-    // applies the summary projection semantics), then de-duplicate.
-    std::vector<std::string> columns;
-    for (const SelectItem& item : select.items) {
-      const auto* col = dynamic_cast<const ColumnExpr*>(item.expr.get());
-      if (item.star || item.is_aggregate || col == nullptr) {
-        return Status::NotImplemented(
-            "SELECT DISTINCT requires a plain column list");
-      }
-      columns.push_back(col->name());
-    }
-    plan = LProject(std::move(plan), std::move(columns));
-    plan = LDistinct(std::move(plan));
-  }
-
-  if (!select.order_by.empty()) {
-    std::vector<SortKey> keys;
-    for (const SortKey& key : select.order_by) {
-      keys.push_back(SortKey{key.expr->Clone(), key.descending});
-    }
-    plan = LSort(std::move(plan), std::move(keys));
-  }
-  if (select.limit.has_value()) {
-    plan = LLimit(std::move(plan), *select.limit);
-  }
-  return plan;
-}
-
-Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
-                                            bool explain_only,
-                                            const std::string& sql,
-                                            bool refresh_stats) {
-  const auto query_start = std::chrono::steady_clock::now();
-  // Callers arriving through the shared statement gate have already folded
-  // stats under an exclusive gate and pass refresh_stats=false.
-  if (refresh_stats) {
-    INSIGHT_RETURN_NOT_OK(RefreshSelectStats(select));
-  }
-  INSIGHT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(select));
-  Optimizer optimizer(&context_, optimizer_options_);
-  if (explain_only) {
-    INSIGHT_ASSIGN_OR_RETURN(LogicalPtr rewritten,
-                             optimizer.Rewrite(plan->Clone()));
-    INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Lower(*rewritten));
-    QueryResult result;
-    result.message = "Logical plan:\n" + rewritten->Explain() +
-                     "Physical plan:\n" + op->ExplainTree();
-    auto estimate = optimizer.Estimate(*rewritten);
-    if (estimate.ok()) {
-      char line[96];
-      std::snprintf(line, sizeof(line),
-                    "Estimated rows: %.1f, cost: %.1f\n", estimate->rows,
-                    estimate->cost);
-      result.message += line;
-    }
-    return result;
-  }
-  INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));
-  INSIGHT_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
-  ObserveQuery(sql, op.get(),
-               static_cast<uint64_t>(
-                   std::chrono::duration_cast<std::chrono::nanoseconds>(
-                       std::chrono::steady_clock::now() - query_start)
-                       .count()));
-
-  // Materialize the select list.
-  const Schema& plan_schema = op->schema();
-  QueryResult result;
-  std::vector<ExprPtr> output_exprs;
-  for (const SelectItem& item : select.items) {
-    if (item.star) {
-      for (const Column& col : plan_schema.columns()) {
-        result.schema.AddColumn(col).ok();
-        output_exprs.push_back(Col(col.name));
-      }
-    } else if (item.is_aggregate) {
-      result.schema
-          .AddColumn({item.name, item.aggregate.kind ==
-                                         AggregateSpec::Kind::kAvg
-                                     ? ValueType::kDouble
-                                     : ValueType::kInt64})
-          .ok();
-      output_exprs.push_back(Col(item.aggregate.output_name));
-    } else {
-      ValueType type = ValueType::kString;
-      if (const auto* col = dynamic_cast<const ColumnExpr*>(item.expr.get())) {
-        auto idx = plan_schema.IndexOf(col->name());
-        if (idx.ok()) type = plan_schema.column(*idx).type;
-      } else if (item.expr->IsSummaryBased()) {
-        type = ValueType::kInt64;
-      }
-      result.schema.AddColumn({item.name, type}).ok();
-      output_exprs.push_back(item.expr->Clone());
-    }
-  }
-  for (Row& row : rows) {
-    Tuple out;
-    for (const ExprPtr& expr : output_exprs) {
-      INSIGHT_ASSIGN_OR_RETURN(Value v, expr->Eval(row, plan_schema));
-      out.Append(std::move(v));
-    }
-    result.rows.push_back(std::move(out));
-    result.summaries.push_back(std::move(row.summaries));
-  }
-  return result;
-}
+// ---------- Statement orchestration ----------
 
 Status Database::CheckStatementSize(const std::string& sql) const {
   if (sql.size() > options_.max_statement_bytes) {
@@ -944,110 +653,172 @@ Status Database::CheckStatementSize(const std::string& sql) const {
   return Status::OK();
 }
 
-Status Database::RefreshSelectStats(const SelectStatement& select) {
-  // Fold maintained-on-update summary statistics into the planner's view
-  // (Section 5.2); cheap, no scans.
-  for (const SelectStatement::FromTable& from : select.from) {
-    Status refreshed = context_.RefreshStats(from.table);
-    if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
-  }
-  return Status::OK();
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  uint64_t handle = embedded_txn_.load(std::memory_order_acquire);
+  Result<QueryResult> result = Execute(sql, &handle);
+  embedded_txn_.store(handle, std::memory_order_release);
+  return result;
 }
 
-Result<QueryResult> Database::Execute(const std::string& sql) {
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      uint64_t* txn_handle) {
   INSIGHT_RETURN_NOT_OK(CheckStatementSize(sql));
   INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  const bool read_only = stmt.kind == Statement::Kind::kSelect ||
-                         stmt.kind == Statement::Kind::kExplain ||
-                         stmt.kind == Statement::Kind::kZoomIn;
-  if (!read_only) {
-    std::unique_lock<std::shared_mutex> gate(statement_mu_);
-    return ExecuteMutation(stmt);
+  switch (stmt.kind) {
+    case Statement::Kind::kBegin:
+      return ExecuteBegin(txn_handle);
+    case Statement::Kind::kCommit:
+      return ExecuteCommit(txn_handle);
+    case Statement::Kind::kRollback:
+      return ExecuteRollback(txn_handle);
+    case Statement::Kind::kSelect:
+    case Statement::Kind::kExplain:
+    case Statement::Kind::kZoomIn:
+      return ExecuteRead(stmt, sql, txn_handle);
+    default:
+      return ExecuteWrite(stmt, txn_handle);
   }
-  if (stmt.kind != Statement::Kind::kZoomIn) {
-    // Stats folding mutates shared planner state, so it runs under a
-    // brief exclusive gate before the query overlaps with other readers.
-    std::unique_lock<std::shared_mutex> gate(statement_mu_);
-    INSIGHT_RETURN_NOT_OK(RefreshSelectStats(*stmt.select));
+}
+
+Result<QueryResult> Database::ExecuteBegin(uint64_t* txn_handle) {
+  if (*txn_handle != 0) {
+    if (txn_mgr_.Find(*txn_handle) != nullptr) {
+      return Status::InvalidArgument(
+          "transaction already open; COMMIT or ROLLBACK first");
+    }
+    *txn_handle = 0;  // Stale handle of an auto-aborted transaction.
   }
-  std::shared_lock<std::shared_mutex> gate(statement_mu_);
+  INSIGHT_ASSIGN_OR_RETURN(Transaction * txn, txn_mgr_.Begin());
+  *txn_handle = txn->id();
+  QueryResult result;
+  result.message = "Transaction " + std::to_string(txn->id()) + " started";
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteCommit(uint64_t* txn_handle) {
+  if (*txn_handle == 0) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  const uint64_t id = *txn_handle;
+  *txn_handle = 0;
+  if (txn_mgr_.Find(id) == nullptr) {
+    return Status::Aborted("transaction " + std::to_string(id) +
+                           " was already aborted; retry from BEGIN");
+  }
+  std::shared_lock<std::shared_mutex> ddl_gate(ddl_mu_);
+  INSIGHT_RETURN_NOT_OK(txn_mgr_.Commit(id));
+  INSIGHT_RETURN_NOT_OK(MaybeAutoCheckpoint());
+  QueryResult result;
+  result.message = "Transaction " + std::to_string(id) + " committed";
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteRollback(uint64_t* txn_handle) {
+  if (*txn_handle == 0) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  const uint64_t id = *txn_handle;
+  *txn_handle = 0;
+  QueryResult result;
+  result.message = "Transaction " + std::to_string(id) + " rolled back";
+  if (txn_mgr_.Find(id) == nullptr) {
+    // Already auto-aborted after a conflict: ROLLBACK acknowledges it.
+    return result;
+  }
+  std::shared_lock<std::shared_mutex> ddl_gate(ddl_mu_);
+  INSIGHT_RETURN_NOT_OK(txn_mgr_.Abort(id));
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteRead(const Statement& stmt,
+                                          const std::string& sql,
+                                          uint64_t* txn_handle) {
+  std::shared_lock<std::shared_mutex> ddl_gate(ddl_mu_);
+  Snapshot snap;
+  SnapshotLease lease;
+  if (*txn_handle != 0) {
+    Transaction* txn = txn_mgr_.Find(*txn_handle);
+    if (txn == nullptr) {
+      const uint64_t id = *txn_handle;
+      *txn_handle = 0;
+      return Status::Aborted("transaction " + std::to_string(id) +
+                             " was aborted; retry from BEGIN");
+    }
+    snap = txn->snapshot();  // The transaction already holds a lease.
+  } else {
+    snap = txn_mgr_.LatestSnapshot();
+    lease = txn_mgr_.Lease(snap.read_ts);
+  }
   if (stmt.kind == Statement::Kind::kZoomIn) {
     QueryResult result;
     INSIGHT_ASSIGN_OR_RETURN(
         result.annotations,
         ZoomIn(stmt.table, stmt.tuple_oid, stmt.instance, stmt.zoom_label,
-               stmt.zoom_rep_index));
+               stmt.zoom_rep_index, snap));
     return result;
   }
-  return ExecuteSelect(*stmt.select, stmt.kind == Statement::Kind::kExplain,
-                       sql, /*refresh_stats=*/false);
+  {
+    // Stats folding reads the live statistics writers feed; take the
+    // write gate for just this step. Planning and execution below run
+    // with no write gate — that is what retired the statement gate.
+    std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
+    INSIGHT_RETURN_NOT_OK(executor_.RefreshSelectStats(*stmt.select));
+  }
+  return executor_.ExecuteSelect(
+      *stmt.select, stmt.kind == Statement::Kind::kExplain, sql, snap);
 }
 
-Result<QueryResult> Database::ExecuteMutation(const Statement& stmt) {
-  QueryResult result;
-  switch (stmt.kind) {
-    case Statement::Kind::kSelect:
-    case Statement::Kind::kExplain:
-    case Statement::Kind::kZoomIn:
-      return Status::Internal("read statement routed to ExecuteMutation");
-    case Statement::Kind::kCreateTable: {
-      INSIGHT_RETURN_NOT_OK(CreateTable(stmt.table, stmt.schema).status());
-      result.message = "Table " + stmt.table + " created";
-      return result;
+Result<QueryResult> Database::ExecuteWrite(const Statement& stmt,
+                                           uint64_t* txn_handle) {
+  const bool is_dml = stmt.kind == Statement::Kind::kInsert ||
+                      stmt.kind == Statement::Kind::kAnnotate;
+  if (!is_dml) {
+    // DDL restructures catalog objects concurrent statements borrow raw
+    // pointers to: exclusive DDL gate, autocommit only, plain WAL records
+    // (schema changes carry no row versions to roll back).
+    if (*txn_handle != 0 && txn_mgr_.Find(*txn_handle) != nullptr) {
+      return Status::InvalidArgument(
+          "DDL statements are not allowed inside a transaction; COMMIT or "
+          "ROLLBACK first");
     }
-    case Statement::Kind::kInsert: {
-      // Route through Database::Insert so each row is journaled; one
-      // group-commit fsync covers the whole statement.
-      for (const std::vector<Value>& row : stmt.rows) {
-        INSIGHT_RETURN_NOT_OK(Insert(stmt.table, Tuple(row)).status());
-      }
-      INSIGHT_RETURN_NOT_OK(WalSync());
-      result.message = std::to_string(stmt.rows.size()) + " rows inserted";
-      return result;
-    }
-    case Statement::Kind::kAlterAdd: {
-      INSIGHT_RETURN_NOT_OK(
-          LinkInstance(stmt.table, stmt.instance, stmt.indexable));
-      result.message = "Instance " + stmt.instance + " linked to " +
-                       stmt.table + (stmt.indexable ? " (indexable)" : "");
-      return result;
-    }
-    case Statement::Kind::kAlterDrop: {
-      INSIGHT_RETURN_NOT_OK(UnlinkInstance(stmt.table, stmt.instance));
-      result.message = "Instance " + stmt.instance + " unlinked";
-      return result;
-    }
-    case Statement::Kind::kAnnotate: {
-      INSIGHT_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
-      uint64_t mask = 0;
-      if (stmt.columns.empty()) {
-        mask = RowMask(table->schema().num_columns());
-      } else {
-        for (const std::string& column : stmt.columns) {
-          INSIGHT_ASSIGN_OR_RETURN(size_t idx,
-                                   table->schema().IndexOf(column));
-          mask |= CellMask(idx);
-        }
-      }
-      INSIGHT_ASSIGN_OR_RETURN(
-          AnnId ann,
-          Annotate(stmt.table, stmt.text, {{stmt.tuple_oid, mask}}));
-      result.message = "Annotation " + std::to_string(ann) + " added";
-      return result;
-    }
-    case Statement::Kind::kAnalyze: {
-      INSIGHT_RETURN_NOT_OK(Analyze(stmt.table));
-      result.message = "Statistics collected for " + stmt.table;
-      return result;
-    }
-    case Statement::Kind::kCreateIndex: {
-      INSIGHT_RETURN_NOT_OK(CreateColumnIndex(stmt.table, stmt.columns[0]));
-      result.message = "Index created on " + stmt.table + "." +
-                       stmt.columns[0];
-      return result;
+    std::unique_lock<std::shared_mutex> ddl_gate(ddl_mu_);
+    std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
+    return executor_.ExecuteMutation(stmt);
+  }
+
+  std::shared_lock<std::shared_mutex> ddl_gate(ddl_mu_);
+  std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
+  Transaction* txn = nullptr;
+  const bool autocommit = (*txn_handle == 0);
+  if (autocommit) {
+    INSIGHT_ASSIGN_OR_RETURN(txn, txn_mgr_.Begin());
+  } else {
+    txn = txn_mgr_.Find(*txn_handle);
+    if (txn == nullptr) {
+      const uint64_t id = *txn_handle;
+      *txn_handle = 0;
+      return Status::Aborted("transaction " + std::to_string(id) +
+                             " was aborted; retry from BEGIN");
     }
   }
-  return Status::Internal("unreachable");
+  const uint64_t txn_id = txn->id();
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    TxnScope scope(txn);
+    return executor_.ExecuteMutation(stmt);
+  }();
+  if (!result.ok()) {
+    // A failed statement poisons the transaction — partial row effects
+    // must not commit — so roll the whole thing back, explicit or not.
+    Status aborted = txn_mgr_.Abort(txn_id);
+    *txn_handle = 0;
+    if (!aborted.ok()) return aborted;
+    return result.status();
+  }
+  if (autocommit) {
+    INSIGHT_RETURN_NOT_OK(txn_mgr_.Commit(txn_id));
+  }
+  INSIGHT_RETURN_NOT_OK(MaybeAutoCheckpoint());
+  return result;
 }
 
 Result<std::string> Database::Explain(const std::string& sql) {
@@ -1057,81 +828,16 @@ Result<std::string> Database::Explain(const std::string& sql) {
       stmt.kind != Statement::Kind::kExplain) {
     return Status::InvalidArgument("can only explain SELECT statements");
   }
+  std::shared_lock<std::shared_mutex> ddl_gate(ddl_mu_);
   {
-    std::unique_lock<std::shared_mutex> gate(statement_mu_);
-    INSIGHT_RETURN_NOT_OK(RefreshSelectStats(*stmt.select));
+    std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
+    INSIGHT_RETURN_NOT_OK(executor_.RefreshSelectStats(*stmt.select));
   }
-  std::shared_lock<std::shared_mutex> gate(statement_mu_);
   INSIGHT_ASSIGN_OR_RETURN(
       QueryResult result,
-      ExecuteSelect(*stmt.select, true, sql, /*refresh_stats=*/false));
+      executor_.ExecuteSelect(*stmt.select, /*explain_only=*/true, sql,
+                              txn_mgr_.LatestSnapshot()));
   return result.message;
-}
-
-namespace {
-
-/// Pre-order walk of the physical plan into TraceSpans, pairing each
-/// operator's frozen plan-time estimate with its runtime counters.
-void BuildTraceSpans(const PhysicalOperator* op, int depth,
-                     std::vector<TraceSpan>* spans) {
-  TraceSpan span;
-  span.op = op->Describe();
-  span.depth = depth;
-  span.est_rows = op->has_estimate() ? op->estimated_rows() : -1;
-  span.actual_rows = op->stats().rows;
-  span.time_ns = op->stats().total_ns();
-  spans->push_back(std::move(span));
-  for (const PhysicalOperator* child : op->children()) {
-    BuildTraceSpans(child, depth + 1, spans);
-  }
-}
-
-}  // namespace
-
-void Database::ObserveQuery(const std::string& statement,
-                            PhysicalOperator* root, uint64_t total_ns) {
-  EngineMetrics& m = EngineMetrics::Get();
-  m.queries_total->Add(1);
-  m.query_millis->Observe(static_cast<double>(total_ns) / 1e6);
-
-  QueryTrace trace;
-  trace.statement = statement;
-  trace.total_ns = total_ns;
-  BuildTraceSpans(root, 0, &trace.spans);
-  for (const TraceSpan& span : trace.spans) {
-    if (span.has_estimate()) m.plan_qerror->Observe(span.qerror());
-  }
-
-  // Cardinality feedback: every access-path root carries the table whose
-  // statistics produced its estimate; a big enough q-error flags that
-  // table so the next statistics refresh re-analyzes it.
-  std::vector<PhysicalOperator*> stack{root};
-  while (!stack.empty()) {
-    PhysicalOperator* op = stack.back();
-    stack.pop_back();
-    if (!op->feedback_table().empty() && op->has_estimate()) {
-      context_.ReportCardinalityFeedback(
-          op->feedback_table(),
-          QError(op->estimated_rows(),
-                 static_cast<double>(op->stats().rows)),
-          optimizer_options_.feedback_qerror_threshold);
-    }
-    for (PhysicalOperator* child : op->children()) stack.push_back(child);
-  }
-
-  if (trace.total_ms() >= slow_query_log_.threshold_ms()) {
-    m.slow_queries_total->Add(1);
-    trace.plan = root->ExplainAnalyzeTree();
-    slow_query_log_.Record(std::move(trace));
-  }
-}
-
-std::string Database::DumpMetrics() const {
-  return MetricsRegistry::Global().ToPrometheus();
-}
-
-std::string Database::DumpMetricsJson() const {
-  return MetricsRegistry::Global().ToJson();
 }
 
 Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
@@ -1141,27 +847,22 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
       stmt.kind != Statement::Kind::kExplain) {
     return Status::InvalidArgument("can only explain SELECT statements");
   }
-  const SelectStatement& select = *stmt.select;
-  const auto query_start = std::chrono::steady_clock::now();
+  std::shared_lock<std::shared_mutex> ddl_gate(ddl_mu_);
   {
-    std::unique_lock<std::shared_mutex> exclusive_gate(statement_mu_);
-    INSIGHT_RETURN_NOT_OK(RefreshSelectStats(select));
+    std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
+    INSIGHT_RETURN_NOT_OK(executor_.RefreshSelectStats(*stmt.select));
   }
-  std::shared_lock<std::shared_mutex> gate(statement_mu_);
-  INSIGHT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(select));
-  Optimizer optimizer(&context_, optimizer_options_);
-  INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));
-  INSIGHT_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
-  ObserveQuery(sql, op.get(),
-               static_cast<uint64_t>(
-                   std::chrono::duration_cast<std::chrono::nanoseconds>(
-                       std::chrono::steady_clock::now() - query_start)
-                       .count()));
-  std::string out = "Physical plan (analyzed):\n" + op->ExplainAnalyzeTree();
-  char line[64];
-  std::snprintf(line, sizeof(line), "Rows returned: %zu\n", rows.size());
-  out += line;
-  return out;
+  const Snapshot snap = txn_mgr_.LatestSnapshot();
+  SnapshotLease lease = txn_mgr_.Lease(snap.read_ts);
+  return executor_.ExplainAnalyze(*stmt.select, sql, snap);
+}
+
+std::string Database::DumpMetrics() const {
+  return MetricsRegistry::Global().ToPrometheus();
+}
+
+std::string Database::DumpMetricsJson() const {
+  return MetricsRegistry::Global().ToJson();
 }
 
 }  // namespace insight

@@ -1,6 +1,7 @@
 #ifndef INSIGHTNOTES_SQL_DATABASE_H_
 #define INSIGHTNOTES_SQL_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -11,23 +12,13 @@
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
+#include "sql/statement_executor.h"
 #include "summary/summary_manager.h"
+#include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
 #include "wal/recovery_manager.h"
 
 namespace insight {
-
-/// Result of executing one statement.
-struct QueryResult {
-  Schema schema;
-  std::vector<Tuple> rows;            // Select-list values per output row.
-  std::vector<SummarySet> summaries;  // Parallel: propagated summary sets.
-  std::string message;                // DDL/utility acknowledgements.
-  std::vector<Annotation> annotations;  // ZOOM IN payload.
-
-  /// ASCII-table rendering (summaries shown inline when present).
-  std::string ToString(size_t max_rows = 25) const;
-};
 
 /// The top-level InsightNotes+ engine facade: storage, catalog, annotation
 /// and summary managers, summary indexes, optimizer, and the SQL surface.
@@ -40,6 +31,10 @@ struct QueryResult {
 ///   db.Execute("SELECT * FROM Birds WHERE "
 ///              "$.getSummaryObject('ClassBird1')"
 ///              ".getLabelValue('Disease') > 0");
+///
+/// Statement execution itself lives in StatementExecutor; this class owns
+/// *policy*: MVCC transactions (TransactionManager), the DDL gate, WAL
+/// journaling, and recovery.
 class Database : public ReplayTarget {
  public:
   /// When the write-ahead log is forced to disk.
@@ -69,9 +64,10 @@ class Database : public ReplayTarget {
 
   /// Opens (creating if needed) a durable database rooted at `directory`:
   /// recovers from `<directory>/wal.log` (replaying the tail past the
-  /// last complete checkpoint), then attaches the log so further DML is
-  /// journaled. Page files are derived state rebuilt by replay — the
-  /// catalog is logical — so recovery works even from the log alone.
+  /// last complete checkpoint; only committed transactions replay), then
+  /// attaches the log so further DML is journaled. Page files are derived
+  /// state rebuilt by replay — the catalog is logical — so recovery works
+  /// even from the log alone.
   static Result<std::unique_ptr<Database>> Open(const std::string& directory,
                                                 Options options);
   static Result<std::unique_ptr<Database>> Open(const std::string& directory);
@@ -130,21 +126,30 @@ class Database : public ReplayTarget {
   /// instance's summary object, and further to one representative of it —
   /// a class label (`label`) or a Rep[] position (`rep_index`), the
   /// paper's "zoom into specific summaries of interest".
-  Result<std::vector<Annotation>> ZoomIn(const std::string& table, Oid oid,
-                                         const std::string& instance = "",
-                                         const std::string& label = "",
-                                         int rep_index = -1);
+  Result<std::vector<Annotation>> ZoomIn(
+      const std::string& table, Oid oid, const std::string& instance = "",
+      const std::string& label = "", int rep_index = -1,
+      const Snapshot& snap = Snapshot::Latest());
 
-  // ---- Queries ----
+  // ---- Queries & transactions ----
 
-  /// Parses, plans, optimizes, and executes one statement.
+  /// Parses, plans, optimizes, and executes one statement under MVCC
+  /// snapshot isolation. Readers never block: each SELECT pins a snapshot
+  /// of the latest committed state (or its transaction's snapshot) and
+  /// runs with no statement gate. Mutating statements are serialized on
+  /// the transaction manager's write gate and run inside a transaction —
+  /// an implicit per-statement one in autocommit, or the session's
+  /// explicit one between BEGIN and COMMIT/ROLLBACK.
   ///
-  /// Execute() is the engine's concurrency boundary: read statements
-  /// (SELECT / EXPLAIN / ZOOM IN) run under a shared statement gate and
-  /// overlap freely — concurrent network clients drive the thread-safe
-  /// buffer pool and parallel scans directly — while mutating statements
-  /// take the gate exclusively and batch into the WAL group-commit path.
-  /// Embedded single-threaded callers pay one uncontended lock.
+  /// `txn_handle` carries the session's open transaction across calls:
+  /// pass 0 when none is open; BEGIN stores the new transaction's id in
+  /// it, COMMIT/ROLLBACK clear it. A conflicting write inside a
+  /// transaction auto-aborts it (first-writer-wins) and surfaces
+  /// kAborted — safe for the client to retry from BEGIN.
+  Result<QueryResult> Execute(const std::string& sql, uint64_t* txn_handle);
+
+  /// Single-session convenience: keeps the embedded caller's transaction
+  /// handle internally (the CLI and embedded REPL path).
   Result<QueryResult> Execute(const std::string& sql);
 
   /// The optimized physical plan for a SELECT (EXPLAIN).
@@ -160,6 +165,9 @@ class Database : public ReplayTarget {
   Result<OpPtr> Plan(LogicalPtr plan);
 
   Status Analyze(const std::string& table);
+
+  /// MVCC policy owner: timestamps, snapshots, conflicts, version GC.
+  TransactionManager* txn_manager() { return &txn_mgr_; }
 
   // ---- Observability ----
 
@@ -179,7 +187,10 @@ class Database : public ReplayTarget {
   /// Fuzzy checkpoint: logs a logical snapshot of the whole database
   /// (CheckpointBegin), flushes and syncs the data pages, then seals it
   /// with CheckpointEnd. Recovery restores the latest sealed snapshot and
-  /// replays only the log tail after it. No-op error when WAL is off.
+  /// replays only the log tail after it. Runs under the write gate so no
+  /// writer is mid-statement; open transactions are fine (the snapshot
+  /// holds committed state only, and their ops replay from the log if
+  /// they commit). No-op error when WAL is off.
   Status Checkpoint();
 
   /// Forces the log to disk (group-commit barrier). OK when WAL is off.
@@ -241,36 +252,37 @@ class Database : public ReplayTarget {
         keyword_indexes;
   };
 
-  Result<QueryResult> ExecuteSelect(const SelectStatement& select,
-                                    bool explain_only,
-                                    const std::string& sql = "",
-                                    bool refresh_stats = true);
+  /// Installs the WAL hooks that journal transaction lifecycle records
+  /// (kTxnBegin / kTxnCommit / kTxnAbort) into the transaction manager.
+  void InstallWalHooks();
 
-  /// The non-SELECT arm of Execute(); caller holds the exclusive gate.
-  Result<QueryResult> ExecuteMutation(const Statement& stmt);
+  /// Read path of Execute(): SELECT / EXPLAIN / ZOOM IN at one snapshot.
+  Result<QueryResult> ExecuteRead(const Statement& stmt,
+                                  const std::string& sql,
+                                  uint64_t* txn_handle);
+  /// Write path of Execute(): DML runs inside a transaction (the
+  /// session's or an implicit autocommit one) under the write gate; DDL
+  /// requires autocommit and takes the DDL gate exclusively.
+  Result<QueryResult> ExecuteWrite(const Statement& stmt,
+                                   uint64_t* txn_handle);
+  Result<QueryResult> ExecuteBegin(uint64_t* txn_handle);
+  Result<QueryResult> ExecuteCommit(uint64_t* txn_handle);
+  Result<QueryResult> ExecuteRollback(uint64_t* txn_handle);
 
-  /// Folds live summary statistics into the planner's cached TableStats
-  /// for every FROM table. Mutates shared planner state — caller must
-  /// hold the statement gate exclusively (or be single-threaded).
-  Status RefreshSelectStats(const SelectStatement& select);
+  /// Triggers the automatic checkpoint when the op budget is reached.
+  /// Never runs while the calling thread is inside a transaction.
+  Status MaybeAutoCheckpoint();
 
   /// ResourceExhausted when `sql` exceeds Options::max_statement_bytes.
   Status CheckStatementSize(const std::string& sql) const;
-
-  /// Post-execution observability: query counters/latency, per-operator
-  /// estimated-vs-actual q-error (fed back to the optimizer statistics),
-  /// and the slow-query log.
-  void ObserveQuery(const std::string& statement, PhysicalOperator* root,
-                    uint64_t total_ns);
-  /// Binds FROM/WHERE into a logical plan (join routing included).
-  Result<LogicalPtr> BindSelect(const SelectStatement& select);
 
   /// WAL is live: attached and not currently replaying (replayed ops are
   /// already in the log and must not be re-journaled).
   bool WalEnabled() const { return wal_ != nullptr && !replaying_; }
 
-  /// Appends one record, commits it per the sync mode, and triggers the
-  /// automatic checkpoint when the op budget is reached.
+  /// Appends one record and commits it per the sync mode. Inside a
+  /// transaction the record is wrapped as kTxnOp (durability comes from
+  /// the commit record); outside one it is a plain record.
   Status LogOp(WalRecordType type, std::string payload);
 
   /// Stamps the buffer pool with the LSN the next logged op will get, so
@@ -289,7 +301,7 @@ class Database : public ReplayTarget {
   std::unique_ptr<LogManager> wal_;
   Options options_;
   bool replaying_ = false;
-  uint64_t ops_since_checkpoint_ = 0;
+  std::atomic<uint64_t> ops_since_checkpoint_{0};
   bool in_checkpoint_ = false;
   RecoveryManager::Stats recovery_stats_;
   /// WalInstanceDef payloads of instances defined through the typed
@@ -297,11 +309,20 @@ class Database : public ReplayTarget {
   /// snapshots (lower-case name -> encoded payload, definition order).
   std::vector<std::pair<std::string, std::string>> instance_def_payloads_;
 
-  /// Statement concurrency gate (see Execute()). Readers share, writers
-  /// are exclusive. Held only at the Execute/Explain/ExplainAnalyze
-  /// surface — internal paths never re-acquire it, so there is no
-  /// recursion hazard.
-  mutable std::shared_mutex statement_mu_;
+  /// MVCC policy. Replaces the old coarse statement gate: readers pin
+  /// snapshots and never block; writers serialize on txn_mgr_.write_mu().
+  TransactionManager txn_mgr_;
+
+  /// Catalog-shape gate: DDL statements (CREATE/ALTER/ANALYZE/CREATE
+  /// INDEX) hold it exclusively — they restructure relations_, planner
+  /// registrations, and index objects that statements borrow raw pointers
+  /// to. Every other statement holds it shared for its duration. This is
+  /// NOT the old statement gate: DML vs DML and DML vs SELECT overlap.
+  mutable std::shared_mutex ddl_mu_;
+
+  /// The embedded single-session transaction handle (two-arg Execute
+  /// callers manage their own).
+  std::atomic<uint64_t> embedded_txn_{0};
 
   StorageManager storage_;
   BufferPool pool_;
@@ -314,6 +335,7 @@ class Database : public ReplayTarget {
   // statistics whose destructors deregister from the summary managers
   // inside relations_, so it must be destroyed first.
   QueryContext context_;
+  StatementExecutor executor_{this};
 };
 
 }  // namespace insight

@@ -132,6 +132,22 @@ Result<Statement> Parser::ParseStatement() {
     INSIGHT_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
     return stmt;
   }
+  if (Match("BEGIN") || Match("START")) {
+    Match("TRANSACTION");  // Optional noise word (also START TRANSACTION).
+    Statement stmt;
+    stmt.kind = Statement::Kind::kBegin;
+    return stmt;
+  }
+  if (Match("COMMIT")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCommit;
+    return stmt;
+  }
+  if (Match("ROLLBACK") || Match("ABORT")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kRollback;
+    return stmt;
+  }
   return Err("expected a statement");
 }
 

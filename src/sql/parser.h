@@ -50,6 +50,9 @@ struct Statement {
     kZoomIn,       // ZOOM IN ON t TUPLE n [INSTANCE 'name']
     kAnalyze,      // ANALYZE t
     kCreateIndex,  // CREATE INDEX ON t (column)
+    kBegin,        // BEGIN [TRANSACTION]
+    kCommit,       // COMMIT
+    kRollback,     // ROLLBACK
   };
 
   Kind kind = Kind::kSelect;

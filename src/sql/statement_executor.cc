@@ -1,0 +1,551 @@
+#include "sql/statement_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "sql/database.h"
+
+namespace insight {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  if (!message.empty()) return message + "\n";
+  if (!annotations.empty()) {
+    std::string out;
+    for (const Annotation& ann : annotations) {
+      out += "[" + std::to_string(ann.id) + "] " + ann.text + "\n";
+    }
+    return out;
+  }
+  std::vector<size_t> widths;
+  for (const Column& col : schema.columns()) {
+    widths.push_back(col.name.size());
+  }
+  const size_t shown = std::min(rows.size(), max_rows);
+  std::vector<std::vector<std::string>> cells;
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      row.push_back(rows[r].at(c).ToString());
+      if (c < widths.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    out += schema.column(c).name;
+    out += std::string(widths[c] - schema.column(c).name.size() + 2, ' ');
+  }
+  out += "\n";
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    out += std::string(widths[c], '-') + "  ";
+  }
+  out += "\n";
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      out += cells[r][c];
+      if (c < widths.size()) {
+        out += std::string(widths[c] - cells[r][c].size() + 2, ' ');
+      }
+    }
+    if (r < summaries.size() && !summaries[r].empty()) {
+      std::string rendered = summaries[r].ToString();
+      constexpr size_t kMaxSummaryChars = 140;
+      if (rendered.size() > kMaxSummaryChars) {
+        rendered.resize(kMaxSummaryChars);
+        rendered += "...}";
+      }
+      out += "  $" + rendered;
+    }
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  out += "(" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+// ---------- SELECT binding ----------
+
+namespace {
+
+// Aliases (or table names) bound so far, for conjunct routing.
+struct BoundSide {
+  std::set<std::string> names;  // Lower-cased aliases/table names.
+  Schema schema;
+};
+
+bool QualifierIn(const std::string& qualifier, const BoundSide& side) {
+  return side.names.count(ToLower(qualifier)) > 0;
+}
+
+}  // namespace
+
+Result<LogicalPtr> StatementExecutor::BindSelect(
+    const SelectStatement& select) {
+  if (select.from.empty()) {
+    return Status::ParseError("FROM clause required");
+  }
+  Optimizer opt(db_->context(), db_->optimizer_options());
+
+  auto scan_for = [&](const SelectStatement::FromTable& from) {
+    return from.alias.empty() ? LScan(from.table)
+                              : LScanAs(from.table, from.alias);
+  };
+  auto names_for = [&](const SelectStatement::FromTable& from) {
+    return ToLower(from.alias.empty() ? from.table : from.alias);
+  };
+
+  LogicalPtr plan = scan_for(select.from[0]);
+  BoundSide bound;
+  bound.names.insert(names_for(select.from[0]));
+  INSIGHT_ASSIGN_OR_RETURN(bound.schema, opt.OutputSchema(*plan));
+
+  std::vector<ExprPtr> conjuncts;
+  if (select.where != nullptr) {
+    conjuncts = SplitConjuncts(select.where.get());
+  }
+
+  for (size_t t = 1; t < select.from.size(); ++t) {
+    LogicalPtr right = scan_for(select.from[t]);
+    INSIGHT_ASSIGN_OR_RETURN(Schema right_schema, opt.OutputSchema(*right));
+    BoundSide right_side;
+    right_side.names.insert(names_for(select.from[t]));
+    right_side.schema = right_schema;
+
+    // Route conjuncts connecting the bound side with the new table.
+    std::vector<ExprPtr> data_join;
+    std::optional<SummaryJoinPredicate> summary_join;
+    std::vector<ExprPtr> remaining;
+    for (ExprPtr& conjunct : conjuncts) {
+      // Summary-join shape: comparison of two summary functions with
+      // qualifiers on opposite sides.
+      if (const auto* cmp =
+              dynamic_cast<const CompareExpr*>(conjunct.get())) {
+        const auto* lf = dynamic_cast<const SummaryFuncExpr*>(cmp->left());
+        const auto* rf = dynamic_cast<const SummaryFuncExpr*>(cmp->right());
+        if (lf != nullptr && rf != nullptr && !lf->qualifier().empty() &&
+            !rf->qualifier().empty() &&
+            !EqualsIgnoreCase(lf->qualifier(), rf->qualifier())) {
+          const bool lf_bound = QualifierIn(lf->qualifier(), bound);
+          const bool rf_new = QualifierIn(rf->qualifier(), right_side);
+          const bool rf_bound = QualifierIn(rf->qualifier(), bound);
+          const bool lf_new = QualifierIn(lf->qualifier(), right_side);
+          if ((lf_bound && rf_new) || (rf_bound && lf_new)) {
+            if (summary_join.has_value()) {
+              return Status::NotImplemented(
+                  "multiple summary-join predicates between the same "
+                  "relations");
+            }
+            SummaryJoinPredicate pred;
+            pred.op = cmp->op();
+            if (lf_bound) {
+              pred.left_expr = cmp->left()->Clone();
+              pred.right_expr = cmp->right()->Clone();
+            } else {
+              // Mirror so left_expr evaluates on the bound side.
+              pred.left_expr = cmp->right()->Clone();
+              pred.right_expr = cmp->left()->Clone();
+              pred.op = [](CompareOp op) {
+                switch (op) {
+                  case CompareOp::kLt:
+                    return CompareOp::kGt;
+                  case CompareOp::kLe:
+                    return CompareOp::kGe;
+                  case CompareOp::kGt:
+                    return CompareOp::kLt;
+                  case CompareOp::kGe:
+                    return CompareOp::kLe;
+                  default:
+                    return op;
+                }
+              }(pred.op);
+            }
+            summary_join = std::move(pred);
+            conjunct.reset();
+            continue;
+          }
+        }
+      }
+      // Data conjunct spanning both sides?
+      std::vector<std::string> columns;
+      conjunct->CollectColumns(&columns);
+      if (!conjunct->IsSummaryBased() && !columns.empty()) {
+        bool any_bound = false;
+        bool any_new = false;
+        bool all_resolve = true;
+        const Schema combined =
+            Schema::Concat(bound.schema, right_side.schema);
+        for (const std::string& column : columns) {
+          if (bound.schema.IndexOf(column).ok()) {
+            any_bound = true;
+          } else if (right_side.schema.IndexOf(column).ok()) {
+            any_new = true;
+          } else if (!combined.IndexOf(column).ok()) {
+            all_resolve = false;
+          } else {
+            // Resolves only in the combined schema (ambiguous singly).
+            any_bound = any_new = true;
+          }
+        }
+        if (all_resolve && any_bound && any_new) {
+          data_join.push_back(std::move(conjunct));
+          conjunct.reset();
+          continue;
+        }
+      }
+      if (conjunct != nullptr) remaining.push_back(std::move(conjunct));
+    }
+    conjuncts = std::move(remaining);
+
+    if (summary_join.has_value()) {
+      plan = LSummaryJoin(std::move(plan), std::move(right),
+                          std::move(*summary_join));
+      // Data conjuncts between the sides become a selection above the
+      // summary join (the rho(J(R,S)) shape; the optimizer may commute).
+      if (!data_join.empty()) {
+        plan = LSelect(std::move(plan),
+                       CombineConjuncts(std::move(data_join)));
+      }
+    } else {
+      ExprPtr join_pred = data_join.empty()
+                              ? Lit(Value::Bool(true))
+                              : CombineConjuncts(std::move(data_join));
+      plan = LJoin(std::move(plan), std::move(right), std::move(join_pred));
+    }
+    bound.names.insert(names_for(select.from[t]));
+    bound.schema = Schema::Concat(bound.schema, right_side.schema);
+  }
+
+  // Residual WHERE conjuncts: data selections below summary selections.
+  std::vector<ExprPtr> data_conjuncts;
+  std::vector<ExprPtr> summary_conjuncts;
+  for (ExprPtr& conjunct : conjuncts) {
+    if (conjunct->IsSummaryBased()) {
+      summary_conjuncts.push_back(std::move(conjunct));
+    } else {
+      data_conjuncts.push_back(std::move(conjunct));
+    }
+  }
+  if (!data_conjuncts.empty()) {
+    plan = LSelect(std::move(plan),
+                   CombineConjuncts(std::move(data_conjuncts)));
+  }
+  if (!summary_conjuncts.empty()) {
+    plan = LSummarySelect(std::move(plan),
+                          CombineConjuncts(std::move(summary_conjuncts)));
+  }
+
+  // Aggregation.
+  bool has_aggregates = false;
+  for (const SelectItem& item : select.items) {
+    if (item.is_aggregate) has_aggregates = true;
+  }
+  if (has_aggregates || !select.group_by.empty()) {
+    std::vector<AggregateSpec> aggs;
+    for (const SelectItem& item : select.items) {
+      if (!item.is_aggregate) continue;
+      aggs.push_back(AggregateSpec{
+          item.aggregate.kind,
+          item.aggregate.arg == nullptr ? nullptr
+                                        : item.aggregate.arg->Clone(),
+          item.aggregate.output_name});
+    }
+    plan = LAggregate(std::move(plan), select.group_by, std::move(aggs));
+  }
+
+  if (select.distinct) {
+    // DISTINCT applies to the select list: project first (which also
+    // applies the summary projection semantics), then de-duplicate.
+    std::vector<std::string> columns;
+    for (const SelectItem& item : select.items) {
+      const auto* col = dynamic_cast<const ColumnExpr*>(item.expr.get());
+      if (item.star || item.is_aggregate || col == nullptr) {
+        return Status::NotImplemented(
+            "SELECT DISTINCT requires a plain column list");
+      }
+      columns.push_back(col->name());
+    }
+    plan = LProject(std::move(plan), std::move(columns));
+    plan = LDistinct(std::move(plan));
+  }
+
+  if (!select.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const SortKey& key : select.order_by) {
+      keys.push_back(SortKey{key.expr->Clone(), key.descending});
+    }
+    plan = LSort(std::move(plan), std::move(keys));
+  }
+  if (select.limit.has_value()) {
+    plan = LLimit(std::move(plan), *select.limit);
+  }
+  return plan;
+}
+
+Status StatementExecutor::RefreshSelectStats(const SelectStatement& select) {
+  // Fold maintained-on-update summary statistics into the planner's view
+  // (Section 5.2); cheap, no scans.
+  std::unique_lock<std::shared_mutex> plan_gate(plan_mu_);
+  for (const SelectStatement::FromTable& from : select.from) {
+    Status refreshed = db_->context()->RefreshStats(from.table);
+    if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> StatementExecutor::ExecuteSelect(
+    const SelectStatement& select, bool explain_only, const std::string& sql,
+    const Snapshot& snap) {
+  const auto query_start = std::chrono::steady_clock::now();
+  // Shared plan gate: estimation reads the planner statistics that
+  // RefreshSelectStats replaces under the unique gate.
+  std::shared_lock<std::shared_mutex> plan_gate(plan_mu_);
+  INSIGHT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(select));
+  Optimizer optimizer(db_->context(), db_->optimizer_options());
+  if (explain_only) {
+    INSIGHT_ASSIGN_OR_RETURN(LogicalPtr rewritten,
+                             optimizer.Rewrite(plan->Clone()));
+    INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Lower(*rewritten));
+    QueryResult result;
+    result.message = "Logical plan:\n" + rewritten->Explain() +
+                     "Physical plan:\n" + op->ExplainTree();
+    auto estimate = optimizer.Estimate(*rewritten);
+    if (estimate.ok()) {
+      char line[96];
+      std::snprintf(line, sizeof(line),
+                    "Estimated rows: %.1f, cost: %.1f\n", estimate->rows,
+                    estimate->cost);
+      result.message += line;
+    }
+    return result;
+  }
+  INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));
+  plan_gate.unlock();  // Execution runs gate-free.
+  // Pin every read in the plan — scans, index probes, summary fetches —
+  // to the caller's snapshot via a per-query context copy. The shared
+  // context stays at Latest for embedded/legacy callers.
+  ExecutionContext query_ctx = *db_->context()->exec_context();
+  query_ctx.set_snapshot(snap);
+  op->AttachContext(&query_ctx);
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
+  ObserveQuery(sql, op.get(),
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - query_start)
+                       .count()));
+
+  // Materialize the select list.
+  const Schema& plan_schema = op->schema();
+  QueryResult result;
+  std::vector<ExprPtr> output_exprs;
+  for (const SelectItem& item : select.items) {
+    if (item.star) {
+      for (const Column& col : plan_schema.columns()) {
+        result.schema.AddColumn(col).ok();
+        output_exprs.push_back(Col(col.name));
+      }
+    } else if (item.is_aggregate) {
+      result.schema
+          .AddColumn({item.name, item.aggregate.kind ==
+                                         AggregateSpec::Kind::kAvg
+                                     ? ValueType::kDouble
+                                     : ValueType::kInt64})
+          .ok();
+      output_exprs.push_back(Col(item.aggregate.output_name));
+    } else {
+      ValueType type = ValueType::kString;
+      if (const auto* col = dynamic_cast<const ColumnExpr*>(item.expr.get())) {
+        auto idx = plan_schema.IndexOf(col->name());
+        if (idx.ok()) type = plan_schema.column(*idx).type;
+      } else if (item.expr->IsSummaryBased()) {
+        type = ValueType::kInt64;
+      }
+      result.schema.AddColumn({item.name, type}).ok();
+      output_exprs.push_back(item.expr->Clone());
+    }
+  }
+  for (Row& row : rows) {
+    Tuple out;
+    for (const ExprPtr& expr : output_exprs) {
+      INSIGHT_ASSIGN_OR_RETURN(Value v, expr->Eval(row, plan_schema));
+      out.Append(std::move(v));
+    }
+    result.rows.push_back(std::move(out));
+    result.summaries.push_back(std::move(row.summaries));
+  }
+  return result;
+}
+
+Result<QueryResult> StatementExecutor::ExecuteMutation(const Statement& stmt) {
+  QueryResult result;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+    case Statement::Kind::kExplain:
+    case Statement::Kind::kZoomIn:
+      return Status::Internal("read statement routed to ExecuteMutation");
+    case Statement::Kind::kBegin:
+    case Statement::Kind::kCommit:
+    case Statement::Kind::kRollback:
+      return Status::Internal(
+          "transaction control routed to ExecuteMutation");
+    case Statement::Kind::kCreateTable: {
+      INSIGHT_RETURN_NOT_OK(
+          db_->CreateTable(stmt.table, stmt.schema).status());
+      result.message = "Table " + stmt.table + " created";
+      return result;
+    }
+    case Statement::Kind::kInsert: {
+      // Route through Database::Insert so each row is journaled; one
+      // group-commit fsync covers the whole statement.
+      for (const std::vector<Value>& row : stmt.rows) {
+        INSIGHT_RETURN_NOT_OK(db_->Insert(stmt.table, Tuple(row)).status());
+      }
+      // Inside a transaction durability comes from the commit record;
+      // syncing per statement would just double the fsyncs.
+      if (CurrentTxn() == nullptr) {
+        INSIGHT_RETURN_NOT_OK(db_->WalSync());
+      }
+      result.message = std::to_string(stmt.rows.size()) + " rows inserted";
+      return result;
+    }
+    case Statement::Kind::kAlterAdd: {
+      INSIGHT_RETURN_NOT_OK(
+          db_->LinkInstance(stmt.table, stmt.instance, stmt.indexable));
+      result.message = "Instance " + stmt.instance + " linked to " +
+                       stmt.table + (stmt.indexable ? " (indexable)" : "");
+      return result;
+    }
+    case Statement::Kind::kAlterDrop: {
+      INSIGHT_RETURN_NOT_OK(db_->UnlinkInstance(stmt.table, stmt.instance));
+      result.message = "Instance " + stmt.instance + " unlinked";
+      return result;
+    }
+    case Statement::Kind::kAnnotate: {
+      INSIGHT_ASSIGN_OR_RETURN(Table * table,
+                               db_->catalog()->GetTable(stmt.table));
+      uint64_t mask = 0;
+      if (stmt.columns.empty()) {
+        mask = RowMask(table->schema().num_columns());
+      } else {
+        for (const std::string& column : stmt.columns) {
+          INSIGHT_ASSIGN_OR_RETURN(size_t idx,
+                                   table->schema().IndexOf(column));
+          mask |= CellMask(idx);
+        }
+      }
+      INSIGHT_ASSIGN_OR_RETURN(
+          AnnId ann,
+          db_->Annotate(stmt.table, stmt.text, {{stmt.tuple_oid, mask}}));
+      result.message = "Annotation " + std::to_string(ann) + " added";
+      return result;
+    }
+    case Statement::Kind::kAnalyze: {
+      INSIGHT_RETURN_NOT_OK(db_->Analyze(stmt.table));
+      result.message = "Statistics collected for " + stmt.table;
+      return result;
+    }
+    case Statement::Kind::kCreateIndex: {
+      INSIGHT_RETURN_NOT_OK(
+          db_->CreateColumnIndex(stmt.table, stmt.columns[0]));
+      result.message = "Index created on " + stmt.table + "." +
+                       stmt.columns[0];
+      return result;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+
+/// Pre-order walk of the physical plan into TraceSpans, pairing each
+/// operator's frozen plan-time estimate with its runtime counters.
+void BuildTraceSpans(const PhysicalOperator* op, int depth,
+                     std::vector<TraceSpan>* spans) {
+  TraceSpan span;
+  span.op = op->Describe();
+  span.depth = depth;
+  span.est_rows = op->has_estimate() ? op->estimated_rows() : -1;
+  span.actual_rows = op->stats().rows;
+  span.time_ns = op->stats().total_ns();
+  spans->push_back(std::move(span));
+  for (const PhysicalOperator* child : op->children()) {
+    BuildTraceSpans(child, depth + 1, spans);
+  }
+}
+
+}  // namespace
+
+void StatementExecutor::ObserveQuery(const std::string& statement,
+                                     PhysicalOperator* root,
+                                     uint64_t total_ns) {
+  EngineMetrics& m = EngineMetrics::Get();
+  m.queries_total->Add(1);
+  m.query_millis->Observe(static_cast<double>(total_ns) / 1e6);
+
+  QueryTrace trace;
+  trace.statement = statement;
+  trace.total_ns = total_ns;
+  BuildTraceSpans(root, 0, &trace.spans);
+  for (const TraceSpan& span : trace.spans) {
+    if (span.has_estimate()) m.plan_qerror->Observe(span.qerror());
+  }
+
+  // Cardinality feedback: every access-path root carries the table whose
+  // statistics produced its estimate; a big enough q-error flags that
+  // table so the next statistics refresh re-analyzes it.
+  std::vector<PhysicalOperator*> stack{root};
+  while (!stack.empty()) {
+    PhysicalOperator* op = stack.back();
+    stack.pop_back();
+    if (!op->feedback_table().empty() && op->has_estimate()) {
+      db_->context()->ReportCardinalityFeedback(
+          op->feedback_table(),
+          QError(op->estimated_rows(),
+                 static_cast<double>(op->stats().rows)),
+          db_->optimizer_options().feedback_qerror_threshold);
+    }
+    for (PhysicalOperator* child : op->children()) stack.push_back(child);
+  }
+
+  SlowQueryLog* slow_log = db_->slow_query_log();
+  if (trace.total_ms() >= slow_log->threshold_ms()) {
+    m.slow_queries_total->Add(1);
+    trace.plan = root->ExplainAnalyzeTree();
+    slow_log->Record(std::move(trace));
+  }
+}
+
+Result<std::string> StatementExecutor::ExplainAnalyze(
+    const SelectStatement& select, const std::string& sql,
+    const Snapshot& snap) {
+  const auto query_start = std::chrono::steady_clock::now();
+  std::shared_lock<std::shared_mutex> plan_gate(plan_mu_);
+  INSIGHT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(select));
+  Optimizer optimizer(db_->context(), db_->optimizer_options());
+  INSIGHT_ASSIGN_OR_RETURN(OpPtr op, optimizer.Optimize(std::move(plan)));
+  plan_gate.unlock();
+  ExecutionContext query_ctx = *db_->context()->exec_context();
+  query_ctx.set_snapshot(snap);
+  op->AttachContext(&query_ctx);
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
+  ObserveQuery(sql, op.get(),
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - query_start)
+                       .count()));
+  std::string out = "Physical plan (analyzed):\n" + op->ExplainAnalyzeTree();
+  char line[64];
+  std::snprintf(line, sizeof(line), "Rows returned: %zu\n", rows.size());
+  out += line;
+  return out;
+}
+
+}  // namespace insight

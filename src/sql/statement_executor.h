@@ -1,0 +1,90 @@
+#ifndef INSIGHTNOTES_SQL_STATEMENT_EXECUTOR_H_
+#define INSIGHTNOTES_SQL_STATEMENT_EXECUTOR_H_
+
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "txn/txn.h"
+
+namespace insight {
+
+class Database;
+
+/// Result of executing one statement.
+struct QueryResult {
+  Schema schema;
+  std::vector<Tuple> rows;            // Select-list values per output row.
+  std::vector<SummarySet> summaries;  // Parallel: propagated summary sets.
+  std::string message;                // DDL/utility acknowledgements.
+  std::vector<Annotation> annotations;  // ZOOM IN payload.
+
+  /// ASCII-table rendering (summaries shown inline when present).
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+/// The parse-plan-execute half of the old Database monolith: binds SELECTs
+/// into logical plans, optimizes, runs physical plans, materializes the
+/// select list, and dispatches mutation statements to the Database
+/// facade's journaled DML/DDL methods.
+///
+/// It carries NO locking or transaction policy. Callers (Database::Execute
+/// and friends) decide what gates to hold and which MVCC snapshot a query
+/// reads at; the executor stamps that snapshot onto a per-query copy of
+/// the ExecutionContext so every scan and index probe in the plan sees one
+/// consistent version of the world.
+class StatementExecutor {
+ public:
+  explicit StatementExecutor(Database* db) : db_(db) {}
+
+  StatementExecutor(const StatementExecutor&) = delete;
+  StatementExecutor& operator=(const StatementExecutor&) = delete;
+
+  /// Binds, optimizes, and (unless explain_only) executes a SELECT with
+  /// every read in the plan pinned to `snap`.
+  Result<QueryResult> ExecuteSelect(const SelectStatement& select,
+                                    bool explain_only, const std::string& sql,
+                                    const Snapshot& snap);
+
+  /// The non-SELECT arm: routes DML/DDL to the Database facade (which
+  /// owns journaling). The caller has already arranged gating and, for
+  /// DML, the transaction scope.
+  Result<QueryResult> ExecuteMutation(const Statement& stmt);
+
+  /// EXPLAIN ANALYZE body: executes batch-at-a-time at `snap` and renders
+  /// the plan with runtime counters.
+  Result<std::string> ExplainAnalyze(const SelectStatement& select,
+                                     const std::string& sql,
+                                     const Snapshot& snap);
+
+  /// Folds live summary statistics into the planner's cached TableStats
+  /// for every FROM table. Mutates shared planner state — the caller must
+  /// hold the write gate (so folds don't race writers' live-stat updates);
+  /// the internal plan gate additionally excludes concurrent planners.
+  Status RefreshSelectStats(const SelectStatement& select);
+
+  /// Binds FROM/WHERE into a logical plan (join routing included).
+  Result<LogicalPtr> BindSelect(const SelectStatement& select);
+
+ private:
+  /// Post-execution observability: query counters/latency, per-operator
+  /// estimated-vs-actual q-error (fed back to the optimizer statistics),
+  /// and the slow-query log.
+  void ObserveQuery(const std::string& statement, PhysicalOperator* root,
+                    uint64_t total_ns);
+
+  Database* db_;
+
+  /// Planner-statistics gate: TableStats/LiveLabelStatistics have no
+  /// internal locks, so stat folds (unique) must not overlap with
+  /// cardinality estimation (shared). Held only through bind+optimize,
+  /// never through execution — that is what keeps readers concurrent.
+  mutable std::shared_mutex plan_mu_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_SQL_STATEMENT_EXECUTOR_H_

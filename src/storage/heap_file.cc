@@ -128,7 +128,9 @@ size_t HeapFile::MaxInlineRecordSize() {
 
 Result<int> HeapFile::TryInsertInPage(PageId page_id, std::string_view cell,
                                       size_t capacity) {
-  INSIGHT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(file_, page_id));
+  INSIGHT_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      pool_->FetchPage(file_, page_id, LatchMode::kExclusive));
   char* page = guard.data();
   if (page[0] != static_cast<char>(kHeapPageType)) return -1;
 
@@ -190,7 +192,9 @@ Result<RowLocation> HeapFile::InsertCell(std::string_view cell,
     it = pages_with_space_.erase(it);
   }
   PageId page_id;
-  INSIGHT_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage(file_, &page_id));
+  INSIGHT_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      pool_->NewPage(file_, &page_id, LatchMode::kExclusive));
   InitHeapPage(guard.data());
   guard.MarkDirty();
   guard.Release();
@@ -233,11 +237,13 @@ Result<PageId> HeapFile::AllocOverflowPage(PageGuard* guard) {
   if (!free_overflow_.empty()) {
     const PageId page = free_overflow_.back();
     free_overflow_.pop_back();
-    INSIGHT_ASSIGN_OR_RETURN(*guard, pool_->FetchPage(file_, page));
+    INSIGHT_ASSIGN_OR_RETURN(
+        *guard, pool_->FetchPage(file_, page, LatchMode::kExclusive));
     return page;
   }
   PageId page;
-  INSIGHT_ASSIGN_OR_RETURN(*guard, pool_->NewPage(file_, &page));
+  INSIGHT_ASSIGN_OR_RETURN(*guard,
+                           pool_->NewPage(file_, &page, LatchMode::kExclusive));
   return page;
 }
 
@@ -258,8 +264,9 @@ Result<PageId> HeapFile::WriteOverflowChain(std::string_view payload) {
     guard.MarkDirty();
     guard.Release();
     if (prev != kInvalidPageId) {
-      INSIGHT_ASSIGN_OR_RETURN(PageGuard prev_guard,
-                               pool_->FetchPage(file_, prev));
+      INSIGHT_ASSIGN_OR_RETURN(
+          PageGuard prev_guard,
+          pool_->FetchPage(file_, prev, LatchMode::kExclusive));
       SetU32(prev_guard.data() + 1, page_id);
       prev_guard.MarkDirty();
     } else {
@@ -278,7 +285,8 @@ Result<std::string> HeapFile::ReadOverflowChain(PageId first,
   out.reserve(total);
   PageId cur = first;
   while (cur != kInvalidPageId) {
-    INSIGHT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(file_, cur));
+    INSIGHT_ASSIGN_OR_RETURN(
+        PageGuard guard, pool_->FetchPage(file_, cur, LatchMode::kShared));
     const char* page = guard.data();
     if (page[0] != static_cast<char>(kOverflowPageType)) {
       return Status::Corruption("overflow chain hits non-overflow page");
@@ -296,7 +304,8 @@ Result<std::string> HeapFile::ReadOverflowChain(PageId first,
 Status HeapFile::FreeOverflowChain(PageId first) {
   PageId cur = first;
   while (cur != kInvalidPageId) {
-    INSIGHT_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(file_, cur));
+    INSIGHT_ASSIGN_OR_RETURN(
+        PageGuard guard, pool_->FetchPage(file_, cur, LatchMode::kExclusive));
     char* page = guard.data();
     const PageId next = GetU32(page + 1);
     page[0] = 0;
@@ -308,8 +317,9 @@ Status HeapFile::FreeOverflowChain(PageId first) {
 }
 
 Result<std::string> HeapFile::Get(RowLocation loc) const {
-  INSIGHT_ASSIGN_OR_RETURN(PageGuard guard,
-                           pool_->FetchPage(file_, loc.page_id));
+  INSIGHT_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      pool_->FetchPage(file_, loc.page_id, LatchMode::kShared));
   const char* page = guard.data();
   if (page[0] != static_cast<char>(kHeapPageType)) {
     return Status::Corruption("not a heap page");
@@ -329,8 +339,9 @@ Result<std::string> HeapFile::Get(RowLocation loc) const {
 }
 
 Status HeapFile::Delete(RowLocation loc) {
-  INSIGHT_ASSIGN_OR_RETURN(PageGuard guard,
-                           pool_->FetchPage(file_, loc.page_id));
+  INSIGHT_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      pool_->FetchPage(file_, loc.page_id, LatchMode::kExclusive));
   char* page = guard.data();
   if (loc.slot >= SlotCount(page)) return Status::NotFound("slot");
   const uint16_t offset = SlotOffset(page, loc.slot);
@@ -339,7 +350,8 @@ Status HeapFile::Delete(RowLocation loc) {
     const PageId first = GetU32(page + offset + 1);
     guard.Release();
     INSIGHT_RETURN_NOT_OK(FreeOverflowChain(first));
-    INSIGHT_ASSIGN_OR_RETURN(guard, pool_->FetchPage(file_, loc.page_id));
+    INSIGHT_ASSIGN_OR_RETURN(
+        guard, pool_->FetchPage(file_, loc.page_id, LatchMode::kExclusive));
     page = guard.data();
   }
   // Keep the capacity in the dead slot entry for free-space accounting.
@@ -353,8 +365,9 @@ Result<RowLocation> HeapFile::Update(RowLocation loc,
                                      std::string_view record) {
   // In-place rewrite whenever the new cell fits the slot's capacity.
   if (record.size() + kInlineCellHeader <= MaxInlineRecordSize()) {
-    INSIGHT_ASSIGN_OR_RETURN(PageGuard guard,
-                             pool_->FetchPage(file_, loc.page_id));
+    INSIGHT_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        pool_->FetchPage(file_, loc.page_id, LatchMode::kExclusive));
     char* page = guard.data();
     if (loc.slot < SlotCount(page)) {
       const uint16_t offset = SlotOffset(page, loc.slot);
@@ -382,10 +395,55 @@ Result<RowLocation> HeapFile::Update(RowLocation loc,
   return Insert(record);
 }
 
+Status HeapFile::OverwriteRecordBytes(RowLocation loc, size_t offset,
+                                      std::string_view bytes) {
+  INSIGHT_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      pool_->FetchPage(file_, loc.page_id, LatchMode::kExclusive));
+  char* page = guard.data();
+  if (page[0] != static_cast<char>(kHeapPageType)) {
+    return Status::Corruption("not a heap page");
+  }
+  if (loc.slot >= SlotCount(page)) return Status::NotFound("slot");
+  const uint16_t cell = SlotOffset(page, loc.slot);
+  if (cell == 0) return Status::NotFound("deleted record");
+  if (page[cell] == '\0') {
+    const uint16_t len = GetU16(page + cell + 1);
+    if (offset + bytes.size() > len) {
+      return Status::InvalidArgument("record overwrite out of bounds");
+    }
+    std::memcpy(page + cell + kInlineCellHeader + offset, bytes.data(),
+                bytes.size());
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  const PageId first = GetU32(page + cell + 1);
+  const uint32_t total = GetU32(page + cell + 5);
+  if (offset + bytes.size() > total) {
+    return Status::InvalidArgument("record overwrite out of bounds");
+  }
+  guard.Release();
+  INSIGHT_ASSIGN_OR_RETURN(
+      PageGuard ovf, pool_->FetchPage(file_, first, LatchMode::kExclusive));
+  char* opage = ovf.data();
+  if (opage[0] != static_cast<char>(kOverflowPageType)) {
+    return Status::Corruption("overflow chain hits non-overflow page");
+  }
+  const uint32_t chunk_len = GetU32(opage + 5);
+  if (offset + bytes.size() > chunk_len) {
+    return Status::InvalidArgument(
+        "record overwrite crosses overflow chunks");
+  }
+  std::memcpy(opage + kOverflowHeader + offset, bytes.data(), bytes.size());
+  ovf.MarkDirty();
+  return Status::OK();
+}
+
 bool HeapFile::Iterator::Next(RowLocation* loc, std::string* record) {
   while (true) {
     if (page_ >= end_) return false;  // Range morsel exhausted.
-    auto guard_result = heap_->pool_->FetchPage(heap_->file_, page_);
+    auto guard_result =
+        heap_->pool_->FetchPage(heap_->file_, page_, LatchMode::kShared);
     if (!guard_result.ok()) return false;  // Past last page.
     PageGuard guard = std::move(guard_result).ValueOrDie();
     const char* page = guard.data();

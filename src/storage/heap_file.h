@@ -49,6 +49,14 @@ class HeapFile {
   /// Rewrites the record. Returns the (possibly new) location.
   Result<RowLocation> Update(RowLocation loc, std::string_view record);
 
+  /// Overwrites `bytes` at byte offset `offset` inside the stored record
+  /// without moving it (MVCC version restamping: begin/end timestamps
+  /// live in a fixed-width record prefix). The overwritten span must lie
+  /// within the record's existing bytes and, for overflow records, within
+  /// the first chunk of the chain.
+  Status OverwriteRecordBytes(RowLocation loc, size_t offset,
+                              std::string_view bytes);
+
   /// Forward scan over all live records, or over the page range
   /// [begin, end) for morsel-driven parallel scans (each worker walks a
   /// disjoint range; records whose home slot lies in the range are

@@ -92,13 +92,48 @@ bool SummaryManager::HasInstance(uint32_t instance_id) const {
   return false;
 }
 
-Result<Oid> SummaryManager::FindStorageRow(Oid tuple_oid) const {
+Result<Oid> SummaryManager::FindStorageRow(Oid tuple_oid,
+                                           const Snapshot& snap) const {
   const BTree* idx = storage_->GetColumnIndex("tuple_oid");
   INSIGHT_ASSIGN_OR_RETURN(
       std::vector<uint64_t> hits,
       idx->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(tuple_oid)))));
-  if (hits.empty()) return kInvalidOid;
-  return static_cast<Oid>(hits.front());
+  for (uint64_t hit : hits) {
+    auto row = storage_->Get(static_cast<Oid>(hit), snap);
+    if (!row.ok()) {
+      if (row.status().IsNotFound()) continue;  // Invisible version.
+      return row.status();
+    }
+    if (static_cast<Oid>(row.ValueOrDie().at(0).AsInt()) != tuple_oid) {
+      continue;  // Stale index entry from a sibling version.
+    }
+    return static_cast<Oid>(hit);
+  }
+  return kInvalidOid;
+}
+
+Result<Oid> SummaryManager::FindStorageRowForWrite(Oid tuple_oid,
+                                                   const Snapshot& snap) const {
+  const BTree* idx = storage_->GetColumnIndex("tuple_oid");
+  INSIGHT_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> hits,
+      idx->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(tuple_oid)))));
+  for (uint64_t hit : hits) {
+    auto row = storage_->Get(static_cast<Oid>(hit), snap);
+    if (row.ok()) {
+      if (static_cast<Oid>(row.ValueOrDie().at(0).AsInt()) != tuple_oid) {
+        continue;
+      }
+      return static_cast<Oid>(hit);
+    }
+    if (!row.status().IsNotFound()) return row.status();
+    // The storage row exists but is invisible. If another open
+    // transaction created it (or committed it past our snapshot), two
+    // writers are racing to summarize the same tuple: first writer wins.
+    INSIGHT_RETURN_NOT_OK(
+        storage_->CheckInsertConflict(static_cast<Oid>(hit), snap));
+  }
+  return kInvalidOid;
 }
 
 Status SummaryManager::SaveSummaries(Oid tuple_oid, Oid storage_row,
@@ -144,7 +179,11 @@ void SummaryManager::RemoveListener(ListenerId id) {
 
 AnnotationResolver SummaryManager::MakeResolver() const {
   AnnotationStore* store = annotations_;
-  return [store](AnnId id) { return store->GetText(id); };
+  return [store](AnnId id) {
+    Transaction* txn = CurrentTxn();
+    return store->GetText(
+        id, txn != nullptr ? txn->snapshot() : Snapshot::Latest());
+  };
 }
 
 Result<AnnId> SummaryManager::AddAnnotation(
@@ -164,16 +203,19 @@ Status SummaryManager::AddAnnotationWithId(
 Status SummaryManager::SummarizeAdded(
     AnnId ann, const std::string& text,
     const std::vector<AnnotationTarget>& targets) {
+  Transaction* txn = CurrentTxn();
+  const Snapshot snap = txn != nullptr ? txn->snapshot() : Snapshot::Latest();
   // Group targets per tuple (an annotation may span cells of one tuple).
   std::map<Oid, uint64_t> per_tuple;
   for (const AnnotationTarget& t : targets) {
     per_tuple[t.oid] |= t.column_mask;
   }
   for (const auto& [oid, mask] : per_tuple) {
-    INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid));
+    INSIGHT_ASSIGN_OR_RETURN(Oid storage_row,
+                             FindStorageRowForWrite(oid, snap));
     SummarySet set;
     if (storage_row != kInvalidOid) {
-      INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row));
+      INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row, snap));
       INSIGHT_ASSIGN_OR_RETURN(set,
                                SummarySet::Deserialize(row.at(1).AsString()));
     }
@@ -218,14 +260,17 @@ Status SummaryManager::SummarizeAdded(
 }
 
 Status SummaryManager::RemoveAnnotation(AnnId ann) {
+  Transaction* txn = CurrentTxn();
+  const Snapshot snap = txn != nullptr ? txn->snapshot() : Snapshot::Latest();
   INSIGHT_ASSIGN_OR_RETURN(std::vector<Oid> tuples,
-                           annotations_->TuplesFor(ann));
+                           annotations_->TuplesFor(ann, snap));
 
   const AnnotationResolver resolver = MakeResolver();
   for (Oid oid : tuples) {
-    INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid));
+    INSIGHT_ASSIGN_OR_RETURN(Oid storage_row,
+                             FindStorageRowForWrite(oid, snap));
     if (storage_row == kInvalidOid) continue;
-    INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row));
+    INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row, snap));
     INSIGHT_ASSIGN_OR_RETURN(SummarySet set,
                              SummarySet::Deserialize(row.at(1).AsString()));
     for (const SummaryInstance& inst : instances_) {
@@ -243,9 +288,11 @@ Status SummaryManager::RemoveAnnotation(AnnId ann) {
 }
 
 Status SummaryManager::OnTupleDeleted(Oid oid) {
-  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid));
+  Transaction* txn = CurrentTxn();
+  const Snapshot snap = txn != nullptr ? txn->snapshot() : Snapshot::Latest();
+  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRowForWrite(oid, snap));
   if (storage_row == kInvalidOid) return Status::OK();
-  INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row));
+  INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row, snap));
   INSIGHT_ASSIGN_OR_RETURN(SummarySet set,
                            SummarySet::Deserialize(row.at(1).AsString()));
   for (const SummaryObject& obj : set.objects()) {
@@ -254,10 +301,11 @@ Status SummaryManager::OnTupleDeleted(Oid oid) {
   return storage_->Delete(storage_row);
 }
 
-Result<SummarySet> SummaryManager::GetSummaries(Oid oid) const {
-  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid));
+Result<SummarySet> SummaryManager::GetSummaries(Oid oid,
+                                                const Snapshot& snap) const {
+  INSIGHT_ASSIGN_OR_RETURN(Oid storage_row, FindStorageRow(oid, snap));
   if (storage_row == kInvalidOid) return SummarySet();
-  INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row));
+  INSIGHT_ASSIGN_OR_RETURN(Tuple row, storage_->Get(storage_row, snap));
   return SummarySet::Deserialize(row.at(1).AsString());
 }
 

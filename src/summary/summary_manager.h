@@ -58,15 +58,18 @@ class SummaryManager {
   /// listeners (index entries must go too).
   Status OnTupleDeleted(Oid oid);
 
-  /// The tuple's summary set (empty when un-annotated). This is the
-  /// propagation fast path: one index probe + one de-normalized row read.
-  Result<SummarySet> GetSummaries(Oid oid) const;
+  /// The tuple's summary set (empty when un-annotated) as visible to
+  /// `snap`. This is the propagation fast path: one index probe + one
+  /// de-normalized row read.
+  Result<SummarySet> GetSummaries(
+      Oid oid, const Snapshot& snap = Snapshot::Latest()) const;
 
   /// OID of the tuple's `<rel>_SummaryStorage` row (kInvalidOid when the
   /// tuple is un-annotated). Conventional-pointer summary indexes store
   /// this as their payload.
-  Result<Oid> StorageRowFor(Oid tuple_oid) const {
-    return FindStorageRow(tuple_oid);
+  Result<Oid> StorageRowFor(Oid tuple_oid,
+                            const Snapshot& snap = Snapshot::Latest()) const {
+    return FindStorageRow(tuple_oid, snap);
   }
 
   /// The de-normalized storage table itself (1-1 with annotated tuples).
@@ -105,8 +108,17 @@ class SummaryManager {
   SummaryManager(Table* base, AnnotationStore* annotations)
       : base_(base), annotations_(annotations) {}
 
-  /// Storage-row OID for a tuple, or kInvalidOid when absent.
-  Result<Oid> FindStorageRow(Oid tuple_oid) const;
+  /// Storage-row OID for a tuple as visible to `snap`, or kInvalidOid
+  /// when absent.
+  Result<Oid> FindStorageRow(Oid tuple_oid, const Snapshot& snap) const;
+
+  /// FindStorageRow for the write path: additionally returns kAborted
+  /// (first-writer-wins) when the tuple's storage row exists but is
+  /// invisible because another open transaction created or superseded it
+  /// — two concurrent annotators of one tuple must not both insert a
+  /// storage row.
+  Result<Oid> FindStorageRowForWrite(Oid tuple_oid,
+                                     const Snapshot& snap) const;
 
   /// Incremental maintenance shared by AddAnnotation / AddAnnotationWithId:
   /// folds a freshly stored annotation into every targeted tuple's

@@ -1,0 +1,151 @@
+#ifndef INSIGHTNOTES_TXN_TRANSACTION_MANAGER_H_
+#define INSIGHTNOTES_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "txn/txn.h"
+
+namespace insight {
+
+class TransactionManager;
+
+/// RAII lease on a read timestamp. While alive, the epoch-based garbage
+/// collector will not reclaim any version the leased snapshot can see.
+/// Every reader — an open transaction or a single autonomous statement —
+/// holds one for the duration of its reads.
+class SnapshotLease {
+ public:
+  SnapshotLease() = default;
+  SnapshotLease(TransactionManager* mgr, Ts read_ts);
+  ~SnapshotLease();
+
+  SnapshotLease(SnapshotLease&& other) noexcept;
+  SnapshotLease& operator=(SnapshotLease&& other) noexcept;
+  SnapshotLease(const SnapshotLease&) = delete;
+  SnapshotLease& operator=(const SnapshotLease&) = delete;
+
+  Ts read_ts() const { return read_ts_; }
+  void Release();
+
+ private:
+  TransactionManager* mgr_ = nullptr;
+  Ts read_ts_ = 0;
+};
+
+/// Owns MVCC policy for one database: timestamp allocation, snapshot
+/// acquisition, transaction lifecycle (first-writer-wins conflicts are
+/// detected in the storage layers and surface as kAborted), and
+/// epoch-based garbage collection of dead versions.
+///
+/// Concurrency contract:
+///   - `write_mu()` is THE write gate: every statement that mutates data
+///     holds it while applying, as do commit, abort, GC, and checkpoint.
+///     Writes are serialized; that is the design point — readers never
+///     take it, which is what retires the old statement gate.
+///   - It is recursive because write application can trigger a WAL
+///     auto-checkpoint, which re-enters to quiesce writers.
+///   - Readers only touch the atomic clock and the lease registry.
+class TransactionManager {
+ public:
+  /// Durability hooks supplied by the WAL-owning layer. `commit` must
+  /// append the commit record and force it durable before returning OK;
+  /// a failed commit hook aborts the transaction. Null hooks are no-ops
+  /// (in-memory / replay operation).
+  struct WalHooks {
+    std::function<Status(const Transaction&)> begin;
+    std::function<Status(const Transaction&, Ts commit_ts)> commit;
+    std::function<Status(const Transaction&)> abort;
+  };
+
+  TransactionManager() = default;
+  ~TransactionManager();
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  void SetWalHooks(WalHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Opens a transaction with a snapshot of the current committed state.
+  Result<Transaction*> Begin();
+
+  /// Looks up an open transaction by id (null when unknown/finished).
+  Transaction* Find(uint64_t txn_id);
+
+  /// Commits: allocates the commit timestamp, makes the commit record
+  /// durable, restamps the write set, then publishes the new clock so
+  /// readers see the transaction atomically. Schedules dead versions for
+  /// GC. The transaction handle is invalid afterwards.
+  Status Commit(uint64_t txn_id);
+
+  /// Rolls back: undoes the write set in reverse order and logs an abort
+  /// record. The transaction handle is invalid afterwards.
+  Status Abort(uint64_t txn_id);
+
+  /// Snapshot of the latest committed state (autonomous statements).
+  Snapshot LatestSnapshot() const {
+    return Snapshot{clock_.load(std::memory_order_acquire), 0};
+  }
+
+  /// Leases `read_ts` against garbage collection.
+  SnapshotLease Lease(Ts read_ts);
+
+  /// The write gate (see class comment).
+  std::recursive_mutex& write_mu() { return write_mu_; }
+
+  /// Runs every GC closure whose dead-since timestamp is no longer
+  /// visible to any leased snapshot. Called under write_mu() after
+  /// commit/abort; callable explicitly from tests.
+  void RunReadyGc();
+
+  /// Last committed timestamp.
+  Ts clock() const { return clock_.load(std::memory_order_acquire); }
+
+  uint64_t txns_begun() const { return txns_begun_; }
+  uint64_t txns_committed() const { return txns_committed_; }
+  uint64_t txns_aborted() const { return txns_aborted_; }
+  size_t active_txns() const;
+  size_t gc_pending() const;
+  uint64_t gc_runs() const { return gc_runs_; }
+
+ private:
+  friend class SnapshotLease;
+
+  void ReleaseLease(Ts read_ts);
+  /// Oldest read timestamp any live snapshot may use; clock when idle.
+  Ts MinActiveReadTs() const;
+  Status FinishAbortLocked(Transaction* txn);
+
+  WalHooks hooks_;
+
+  std::recursive_mutex write_mu_;
+
+  // Last committed timestamp; published only after the committing
+  // transaction's versions are fully restamped.
+  std::atomic<Ts> clock_{0};
+  std::atomic<uint64_t> next_txn_id_{1};
+
+  mutable std::mutex mu_;  // Guards txns_ and leases_.
+  std::map<uint64_t, std::unique_ptr<Transaction>> txns_;
+  std::multiset<Ts> leases_;
+
+  // Dead versions awaiting reclamation, keyed by the commit timestamp
+  // that killed them. Drained under write_mu_.
+  std::multimap<Ts, std::function<Status(Ts)>> gc_queue_;
+
+  uint64_t txns_begun_ = 0;
+  uint64_t txns_committed_ = 0;
+  uint64_t txns_aborted_ = 0;
+  uint64_t gc_runs_ = 0;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,17 @@
+#include "txn/txn.h"
+
+namespace insight {
+
+namespace {
+thread_local Transaction* t_current_txn = nullptr;
+}  // namespace
+
+Transaction* CurrentTxn() { return t_current_txn; }
+
+TxnScope::TxnScope(Transaction* txn) : prev_(t_current_txn) {
+  t_current_txn = txn;
+}
+
+TxnScope::~TxnScope() { t_current_txn = prev_; }
+
+}  // namespace insight

@@ -1,0 +1,130 @@
+#ifndef INSIGHTNOTES_TXN_TXN_H_
+#define INSIGHTNOTES_TXN_TXN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace insight {
+
+/// Commit timestamp / version stamp. Committed versions carry plain
+/// timestamps in [1, kTsInfinity); an uncommitted version written by
+/// transaction T carries `kTxnBit | T` until commit restamps it.
+using Ts = uint64_t;
+
+/// High bit marks "stamp is a transaction id, not a timestamp".
+inline constexpr Ts kTxnBit = 1ull << 63;
+
+/// End stamp of a live version: "never deleted". Also the exclusive upper
+/// bound of real commit timestamps.
+inline constexpr Ts kTsInfinity = kTxnBit - 1;
+
+/// Read timestamp that sees every committed version and no uncommitted
+/// one — the legacy "latest state" view used by non-transactional code
+/// (WAL replay, embedded direct API, checkpoint snapshots).
+inline constexpr Ts kLatestTs = kTsInfinity - 1;
+
+inline constexpr bool IsTxnStamp(Ts ts) { return (ts & kTxnBit) != 0; }
+inline constexpr uint64_t StampTxnId(Ts ts) { return ts & ~kTxnBit; }
+inline constexpr Ts MakeTxnStamp(uint64_t txn_id) { return kTxnBit | txn_id; }
+
+/// What one reader is allowed to see: every version committed at or
+/// before `read_ts`, plus the uncommitted writes of its own transaction.
+/// Copyable by value; threaded through scans and index probes.
+struct Snapshot {
+  Ts read_ts = kLatestTs;
+  uint64_t txn_id = 0;  // 0 = not inside a transaction.
+
+  /// Latest-committed-state view (non-transactional reads).
+  static Snapshot Latest() { return Snapshot{}; }
+};
+
+/// MVCC visibility check: is a version stamped [begin, end) visible to
+/// `snap`? A version is visible iff it was created by the snapshot's own
+/// transaction or committed at/before read_ts, AND it was not yet deleted
+/// at read_ts (deletions by the snapshot's own transaction count).
+inline bool VersionVisible(Ts begin, Ts end, const Snapshot& snap) {
+  if (IsTxnStamp(begin)) {
+    if (StampTxnId(begin) != snap.txn_id) return false;
+  } else if (begin > snap.read_ts) {
+    return false;
+  }
+  if (IsTxnStamp(end)) {
+    // Deleted by an uncommitted transaction: still visible to everyone
+    // except that transaction itself.
+    return StampTxnId(end) != snap.txn_id;
+  }
+  return end > snap.read_ts;
+}
+
+/// One open transaction. Storage layers register physical side effects on
+/// it while applying writes; TransactionManager drains those lists at
+/// commit (restamp + schedule GC) or abort (undo, reverse order).
+///
+/// Not thread-safe: a transaction belongs to one session and the engine
+/// serializes write application, so registration is single-threaded.
+class Transaction {
+ public:
+  enum class State { kActive, kCommitted, kAborted };
+
+  Transaction(uint64_t id, Ts read_ts) : id_(id), read_ts_(read_ts) {}
+
+  uint64_t id() const { return id_; }
+  Ts read_ts() const { return read_ts_; }
+  State state() const { return state_; }
+  /// Stamp carried by this transaction's uncommitted versions.
+  Ts stamp() const { return MakeTxnStamp(id_); }
+  Snapshot snapshot() const { return Snapshot{read_ts_, id_}; }
+
+  /// Runs at commit with the allocated commit timestamp (restamping).
+  void OnCommit(std::function<void(Ts commit_ts)> fn) {
+    commit_ops_.push_back(std::move(fn));
+  }
+  /// Runs at abort, in reverse registration order (physical undo).
+  void OnAbort(std::function<void()> fn) {
+    abort_ops_.push_back(std::move(fn));
+  }
+  /// Runs after commit once no live snapshot can still see the version
+  /// this write superseded (physical reclamation of dead versions). The
+  /// closure receives the GC horizon: reclaim only versions whose
+  /// committed end stamp is <= horizon.
+  void OnGc(std::function<Status(Ts horizon)> fn) {
+    gc_ops_.push_back(std::move(fn));
+  }
+
+  size_t num_writes() const { return commit_ops_.size() + abort_ops_.size(); }
+
+ private:
+  friend class TransactionManager;
+
+  const uint64_t id_;
+  const Ts read_ts_;
+  State state_ = State::kActive;
+  std::vector<std::function<void(Ts)>> commit_ops_;
+  std::vector<std::function<void()>> abort_ops_;
+  std::vector<std::function<Status(Ts)>> gc_ops_;
+};
+
+/// The transaction the current thread is applying writes under, or null.
+/// Table and Summary-BTree write paths consult this to decide between
+/// versioned (transactional) and immediately-committed (legacy) behavior.
+Transaction* CurrentTxn();
+
+/// RAII scope that installs a transaction as the thread's current one.
+class TxnScope {
+ public:
+  explicit TxnScope(Transaction* txn);
+  ~TxnScope();
+
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+
+ private:
+  Transaction* prev_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_TXN_TXN_H_

@@ -55,6 +55,14 @@ const std::vector<std::string>& RegisteredCrashPoints() {
       "checkpoint_after_flush",   // Pages flushed, end record not written.
       "checkpoint_end",           // Checkpoint sealed and durable.
       "sbtree_maintenance",       // Summary-BTree upkeep mid-flight.
+      "txn_commit_appended",      // Commit record buffered, not yet durable:
+                                  // recovery must drop the whole txn unless
+                                  // the record reached the disk.
+      "txn_commit_durable",       // Commit record fsynced, ack unsent: the
+                                  // txn is committed and must survive.
+      "txn_abort_mid",            // In-memory undo done, abort record not
+                                  // yet appended; replay must still skip
+                                  // every op of the unfinished txn.
   };
   return kPoints;
 }

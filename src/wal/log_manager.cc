@@ -78,7 +78,7 @@ std::vector<WalRecord> LogManager::ScanValidPrefix(std::string_view data,
     WalRecord record;
     uint8_t type;
     if (!reader.ReadU64(&record.lsn) || !reader.ReadU8(&type)) break;
-    if (type > static_cast<uint8_t>(WalRecordType::kCheckpointEnd)) break;
+    if (type > static_cast<uint8_t>(WalRecordType::kTxnBegin)) break;
     if (record.lsn != expected) break;  // LSNs are dense by construction.
     record.type = static_cast<WalRecordType>(type);
     record.payload.assign(body.substr(9));

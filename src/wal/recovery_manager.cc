@@ -1,5 +1,8 @@
 #include "wal/recovery_manager.h"
 
+#include <map>
+#include <utility>
+
 namespace insight {
 
 Status RecoveryManager::ApplyOne(WalRecordType type, std::string_view payload,
@@ -8,7 +11,17 @@ Status RecoveryManager::ApplyOne(WalRecordType type, std::string_view payload,
     case WalRecordType::kNoop:
     case WalRecordType::kCheckpointBegin:
     case WalRecordType::kCheckpointEnd:
+    case WalRecordType::kTxnBegin:
+    case WalRecordType::kTxnCommit:
+    case WalRecordType::kTxnAbort:
       return Status::OK();
+    case WalRecordType::kTxnOp: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalTxnOp::Decode(payload));
+      if (op.inner_type == WalRecordType::kTxnOp) {
+        return Status::Corruption("wal: nested TxnOp");
+      }
+      return ApplyOne(op.inner_type, op.inner_payload, target);
+    }
     case WalRecordType::kCreateTable: {
       INSIGHT_ASSIGN_OR_RETURN(auto op, WalCreateTable::Decode(payload));
       return target->ReplayCreateTable(op);
@@ -92,11 +105,55 @@ Result<RecoveryManager::Stats> RecoveryManager::Replay(
     }
   }
 
+  // Pass 1: buffer transactional ops by txn id over the WHOLE valid log,
+  // not just the tail — a txn may log ops before a checkpoint and commit
+  // after it; the snapshot (committed state only) cannot contain them.
+  std::map<uint64_t, std::vector<const WalRecord*>> txn_ops;
+  for (const WalRecord& rec : records) {
+    if (rec.type != WalRecordType::kTxnOp) continue;
+    INSIGHT_ASSIGN_OR_RETURN(WalTxnOp op, WalTxnOp::Decode(rec.payload));
+    txn_ops[op.txn_id].push_back(&rec);
+  }
+
+  // Pass 2: the tail. Plain records apply directly; a commit record
+  // flushes its txn's buffered ops in original log order. Ops of txns
+  // that committed before the checkpoint are already inside the snapshot
+  // and their commit record sits before start_index, so they never
+  // re-apply. Aborted and dangling txns simply never flush.
   for (size_t i = start_index; i < records.size(); ++i) {
-    INSIGHT_RETURN_NOT_OK(
-        ApplyOne(records[i].type, records[i].payload, target));
+    const WalRecord& rec = records[i];
+    switch (rec.type) {
+      case WalRecordType::kTxnOp:
+      case WalRecordType::kTxnBegin:
+        break;  // Buffered / bookkeeping only.
+      case WalRecordType::kTxnAbort:
+        ++stats.txns_discarded;
+        break;
+      case WalRecordType::kTxnCommit: {
+        INSIGHT_ASSIGN_OR_RETURN(WalTxnCommit commit,
+                                 WalTxnCommit::Decode(rec.payload));
+        auto it = txn_ops.find(commit.txn_id);
+        if (it != txn_ops.end()) {
+          for (const WalRecord* op_rec : it->second) {
+            INSIGHT_RETURN_NOT_OK(
+                ApplyOne(op_rec->type, op_rec->payload, target));
+            ++stats.txn_ops_applied;
+          }
+          txn_ops.erase(it);
+        }
+        ++stats.txns_committed;
+        break;
+      }
+      default:
+        INSIGHT_RETURN_NOT_OK(ApplyOne(rec.type, rec.payload, target));
+        break;
+    }
     ++stats.records_applied;
   }
+  // Whatever is still buffered belongs to txns with no commit in the
+  // tail: crashed mid-flight, rolled back, or committed before the
+  // checkpoint (already in the snapshot). None of it replays.
+  stats.txns_discarded += txn_ops.size();
   return stats;
 }
 

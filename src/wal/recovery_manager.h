@@ -36,6 +36,14 @@ class ReplayTarget {
 /// log order. With no complete checkpoint the whole log replays from the
 /// beginning. Summary storage and summary indexes are rebuilt by the
 /// replayed maintenance itself (Section 4.3's protocol re-applied).
+///
+/// Transactions make replay two-pass. Pass 1 buffers every kTxnOp by its
+/// owning txn id across the whole valid log (a txn may start before a
+/// checkpoint and commit after it). Pass 2 walks the tail: plain records
+/// apply directly; a kTxnCommit record flushes its txn's buffered ops, in
+/// original log order, through the same dispatch. Txns with no commit
+/// record on disk — explicitly aborted or cut off by the crash — are
+/// never applied, so recovery surfaces only committed state.
 class RecoveryManager {
  public:
   struct Stats {
@@ -43,6 +51,9 @@ class RecoveryManager {
     size_t records_applied = 0;   // Replayed after the checkpoint.
     size_t snapshot_ops = 0;      // Ops restored from the snapshot.
     Lsn checkpoint_begin_lsn = kInvalidLsn;  // 0 = no complete checkpoint.
+    size_t txns_committed = 0;    // Txns whose ops were replayed.
+    size_t txns_discarded = 0;    // Aborted or dangling txns dropped.
+    size_t txn_ops_applied = 0;   // Buffered ops replayed at commits.
   };
 
   /// Replays `records` (the log's valid prefix, in LSN order) into

@@ -32,6 +32,14 @@ const char* WalRecordTypeToString(WalRecordType type) {
       return "CheckpointBegin";
     case WalRecordType::kCheckpointEnd:
       return "CheckpointEnd";
+    case WalRecordType::kTxnCommit:
+      return "TxnCommit";
+    case WalRecordType::kTxnAbort:
+      return "TxnAbort";
+    case WalRecordType::kTxnOp:
+      return "TxnOp";
+    case WalRecordType::kTxnBegin:
+      return "TxnBegin";
   }
   return "Unknown";
 }
@@ -303,6 +311,68 @@ Result<WalCheckpointEnd> WalCheckpointEnd::Decode(std::string_view payload) {
   SerdeReader reader(payload);
   WalCheckpointEnd rec;
   if (!reader.ReadU64(&rec.begin_lsn)) return CorruptPayload("CheckpointEnd");
+  return rec;
+}
+
+namespace {
+
+std::string EncodeTxnId(uint64_t txn_id) {
+  std::string out;
+  PutU64(&out, txn_id);
+  return out;
+}
+
+bool DecodeTxnId(std::string_view payload, uint64_t* txn_id) {
+  SerdeReader reader(payload);
+  return reader.ReadU64(txn_id);
+}
+
+}  // namespace
+
+std::string WalTxnBegin::Encode() const { return EncodeTxnId(txn_id); }
+
+Result<WalTxnBegin> WalTxnBegin::Decode(std::string_view payload) {
+  WalTxnBegin rec;
+  if (!DecodeTxnId(payload, &rec.txn_id)) return CorruptPayload("TxnBegin");
+  return rec;
+}
+
+std::string WalTxnCommit::Encode() const { return EncodeTxnId(txn_id); }
+
+Result<WalTxnCommit> WalTxnCommit::Decode(std::string_view payload) {
+  WalTxnCommit rec;
+  if (!DecodeTxnId(payload, &rec.txn_id)) return CorruptPayload("TxnCommit");
+  return rec;
+}
+
+std::string WalTxnAbort::Encode() const { return EncodeTxnId(txn_id); }
+
+Result<WalTxnAbort> WalTxnAbort::Decode(std::string_view payload) {
+  WalTxnAbort rec;
+  if (!DecodeTxnId(payload, &rec.txn_id)) return CorruptPayload("TxnAbort");
+  return rec;
+}
+
+std::string WalTxnOp::Encode() const {
+  std::string out;
+  PutU64(&out, txn_id);
+  PutU8(&out, static_cast<uint8_t>(inner_type));
+  PutString(&out, inner_payload);
+  return out;
+}
+
+Result<WalTxnOp> WalTxnOp::Decode(std::string_view payload) {
+  SerdeReader reader(payload);
+  WalTxnOp rec;
+  uint8_t inner;
+  if (!reader.ReadU64(&rec.txn_id) || !reader.ReadU8(&inner) ||
+      !reader.ReadString(&rec.inner_payload)) {
+    return CorruptPayload("TxnOp");
+  }
+  if (inner > static_cast<uint8_t>(WalRecordType::kTxnBegin)) {
+    return CorruptPayload("TxnOp inner type");
+  }
+  rec.inner_type = static_cast<WalRecordType>(inner);
   return rec;
 }
 

@@ -37,6 +37,15 @@ enum class WalRecordType : uint8_t {
   kCreateIndex = 9,
   kCheckpointBegin = 10,  // Payload: WalSnapshot.
   kCheckpointEnd = 11,    // Payload: LSN of the matching begin record.
+  // Multi-statement transactions. Statements inside an explicit txn log
+  // as kTxnOp wrappers (txn id + the inner record they would have been);
+  // the commit record is the txn's durability point. Recovery replays a
+  // txn's ops only when its commit record made it to disk — an aborted
+  // or dangling txn leaves no trace after replay.
+  kTxnCommit = 12,  // Payload: WalTxnCommit.
+  kTxnAbort = 13,   // Payload: WalTxnAbort.
+  kTxnOp = 14,      // Payload: WalTxnOp.
+  kTxnBegin = 15,   // Payload: WalTxnBegin.
 };
 
 const char* WalRecordTypeToString(WalRecordType type);
@@ -151,6 +160,40 @@ struct WalCheckpointEnd {
 
   std::string Encode() const;
   static Result<WalCheckpointEnd> Decode(std::string_view payload);
+};
+
+struct WalTxnBegin {
+  uint64_t txn_id = 0;
+
+  std::string Encode() const;
+  static Result<WalTxnBegin> Decode(std::string_view payload);
+};
+
+struct WalTxnCommit {
+  uint64_t txn_id = 0;
+
+  std::string Encode() const;
+  static Result<WalTxnCommit> Decode(std::string_view payload);
+};
+
+struct WalTxnAbort {
+  uint64_t txn_id = 0;
+
+  std::string Encode() const;
+  static Result<WalTxnAbort> Decode(std::string_view payload);
+};
+
+/// One statement executed inside an explicit transaction: the record it
+/// would have logged in autocommit mode, wrapped with the owning txn id.
+/// Recovery buffers these per-txn and replays them (in log order, through
+/// the ordinary dispatch) iff the txn's commit record is on disk.
+struct WalTxnOp {
+  uint64_t txn_id = 0;
+  WalRecordType inner_type = WalRecordType::kNoop;
+  std::string inner_payload;
+
+  std::string Encode() const;
+  static Result<WalTxnOp> Decode(std::string_view payload);
 };
 
 /// A checkpoint-begin payload: the database's logical state, expressed as

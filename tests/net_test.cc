@@ -415,5 +415,98 @@ TEST_F(NetEndToEndTest, ManySequentialConnections) {
   }
 }
 
+TEST_F(NetEndToEndTest, TransactionSpansFramesOnOneSession) {
+  StartServer();
+  auto writer = Connect();
+  auto observer = Connect();
+  ASSERT_NE(writer, nullptr);
+  ASSERT_NE(observer, nullptr);
+  ASSERT_TRUE(writer->Execute("CREATE TABLE Birds (name STRING)").ok());
+
+  auto begun = writer->Execute("BEGIN");
+  ASSERT_TRUE(begun.ok()) << begun.status().ToString();
+  EXPECT_NE(begun->message.find("started"), std::string::npos);
+  ASSERT_TRUE(writer->Execute("INSERT INTO Birds VALUES ('mine')").ok());
+
+  // The transaction is pinned to the writer's session: its own reads see
+  // the row, the other session does not.
+  auto own = writer->Execute("SELECT * FROM Birds");
+  ASSERT_TRUE(own.ok()) << own.status().ToString();
+  EXPECT_EQ(own->rows.size(), 1u);
+  auto other = observer->Execute("SELECT * FROM Birds");
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  EXPECT_EQ(other->rows.size(), 0u);
+
+  ASSERT_TRUE(writer->Execute("COMMIT").ok());
+  auto after = observer->Execute("SELECT * FROM Birds");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->rows.size(), 1u);
+}
+
+TEST_F(NetEndToEndTest, ConflictStatusIsRetryableOverTheWire) {
+  StartServer();
+  // The classifier definition API is embedded-only; set it up directly.
+  ASSERT_TRUE(db_->Execute("CREATE TABLE Birds (name STRING)").ok());
+  ASSERT_TRUE(db_->DefineClassifier("C", {"Disease", "Other"},
+                                    {{"diseaseword infection", "Disease"},
+                                     {"otherword note", "Other"}})
+                  .ok());
+  ASSERT_TRUE(db_->Execute("ALTER TABLE Birds ADD INDEXABLE C").ok());
+  ASSERT_TRUE(db_->Execute("INSERT INTO Birds VALUES ('shared')").ok());
+
+  auto winner = Connect();
+  auto loser = Connect();
+  ASSERT_NE(winner, nullptr);
+  ASSERT_NE(loser, nullptr);
+  ASSERT_TRUE(winner->Execute("BEGIN").ok());
+  ASSERT_TRUE(loser->Execute("BEGIN").ok());
+  ASSERT_TRUE(
+      winner->Execute("ANNOTATE Birds TUPLE 1 WITH 'diseaseword first'")
+          .ok());
+
+  auto conflicted =
+      loser->Execute("ANNOTATE Birds TUPLE 1 WITH 'diseaseword second'");
+  ASSERT_FALSE(conflicted.ok());
+  // The kAborted code survives the wire round-trip and is flagged as a
+  // retry-from-BEGIN error on the client.
+  EXPECT_EQ(conflicted.status().code(), StatusCode::kAborted)
+      << conflicted.status().ToString();
+  EXPECT_TRUE(InsightClient::IsRetryable(conflicted.status()));
+  EXPECT_TRUE(loser->last_error_retryable());
+
+  ASSERT_TRUE(winner->Execute("COMMIT").ok());
+
+  // The loser's session survived and a fresh attempt succeeds.
+  ASSERT_TRUE(loser->Execute("BEGIN").ok());
+  ASSERT_TRUE(
+      loser->Execute("ANNOTATE Birds TUPLE 1 WITH 'diseaseword retry'").ok());
+  auto committed = loser->Execute("COMMIT");
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_FALSE(loser->last_error_retryable());
+}
+
+TEST_F(NetEndToEndTest, DisconnectMidTransactionRollsBack) {
+  StartServer();
+  ASSERT_TRUE(db_->Execute("CREATE TABLE Birds (name STRING)").ok());
+  {
+    auto doomed = Connect();
+    ASSERT_NE(doomed, nullptr);
+    ASSERT_TRUE(doomed->Execute("BEGIN").ok());
+    ASSERT_TRUE(doomed->Execute("INSERT INTO Birds VALUES ('limbo')").ok());
+    // Drop the connection with the transaction open.
+  }
+  // The server rolls the orphaned transaction back when the close lands
+  // on its loop thread; poll until the abort is visible.
+  for (int i = 0; i < 200 && db_->txn_manager()->active_txns() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(db_->txn_manager()->active_txns(), 0u);
+  auto survivor = Connect();
+  ASSERT_NE(survivor, nullptr);
+  auto rows = survivor->Execute("SELECT * FROM Birds");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 0u);
+}
+
 }  // namespace
 }  // namespace insight

@@ -351,6 +351,22 @@ void RunCrashingWorkload(const std::string& dir, const std::string& point) {
   db->Annotate("Birds", "diseaseword in flight", {{1, CellMask(0)}}).status();
   db->Annotate("Birds", "diseaseword in flight 2", {{1, CellMask(0)}})
       .status();
+  // Autocommit SQL DML runs as its own transaction: the commit hook
+  // appends the commit record (txn_commit_appended) and forces it durable
+  // (txn_commit_durable).
+  db->Execute("INSERT INTO Birds VALUES ('crash-txn', 'familyX', 9.3)")
+      .status();
+  // An explicit transaction that rolls back crosses txn_abort_mid; its
+  // row and its annotation must never surface after recovery no matter
+  // where the crash lands.
+  uint64_t txn = 0;
+  db->Execute("BEGIN", &txn).status();
+  db->Execute("INSERT INTO Birds VALUES ('rollback-row', 'familyX', 9.4)",
+              &txn)
+      .status();
+  db->Execute("ANNOTATE Birds TUPLE 1 WITH 'rollbackword never lands'", &txn)
+      .status();
+  db->Execute("ROLLBACK", &txn).status();
   // Group-commit fsync (wal_sync_begin/partial/before_fsync/after_fsync).
   db->WalSync().ok();
   // Snapshot + page flush + data fsync (checkpoint_begin,
@@ -375,17 +391,41 @@ void VerifyRecovered(const std::string& dir, const std::string& point) {
   }
 
   // (b) No torn effects: every surviving row decodes, and only the two
-  // in-flight inserts may exist beyond the committed ones.
+  // in-flight facade inserts plus the autocommit txn insert may exist
+  // beyond the committed ones. The rolled-back transaction's row must
+  // never surface, at any crash point.
   uint64_t scanned = 0;
+  bool saw_autocommit_txn_row = false;
   auto it = birds->Scan();
   Oid oid;
   Tuple tuple;
   while (it.Next(&oid, &tuple)) {
     EXPECT_FALSE(tuple.at(0).AsString().empty()) << point;
+    EXPECT_NE(tuple.at(0).AsString(), "rollback-row") << point;
+    if (tuple.at(0).AsString() == "crash-txn") saw_autocommit_txn_row = true;
     ++scanned;
   }
   EXPECT_EQ(scanned, birds->num_rows()) << point;
-  EXPECT_LE(scanned, static_cast<uint64_t>(kCommittedRows + 2)) << point;
+  EXPECT_LE(scanned, static_cast<uint64_t>(kCommittedRows + 3)) << point;
+  if (point == "txn_commit_durable") {
+    // The crash hit after the commit record was fsynced: the autocommit
+    // transaction is committed and recovery must preserve it.
+    EXPECT_TRUE(saw_autocommit_txn_row) << point;
+  }
+
+  // The rolled-back transaction's annotation never surfaces either (the
+  // Summary-BTree rebuild check below would miss a leak that made it into
+  // the store itself, so inspect the raw annotations directly).
+  auto* mgr = *db->GetManager("Birds");
+  ASSERT_TRUE(mgr->annotations()
+                  ->ForEachAnnotation([&](const Annotation& ann) {
+                    EXPECT_EQ(ann.text.find("rollbackword"),
+                              std::string::npos)
+                        << point;
+                    return Status::OK();
+                  })
+                  .ok())
+      << point;
 
   // Committed annotations survived: tuple 1 carries at least its two
   // committed Disease notes, tuple 2 its Behavior note.
