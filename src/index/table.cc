@@ -245,10 +245,23 @@ Status Table::Delete(Oid oid) {
   }
 
   const Snapshot snap = txn->snapshot();
-  bool any = false;
+  bool conflict = false;
+  bool deleted_by_self = false;
   for (auto& [rec, loc] : versions) {
     if (!VersionVisible(rec.begin, rec.end, snap)) {
-      any = true;
+      // Classify WHY it is invisible: only evidence of a concurrent or
+      // later writer is a (retryable) conflict. A version whose committed
+      // end precedes the snapshot is simply a dead row kept alive by an
+      // older lease — deterministically NotFound, never worth retrying.
+      if (IsTxnStamp(rec.begin) && StampTxnId(rec.begin) != txn->id()) {
+        conflict = true;  // Another transaction's uncommitted version.
+      } else if (!IsTxnStamp(rec.begin) && rec.begin > snap.read_ts) {
+        conflict = true;  // Committed after our snapshot: we lost the race.
+      } else if (IsTxnStamp(rec.end)) {
+        // Begin is visible to us, so the end stamp must be our own
+        // (another txn's delete intent leaves the version visible).
+        deleted_by_self = true;
+      }
       continue;
     }
     // Writability (first-writer-wins): the visible version must still be
@@ -286,9 +299,12 @@ Status Table::Delete(Oid oid) {
     txn->OnGc([this, oid](Ts horizon) { return VacuumOid(oid, horizon); });
     return Status::OK();
   }
-  if (any) {
+  if (conflict) {
     return Status::Aborted("row " + std::to_string(oid) + " in " + name_ +
                            " is being written by another transaction");
+  }
+  if (deleted_by_self) {
+    return Status::NotFound("row deleted in this transaction");
   }
   return Status::NotFound("oid " + std::to_string(oid));
 }
@@ -316,10 +332,19 @@ Status Table::Update(Oid oid, const Tuple& tuple) {
   }
 
   const Snapshot snap = txn->snapshot();
-  bool any = false;
+  bool conflict = false;
+  bool deleted_by_self = false;
   for (auto& [rec, loc] : versions) {
     if (!VersionVisible(rec.begin, rec.end, snap)) {
-      any = true;
+      // Same classification as Delete: only concurrent/later writers are
+      // conflicts; committed-dead-before-snapshot versions are NotFound.
+      if (IsTxnStamp(rec.begin) && StampTxnId(rec.begin) != txn->id()) {
+        conflict = true;
+      } else if (!IsTxnStamp(rec.begin) && rec.begin > snap.read_ts) {
+        conflict = true;
+      } else if (IsTxnStamp(rec.end)) {
+        deleted_by_self = true;
+      }
       continue;
     }
     if (IsTxnStamp(rec.end)) {
@@ -382,9 +407,12 @@ Status Table::Update(Oid oid, const Tuple& tuple) {
     txn->OnGc([this, oid](Ts horizon) { return VacuumOid(oid, horizon); });
     return Status::OK();
   }
-  if (any) {
+  if (conflict) {
     return Status::Aborted("row " + std::to_string(oid) + " in " + name_ +
                            " is being written by another transaction");
+  }
+  if (deleted_by_self) {
+    return Status::NotFound("row deleted in this transaction");
   }
   return Status::NotFound("oid " + std::to_string(oid));
 }

@@ -654,10 +654,11 @@ Status Database::CheckStatementSize(const std::string& sql) const {
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
-  uint64_t handle = embedded_txn_.load(std::memory_order_acquire);
-  Result<QueryResult> result = Execute(sql, &handle);
-  embedded_txn_.store(handle, std::memory_order_release);
-  return result;
+  // One embedded session: statements from concurrent one-arg callers
+  // execute one at a time against the shared handle. Concurrency is the
+  // two-arg API's job (each session owns its handle).
+  std::lock_guard<std::mutex> lk(embedded_mu_);
+  return Execute(sql, &embedded_txn_);
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql,
@@ -746,8 +747,7 @@ Result<QueryResult> Database::ExecuteRead(const Statement& stmt,
     }
     snap = txn->snapshot();  // The transaction already holds a lease.
   } else {
-    snap = txn_mgr_.LatestSnapshot();
-    lease = txn_mgr_.Lease(snap.read_ts);
+    lease = txn_mgr_.BeginLease(&snap);
   }
   if (stmt.kind == Statement::Kind::kZoomIn) {
     QueryResult result;
@@ -852,8 +852,8 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
     std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
     INSIGHT_RETURN_NOT_OK(executor_.RefreshSelectStats(*stmt.select));
   }
-  const Snapshot snap = txn_mgr_.LatestSnapshot();
-  SnapshotLease lease = txn_mgr_.Lease(snap.read_ts);
+  Snapshot snap;
+  SnapshotLease lease = txn_mgr_.BeginLease(&snap);
   return executor_.ExplainAnalyze(*stmt.select, sql, snap);
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -321,8 +322,12 @@ class Database : public ReplayTarget {
   mutable std::shared_mutex ddl_mu_;
 
   /// The embedded single-session transaction handle (two-arg Execute
-  /// callers manage their own).
-  std::atomic<uint64_t> embedded_txn_{0};
+  /// callers manage their own). embedded_mu_ serializes the whole
+  /// load/execute/store round-trip: two concurrent one-arg Execute
+  /// callers must not clobber each other's handle (e.g. two BEGINs
+  /// leaving one transaction orphaned open, pinning the GC horizon).
+  std::mutex embedded_mu_;
+  uint64_t embedded_txn_ = 0;
 
   StorageManager storage_;
   BufferPool pool_;

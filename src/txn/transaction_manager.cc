@@ -47,11 +47,17 @@ TransactionManager::~TransactionManager() {
 
 Result<Transaction*> TransactionManager::Begin() {
   const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  const Ts read_ts = clock_.load(std::memory_order_acquire);
-  auto txn = std::make_unique<Transaction>(id, read_ts);
-  Transaction* raw = txn.get();
+  Transaction* raw = nullptr;
+  Ts read_ts = 0;
   {
+    // Read the clock and register the lease in ONE critical section:
+    // a commit that publishes a newer clock in between would run GC
+    // with no lease covering this reader, reclaiming versions its
+    // snapshot still needs.
     std::lock_guard<std::mutex> lk(mu_);
+    read_ts = clock_.load(std::memory_order_acquire);
+    auto txn = std::make_unique<Transaction>(id, read_ts);
+    raw = txn.get();
     txns_.emplace(id, std::move(txn));
     leases_.insert(read_ts);
     ++txns_begun_;
@@ -152,6 +158,18 @@ Status TransactionManager::FinishAbortLocked(Transaction* txn) {
   }
   RunReadyGc();
   return wal_st;
+}
+
+SnapshotLease TransactionManager::BeginLease(Snapshot* snap_out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Clock read and lease insertion share mu_ with commit's GC scheduling
+  // and horizon computation, so either the lease lands before the commit
+  // drains its GC queue (old versions protected) or the reader observes
+  // the new clock (and only needs the new versions).
+  const Ts read_ts = clock_.load(std::memory_order_acquire);
+  leases_.insert(read_ts);
+  if (snap_out != nullptr) *snap_out = Snapshot{read_ts, 0};
+  return SnapshotLease(this, read_ts);
 }
 
 SnapshotLease TransactionManager::Lease(Ts read_ts) {

@@ -90,11 +90,23 @@ class TransactionManager {
   Status Abort(uint64_t txn_id);
 
   /// Snapshot of the latest committed state (autonomous statements).
+  /// NOTE: carries no GC lease — between this call and a later Lease()
+  /// a concurrent commit may advance the clock and reclaim versions the
+  /// snapshot still needs. Readers must use BeginLease() instead; this
+  /// remains only for non-reading callers (EXPLAIN planning).
   Snapshot LatestSnapshot() const {
     return Snapshot{clock_.load(std::memory_order_acquire), 0};
   }
 
-  /// Leases `read_ts` against garbage collection.
+  /// Atomically reads the committed clock and registers a GC lease at
+  /// that timestamp, in one lock acquisition, so no commit can slip in
+  /// between and garbage-collect versions the new snapshot can see.
+  /// Fills `snap_out` (if non-null) with the leased snapshot.
+  SnapshotLease BeginLease(Snapshot* snap_out);
+
+  /// Leases `read_ts` against garbage collection. Only safe for a
+  /// timestamp that is already protected (an open transaction's read_ts);
+  /// fresh readers must use BeginLease().
   SnapshotLease Lease(Ts read_ts);
 
   /// The write gate (see class comment).

@@ -1,6 +1,7 @@
 #include "wal/recovery_manager.h"
 
 #include <map>
+#include <set>
 #include <utility>
 
 namespace insight {
@@ -105,21 +106,77 @@ Result<RecoveryManager::Stats> RecoveryManager::Replay(
     }
   }
 
-  // Pass 1: buffer transactional ops by txn id over the WHOLE valid log,
-  // not just the tail — a txn may log ops before a checkpoint and commit
-  // after it; the snapshot (committed state only) cannot contain them.
-  std::map<uint64_t, std::vector<const WalRecord*>> txn_ops;
+  // Pass 1: walk the WHOLE valid log in order (not just the tail — a txn
+  // may log ops before a checkpoint and commit after it; the snapshot
+  // holds committed state only, so those ops cannot be inside it),
+  // buffering transactional ops per txn *incarnation*. Txn ids restart
+  // at 1 after a reboot, so one id can carry several unrelated
+  // transactions across the log; a kTxnBegin opens a fresh incarnation
+  // and each kTxnCommit captures exactly the ops its own incarnation
+  // logged, keyed by the commit record's LSN.
+  //
+  // A kTxnAbort that follows a kTxnCommit for the same incarnation
+  // OVERRIDES the commit: the commit hook failed between appending the
+  // record and forcing it durable (e.g. the fsync reported an error), the
+  // transaction was rolled back in memory and reported failed to the
+  // client — it must stay rolled back even though its commit record may
+  // have reached disk.
+  std::map<uint64_t, std::vector<const WalRecord*>> open_ops;
+  std::map<uint64_t, Lsn> revocable_commit;  // No kTxnBegin since.
+  std::map<Lsn, std::vector<const WalRecord*>> commit_ops;
+  std::set<Lsn> overridden_commits;
   for (const WalRecord& rec : records) {
-    if (rec.type != WalRecordType::kTxnOp) continue;
-    INSIGHT_ASSIGN_OR_RETURN(WalTxnOp op, WalTxnOp::Decode(rec.payload));
-    txn_ops[op.txn_id].push_back(&rec);
+    switch (rec.type) {
+      case WalRecordType::kTxnBegin: {
+        INSIGHT_ASSIGN_OR_RETURN(WalTxnBegin begin,
+                                 WalTxnBegin::Decode(rec.payload));
+        if (!open_ops[begin.txn_id].empty()) {
+          ++stats.txns_discarded;  // Previous incarnation never resolved.
+        }
+        open_ops[begin.txn_id].clear();
+        // A new incarnation seals the previous commit of this id: an
+        // abort seen later belongs to the new incarnation, not to it.
+        revocable_commit.erase(begin.txn_id);
+        break;
+      }
+      case WalRecordType::kTxnOp: {
+        INSIGHT_ASSIGN_OR_RETURN(WalTxnOp op, WalTxnOp::Decode(rec.payload));
+        open_ops[op.txn_id].push_back(&rec);
+        break;
+      }
+      case WalRecordType::kTxnCommit: {
+        INSIGHT_ASSIGN_OR_RETURN(WalTxnCommit commit,
+                                 WalTxnCommit::Decode(rec.payload));
+        auto it = open_ops.find(commit.txn_id);
+        if (it != open_ops.end()) {
+          commit_ops[rec.lsn] = std::move(it->second);
+          open_ops.erase(it);
+        }
+        revocable_commit[commit.txn_id] = rec.lsn;
+        break;
+      }
+      case WalRecordType::kTxnAbort: {
+        INSIGHT_ASSIGN_OR_RETURN(WalTxnAbort abort,
+                                 WalTxnAbort::Decode(rec.payload));
+        auto it = revocable_commit.find(abort.txn_id);
+        if (it != revocable_commit.end()) {
+          overridden_commits.insert(it->second);
+          revocable_commit.erase(it);
+        }
+        open_ops.erase(abort.txn_id);
+        break;
+      }
+      default:
+        break;
+    }
   }
 
   // Pass 2: the tail. Plain records apply directly; a commit record
-  // flushes its txn's buffered ops in original log order. Ops of txns
-  // that committed before the checkpoint are already inside the snapshot
-  // and their commit record sits before start_index, so they never
-  // re-apply. Aborted and dangling txns simply never flush.
+  // flushes its incarnation's buffered ops in original log order —
+  // unless a later abort revoked it. Ops of txns that committed before
+  // the checkpoint are already inside the snapshot and their commit
+  // record sits before start_index, so they never re-apply. Aborted and
+  // dangling txns simply never flush.
   for (size_t i = start_index; i < records.size(); ++i) {
     const WalRecord& rec = records[i];
     switch (rec.type) {
@@ -130,16 +187,18 @@ Result<RecoveryManager::Stats> RecoveryManager::Replay(
         ++stats.txns_discarded;
         break;
       case WalRecordType::kTxnCommit: {
-        INSIGHT_ASSIGN_OR_RETURN(WalTxnCommit commit,
-                                 WalTxnCommit::Decode(rec.payload));
-        auto it = txn_ops.find(commit.txn_id);
-        if (it != txn_ops.end()) {
+        if (overridden_commits.count(rec.lsn) != 0) {
+          ++stats.txns_discarded;  // Commit revoked by a later abort.
+          break;
+        }
+        auto it = commit_ops.find(rec.lsn);
+        if (it != commit_ops.end()) {
           for (const WalRecord* op_rec : it->second) {
             INSIGHT_RETURN_NOT_OK(
                 ApplyOne(op_rec->type, op_rec->payload, target));
             ++stats.txn_ops_applied;
           }
-          txn_ops.erase(it);
+          commit_ops.erase(it);
         }
         ++stats.txns_committed;
         break;
@@ -150,10 +209,11 @@ Result<RecoveryManager::Stats> RecoveryManager::Replay(
     }
     ++stats.records_applied;
   }
-  // Whatever is still buffered belongs to txns with no commit in the
-  // tail: crashed mid-flight, rolled back, or committed before the
-  // checkpoint (already in the snapshot). None of it replays.
-  stats.txns_discarded += txn_ops.size();
+  // Whatever is still buffered belongs to incarnations with no commit in
+  // the log: crashed mid-flight. None of it replays.
+  for (const auto& [txn_id, ops] : open_ops) {
+    if (!ops.empty()) ++stats.txns_discarded;
+  }
   return stats;
 }
 

@@ -38,12 +38,17 @@ class ReplayTarget {
 /// replayed maintenance itself (Section 4.3's protocol re-applied).
 ///
 /// Transactions make replay two-pass. Pass 1 buffers every kTxnOp by its
-/// owning txn id across the whole valid log (a txn may start before a
-/// checkpoint and commit after it). Pass 2 walks the tail: plain records
-/// apply directly; a kTxnCommit record flushes its txn's buffered ops, in
-/// original log order, through the same dispatch. Txns with no commit
-/// record on disk — explicitly aborted or cut off by the crash — are
-/// never applied, so recovery surfaces only committed state.
+/// owning txn *incarnation* across the whole valid log (a txn may start
+/// before a checkpoint and commit after it; txn ids restart after a
+/// reboot, so a kTxnBegin opens a fresh incarnation of its id). Pass 2
+/// walks the tail: plain records apply directly; a kTxnCommit record
+/// flushes its incarnation's buffered ops, in original log order,
+/// through the same dispatch. Txns with no commit record on disk —
+/// explicitly aborted or cut off by the crash — are never applied, and a
+/// kTxnAbort that follows a kTxnCommit for the same incarnation revokes
+/// it (the commit hook failed before the record was known durable and
+/// the txn was rolled back in memory), so recovery surfaces only state
+/// that was actually reported committed.
 class RecoveryManager {
  public:
   struct Stats {

@@ -10,6 +10,8 @@
 #include "index/table.h"
 #include "storage/buffer_pool.h"
 #include "storage/storage_manager.h"
+#include "txn/transaction_manager.h"
+#include "txn/txn.h"
 
 namespace insight {
 namespace {
@@ -195,6 +197,86 @@ TEST_P(TableTest, StorageFootprintGrowsWithData) {
   }
   EXPECT_GT(table_->heap_bytes(), before);
   EXPECT_GT(table_->oid_index_bytes(), 0u);
+}
+
+// ---------- Transactional write-conflict classification ----------
+
+TEST_P(TableTest, PreSnapshotCommittedDeleteIsNotFoundNotAborted) {
+  TransactionManager mgr;
+  Transaction* a = *mgr.Begin();
+  Oid oid = 0;
+  {
+    TxnScope scope(a);
+    oid = *table_->Insert(MakeBird(1, "Swan Goose", "Anatidae", 3.5));
+  }
+  ASSERT_TRUE(mgr.Commit(a->id()).ok());
+
+  // An old reader lease keeps the soon-to-be-dead version from being
+  // garbage collected.
+  Snapshot pinned;
+  SnapshotLease lease = mgr.BeginLease(&pinned);
+
+  Transaction* b = *mgr.Begin();
+  {
+    TxnScope scope(b);
+    ASSERT_TRUE(table_->Delete(oid).ok());
+  }
+  ASSERT_TRUE(mgr.Commit(b->id()).ok());
+
+  // A snapshot taken AFTER the delete committed: the row does not exist
+  // for it. The retained dead version must not masquerade as a write
+  // conflict — retrying would never succeed.
+  Transaction* c = *mgr.Begin();
+  {
+    TxnScope scope(c);
+    const Status del = table_->Delete(oid);
+    EXPECT_TRUE(del.IsNotFound()) << del.ToString();
+    const Status upd =
+        table_->Update(oid, MakeBird(1, "Mute Swan", "Anatidae", 11.0));
+    EXPECT_TRUE(upd.IsNotFound()) << upd.ToString();
+  }
+  ASSERT_TRUE(mgr.Abort(c->id()).ok());
+}
+
+TEST_P(TableTest, UncommittedInsertOfAnotherTxnStillAborts) {
+  TransactionManager mgr;
+  Transaction* writer = *mgr.Begin();
+  Oid oid = 0;
+  {
+    TxnScope scope(writer);
+    oid = *table_->Insert(MakeBird(1, "Swan Goose", "Anatidae", 3.5));
+  }
+  Transaction* other = *mgr.Begin();
+  {
+    TxnScope scope(other);
+    const Status del = table_->Delete(oid);
+    EXPECT_TRUE(del.IsAborted()) << del.ToString();
+  }
+  ASSERT_TRUE(mgr.Abort(other->id()).ok());
+  ASSERT_TRUE(mgr.Commit(writer->id()).ok());
+}
+
+TEST_P(TableTest, DeleteOfOwnDeletedRowIsNotFound) {
+  TransactionManager mgr;
+  Transaction* a = *mgr.Begin();
+  Oid oid = 0;
+  {
+    TxnScope scope(a);
+    oid = *table_->Insert(MakeBird(1, "Swan Goose", "Anatidae", 3.5));
+  }
+  ASSERT_TRUE(mgr.Commit(a->id()).ok());
+
+  Transaction* b = *mgr.Begin();
+  {
+    TxnScope scope(b);
+    ASSERT_TRUE(table_->Delete(oid).ok());
+    const Status again = table_->Delete(oid);
+    EXPECT_TRUE(again.IsNotFound()) << again.ToString();
+    const Status upd =
+        table_->Update(oid, MakeBird(1, "Mute Swan", "Anatidae", 11.0));
+    EXPECT_TRUE(upd.IsNotFound()) << upd.ToString();
+  }
+  ASSERT_TRUE(mgr.Commit(b->id()).ok());
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "wal/crash_point.h"
 #include "wal/fault_injection.h"
 #include "wal/log_manager.h"
+#include "wal/recovery_manager.h"
 #include "wal/wal_record.h"
 
 namespace insight {
@@ -472,6 +473,137 @@ TEST(FilePageStoreHardeningTest, SyncContainingDirectoryIsOk) {
   std::filesystem::create_directories(dir);
   EXPECT_TRUE(SyncContainingDirectory(dir + "/somefile").ok());
   std::filesystem::remove_all(dir);
+}
+
+// ---------- Transactional replay decisions ----------
+
+/// Records which row inserts replay, to assert recovery's commit/abort
+/// decisions without standing up a full database.
+class CapturingTarget : public ReplayTarget {
+ public:
+  Status ReplayAnnIdFloor(uint64_t) override { return Status::OK(); }
+  Status ReplayCreateTable(const WalCreateTable&) override {
+    return Status::OK();
+  }
+  Status ReplayCreateIndex(const WalCreateIndex&) override {
+    return Status::OK();
+  }
+  Status ReplayInsert(const WalInsert& op) override {
+    inserted_oids.push_back(op.oid);
+    return Status::OK();
+  }
+  Status ReplayDelete(const WalDelete&) override { return Status::OK(); }
+  Status ReplayDefineInstance(const WalInstanceDef&) override {
+    return Status::OK();
+  }
+  Status ReplayLinkInstance(const WalLinkInstance&) override {
+    return Status::OK();
+  }
+  Status ReplayUnlinkInstance(const WalUnlinkInstance&) override {
+    return Status::OK();
+  }
+  Status ReplayAnnotate(const WalAnnotate&) override { return Status::OK(); }
+  Status ReplayRemoveAnnotation(const WalRemoveAnnotation&) override {
+    return Status::OK();
+  }
+
+  std::vector<Oid> inserted_oids;
+};
+
+/// Builds a decoded log with dense 1-based LSNs from (type, payload)
+/// pairs, the shape LogManager::ReadAll hands to recovery.
+std::vector<WalRecord> MakeLog(
+    std::vector<std::pair<WalRecordType, std::string>> entries) {
+  std::vector<WalRecord> records;
+  Lsn lsn = 1;
+  for (auto& [type, payload] : entries) {
+    records.push_back(WalRecord{lsn++, type, std::move(payload)});
+  }
+  return records;
+}
+
+std::string TxnInsertOp(uint64_t txn_id, Oid oid) {
+  WalInsert ins;
+  ins.table = "t";
+  ins.oid = oid;
+  ins.tuple = Tuple({Value::Int(static_cast<int64_t>(oid))});
+  WalTxnOp op;
+  op.txn_id = txn_id;
+  op.inner_type = WalRecordType::kInsert;
+  op.inner_payload = ins.Encode();
+  return op.Encode();
+}
+
+TEST(TxnReplayTest, AbortAfterCommitRevokesTheCommit) {
+  // The commit hook appended the record but failed before it was known
+  // durable; the txn was rolled back in memory and an abort record
+  // followed. Recovery must keep it rolled back.
+  auto records = MakeLog({
+      {WalRecordType::kTxnBegin, WalTxnBegin{7}.Encode()},
+      {WalRecordType::kTxnOp, TxnInsertOp(7, 100)},
+      {WalRecordType::kTxnCommit, WalTxnCommit{7}.Encode()},
+      {WalRecordType::kTxnAbort, WalTxnAbort{7}.Encode()},
+  });
+  CapturingTarget target;
+  auto stats = RecoveryManager::Replay(records, &target);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(target.inserted_oids.empty());
+  EXPECT_EQ(stats->txns_committed, 0u);
+  EXPECT_GE(stats->txns_discarded, 1u);
+}
+
+TEST(TxnReplayTest, AbortOfLaterIncarnationDoesNotRevokeEarlierCommit) {
+  // Txn ids restart after a reboot: the abort belongs to the second
+  // incarnation of id 7 and must not revoke the first one's commit.
+  auto records = MakeLog({
+      {WalRecordType::kTxnBegin, WalTxnBegin{7}.Encode()},
+      {WalRecordType::kTxnOp, TxnInsertOp(7, 100)},
+      {WalRecordType::kTxnCommit, WalTxnCommit{7}.Encode()},
+      {WalRecordType::kTxnBegin, WalTxnBegin{7}.Encode()},
+      {WalRecordType::kTxnOp, TxnInsertOp(7, 200)},
+      {WalRecordType::kTxnAbort, WalTxnAbort{7}.Encode()},
+  });
+  CapturingTarget target;
+  auto stats = RecoveryManager::Replay(records, &target);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(target.inserted_oids, std::vector<Oid>({100}));
+  EXPECT_EQ(stats->txns_committed, 1u);
+}
+
+TEST(TxnReplayTest, ReusedTxnIdOpsDoNotLeakAcrossIncarnations) {
+  // Ops logged by a later incarnation of a reused id must not ride an
+  // earlier incarnation's commit record.
+  auto records = MakeLog({
+      {WalRecordType::kTxnBegin, WalTxnBegin{7}.Encode()},
+      {WalRecordType::kTxnOp, TxnInsertOp(7, 100)},
+      {WalRecordType::kTxnCommit, WalTxnCommit{7}.Encode()},
+      {WalRecordType::kTxnBegin, WalTxnBegin{7}.Encode()},
+      {WalRecordType::kTxnOp, TxnInsertOp(7, 200)},
+      // Crash: the second incarnation never resolves.
+  });
+  CapturingTarget target;
+  auto stats = RecoveryManager::Replay(records, &target);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(target.inserted_oids, std::vector<Oid>({100}));
+  EXPECT_EQ(stats->txns_committed, 1u);
+  EXPECT_GE(stats->txns_discarded, 1u);
+}
+
+TEST(TxnReplayTest, PlainAbortStillDiscardsAndOthersCommit) {
+  auto records = MakeLog({
+      {WalRecordType::kTxnBegin, WalTxnBegin{1}.Encode()},
+      {WalRecordType::kTxnOp, TxnInsertOp(1, 100)},
+      {WalRecordType::kTxnAbort, WalTxnAbort{1}.Encode()},
+      {WalRecordType::kTxnBegin, WalTxnBegin{2}.Encode()},
+      {WalRecordType::kTxnOp, TxnInsertOp(2, 200)},
+      {WalRecordType::kTxnCommit, WalTxnCommit{2}.Encode()},
+  });
+  CapturingTarget target;
+  auto stats = RecoveryManager::Replay(records, &target);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(target.inserted_oids, std::vector<Oid>({200}));
+  EXPECT_EQ(stats->txns_committed, 1u);
+  EXPECT_EQ(stats->txns_discarded, 1u);
 }
 
 }  // namespace
