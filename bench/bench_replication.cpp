@@ -1,0 +1,241 @@
+// Replication service characteristics — WAL-shipping apply lag and
+// read scaling across replicas.
+//
+//   Lag arm: a burst of autocommit INSERTs through the primary with one
+//   subscribed replica; measured quantities are the wall time of the
+//   write burst and the extra time until the replica's applied frontier
+//   reaches the last acked commit LSN (apply lag at burst end).
+//
+//   Read arms: 4 routed clients running verified SELECTs against a
+//   cluster with 1 and then 2 replicas. RoutedClient load-balances
+//   reads round-robin across replicas with wait_lsn read-your-writes,
+//   so aggregate throughput should not degrade when the second replica
+//   joins (and on multi-core hosts should improve).
+//
+// Expectation: shipping is asynchronous but the 256-record LogFrame
+// batches keep the replica within one poll interval of the primary, so
+// end-of-burst lag stays in the tens of milliseconds at smoke scale.
+// --smoke gates correctness only: zero statement errors, zero read
+// verification failures, and the lag catch-up completing inside the
+// 10-second wait budget.
+//
+// Emits BENCH_replication.json.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/replication.h"
+#include "net/server.h"
+#include "sql/database.h"
+
+using namespace insight;
+using namespace insight::bench;
+
+namespace {
+
+Database::Options DurableOptions(const std::string& dir) {
+  Database::Options options;
+  options.backend = StorageManager::Backend::kFile;
+  options.directory = dir;
+  options.wal_sync = Database::WalSyncMode::kGroupCommit;
+  return options;
+}
+
+struct Node {
+  std::string dir;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ReplicaFeed> feed;
+  std::unique_ptr<InsightServer> server;
+};
+
+std::unique_ptr<Node> BootNode(const std::string& tag, uint16_t primary) {
+  auto node = std::make_unique<Node>();
+  node->dir = std::filesystem::temp_directory_path() /
+              ("bench_repl_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(node->dir);
+  auto opened = Database::Open(node->dir, DurableOptions(node->dir));
+  INSIGHT_CHECK(opened.ok());
+  node->db = std::move(*opened);
+  if (primary != 0) {
+    node->feed =
+        std::make_unique<ReplicaFeed>(node->db.get(), "127.0.0.1", primary);
+    INSIGHT_CHECK(node->feed->Start().ok());
+  }
+  InsightServer::Options options;
+  options.port = 0;
+  options.io_threads = 2;
+  node->server = std::make_unique<InsightServer>(node->db.get(), options);
+  if (node->feed != nullptr) node->server->SetReplicaFeed(node->feed.get());
+  INSIGHT_CHECK(node->server->Start().ok());
+  return node;
+}
+
+void TearDown(std::vector<std::unique_ptr<Node>>* nodes) {
+  for (auto& node : *nodes) {
+    if (node->feed != nullptr) node->feed->Stop();
+    node->server->Shutdown();
+    node->db.reset();
+    std::filesystem::remove_all(node->dir);
+  }
+  nodes->clear();
+}
+
+struct ReadArm {
+  size_t replicas = 0;
+  size_t statements = 0;
+  double wall_ms = 0.0;
+  double stmts_per_sec = 0.0;
+  size_t errors = 0;
+};
+
+ReadArm RunReadArm(const std::vector<RoutedClient::Endpoint>& endpoints,
+                   size_t replicas, size_t clients, size_t per_client,
+                   size_t rows) {
+  ReadArm arm;
+  arm.replicas = replicas;
+  arm.statements = clients * per_client;
+
+  std::vector<std::unique_ptr<RoutedClient>> conns;
+  for (size_t c = 0; c < clients; ++c) {
+    auto made = RoutedClient::Make(endpoints);
+    INSIGHT_CHECK(made.ok());
+    conns.push_back(std::move(*made));
+  }
+
+  std::atomic<size_t> errors{0};
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      RoutedClient* routed = conns[c].get();
+      for (size_t i = 0; i < per_client; ++i) {
+        const size_t key = (i + c * 13) % rows;
+        auto result = routed->Execute("SELECT name FROM Birds WHERE n = " +
+                                      std::to_string(key));
+        if (!result.ok() || result->rows.size() != 1) errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  arm.wall_ms = timer.ElapsedMillis();
+  arm.errors = errors.load();
+  arm.stmts_per_sec =
+      static_cast<double>(arm.statements) / (arm.wall_ms / 1000.0);
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  PrintHeader("bench_replication: WAL shipping lag and read scaling",
+              "async apply lag within one poll interval; reads scale "
+              "across replicas",
+              config);
+
+  const size_t rows = smoke ? 128 : 1024;
+  const size_t per_client = smoke ? 50 : 400;
+  const size_t read_clients = 4;
+  bool ok = true;
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.push_back(BootNode("pri", 0));
+  const uint16_t pri_port = nodes[0]->server->port();
+  nodes.push_back(BootNode("rep1", pri_port));
+
+  auto client = InsightClient::Connect("127.0.0.1", pri_port);
+  INSIGHT_CHECK(client.ok());
+  INSIGHT_CHECK(
+      (*client)->Execute("CREATE TABLE Birds (n INT, name STRING)").ok());
+
+  // ---- Apply-lag arm: write burst, then time the replica catch-up ----
+  Stopwatch burst;
+  size_t write_errors = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    auto written = (*client)->Execute(
+        "INSERT INTO Birds VALUES (" + std::to_string(i) + ", 'bird" +
+        std::to_string(i) + "')");
+    if (!written.ok()) ++write_errors;
+  }
+  const double burst_ms = burst.ElapsedMillis();
+  const uint64_t last_commit = (*client)->last_commit_lsn();
+
+  Stopwatch catchup;
+  const bool caught_up = nodes[1]->db->WaitForAppliedLsn(
+      last_commit, std::chrono::seconds(10));
+  const double lag_ms = catchup.ElapsedMillis();
+  ok = ok && caught_up && write_errors == 0;
+  std::printf("write burst: %zu inserts in %.1f ms; replica lag at burst "
+              "end: %.2f ms (%s)\n",
+              rows, burst_ms, lag_ms, caught_up ? "caught up" : "TIMEOUT");
+
+  // ---- Read arms at 1 and 2 replicas ----
+  std::vector<ReadArm> arms;
+  std::vector<RoutedClient::Endpoint> endpoints = {
+      {"127.0.0.1", pri_port},
+      {"127.0.0.1", nodes[1]->server->port()},
+  };
+  arms.push_back(
+      RunReadArm(endpoints, 1, read_clients, per_client, rows));
+
+  nodes.push_back(BootNode("rep2", pri_port));
+  INSIGHT_CHECK(nodes[2]->db->WaitForAppliedLsn(last_commit,
+                                                std::chrono::seconds(10)));
+  endpoints.push_back({"127.0.0.1", nodes[2]->server->port()});
+  arms.push_back(
+      RunReadArm(endpoints, 2, read_clients, per_client, rows));
+
+  for (const ReadArm& arm : arms) {
+    std::printf("%zu replica(s): %5zu reads in %8.1f ms -> %9.0f "
+                "reads/sec (%zu errors)\n",
+                arm.replicas, arm.statements, arm.wall_ms,
+                arm.stmts_per_sec, arm.errors);
+    ok = ok && arm.errors == 0;
+  }
+
+  TearDown(&nodes);
+
+  FILE* json = std::fopen("BENCH_replication.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"replication_lag_and_read_scaling\",\n"
+                 "  \"rows\": %zu,\n  \"reads_per_client\": %zu,\n"
+                 "  \"read_clients\": %zu,\n"
+                 "  \"write_burst_ms\": %.3f,\n"
+                 "  \"apply_lag_ms\": %.3f,\n"
+                 "  \"caught_up\": %s,\n  \"read_arms\": [",
+                 rows, per_client, read_clients, burst_ms, lag_ms,
+                 caught_up ? "true" : "false");
+    for (size_t i = 0; i < arms.size(); ++i) {
+      std::fprintf(json,
+                   "%s\n    {\"replicas\": %zu, \"statements\": %zu, "
+                   "\"wall_ms\": %.3f, \"reads_per_sec\": %.1f, "
+                   "\"errors\": %zu}",
+                   i == 0 ? "" : ",", arms[i].replicas, arms[i].statements,
+                   arms[i].wall_ms, arms[i].stmts_per_sec, arms[i].errors);
+    }
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_replication.json\n");
+  }
+
+  if (smoke && !ok) {
+    std::printf("SMOKE FAILURE: errors or replication lag timeout\n");
+    return 1;
+  }
+  return 0;
+}

@@ -4,10 +4,19 @@
 //   insight_cli --host 127.0.0.1 --port 8471          # interactive
 //   insight_cli --port-file /tmp/insightd.port        # port from file
 //   insight_cli --port 8471 -e "SELECT * FROM Birds"  # one-shot, exits
+//   insight_cli --port 8473 --promote                 # failover: promote
+//   insight_cli --endpoints 127.0.0.1:8471,127.0.0.1:8473 -e "SELECT ..."
+//                                                     # routed cluster mode
+//
+// Routed mode discovers the primary by probing (replicas answer writes
+// with a read-only redirect), load-balances reads across replicas, and
+// passes the last write's commit LSN as wait_lsn so every read observes
+// the client's own writes.
 //
 // Interactive commands beyond SQL:
 //   \ping       round-trip liveness probe
 //   \metrics    print the server's Prometheus metrics text
+//   \promote    promote the connected replica to primary
 //   \shutdown   ask the server to drain and exit
 //   \q          quit the shell (server keeps running)
 
@@ -17,10 +26,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "net/client.h"
 
 using insight::InsightClient;
+using insight::RoutedClient;
 
 namespace {
 
@@ -28,14 +39,34 @@ struct CliArgs {
   std::string host = "127.0.0.1";
   uint16_t port = 8471;
   std::string port_file;
-  std::string one_shot;  // -e STATEMENT: run it, print, exit.
+  std::vector<std::string> one_shots;  // -e STATEMENT (repeatable).
+  std::vector<RoutedClient::Endpoint> endpoints;  // --endpoints list.
+  bool promote = false;                // --promote: send Promote, exit.
 };
 
 void Usage() {
   std::printf(
-      "usage: insight_cli [--host H] [--port P | --port-file FILE] "
-      "[-e STATEMENT]\n"
-      "interactive commands: \\ping \\metrics \\shutdown \\q\n");
+      "usage: insight_cli [--host H] [--port P | --port-file FILE]\n"
+      "                   [--endpoints H:P,H:P,...] [--promote]\n"
+      "                   [-e STATEMENT]...\n"
+      "interactive commands: \\ping \\metrics \\promote \\shutdown \\q\n");
+}
+
+bool ParseEndpoints(const std::string& list,
+                    std::vector<RoutedClient::Endpoint>* out) {
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string item = list.substr(begin, end - begin);
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    const int port = std::atoi(item.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return false;
+    out->push_back({item.substr(0, colon), static_cast<uint16_t>(port)});
+    begin = end + 1;
+  }
+  return !out->empty();
 }
 
 bool ParseCliArgs(int argc, char** argv, CliArgs* args) {
@@ -56,10 +87,15 @@ bool ParseCliArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->port_file = v;
+    } else if (arg == "--endpoints") {
+      const char* v = next();
+      if (v == nullptr || !ParseEndpoints(v, &args->endpoints)) return false;
+    } else if (arg == "--promote") {
+      args->promote = true;
     } else if (arg == "-e") {
       const char* v = next();
       if (v == nullptr) return false;
-      args->one_shot = v;
+      args->one_shots.push_back(v);
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       std::exit(0);
@@ -99,6 +135,12 @@ bool RunLine(InsightClient* client, const std::string& line) {
     std::fputs(text->c_str(), stdout);
     return true;
   }
+  if (line == "\\promote") {
+    auto status = client->Promote();
+    std::printf("%s\n", status.ok() ? "promoted to primary"
+                                    : status.ToString().c_str());
+    return true;
+  }
   if (line == "\\shutdown") {
     auto status = client->RequestShutdown();
     std::printf("%s\n",
@@ -106,8 +148,10 @@ bool RunLine(InsightClient* client, const std::string& line) {
     return false;
   }
   if (!line.empty() && line[0] == '\\') {
-    std::printf("unknown command %s (try \\ping \\metrics \\shutdown \\q)\n",
-                line.c_str());
+    std::printf(
+        "unknown command %s (try \\ping \\metrics \\promote \\shutdown "
+        "\\q)\n",
+        line.c_str());
     return true;
   }
   auto result = client->Execute(line);
@@ -120,6 +164,56 @@ bool RunLine(InsightClient* client, const std::string& line) {
   return true;
 }
 
+/// Cluster mode: every line is a statement routed by RoutedClient;
+/// shell commands other than \q need a direct --port connection.
+bool RunRoutedLine(RoutedClient* routed, const std::string& line) {
+  if (line == "\\q" || line == "\\quit" || line == "exit") return false;
+  if (!line.empty() && line[0] == '\\') {
+    std::printf("%s needs a direct connection (drop --endpoints)\n",
+                line.c_str());
+    return true;
+  }
+  auto result = routed->Execute(line);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return true;
+  }
+  std::fputs(result->ToString().c_str(), stdout);
+  return true;
+}
+
+int RunRouted(const CliArgs& args) {
+  auto made = RoutedClient::Make(args.endpoints);
+  if (!made.ok()) {
+    std::fprintf(stderr, "routed connect failed: %s\n",
+                 made.status().ToString().c_str());
+    return 1;
+  }
+  auto routed = std::move(*made);
+  if (!args.one_shots.empty()) {
+    for (const std::string& sql : args.one_shots) {
+      auto result = routed->Execute(sql);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(result->ToString().c_str(), stdout);
+    }
+    return 0;
+  }
+  std::printf("routed across %zu endpoints — SQL statements, or \\q\n",
+              args.endpoints.size());
+  std::string line;
+  while (true) {
+    std::fputs("insight> ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!RunRoutedLine(routed.get(), line)) break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,6 +222,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (!args.endpoints.empty()) return RunRouted(args);
 
   auto connected = InsightClient::Connect(args.host, args.port);
   if (!connected.ok()) {
@@ -137,19 +232,32 @@ int main(int argc, char** argv) {
   }
   auto client = std::move(*connected);
 
-  if (!args.one_shot.empty()) {
-    auto result = client->Execute(args.one_shot);
-    if (!result.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   result.status().ToString().c_str());
+  if (args.promote) {
+    auto status = client->Promote();
+    if (!status.ok()) {
+      std::fprintf(stderr, "promote failed: %s\n",
+                   status.ToString().c_str());
       return 1;
     }
-    std::fputs(result->ToString().c_str(), stdout);
+    std::printf("promoted to primary\n");
+    return 0;
+  }
+
+  if (!args.one_shots.empty()) {
+    for (const std::string& sql : args.one_shots) {
+      auto result = client->Execute(sql);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(result->ToString().c_str(), stdout);
+    }
     return 0;
   }
 
   std::printf("connected to %s:%u — SQL statements, or \\ping \\metrics "
-              "\\shutdown \\q\n",
+              "\\promote \\shutdown \\q\n",
               args.host.c_str(), args.port);
   std::string line;
   while (true) {

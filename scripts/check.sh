@@ -66,4 +66,19 @@ if [ -x build/bench/bench_net ]; then
   (cd build/bench && ./bench_net --smoke > /dev/null)
 fi
 
+# Replication smoke: primary + two replica processes, read-your-writes
+# through the routed CLI, kill -9 the primary, promote, verify rows.
+if [ -x build/src/net/insightd ]; then
+  echo "==> replication smoke (primary + replicas + failover)"
+  ./scripts/replica_smoke.sh build
+fi
+
+# Replication bench smoke: apply lag must catch up and every routed read
+# against 1 and 2 replicas must verify (bench_replication --smoke exits
+# nonzero).
+if [ -x build/bench/bench_replication ]; then
+  echo "==> replication smoke (bench_replication --smoke)"
+  (cd build/bench && ./bench_replication --smoke > /dev/null)
+fi
+
 echo "==> all checks passed"

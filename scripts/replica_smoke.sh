@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Replication smoke: boot a real primary and two insightd replicas,
+# write through the primary, prove read-your-writes through the routed
+# CLI, kill -9 the primary mid-flight, promote a replica, and verify the
+# promoted node serves every acked row and accepts new writes.
+# Fails when any statement errors, a replica accepts a write before
+# promotion, or the promoted node lost rows.
+#
+#   ./scripts/replica_smoke.sh [build-dir]   # default: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+insightd="${build_dir}/src/net/insightd"
+cli="${build_dir}/examples/insight_cli"
+for bin in "${insightd}" "${cli}"; do
+  if [ ! -x "${bin}" ]; then
+    echo "replica_smoke: missing ${bin} (build the '${build_dir}' tree first)" >&2
+    exit 2
+  fi
+done
+
+workdir=$(mktemp -d)
+pids=()
+
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    if [ -n "${pid}" ] && kill -0 "${pid}" 2>/dev/null; then
+      kill -9 "${pid}" 2>/dev/null || true
+      wait "${pid}" 2>/dev/null || true
+    fi
+  done
+  rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+# boot_node NAME EXTRA_ARGS... -> sets ${NAME}_pid and ${NAME}_port.
+boot_node() {
+  local name="$1"
+  shift
+  local port_file="${workdir}/${name}.port"
+  "${insightd}" --port 0 --port-file "${port_file}" \
+    --dir "${workdir}/${name}_data" "$@" \
+    > "${workdir}/${name}.log" 2>&1 &
+  local pid=$!
+  pids+=("${pid}")
+  for _ in $(seq 1 200); do
+    [ -s "${port_file}" ] && break
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "replica_smoke: ${name} died during startup" >&2
+      cat "${workdir}/${name}.log" >&2
+      exit 1
+    fi
+    sleep 0.05
+  done
+  [ -s "${port_file}" ] || {
+    echo "replica_smoke: ${name} wrote no port file" >&2
+    exit 1
+  }
+  eval "${name}_pid=${pid}"
+  eval "${name}_port=$(cat "${port_file}")"
+}
+
+echo "==> starting primary + two replicas"
+boot_node primary
+boot_node replica1 --replica-of "127.0.0.1:${primary_port}"
+boot_node replica2 --replica-of "127.0.0.1:${primary_port}"
+echo "    primary :${primary_port}  replicas :${replica1_port} :${replica2_port}"
+
+echo "==> writes through the primary"
+"${cli}" --port "${primary_port}" -e "CREATE TABLE Birds (n INT, name STRING)"
+for i in 1 2 3 4 5; do
+  "${cli}" --port "${primary_port}" -e \
+    "INSERT INTO Birds VALUES (${i}, 'bird${i}')" > /dev/null
+done
+
+echo "==> read-your-writes through the routed client"
+endpoints="127.0.0.1:${primary_port},127.0.0.1:${replica1_port},127.0.0.1:${replica2_port}"
+routed=$("${cli}" --endpoints "${endpoints}" \
+  -e "INSERT INTO Birds VALUES (6, 'bird6')" \
+  -e "SELECT name FROM Birds ORDER BY n")
+echo "${routed}" | grep -q "bird6" || {
+  echo "replica_smoke: routed read missed the client's own write" >&2
+  exit 1
+}
+
+echo "==> replicas reject direct writes before promotion"
+for port in "${replica1_port}" "${replica2_port}"; do
+  if "${cli}" --port "${port}" -e "INSERT INTO Birds VALUES (99, 'x')" \
+      2>/dev/null; then
+    echo "replica_smoke: replica :${port} accepted a write" >&2
+    exit 1
+  fi
+done
+
+echo "==> replicas serve reads once caught up"
+for port in "${replica1_port}" "${replica2_port}"; do
+  caught_up=""
+  for _ in $(seq 1 100); do
+    rows=$("${cli}" --port "${port}" -e "SELECT name FROM Birds ORDER BY n" \
+      2>/dev/null || true)
+    if echo "${rows}" | grep -q "bird6"; then
+      caught_up=yes
+      break
+    fi
+    sleep 0.05
+  done
+  [ -n "${caught_up}" ] || {
+    echo "replica_smoke: replica :${port} never applied the writes" >&2
+    exit 1
+  }
+done
+
+echo "==> kill -9 the primary, promote replica1"
+kill -9 "${primary_pid}"
+wait "${primary_pid}" 2>/dev/null || true
+primary_pid=""
+"${cli}" --port "${replica1_port}" --promote
+
+echo "==> promoted node serves the acked rows and accepts new writes"
+"${cli}" --port "${replica1_port}" -e \
+  "INSERT INTO Birds VALUES (7, 'bird7')" > /dev/null
+rows=$("${cli}" --port "${replica1_port}" -e "SELECT name FROM Birds ORDER BY n")
+for bird in bird1 bird6 bird7; do
+  echo "${rows}" | grep -q "${bird}" || {
+    echo "replica_smoke: promoted node is missing ${bird}" >&2
+    cat "${workdir}/replica1.log" >&2
+    exit 1
+  }
+done
+
+echo "==> drain the survivors"
+for port in "${replica1_port}" "${replica2_port}"; do
+  printf '\\shutdown\n' | "${cli}" --port "${port}" > /dev/null
+done
+for pid in "${replica1_pid}" "${replica2_pid}"; do
+  if ! wait "${pid}"; then
+    echo "replica_smoke: a replica did not exit cleanly from the drain" >&2
+    exit 1
+  fi
+done
+pids=()
+
+echo "==> replica smoke passed"

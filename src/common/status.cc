@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Type error";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kReadOnly:
+      return "Read-only replica";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kAborted,
+  kReadOnly,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -87,6 +88,11 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  /// The node cannot accept this statement because it is a read replica;
+  /// the client should redirect the statement to the primary.
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -103,6 +109,7 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsReadOnly() const { return code() == StatusCode::kReadOnly; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <cctype>
 #include <cstring>
+#include <utility>
 
 #include "common/serde.h"
 #include "net/socket_util.h"
@@ -65,9 +67,11 @@ Result<Frame> InsightClient::ReadFrame() {
   return frame;
 }
 
-Result<NetResult> InsightClient::Execute(const std::string& sql) {
+Result<NetResult> InsightClient::Execute(const std::string& sql,
+                                         uint64_t wait_lsn) {
   last_error_retryable_ = false;
-  INSIGHT_RETURN_NOT_OK(SendFrame(FrameType::kQuery, EncodeQuery(sql)));
+  INSIGHT_RETURN_NOT_OK(
+      SendFrame(FrameType::kQuery, EncodeQuery(sql, wait_lsn)));
   NetResult result;
   bool saw_header = false;
   for (;;) {
@@ -85,11 +89,14 @@ Result<NetResult> InsightClient::Execute(const std::string& sql) {
         INSIGHT_RETURN_NOT_OK(DecodeRowBatch(frame.payload, &result));
         break;
       case FrameType::kResultDone: {
-        INSIGHT_ASSIGN_OR_RETURN(uint64_t total,
+        INSIGHT_ASSIGN_OR_RETURN(WireResultDone done,
                                  DecodeResultDone(frame.payload));
-        if (!saw_header || total != result.rows.size()) {
+        if (!saw_header || done.total_rows != result.rows.size()) {
           Close();
           return Status::Corruption("result stream row-count mismatch");
+        }
+        if (done.commit_lsn > last_commit_lsn_) {
+          last_commit_lsn_ = done.commit_lsn;
         }
         return result;
       }
@@ -132,7 +139,8 @@ Result<std::string> InsightClient::Metrics() {
     return Status::Corruption("expected MetricsReply");
   }
   // The payload is a length-prefixed string (same shape as Query).
-  return DecodeQuery(frame.payload);
+  INSIGHT_ASSIGN_OR_RETURN(WireQuery decoded, DecodeQuery(frame.payload));
+  return std::move(decoded.sql);
 }
 
 Status InsightClient::RequestShutdown() {
@@ -142,6 +150,132 @@ Status InsightClient::RequestShutdown() {
     return Status::Corruption("expected ShutdownAck");
   }
   return Status::OK();
+}
+
+Status InsightClient::Promote() {
+  INSIGHT_RETURN_NOT_OK(SendFrame(FrameType::kPromote, {}));
+  INSIGHT_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type == FrameType::kError) return DecodeError(frame.payload);
+  if (frame.type != FrameType::kPromoteAck) {
+    return Status::Corruption("expected PromoteAck");
+  }
+  return Status::OK();
+}
+
+// ---- RoutedClient ----
+
+Result<std::unique_ptr<RoutedClient>> RoutedClient::Make(
+    std::vector<Endpoint> endpoints) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("routed client needs >= 1 endpoint");
+  }
+  auto client =
+      std::unique_ptr<RoutedClient>(new RoutedClient(std::move(endpoints)));
+  client->conns_.resize(client->endpoints_.size());
+  return client;
+}
+
+bool RoutedClient::IsReadStatement(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  std::string word;
+  while (i < sql.size() && std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    word.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(sql[i]))));
+    ++i;
+  }
+  return word == "SELECT" || word == "EXPLAIN" || word == "ZOOM";
+}
+
+Result<InsightClient*> RoutedClient::Conn(size_t i) {
+  if (conns_[i] == nullptr || !conns_[i]->connected()) {
+    INSIGHT_ASSIGN_OR_RETURN(
+        conns_[i],
+        InsightClient::Connect(endpoints_[i].host, endpoints_[i].port));
+  }
+  return conns_[i].get();
+}
+
+Result<NetResult> RoutedClient::Execute(const std::string& sql) {
+  return IsReadStatement(sql) ? ExecuteRead(sql) : ExecuteWrite(sql);
+}
+
+Result<NetResult> RoutedClient::ExecuteWrite(const std::string& sql) {
+  // Probe endpoints until one accepts writes; a kReadOnly answer names a
+  // replica, so move on. The discovered primary sticks until it fails.
+  const size_t n = endpoints_.size();
+  const size_t first = primary_ >= 0 ? static_cast<size_t>(primary_) : 0;
+  Status last_err = Status::Internal("no endpoint reachable");
+  for (size_t probe = 0; probe < n; ++probe) {
+    const size_t i = (first + probe) % n;
+    Result<InsightClient*> conn = Conn(i);
+    if (!conn.ok()) {
+      last_err = conn.status();
+      continue;
+    }
+    Result<NetResult> result = conn.ValueOrDie()->Execute(sql);
+    if (result.ok()) {
+      primary_ = static_cast<int>(i);
+      const uint64_t lsn = conn.ValueOrDie()->last_commit_lsn();
+      if (lsn > last_commit_lsn_) last_commit_lsn_ = lsn;
+      return result;
+    }
+    if (result.status().IsReadOnly()) {
+      last_err = result.status();
+      if (primary_ == static_cast<int>(i)) primary_ = -1;
+      continue;  // A replica: keep probing for the primary.
+    }
+    if (!conn.ValueOrDie()->connected() &&
+        primary_ != static_cast<int>(i)) {
+      // Endpoint died before this statement did any work: try the next.
+      last_err = result.status();
+      continue;
+    }
+    // The primary saw the statement — surface its verdict (semantic
+    // errors and conflicts must not be retried on another node).
+    primary_ = static_cast<int>(i);
+    return result;
+  }
+  return last_err;
+}
+
+Result<NetResult> RoutedClient::ExecuteRead(const std::string& sql) {
+  const size_t n = endpoints_.size();
+  Status last_err = Status::Internal("no endpoint reachable");
+  // One lap over the fleet starting at the round-robin cursor, skipping
+  // the known primary so replicas absorb reads; a second chance on the
+  // primary closes the loop when every replica is down.
+  for (size_t probe = 0; probe <= n; ++probe) {
+    size_t i;
+    if (probe == n) {
+      if (primary_ < 0 || n == 1) break;
+      i = static_cast<size_t>(primary_);  // Fallback: primary serves reads.
+    } else {
+      i = (rr_next_ + probe) % n;
+      if (n > 1 && primary_ == static_cast<int>(i)) continue;
+    }
+    Result<InsightClient*> conn = Conn(i);
+    if (!conn.ok()) {
+      last_err = conn.status();
+      continue;
+    }
+    Result<NetResult> result =
+        conn.ValueOrDie()->Execute(sql, last_commit_lsn_);
+    if (result.ok()) {
+      if (probe < n) rr_next_ = (i + 1) % n;
+      return result;
+    }
+    if (!conn.ValueOrDie()->connected()) {
+      // Replica dropped mid-query. Reads are side-effect free, so retry
+      // on the next endpoint.
+      last_err = result.status();
+      continue;
+    }
+    return result;  // Semantic error: same answer everywhere.
+  }
+  return last_err;
 }
 
 }  // namespace insight

@@ -1,8 +1,10 @@
 #ifndef INSIGHTNOTES_NET_CLIENT_H_
 #define INSIGHTNOTES_NET_CLIENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/wire.h"
 
@@ -26,8 +28,18 @@ class InsightClient {
   InsightClient& operator=(const InsightClient&) = delete;
 
   /// Runs one statement; an Error frame comes back as the decoded Status
-  /// (same code the embedded API would have returned).
-  Result<NetResult> Execute(const std::string& sql);
+  /// (same code the embedded API would have returned). `wait_lsn` > 0
+  /// asks a replica to hold the statement until its applied LSN reaches
+  /// that value (read-your-writes); primaries satisfy it trivially.
+  Result<NetResult> Execute(const std::string& sql, uint64_t wait_lsn = 0);
+
+  /// Highest commit LSN any Execute on this connection has reported
+  /// (0 before the first durable write). Feed into `wait_lsn` on a
+  /// replica connection to observe your own writes.
+  uint64_t last_commit_lsn() const { return last_commit_lsn_; }
+
+  /// Asks a replica to assume the primary role; returns after the ack.
+  Status Promote();
 
   /// True when `status` is a serialization conflict (first-writer-wins
   /// abort): the server already rolled the transaction back, so the
@@ -64,6 +76,64 @@ class InsightClient {
 
   int fd_;
   bool last_error_retryable_ = false;
+  uint64_t last_commit_lsn_ = 0;
+};
+
+/// Client-side read/write routing over a primary + replica fleet. The
+/// first endpoint that accepts writes is the primary; SELECT / EXPLAIN /
+/// ZOOM IN statements are load-balanced round-robin across the other
+/// endpoints (falling back to the primary when no replica is healthy).
+/// Reads carry the primary connection's last commit LSN as `wait_lsn`,
+/// so a client always observes its own committed writes on any replica
+/// (read-your-writes). A replica that drops mid-read or answers with a
+/// redirect is retried on the next endpoint; writes are never retried
+/// silently.
+///
+/// One outstanding request at a time, like InsightClient.
+class RoutedClient {
+ public:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  /// Connects lazily; `endpoints` must be non-empty. The primary is
+  /// discovered on the first write (endpoints answering kReadOnly are
+  /// skipped).
+  static Result<std::unique_ptr<RoutedClient>> Make(
+      std::vector<Endpoint> endpoints);
+
+  /// Routes `sql` by its first keyword: SELECT / EXPLAIN / ZOOM go to a
+  /// replica (round-robin with failover), everything else to the primary.
+  Result<NetResult> Execute(const std::string& sql);
+
+  /// Index into the endpoint list of the current primary, or -1 while
+  /// undiscovered.
+  int primary_index() const { return primary_; }
+
+  /// Highest commit LSN observed across all writes.
+  uint64_t last_commit_lsn() const { return last_commit_lsn_; }
+
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+ private:
+  explicit RoutedClient(std::vector<Endpoint> endpoints)
+      : endpoints_(std::move(endpoints)) {}
+
+  /// True when the statement's first keyword marks it read-only.
+  static bool IsReadStatement(const std::string& sql);
+
+  /// Returns a live connection to endpoint `i`, dialing if needed.
+  Result<InsightClient*> Conn(size_t i);
+
+  Result<NetResult> ExecuteWrite(const std::string& sql);
+  Result<NetResult> ExecuteRead(const std::string& sql);
+
+  const std::vector<Endpoint> endpoints_;
+  std::vector<std::unique_ptr<InsightClient>> conns_;
+  int primary_ = -1;
+  size_t rr_next_ = 0;  // Round-robin cursor over read endpoints.
+  uint64_t last_commit_lsn_ = 0;
 };
 
 }  // namespace insight

@@ -41,6 +41,9 @@ void Usage(const char* argv0) {
       "  --max-statement-bytes N  reject larger statements (default 1MiB)\n"
       "  --wal-sync MODE       every-op | group | never (default group)\n"
       "  --parallelism N       morsel workers per query (default 1)\n"
+      "  --replica-of HOST:PORT  start as a read replica of that primary\n"
+      "                        (requires --dir; writes are rejected until\n"
+      "                        a client sends the Promote frame)\n"
       "  --verbose             log at Info instead of Warn\n",
       argv0);
 }
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
   Database::Options db_options;
   db_options.wal_sync = Database::WalSyncMode::kGroupCommit;
   std::string dir;
+  std::string replica_of;
   long long parallelism = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +106,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--parallelism" && next() != nullptr &&
                ParseSize(argv[i], &v) && v > 0) {
       parallelism = v;
+    } else if (arg == "--replica-of" && next() != nullptr) {
+      replica_of = argv[i];
     } else if (arg == "--verbose") {
       insight::SetLogLevel(insight::LogLevel::kInfo);
     } else if (arg == "--help" || arg == "-h") {
@@ -137,7 +143,33 @@ int main(int argc, char** argv) {
   }
   db->SetParallelism(static_cast<size_t>(parallelism));
 
+  std::unique_ptr<insight::ReplicaFeed> feed;
+  if (!replica_of.empty()) {
+    const size_t colon = replica_of.rfind(':');
+    long long pport = 0;
+    if (dir.empty() || colon == std::string::npos ||
+        !ParseSize(replica_of.c_str() + colon + 1, &pport) || pport <= 0 ||
+        pport > 65535) {
+      std::fprintf(stderr,
+                   "insightd: --replica-of needs HOST:PORT and --dir\n");
+      return 2;
+    }
+    feed = std::make_unique<insight::ReplicaFeed>(
+        db.get(), replica_of.substr(0, colon),
+        static_cast<uint16_t>(pport));
+    insight::Status fed = feed->Start();
+    if (!fed.ok()) {
+      std::fprintf(stderr, "insightd: replica mode failed: %s\n",
+                   fed.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "insightd: replica of %s, applying from LSN %llu\n",
+                 replica_of.c_str(),
+                 static_cast<unsigned long long>(db->applied_lsn() + 1));
+  }
+
   InsightServer server(db.get(), options);
+  if (feed != nullptr) server.SetReplicaFeed(feed.get());
   insight::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "insightd: start failed: %s\n",
@@ -167,6 +199,7 @@ int main(int argc, char** argv) {
   signal_watcher.join();
 
   std::fprintf(stderr, "insightd: draining...\n");
+  if (feed != nullptr) feed->Stop();
   server.Shutdown();
   if (db->wal() != nullptr) db->WalSync().ok();
   std::fprintf(stderr, "insightd: clean exit\n");

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <chrono>
@@ -40,6 +41,20 @@ Status InsightServer::Start() {
     }
     std::fprintf(f, "%u\n", static_cast<unsigned>(port_));
     std::fclose(f);
+  }
+
+  // Every journaled node can serve subscribers: a replica's log is a
+  // byte-equal prefix of its primary's, so chained replication and
+  // promote-then-serve both come for free. Started before any I/O
+  // thread can accept a connection, since sessions read repl_ unlocked.
+  if (db_->wal() != nullptr) {
+    repl_ = std::make_unique<ReplicationManager>(db_);
+    Status st = repl_->Start();
+    if (!st.ok()) {
+      repl_.reset();
+      INSIGHT_LOG(Error) << "replication shipper failed to start: "
+                         << st.ToString();
+    }
   }
 
   const size_t n_shards = options_.io_threads == 0 ? 1 : options_.io_threads;
@@ -125,10 +140,49 @@ void InsightServer::AdoptConnection(int fd) {
   });
 }
 
-void InsightServer::HandleQuery(Session* session, const std::string& sql) {
+namespace {
+
+/// First-keyword read detection, mirroring RoutedClient: statements that
+/// never journal (and so never move the durable frontier) do not get a
+/// commit LSN stamped on their ResultDone.
+bool IsReadOnlySql(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && !std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  std::string word;
+  while (i < sql.size() && std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    word.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[i++]))));
+  }
+  return word == "SELECT" || word == "EXPLAIN" || word == "ZOOM";
+}
+
+}  // namespace
+
+void InsightServer::HandleQuery(Session* session, const std::string& sql,
+                                uint64_t wait_lsn) {
   EngineMetrics& m = EngineMetrics::Get();
   Stopwatch timer;
   session->CountStatement();
+  if (wait_lsn > 0) {
+    // Read-your-writes: hold the statement until replication has applied
+    // the client's last acknowledged commit. Blocks this loop thread —
+    // the same trade every synchronous statement already makes.
+    m.repl_wait_lsn_waits->Add(1);
+    if (!db_->WaitForAppliedLsn(
+            wait_lsn,
+            std::chrono::milliseconds(options_.wait_lsn_timeout_ms))) {
+      m.net_request_errors->Add(1);
+      session->SendFrame(
+          FrameType::kError,
+          EncodeError(Status::ResourceExhausted(
+              "timed out waiting for LSN " + std::to_string(wait_lsn) +
+              " to replicate (applied frontier is " +
+              std::to_string(db_->applied_lsn()) + ")")));
+      return;
+    }
+  }
   Result<QueryResult> executed = db_->Execute(sql, session->txn_handle());
   m.net_request_millis->Observe(timer.ElapsedMillis());
   if (!executed.ok()) {
@@ -167,8 +221,54 @@ void InsightServer::HandleQuery(Session* session, const std::string& sql) {
         EncodeRowBatch(result.rows, summaries, begin, kWireRowsPerBatch));
     if (session->closed()) return;
   }
+  // Stamp writes with the durable frontier: the statement's commit hook
+  // forced the log, so durable >= this statement's last LSN here, and a
+  // replica that has applied through it has applied this write.
+  uint64_t commit_lsn = 0;
+  if (db_->wal() != nullptr && !IsReadOnlySql(sql)) {
+    commit_lsn = db_->wal()->durable_lsn();
+  }
   session->SendFrame(FrameType::kResultDone,
-                     EncodeResultDone(result.rows.size()));
+                     EncodeResultDone(result.rows.size(), commit_lsn));
+}
+
+void InsightServer::OnReplicateSubscribe(Session* session,
+                                         uint64_t start_lsn) {
+  if (repl_ == nullptr) {
+    session->SendFrame(FrameType::kError,
+                       EncodeError(Status::InvalidArgument(
+                           "replication needs a journaled database")));
+    return;
+  }
+  Status st = repl_->Subscribe(session, start_lsn);
+  if (!st.ok()) {
+    session->SendFrame(FrameType::kError, EncodeError(st));
+  }
+}
+
+void InsightServer::OnReplicaAck(Session* session, uint64_t applied_lsn) {
+  if (repl_ != nullptr) repl_->OnAck(session, applied_lsn);
+}
+
+void InsightServer::OnPromote(Session* session) {
+  if (db_->role() == Database::Role::kPrimary) {
+    session->SendFrame(FrameType::kPromoteAck, {});  // Idempotent.
+    return;
+  }
+  if (feed_ == nullptr) {
+    session->SendFrame(FrameType::kError,
+                       EncodeError(Status::InvalidArgument(
+                           "this replica has no feed to promote from")));
+    return;
+  }
+  Status st = feed_->Promote();
+  if (!st.ok()) {
+    session->SendFrame(FrameType::kError, EncodeError(st));
+    return;
+  }
+  INSIGHT_LOG(Info) << "promoted to primary at LSN "
+                    << db_->wal()->durable_lsn();
+  session->SendFrame(FrameType::kPromoteAck, {});
 }
 
 std::string InsightServer::MetricsText() { return db_->DumpMetrics(); }
@@ -189,6 +289,11 @@ void InsightServer::WaitForShutdownRequest() {
 }
 
 void InsightServer::OnSessionClosed(Session* session) {
+  // Drop any replication subscription BEFORE queueing the deferred
+  // erase: loop functors run FIFO, so a send the shipper queued earlier
+  // no-ops on the closed session before the erase destroys it, and after
+  // this line the shipper can never queue another.
+  if (repl_ != nullptr) repl_->Unsubscribe(session);
   // A connection that drops mid-transaction must not leave its writes
   // pinned forever: roll the transaction back. The handle may already be
   // stale (conflict auto-abort), so a failure here is expected.
@@ -216,6 +321,10 @@ void InsightServer::OnSessionClosed(Session* session) {
 void InsightServer::Shutdown() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+
+  // 0. Stop the shipper first so it stops queueing sends onto loops
+  // that are about to drain and quit.
+  if (repl_ != nullptr) repl_->Stop();
 
   // 1. Stop accepting.
   accept_loop_.QueueInLoop([this] {

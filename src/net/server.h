@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/event_loop.h"
+#include "net/replication.h"
 #include "net/session.h"
 #include "sql/database.h"
 
@@ -40,6 +41,9 @@ class InsightServer : public SessionHost {
     /// When set, the bound port is written here after Start() (the
     /// `--port 0` + `--port-file` contract used by parallel CI jobs).
     std::string port_file;
+    /// Cap on how long a Query with wait_lsn may block for the replica's
+    /// applied frontier to catch up before it fails.
+    int64_t wait_lsn_timeout_ms = 10'000;
   };
 
   InsightServer(Database* db, Options options);
@@ -69,11 +73,25 @@ class InsightServer : public SessionHost {
 
   size_t active_sessions() const { return manager_.active(); }
 
+  /// Hands the server the replica feed that keeps `db` in sync, enabling
+  /// the Promote frame. Call before Start(); the feed outlives the
+  /// server. nullptr (the default) makes Promote an error.
+  void SetReplicaFeed(ReplicaFeed* feed) { feed_ = feed; }
+
+  /// The primary-side shipper (nullptr for in-memory databases). Every
+  /// journaled node ships — a replica's log is a prefix of its
+  /// primary's, so chaining works unmodified.
+  ReplicationManager* replication() { return repl_.get(); }
+
   // SessionHost:
-  void HandleQuery(Session* session, const std::string& sql) override;
+  void HandleQuery(Session* session, const std::string& sql,
+                   uint64_t wait_lsn) override;
   std::string MetricsText() override;
   void OnShutdownRequest() override;
   void OnSessionClosed(Session* session) override;
+  void OnReplicateSubscribe(Session* session, uint64_t start_lsn) override;
+  void OnReplicaAck(Session* session, uint64_t applied_lsn) override;
+  void OnPromote(Session* session) override;
 
  private:
   /// One reactor thread plus the sessions it owns. Sessions are touched
@@ -90,6 +108,8 @@ class InsightServer : public SessionHost {
   Database* const db_;
   const Options options_;
   SessionManager manager_;
+  std::unique_ptr<ReplicationManager> repl_;
+  ReplicaFeed* feed_ = nullptr;
 
   uint16_t port_ = 0;
   int listen_fd_ = -1;

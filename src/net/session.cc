@@ -12,6 +12,20 @@
 
 namespace insight {
 
+void SessionHost::OnReplicateSubscribe(Session* session, uint64_t) {
+  session->SendFrame(FrameType::kError,
+                     EncodeError(Status::InvalidArgument(
+                         "this host does not serve replication")));
+}
+
+void SessionHost::OnReplicaAck(Session*, uint64_t) {}
+
+void SessionHost::OnPromote(Session* session) {
+  session->SendFrame(FrameType::kError,
+                     EncodeError(Status::InvalidArgument(
+                         "this host cannot be promoted")));
+}
+
 Session::Session(uint64_t id, int fd, EventLoop* loop, SessionHost* host,
                  const SessionManager::Limits& limits)
     : id_(id),
@@ -93,14 +107,35 @@ void Session::DispatchFrame(const Frame& frame) {
   m.net_requests_total->Add(1);
   switch (frame.type) {
     case FrameType::kQuery: {
-      Result<std::string> sql = DecodeQuery(frame.payload);
-      if (!sql.ok()) {
-        SendFrame(FrameType::kError, EncodeError(sql.status()));
+      Result<WireQuery> query = DecodeQuery(frame.payload);
+      if (!query.ok()) {
+        SendFrame(FrameType::kError, EncodeError(query.status()));
         return;
       }
-      host_->HandleQuery(this, *sql);
+      host_->HandleQuery(this, query->sql, query->wait_lsn);
       return;
     }
+    case FrameType::kReplicateSubscribe: {
+      Result<uint64_t> start = DecodeReplicateSubscribe(frame.payload);
+      if (!start.ok()) {
+        SendFrame(FrameType::kError, EncodeError(start.status()));
+        return;
+      }
+      host_->OnReplicateSubscribe(this, *start);
+      return;
+    }
+    case FrameType::kReplicaAck: {
+      Result<uint64_t> acked = DecodeReplicaAck(frame.payload);
+      if (!acked.ok()) {
+        SendFrame(FrameType::kError, EncodeError(acked.status()));
+        return;
+      }
+      host_->OnReplicaAck(this, *acked);
+      return;
+    }
+    case FrameType::kPromote:
+      host_->OnPromote(this);
+      return;
     case FrameType::kPing:
       SendFrame(FrameType::kPong, {});
       return;

@@ -20,8 +20,11 @@ class SessionHost {
   virtual ~SessionHost() = default;
 
   /// Executes one statement and queues the reply frames on `session`.
-  /// Runs on the session's loop thread.
-  virtual void HandleQuery(Session* session, const std::string& sql) = 0;
+  /// `wait_lsn` > 0 asks the host to delay execution until its applied
+  /// LSN reaches it (read-your-writes on replicas). Runs on the
+  /// session's loop thread.
+  virtual void HandleQuery(Session* session, const std::string& sql,
+                           uint64_t wait_lsn) = 0;
 
   /// Prometheus text exposition for the Metrics frame.
   virtual std::string MetricsText() = 0;
@@ -32,6 +35,12 @@ class SessionHost {
   /// The session closed its fd; the host must defer-destroy it (the call
   /// may originate inside the session's own event callback).
   virtual void OnSessionClosed(Session* session) = 0;
+
+  /// Replication hooks, defaulted to an Error reply so hosts that do
+  /// not replicate (and test fakes) need not implement them.
+  virtual void OnReplicateSubscribe(Session* session, uint64_t start_lsn);
+  virtual void OnReplicaAck(Session* session, uint64_t applied_lsn);
+  virtual void OnPromote(Session* session);
 };
 
 /// Admission control and session accounting shared by every I/O loop.

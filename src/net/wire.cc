@@ -49,7 +49,7 @@ Result<bool> FrameParser::Next(Frame* out) {
   }
   const uint8_t type = static_cast<uint8_t>(body[0]);
   if (type < static_cast<uint8_t>(FrameType::kQuery) ||
-      type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+      type > kMaxFrameType) {
     return Status::Corruption("unknown wire frame type " +
                               std::to_string(type));
   }
@@ -66,7 +66,7 @@ uint16_t WireStatusCode(StatusCode code) {
 }
 
 StatusCode StatusCodeFromWire(uint16_t wire) {
-  if (wire > static_cast<uint16_t>(StatusCode::kAborted)) {
+  if (wire > static_cast<uint16_t>(StatusCode::kReadOnly)) {
     return StatusCode::kInternal;
   }
   return static_cast<StatusCode>(wire);
@@ -93,19 +93,27 @@ Status DecodeError(std::string_view payload) {
 
 // ---- Query / result payloads ----
 
-std::string EncodeQuery(std::string_view sql) {
+std::string EncodeQuery(std::string_view sql, uint64_t wait_lsn) {
   std::string out;
   PutString(&out, sql);
+  PutU64(&out, wait_lsn);
   return out;
 }
 
-Result<std::string> DecodeQuery(std::string_view payload) {
+Result<WireQuery> DecodeQuery(std::string_view payload) {
   SerdeReader reader(payload);
-  std::string sql;
-  if (!reader.ReadString(&sql) || !reader.AtEnd()) {
+  WireQuery out;
+  if (!reader.ReadString(&out.sql)) {
     return Status::Corruption("malformed Query frame");
   }
-  return sql;
+  // wait_lsn is optional (older clients omit it).
+  if (!reader.AtEnd() && !reader.ReadU64(&out.wait_lsn)) {
+    return Status::Corruption("malformed Query frame");
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in Query frame");
+  }
+  return out;
 }
 
 std::string EncodeResultHeader(const Schema& schema,
@@ -193,19 +201,104 @@ Status DecodeRowBatch(std::string_view payload, NetResult* out) {
   return Status::OK();
 }
 
-std::string EncodeResultDone(uint64_t total_rows) {
+std::string EncodeResultDone(uint64_t total_rows, uint64_t commit_lsn) {
   std::string out;
   PutU64(&out, total_rows);
+  PutU64(&out, commit_lsn);
   return out;
 }
 
-Result<uint64_t> DecodeResultDone(std::string_view payload) {
+Result<WireResultDone> DecodeResultDone(std::string_view payload) {
   SerdeReader reader(payload);
-  uint64_t total;
-  if (!reader.ReadU64(&total) || !reader.AtEnd()) {
+  WireResultDone out;
+  if (!reader.ReadU64(&out.total_rows)) {
     return Status::Corruption("malformed ResultDone frame");
   }
-  return total;
+  // commit_lsn is optional (older servers omit it).
+  if (!reader.AtEnd() && !reader.ReadU64(&out.commit_lsn)) {
+    return Status::Corruption("malformed ResultDone frame");
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in ResultDone frame");
+  }
+  return out;
+}
+
+// ---- Replication payloads ----
+
+std::string EncodeReplicateSubscribe(uint64_t start_lsn) {
+  std::string out;
+  PutU64(&out, start_lsn);
+  return out;
+}
+
+Result<uint64_t> DecodeReplicateSubscribe(std::string_view payload) {
+  SerdeReader reader(payload);
+  uint64_t start_lsn;
+  if (!reader.ReadU64(&start_lsn) || !reader.AtEnd() || start_lsn == 0) {
+    return Status::Corruption("malformed ReplicateSubscribe frame");
+  }
+  return start_lsn;
+}
+
+std::string EncodeLogFrame(const std::vector<WalRecord>& records,
+                           size_t begin, size_t count) {
+  std::string out;
+  const size_t end = std::min(begin + count, records.size());
+  PutU32(&out, static_cast<uint32_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    PutU64(&out, records[i].lsn);
+    PutU8(&out, static_cast<uint8_t>(records[i].type));
+    PutString(&out, records[i].payload);
+  }
+  return out;
+}
+
+Status DecodeLogFrame(std::string_view payload,
+                      std::vector<WalRecord>* out) {
+  SerdeReader reader(payload);
+  uint32_t n;
+  if (!reader.ReadU32(&n)) {
+    return Status::Corruption("malformed LogFrame frame");
+  }
+  uint64_t prev_lsn = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    WalRecord rec;
+    uint8_t type;
+    if (!reader.ReadU64(&rec.lsn) || !reader.ReadU8(&type) ||
+        !reader.ReadString(&rec.payload)) {
+      return Status::Corruption("malformed LogFrame record");
+    }
+    if (rec.lsn == 0 || (prev_lsn != 0 && rec.lsn != prev_lsn + 1)) {
+      return Status::Corruption("LogFrame records not in dense LSN order");
+    }
+    if (type > static_cast<uint8_t>(WalRecordType::kTxnBegin)) {
+      return Status::Corruption("LogFrame record has unknown type " +
+                                std::to_string(type));
+    }
+    prev_lsn = rec.lsn;
+    rec.type = static_cast<WalRecordType>(type);
+    out->push_back(std::move(rec));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in LogFrame frame");
+  }
+  return Status::OK();
+}
+
+std::string EncodeReplicaAck(uint64_t applied_lsn) {
+  std::string out;
+  PutU64(&out, applied_lsn);
+  return out;
+}
+
+Result<uint64_t> DecodeReplicaAck(std::string_view payload) {
+  SerdeReader reader(payload);
+  uint64_t applied_lsn;
+  if (!reader.ReadU64(&applied_lsn) || !reader.AtEnd()) {
+    return Status::Corruption("malformed ReplicaAck frame");
+  }
+  return applied_lsn;
 }
 
 std::string NetResult::ToString(size_t max_rows) const {

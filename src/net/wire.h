@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "types/schema.h"
 #include "types/tuple.h"
+#include "wal/wal_record.h"
 
 namespace insight {
 
@@ -26,6 +27,14 @@ namespace insight {
 ///   Shutdown     -> ShutdownAck, then the server drains and exits
 /// The server may also send Goodbye before closing (admission reject,
 /// idle timeout, drain notice).
+///
+/// Replication rides the same framing. A replica opens an ordinary
+/// connection and sends ReplicateSubscribe with the LSN it wants next;
+/// the primary answers with a stream of LogFrame batches (durable,
+/// committed WAL records in LSN order) for as long as the session lives.
+/// The replica acks applied prefixes with ReplicaAck (flow control).
+/// Promote asks a replica to assume the primary role; PromoteAck
+/// confirms.
 enum class FrameType : uint8_t {
   kQuery = 1,
   kResultHeader = 2,
@@ -39,7 +48,16 @@ enum class FrameType : uint8_t {
   kShutdown = 10,
   kShutdownAck = 11,
   kGoodbye = 12,
+  kReplicateSubscribe = 13,
+  kLogFrame = 14,
+  kReplicaAck = 15,
+  kPromote = 16,
+  kPromoteAck = 17,
 };
+
+/// Highest FrameType value the parser accepts.
+inline constexpr uint8_t kMaxFrameType =
+    static_cast<uint8_t>(FrameType::kPromoteAck);
 
 /// Frame header bytes preceding the body.
 inline constexpr size_t kFrameHeaderBytes = 8;  // len + crc.
@@ -99,8 +117,17 @@ Status DecodeError(std::string_view payload);
 
 // ---- Query / result payloads ----
 
-std::string EncodeQuery(std::string_view sql);
-Result<std::string> DecodeQuery(std::string_view payload);
+/// Query payload: [string sql][u64 wait_lsn]. `wait_lsn` > 0 asks a
+/// replica to hold the statement until its applied LSN reaches that
+/// value (read-your-writes); primaries satisfy it trivially. Decoders
+/// tolerate the field's absence for older clients.
+struct WireQuery {
+  std::string sql;
+  uint64_t wait_lsn = 0;
+};
+
+std::string EncodeQuery(std::string_view sql, uint64_t wait_lsn = 0);
+Result<WireQuery> DecodeQuery(std::string_view payload);
 
 /// Client-side materialized result of one statement: the rows plus the
 /// rendered per-row summary sets and zoom-in annotations (rendered
@@ -129,8 +156,36 @@ std::string EncodeRowBatch(const std::vector<Tuple>& rows,
 /// Appends the decoded rows/summaries to `out`.
 Status DecodeRowBatch(std::string_view payload, NetResult* out);
 
-std::string EncodeResultDone(uint64_t total_rows);
-Result<uint64_t> DecodeResultDone(std::string_view payload);
+/// ResultDone payload: [u64 total_rows][u64 commit_lsn]. `commit_lsn`
+/// is the WAL LSN the statement made durable (0 for reads / in-memory
+/// databases); clients feed it back as `wait_lsn` for read-your-writes
+/// on replicas. Decoders tolerate the field's absence.
+struct WireResultDone {
+  uint64_t total_rows = 0;
+  uint64_t commit_lsn = 0;
+};
+
+std::string EncodeResultDone(uint64_t total_rows, uint64_t commit_lsn = 0);
+Result<WireResultDone> DecodeResultDone(std::string_view payload);
+
+// ---- Replication payloads ----
+
+/// ReplicateSubscribe payload: [u64 start_lsn] — the first LSN the
+/// subscriber wants (its local next_lsn; the stream resumes there).
+std::string EncodeReplicateSubscribe(uint64_t start_lsn);
+Result<uint64_t> DecodeReplicateSubscribe(std::string_view payload);
+
+/// LogFrame payload: [u32 n] then n x [u64 lsn][u8 type][string payload]
+/// — durable WAL records in dense LSN order.
+std::string EncodeLogFrame(const std::vector<WalRecord>& records,
+                           size_t begin, size_t count);
+Status DecodeLogFrame(std::string_view payload,
+                      std::vector<WalRecord>* out);
+
+/// ReplicaAck payload: [u64 applied_lsn] — the subscriber has durably
+/// applied every record up to and including this LSN.
+std::string EncodeReplicaAck(uint64_t applied_lsn);
+Result<uint64_t> DecodeReplicaAck(std::string_view payload);
 
 }  // namespace insight
 

@@ -340,6 +340,24 @@ EngineMetrics& EngineMetrics::Get() {
     m->net_request_millis = r.GetHistogram(
         "insight_net_request_millis", {1, 5, 10, 50, 100, 500, 1000, 5000},
         "Server-side statement wall time in milliseconds");
+    m->repl_subscribers = r.GetGauge("insight_repl_subscribers",
+                                     "Live replica subscriptions");
+    m->repl_records_shipped =
+        r.GetCounter("insight_repl_records_shipped_total",
+                     "WAL records shipped to replicas");
+    m->repl_records_applied =
+        r.GetCounter("insight_repl_records_applied_total",
+                     "Replicated WAL records applied locally");
+    m->repl_ship_lag =
+        r.GetGauge("insight_repl_ship_lag",
+                   "Durable LSN minus the smallest replica-acked LSN");
+    m->repl_applied_lsn = r.GetGauge(
+        "insight_repl_applied_lsn", "Durable applied frontier on a replica");
+    m->repl_reconnects = r.GetCounter("insight_repl_reconnects_total",
+                                      "Replica feed reconnect attempts");
+    m->repl_wait_lsn_waits =
+        r.GetCounter("insight_repl_wait_lsn_waits_total",
+                     "Statements that blocked waiting for a replicated LSN");
     return m;
   }();
   return *metrics;

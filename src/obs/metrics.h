@@ -214,6 +214,14 @@ struct EngineMetrics {
   Counter* net_bytes_sent;
   Histogram* net_request_millis;
 
+  Gauge* repl_subscribers;        // Live replica subscriptions (primary).
+  Counter* repl_records_shipped;  // WAL records sent to replicas.
+  Counter* repl_records_applied;  // WAL records applied (replica).
+  Gauge* repl_ship_lag;           // durable_lsn - min acked LSN (primary).
+  Gauge* repl_applied_lsn;        // Durable applied frontier (replica).
+  Counter* repl_reconnects;       // Feed reconnect attempts (replica).
+  Counter* repl_wait_lsn_waits;   // Statements that blocked on wait_lsn.
+
   static EngineMetrics& Get();
 };
 

@@ -568,6 +568,121 @@ Status Database::Checkpoint() {
   return result;
 }
 
+// ---------- Replication ----------
+
+Status Database::EnterReplicaMode() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "replica mode needs a journaled database (Open a directory)");
+  }
+  if (role() == Role::kReplica) return Status::OK();
+  // In-flight transactions of the primary may span this replica's local
+  // log: recovery buffered-but-skipped their ops, so rebuild the same
+  // buffers for the live stream to resume into.
+  INSIGHT_ASSIGN_OR_RETURN(std::vector<WalRecord> records, wal_->ReadAll());
+  streaming_replay_ = StreamingReplay();
+  INSIGHT_RETURN_NOT_OK(streaming_replay_.Prime(records));
+  // Suppress journaling: every shipped record is appended verbatim, and
+  // the local-transaction wrappers around apply units must not re-log.
+  replaying_ = true;
+  AdvanceAppliedLsn(wal_->durable_lsn());
+  role_.store(Role::kReplica, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Database::Promote() {
+  if (role() == Role::kPrimary) return Status::OK();
+  role_.store(Role::kPrimary, std::memory_order_release);
+  replaying_ = false;
+  // Drop buffered ops of transactions whose commit never shipped: the
+  // local log holds their kTxnOp records but no commit record, so a
+  // restart of this node discards them identically.
+  streaming_replay_ = StreamingReplay();
+  applied_cv_.notify_all();  // Release wait-for-lsn readers: we ARE the
+                             // frontier now.
+  return Status::OK();
+}
+
+Status Database::ApplyReplicated(const WalRecord& rec) {
+  if (role() != Role::kReplica) {
+    return Status::InvalidArgument("not a replica");
+  }
+  const Lsn expected = wal_->next_lsn();
+  if (rec.lsn != expected) {
+    return Status::Corruption(
+        "replication stream out of order: got LSN " +
+        std::to_string(rec.lsn) + ", local log expects " +
+        std::to_string(expected));
+  }
+  // Verbatim append keeps the local log a byte-equal prefix of the
+  // primary's, so restart recovery and later promotion need no special
+  // cases. WAL-before-data still holds: pages dirtied by the apply below
+  // are stamped with this LSN and force the log on flush.
+  INSIGHT_RETURN_NOT_OK(wal_->Append(rec.type, rec.payload).status());
+  pool_.SetCurrentLsn(rec.lsn);
+  std::vector<StreamingReplay::Unit> units;
+  INSIGHT_RETURN_NOT_OK(streaming_replay_.Feed(rec, &units));
+  for (const StreamingReplay::Unit& unit : units) {
+    INSIGHT_RETURN_NOT_OK(ApplyReplicatedUnit(unit));
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyReplicatedUnit(const StreamingReplay::Unit& unit) {
+  if (unit.ddl) {
+    // DDL restructures catalog objects readers borrow pointers to: same
+    // exclusive gate its primary-side original held.
+    std::unique_lock<std::shared_mutex> ddl_gate(ddl_mu_);
+    std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
+    for (const StreamingReplay::Op& op : unit.ops) {
+      INSIGHT_RETURN_NOT_OK(
+          RecoveryManager::ApplyOne(op.type, op.payload, this));
+    }
+    return Status::OK();
+  }
+  // DML unit: wrap in a local transaction so every row/annotation/index
+  // version carries one commit timestamp — concurrent replica readers
+  // see the whole primary commit or none of it. replaying_ keeps the
+  // transaction hooks from re-journaling.
+  std::shared_lock<std::shared_mutex> ddl_gate(ddl_mu_);
+  std::lock_guard<std::recursive_mutex> write_gate(txn_mgr_.write_mu());
+  INSIGHT_ASSIGN_OR_RETURN(Transaction * txn, txn_mgr_.Begin());
+  const uint64_t txn_id = txn->id();
+  Status applied = [&]() -> Status {
+    TxnScope scope(txn);
+    for (const StreamingReplay::Op& op : unit.ops) {
+      INSIGHT_RETURN_NOT_OK(
+          RecoveryManager::ApplyOne(op.type, op.payload, this));
+    }
+    return Status::OK();
+  }();
+  if (!applied.ok()) {
+    txn_mgr_.Abort(txn_id).ok();  // Surface the apply error, not the undo's.
+    return applied;
+  }
+  return txn_mgr_.Commit(txn_id);
+}
+
+void Database::AdvanceAppliedLsn(Lsn lsn) {
+  {
+    std::lock_guard<std::mutex> lk(applied_mu_);
+    if (lsn <= applied_lsn_.load(std::memory_order_relaxed)) return;
+    applied_lsn_.store(lsn, std::memory_order_release);
+  }
+  applied_cv_.notify_all();
+}
+
+bool Database::WaitForAppliedLsn(Lsn lsn,
+                                 std::chrono::milliseconds timeout) {
+  if (role() == Role::kPrimary) return true;  // Source of truth.
+  if (applied_lsn() >= lsn) return true;
+  std::unique_lock<std::mutex> lk(applied_mu_);
+  return applied_cv_.wait_for(lk, timeout, [&] {
+    return role() == Role::kPrimary ||
+           applied_lsn_.load(std::memory_order_acquire) >= lsn;
+  });
+}
+
 // ---------- ReplayTarget ----------
 
 Status Database::ReplayAnnIdFloor(uint64_t next_ann_id) {
@@ -665,6 +780,16 @@ Result<QueryResult> Database::Execute(const std::string& sql,
                                       uint64_t* txn_handle) {
   INSIGHT_RETURN_NOT_OK(CheckStatementSize(sql));
   INSIGHT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (role() == Role::kReplica &&
+      stmt.kind != Statement::Kind::kSelect &&
+      stmt.kind != Statement::Kind::kExplain &&
+      stmt.kind != Statement::Kind::kZoomIn) {
+    // Redirect error: routed clients recognize kReadOnly and resend the
+    // statement to the primary. BEGIN is rejected too — explicit
+    // transactions exist to write.
+    return Status::ReadOnly(
+        "this node is a read-only replica; redirect writes to the primary");
+  }
   switch (stmt.kind) {
     case Statement::Kind::kBegin:
       return ExecuteBegin(txn_handle);

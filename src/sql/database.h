@@ -2,6 +2,8 @@
 #define INSIGHTNOTES_SQL_DATABASE_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -18,6 +20,7 @@
 #include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
 #include "wal/recovery_manager.h"
+#include "wal/replica_applier.h"
 
 namespace insight {
 
@@ -205,6 +208,46 @@ class Database : public ReplayTarget {
     return recovery_stats_;
   }
 
+  // ---- Replication ----
+
+  /// A replica applies a primary's shipped WAL verbatim and serves only
+  /// reads; everything else redirects (kReadOnly) to the primary.
+  enum class Role { kPrimary, kReplica };
+
+  Role role() const { return role_.load(std::memory_order_acquire); }
+
+  /// Switches into replica mode: statements other than SELECT / EXPLAIN
+  /// / ZOOM IN are rejected with kReadOnly, local journaling is
+  /// suppressed (shipped records are already log records and are
+  /// appended verbatim), and in-flight transaction buffers are primed
+  /// from the local log so a stream resuming mid-transaction applies
+  /// correctly. Requires a journaled database (Open()).
+  Status EnterReplicaMode();
+
+  /// Promotes a replica to primary: journaling resumes and DML/DDL is
+  /// accepted again. Buffered ops of transactions the old primary never
+  /// committed are dropped — their commit record never shipped, which is
+  /// exactly the recovery contract. No-op on a primary.
+  Status Promote();
+
+  /// Applies one shipped WAL record: appends it to the local log
+  /// verbatim (records must arrive dense at the local next_lsn, so the
+  /// replica's log stays a byte-equal prefix of the primary's) and, when
+  /// the record seals an apply unit, applies it inside a local MVCC
+  /// transaction so concurrent readers observe the commit atomically.
+  /// Durability and applied-LSN publication are batched by the caller
+  /// (WalSync + AdvanceAppliedLsn).
+  Status ApplyReplicated(const WalRecord& rec);
+
+  /// Highest replicated LSN whose effects new snapshots observe.
+  Lsn applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+  void AdvanceAppliedLsn(Lsn lsn);
+  /// Blocks until applied_lsn() >= lsn; false on timeout. Primaries
+  /// satisfy any wait immediately (their state is the source).
+  bool WaitForAppliedLsn(Lsn lsn, std::chrono::milliseconds timeout);
+
   // ---- ReplayTarget (crash recovery; applies without re-logging) ----
 
   Status ReplayAnnIdFloor(uint64_t next_ann_id) override;
@@ -297,6 +340,12 @@ class Database : public ReplayTarget {
 
   Status DeleteTupleImpl(const std::string& table, Oid oid);
 
+  /// Applies one sealed apply unit. DML units run inside a local MVCC
+  /// transaction (atomic visibility flip at its commit timestamp); DDL
+  /// units take the DDL gate exclusively like their primary-side
+  /// originals.
+  Status ApplyReplicatedUnit(const StreamingReplay::Unit& unit);
+
   /// Declared first: every other member may still force the log while it
   /// is torn down, so the log must be destroyed last.
   std::unique_ptr<LogManager> wal_;
@@ -328,6 +377,15 @@ class Database : public ReplayTarget {
   /// leaving one transaction orphaned open, pinning the GC horizon).
   std::mutex embedded_mu_;
   uint64_t embedded_txn_ = 0;
+
+  /// Replication state. role_ gates Execute; the streaming replay and
+  /// the applied-LSN frontier are driven by the single replica feed
+  /// thread (readers touch only applied_lsn_/the condvar).
+  std::atomic<Role> role_{Role::kPrimary};
+  StreamingReplay streaming_replay_;
+  std::atomic<Lsn> applied_lsn_{0};
+  std::mutex applied_mu_;
+  std::condition_variable applied_cv_;
 
   StorageManager storage_;
   BufferPool pool_;

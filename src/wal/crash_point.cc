@@ -69,9 +69,17 @@ const std::vector<std::string>& RegisteredCrashPoints() {
 
 const std::vector<std::string>& ServingCrashPoints() {
   static const std::vector<std::string> kPoints = {
-      "net_before_reply",  // Statement executed + WAL-synced, reply unsent:
-                           // the client sees a dropped connection for a
-                           // change that recovery must preserve.
+      "net_before_reply",     // Statement executed + WAL-synced, reply unsent:
+                              // the client sees a dropped connection for a
+                              // change that recovery must preserve.
+      "repl_before_ship",     // Commit durable on the primary, log frame not
+                              // yet handed to any subscriber: replicas catch
+                              // up from their own log after promotion.
+      "repl_after_ship",      // Log frame queued to subscribers, client ack
+                              // unsent: a promoted replica may hold commits
+                              // the client never saw acknowledged.
+      "repl_after_ack_read",  // Primary consumed a ReplicaAck, then died:
+                              // acked state must survive on the replica.
   };
   return kPoints;
 }

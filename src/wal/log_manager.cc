@@ -277,4 +277,95 @@ Result<std::vector<WalRecord>> LogManager::ReadAll() const {
   return ScanValidPrefix(data, nullptr);
 }
 
+namespace {
+
+/// pread exactly `len` bytes at `offset` (EINTR-safe); a short file is
+/// an error — callers only read below the durable frontier.
+Status PreadExact(int fd, const std::string& path, uint64_t offset,
+                  char* dst, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, dst + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IOErrorFor("pread", path);
+    }
+    if (n == 0) {
+      return Status::Corruption("log truncated below the durable frontier");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LogManager::TailCursor> LogManager::SeekTo(Lsn first_lsn) const {
+  if (first_lsn == kInvalidLsn) {
+    return Status::InvalidArgument("cannot seek a tail cursor to LSN 0");
+  }
+  if (first_lsn > durable_lsn() + 1) {
+    return Status::OutOfRange(
+        "tail cursor start " + std::to_string(first_lsn) +
+        " is past the durable end " + std::to_string(durable_lsn()));
+  }
+  TailCursor cur;
+  while (cur.next_lsn < first_lsn) {
+    char header[kFrameHeaderBytes];
+    INSIGHT_RETURN_NOT_OK(
+        PreadExact(fd_, path_, cur.offset, header, sizeof(header)));
+    uint32_t len;
+    std::memcpy(&len, header, 4);
+    if (len < 9 || len > kMaxRecordBytes) {
+      return Status::Corruption("bad record length below durable frontier");
+    }
+    cur.offset += kFrameHeaderBytes + len;
+    ++cur.next_lsn;
+  }
+  return cur;
+}
+
+Result<std::vector<WalRecord>> LogManager::ReadDurableFrom(
+    TailCursor* cursor, size_t max_records, size_t max_bytes) const {
+  std::vector<WalRecord> out;
+  const Lsn durable = durable_lsn();
+  size_t bytes = 0;
+  while (out.size() < max_records && bytes < max_bytes &&
+         cursor->next_lsn <= durable) {
+    char header[kFrameHeaderBytes];
+    INSIGHT_RETURN_NOT_OK(
+        PreadExact(fd_, path_, cursor->offset, header, sizeof(header)));
+    uint32_t len, crc;
+    std::memcpy(&len, header, 4);
+    std::memcpy(&crc, header + 4, 4);
+    if (len < 9 || len > kMaxRecordBytes) {
+      return Status::Corruption("bad record length below durable frontier");
+    }
+    std::string body(len, '\0');
+    INSIGHT_RETURN_NOT_OK(
+        PreadExact(fd_, path_, cursor->offset + kFrameHeaderBytes,
+                   body.data(), body.size()));
+    if (Crc32(body) != crc) {
+      return Status::Corruption("record checksum mismatch below durable "
+                                "frontier");
+    }
+    SerdeReader reader(body);
+    WalRecord record;
+    uint8_t type;
+    if (!reader.ReadU64(&record.lsn) || !reader.ReadU8(&type) ||
+        type > static_cast<uint8_t>(WalRecordType::kTxnBegin) ||
+        record.lsn != cursor->next_lsn) {
+      return Status::Corruption("malformed record below durable frontier");
+    }
+    record.type = static_cast<WalRecordType>(type);
+    record.payload.assign(body.substr(9));
+    out.push_back(std::move(record));
+    cursor->offset += kFrameHeaderBytes + len;
+    bytes += kFrameHeaderBytes + len;
+    ++cursor->next_lsn;
+  }
+  return out;
+}
+
 }  // namespace insight

@@ -67,6 +67,28 @@ class LogManager : public WalBridge {
   /// un-synced records are NOT included — they are not durable.
   Result<std::vector<WalRecord>> ReadAll() const;
 
+  /// Byte-offset cursor over the durable on-disk prefix, for incremental
+  /// tail reads (replication shipping). `next_lsn` is the first LSN not
+  /// yet returned and `offset` its byte position in the segment. Bytes
+  /// below the durable frontier are immutable (the log never rewrites),
+  /// so cursor reads race with nothing.
+  struct TailCursor {
+    Lsn next_lsn = 1;
+    uint64_t offset = 0;
+  };
+
+  /// Positions a cursor at `first_lsn` by walking record headers from
+  /// the file start (one-time cost at subscription). Fails with
+  /// OutOfRange when `first_lsn` is past the durable end + 1.
+  Result<TailCursor> SeekTo(Lsn first_lsn) const;
+
+  /// Reads durable records starting at the cursor — at most
+  /// `max_records` and roughly `max_bytes` — advancing it. An empty
+  /// result means the cursor has caught up with the durable frontier.
+  Result<std::vector<WalRecord>> ReadDurableFrom(TailCursor* cursor,
+                                                 size_t max_records,
+                                                 size_t max_bytes) const;
+
   // WalBridge:
   uint64_t DurableLsn() const override { return durable_lsn(); }
   /// Forces the log so that everything *appended* up to `lsn` is durable.

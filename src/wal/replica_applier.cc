@@ -1,0 +1,90 @@
+#include "wal/replica_applier.h"
+
+#include <utility>
+
+namespace insight {
+
+namespace {
+
+bool IsDdl(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCreateTable:
+    case WalRecordType::kCreateIndex:
+    case WalRecordType::kDefineInstance:
+    case WalRecordType::kLinkInstance:
+    case WalRecordType::kUnlinkInstance:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status StreamingReplay::Feed(const WalRecord& rec, std::vector<Unit>* out) {
+  switch (rec.type) {
+    case WalRecordType::kNoop:
+    case WalRecordType::kCheckpointBegin:
+    case WalRecordType::kCheckpointEnd:
+      return Status::OK();
+    case WalRecordType::kTxnBegin: {
+      INSIGHT_ASSIGN_OR_RETURN(WalTxnBegin begin,
+                               WalTxnBegin::Decode(rec.payload));
+      buffered_[begin.txn_id].clear();  // Fresh incarnation of the id.
+      return Status::OK();
+    }
+    case WalRecordType::kTxnOp: {
+      INSIGHT_ASSIGN_OR_RETURN(WalTxnOp op, WalTxnOp::Decode(rec.payload));
+      buffered_[op.txn_id].push_back(
+          Op{op.inner_type, std::move(op.inner_payload)});
+      return Status::OK();
+    }
+    case WalRecordType::kTxnCommit: {
+      INSIGHT_ASSIGN_OR_RETURN(WalTxnCommit commit,
+                               WalTxnCommit::Decode(rec.payload));
+      auto it = buffered_.find(commit.txn_id);
+      if (it == buffered_.end() || it->second.empty()) {
+        if (it != buffered_.end()) buffered_.erase(it);
+        return Status::OK();  // Read-only or unknown txn: nothing to apply.
+      }
+      Unit unit;
+      unit.last_lsn = rec.lsn;
+      unit.ops = std::move(it->second);
+      for (const Op& op : unit.ops) {
+        if (IsDdl(op.type)) {
+          unit.ddl = true;
+          break;
+        }
+      }
+      buffered_.erase(it);
+      out->push_back(std::move(unit));
+      return Status::OK();
+    }
+    case WalRecordType::kTxnAbort: {
+      INSIGHT_ASSIGN_OR_RETURN(WalTxnAbort abort,
+                               WalTxnAbort::Decode(rec.payload));
+      buffered_.erase(abort.txn_id);
+      return Status::OK();
+    }
+    default: {
+      // Autocommit DML/DDL: one record, one unit.
+      Unit unit;
+      unit.last_lsn = rec.lsn;
+      unit.ddl = IsDdl(rec.type);
+      unit.ops.push_back(Op{rec.type, rec.payload});
+      out->push_back(std::move(unit));
+      return Status::OK();
+    }
+  }
+}
+
+Status StreamingReplay::Prime(const std::vector<WalRecord>& records) {
+  std::vector<Unit> discard;
+  for (const WalRecord& rec : records) {
+    INSIGHT_RETURN_NOT_OK(Feed(rec, &discard));
+    discard.clear();  // Recovery already applied everything sealed here.
+  }
+  return Status::OK();
+}
+
+}  // namespace insight

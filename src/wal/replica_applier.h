@@ -1,0 +1,64 @@
+#ifndef INSIGHTNOTES_WAL_REPLICA_APPLIER_H_
+#define INSIGHTNOTES_WAL_REPLICA_APPLIER_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "wal/wal_record.h"
+
+namespace insight {
+
+/// Turns a live, in-order WAL stream into atomic apply units — the
+/// stream-order analogue of RecoveryManager's two-pass replay. Recovery
+/// can see the whole log and buffer ops before deciding; a replica sees
+/// records one at a time, so this class buffers kTxnOp records per txn
+/// *incarnation* (a kTxnBegin reopens its id) and seals a unit at each
+/// kTxnCommit. Plain autocommit records seal immediately as one-op
+/// units. kTxnAbort drops the incarnation's buffer; checkpoint records
+/// are skipped (the replica already holds the state they snapshot — its
+/// own restart recovery consumes them from the local log instead).
+///
+/// The primary ships only *durable* records, which is what makes commit
+/// irrevocable here: the abort-revokes-commit pair recovery handles
+/// (commit appended, fsync failed, rolled back) never becomes durable,
+/// so it never reaches a replica.
+class StreamingReplay {
+ public:
+  /// One (type, payload) op, dispatchable via RecoveryManager::ApplyOne.
+  struct Op {
+    WalRecordType type = WalRecordType::kNoop;
+    std::string payload;
+  };
+
+  /// An atomically-visible batch: all ops of one committed txn, or one
+  /// autocommit record. The replica wraps each unit in a local MVCC
+  /// transaction so concurrent readers see it all-or-nothing.
+  struct Unit {
+    Lsn last_lsn = kInvalidLsn;  // LSN of the record that sealed the unit.
+    bool ddl = false;            // Needs the exclusive DDL gate to apply.
+    std::vector<Op> ops;
+  };
+
+  /// Feeds one record in LSN order; appends zero or one sealed unit to
+  /// `*out`. Errors on undecodable txn wrappers.
+  Status Feed(const WalRecord& rec, std::vector<Unit>* out);
+
+  /// Rebuilds in-flight txn buffers from `records` (a replica's local
+  /// log at startup), discarding sealed units — recovery already applied
+  /// those. A txn that began before a replica restart and commits after
+  /// resumes exactly where the log left it.
+  Status Prime(const std::vector<WalRecord>& records);
+
+  /// Transactions currently buffered (began, not yet committed/aborted).
+  size_t open_txns() const { return buffered_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Op>> buffered_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_WAL_REPLICA_APPLIER_H_

@@ -266,10 +266,13 @@ TEST(NetStressTest, ServingCrashPointIsRegisteredSeparately) {
   // The serving-path point must be exercised by these tests, not by the
   // storage kill-point matrix (whose workload never opens a socket).
   const auto& serving = ServingCrashPoints();
-  ASSERT_EQ(serving.size(), 1u);
+  ASSERT_EQ(serving.size(), 4u);
   EXPECT_EQ(serving[0], "net_before_reply");
+  EXPECT_EQ(serving[1], "repl_before_ship");
+  EXPECT_EQ(serving[2], "repl_after_ship");
+  EXPECT_EQ(serving[3], "repl_after_ack_read");
   for (const std::string& name : RegisteredCrashPoints()) {
-    EXPECT_NE(name, serving[0]);
+    for (const std::string& sp : serving) EXPECT_NE(name, sp);
   }
 }
 

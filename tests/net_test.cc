@@ -116,10 +116,17 @@ TEST(WireTest, UnknownWireStatusCodeDecodesToInternal) {
 }
 
 TEST(WireTest, QueryPayloadRoundTrip) {
-  auto sql = DecodeQuery(EncodeQuery("SELECT * FROM t WHERE a = 'x'"));
-  ASSERT_TRUE(sql.ok());
-  EXPECT_EQ(*sql, "SELECT * FROM t WHERE a = 'x'");
+  auto query = DecodeQuery(EncodeQuery("SELECT * FROM t WHERE a = 'x'", 42));
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->sql, "SELECT * FROM t WHERE a = 'x'");
+  EXPECT_EQ(query->wait_lsn, 42u);
   EXPECT_FALSE(DecodeQuery("\x02\x00").ok());  // Truncated string.
+
+  // Pre-replication encoders omitted wait_lsn; it decodes as 0.
+  auto bare = DecodeQuery(EncodeQuery("SELECT 1").substr(0, 12));
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->sql, "SELECT 1");
+  EXPECT_EQ(bare->wait_lsn, 0u);
 }
 
 TEST(WireTest, ResultPayloadRoundTrip) {
@@ -136,10 +143,11 @@ TEST(WireTest, ResultPayloadRoundTrip) {
                   .ok());
   ASSERT_TRUE(
       DecodeRowBatch(EncodeRowBatch(rows, summaries, 0, 256), &decoded).ok());
-  auto total = DecodeResultDone(EncodeResultDone(rows.size()));
-  ASSERT_TRUE(total.ok());
+  auto done = DecodeResultDone(EncodeResultDone(rows.size(), 17));
+  ASSERT_TRUE(done.ok());
 
-  EXPECT_EQ(*total, 2u);
+  EXPECT_EQ(done->total_rows, 2u);
+  EXPECT_EQ(done->commit_lsn, 17u);
   EXPECT_EQ(decoded.message, "ok");
   ASSERT_EQ(decoded.annotations.size(), 1u);
   EXPECT_EQ(decoded.annotations[0], "[3] note");
