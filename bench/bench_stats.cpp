@@ -1,0 +1,300 @@
+// Online statistics subsystem — estimation quality and DML overhead.
+//
+//   Q-error arms: build the birds corpus, ANALYZE, then churn the table
+//   (5x row growth concentrated on previously-unseen column values) so
+//   the histograms go stale. A fixed query battery then runs twice via
+//   EXPLAIN ANALYZE — once with the sketch tier disabled (histogram-only
+//   planning, the pre-src/stats engine) and once with it enabled — and
+//   the per-operator q-errors the executor reports are compared. The
+//   sketches answer from the live row counter and Count-Min frequencies,
+//   so the stale-denominator and unseen-value misestimates disappear.
+//
+//   Plan-flip arm: the same churn flips the cheapest access path for
+//   skewed predicates (an equality that matches 83% of the fresh table
+//   reads like 0.1% to the stale histograms). EXPLAIN under both arms
+//   must disagree on at least one battery query — the sketch tier is
+//   actually steering plans, not just annotating them.
+//
+//   DML overhead arm: identical insert+annotate bursts with the stats
+//   gate off and on (interleaved, best-of-N). The inline sketch updates
+//   are a few atomic adds per op, so the on/off ratio must stay within
+//   10% at smoke scale.
+//
+// Expectation: sketch-arm median and p95 q-error no worse than the
+// histogram arm, tail (max) strictly better, >= 1 plan flip, DML
+// overhead <= 1.10x. --smoke gates all four.
+//
+// Emits BENCH_stats.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "stats/sketch.h"
+#include "stats/sketch_registry.h"
+
+using namespace insight;
+using namespace insight::bench;
+
+namespace {
+
+/// Largest per-operator q-error in an EXPLAIN ANALYZE rendering (the
+/// executor prints "q-err=%.2f" on every estimated operator).
+double MaxQError(const std::string& plan) {
+  double worst = 1.0;
+  size_t pos = 0;
+  while ((pos = plan.find("q-err=", pos)) != std::string::npos) {
+    pos += std::strlen("q-err=");
+    const double q = std::atof(plan.c_str() + pos);
+    if (q > worst) worst = q;
+  }
+  return worst;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[idx];
+}
+
+/// One churn row: ids continue past the generated corpus, every string
+/// column gets a value ANALYZE never saw.
+Tuple ChurnRow(int64_t id) {
+  return Tuple({Value::Int(id), Value::String("petrel_sci"),
+                Value::String("storm petrel"), Value::String("Hydrobates"),
+                Value::String("Stormpetrels"), Value::String("Procell"),
+                Value::String("pelagic"), Value::String("churn row"),
+                Value::String("offshore"), Value::String("LC"),
+                Value::Double(0.4), Value::Double(0.03)});
+}
+
+struct QueryResultRow {
+  std::string name;
+  double hist_qerr = 1.0;
+  double sketch_qerr = 1.0;
+  bool plan_flipped = false;
+};
+
+struct DmlArm {
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  double ratio() const { return off_ms > 0 ? on_ms / off_ms : 1.0; }
+};
+
+/// Interleaved best-of-`reps` insert+annotate bursts, gate off vs on.
+DmlArm MeasureDmlOverhead(const BenchConfig& config, size_t ops, int reps) {
+  DmlArm arm;
+  arm.off_ms = 1e30;
+  arm.on_ms = 1e30;
+  Rng rng(config.seed + 99);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool enabled : {false, true}) {
+      SetStatsEnabled(enabled);
+      Database db;
+      BirdsWorkloadOptions opts = CorpusOptions(config, /*per_bird=*/2);
+      opts.num_birds = 50;
+      opts.synonyms_per_bird = 0;
+      GenerateBirdsWorkload(&db, opts).ValueOrDie();
+      Stopwatch timer;
+      for (size_t i = 0; i < ops; ++i) {
+        db.Insert("Birds", ChurnRow(static_cast<int64_t>(100000 + i)))
+            .ValueOrDie();
+        const std::string text = GenerateAnnotationText(
+            DrawTopic(&rng), /*target_chars=*/180, &rng);
+        db.Annotate("Birds", text,
+                    {{static_cast<Oid>(1 + i % opts.num_birds),
+                      RowMask(12)}})
+            .ValueOrDie();
+      }
+      const double ms = timer.ElapsedMillis();
+      double& slot = enabled ? arm.on_ms : arm.off_ms;
+      if (ms < slot) slot = ms;
+    }
+  }
+  SetStatsEnabled(true);
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  bool smoke = false;
+  bool dump_plans = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--dump-plans") == 0) dump_plans = true;
+  }
+  PrintHeader("bench_stats: online sketch statistics vs stale histograms",
+              "sketch tier removes stale-denominator and unseen-value "
+              "misestimates; inline maintenance <= 1.10x DML",
+              config);
+
+  Database db;
+  BirdsWorkloadOptions opts = CorpusOptions(config, /*per_bird=*/10);
+  opts.synonyms_per_bird = 0;
+  GenerateBirdsWorkload(&db, opts).ValueOrDie();
+  INSIGHT_CHECK(db.CreateColumnIndex("Birds", "family").ok());
+  INSIGHT_CHECK(db.Analyze("Birds").ok());
+
+  const int64_t eq_const =
+      PickEqualityConstant(&db, "Birds", "ClassBird1", "Disease", 0.10);
+  const int64_t gt_const =
+      PickThresholdConstant(&db, "Birds", "ClassBird1", "Disease", 0.20);
+
+  // Churn: 5x row growth, all of it on column values the histograms have
+  // never seen. The label numerators stay live (Section 5.2 maintenance);
+  // the row denominator and the family histogram are now 6x stale.
+  const size_t base_rows = opts.num_birds;
+  const size_t churn_rows = base_rows * 5;
+  for (size_t i = 0; i < churn_rows; ++i) {
+    db.Insert("Birds", ChurnRow(static_cast<int64_t>(base_rows + 1 + i)))
+        .ValueOrDie();
+  }
+
+  const std::string label_pred =
+      "$.getSummaryObject('ClassBird1').getLabelValue('Disease')";
+  struct Query {
+    const char* name;
+    std::string sql;
+  };
+  const std::vector<Query> battery = {
+      {"full_scan", "SELECT id FROM Birds WHERE id >= 0"},
+      {"churn_family_eq",
+       "SELECT id FROM Birds WHERE family = 'Stormpetrels'"},
+      {"stale_family_eq", "SELECT id FROM Birds WHERE family = 'Anatidae'"},
+      {"label_eq", "SELECT id FROM Birds WHERE " + label_pred + " = " +
+                       std::to_string(eq_const)},
+      {"label_gt", "SELECT id FROM Birds WHERE " + label_pred + " > " +
+                       std::to_string(gt_const)},
+      {"churn_habitat_eq",
+       "SELECT id FROM Birds WHERE habitat = 'pelagic'"},
+  };
+
+  std::vector<QueryResultRow> results;
+  std::vector<double> hist_qerrs;
+  std::vector<double> sketch_qerrs;
+  size_t plan_flips = 0;
+  for (const Query& q : battery) {
+    QueryResultRow row;
+    row.name = q.name;
+
+    db.optimizer_options().use_sketch_statistics = false;
+    const std::string hist_plan = db.Explain(q.sql).ValueOrDie();
+    const std::string hist_analyzed = db.ExplainAnalyze(q.sql).ValueOrDie();
+    row.hist_qerr = MaxQError(hist_analyzed);
+
+    db.optimizer_options().use_sketch_statistics = true;
+    const std::string sketch_plan = db.Explain(q.sql).ValueOrDie();
+    const std::string sketch_analyzed =
+        db.ExplainAnalyze(q.sql).ValueOrDie();
+    row.sketch_qerr = MaxQError(sketch_analyzed);
+    if (dump_plans) {
+      std::printf("---- %s [histogram arm]\n%s---- %s [sketch arm]\n%s",
+                  q.name, hist_analyzed.c_str(), q.name,
+                  sketch_analyzed.c_str());
+    }
+
+    row.plan_flipped = hist_plan != sketch_plan;
+    if (row.plan_flipped) ++plan_flips;
+    hist_qerrs.push_back(row.hist_qerr);
+    sketch_qerrs.push_back(row.sketch_qerr);
+    results.push_back(row);
+  }
+
+  std::printf("%-18s %14s %14s %6s\n", "query", "hist q-err",
+              "sketch q-err", "flip");
+  for (const QueryResultRow& row : results) {
+    std::printf("%-18s %14.2f %14.2f %6s\n", row.name.c_str(),
+                row.hist_qerr, row.sketch_qerr,
+                row.plan_flipped ? "yes" : "");
+  }
+
+  const double hist_median = Percentile(hist_qerrs, 0.5);
+  const double hist_p95 = Percentile(hist_qerrs, 0.95);
+  const double hist_max = *std::max_element(hist_qerrs.begin(),
+                                            hist_qerrs.end());
+  const double sketch_median = Percentile(sketch_qerrs, 0.5);
+  const double sketch_p95 = Percentile(sketch_qerrs, 0.95);
+  const double sketch_max = *std::max_element(sketch_qerrs.begin(),
+                                              sketch_qerrs.end());
+  std::printf("q-error summary: median %.2f -> %.2f, p95 %.2f -> %.2f, "
+              "max %.2f -> %.2f, plan flips %zu/%zu\n",
+              hist_median, sketch_median, hist_p95, sketch_p95, hist_max,
+              sketch_max, plan_flips, battery.size());
+
+  const size_t dml_ops = smoke ? 300 : 1500;
+  const DmlArm dml = MeasureDmlOverhead(config, dml_ops, /*reps=*/3);
+  std::printf("DML overhead: %zu insert+annotate ops, stats off %.1f ms, "
+              "on %.1f ms -> %.3fx\n",
+              dml_ops, dml.off_ms, dml.on_ms, dml.ratio());
+
+  FILE* json = std::fopen("BENCH_stats.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"stats_qerror_and_dml_overhead\",\n"
+                 "  \"base_rows\": %zu,\n  \"churn_rows\": %zu,\n"
+                 "  \"queries\": [",
+                 base_rows, churn_rows);
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(json,
+                   "%s\n    {\"name\": \"%s\", \"hist_qerr\": %.3f, "
+                   "\"sketch_qerr\": %.3f, \"plan_flipped\": %s}",
+                   i == 0 ? "" : ",", results[i].name.c_str(),
+                   results[i].hist_qerr, results[i].sketch_qerr,
+                   results[i].plan_flipped ? "true" : "false");
+    }
+    std::fprintf(json,
+                 "\n  ],\n"
+                 "  \"hist\": {\"median\": %.3f, \"p95\": %.3f, "
+                 "\"max\": %.3f},\n"
+                 "  \"sketch\": {\"median\": %.3f, \"p95\": %.3f, "
+                 "\"max\": %.3f},\n"
+                 "  \"plan_flips\": %zu,\n"
+                 "  \"dml\": {\"ops\": %zu, \"stats_off_ms\": %.3f, "
+                 "\"stats_on_ms\": %.3f, \"overhead\": %.4f}\n}\n",
+                 hist_median, hist_p95, hist_max, sketch_median, sketch_p95,
+                 sketch_max, plan_flips, dml_ops, dml.off_ms, dml.on_ms,
+                 dml.ratio());
+    std::fclose(json);
+    std::printf("wrote BENCH_stats.json\n");
+  }
+
+  if (smoke) {
+    bool ok = true;
+    if (sketch_median > hist_median * 1.05) {
+      std::printf("SMOKE FAILURE: sketch median q-error regressed "
+                  "(%.2f > %.2f)\n",
+                  sketch_median, hist_median);
+      ok = false;
+    }
+    if (sketch_p95 > hist_p95 * 1.05) {
+      std::printf("SMOKE FAILURE: sketch p95 q-error regressed "
+                  "(%.2f > %.2f)\n",
+                  sketch_p95, hist_p95);
+      ok = false;
+    }
+    if (sketch_max >= hist_max) {
+      std::printf("SMOKE FAILURE: q-error tail did not improve "
+                  "(%.2f >= %.2f)\n",
+                  sketch_max, hist_max);
+      ok = false;
+    }
+    if (plan_flips == 0) {
+      std::printf("SMOKE FAILURE: no plan flip on the skewed battery\n");
+      ok = false;
+    }
+    if (dml.ratio() > 1.10) {
+      std::printf("SMOKE FAILURE: DML overhead %.3fx > 1.10x\n",
+                  dml.ratio());
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("smoke OK\n");
+  }
+  return 0;
+}

@@ -81,4 +81,25 @@ if [ -x build/bench/bench_replication ]; then
   (cd build/bench && ./bench_replication --smoke > /dev/null)
 fi
 
+# Statistics smoke: against a churned corpus the sketch tier's q-errors
+# must be no worse at the median/p95 and strictly better at the tail, at
+# least one plan must flip, and inline sketch maintenance must stay
+# within 1.10x of stats-off DML (bench_stats --smoke exits nonzero).
+if [ -x build/bench/bench_stats ]; then
+  echo "==> statistics smoke (bench_stats --smoke)"
+  (cd build/bench && ./bench_stats --smoke > /dev/null)
+fi
+
+# Reference bench artifacts are committed at the repo root so estimate
+# regressions show up as diffs; a bench that stops emitting its JSON (or
+# a new bench that never committed one) fails here, not in review.
+echo "==> committed bench artifacts present"
+for artifact in BENCH_net.json BENCH_obs.json BENCH_parallel.json \
+    BENCH_wal.json BENCH_replication.json BENCH_stats.json; do
+  if [ ! -f "${artifact}" ]; then
+    echo "missing committed bench artifact: ${artifact}" >&2
+    exit 1
+  fi
+done
+
 echo "==> all checks passed"

@@ -37,6 +37,20 @@ struct OperatorStats {
   uint64_t total_ns() const { return open_ns + next_ns; }
 };
 
+/// Which statistics tier produced an operator's cardinality estimate.
+/// Stamped by the optimizer alongside estimated_rows and rendered by
+/// EXPLAIN ANALYZE as `src=histogram|sketch|feedback`.
+enum class EstimateSource {
+  kNone,       // No estimate / source unknown.
+  kHistogram,  // ANALYZE-built histograms (possibly live-folded).
+  kSketch,     // Online sketches overrode stale (or missing) histograms.
+  kFeedback,   // Histograms rebuilt by the cardinality-feedback loop.
+};
+
+/// Lower-case tier name for plan rendering ("histogram", "sketch",
+/// "feedback"; empty for kNone).
+const char* EstimateSourceName(EstimateSource source);
+
 /// Volcano-style physical operator. Standard SQL operators and the
 /// paper's summary-based operators (S, F, J, O) share this interface and
 /// mix freely in one plan (Section 3.2).
@@ -109,6 +123,11 @@ class PhysicalOperator {
   double estimated_rows() const { return est_rows_; }
   bool has_estimate() const { return est_rows_ >= 0; }
 
+  /// Which statistics tier produced the estimate; EXPLAIN ANALYZE renders
+  /// it as `src=` next to the q-error so misestimates can be attributed.
+  void set_estimate_source(EstimateSource source) { est_source_ = source; }
+  EstimateSource estimate_source() const { return est_source_; }
+
   /// Table whose statistics produced the estimate (access paths only);
   /// the cardinality-feedback loop reports misestimates back to it.
   void set_feedback_table(std::string table) {
@@ -137,6 +156,7 @@ class PhysicalOperator {
   OperatorStats stats_;
   ExecutionContext* exec_ctx_ = nullptr;
   double est_rows_ = -1;
+  EstimateSource est_source_ = EstimateSource::kNone;
   std::string feedback_table_;
 };
 

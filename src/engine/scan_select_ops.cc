@@ -62,6 +62,20 @@ std::string PhysicalOperator::ExplainTree(int indent) const {
   return out;
 }
 
+const char* EstimateSourceName(EstimateSource source) {
+  switch (source) {
+    case EstimateSource::kHistogram:
+      return "histogram";
+    case EstimateSource::kSketch:
+      return "sketch";
+    case EstimateSource::kFeedback:
+      return "feedback";
+    case EstimateSource::kNone:
+      break;
+  }
+  return "";
+}
+
 std::string PhysicalOperator::ExplainAnalyzeTree(int indent) const {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
   out += Describe();
@@ -73,10 +87,18 @@ std::string PhysicalOperator::ExplainAnalyzeTree(int indent) const {
                 static_cast<double>(stats_.total_ns()) / 1e6);
   out += counters;
   if (has_estimate()) {
-    char est[64];
-    std::snprintf(est, sizeof(est), "  (est=%.0f actual=%llu q-err=%.2f)",
-                  est_rows_, static_cast<unsigned long long>(stats_.rows),
-                  QError(est_rows_, static_cast<double>(stats_.rows)));
+    char est[96];
+    if (est_source_ != EstimateSource::kNone) {
+      std::snprintf(est, sizeof(est),
+                    "  (est=%.0f actual=%llu q-err=%.2f src=%s)", est_rows_,
+                    static_cast<unsigned long long>(stats_.rows),
+                    QError(est_rows_, static_cast<double>(stats_.rows)),
+                    EstimateSourceName(est_source_));
+    } else {
+      std::snprintf(est, sizeof(est), "  (est=%.0f actual=%llu q-err=%.2f)",
+                    est_rows_, static_cast<unsigned long long>(stats_.rows),
+                    QError(est_rows_, static_cast<double>(stats_.rows)));
+    }
     out += est;
   }
   out += AnalyzeAnnotation();

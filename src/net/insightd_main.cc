@@ -20,6 +20,7 @@
 #include "common/logging.h"
 #include "net/server.h"
 #include "sql/database.h"
+#include "stats/sketch.h"
 
 namespace {
 
@@ -44,6 +45,8 @@ void Usage(const char* argv0) {
       "  --replica-of HOST:PORT  start as a read replica of that primary\n"
       "                        (requires --dir; writes are rejected until\n"
       "                        a client sends the Promote frame)\n"
+      "  --stats MODE          on | off: online statistics sketches\n"
+      "                        maintained inline on DML (default on)\n"
       "  --verbose             log at Info instead of Warn\n",
       argv0);
 }
@@ -108,6 +111,16 @@ int main(int argc, char** argv) {
       parallelism = v;
     } else if (arg == "--replica-of" && next() != nullptr) {
       replica_of = argv[i];
+    } else if (arg == "--stats" && next() != nullptr) {
+      const std::string mode = argv[i];
+      if (mode == "on") {
+        insight::SetStatsEnabled(true);
+      } else if (mode == "off") {
+        insight::SetStatsEnabled(false);
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--verbose") {
       insight::SetLogLevel(insight::LogLevel::kInfo);
     } else if (arg == "--help" || arg == "-h") {

@@ -116,7 +116,8 @@ void InsightServer::AdoptConnection(int fd) {
     m.net_connections_rejected->Add(1);
     const std::string frame =
         EncodeFrame(FrameType::kGoodbye, "server at max_connections");
-    [[maybe_unused]] ssize_t n = ::write(fd, frame.data(), frame.size());
+    [[maybe_unused]] ssize_t n =
+        ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
     ::close(fd);
     return;
   }

@@ -2,6 +2,7 @@
 
 #include <string.h>
 #include <sys/epoll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -167,8 +168,10 @@ void Session::SendFrame(FrameType type, std::string_view payload) {
 void Session::Flush() {
   if (closed_) return;
   while (out_sent_ < outbuf_.size()) {
-    const ssize_t n = ::write(fd_, outbuf_.data() + out_sent_,
-                              outbuf_.size() - out_sent_);
+    // MSG_NOSIGNAL: a disconnect mid-flush must land in the write-error
+    // branch below, not raise SIGPIPE in handler-less host processes.
+    const ssize_t n = ::send(fd_, outbuf_.data() + out_sent_,
+                             outbuf_.size() - out_sent_, MSG_NOSIGNAL);
     if (n > 0) {
       EngineMetrics::Get().net_bytes_sent->Add(static_cast<uint64_t>(n));
       out_sent_ += static_cast<size_t>(n);

@@ -116,7 +116,10 @@ Status WriteFully(int fd, const void* buf, size_t len) {
   const char* src = static_cast<const char*>(buf);
   size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::write(fd, src + done, len - done);
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as the
+    // EPIPE status below, not a process-killing SIGPIPE — test binaries
+    // (unlike insightd) install no handler.
+    const ssize_t n = ::send(fd, src + done, len - done, MSG_NOSIGNAL);
     if (n > 0) {
       done += static_cast<size_t>(n);
       continue;

@@ -358,6 +358,18 @@ EngineMetrics& EngineMetrics::Get() {
     m->repl_wait_lsn_waits =
         r.GetCounter("insight_repl_wait_lsn_waits_total",
                      "Statements that blocked waiting for a replicated LSN");
+    m->stats_sketch_updates =
+        r.GetCounter("insight_stats_sketch_updates_total",
+                     "DML and summary ops absorbed by the online sketches");
+    m->stats_sketch_estimates =
+        r.GetCounter("insight_stats_sketch_estimates_total",
+                     "Operators whose cardinality came from the sketch tier");
+    m->stats_histogram_estimates = r.GetCounter(
+        "insight_stats_histogram_estimates_total",
+        "Operators whose cardinality came from the ANALYZE histograms");
+    m->stats_rescans_skipped = r.GetCounter(
+        "insight_stats_rescans_skipped_total",
+        "Feedback re-ANALYZEs skipped because sketches reported low churn");
     return m;
   }();
   return *metrics;

@@ -196,6 +196,14 @@ struct EngineMetrics {
   // Data access paths.
   Counter* btree_probes;
   Counter* heap_pages_scanned;
+  // Online statistics (src/stats).
+  Counter* stats_sketch_updates;    // DML/summary ops absorbed by sketches.
+  Counter* stats_sketch_estimates;  // Operators estimated from the sketch
+                                    // tier (EXPLAIN ANALYZE src=sketch).
+  Counter* stats_histogram_estimates;  // Operators estimated from the
+                                       // ANALYZE histograms.
+  Counter* stats_rescans_skipped;  // Feedback re-ANALYZEs skipped because
+                                   // the sketches reported low churn.
   // Query layer.
   Counter* queries_total;
   Counter* slow_queries_total;

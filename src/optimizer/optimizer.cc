@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "engine/parallel_ops.h"
+#include "obs/metrics.h"
 
 namespace insight {
 
@@ -420,21 +421,15 @@ Result<PlanEstimate> Optimizer::Estimate(const LogicalNode& node) {
     case LogicalKind::kScan: {
       INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
                                ctx_->Get(node.table));
+      const SketchPolicy policy = sketch_policy();
       PlanEstimate est;
-      est.rows = info->stats.has_value()
-                     ? static_cast<double>(info->stats->num_rows)
-                     : static_cast<double>(info->table->num_rows());
+      est.rows = info->EstimatedRows(policy);
       const double pages =
-          info->stats.has_value()
-              ? static_cast<double>(info->stats->heap_pages)
-              : est.rows * kTupleCpu;
+          info->EstimatedPages(policy, est.rows * kTupleCpu);
       est.cost = std::max(1.0, pages) + est.rows * kTupleCpu;
       if (node.propagate_summaries && info->mgr != nullptr) {
-        est.cost += est.rows * kPropagationIo *
-                    (info->stats.has_value() && info->stats->num_rows > 0
-                         ? static_cast<double>(info->stats->annotated_rows) /
-                               info->stats->num_rows
-                         : 1.0);
+        est.cost +=
+            est.rows * kPropagationIo * info->AnnotatedFraction(policy, 1.0);
       }
       return est;
     }
@@ -446,6 +441,7 @@ Result<PlanEstimate> Optimizer::Estimate(const LogicalNode& node) {
       // the first scan table that owns the referenced column/instance.
       std::vector<std::string> tables;
       node.children[0]->CollectTables(&tables);
+      const SketchPolicy policy = sketch_policy();
       double selectivity = 1.0;
       for (const ExprPtr& conjunct :
            SplitConjuncts(node.predicate.get())) {
@@ -455,12 +451,13 @@ Result<PlanEstimate> Optimizer::Estimate(const LogicalNode& node) {
           for (const std::string& table : tables) {
             INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
                                      ctx_->Get(table));
-            if (info->stats.has_value() &&
+            if ((info->stats.has_value() ||
+                 info->SketchTierActive(policy)) &&
                 info->HasInstance(indexable->instance) &&
                 IsLeafLabel(*info, indexable->instance, indexable->label)) {
-              s = info->stats->EstimateLabelSelectivity(
-                  indexable->instance, indexable->label, indexable->op,
-                  indexable->constant);
+              s = info->LabelSelectivity(policy, indexable->instance,
+                                         indexable->label, indexable->op,
+                                         indexable->constant, s);
               break;
             }
           }
@@ -472,10 +469,11 @@ Result<PlanEstimate> Optimizer::Estimate(const LogicalNode& node) {
             for (const std::string& table : tables) {
               INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
                                        ctx_->Get(table));
-              if (info->stats.has_value() &&
+              if ((info->stats.has_value() ||
+                   info->SketchTierActive(policy)) &&
                   info->table->schema().IndexOf(col->name()).ok()) {
-                s = info->stats->EstimateColumnSelectivity(
-                    col->name(), cmp->op(), lit->value());
+                s = info->ColumnSelectivity(policy, col->name(), cmp->op(),
+                                            lit->value(), s);
                 break;
               }
             }
@@ -517,6 +515,7 @@ Result<PlanEstimate> Optimizer::Estimate(const LogicalNode& node) {
           auto keys = MatchEquiJoin(conjunct.get(), ls, rs);
           if (!keys.has_value()) continue;
           // NDV from whichever side's base tables know the column.
+          const SketchPolicy policy = sketch_policy();
           uint64_t ndv = 1;
           for (size_t side = 0; side < 2; ++side) {
             std::vector<std::string> tables;
@@ -526,9 +525,8 @@ Result<PlanEstimate> Optimizer::Estimate(const LogicalNode& node) {
             for (const std::string& table : tables) {
               INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info,
                                        ctx_->Get(table));
-              if (info->stats.has_value() &&
-                  info->table->schema().IndexOf(column).ok()) {
-                ndv = std::max(ndv, info->stats->ColumnDistinct(column));
+              if (info->table->schema().IndexOf(column).ok()) {
+                ndv = std::max(ndv, info->ColumnDistinctEst(policy, column));
               }
             }
           }
@@ -683,13 +681,10 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
   INSIGHT_CHECK(cur->kind == LogicalKind::kScan);
   INSIGHT_ASSIGN_OR_RETURN(const RelationInfo* info, ctx_->Get(cur->table));
   const bool propagate = cur->propagate_summaries && info->mgr != nullptr;
-  const double table_rows =
-      info->stats.has_value() ? static_cast<double>(info->stats->num_rows)
-                              : static_cast<double>(info->table->num_rows());
+  const SketchPolicy policy = sketch_policy();
+  const double table_rows = info->EstimatedRows(policy);
   const double table_pages =
-      info->stats.has_value()
-          ? std::max<double>(1.0, static_cast<double>(info->stats->heap_pages))
-          : std::max(1.0, table_rows * kTupleCpu);
+      info->EstimatedPages(policy, table_rows * kTupleCpu);
 
   struct Candidate {
     enum class Kind {
@@ -716,11 +711,8 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
       auto pred = MatchColumnPredicate(data_conjuncts[i].get());
       if (!pred.has_value()) continue;
       if (info->table->GetColumnIndex(pred->column) == nullptr) continue;
-      double selectivity = 0.1;
-      if (info->stats.has_value()) {
-        selectivity = info->stats->EstimateColumnSelectivity(
-            pred->column, pred->op, pred->constant);
-      }
+      const double selectivity = info->ColumnSelectivity(
+          policy, pred->column, pred->op, pred->constant, 0.1);
       const double hits = table_rows * selectivity;
       candidates.push_back(Candidate{
           Candidate::Kind::kDataIndex,
@@ -733,11 +725,8 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
     auto pred = MatchIndexablePredicate(summary_conjuncts[i].get());
     if (!pred.has_value()) continue;
     if (!IsLeafLabel(*info, pred->instance, pred->label)) continue;
-    double selectivity = 0.05;
-    if (info->stats.has_value()) {
-      selectivity = info->stats->EstimateLabelSelectivity(
-          pred->instance, pred->label, pred->op, pred->constant);
-    }
+    const double selectivity = info->LabelSelectivity(
+        policy, pred->instance, pred->label, pred->op, pred->constant, 0.05);
     const double hits = table_rows * selectivity;
     const SummaryBTree* sbt =
         options_.use_summary_indexes ? info->SummaryIndexFor(pred->instance)
@@ -935,6 +924,32 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
   return Lowered{std::move(op), order};
 }
 
+EstimateSource Optimizer::EstimateSourceFor(const LogicalNode& node) const {
+  std::vector<std::string> tables;
+  node.CollectTables(&tables);
+  const SketchPolicy policy = sketch_policy();
+  EstimateSource source = EstimateSource::kNone;
+  for (const std::string& table : tables) {
+    Result<const RelationInfo*> info = ctx_->Get(table);
+    if (!info.ok()) continue;
+    switch ((*info)->Source(policy)) {
+      case EstimateSource::kSketch:
+        return EstimateSource::kSketch;  // Any sketch answer dominates.
+      case EstimateSource::kFeedback:
+        source = EstimateSource::kFeedback;
+        break;
+      case EstimateSource::kHistogram:
+        if (source == EstimateSource::kNone) {
+          source = EstimateSource::kHistogram;
+        }
+        break;
+      case EstimateSource::kNone:
+        break;
+    }
+  }
+  return source;
+}
+
 Result<Optimizer::Lowered> Optimizer::LowerRec(const LogicalNode& node) {
   INSIGHT_ASSIGN_OR_RETURN(Lowered out, LowerRecImpl(node));
   // Stamp the plan-time cardinality estimate onto the physical operator;
@@ -943,7 +958,16 @@ Result<Optimizer::Lowered> Optimizer::LowerRec(const LogicalNode& node) {
   // only leaves the operator unstamped — it never fails the lowering.
   if (out.op != nullptr && !out.op->has_estimate()) {
     Result<PlanEstimate> est = Estimate(node);
-    if (est.ok()) out.op->set_estimated_rows(est->rows);
+    if (est.ok()) {
+      out.op->set_estimated_rows(est->rows);
+      const EstimateSource source = EstimateSourceFor(node);
+      out.op->set_estimate_source(source);
+      if (source == EstimateSource::kSketch) {
+        EngineMetrics::Get().stats_sketch_estimates->Add(1);
+      } else if (source != EstimateSource::kNone) {
+        EngineMetrics::Get().stats_histogram_estimates->Add(1);
+      }
+    }
   }
   return out;
 }

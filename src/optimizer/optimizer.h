@@ -43,6 +43,13 @@ struct OptimizerOptions {
   /// upgrades to a full ANALYZE. 0 disables the feedback loop (default:
   /// plan choices stay deterministic for tests/benches unless opted in).
   double feedback_qerror_threshold = 0;
+  /// Consult the online sketch statistics (src/stats) as a second
+  /// estimator tier: sketch answers override the ANALYZE histograms once
+  /// they go stale, and cover relations never analyzed at all.
+  bool use_sketch_statistics = true;
+  /// Write churn since the last ANALYZE (as a fraction of the analyzed
+  /// row count) past which the histograms count as stale.
+  double sketch_staleness_threshold = 0.10;
 };
 
 /// Per-operator cardinality and cost estimate. Costs are abstract units:
@@ -105,6 +112,16 @@ class Optimizer {
   /// scan: picks SeqScan / IndexScan / SummaryIndexScan / BaselineIndexScan
   /// by estimated cost and wraps residual predicates.
   Result<Lowered> LowerAccessPath(const LogicalNode& node);
+
+  /// The sketch-tier consultation policy derived from the options.
+  SketchPolicy sketch_policy() const {
+    return SketchPolicy{options_.use_sketch_statistics,
+                        options_.sketch_staleness_threshold};
+  }
+  /// The statistics tier behind a subtree's estimate: sketch if any
+  /// referenced table answers from sketches, else feedback-rebuilt, else
+  /// histogram (kNone when no table has statistics at all).
+  EstimateSource EstimateSourceFor(const LogicalNode& node) const;
 
   QueryContext* ctx_;
   OptimizerOptions options_;

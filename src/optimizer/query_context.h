@@ -9,12 +9,25 @@
 
 #include "common/result.h"
 #include "engine/execution_context.h"
+#include "engine/operators.h"
 #include "optimizer/statistics.h"
 #include "sindex/baseline_index.h"
 #include "sindex/keyword_index.h"
 #include "sindex/summary_btree.h"
+#include "stats/sketch_registry.h"
 
 namespace insight {
+
+/// How the planner consults the online sketch tier. Built from the
+/// OptimizerOptions knobs at planning time so every estimate within one
+/// optimization run sees the same policy.
+struct SketchPolicy {
+  /// Consider sketch-derived estimates at all.
+  bool enabled = true;
+  /// Churn fraction (ops since ANALYZE / analyzed rows) past which the
+  /// histograms are considered stale and the sketch tier takes over.
+  double staleness_threshold = 0.10;
+};
 
 /// Everything the optimizer knows about one relation: its table, summary
 /// manager, registered summary indexes, and collected statistics.
@@ -25,6 +38,9 @@ struct RelationInfo {
   std::map<std::string, const BaselineClassifierIndex*> baseline_indexes;
   std::map<std::string, const SnippetKeywordIndex*> keyword_indexes;
   std::optional<TableStats> stats;
+  /// Online sketches maintained on the DML path (null when the stats
+  /// subsystem never registered this table). Owned by the SketchRegistry.
+  TableSketches* sketches = nullptr;
   /// Maintained-on-update label statistics (Section 5.2); created on the
   /// first Analyze() of an annotated relation.
   std::shared_ptr<LiveLabelStatistics> live_stats;
@@ -43,6 +59,59 @@ struct RelationInfo {
   /// True when `instance` is linked to this relation — the predicate of
   /// Rules 2, 5-7, 10, 11 ("L is not defined on S").
   bool HasInstance(const std::string& instance) const;
+
+  // ---- Tiered estimation (histograms vs online sketches) ----
+  //
+  // Each helper answers from the freshest tier: ANALYZE-built histograms
+  // while they are current, the online sketches once enough DML churned
+  // past them (or when the relation was never analyzed at all). Callers
+  // pass the fallback they would have used without any statistics so
+  // behavior is unchanged when both tiers are empty.
+
+  /// True when estimates should come from the sketches: the tier is
+  /// enabled, sketches exist and carry data, and the histograms are
+  /// either absent or stale under `policy.staleness_threshold`.
+  bool SketchTierActive(const SketchPolicy& policy) const;
+
+  /// The tier the next estimate will come from (EXPLAIN ANALYZE's `src=`).
+  EstimateSource Source(const SketchPolicy& policy) const;
+
+  /// Current row-count estimate (sketch row counter when active, else
+  /// histogram snapshot, else the table's live row count).
+  double EstimatedRows(const SketchPolicy& policy) const;
+
+  /// Heap-page estimate; the sketch tier scales the analyzed page count
+  /// by the row-count drift. `fallback_pages` is used when the relation
+  /// was never analyzed.
+  double EstimatedPages(const SketchPolicy& policy,
+                        double fallback_pages) const;
+
+  /// Fraction of rows carrying summaries (propagation costing).
+  double AnnotatedFraction(const SketchPolicy& policy,
+                           double fallback) const;
+
+  /// Selectivity of "instance.label <op> constant". The sketch tier keeps
+  /// the histogram's matching-row numerator (live-maintained) but divides
+  /// by the fresh sketch row count — the stale-denominator fix.
+  double LabelSelectivity(const SketchPolicy& policy,
+                          const std::string& instance,
+                          const std::string& label, CompareOp op,
+                          int64_t constant, double fallback) const;
+
+  /// Selectivity of "column <op> constant"; the sketch tier answers
+  /// equality from the Count-Min sketch.
+  double ColumnSelectivity(const SketchPolicy& policy,
+                           const std::string& column, CompareOp op,
+                           const Value& constant, double fallback) const;
+
+  /// Distinct label-count values (join estimation); HLL when stale.
+  uint64_t LabelDistinctEst(const SketchPolicy& policy,
+                            const std::string& instance,
+                            const std::string& label) const;
+
+  /// Distinct column values (join estimation); HLL when stale.
+  uint64_t ColumnDistinctEst(const SketchPolicy& policy,
+                             const std::string& column) const;
 };
 
 /// Planner-facing registry of relations and shared storage handles.
@@ -74,15 +143,21 @@ class QueryContext {
                                    const std::string& instance);
 
   /// Collects statistics for one relation (ANALYZE). The first Analyze of
-  /// an annotated relation also attaches LiveLabelStatistics, after which
-  /// the summary-side statistics stay fresh on every annotation update.
+  /// an annotated relation also attaches LiveLabelStatistics, seeded from
+  /// the same summary scan ANALYZE already performs (one pass, not two),
+  /// after which the summary-side statistics stay fresh on every
+  /// annotation update. Also resets the relation's sketch staleness
+  /// clock.
   Status Analyze(const std::string& table);
 
   /// Folds the live summary statistics into the cached TableStats (no
   /// scan). No-op for relations without stats or live maintenance. When
   /// cardinality feedback has flagged the relation (needs_analyze), this
-  /// runs a full Analyze() instead.
-  Status RefreshStats(const std::string& table);
+  /// runs a full Analyze() instead — unless the sketches report the
+  /// histograms are still fresh under `policy`, in which case the sketch
+  /// tier already covers the misestimate and the rescan is skipped.
+  Status RefreshStats(const std::string& table,
+                      const SketchPolicy& policy = SketchPolicy{});
 
   /// Cardinality-feedback entry point: records that an executed access
   /// path over `table` observed `qerror` (max(est,actual)/min(est,actual))

@@ -216,7 +216,8 @@ uint64_t TableStats::ColumnDistinct(const std::string& column) const {
   return std::max<uint64_t>(1, it->second.num_distinct);
 }
 
-Result<TableStats> AnalyzeTable(Table* table, SummaryManager* mgr) {
+Result<TableStats> AnalyzeTable(Table* table, SummaryManager* mgr,
+                                LiveLabelStatistics* seed) {
   TableStats stats;
   stats.num_rows = table->num_rows();
   stats.heap_pages = table->heap_bytes() / kPageSize;
@@ -260,12 +261,15 @@ Result<TableStats> AnalyzeTable(Table* table, SummaryManager* mgr) {
   std::map<std::string, uint64_t> object_count;
   uint64_t blob_bytes = 0;
   INSIGHT_RETURN_NOT_OK(mgr->ForEachSummaryRow(
-      [&](Oid, const SummarySet& set) -> Status {
+      [&](Oid oid, const SummarySet& set) -> Status {
         ++stats.annotated_rows;
         std::string blob;
         set.Serialize(&blob);
         blob_bytes += blob.size();
         for (const SummaryObject& obj : set.objects()) {
+          if (seed != nullptr) {
+            INSIGHT_RETURN_NOT_OK(seed->OnObjectChanged(oid, nullptr, &obj));
+          }
           const std::string key = ToLower(obj.instance_name);
           std::string buf;
           obj.Serialize(&buf);

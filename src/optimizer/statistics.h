@@ -76,6 +76,10 @@ struct TableStats {
   uint64_t heap_pages = 0;
   uint64_t annotated_rows = 0;
   double avg_summary_blob_size = 0;
+  /// True when this snapshot was rebuilt because the cardinality-feedback
+  /// loop flagged a misestimate (rather than an explicit ANALYZE); the
+  /// optimizer surfaces it as the `feedback` estimate source.
+  bool rebuilt_by_feedback = false;
   std::map<std::string, InstanceStats> instances;  // Lower-cased keys.
   std::map<std::string, ColumnStats> columns;      // Lower-cased keys.
 
@@ -98,12 +102,18 @@ struct TableStats {
   uint64_t ColumnDistinct(const std::string& column) const;
 };
 
+class LiveLabelStatistics;
+
 /// ANALYZE: one scan of the relation plus one scan of its summary
 /// storage. Data-column statistics refresh only on ANALYZE; the
 /// summary-side statistics are additionally kept fresh by
 /// LiveLabelStatistics below (the paper's "maintained whenever a summary
-/// object is updated", Section 5.2).
-Result<TableStats> AnalyzeTable(Table* table, SummaryManager* mgr);
+/// object is updated", Section 5.2). When `seed` is non-null, the summary
+/// pass additionally initializes it — the first Analyze of an annotated
+/// relation seeds the live statistics from the same single scan instead
+/// of walking the summary storage a second time.
+Result<TableStats> AnalyzeTable(Table* table, SummaryManager* mgr,
+                                LiveLabelStatistics* seed = nullptr);
 
 /// Incrementally-maintained per-label count distributions. Subscribes to
 /// every instance linked on the manager and tracks, for each classifier

@@ -140,6 +140,13 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
   INSIGHT_ASSIGN_OR_RETURN(
       rel.mgr, SummaryManager::Create(&catalog_, table, rel.store.get()));
   INSIGHT_RETURN_NOT_OK(context_.RegisterRelation(table, rel.mgr.get()));
+  // Online statistics ride along from the first write: the planner-facing
+  // RelationInfo carries the sketch handle as its second estimator tier.
+  TableSketches* sketches =
+      stats_registry_.RegisterTable(table->name(), table->schema());
+  if (auto info = context_.GetMutable(table->name()); info.ok()) {
+    (*info)->sketches = sketches;
+  }
   relations_[ToLower(name)] = std::move(rel);
   if (WalEnabled()) {
     WalCreateTable rec{table->name(), table->schema()};
@@ -152,6 +159,9 @@ Result<Oid> Database::Insert(const std::string& table, Tuple tuple) {
   INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
   StampNextLsn();
   INSIGHT_ASSIGN_OR_RETURN(Oid oid, t->Insert(tuple));
+  if (stats_internal::Enabled()) {
+    if (TableSketches* s = stats_registry_.Find(table)) s->OnInsert(tuple);
+  }
   if (WalEnabled()) {
     WalInsert rec{t->name(), oid, std::move(tuple)};
     INSIGHT_RETURN_NOT_OK(LogOp(WalRecordType::kInsert, rec.Encode()));
@@ -173,8 +183,27 @@ Status Database::DeleteTuple(const std::string& table, Oid oid) {
 Status Database::DeleteTupleImpl(const std::string& table, Oid oid) {
   INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
   INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(table));
+  // Capture the doomed tuple first (it is invisible after Delete) so the
+  // sketches can subtract its values once the delete has succeeded.
+  TableSketches* sketches = nullptr;
+  Tuple doomed;
+  if (stats_internal::Enabled()) {
+    sketches = stats_registry_.Find(table);
+    if (sketches != nullptr) {
+      Transaction* txn = CurrentTxn();
+      auto old =
+          t->Get(oid, txn != nullptr ? txn->snapshot() : Snapshot::Latest());
+      if (old.ok()) {
+        doomed = std::move(*old);
+      } else {
+        sketches = nullptr;
+      }
+    }
+  }
   INSIGHT_RETURN_NOT_OK(mgr->OnTupleDeleted(oid));
-  return t->Delete(oid);
+  INSIGHT_RETURN_NOT_OK(t->Delete(oid));
+  if (sketches != nullptr) sketches->OnDelete(doomed);
+  return Status::OK();
 }
 
 Status Database::CreateColumnIndex(const std::string& table,
@@ -297,6 +326,11 @@ Status Database::LinkInstance(const std::string& table,
         "no indexing scheme for Cluster-type instances");
   }
   INSIGHT_RETURN_NOT_OK(rel_it->second.mgr->LinkInstance(def_it->second));
+  // Per-label sketch maintenance subscribes alongside the indexes; the
+  // same subscription replays at recovery, so a recovered or promoted
+  // node keeps warm label sketches without extra machinery.
+  stats_registry_.AttachInstance(table, rel_it->second.mgr.get(),
+                                 def_it->second.id());
   if (indexable) {
     // INDEXABLE builds the index matching the instance family:
     // Summary-BTree for classifiers (Section 4), the inverted keyword
@@ -336,7 +370,19 @@ Status Database::UnlinkInstance(const std::string& table,
   if (rel_it == relations_.end()) {
     return Status::NotFound("no annotated relation " + table);
   }
+  // Resolve the instance id before the unlink destroys it; the sketch
+  // subscription detaches *after* the unlink so the object-strip events
+  // still reach the per-label sketches.
+  uint32_t sketch_detach_id = 0;
+  bool have_sketch_detach = false;
+  if (auto inst = rel_it->second.mgr->FindInstance(instance); inst.ok()) {
+    sketch_detach_id = (*inst)->id();
+    have_sketch_detach = true;
+  }
   INSIGHT_RETURN_NOT_OK(rel_it->second.mgr->UnlinkInstance(instance));
+  if (have_sketch_detach) {
+    stats_registry_.DetachInstance(table, sketch_detach_id);
+  }
   // Tear down the instance's indexes: planner registrations first, then
   // the objects themselves (their destructors drop the maintenance
   // subscriptions).
@@ -531,6 +577,11 @@ Result<WalSnapshot> Database::BuildSnapshot() {
           return Status::OK();
         }));
   }
+  // Sketch image last: every table it names exists by now, and restoring
+  // it after the inserts/annotations replayed above overwrites their
+  // incremental updates with the exact checkpointed state (idempotent).
+  snap.ops.emplace_back(WalRecordType::kStatsSketch,
+                        WalStatsSketch{stats_registry_.Serialize()}.Encode());
   return snap;
 }
 
@@ -700,7 +751,16 @@ Status Database::ReplayCreateIndex(const WalCreateIndex& op) {
 
 Status Database::ReplayInsert(const WalInsert& op) {
   INSIGHT_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(op.table));
-  return t->InsertWithOid(op.oid, op.tuple);
+  INSIGHT_RETURN_NOT_OK(t->InsertWithOid(op.oid, op.tuple));
+  // Replay rebuilds the online statistics as derived state — recovery and
+  // replica apply both route through here, so a recovered database and a
+  // promoted replica plan with warm sketches.
+  if (stats_internal::Enabled()) {
+    if (TableSketches* s = stats_registry_.Find(op.table)) {
+      s->OnInsert(op.tuple);
+    }
+  }
+  return Status::OK();
 }
 
 Status Database::ReplayDelete(const WalDelete& op) {
@@ -744,6 +804,10 @@ Status Database::ReplayAnnotate(const WalAnnotate& op) {
 Status Database::ReplayRemoveAnnotation(const WalRemoveAnnotation& op) {
   INSIGHT_ASSIGN_OR_RETURN(SummaryManager * mgr, GetManager(op.table));
   return mgr->RemoveAnnotation(op.ann_id);
+}
+
+Status Database::ReplayStatsSketch(const WalStatsSketch& op) {
+  return stats_registry_.Restore(op.image);
 }
 
 Result<std::vector<Row>> Database::Run(LogicalPtr plan) {

@@ -16,6 +16,7 @@
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 #include "sql/statement_executor.h"
+#include "stats/sketch_registry.h"
 #include "summary/summary_manager.h"
 #include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
@@ -260,6 +261,7 @@ class Database : public ReplayTarget {
   Status ReplayUnlinkInstance(const WalUnlinkInstance& op) override;
   Status ReplayAnnotate(const WalAnnotate& op) override;
   Status ReplayRemoveAnnotation(const WalRemoveAnnotation& op) override;
+  Status ReplayStatsSketch(const WalStatsSketch& op) override;
 
   // ---- Accessors ----
 
@@ -279,6 +281,11 @@ class Database : public ReplayTarget {
   Result<Table*> GetTable(const std::string& name) {
     return catalog_.GetTable(name);
   }
+  /// Online statistics (HyperLogLog / Count-Min) maintained inline on
+  /// the DML path; the optimizer's second estimator tier reads it via
+  /// RelationInfo::sketches.
+  SketchRegistry* sketch_registry() { return &stats_registry_; }
+
   Result<SummaryManager*> GetManager(const std::string& table);
   Result<const SummaryBTree*> GetSummaryIndex(const std::string& table,
                                               const std::string& instance);
@@ -393,6 +400,10 @@ class Database : public ReplayTarget {
   OptimizerOptions optimizer_options_;
   std::map<std::string, AnnotatedRelation> relations_;  // Lower-case keys.
   std::map<std::string, SummaryInstance> instance_defs_;  // Prototypes.
+  /// Online sketches. Declared after relations_: its destructor
+  /// deregisters the per-label listeners from the summary managers in
+  /// relations_, so it must be destroyed first.
+  SketchRegistry stats_registry_;
   SlowQueryLog slow_query_log_;
   // Declared after relations_ deliberately: the context holds live
   // statistics whose destructors deregister from the summary managers

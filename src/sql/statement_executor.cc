@@ -294,8 +294,11 @@ Status StatementExecutor::RefreshSelectStats(const SelectStatement& select) {
   // Fold maintained-on-update summary statistics into the planner's view
   // (Section 5.2); cheap, no scans.
   std::unique_lock<std::shared_mutex> plan_gate(plan_mu_);
+  const OptimizerOptions& opts = db_->optimizer_options();
+  const SketchPolicy policy{opts.use_sketch_statistics,
+                            opts.sketch_staleness_threshold};
   for (const SelectStatement::FromTable& from : select.from) {
-    Status refreshed = db_->context()->RefreshStats(from.table);
+    Status refreshed = db_->context()->RefreshStats(from.table, policy);
     if (!refreshed.ok() && !refreshed.IsNotFound()) return refreshed;
   }
   return Status::OK();

@@ -1,0 +1,191 @@
+#include "stats/sketch.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace insight {
+
+bool StatsEnabled() {
+  return stats_internal::g_stats_enabled.load(std::memory_order_acquire);
+}
+
+void SetStatsEnabled(bool enabled) {
+  stats_internal::g_stats_enabled.store(enabled, std::memory_order_release);
+}
+
+namespace stats_internal {
+
+std::atomic<bool> g_stats_enabled{true};
+
+}  // namespace stats_internal
+
+// ---- HyperLogLog ----
+
+HyperLogLog::HyperLogLog()
+    : regs_(new std::atomic<uint8_t>[kNumRegisters]) {
+  Reset();
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const size_t idx = static_cast<size_t>(hash >> (64 - kPrecision));
+  // Rank of the first set bit in the remaining 52 bits, 1-based; an
+  // all-zero suffix ranks 53.
+  const uint64_t suffix = hash << kPrecision;
+  const uint8_t rank =
+      suffix == 0 ? static_cast<uint8_t>(64 - kPrecision + 1)
+                  : static_cast<uint8_t>(__builtin_clzll(suffix) + 1);
+  // CAS-max: lost races only ever lose to a larger rank, so the register
+  // converges to the stream maximum regardless of interleaving.
+  uint8_t cur = regs_[idx].load(std::memory_order_relaxed);
+  while (rank > cur && !regs_[idx].compare_exchange_weak(
+                           cur, rank, std::memory_order_relaxed)) {
+  }
+}
+
+double HyperLogLog::Estimate() const {
+  // Standard HLL with the large-m alpha constant, plus linear counting
+  // below 2.5m (the regime where the raw estimator is biased high).
+  const double m = static_cast<double>(kNumRegisters);
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double inv_sum = 0.0;
+  size_t zeros = 0;
+  for (size_t i = 0; i < kNumRegisters; ++i) {
+    const uint8_t r = regs_[i].load(std::memory_order_relaxed);
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  for (size_t i = 0; i < kNumRegisters; ++i) {
+    const uint8_t theirs = other.regs_[i].load(std::memory_order_relaxed);
+    uint8_t cur = regs_[i].load(std::memory_order_relaxed);
+    while (theirs > cur && !regs_[i].compare_exchange_weak(
+                               cur, theirs, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void HyperLogLog::Reset() {
+  for (size_t i = 0; i < kNumRegisters; ++i) {
+    regs_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool HyperLogLog::SameRegisters(const HyperLogLog& other) const {
+  for (size_t i = 0; i < kNumRegisters; ++i) {
+    if (regs_[i].load(std::memory_order_relaxed) !=
+        other.regs_[i].load(std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void HyperLogLog::Serialize(std::string* dst) const {
+  PutU32(dst, kPrecision);
+  for (size_t i = 0; i < kNumRegisters; ++i) {
+    PutU8(dst, regs_[i].load(std::memory_order_relaxed));
+  }
+}
+
+Status HyperLogLog::Deserialize(SerdeReader* reader) {
+  uint32_t precision = 0;
+  if (!reader->ReadU32(&precision) || precision != kPrecision) {
+    return Status::Corruption("bad HyperLogLog header");
+  }
+  for (size_t i = 0; i < kNumRegisters; ++i) {
+    uint8_t r = 0;
+    if (!reader->ReadU8(&r)) {
+      return Status::Corruption("truncated HyperLogLog registers");
+    }
+    regs_[i].store(r, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+// ---- CountMinSketch ----
+
+CountMinSketch::CountMinSketch()
+    : cells_(new std::atomic<int64_t>[kDepth * kWidth]) {
+  Reset();
+}
+
+void CountMinSketch::AddHash(uint64_t hash, int64_t delta) {
+  for (size_t row = 0; row < kDepth; ++row) {
+    cells_[CellIndex(hash, row)].fetch_add(delta, std::memory_order_relaxed);
+  }
+  total_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t CountMinSketch::EstimateHash(uint64_t hash) const {
+  int64_t est = INT64_MAX;
+  for (size_t row = 0; row < kDepth; ++row) {
+    const int64_t cell =
+        cells_[CellIndex(hash, row)].load(std::memory_order_relaxed);
+    if (cell < est) est = cell;
+  }
+  return est < 0 ? 0 : est;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  for (size_t i = 0; i < kDepth * kWidth; ++i) {
+    const int64_t theirs = other.cells_[i].load(std::memory_order_relaxed);
+    if (theirs != 0) {
+      cells_[i].fetch_add(theirs, std::memory_order_relaxed);
+    }
+  }
+  total_.fetch_add(other.total(), std::memory_order_relaxed);
+}
+
+void CountMinSketch::Reset() {
+  for (size_t i = 0; i < kDepth * kWidth; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+}
+
+bool CountMinSketch::SameCells(const CountMinSketch& other) const {
+  for (size_t i = 0; i < kDepth * kWidth; ++i) {
+    if (cells_[i].load(std::memory_order_relaxed) !=
+        other.cells_[i].load(std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+  return total() == other.total();
+}
+
+void CountMinSketch::Serialize(std::string* dst) const {
+  PutU32(dst, static_cast<uint32_t>(kWidth));
+  PutU32(dst, static_cast<uint32_t>(kDepth));
+  PutI64(dst, total());
+  for (size_t i = 0; i < kDepth * kWidth; ++i) {
+    PutI64(dst, cells_[i].load(std::memory_order_relaxed));
+  }
+}
+
+Status CountMinSketch::Deserialize(SerdeReader* reader) {
+  uint32_t width = 0;
+  uint32_t depth = 0;
+  int64_t total = 0;
+  if (!reader->ReadU32(&width) || !reader->ReadU32(&depth) ||
+      !reader->ReadI64(&total) || width != kWidth || depth != kDepth) {
+    return Status::Corruption("bad CountMinSketch header");
+  }
+  for (size_t i = 0; i < kDepth * kWidth; ++i) {
+    int64_t cell = 0;
+    if (!reader->ReadI64(&cell)) {
+      return Status::Corruption("truncated CountMinSketch cells");
+    }
+    cells_[i].store(cell, std::memory_order_relaxed);
+  }
+  total_.store(total, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace insight

@@ -1,0 +1,129 @@
+#ifndef INSIGHTNOTES_STATS_SKETCH_H_
+#define INSIGHTNOTES_STATS_SKETCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace insight {
+
+/// Process-wide switch for online sketch maintenance, mirroring the
+/// MetricsEnabled() discipline in src/obs: every DML-path sketch update
+/// checks one relaxed atomic load first, so a disabled engine pays a
+/// predictable branch per hook and the sketch cells are never written.
+/// Estimation reads work either way (they see whatever was maintained).
+bool StatsEnabled();
+void SetStatsEnabled(bool enabled);
+
+namespace stats_internal {
+
+extern std::atomic<bool> g_stats_enabled;
+
+inline bool Enabled() {
+  return g_stats_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace stats_internal
+
+/// Finalizer-quality 64-bit mixer (splitmix64). Sketches key everything
+/// off one mixed hash; per-row Count-Min hashes are derived from it.
+inline uint64_t SketchMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// HyperLogLog distinct counter. 2^12 = 4096 single-byte registers give a
+/// standard error of 1.04/sqrt(4096) ~= 1.6%. Registers are atomic and
+/// updated with a CAS-max loop, so concurrent writers never lose an
+/// observation and merge (register-wise max) is exactly associative and
+/// commutative — the property the merge tests pin down. Inserts cannot be
+/// undone, so ndistinct is a monotone overestimate under deletes; callers
+/// that need delete-tracking use the Count-Min sketch instead.
+class HyperLogLog {
+ public:
+  static constexpr uint32_t kPrecision = 12;
+  static constexpr size_t kNumRegisters = size_t{1} << kPrecision;
+
+  HyperLogLog();
+
+  HyperLogLog(const HyperLogLog&) = delete;
+  HyperLogLog& operator=(const HyperLogLog&) = delete;
+
+  /// Observes one pre-mixed 64-bit hash.
+  void AddHash(uint64_t hash);
+
+  /// Bias-corrected cardinality estimate (linear counting at the low end).
+  double Estimate() const;
+
+  /// Register-wise max. Equivalent to having observed both streams.
+  void Merge(const HyperLogLog& other);
+
+  void Reset();
+
+  /// True when every register matches (merge-associativity tests).
+  bool SameRegisters(const HyperLogLog& other) const;
+
+  void Serialize(std::string* dst) const;
+  Status Deserialize(SerdeReader* reader);
+
+ private:
+  std::unique_ptr<std::atomic<uint8_t>[]> regs_;
+};
+
+/// Count-Min sketch over 64-bit hashes, depth 4 x width 2048 of atomic
+/// signed counters. Point estimate = min over rows, clamped at zero.
+/// Signed cells make it a strict-turnstile sketch: deletes and MVCC-abort
+/// compensation subtract the same per-row deltas the insert added, so the
+/// classic "never underestimates a live count" guarantee is preserved as
+/// long as no key's aggregate goes negative (true on the DML path, where
+/// every subtraction undoes a prior addition). Cell-wise addition is the
+/// merge, again exactly associative and commutative.
+class CountMinSketch {
+ public:
+  static constexpr size_t kWidth = 2048;  // eps ~= 2/width ~= 0.1% of N.
+  static constexpr size_t kDepth = 4;
+
+  CountMinSketch();
+
+  CountMinSketch(const CountMinSketch&) = delete;
+  CountMinSketch& operator=(const CountMinSketch&) = delete;
+
+  void AddHash(uint64_t hash, int64_t delta);
+
+  /// Min-over-rows frequency estimate for the key behind `hash`.
+  int64_t EstimateHash(uint64_t hash) const;
+
+  /// Net sum of all deltas ever applied (the sketch's |stream|).
+  int64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+  void Merge(const CountMinSketch& other);
+
+  void Reset();
+
+  bool SameCells(const CountMinSketch& other) const;
+
+  void Serialize(std::string* dst) const;
+  Status Deserialize(SerdeReader* reader);
+
+ private:
+  static size_t CellIndex(uint64_t hash, size_t row) {
+    // Independent per-row hashes derived by re-mixing with a row salt.
+    return row * kWidth +
+           static_cast<size_t>(SketchMix64(hash + row * 0xc2b2ae3d27d4eb4fULL) &
+                               (kWidth - 1));
+  }
+
+  std::unique_ptr<std::atomic<int64_t>[]> cells_;  // kDepth * kWidth.
+  std::atomic<int64_t> total_{0};
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_STATS_SKETCH_H_

@@ -1,0 +1,401 @@
+#include "stats/sketch_registry.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "summary/summary_object.h"
+#include "txn/txn.h"
+
+namespace insight {
+
+// ---- TableSketches ----
+
+TableSketches::TableSketches(std::string name, const Schema& schema)
+    : name_(std::move(name)) {
+  column_names_.reserve(schema.num_columns());
+  columns_.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    column_names_.push_back(ToLower(schema.column(c).name));
+    columns_.push_back(std::make_unique<ColumnSketch>());
+  }
+}
+
+TableSketches::ColumnSketch* TableSketches::FindColumn(
+    const std::string& lower_name) const {
+  for (size_t c = 0; c < column_names_.size(); ++c) {
+    if (column_names_[c] == lower_name) return columns_[c].get();
+  }
+  return nullptr;
+}
+
+TableSketches::InstanceSketch* TableSketches::GetOrCreateInstance(
+    const std::string& lower_name) {
+  {
+    std::shared_lock<std::shared_mutex> lk(instances_mu_);
+    auto it = instances_.find(lower_name);
+    if (it != instances_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lk(instances_mu_);
+  auto& slot = instances_[lower_name];
+  if (slot == nullptr) slot = std::make_unique<InstanceSketch>();
+  return slot.get();
+}
+
+const TableSketches::InstanceSketch* TableSketches::FindInstance(
+    const std::string& lower_name) const {
+  std::shared_lock<std::shared_mutex> lk(instances_mu_);
+  auto it = instances_.find(lower_name);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+TableSketches::LabelSketch* TableSketches::GetOrCreateLabel(
+    InstanceSketch* inst, const std::string& lower_label) {
+  {
+    std::shared_lock<std::shared_mutex> lk(instances_mu_);
+    auto it = inst->labels.find(lower_label);
+    if (it != inst->labels.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lk(instances_mu_);
+  auto& slot = inst->labels[lower_label];
+  if (slot == nullptr) slot = std::make_unique<LabelSketch>();
+  return slot.get();
+}
+
+void TableSketches::ApplyRowCounts(const Tuple& tuple, int64_t delta) {
+  const size_t n = std::min(tuple.size(), columns_.size());
+  for (size_t c = 0; c < n; ++c) {
+    columns_[c]->freq.AddHash(SketchHashValue(tuple.at(c)), delta);
+  }
+  rows_.fetch_add(delta, std::memory_order_relaxed);
+  ops_since_analyze_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TableSketches::ApplyRowDistinct(const Tuple& tuple) {
+  const size_t n = std::min(tuple.size(), columns_.size());
+  for (size_t c = 0; c < n; ++c) {
+    columns_[c]->distinct.AddHash(SketchHashValue(tuple.at(c)));
+  }
+}
+
+void TableSketches::OnInsert(const Tuple& tuple) {
+  if (!stats_internal::Enabled()) return;
+  EngineMetrics::Get().stats_sketch_updates->Add(1);
+  ApplyRowCounts(tuple, +1);
+  if (Transaction* txn = CurrentTxn()) {
+    Tuple copy = tuple;
+    txn->OnAbort([this, copy]() { ApplyRowCounts(copy, -1); });
+    Tuple keep = tuple;
+    txn->OnCommit(
+        [this, keep = std::move(keep)](Ts) { ApplyRowDistinct(keep); });
+  } else {
+    ApplyRowDistinct(tuple);
+  }
+}
+
+void TableSketches::OnDelete(const Tuple& tuple) {
+  if (!stats_internal::Enabled()) return;
+  EngineMetrics::Get().stats_sketch_updates->Add(1);
+  ApplyRowCounts(tuple, -1);
+  if (Transaction* txn = CurrentTxn()) {
+    Tuple copy = tuple;
+    txn->OnAbort([this, copy]() { ApplyRowCounts(copy, +1); });
+  }
+}
+
+void TableSketches::OnUpdate(const Tuple& before, const Tuple& after) {
+  OnDelete(before);
+  OnInsert(after);
+}
+
+TableSketches::RepCounts TableSketches::ClassifierReps(
+    const SummaryObject* obj) {
+  RepCounts reps;
+  if (obj == nullptr || obj->type != SummaryType::kClassifier) return reps;
+  reps.reserve(obj->reps.size());
+  for (const Representative& rep : obj->reps) {
+    reps.emplace_back(ToLower(rep.text), rep.count);
+  }
+  return reps;
+}
+
+void TableSketches::ApplyRepCounts(const std::string& instance,
+                                   const RepCounts& reps, int64_t delta,
+                                   int64_t object_delta) {
+  InstanceSketch* inst = GetOrCreateInstance(instance);
+  if (object_delta != 0) {
+    inst->objects.fetch_add(object_delta, std::memory_order_relaxed);
+  }
+  for (const auto& [label, count] : reps) {
+    GetOrCreateLabel(inst, label)->counts.AddHash(SketchHashCount(count),
+                                                  delta);
+  }
+}
+
+void TableSketches::ApplyRepDistinct(const std::string& instance,
+                                     const RepCounts& reps) {
+  if (reps.empty()) return;
+  InstanceSketch* inst = GetOrCreateInstance(instance);
+  for (const auto& [label, count] : reps) {
+    GetOrCreateLabel(inst, label)->distinct.AddHash(SketchHashCount(count));
+  }
+}
+
+Status TableSketches::OnSummaryChanged(Oid, const SummaryObject* before,
+                                       const SummaryObject* after) {
+  if (!stats_internal::Enabled()) return Status::OK();
+  const SummaryObject* any = before != nullptr ? before : after;
+  if (any == nullptr) return Status::OK();
+  EngineMetrics::Get().stats_sketch_updates->Add(1);
+  const std::string instance = ToLower(any->instance_name);
+  const int64_t object_delta =
+      (before == nullptr ? 1 : 0) - (after == nullptr ? 1 : 0);
+  RepCounts before_reps = ClassifierReps(before);
+  RepCounts after_reps = ClassifierReps(after);
+  ApplyRepCounts(instance, before_reps, -1, 0);
+  ApplyRepCounts(instance, after_reps, +1, object_delta);
+  if (Transaction* txn = CurrentTxn()) {
+    txn->OnAbort([this, instance, before_reps, after_reps, object_delta]() {
+      ApplyRepCounts(instance, after_reps, -1, -object_delta);
+      ApplyRepCounts(instance, before_reps, +1, 0);
+    });
+    txn->OnCommit([this, instance, after_reps = std::move(after_reps)](Ts) {
+      ApplyRepDistinct(instance, after_reps);
+    });
+  } else {
+    ApplyRepDistinct(instance, after_reps);
+  }
+  return Status::OK();
+}
+
+void TableSketches::NoteAnalyzed(uint64_t analyzed_rows) {
+  analyzed_rows_.store(analyzed_rows, std::memory_order_relaxed);
+  ops_since_analyze_.store(0, std::memory_order_relaxed);
+  analyzed_.store(true, std::memory_order_relaxed);
+}
+
+bool TableSketches::StaleSince(double threshold) const {
+  if (!analyzed_.load(std::memory_order_relaxed)) return true;
+  const double base =
+      std::max<double>(8.0, static_cast<double>(analyzed_rows()));
+  return static_cast<double>(ops_since_analyze()) > threshold * base;
+}
+
+bool TableSketches::HasData() const {
+  return rows() > 0 || ops_since_analyze() > 0 ||
+         analyzed_.load(std::memory_order_relaxed);
+}
+
+double TableSketches::ColumnDistinct(const std::string& column) const {
+  const ColumnSketch* col = FindColumn(ToLower(column));
+  if (col == nullptr) return -1.0;
+  return col->distinct.Estimate();
+}
+
+int64_t TableSketches::ColumnFrequency(const std::string& column,
+                                       const Value& v) const {
+  const ColumnSketch* col = FindColumn(ToLower(column));
+  if (col == nullptr) return -1;
+  return col->freq.EstimateHash(SketchHashValue(v));
+}
+
+int64_t TableSketches::InstanceObjects(const std::string& instance) const {
+  const InstanceSketch* inst = FindInstance(ToLower(instance));
+  if (inst == nullptr) return -1;
+  return inst->objects.load(std::memory_order_relaxed);
+}
+
+int64_t TableSketches::LabelFrequency(const std::string& instance,
+                                      const std::string& label,
+                                      int64_t count) const {
+  std::shared_lock<std::shared_mutex> lk(instances_mu_);
+  auto inst_it = instances_.find(ToLower(instance));
+  if (inst_it == instances_.end()) return -1;
+  auto label_it = inst_it->second->labels.find(ToLower(label));
+  if (label_it == inst_it->second->labels.end()) return -1;
+  return label_it->second->counts.EstimateHash(SketchHashCount(count));
+}
+
+double TableSketches::LabelDistinct(const std::string& instance,
+                                    const std::string& label) const {
+  std::shared_lock<std::shared_mutex> lk(instances_mu_);
+  auto inst_it = instances_.find(ToLower(instance));
+  if (inst_it == instances_.end()) return -1.0;
+  auto label_it = inst_it->second->labels.find(ToLower(label));
+  if (label_it == inst_it->second->labels.end()) return -1.0;
+  return label_it->second->distinct.Estimate();
+}
+
+void TableSketches::Serialize(std::string* dst) const {
+  PutI64(dst, rows());
+  PutU64(dst, ops_since_analyze());
+  PutU64(dst, analyzed_rows());
+  PutU8(dst, analyzed_.load(std::memory_order_relaxed) ? 1 : 0);
+  PutU32(dst, static_cast<uint32_t>(columns_.size()));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    PutString(dst, column_names_[c]);
+    columns_[c]->distinct.Serialize(dst);
+    columns_[c]->freq.Serialize(dst);
+  }
+  std::shared_lock<std::shared_mutex> lk(instances_mu_);
+  PutU32(dst, static_cast<uint32_t>(instances_.size()));
+  for (const auto& [iname, inst] : instances_) {
+    PutString(dst, iname);
+    PutI64(dst, inst->objects.load(std::memory_order_relaxed));
+    PutU32(dst, static_cast<uint32_t>(inst->labels.size()));
+    for (const auto& [lname, label] : inst->labels) {
+      PutString(dst, lname);
+      label->distinct.Serialize(dst);
+      label->counts.Serialize(dst);
+    }
+  }
+}
+
+Status TableSketches::Restore(SerdeReader* reader) {
+  int64_t rows = 0;
+  uint64_t ops = 0;
+  uint64_t analyzed_rows = 0;
+  uint8_t analyzed = 0;
+  uint32_t ncols = 0;
+  if (!reader->ReadI64(&rows) || !reader->ReadU64(&ops) ||
+      !reader->ReadU64(&analyzed_rows) || !reader->ReadU8(&analyzed) ||
+      !reader->ReadU32(&ncols)) {
+    return Status::Corruption("truncated sketch table header");
+  }
+  for (auto& col : columns_) {
+    col->distinct.Reset();
+    col->freq.Reset();
+  }
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string cname;
+    if (!reader->ReadString(&cname)) {
+      return Status::Corruption("truncated sketch column name");
+    }
+    ColumnSketch* col = FindColumn(cname);
+    std::unique_ptr<ColumnSketch> scratch;
+    if (col == nullptr) {  // Unknown column: consume the image and drop it.
+      scratch = std::make_unique<ColumnSketch>();
+      col = scratch.get();
+    }
+    INSIGHT_RETURN_NOT_OK(col->distinct.Deserialize(reader));
+    INSIGHT_RETURN_NOT_OK(col->freq.Deserialize(reader));
+  }
+  uint32_t ninstances = 0;
+  if (!reader->ReadU32(&ninstances)) {
+    return Status::Corruption("truncated sketch instance count");
+  }
+  {
+    std::unique_lock<std::shared_mutex> lk(instances_mu_);
+    instances_.clear();
+  }
+  for (uint32_t i = 0; i < ninstances; ++i) {
+    std::string iname;
+    int64_t objects = 0;
+    uint32_t nlabels = 0;
+    if (!reader->ReadString(&iname) || !reader->ReadI64(&objects) ||
+        !reader->ReadU32(&nlabels)) {
+      return Status::Corruption("truncated sketch instance header");
+    }
+    InstanceSketch* inst = GetOrCreateInstance(iname);
+    inst->objects.store(objects, std::memory_order_relaxed);
+    for (uint32_t l = 0; l < nlabels; ++l) {
+      std::string lname;
+      if (!reader->ReadString(&lname)) {
+        return Status::Corruption("truncated sketch label name");
+      }
+      LabelSketch* label = GetOrCreateLabel(inst, lname);
+      INSIGHT_RETURN_NOT_OK(label->distinct.Deserialize(reader));
+      INSIGHT_RETURN_NOT_OK(label->counts.Deserialize(reader));
+    }
+  }
+  rows_.store(rows, std::memory_order_relaxed);
+  ops_since_analyze_.store(ops, std::memory_order_relaxed);
+  analyzed_rows_.store(analyzed_rows, std::memory_order_relaxed);
+  analyzed_.store(analyzed != 0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---- SketchRegistry ----
+
+SketchRegistry::~SketchRegistry() {
+  for (auto& [key, sub] : subs_) {
+    sub.first->RemoveListener(sub.second);
+  }
+}
+
+TableSketches* SketchRegistry::RegisterTable(const std::string& table,
+                                             const Schema& schema) {
+  const std::string key = ToLower(table);
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto& slot = tables_[key];
+  if (slot == nullptr) slot = std::make_unique<TableSketches>(key, schema);
+  return slot.get();
+}
+
+TableSketches* SketchRegistry::Find(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = tables_.find(ToLower(table));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+void SketchRegistry::AttachInstance(const std::string& table,
+                                    SummaryManager* mgr,
+                                    uint32_t instance_id) {
+  TableSketches* sketches = Find(table);
+  if (sketches == nullptr || mgr == nullptr) return;
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const auto key = std::make_pair(ToLower(table), instance_id);
+  if (subs_.find(key) != subs_.end()) return;
+  SummaryManager::ListenerId id = mgr->AddListener(
+      instance_id,
+      [sketches](Oid oid, const SummaryObject* before,
+                 const SummaryObject* after) {
+        return sketches->OnSummaryChanged(oid, before, after);
+      });
+  subs_[key] = {mgr, id};
+}
+
+void SketchRegistry::DetachInstance(const std::string& table,
+                                    uint32_t instance_id) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const auto key = std::make_pair(ToLower(table), instance_id);
+  auto it = subs_.find(key);
+  if (it == subs_.end()) return;
+  it->second.first->RemoveListener(it->second.second);
+  subs_.erase(it);
+}
+
+std::string SketchRegistry::Serialize() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [name, sketches] : tables_) {
+    PutString(&out, name);
+    std::string blob;
+    sketches->Serialize(&blob);
+    PutString(&out, blob);
+  }
+  return out;
+}
+
+Status SketchRegistry::Restore(std::string_view blob) {
+  SerdeReader reader(blob);
+  uint32_t ntables = 0;
+  if (!reader.ReadU32(&ntables)) {
+    return Status::Corruption("truncated sketch registry image");
+  }
+  for (uint32_t i = 0; i < ntables; ++i) {
+    std::string name;
+    std::string table_blob;
+    if (!reader.ReadString(&name) || !reader.ReadString(&table_blob)) {
+      return Status::Corruption("truncated sketch registry entry");
+    }
+    TableSketches* sketches = Find(name);
+    if (sketches == nullptr) continue;  // Table vanished: drop its image.
+    SerdeReader table_reader(table_blob);
+    INSIGHT_RETURN_NOT_OK(sketches->Restore(&table_reader));
+  }
+  return Status::OK();
+}
+
+}  // namespace insight

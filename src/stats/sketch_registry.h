@@ -1,0 +1,189 @@
+#ifndef INSIGHTNOTES_STATS_SKETCH_REGISTRY_H_
+#define INSIGHTNOTES_STATS_SKETCH_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/sketch.h"
+#include "summary/summary_manager.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace insight {
+
+/// Stable hash for sketch keys: Value::Hash already canonicalizes equal
+/// values (int/double NaN rules), SketchMix64 upgrades it to the
+/// finalizer quality HyperLogLog needs.
+inline uint64_t SketchHashValue(const Value& v) {
+  return SketchMix64(static_cast<uint64_t>(v.Hash()));
+}
+
+inline uint64_t SketchHashCount(int64_t count) {
+  return SketchMix64(static_cast<uint64_t>(count));
+}
+
+/// Online sketches for one relation: a row counter, per-column
+/// {HyperLogLog ndistinct, Count-Min frequency} pairs, and per
+/// (summary instance, classifier label) sketches over the label's
+/// per-tuple count values — the summary-aware analogue of the per-label
+/// histograms, but maintained inline on every write instead of by
+/// ANALYZE. All cells are atomic; writers never block estimation reads.
+///
+/// MVCC-abort compensation: counter/Count-Min deltas apply immediately
+/// (so the writing transaction plans against its own writes) and register
+/// an inverse delta on the transaction's abort hook; HyperLogLog inserts
+/// cannot be undone, so they defer to the commit hook. Aborted
+/// transactions therefore leave every count and every register exactly as
+/// they found them.
+class TableSketches {
+ public:
+  TableSketches(std::string name, const Schema& schema);
+
+  TableSketches(const TableSketches&) = delete;
+  TableSketches& operator=(const TableSketches&) = delete;
+
+  // ---- Write path (Database DML + recovery/replica replay hooks). ----
+  // Each entry point checks the StatsEnabled() gate itself — one relaxed
+  // load, mirroring Counter::Add — and returns immediately when disabled.
+  void OnInsert(const Tuple& tuple);
+  void OnDelete(const Tuple& tuple);
+  void OnUpdate(const Tuple& before, const Tuple& after);
+  /// SummaryManager listener entry point (per-label sketches).
+  Status OnSummaryChanged(Oid oid, const SummaryObject* before,
+                          const SummaryObject* after);
+
+  // ---- ANALYZE integration. ----
+  /// Marks the sketch state as agreeing with a just-collected TableStats.
+  void NoteAnalyzed(uint64_t analyzed_rows);
+  /// True when the write churn since the last ANALYZE exceeds
+  /// `threshold` as a fraction of the analyzed row count — the estimator
+  /// then prefers sketch answers over the stale histogram tier.
+  bool StaleSince(double threshold) const;
+  /// True once any write has been observed (a never-analyzed relation
+  /// with data still gets sketch answers).
+  bool HasData() const;
+
+  // ---- Estimation reads (lock-free on columns; shared lock on labels).
+  int64_t rows() const { return rows_.load(std::memory_order_relaxed); }
+  uint64_t ops_since_analyze() const {
+    return ops_since_analyze_.load(std::memory_order_relaxed);
+  }
+  uint64_t analyzed_rows() const {
+    return analyzed_rows_.load(std::memory_order_relaxed);
+  }
+  /// ndistinct of a column; < 0 when the column is unknown.
+  double ColumnDistinct(const std::string& column) const;
+  /// Frequency of `v` in a column; < 0 when the column is unknown.
+  int64_t ColumnFrequency(const std::string& column, const Value& v) const;
+  /// Live summary objects of an instance; < 0 when never seen.
+  int64_t InstanceObjects(const std::string& instance) const;
+  /// Tuples whose `instance.label` count equals `count`; < 0 unknown.
+  int64_t LabelFrequency(const std::string& instance, const std::string& label,
+                         int64_t count) const;
+  /// ndistinct of a label's count values; < 0 when unknown.
+  double LabelDistinct(const std::string& instance,
+                       const std::string& label) const;
+
+  // ---- Durability (checkpoint snapshot payloads). ----
+  void Serialize(std::string* dst) const;
+  /// In-place overwrite from a Serialize() image. Pointer identity is
+  /// preserved — cached TableSketches* handles stay valid.
+  Status Restore(SerdeReader* reader);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct ColumnSketch {
+    HyperLogLog distinct;
+    CountMinSketch freq;
+  };
+  struct LabelSketch {
+    HyperLogLog distinct;
+    CountMinSketch counts;
+  };
+  struct InstanceSketch {
+    std::atomic<int64_t> objects{0};
+    // Label keys are lower-cased; entries are created on first sight and
+    // never removed, so estimation can hold bare pointers.
+    std::map<std::string, std::unique_ptr<LabelSketch>> labels;
+  };
+
+  ColumnSketch* FindColumn(const std::string& lower_name) const;
+  InstanceSketch* GetOrCreateInstance(const std::string& lower_name);
+  const InstanceSketch* FindInstance(const std::string& lower_name) const;
+  LabelSketch* GetOrCreateLabel(InstanceSketch* inst,
+                                const std::string& lower_label);
+
+  /// Count-Min + counter side of one row (delta = +1 insert, -1 delete).
+  void ApplyRowCounts(const Tuple& tuple, int64_t delta);
+  /// HyperLogLog side of one row (commit-time for transactional writes).
+  void ApplyRowDistinct(const Tuple& tuple);
+
+  using RepCounts = std::vector<std::pair<std::string, int64_t>>;
+  static RepCounts ClassifierReps(const SummaryObject* obj);
+  void ApplyRepCounts(const std::string& instance, const RepCounts& reps,
+                      int64_t delta, int64_t object_delta);
+  void ApplyRepDistinct(const std::string& instance, const RepCounts& reps);
+
+  std::string name_;
+  std::vector<std::string> column_names_;  // Lower-cased, schema order.
+  std::vector<std::unique_ptr<ColumnSketch>> columns_;
+
+  std::atomic<int64_t> rows_{0};
+  std::atomic<uint64_t> ops_since_analyze_{0};
+  std::atomic<uint64_t> analyzed_rows_{0};
+  std::atomic<bool> analyzed_{false};
+
+  mutable std::shared_mutex instances_mu_;
+  std::map<std::string, std::unique_ptr<InstanceSketch>> instances_;
+};
+
+/// Owner of every relation's sketches plus the SummaryManager listener
+/// subscriptions that keep the per-label sketches current. One registry
+/// per Database; the optimizer reads through RelationInfo::sketches
+/// pointers that stay valid for the registry's lifetime (entries are
+/// never removed).
+class SketchRegistry {
+ public:
+  SketchRegistry() = default;
+  ~SketchRegistry();
+
+  SketchRegistry(const SketchRegistry&) = delete;
+  SketchRegistry& operator=(const SketchRegistry&) = delete;
+
+  /// Idempotent by table name; returns the (possibly existing) entry.
+  TableSketches* RegisterTable(const std::string& table, const Schema& schema);
+  TableSketches* Find(const std::string& table) const;
+
+  /// Subscribes the per-label sketches to one linked summary instance.
+  void AttachInstance(const std::string& table, SummaryManager* mgr,
+                      uint32_t instance_id);
+  /// Drops the subscription (instance unlink); sketch data is retained.
+  void DetachInstance(const std::string& table, uint32_t instance_id);
+
+  /// Whole-registry image for fuzzy-checkpoint snapshots.
+  std::string Serialize() const;
+  /// Overwrites the state of every table present in `blob`; tables must
+  /// already be registered (snapshot ops create them first). Unknown
+  /// tables in the image are ignored.
+  Status Restore(std::string_view blob);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<TableSketches>> tables_;  // Lower.
+  std::map<std::pair<std::string, uint32_t>,
+           std::pair<SummaryManager*, SummaryManager::ListenerId>>
+      subs_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_STATS_SKETCH_REGISTRY_H_

@@ -60,6 +60,10 @@ Status RecoveryManager::ApplyOne(WalRecordType type, std::string_view payload,
                                WalRemoveAnnotation::Decode(payload));
       return target->ReplayRemoveAnnotation(op);
     }
+    case WalRecordType::kStatsSketch: {
+      INSIGHT_ASSIGN_OR_RETURN(auto op, WalStatsSketch::Decode(payload));
+      return target->ReplayStatsSketch(op);
+    }
   }
   return Status::Corruption("wal: unknown record type");
 }

@@ -28,6 +28,9 @@ class ReplayTarget {
   virtual Status ReplayUnlinkInstance(const WalUnlinkInstance& op) = 0;
   virtual Status ReplayAnnotate(const WalAnnotate& op) = 0;
   virtual Status ReplayRemoveAnnotation(const WalRemoveAnnotation& op) = 0;
+  /// Installs a checkpointed online-statistics image (snapshot restore);
+  /// the replay hooks above keep the sketches current for the WAL tail.
+  virtual Status ReplayStatsSketch(const WalStatsSketch& op) = 0;
 };
 
 /// Drives crash recovery over a decoded log: locates the last *complete*

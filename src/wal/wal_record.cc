@@ -40,6 +40,8 @@ const char* WalRecordTypeToString(WalRecordType type) {
       return "TxnOp";
     case WalRecordType::kTxnBegin:
       return "TxnBegin";
+    case WalRecordType::kStatsSketch:
+      return "StatsSketch";
   }
   return "Unknown";
 }
@@ -373,6 +375,19 @@ Result<WalTxnOp> WalTxnOp::Decode(std::string_view payload) {
     return CorruptPayload("TxnOp inner type");
   }
   rec.inner_type = static_cast<WalRecordType>(inner);
+  return rec;
+}
+
+std::string WalStatsSketch::Encode() const {
+  std::string out;
+  PutString(&out, image);
+  return out;
+}
+
+Result<WalStatsSketch> WalStatsSketch::Decode(std::string_view payload) {
+  SerdeReader reader(payload);
+  WalStatsSketch rec;
+  if (!reader.ReadString(&rec.image)) return CorruptPayload("StatsSketch");
   return rec;
 }
 

@@ -46,6 +46,11 @@ enum class WalRecordType : uint8_t {
   kTxnAbort = 13,   // Payload: WalTxnAbort.
   kTxnOp = 14,      // Payload: WalTxnOp.
   kTxnBegin = 15,   // Payload: WalTxnBegin.
+  // Serialized SketchRegistry image. Only ever embedded as the *last* op
+  // of a checkpoint snapshot (after every table/link/insert/annotate op,
+  // so the tables it references exist) — never logged as a top-level
+  // frame, which keeps ScanValidPrefix's kTxnBegin upper bound intact.
+  kStatsSketch = 16,  // Payload: WalStatsSketch.
 };
 
 const char* WalRecordTypeToString(WalRecordType type);
@@ -194,6 +199,18 @@ struct WalTxnOp {
 
   std::string Encode() const;
   static Result<WalTxnOp> Decode(std::string_view payload);
+};
+
+/// A whole-registry sketch image (stats/sketch_registry.h Serialize()
+/// bytes). Restoring it overwrites the online-statistics state so a
+/// checkpointed database recovers with warm sketches instead of paying a
+/// full rebuild; the WAL tail past the checkpoint then updates the
+/// sketches incrementally through the ordinary replay hooks.
+struct WalStatsSketch {
+  std::string image;
+
+  std::string Encode() const;
+  static Result<WalStatsSketch> Decode(std::string_view payload);
 };
 
 /// A checkpoint-begin payload: the database's logical state, expressed as

@@ -245,7 +245,10 @@ Result<BirdsWorkload> GenerateBirdsWorkload(Database* db,
         Value::Double(0.2 + rng.NextDouble() * 2.8),
         Value::Double(0.02 + rng.NextDouble() * 12.0),
     });
-    INSIGHT_RETURN_NOT_OK(birds->Insert(row).status());
+    // Through the Database DML path (not Table::Insert) so journaling and
+    // the online statistics sketches observe the load like any client.
+    INSIGHT_RETURN_NOT_OK(
+        db->Insert(workload.birds_table, std::move(row)).status());
   }
 
   const size_t total_annotations =
@@ -282,7 +285,8 @@ Result<size_t> GenerateSynonyms(Database* db, size_t num_birds,
                  Value::String("synonym" + std::to_string(bird) + "_" +
                                std::to_string(s) + "_" +
                                std::to_string(rng.Uniform(0, 999)))});
-      INSIGHT_RETURN_NOT_OK(synonyms->Insert(row).status());
+      INSIGHT_RETURN_NOT_OK(
+          db->Insert("Synonyms", std::move(row)).status());
       ++count;
     }
   }

@@ -295,6 +295,9 @@ TEST_F(ObsTest, QErrorDefinition) {
 
 TEST_F(ObsTest, CardinalityFeedbackTriggersReanalyze) {
   Database db;
+  // Histogram tier only: the online sketches would keep the estimate
+  // fresh and the feedback loop (under test here) would never trigger.
+  db.optimizer_options().use_sketch_statistics = false;
   FillBirds(&db, 10);
   ASSERT_TRUE(db.Analyze("Birds").ok());
   // Grow the table 50x behind the statistics' back: the next scan's
@@ -320,6 +323,8 @@ TEST_F(ObsTest, CardinalityFeedbackTriggersReanalyze) {
 
 TEST_F(ObsTest, FeedbackDisabledByDefaultDoesNotReanalyze) {
   Database db;
+  // Histogram tier only, so the stale estimate shows up as a q-error.
+  db.optimizer_options().use_sketch_statistics = false;
   FillBirds(&db, 10);
   ASSERT_TRUE(db.Analyze("Birds").ok());
   for (int i = 10; i < 500; ++i) {

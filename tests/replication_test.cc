@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -447,6 +448,73 @@ TEST(ReplicationE2ETest, PromoteTurnsReplicaIntoWritablePrimary) {
   auto rows = (*replica)->Execute("SELECT n FROM t ORDER BY n");
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->rows.size(), 2u);
+}
+
+TEST(ReplicationE2ETest, PromotedReplicaPlansWithWarmSketches) {
+  // The online statistics sketches are rebuilt by the streaming replay,
+  // so a promoted replica starts planning with warm stats instead of a
+  // cold cache: its sketch answers must match the primary's, and the
+  // sketch estimator tier must be live with no ANALYZE ever run.
+  Cluster cluster("warmstats");
+  ASSERT_TRUE(cluster.AddPrimary().ok());
+  ASSERT_TRUE(cluster.AddReplicaOf(0).ok());
+
+  Database* primary = cluster.db(0);
+  ASSERT_TRUE(
+      primary->Execute("CREATE TABLE Birds (id INT, family TEXT)").ok());
+  ASSERT_TRUE(primary
+                  ->DefineClassifier("C", {"Disease", "Other"},
+                                     {{"diseaseword infection", "Disease"},
+                                      {"otherword note", "Other"}})
+                  .ok());
+  ASSERT_TRUE(primary->Execute("ALTER TABLE Birds ADD INDEXABLE C").ok());
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(primary
+                    ->Execute("INSERT INTO Birds VALUES (" +
+                              std::to_string(i) + ", 'f" +
+                              std::to_string(i % 5) + "')")
+                    .ok());
+  }
+  for (int i = 1; i <= 150; i += 3) {
+    ASSERT_TRUE(primary
+                    ->Execute("ANNOTATE Birds TUPLE " + std::to_string(i) +
+                              " WITH 'diseaseword infection'")
+                    .ok());
+  }
+  ASSERT_TRUE(primary->WalSync().ok());
+  ASSERT_TRUE(cluster.WaitForApply(1, primary->wal()->durable_lsn()));
+
+  Database* replica = cluster.db(1);
+  ASSERT_TRUE(replica->Promote().ok());
+
+  TableSketches* want = primary->sketch_registry()->Find("Birds");
+  TableSketches* got = replica->sketch_registry()->Find("Birds");
+  ASSERT_NE(want, nullptr);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->rows(), want->rows());
+  EXPECT_EQ(got->InstanceObjects("C"), want->InstanceObjects("C"));
+  for (int f = 0; f < 5; ++f) {
+    const Value family = Value::String("f" + std::to_string(f));
+    EXPECT_EQ(got->ColumnFrequency("family", family),
+              want->ColumnFrequency("family", family))
+        << "f" << f;
+  }
+  EXPECT_EQ(got->LabelFrequency("C", "Disease", 1),
+            want->LabelFrequency("C", "Disease", 1));
+  ASSERT_GT(want->ColumnDistinct("id"), 0);
+  EXPECT_LT(std::abs(got->ColumnDistinct("id") - want->ColumnDistinct("id")),
+            0.05 * want->ColumnDistinct("id"));
+
+  // Never analyzed, yet the sketch tier answers — warm from the stream.
+  const RelationInfo* info = *replica->context()->Get("Birds");
+  EXPECT_TRUE(info->SketchTierActive(SketchPolicy{true, 0.10}));
+  EXPECT_EQ(info->Source(SketchPolicy{true, 0.10}), EstimateSource::kSketch);
+
+  // And maintenance continues on the new primary.
+  const int64_t before = got->rows();
+  ASSERT_TRUE(
+      replica->Execute("INSERT INTO Birds VALUES (999, 'f0')").ok());
+  EXPECT_EQ(got->rows(), before + 1);
 }
 
 TEST(RoutedClientTest, WritesFindThePrimaryReadsSeeThem) {

@@ -506,6 +506,9 @@ class CapturingTarget : public ReplayTarget {
   Status ReplayRemoveAnnotation(const WalRemoveAnnotation&) override {
     return Status::OK();
   }
+  Status ReplayStatsSketch(const WalStatsSketch&) override {
+    return Status::OK();
+  }
 
   std::vector<Oid> inserted_oids;
 };
