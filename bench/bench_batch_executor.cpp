@@ -8,12 +8,17 @@
 // lookup in the predicate), converging as capacity grows. Parallel
 // speedup tracks the host's core count (a 1-core machine shows ~1.0x).
 //
-// Emits BENCH_parallel.json with the parallel-vs-serial numbers, and
+// Emits BENCH_parallel.json with the parallel-vs-serial numbers,
 // BENCH_obs.json with the metrics-overhead arm (the same batch plan with
-// engine instrumentation on vs off). With --smoke the process exits
+// engine instrumentation on vs off), and BENCH_scan.json with the
+// zone-map data-skipping arm (a selective predicate over a clustered
+// column, zone pruning on vs off, plus a full-scan arm where pruning
+// cannot help and must not hurt). With --smoke the process exits
 // nonzero when any worker count regresses to more than 2x the serial
-// time, a wrong row count is returned, or the instrumented run exceeds
-// 1.10x the uninstrumented one — the CI bench-smoke gates.
+// time, a wrong row count is returned, the instrumented run exceeds
+// 1.10x the uninstrumented one, the zone-pruned scan returns different
+// hits or skips zero pages, or the pruned full scan exceeds 2x the
+// unpruned one — the CI bench-smoke gates.
 
 #include <thread>
 
@@ -221,6 +226,127 @@ int main(int argc, char** argv) {
       smoke_failed = true;
     }
   }
+  // --- zone-map data skipping: a selective predicate over a clustered
+  // int column (ids inserted in increasing order, so every heap page
+  // covers a narrow id range). The pruned scan should touch only the
+  // tail pages; the unpruned scan reads everything. The full-scan arm
+  // (id >= 0) prunes nothing and gates the probe overhead at 2x.
+  std::printf("--- zone-map skipping (selective scan, batch=1024)\n");
+  {
+    const size_t scan_rows = static_cast<size_t>(1000000 * config.scale);
+    Table* events = *catalog.CreateTable(
+        "Events", Schema({{"id", ValueType::kInt64},
+                          {"grp", ValueType::kInt64},
+                          {"payload", ValueType::kString}}));
+    for (size_t i = 0; i < scan_rows; ++i) {
+      events
+          ->Insert(Tuple({Value::Int(static_cast<int64_t>(i)),
+                          Value::Int(static_cast<int64_t>(i % 97)),
+                          Value::String("ev" + std::to_string(i % 1000))}))
+          .ValueOrDie();
+    }
+    const int64_t hi =
+        static_cast<int64_t>(scan_rows) - 1000;  // ~0.1% selectivity.
+    ExecutionContext ctx(&storage, &pool, 1024);
+
+    // One plan per arm: selective / full, each pruned / unpruned.
+    auto build = [&](int64_t bound, bool prune, SeqScanOp** scan_out) {
+      auto scan = std::make_unique<SeqScanOp>(events, nullptr, false);
+      if (prune) {
+        ZoneProbe probe;
+        probe.kind = ZoneProbe::Kind::kColumn;
+        probe.column = 0;  // "id"
+        probe.op = ZoneOp::kGe;
+        probe.constant = Value::Int(bound);
+        ZonePredicate pred;
+        pred.probes.push_back(std::move(probe));
+        scan->SetZonePredicate(std::move(pred));
+      }
+      *scan_out = scan.get();
+      OpPtr plan = std::make_unique<SelectOp>(
+          std::move(scan),
+          Cmp(Col("id"), CompareOp::kGe, Lit(Value::Int(bound))));
+      plan->AttachContext(&ctx);
+      return plan;
+    };
+
+    RowBatch batch;
+    batch.set_capacity(1024);
+    struct Arm {
+      const char* name;
+      int64_t bound;
+      bool prune;
+      double ms = 0;
+      size_t hits = 0;
+      uint64_t pages_skipped = 0;
+    };
+    Arm arms[] = {{"selective zone=off", hi, false},
+                  {"selective zone=on", hi, true},
+                  {"full zone=off", 0, false},
+                  {"full zone=on", 0, true}};
+    for (Arm& arm : arms) {
+      SeqScanOp* scan = nullptr;
+      OpPtr plan = build(arm.bound, arm.prune, &scan);
+      arm.ms = MedianMillis(config.query_repeats, [&] {
+        arm.hits = DriveBatches(plan.get(), &batch);
+      });
+      arm.pages_skipped = scan->pages_skipped();
+      std::printf("%-20s %10zu rows -> %8zu hits %10.2f ms (%zu/%zu pages "
+                  "skipped)\n",
+                  arm.name, scan_rows, arm.hits, arm.ms,
+                  static_cast<size_t>(arm.pages_skipped),
+                  static_cast<size_t>(events->heap_pages()));
+    }
+    const double skip_speedup = arms[1].ms > 0 ? arms[0].ms / arms[1].ms : 0.0;
+    const double full_ratio = arms[2].ms > 0 ? arms[3].ms / arms[2].ms : 1.0;
+    std::printf("selective speedup %.2fx, full-scan overhead %.3fx\n",
+                skip_speedup, full_ratio);
+
+    FILE* scan_json = std::fopen("BENCH_scan.json", "w");
+    if (scan_json != nullptr) {
+      std::fprintf(scan_json,
+                   "{\n  \"bench\": \"zone_map_selective_scan\",\n"
+                   "  \"rows\": %zu,\n  \"heap_pages\": %zu,\n"
+                   "  \"selectivity\": %.6f,\n  \"arms\": [",
+                   scan_rows, static_cast<size_t>(events->heap_pages()),
+                   scan_rows > 0
+                       ? static_cast<double>(arms[1].hits) / scan_rows
+                       : 0.0);
+      for (size_t i = 0; i < 4; ++i) {
+        std::fprintf(scan_json,
+                     "%s\n    {\"name\": \"%s\", \"ms\": %.3f, "
+                     "\"hits\": %zu, \"pages_skipped\": %zu}",
+                     i == 0 ? "" : ",", arms[i].name, arms[i].ms,
+                     arms[i].hits,
+                     static_cast<size_t>(arms[i].pages_skipped));
+      }
+      std::fprintf(scan_json,
+                   "\n  ],\n  \"selective_speedup\": %.3f,\n"
+                   "  \"full_scan_ratio\": %.4f,\n"
+                   "  \"full_scan_gate\": 2.0\n}\n",
+                   skip_speedup, full_ratio);
+      std::fclose(scan_json);
+      std::printf("wrote BENCH_scan.json\n");
+    }
+    if (arms[0].hits != arms[1].hits || arms[2].hits != arms[3].hits) {
+      std::fprintf(stderr,
+                   "FAIL: zone pruning changed hit counts (%zu vs %zu "
+                   "selective, %zu vs %zu full)\n",
+                   arms[0].hits, arms[1].hits, arms[2].hits, arms[3].hits);
+      smoke_failed = true;
+    }
+    if (arms[1].pages_skipped == 0) {
+      std::fprintf(stderr, "FAIL: selective zone=on skipped zero pages\n");
+      smoke_failed = true;
+    }
+    if (full_ratio > 2.0 && arms[3].ms - arms[2].ms > 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: pruned full scan %.3fx unpruned (> 2x gate)\n",
+                   full_ratio);
+      smoke_failed = true;
+    }
+  }
+
   if (smoke && smoke_failed) return 1;
   return 0;
 }

@@ -42,11 +42,14 @@ if [ -x build/bench/bench_wal ]; then
   (cd build/bench && ./bench_wal --scale=0.01 --smoke > /dev/null)
 fi
 
-# Metrics-overhead smoke: the instrumented batch scan must stay within
-# 1.10x of the same plan with metrics disabled (bench_batch_executor
-# --smoke exits nonzero and prints the offending ratio).
+# Metrics-overhead + zone-map smoke: the instrumented batch scan must
+# stay within 1.10x of the same plan with metrics disabled, the
+# selective zone-map arm must return identical hits while skipping at
+# least one page, and zone maps must not slow an unselective full scan
+# by more than the committed gate (bench_batch_executor --smoke exits
+# nonzero and prints the offending arm).
 if [ -x build/bench/bench_batch_executor ]; then
-  echo "==> metrics overhead smoke (bench_batch_executor --smoke)"
+  echo "==> metrics + zone-map smoke (bench_batch_executor --smoke)"
   (cd build/bench && ./bench_batch_executor --scale=0.05 --repeats=3 --smoke \
     > /dev/null)
 fi
@@ -95,7 +98,8 @@ fi
 # a new bench that never committed one) fails here, not in review.
 echo "==> committed bench artifacts present"
 for artifact in BENCH_net.json BENCH_obs.json BENCH_parallel.json \
-    BENCH_wal.json BENCH_replication.json BENCH_stats.json; do
+    BENCH_wal.json BENCH_replication.json BENCH_stats.json \
+    BENCH_scan.json; do
   if [ ! -f "${artifact}" ]; then
     echo "missing committed bench artifact: ${artifact}" >&2
     exit 1

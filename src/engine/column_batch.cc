@@ -1,0 +1,343 @@
+#include "engine/column_batch.h"
+
+#include <algorithm>
+
+namespace insight {
+
+void ColumnVector::Clear() {
+  size_ = 0;
+  ints_.clear();
+  doubles_.clear();
+  bools_.clear();
+  strings_.clear();
+  values_.clear();
+  null_words_.clear();
+  type_ = ValueType::kNull;  // Re-latch on the next non-NULL append.
+  generic_ = false;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  null_words_.reserve((n + 63) / 64);
+  if (generic_) {
+    values_.reserve(n);
+    return;
+  }
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kBool:
+      bools_.reserve(n);
+      break;
+    case ValueType::kString:
+      strings_.reserve(n);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+void ColumnVector::SetNullBit(size_t i, bool null) {
+  const size_t word = i >> 6;
+  if (word >= null_words_.size()) null_words_.resize(word + 1, 0);
+  if (null) {
+    null_words_[word] |= (uint64_t{1} << (i & 63));
+  } else {
+    null_words_[word] &= ~(uint64_t{1} << (i & 63));
+  }
+}
+
+void ColumnVector::Degrade() {
+  values_.clear();
+  values_.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    if (IsNull(i)) {
+      values_.push_back(Value::Null());
+      continue;
+    }
+    switch (type_) {
+      case ValueType::kInt64:
+        values_.push_back(Value::Int(ints_[i]));
+        break;
+      case ValueType::kDouble:
+        values_.push_back(Value::Double(doubles_[i]));
+        break;
+      case ValueType::kBool:
+        values_.push_back(Value::Bool(bools_[i] != 0));
+        break;
+      case ValueType::kString:
+        values_.push_back(Value::String(strings_[i]));
+        break;
+      case ValueType::kNull:
+        values_.push_back(Value::Null());
+        break;
+    }
+  }
+  ints_.clear();
+  doubles_.clear();
+  bools_.clear();
+  strings_.clear();
+  generic_ = true;
+}
+
+void ColumnVector::AppendNull() {
+  const size_t i = size_++;
+  SetNullBit(i, true);
+  if (generic_) {
+    values_.push_back(Value::Null());
+    return;
+  }
+  // Placeholder keeps typed arrays index-aligned.
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kBool:
+      bools_.push_back(0);
+      break;
+    case ValueType::kString:
+      strings_.emplace_back();
+      break;
+    case ValueType::kNull:
+      break;  // Untyped column: the bitmap alone carries the row.
+  }
+}
+
+void ColumnVector::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  if (generic_) {
+    SetNullBit(size_++, false);
+    values_.push_back(v);
+    return;
+  }
+  const ValueType vt = v.type();
+  if (type_ == ValueType::kNull) {
+    // Latch the column type; backfill placeholders for leading NULLs.
+    type_ = vt;
+    switch (vt) {
+      case ValueType::kInt64:
+        ints_.assign(size_, 0);
+        break;
+      case ValueType::kDouble:
+        doubles_.assign(size_, 0.0);
+        break;
+      case ValueType::kBool:
+        bools_.assign(size_, 0);
+        break;
+      case ValueType::kString:
+        strings_.assign(size_, std::string());
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  } else if (vt != type_) {
+    Degrade();
+    SetNullBit(size_++, false);
+    values_.push_back(v);
+    return;
+  }
+  SetNullBit(size_++, false);
+  switch (vt) {
+    case ValueType::kInt64:
+      ints_.push_back(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(v.AsDouble());
+      break;
+    case ValueType::kBool:
+      bools_.push_back(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kString:
+      strings_.push_back(v.AsString());
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  if (generic_) return values_[i];
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value::Int(ints_[i]);
+    case ValueType::kDouble:
+      return Value::Double(doubles_[i]);
+    case ValueType::kBool:
+      return Value::Bool(bools_[i] != 0);
+    case ValueType::kString:
+      return Value::String(strings_[i]);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+namespace {
+
+template <typename T>
+void FilterVec(std::vector<T>* vec, const std::vector<uint8_t>& keep) {
+  if (vec->empty()) return;
+  size_t out = 0;
+  for (size_t i = 0; i < vec->size(); ++i) {
+    if (keep[i]) {
+      if (out != i) (*vec)[out] = std::move((*vec)[i]);
+      ++out;
+    }
+  }
+  vec->resize(out);
+}
+
+}  // namespace
+
+void ColumnVector::Filter(const std::vector<uint8_t>& keep) {
+  FilterVec(&ints_, keep);
+  FilterVec(&doubles_, keep);
+  FilterVec(&bools_, keep);
+  FilterVec(&strings_, keep);
+  FilterVec(&values_, keep);
+  std::vector<uint64_t> words((size_ + 63) / 64, 0);
+  size_t out = 0;
+  for (size_t i = 0; i < size_; ++i) {
+    if (!keep[i]) continue;
+    if (IsNull(i)) words[out >> 6] |= (uint64_t{1} << (out & 63));
+    ++out;
+  }
+  words.resize((out + 63) / 64);
+  null_words_ = std::move(words);
+  size_ = out;
+}
+
+void ColumnVector::Truncate(size_t n) {
+  if (n >= size_) return;
+  size_ = n;
+  if (!ints_.empty()) ints_.resize(n);
+  if (!doubles_.empty()) doubles_.resize(n);
+  if (!bools_.empty()) bools_.resize(n);
+  if (!strings_.empty()) strings_.resize(n);
+  if (!values_.empty()) values_.resize(n);
+  null_words_.resize((n + 63) / 64);
+}
+
+void ColumnBatch::Reset(const Schema* schema, size_t capacity) {
+  schema_ = schema;
+  capacity_ = capacity == 0 ? kDefaultCapacity : capacity;
+  const size_t cols = schema != nullptr ? schema->num_columns() : 0;
+  if (columns_.size() != cols) {
+    columns_.assign(cols, ColumnVector());
+  }
+  Clear();
+}
+
+void ColumnBatch::Clear() {
+  for (ColumnVector& col : columns_) col.Clear();
+  oids_.clear();
+  summaries_.clear();
+  num_rows_ = 0;
+}
+
+void ColumnBatch::AppendTuple(Oid oid, const Tuple& tuple,
+                              SummarySet summaries) {
+  const size_t n = std::min(columns_.size(), tuple.size());
+  for (size_t i = 0; i < n; ++i) {
+    columns_[i].Append(tuple.at(i));
+  }
+  // Short tuples (never produced by the scan paths, but legal input)
+  // pad with NULLs to keep the columns aligned.
+  for (size_t i = n; i < columns_.size(); ++i) {
+    columns_[i].AppendNull();
+  }
+  oids_.push_back(oid);
+  summaries_.push_back(std::move(summaries));
+  ++num_rows_;
+}
+
+void ColumnBatch::AppendRow(const Row& row) {
+  AppendTuple(row.oid, row.data, row.summaries);
+}
+
+Row ColumnBatch::GetRow(size_t i) const {
+  Row row;
+  row.oid = oids_[i];
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (const ColumnVector& col : columns_) {
+    values.push_back(col.GetValue(i));
+  }
+  row.data = Tuple(std::move(values));
+  row.summaries = summaries_[i];
+  return row;
+}
+
+void ColumnBatch::ToRowBatch(RowBatch* out) const {
+  for (size_t i = 0; i < num_rows_; ++i) {
+    out->Push(GetRow(i));
+  }
+}
+
+void ColumnBatch::FromRowBatch(const RowBatch& in, const Schema* schema) {
+  Reset(schema, std::max(in.size(), capacity_));
+  for (const Row& row : in.rows()) {
+    AppendRow(row);
+  }
+}
+
+void ColumnBatch::Filter(const std::vector<uint8_t>& keep) {
+  for (ColumnVector& col : columns_) col.Filter(keep);
+  size_t out = 0;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (!keep[i]) continue;
+    if (out != i) {
+      oids_[out] = oids_[i];
+      summaries_[out] = std::move(summaries_[i]);
+    }
+    ++out;
+  }
+  oids_.resize(out);
+  summaries_.resize(out);
+  num_rows_ = out;
+}
+
+void ColumnBatch::AssumeProjected(ColumnBatch&& in,
+                                  const std::vector<size_t>& indices) {
+  columns_.resize(indices.size());
+  // A repeated source column (SELECT a, a) moves once, then copies from
+  // the already-moved destination.
+  std::vector<size_t> first_dst(in.columns_.size(), SIZE_MAX);
+  for (size_t j = 0; j < indices.size(); ++j) {
+    const size_t src = indices[j];
+    if (src >= in.columns_.size()) {
+      columns_[j].Clear();
+      continue;
+    }
+    if (first_dst[src] == SIZE_MAX) {
+      columns_[j] = std::move(in.columns_[src]);
+      first_dst[src] = j;
+    } else {
+      columns_[j] = columns_[first_dst[src]];
+    }
+  }
+  oids_ = std::move(in.oids_);
+  summaries_ = std::move(in.summaries_);
+  num_rows_ = in.num_rows_;
+  in.Clear();
+}
+
+void ColumnBatch::Truncate(size_t n) {
+  if (n >= num_rows_) return;
+  for (ColumnVector& col : columns_) col.Truncate(n);
+  oids_.resize(n);
+  summaries_.resize(n);
+  num_rows_ = n;
+}
+
+}  // namespace insight

@@ -1,0 +1,133 @@
+#ifndef INSIGHTNOTES_ENGINE_COLUMN_BATCH_H_
+#define INSIGHTNOTES_ENGINE_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/row.h"
+#include "engine/row_batch.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace insight {
+
+/// One column of a ColumnBatch: a typed value array plus a packed null
+/// bitmap. The array type latches onto the first non-NULL value appended;
+/// a later value of a different type degrades the vector to a generic
+/// Value array (mixed columns are legal in this engine's dynamically
+/// typed tuples), so appends never fail — kernels check `generic()` and
+/// take the per-value path when the fast typed loop doesn't apply.
+class ColumnVector {
+ public:
+  size_t size() const { return size_; }
+  ValueType type() const { return type_; }
+  bool generic() const { return generic_; }
+
+  void Clear();
+  void Reserve(size_t n);
+
+  void Append(const Value& v);
+  void AppendNull();
+
+  bool IsNull(size_t i) const {
+    return (null_words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  Value GetValue(size_t i) const;
+
+  /// Typed raw arrays (valid only in the matching non-generic state;
+  /// entries at NULL positions hold unspecified placeholders).
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// In-place compaction: retains positions where keep[i] != 0.
+  void Filter(const std::vector<uint8_t>& keep);
+  void Truncate(size_t n);
+
+ private:
+  void Degrade();  // Typed array -> generic Value array.
+  void SetNullBit(size_t i, bool null);
+
+  ValueType type_ = ValueType::kNull;  // Latched on first non-NULL.
+  bool generic_ = false;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<std::string> strings_;
+  std::vector<Value> values_;          // Generic fallback storage.
+  std::vector<uint64_t> null_words_;   // Packed bitmap, 1 = NULL.
+};
+
+/// Column-major sibling of RowBatch: per-column ColumnVectors plus the
+/// row-level sidecars (OID, summary set) the engine carries through
+/// scans. Pivot adapters (`FromRowBatch`/`ToRowBatch`) sit at the
+/// boundary between columnar and legacy row operators; the scan→filter→
+/// project spine runs natively columnar and pivots once, after
+/// filtering, where a row consumer takes over.
+class ColumnBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = RowBatch::kDefaultCapacity;
+
+  /// (Re)binds the batch to a schema and clears it. Reuses column
+  /// buffers across calls when the column count matches.
+  void Reset(const Schema* schema, size_t capacity);
+
+  const Schema* schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return num_rows_ >= capacity_; }
+
+  void Clear();
+
+  /// Appends one row, pivoting its tuple into the columns.
+  void AppendRow(const Row& row);
+  void AppendTuple(Oid oid, const Tuple& tuple, SummarySet summaries);
+
+  ColumnVector& column(size_t i) { return columns_[i]; }
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+  const std::vector<Oid>& oids() const { return oids_; }
+  const std::vector<SummarySet>& summaries() const { return summaries_; }
+  std::vector<SummarySet>& summaries() { return summaries_; }
+
+  /// Re-materializes row `i` (pivot out).
+  Row GetRow(size_t i) const;
+  /// Appends every row to `out` (pivot out, bulk).
+  void ToRowBatch(RowBatch* out) const;
+  /// Clears and refills from a row batch (pivot in, bulk).
+  void FromRowBatch(const RowBatch& in, const Schema* schema);
+
+  /// In-place compaction of all columns + sidecars.
+  void Filter(const std::vector<uint8_t>& keep);
+  void Truncate(size_t n);
+
+  /// Columnar projection: takes the selected columns of `in` (moving
+  /// each source column at most once) plus its sidecars. `this` must
+  /// already be Reset to the projected schema.
+  void AssumeProjected(ColumnBatch&& in, const std::vector<size_t>& indices);
+
+ private:
+  const Schema* schema_ = nullptr;
+  size_t capacity_ = kDefaultCapacity;
+  size_t num_rows_ = 0;
+  std::vector<ColumnVector> columns_;
+  std::vector<Oid> oids_;
+  std::vector<SummarySet> summaries_;
+};
+
+/// Three-valued logic vector: one entry per batch row.
+using TriVector = std::vector<uint8_t>;
+inline constexpr uint8_t kTriFalse = 0;
+inline constexpr uint8_t kTriTrue = 1;
+inline constexpr uint8_t kTriNull = 2;
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_ENGINE_COLUMN_BATCH_H_

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/column_batch.h"
 #include "engine/execution_context.h"
 #include "engine/expression.h"
 #include "engine/row.h"
@@ -81,6 +82,17 @@ class PhysicalOperator {
   /// NextBatch() and Next() calls on one operator within one execution.
   Result<bool> NextBatch(RowBatch* batch);
 
+  /// Column-major sibling of NextBatch(): rebinds `batch` to this
+  /// operator's schema and refills it. Works on every operator (the
+  /// default pivots the row batch), but only pays off where
+  /// ColumnarCapable() holds. Same no-interleaving rule as NextBatch().
+  Result<bool> NextColumnBatch(ColumnBatch* batch);
+
+  /// True when this operator produces column batches natively (without
+  /// pivoting through rows) — the scan→filter→project spine. Consumers
+  /// use it to pick the execution mode per pipeline.
+  virtual bool ColumnarCapable() const { return false; }
+
   virtual const Schema& schema() const = 0;
   /// One-line description for EXPLAIN-style plan dumps.
   virtual std::string Describe() const = 0;
@@ -145,6 +157,9 @@ class PhysicalOperator {
   /// maintain rows_produced_ exactly like Next() does. The default
   /// adapter loops the row-at-a-time Next().
   virtual Result<bool> NextBatchImpl(RowBatch* batch);
+  /// Columnar production; `batch` arrives reset to this operator's
+  /// schema. The default adapter pivots one row batch in.
+  virtual Result<bool> NextColumnBatchImpl(ColumnBatch* batch);
 
   /// Resets the per-execution counters; every Open() calls this first.
   void ResetExec() {
@@ -179,15 +194,25 @@ class SeqScanOp : public PhysicalOperator {
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return table_->schema(); }
   std::string Describe() const override;
+  bool ColumnarCapable() const override { return true; }
+  /// Pages whose zone maps refute this predicate are skipped before the
+  /// buffer-pool fetch (optimizer-attached; empty disables pruning).
+  void SetZonePredicate(ZonePredicate pred) { zone_pred_ = std::move(pred); }
+  /// EXPLAIN ANALYZE: `pages_skipped=` per scan operator.
+  std::string AnalyzeAnnotation() const override;
+  uint64_t pages_skipped() const { return pages_skipped_; }
 
  protected:
   Result<bool> NextBatchImpl(RowBatch* batch) override;
+  Result<bool> NextColumnBatchImpl(ColumnBatch* batch) override;
 
  private:
   Table* table_;
   SummaryManager* mgr_;
   bool propagate_;
   std::optional<Table::Iterator> it_;
+  ZonePredicate zone_pred_;
+  uint64_t pages_skipped_ = 0;
 };
 
 /// Data-column B-Tree index scan with an optional [lower, upper] value
@@ -369,11 +394,17 @@ class SelectOp : public PhysicalOperator {
   std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+  bool ColumnarCapable() const override { return child_->ColumnarCapable(); }
 
  protected:
   Result<bool> NextBatchImpl(RowBatch* batch) override;
+  Result<bool> NextColumnBatchImpl(ColumnBatch* batch) override;
 
  private:
+  /// Columnar filter core: one (possibly short) filtered child batch per
+  /// call. Does not touch rows_produced_ — both callers do.
+  Result<bool> FilterColumnar(ColumnBatch* batch);
+
   OpPtr child_;
   ExprPtr predicate_;
   // Batch-path state: buffered child batch, its predicate flags, and the
@@ -381,6 +412,9 @@ class SelectOp : public PhysicalOperator {
   RowBatch input_;
   std::vector<uint8_t> flags_;
   size_t input_pos_ = 0;
+  // Columnar-path state.
+  ColumnBatch col_scratch_;
+  TriVector tri_;
 };
 
 /// Summary-based selection S (Section 3.2): passes rows whose
@@ -466,9 +500,11 @@ class ProjectOp : public PhysicalOperator {
   std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+  bool ColumnarCapable() const override { return child_->ColumnarCapable(); }
 
  protected:
   Result<bool> NextBatchImpl(RowBatch* batch) override;
+  Result<bool> NextColumnBatchImpl(ColumnBatch* batch) override;
 
  private:
   OpPtr child_;
@@ -476,6 +512,7 @@ class ProjectOp : public PhysicalOperator {
   AnnotationResolver resolver_;
   std::vector<size_t> indices_;
   Schema schema_;
+  ColumnBatch col_input_;
 };
 
 // ---------- Joins ----------
@@ -825,9 +862,11 @@ class LimitOp : public PhysicalOperator {
   std::vector<PhysicalOperator*> children() const override {
     return {child_.get()};
   }
+  bool ColumnarCapable() const override { return child_->ColumnarCapable(); }
 
  protected:
   Result<bool> NextBatchImpl(RowBatch* batch) override;
+  Result<bool> NextColumnBatchImpl(ColumnBatch* batch) override;
 
  private:
   OpPtr child_;

@@ -28,7 +28,16 @@ ParallelScanOp::ParallelScanOp(ExecutionContext* ctx, Table* table,
 Status ParallelScanOp::OpenImpl() {
   ResetExec();
   it_.reset();
+  pages_skipped_ = 0;
   return Status::OK();
+}
+
+void ParallelScanOp::OpenMorsel(PageId begin, PageId end) {
+  it_.emplace(table_->ScanRange(begin, end, snapshot()));
+  if (!zone_pred_.empty() && table_->zone_maps() != nullptr) {
+    it_->EnableZonePruning(table_->zone_maps(), zone_pred_,
+                           &pages_skipped_);
+  }
 }
 
 Result<bool> ParallelScanOp::Next(Row* row) {
@@ -36,7 +45,7 @@ Result<bool> ParallelScanOp::Next(Row* row) {
     if (!it_.has_value()) {
       PageId begin, end;
       if (!morsels_->Next(&begin, &end)) return false;
-      it_.emplace(table_->ScanRange(begin, end, snapshot()));
+      OpenMorsel(begin, end);
     }
     Oid oid;
     Tuple tuple;
@@ -61,7 +70,7 @@ Result<bool> ParallelScanOp::NextBatchImpl(RowBatch* batch) {
     if (!it_.has_value()) {
       PageId begin, end;
       if (!morsels_->Next(&begin, &end)) break;
-      it_.emplace(table_->ScanRange(begin, end, snapshot()));
+      OpenMorsel(begin, end);
     }
     Oid oid;
     Tuple tuple;
@@ -80,6 +89,34 @@ Result<bool> ParallelScanOp::NextBatchImpl(RowBatch* batch) {
     ++rows_produced_;
   }
   return !batch->empty();
+}
+
+Result<bool> ParallelScanOp::NextColumnBatchImpl(ColumnBatch* batch) {
+  while (!batch->full()) {
+    if (!it_.has_value()) {
+      PageId begin, end;
+      if (!morsels_->Next(&begin, &end)) break;
+      OpenMorsel(begin, end);
+    }
+    Oid oid;
+    Tuple tuple;
+    if (!it_->Next(&oid, &tuple)) {
+      it_.reset();
+      continue;
+    }
+    SummarySet summaries;
+    if (propagate_) {
+      INSIGHT_ASSIGN_OR_RETURN(summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
+    }
+    batch->AppendTuple(oid, tuple, std::move(summaries));
+    ++rows_produced_;
+  }
+  return !batch->empty();
+}
+
+std::string ParallelScanOp::AnalyzeAnnotation() const {
+  return "  pages_skipped=" + std::to_string(pages_skipped_);
 }
 
 std::string ParallelScanOp::Describe() const {
@@ -135,6 +172,7 @@ Status GatherOp::OpenImpl() {
   ResetExec();
   worker_pos_ = 0;
   row_pos_ = 0;
+  gathered_.store(0, std::memory_order_relaxed);
   if (morsels_ != nullptr) morsels_->Reset();
   const size_t n = partitions_.size();
   std::vector<Status> statuses(n, Status::OK());
@@ -153,6 +191,14 @@ Status GatherOp::OpenImpl() {
         RowBatch batch;
         batch.set_capacity(part->batch_capacity());
         while (true) {
+          // LIMIT pushdown: once the fleet has gathered enough rows,
+          // stop pulling batches and halt the morsel source so sibling
+          // workers stop claiming new page ranges too.
+          if (limit_hint_ > 0 &&
+              gathered_.load(std::memory_order_relaxed) >= limit_hint_) {
+            if (morsels_ != nullptr) morsels_->Halt();
+            break;
+          }
           Result<bool> has = part->NextBatch(&batch);
           if (!has.ok()) {
             st = has.status();
@@ -162,6 +208,16 @@ Status GatherOp::OpenImpl() {
           auto& buffer = results_[i];
           buffer.reserve(buffer.size() + batch.size());
           for (Row& row : batch) buffer.push_back(std::move(row));
+          if (limit_hint_ > 0) {
+            const uint64_t total =
+                gathered_.fetch_add(batch.size(),
+                                    std::memory_order_relaxed) +
+                batch.size();
+            if (total >= limit_hint_) {
+              if (morsels_ != nullptr) morsels_->Halt();
+              break;
+            }
+          }
         }
         part->Close();
       }

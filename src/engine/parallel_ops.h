@@ -27,8 +27,9 @@ class MorselSource {
                                         : morsel_pages) {}
 
   /// Claims the next page range [begin, end); false when the extent is
-  /// exhausted.
+  /// exhausted or the source was halted.
   bool Next(PageId* begin, PageId* end) {
+    if (halted_.load(std::memory_order_relaxed)) return false;
     const PageId start = next_.fetch_add(morsel_pages_);
     if (start >= num_pages_) return false;
     *begin = start;
@@ -36,14 +37,23 @@ class MorselSource {
     return true;
   }
 
+  /// Early-termination signal (LIMIT satisfied): every subsequent Next()
+  /// returns false on every worker. Cleared by Reset().
+  void Halt() { halted_.store(true, std::memory_order_relaxed); }
+  bool halted() const { return halted_.load(std::memory_order_relaxed); }
+
   /// Rewinds for re-execution (GatherOp::Open).
-  void Reset() { next_.store(0); }
+  void Reset() {
+    next_.store(0);
+    halted_.store(false, std::memory_order_relaxed);
+  }
 
   PageId num_pages() const { return num_pages_; }
   PageId morsel_pages() const { return morsel_pages_; }
 
  private:
   std::atomic<PageId> next_{0};
+  std::atomic<bool> halted_{false};
   PageId num_pages_;
   PageId morsel_pages_;
 };
@@ -63,16 +73,27 @@ class ParallelScanOp : public PhysicalOperator {
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return table_->schema(); }
   std::string Describe() const override;
+  bool ColumnarCapable() const override { return true; }
+  /// Same zone-map pruning as SeqScanOp, applied per claimed morsel.
+  void SetZonePredicate(ZonePredicate pred) { zone_pred_ = std::move(pred); }
+  std::string AnalyzeAnnotation() const override;
+  uint64_t pages_skipped() const { return pages_skipped_; }
 
  protected:
   Result<bool> NextBatchImpl(RowBatch* batch) override;
+  Result<bool> NextColumnBatchImpl(ColumnBatch* batch) override;
 
  private:
+  /// Positions it_ on a claimed morsel, zone pruning armed.
+  void OpenMorsel(PageId begin, PageId end);
+
   Table* table_;
   SummaryManager* mgr_;
   bool propagate_;
   std::shared_ptr<MorselSource> morsels_;
   std::optional<Table::Iterator> it_;  // Current morsel's iterator.
+  ZonePredicate zone_pred_;
+  uint64_t pages_skipped_ = 0;
 };
 
 /// Worker-side boundary of a parallel region: a pass-through tagging one
@@ -127,6 +148,14 @@ class GatherOp : public PhysicalOperator {
   /// Per-worker drain wall time, filled by Open().
   const std::vector<uint64_t>& worker_ns() const { return worker_ns_; }
 
+  /// LIMIT pushdown hint: once the workers have gathered this many rows
+  /// in total, the drain halts the morsel source and winds down instead
+  /// of scanning the rest of the table (0 = no limit). Legal because
+  /// gather order is nondeterministic — any `limit` rows satisfy the
+  /// query; residual predicates above the gather must NOT use this.
+  void set_limit(uint64_t limit) { limit_hint_ = limit; }
+  uint64_t limit_hint() const { return limit_hint_; }
+
  protected:
   Result<bool> NextBatchImpl(RowBatch* batch) override;
 
@@ -139,6 +168,8 @@ class GatherOp : public PhysicalOperator {
   std::vector<uint64_t> worker_ns_;
   size_t worker_pos_ = 0;
   size_t row_pos_ = 0;
+  uint64_t limit_hint_ = 0;
+  std::atomic<uint64_t> gathered_{0};  // Drain-phase early-stop counter.
 };
 
 }  // namespace insight

@@ -47,6 +47,32 @@ Result<bool> PhysicalOperator::NextBatchImpl(RowBatch* batch) {
   return !batch->empty();
 }
 
+Result<bool> PhysicalOperator::NextColumnBatch(ColumnBatch* batch) {
+  const auto start = std::chrono::steady_clock::now();
+  batch->Reset(&schema(), batch_capacity());
+  Result<bool> result = NextColumnBatchImpl(batch);
+  stats_.next_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (result.ok() && *result) {
+    ++stats_.batches;
+    stats_.rows += batch->size();
+  }
+  return result;
+}
+
+Result<bool> PhysicalOperator::NextColumnBatchImpl(ColumnBatch* batch) {
+  // Default adapter: pull one row batch and pivot it in. Row-only
+  // operators stay usable from columnar consumers this way.
+  RowBatch rows;
+  rows.set_capacity(batch->capacity());
+  INSIGHT_ASSIGN_OR_RETURN(bool has, NextBatchImpl(&rows));
+  if (!has) return false;
+  for (const Row& row : rows) batch->AppendRow(row);
+  return true;
+}
+
 void PhysicalOperator::AttachContext(ExecutionContext* ctx) {
   exec_ctx_ = ctx;
   for (PhysicalOperator* child : children()) child->AttachContext(ctx);
@@ -136,7 +162,11 @@ SeqScanOp::SeqScanOp(ExecutionContext* ctx, Table* table, bool propagate)
 
 Status SeqScanOp::OpenImpl() {
   ResetExec();
+  pages_skipped_ = 0;
   it_.emplace(table_->Scan(snapshot()));
+  if (!zone_pred_.empty() && table_->zone_maps() != nullptr) {
+    it_->EnableZonePruning(table_->zone_maps(), zone_pred_, &pages_skipped_);
+  }
   return Status::OK();
 }
 
@@ -171,6 +201,28 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* batch) {
     ++rows_produced_;
   }
   return !batch->empty();
+}
+
+Result<bool> SeqScanOp::NextColumnBatchImpl(ColumnBatch* batch) {
+  // Native columnar fill: tuples pivot into the column vectors here, at
+  // the storage boundary, and stay columnar through filter/project.
+  while (!batch->full()) {
+    Oid oid;
+    Tuple tuple;
+    if (!it_->Next(&oid, &tuple)) break;
+    SummarySet summaries;
+    if (propagate_) {
+      INSIGHT_ASSIGN_OR_RETURN(summaries,
+                               mgr_->GetSummaries(oid, snapshot()));
+    }
+    batch->AppendTuple(oid, tuple, std::move(summaries));
+    ++rows_produced_;
+  }
+  return !batch->empty();
+}
+
+std::string SeqScanOp::AnalyzeAnnotation() const {
+  return "  pages_skipped=" + std::to_string(pages_skipped_);
 }
 
 std::string SeqScanOp::Describe() const {
@@ -568,7 +620,42 @@ Status SelectOp::OpenImpl() {
   return child_->Open();
 }
 
+Result<bool> SelectOp::FilterColumnar(ColumnBatch* batch) {
+  // One (possibly short) filtered batch per child batch; loop past
+  // batches the predicate empties entirely, since returning false means
+  // end-of-stream to the caller.
+  while (true) {
+    INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextColumnBatch(batch));
+    if (!has) return false;
+    tri_.clear();
+    INSIGHT_RETURN_NOT_OK(
+        predicate_->EvalPredColumnar(*batch, child_->schema(), &tri_));
+    // The filter decision is where NULL finally collapses to false (SQL
+    // WHERE semantics); Kleene NULLs survive up to this point.
+    for (uint8_t& t : tri_) t = t == kTriTrue ? 1 : 0;
+    batch->Filter(tri_);
+    if (!batch->empty()) return true;
+  }
+}
+
+Result<bool> SelectOp::NextColumnBatchImpl(ColumnBatch* batch) {
+  INSIGHT_ASSIGN_OR_RETURN(bool has, FilterColumnar(batch));
+  if (!has) return false;
+  rows_produced_ += batch->size();
+  return true;
+}
+
 Result<bool> SelectOp::NextBatchImpl(RowBatch* batch) {
+  if (child_->ColumnarCapable()) {
+    // Columnar filter, then pivot only the survivors out to rows — this
+    // is the row/column boundary for plans with a row-based consumer
+    // above the filter.
+    INSIGHT_ASSIGN_OR_RETURN(bool has, FilterColumnar(&col_scratch_));
+    if (!has) return false;
+    col_scratch_.ToRowBatch(batch);
+    rows_produced_ += batch->size();
+    return true;
+  }
   return FilterNextBatch(child_.get(), predicate_.get(), batch_capacity(),
                          &input_, &flags_, &input_pos_, &rows_produced_,
                          batch);
@@ -721,6 +808,24 @@ Result<bool> ProjectOp::NextBatchImpl(RowBatch* batch) {
   return true;
 }
 
+Result<bool> ProjectOp::NextColumnBatchImpl(ColumnBatch* batch) {
+  if (!child_->ColumnarCapable()) {
+    return PhysicalOperator::NextColumnBatchImpl(batch);
+  }
+  INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextColumnBatch(&col_input_));
+  if (!has) return false;
+  // Column-subset projection: the kept columns move, nothing pivots.
+  batch->AssumeProjected(std::move(col_input_), indices_);
+  for (SummarySet& s : batch->summaries()) {
+    if (s.empty()) continue;
+    auto projected = ProjectSummaries(s, indices_, resolver_);
+    if (!projected.ok()) return projected.status();
+    s = std::move(projected.ValueOrDie());
+  }
+  rows_produced_ += batch->size();
+  return true;
+}
+
 Result<bool> ProjectOp::Next(Row* row) {
   INSIGHT_ASSIGN_OR_RETURN(bool has, child_->Next(row));
   if (!has) return false;
@@ -761,6 +866,16 @@ Result<bool> LimitOp::Next(Row* row) {
 Result<bool> LimitOp::NextBatchImpl(RowBatch* batch) {
   if (emitted_ >= limit_) return false;
   INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+  if (!has) return false;
+  batch->Truncate(static_cast<size_t>(limit_ - emitted_));
+  emitted_ += batch->size();
+  rows_produced_ += batch->size();
+  return !batch->empty();
+}
+
+Result<bool> LimitOp::NextColumnBatchImpl(ColumnBatch* batch) {
+  if (emitted_ >= limit_) return false;
+  INSIGHT_ASSIGN_OR_RETURN(bool has, child_->NextColumnBatch(batch));
   if (!has) return false;
   batch->Truncate(static_cast<size_t>(limit_ - emitted_));
   emitted_ += batch->size();

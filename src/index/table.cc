@@ -1,9 +1,13 @@
 #include "index/table.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/serde.h"
 #include "common/string_util.h"
 #include "index/key_codec.h"
+#include "obs/metrics.h"
+#include "wal/crash_point.h"
 
 namespace insight {
 
@@ -45,6 +49,8 @@ Result<std::unique_ptr<Table>> Table::Create(StorageManager* storage,
   INSIGHT_ASSIGN_OR_RETURN(BTree tree,
                            BTree::Create(pool, table->oid_index_file_));
   table->oid_index_ = std::make_unique<BTree>(std::move(tree));
+  table->zones_ =
+      std::make_unique<ZoneMapStore>(table->schema_.num_columns());
   return table;
 }
 
@@ -114,6 +120,16 @@ Result<std::vector<Table::VersionInfo>> Table::GetVersions(Oid oid) const {
   return out;
 }
 
+Result<std::vector<Tuple>> Table::GetVersionTuples(Oid oid) const {
+  INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
+  std::vector<Tuple> out;
+  out.reserve(versions.size());
+  for (auto& [rec, loc] : versions) {
+    out.push_back(std::move(rec.tuple));
+  }
+  return out;
+}
+
 Status Table::CheckInsertConflict(Oid oid, const Snapshot& snap) const {
   INSIGHT_ASSIGN_OR_RETURN(auto versions, LoadVersions(oid));
   for (const auto& [rec, loc] : versions) {
@@ -165,6 +181,7 @@ Status Table::InsertRecord(Oid oid, const Tuple& tuple) {
   INSIGHT_ASSIGN_OR_RETURN(
       RowLocation loc,
       heap_->Insert(EncodeRecord(oid, begin, kTsInfinity, tuple)));
+  zones_->WidenTuple(loc.page_id, tuple);
   INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), loc.Pack()));
   if (txn != nullptr) {
     INSIGHT_RETURN_NOT_OK(IndexInsertVersioned(oid, tuple, loc));
@@ -237,6 +254,9 @@ Status Table::Delete(Oid oid) {
       if (!VersionVisible(rec.begin, rec.end, Snapshot::Latest())) continue;
       INSIGHT_RETURN_NOT_OK(IndexDeleteVersioned(oid, rec.tuple, loc));
       INSIGHT_RETURN_NOT_OK(heap_->Delete(loc));
+      // Deletes never tighten zone bounds — the page keeps its (now
+      // loose) superset bounds until maintenance re-derives them.
+      zones_->MarkStale(loc.page_id);
       INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
       num_rows_.fetch_sub(1, std::memory_order_relaxed);
       return Status::OK();
@@ -320,7 +340,10 @@ Status Table::Update(Oid oid, const Tuple& tuple) {
           RowLocation new_loc,
           heap_->Update(loc,
                         EncodeRecord(oid, rec.begin, rec.end, tuple)));
+      zones_->WidenTuple(new_loc.page_id, tuple);
       if (!(new_loc == loc)) {
+        zones_->MarkStale(loc.page_id);  // Record moved away; widen-only.
+        WidenOidLabels(new_loc.page_id, oid);
         INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
         INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), new_loc.Pack()));
       }
@@ -365,7 +388,10 @@ Status Table::Update(Oid oid, const Tuple& tuple) {
           RowLocation new_loc,
           heap_->Update(loc, EncodeRecord(oid, rec.begin, kTsInfinity,
                                           tuple)));
+      zones_->WidenTuple(new_loc.page_id, tuple);
       if (!(new_loc == loc)) {
+        zones_->MarkStale(loc.page_id);
+        WidenOidLabels(new_loc.page_id, oid);
         INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
         INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), new_loc.Pack()));
       }
@@ -381,6 +407,10 @@ Status Table::Update(Oid oid, const Tuple& tuple) {
     INSIGHT_ASSIGN_OR_RETURN(
         RowLocation new_loc,
         heap_->Insert(EncodeRecord(oid, marker, kTsInfinity, tuple)));
+    zones_->WidenTuple(new_loc.page_id, tuple);
+    // An annotated row's new version may land on a page that has never
+    // seen its labels; carry the label bounds along.
+    WidenOidLabels(new_loc.page_id, oid);
     INSIGHT_RETURN_NOT_OK(oid_index_->Insert(OidKey(oid), new_loc.Pack()));
     INSIGHT_RETURN_NOT_OK(IndexInsertVersioned(oid, tuple, new_loc));
     txn->OnAbort([this, oid, marker]() {
@@ -452,6 +482,9 @@ Status Table::RemoveVersionWithBegin(Oid oid, Ts marker) {
     if (rec.begin != marker) continue;
     INSIGHT_RETURN_NOT_OK(IndexDeleteVersioned(oid, rec.tuple, loc));
     INSIGHT_RETURN_NOT_OK(heap_->Delete(loc));
+    // Abort undo never tightens bounds (widen-only invariant): the page
+    // keeps the aborted version's superset bounds until maintenance.
+    zones_->MarkStale(loc.page_id);
     INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
     num_rows_.fetch_sub(1, std::memory_order_relaxed);
     found = true;
@@ -469,9 +502,67 @@ Status Table::VacuumOid(Oid oid, Ts horizon) {
     }
     INSIGHT_RETURN_NOT_OK(IndexDeleteVersioned(oid, rec.tuple, loc));
     INSIGHT_RETURN_NOT_OK(heap_->Delete(loc));
+    zones_->MarkStale(loc.page_id);  // GC vacuums; maintenance tightens.
     INSIGHT_RETURN_NOT_OK(oid_index_->Delete(OidKey(oid), loc.Pack()));
   }
   return Status::OK();
+}
+
+void Table::WidenOidLabels(PageId page, Oid oid) {
+  if (!zone_label_source_) return;
+  std::vector<std::pair<std::string, int64_t>> counts;
+  if (!zone_label_source_(oid, &counts).ok()) return;
+  zones_->WidenLabels(page, counts);
+}
+
+Status Table::MaintainZoneMaps() {
+  for (PageId page : zones_->StalePages()) {
+    INSIGHT_CRASH_POINT("zonemap_maintain");
+    PageZone zone;
+    zone.columns.resize(schema_.num_columns());
+    std::vector<Oid> oids;
+    HeapFile::Iterator it = heap_->ScanRange(page, page + 1);
+    RowLocation loc;
+    std::string raw;
+    while (it.Next(&loc, &raw)) {
+      auto decoded = DecodeRecord(raw);
+      if (!decoded.ok()) continue;
+      const DecodedRecord& rec = decoded.ValueOrDie();
+      // Bounds cover EVERY stored version, whatever its stamp, so the
+      // rebuilt zone is conservative for any snapshot still reading the
+      // page. A page whose versions were all GC'd ends up any_rows=false
+      // and is skippable by every probe.
+      zone.Widen(rec.tuple);
+      oids.push_back(rec.oid);
+    }
+    if (zone_label_source_ && !oids.empty()) {
+      std::sort(oids.begin(), oids.end());
+      oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
+      std::vector<std::pair<std::string, int64_t>> counts;
+      for (Oid oid : oids) {
+        counts.clear();
+        if (!zone_label_source_(oid, &counts).ok()) continue;
+        for (const auto& [key, count] : counts) {
+          zone.WidenLabel(key, count);
+        }
+      }
+    }
+    zones_->ReplacePage(page, std::move(zone));
+  }
+  return Status::OK();
+}
+
+void Table::Iterator::EnableZonePruning(const ZoneMapStore* zones,
+                                        ZonePredicate pred,
+                                        uint64_t* pages_skipped) {
+  if (zones == nullptr || pred.empty()) return;
+  it_.set_page_filter(
+      [zones, pred = std::move(pred), pages_skipped](PageId page) {
+        if (!zones->CanSkip(page, pred)) return false;
+        if (pages_skipped != nullptr) ++*pages_skipped;
+        EngineMetrics::Get().scan_pages_skipped->Add(1);
+        return true;
+      });
 }
 
 Result<bool> Table::ValueInOtherVersion(Oid oid, size_t column_pos,

@@ -2,15 +2,18 @@
 #define INSIGHTNOTES_INDEX_TABLE_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "index/btree.h"
 #include "storage/heap_file.h"
 #include "storage/storage_manager.h"
+#include "storage/zone_map.h"
 #include "txn/txn.h"
 #include "types/schema.h"
 #include "types/tuple.h"
@@ -103,6 +106,11 @@ class Table {
   /// Every stored version of `oid`, any stamp (empty when unknown).
   Result<std::vector<VersionInfo>> GetVersions(Oid oid) const;
 
+  /// Every stored version's tuple for `oid`, any stamp. Zone-map label
+  /// maintenance unions label counts over these so rebuilt bounds stay
+  /// conservative for every snapshot.
+  Result<std::vector<Tuple>> GetVersionTuples(Oid oid) const;
+
   /// First-writer-wins admission check for inserting a row that `snap`
   /// believes absent but an index says may exist: kAborted when any
   /// version of `oid` was written by another open transaction or
@@ -120,6 +128,12 @@ class Table {
         : it_(table->heap_->ScanRange(begin, end)), snap_(snap) {}
     bool Next(Oid* oid, Tuple* tuple);
 
+    /// Installs zone-map pruning: pages `zones` can refute under `pred`
+    /// are skipped before they are pinned. `pages_skipped` (optional)
+    /// is bumped per pruned page and must outlive the iterator.
+    void EnableZonePruning(const ZoneMapStore* zones, ZonePredicate pred,
+                           uint64_t* pages_skipped);
+
    private:
     HeapFile::Iterator it_;
     Snapshot snap_;
@@ -134,6 +148,29 @@ class Table {
 
   /// Heap-file scan extent in pages (the domain morsel sources split).
   PageId heap_pages() const { return heap_->num_pages(); }
+
+  // ---- Zone maps (per-page min/max pruning state) ----
+  /// Derived, memory-resident per-page bounds. Writes widen them, deletes
+  /// and undo only mark pages stale (widen-only invariant), so scans may
+  /// consult them at any time without false skips. Repopulated by
+  /// recovery/replication replay through the ordinary write paths.
+  ZoneMapStore* zone_maps() const { return zones_.get(); }
+
+  /// Callback providing one row's summary-label counts (lowercased
+  /// "instance.label" -> count, unioned over every stored summary
+  /// version). SummaryManager installs it so label bounds follow a row to
+  /// whatever page its versions land on.
+  using ZoneLabelSource =
+      std::function<Status(Oid, std::vector<std::pair<std::string, int64_t>>*)>;
+  void SetZoneLabelSource(ZoneLabelSource source) {
+    zone_label_source_ = std::move(source);
+  }
+  bool HasZoneLabelSource() const { return zone_label_source_ != nullptr; }
+
+  /// Re-derives bounds for every stale page from ALL stored versions
+  /// (conservative for every snapshot). Callers serialize with writers —
+  /// the engine runs it from its maintenance/checkpoint path.
+  Status MaintainZoneMaps();
 
   /// Storage footprint of the heap file in bytes.
   uint64_t heap_bytes() const;
@@ -186,6 +223,10 @@ class Table {
                                    const Value& value,
                                    RowLocation exclude) const;
 
+  /// Widens `page`'s label bounds with the oid's summary counts (no-op
+  /// without an installed label source).
+  void WidenOidLabels(PageId page, Oid oid);
+
   Status IndexInsert(Oid oid, const Tuple& tuple);
   Status IndexDelete(Oid oid, const Tuple& tuple);
   /// Index maintenance that keeps entries shared by other versions.
@@ -207,6 +248,9 @@ class Table {
     std::unique_ptr<BTree> tree;
   };
   std::map<std::string, ColumnIndex> column_indexes_;
+
+  std::unique_ptr<ZoneMapStore> zones_;
+  ZoneLabelSource zone_label_source_;
 
   std::atomic<Oid> next_oid_{1};
   std::atomic<uint64_t> num_rows_{0};

@@ -299,6 +299,18 @@ EngineMetrics& EngineMetrics::Get() {
                                    "Data B-Tree lookups and range scans");
     m->heap_pages_scanned = r.GetCounter("insight_heap_pages_scanned_total",
                                          "Heap pages visited by scans");
+    m->scan_pages_skipped =
+        r.GetCounter("insight_scan_pages_skipped_total",
+                     "Heap pages skipped by zone-map pruning");
+    m->zonemap_widenings =
+        r.GetCounter("insight_zonemap_widenings_total",
+                     "Page-zone bound widenings on the write path");
+    m->zonemap_stale_marks =
+        r.GetCounter("insight_zonemap_stale_marks_total",
+                     "Pages marked stale for bound re-derivation");
+    m->zonemap_page_rebuilds =
+        r.GetCounter("insight_zonemap_page_rebuilds_total",
+                     "Stale pages re-derived by zone-map maintenance");
     m->queries_total =
         r.GetCounter("insight_queries_total", "SELECT statements executed");
     m->slow_queries_total = r.GetCounter(

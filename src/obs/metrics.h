@@ -196,6 +196,10 @@ struct EngineMetrics {
   // Data access paths.
   Counter* btree_probes;
   Counter* heap_pages_scanned;
+  Counter* scan_pages_skipped;      // Heap pages pruned by zone maps.
+  Counter* zonemap_widenings;       // Page-zone bound widenings on write.
+  Counter* zonemap_stale_marks;     // Pages flagged for bound re-derivation.
+  Counter* zonemap_page_rebuilds;   // Stale pages re-derived by maintenance.
   // Online statistics (src/stats).
   Counter* stats_sketch_updates;    // DML/summary ops absorbed by sketches.
   Counter* stats_sketch_estimates;  // Operators estimated from the sketch

@@ -659,6 +659,59 @@ ClassifierProbe ProbeFor(const IndexablePredicate& pred) {
   return probe;
 }
 
+ZoneOp ZoneOpFor(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return ZoneOp::kLt;
+    case CompareOp::kLe:
+      return ZoneOp::kLe;
+    case CompareOp::kGt:
+      return ZoneOp::kGt;
+    case CompareOp::kGe:
+      return ZoneOp::kGe;
+    default:
+      return ZoneOp::kEq;
+  }
+}
+
+// Collects every conjunct the page zone maps can refute: column-vs-literal
+// data conjuncts (kNe never prunes; NULL literals stay with the row
+// filter), plus labelValue conjuncts gated on classifier instances so a
+// skipped page cannot mask the type error a non-classifier probe raises.
+ZonePredicate BuildZonePredicate(const RelationInfo& info,
+                                 const std::vector<ExprPtr>& data_conjuncts,
+                                 const std::vector<ExprPtr>& summary_conjuncts) {
+  ZonePredicate pred;
+  const Schema& schema = info.table->schema();
+  for (const ExprPtr& conjunct : data_conjuncts) {
+    auto cp = MatchColumnPredicate(conjunct.get());
+    if (!cp.has_value() || cp->constant.is_null()) continue;
+    auto idx = schema.IndexOf(cp->column);
+    if (!idx.ok()) continue;
+    ZoneProbe probe;
+    probe.kind = ZoneProbe::Kind::kColumn;
+    probe.column = *idx;
+    probe.op = ZoneOpFor(cp->op);
+    probe.constant = cp->constant;
+    pred.probes.push_back(std::move(probe));
+  }
+  if (info.mgr != nullptr) {
+    for (const ExprPtr& conjunct : summary_conjuncts) {
+      auto ip = MatchIndexablePredicate(conjunct.get());
+      if (!ip.has_value()) continue;
+      auto inst = info.mgr->FindInstance(ip->instance);
+      if (!inst.ok() || (*inst)->type() != SummaryType::kClassifier) continue;
+      ZoneProbe probe;
+      probe.kind = ZoneProbe::Kind::kLabel;
+      probe.label_key = ToLower((*inst)->name()) + "." + ToLower(ip->label);
+      probe.op = ZoneOpFor(ip->op);
+      probe.constant = Value::Int(ip->constant);
+      pred.probes.push_back(std::move(probe));
+    }
+  }
+  return pred;
+}
+
 }  // namespace
 
 Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
@@ -699,11 +752,22 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
     size_t conjunct;  // Consumed conjunct position (in its list).
     std::optional<PhysOrder> order;
   };
+  // Zone-map pruning cheapens the sequential path: scale its cost by the
+  // fraction of pages the current bounds would actually let us read.
+  ZonePredicate zone_pred =
+      BuildZonePredicate(*info, data_conjuncts, summary_conjuncts);
+  double seq_keep_fraction = 1.0;
+  if (!zone_pred.empty() && info->table->zone_maps() != nullptr) {
+    seq_keep_fraction -= info->table->zone_maps()->EstimateSkipFraction(
+        zone_pred, static_cast<size_t>(info->table->heap_pages()));
+  }
+
   std::vector<Candidate> candidates;
   candidates.push_back(
       Candidate{Candidate::Kind::kSeq,
-                table_pages + table_rows * kTupleCpu +
-                    (propagate ? table_rows * kPropagationIo : 0.0),
+                seq_keep_fraction *
+                    (table_pages + table_rows * kTupleCpu +
+                     (propagate ? table_rows * kPropagationIo : 0.0)),
                 0, std::nullopt});
 
   if (options_.use_data_indexes) {
@@ -798,8 +862,10 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
         std::vector<OpPtr> partitions;
         partitions.reserve(workers);
         for (size_t w = 0; w < workers; ++w) {
-          OpPtr part = std::make_unique<ParallelScanOp>(exec, info->table,
-                                                        propagate, morsels);
+          auto scan = std::make_unique<ParallelScanOp>(exec, info->table,
+                                                       propagate, morsels);
+          scan->SetZonePredicate(zone_pred);  // Copy: one per partition.
+          OpPtr part = std::move(scan);
           if (!data_conjuncts.empty()) {
             std::vector<ExprPtr> cloned;
             cloned.reserve(data_conjuncts.size());
@@ -828,7 +894,9 @@ Result<Optimizer::Lowered> Optimizer::LowerAccessPath(
         // Cross-partition order is nondeterministic: no interesting order.
         return Lowered{std::move(op), std::nullopt};
       }
-      op = std::make_unique<SeqScanOp>(exec, info->table, propagate);
+      auto scan = std::make_unique<SeqScanOp>(exec, info->table, propagate);
+      scan->SetZonePredicate(std::move(zone_pred));
+      op = std::move(scan);
       break;
     }
     case Candidate::Kind::kDataIndex: {
@@ -1251,6 +1319,23 @@ Result<Optimizer::Lowered> Optimizer::LowerRecImpl(const LogicalNode& node) {
     }
     case LogicalKind::kLimit: {
       INSIGHT_ASSIGN_OR_RETURN(Lowered child, LowerRec(*node.children[0]));
+      // LIMIT pushdown into a parallel gather: walk through 1:1
+      // pass-through operators (rename, project) — never through a
+      // filter, which can drop rows — and hand the gather an early-stop
+      // hint so the workers do not drain the whole table.
+      PhysicalOperator* walk = child.op.get();
+      while (walk != nullptr) {
+        if (auto* gather = dynamic_cast<GatherOp*>(walk)) {
+          gather->set_limit(node.limit);
+          break;
+        }
+        if (dynamic_cast<RenameOp*>(walk) == nullptr &&
+            dynamic_cast<ProjectOp*>(walk) == nullptr) {
+          break;
+        }
+        auto kids = walk->children();
+        walk = kids.size() == 1 ? kids[0] : nullptr;
+      }
       Lowered out;
       out.order = child.order;
       out.op = std::make_unique<LimitOp>(std::move(child.op), node.limit);

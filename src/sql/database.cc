@@ -615,8 +615,21 @@ Status Database::Checkpoint() {
     return Status::OK();
   }();
   in_checkpoint_ = false;
-  if (result.ok()) ops_since_checkpoint_ = 0;
+  if (result.ok()) {
+    ops_since_checkpoint_ = 0;
+    // Writers are still quiesced: a natural window to tighten any zone
+    // maps loosened by deletes/aborts since the last checkpoint. Purely
+    // derived state, so a failure here does not void the checkpoint.
+    result = MaintainZoneMaps();
+  }
   return result;
+}
+
+Status Database::MaintainZoneMaps() {
+  for (auto& [key, rel] : relations_) {
+    INSIGHT_RETURN_NOT_OK(rel.mgr->base()->MaintainZoneMaps());
+  }
+  return Status::OK();
 }
 
 // ---------- Replication ----------

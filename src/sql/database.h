@@ -198,6 +198,12 @@ class Database : public ReplayTarget {
   /// they commit). No-op error when WAL is off.
   Status Checkpoint();
 
+  /// Re-derives stale page zone maps on every table (the widen-only write
+  /// path loosens bounds; this is the tightening half). Checkpoint runs it
+  /// automatically; callers may also invoke it directly after bulk
+  /// deletes/aborts to restore skipping effectiveness sooner.
+  Status MaintainZoneMaps();
+
   /// Forces the log to disk (group-commit barrier). OK when WAL is off.
   Status WalSync();
 

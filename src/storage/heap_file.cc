@@ -442,6 +442,10 @@ Status HeapFile::OverwriteRecordBytes(RowLocation loc, size_t offset,
 bool HeapFile::Iterator::Next(RowLocation* loc, std::string* record) {
   while (true) {
     if (page_ >= end_) return false;  // Range morsel exhausted.
+    if (slot_ == 0 && filter_ && filter_(page_)) {
+      ++page_;  // Pruned before the fetch: the page is never pinned.
+      continue;
+    }
     auto guard_result =
         heap_->pool_->FetchPage(heap_->file_, page_, LatchMode::kShared);
     if (!guard_result.ok()) return false;  // Past last page.

@@ -2,6 +2,7 @@
 #define INSIGHTNOTES_STORAGE_HEAP_FILE_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -72,11 +73,20 @@ class HeapFile {
     /// stops (heap pages we wrote ourselves only corrupt on engine bugs).
     bool Next(RowLocation* loc, std::string* record);
 
+    /// Page-granular pruning hook (zone maps). Returning true skips the
+    /// page entirely: it is never pinned, never fetched from the backing
+    /// store, and not counted by the pages-scanned metric. Consulted only
+    /// at page boundaries, so installing it mid-page takes effect on the
+    /// next page.
+    using PageFilter = std::function<bool(PageId)>;
+    void set_page_filter(PageFilter filter) { filter_ = std::move(filter); }
+
    private:
     const HeapFile* heap_;
     PageId page_ = 0;
     PageId end_ = kInvalidPageId;  // Exclusive; kInvalidPageId = open.
     uint16_t slot_ = 0;
+    PageFilter filter_;
   };
 
   Iterator Scan() const { return Iterator(this); }

@@ -1,0 +1,187 @@
+#include "storage/zone_map.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace insight {
+
+namespace {
+
+/// Range refutation against [min, max] under Value::Compare's total order.
+/// All-NULL (or no-value) ranges are handled by the caller: a comparison
+/// against NULL is never true, so such a page is always refutable.
+bool RangeRefutes(ZoneOp op, const Value& c, const Value& min,
+                  const Value& max) {
+  switch (op) {
+    case ZoneOp::kEq:
+      return c.Compare(min) < 0 || c.Compare(max) > 0;
+    case ZoneOp::kLt:  // Needs some v < c; refuted when min >= c.
+      return min.Compare(c) >= 0;
+    case ZoneOp::kLe:  // Needs some v <= c; refuted when min > c.
+      return min.Compare(c) > 0;
+    case ZoneOp::kGt:  // Needs some v > c; refuted when max <= c.
+      return max.Compare(c) <= 0;
+    case ZoneOp::kGe:  // Needs some v >= c; refuted when max < c.
+      return max.Compare(c) < 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+void PageZone::Widen(const Tuple& tuple) {
+  any_rows = true;
+  const size_t n = std::min(columns.size(), tuple.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = tuple.at(i);
+    if (v.is_null()) continue;
+    ColumnBounds& b = columns[i];
+    if (!b.seen) {
+      b.seen = true;
+      b.min = v;
+      b.max = v;
+    } else {
+      if (v.Compare(b.min) < 0) b.min = v;
+      if (v.Compare(b.max) > 0) b.max = v;
+    }
+  }
+}
+
+void PageZone::WidenLabel(const std::string& key, int64_t count) {
+  any_rows = true;
+  auto it = labels.find(key);
+  if (it == labels.end()) {
+    labels.emplace(key, LabelBounds{count, count});
+  } else {
+    it->second.min = std::min(it->second.min, count);
+    it->second.max = std::max(it->second.max, count);
+  }
+}
+
+PageZone& ZoneMapStore::ZoneFor(PageId page) {
+  PageZone& zone = zones_[page];
+  if (zone.columns.size() != num_columns_) {
+    zone.columns.resize(num_columns_);
+  }
+  return zone;
+}
+
+void ZoneMapStore::WidenTuple(PageId page, const Tuple& tuple) {
+  std::unique_lock lock(mu_);
+  ZoneFor(page).Widen(tuple);
+  EngineMetrics::Get().zonemap_widenings->Add(1);
+}
+
+void ZoneMapStore::WidenLabels(
+    PageId page, const std::vector<std::pair<std::string, int64_t>>& counts) {
+  if (counts.empty()) return;
+  std::unique_lock lock(mu_);
+  PageZone& zone = ZoneFor(page);
+  for (const auto& [key, count] : counts) {
+    zone.WidenLabel(key, count);
+  }
+  EngineMetrics::Get().zonemap_widenings->Add(1);
+}
+
+void ZoneMapStore::MarkStale(PageId page) {
+  std::unique_lock lock(mu_);
+  auto it = zones_.find(page);
+  if (it == zones_.end()) return;  // Untracked pages stay untracked.
+  if (!it->second.stale) {
+    it->second.stale = true;
+    EngineMetrics::Get().zonemap_stale_marks->Add(1);
+  }
+}
+
+bool ZoneMapStore::ProbeRefutes(const ZoneProbe& probe, const PageZone& zone) {
+  if (!zone.any_rows) return true;  // Rebuilt-empty page: nothing to match.
+  if (probe.kind == ZoneProbe::Kind::kColumn) {
+    if (probe.column >= zone.columns.size()) return false;
+    const PageZone::ColumnBounds& b = zone.columns[probe.column];
+    // No non-NULL value on the page: every comparison evaluates to NULL,
+    // which the filter rejects, so the page cannot contribute.
+    if (!b.seen) return true;
+    return RangeRefutes(probe.op, probe.constant, b.min, b.max);
+  }
+  // Label probe. A missing entry on a tracked page means no row here
+  // carries that label: labelValue() is NULL for every row, the
+  // comparison is never true, skip.
+  auto it = zone.labels.find(probe.label_key);
+  if (it == zone.labels.end()) return true;
+  const Value min = Value::Int(it->second.min);
+  const Value max = Value::Int(it->second.max);
+  return RangeRefutes(probe.op, probe.constant, min, max);
+}
+
+bool ZoneMapStore::CanSkip(PageId page, const ZonePredicate& pred) const {
+  if (pred.empty()) return false;
+  std::shared_lock lock(mu_);
+  auto it = zones_.find(page);
+  if (it == zones_.end()) return false;  // Never skip untracked pages.
+  for (const ZoneProbe& probe : pred.probes) {
+    if (ProbeRefutes(probe, it->second)) return true;
+  }
+  return false;
+}
+
+double ZoneMapStore::EstimateSkipFraction(const ZonePredicate& pred,
+                                          size_t total_pages) const {
+  if (pred.empty() || total_pages == 0) return 0.0;
+  std::shared_lock lock(mu_);
+  size_t skippable = 0;
+  for (const auto& [page, zone] : zones_) {
+    for (const ZoneProbe& probe : pred.probes) {
+      if (ProbeRefutes(probe, zone)) {
+        ++skippable;
+        break;
+      }
+    }
+  }
+  const double frac = static_cast<double>(skippable) /
+                      static_cast<double>(total_pages);
+  return std::min(frac, 1.0);
+}
+
+std::vector<PageId> ZoneMapStore::StalePages() const {
+  std::shared_lock lock(mu_);
+  std::vector<PageId> out;
+  for (const auto& [page, zone] : zones_) {
+    if (zone.stale) out.push_back(page);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ZoneMapStore::ReplacePage(PageId page, PageZone zone) {
+  if (zone.columns.size() != num_columns_) zone.columns.resize(num_columns_);
+  zone.stale = false;
+  std::unique_lock lock(mu_);
+  zones_[page] = std::move(zone);
+  EngineMetrics::Get().zonemap_page_rebuilds->Add(1);
+}
+
+void ZoneMapStore::Clear() {
+  std::unique_lock lock(mu_);
+  zones_.clear();
+}
+
+bool ZoneMapStore::HasPage(PageId page) const {
+  std::shared_lock lock(mu_);
+  return zones_.count(page) != 0;
+}
+
+PageZone ZoneMapStore::GetPage(PageId page) const {
+  std::shared_lock lock(mu_);
+  auto it = zones_.find(page);
+  if (it == zones_.end()) return PageZone{};
+  return it->second;
+}
+
+size_t ZoneMapStore::tracked_pages() const {
+  std::shared_lock lock(mu_);
+  return zones_.size();
+}
+
+}  // namespace insight

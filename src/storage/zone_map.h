@@ -1,0 +1,141 @@
+#ifndef INSIGHTNOTES_STORAGE_ZONE_MAP_H_
+#define INSIGHTNOTES_STORAGE_ZONE_MAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace insight {
+
+/// Comparison shapes a zone map can prune on. Deliberately a storage-local
+/// enum (the engine's CompareOp lives above this layer); the optimizer
+/// translates when it builds a ZonePredicate. `!=` is absent on purpose:
+/// a min/max range can almost never refute it.
+enum class ZoneOp : uint8_t { kEq, kLt, kLe, kGt, kGe };
+
+/// One conjunct the scan may use to skip whole pages. Either a base-column
+/// probe (`column` indexes the table schema, `constant` compared with
+/// Value::Compare — the same total order the row filter uses, NaN above
+/// every real) or a summary-label probe (`label_key` is
+/// "instance.label" lowercased, bounds over per-row annotation counts).
+struct ZoneProbe {
+  enum class Kind : uint8_t { kColumn, kLabel };
+  Kind kind = Kind::kColumn;
+  size_t column = 0;       // kColumn: index into the table schema.
+  std::string label_key;   // kLabel: lowercased "instance.label".
+  ZoneOp op = ZoneOp::kEq;
+  Value constant;          // kLabel probes always carry Int.
+};
+
+/// Conjunction of probes: a page is skippable when ANY probe refutes it
+/// (the predicate is an AND, so one provably-empty conjunct empties the
+/// page's contribution).
+struct ZonePredicate {
+  std::vector<ZoneProbe> probes;
+  bool empty() const { return probes.empty(); }
+};
+
+/// Per-page derived bounds. Invariant: bounds are a SUPERSET of the values
+/// reachable on the page through ANY snapshot — writes only ever widen
+/// them, deletes/aborts/GC only mark the page stale (tightening happens
+/// exclusively in maintenance, which re-derives from every stored
+/// version). That widen-only discipline is what makes skipping a stale
+/// page safe: stale means "possibly looser than necessary", never
+/// "possibly wrong".
+struct PageZone {
+  struct ColumnBounds {
+    bool seen = false;  // Any non-NULL value recorded for this column.
+    Value min;
+    Value max;
+  };
+  struct LabelBounds {
+    int64_t min = 0;
+    int64_t max = 0;
+  };
+  std::vector<ColumnBounds> columns;
+  /// "instance.label" -> bounds over annotation counts of rows on the
+  /// page. A missing entry on a tracked page means no row on the page
+  /// carries that label (every summary mutation funnels through
+  /// SummaryManager::SaveSummaries, which widens here), so a label probe
+  /// may skip the page outright.
+  std::map<std::string, LabelBounds> labels;
+  bool any_rows = false;  // False only for a rebuilt-empty page.
+  bool stale = false;     // Bounds valid but possibly loose; re-derive.
+
+  /// Widens column bounds to cover `tuple` (columns must be pre-sized).
+  void Widen(const Tuple& tuple);
+  /// Widens one label's count bounds.
+  void WidenLabel(const std::string& key, int64_t count);
+};
+
+/// Zone maps for one heap file, owned by its Table. Purely derived,
+/// memory-resident state: recovery and replication replay repopulate it
+/// through the ordinary insert/update/annotate paths, so it needs no
+/// persistence of its own. Thread-safe (shared_mutex: scans take shared,
+/// writers exclusive).
+class ZoneMapStore {
+ public:
+  explicit ZoneMapStore(size_t num_columns) : num_columns_(num_columns) {}
+
+  /// Widens the page's column bounds to cover `tuple` (insert or new
+  /// version landing on the page).
+  void WidenTuple(PageId page, const Tuple& tuple);
+
+  /// Widens the page's label bounds to cover one row's annotation counts
+  /// (pairs of lowercased "instance.label" -> count).
+  void WidenLabels(PageId page,
+                   const std::vector<std::pair<std::string, int64_t>>& counts);
+
+  /// Flags a page for re-derivation (delete, abort undo, GC vacuum,
+  /// update relocation away from the page). Never tightens bounds.
+  void MarkStale(PageId page);
+
+  /// True when every row the page could expose is refuted by `pred`.
+  /// Untracked pages are never skipped. Conservative by the widen-only
+  /// invariant above.
+  bool CanSkip(PageId page, const ZonePredicate& pred) const;
+
+  /// Fraction of `total_pages` CanSkip would prune, for access-path
+  /// costing. Untracked pages count as unskippable.
+  double EstimateSkipFraction(const ZonePredicate& pred,
+                              size_t total_pages) const;
+
+  /// Pages currently flagged stale (maintenance work list).
+  std::vector<PageId> StalePages() const;
+
+  /// Installs freshly derived bounds for a page (maintenance), clearing
+  /// its stale flag. An empty rebuilt page gets any_rows=false and
+  /// becomes skippable by every probe.
+  void ReplacePage(PageId page, PageZone zone);
+
+  /// Drops every tracked page (tests / full reload).
+  void Clear();
+
+  bool HasPage(PageId page) const;
+  /// Snapshot of one page's zone (tests / diagnostics).
+  PageZone GetPage(PageId page) const;
+
+  size_t num_columns() const { return num_columns_; }
+  size_t tracked_pages() const;
+
+ private:
+  PageZone& ZoneFor(PageId page);  // Caller holds mu_ exclusively.
+  static bool ProbeRefutes(const ZoneProbe& probe, const PageZone& zone);
+
+  const size_t num_columns_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<PageId, PageZone> zones_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHTNOTES_STORAGE_ZONE_MAP_H_

@@ -1,11 +1,42 @@
 #include "summary/summary_manager.h"
 
+#include <algorithm>
 #include <map>
 
 #include "common/string_util.h"
 #include "index/key_codec.h"
 
 namespace insight {
+
+namespace {
+
+/// Flattens one summary set into zone-map label pairs (lowercased
+/// "instance.label" -> count). Mirrors GetLabelValue's hierarchical
+/// semantics: an inner label ("a" over leaves "a/b", "a/c") answers with
+/// its subtree sum, so both the exact leaf counts and every inner-prefix
+/// sum are emitted — bounds widened with both stay a superset of any
+/// value the probe can observe.
+void AppendLabelZoneCounts(const SummarySet& set,
+                           std::vector<std::pair<std::string, int64_t>>* out) {
+  for (const SummaryObject& obj : set.objects()) {
+    if (obj.type != SummaryType::kClassifier) continue;
+    const std::string prefix = ToLower(obj.instance_name) + ".";
+    std::map<std::string, int64_t> inner_sums;
+    for (const Representative& rep : obj.reps) {
+      const std::string label = ToLower(rep.text);
+      out->emplace_back(prefix + label, rep.count);
+      for (size_t pos = label.find('/'); pos != std::string::npos;
+           pos = label.find('/', pos + 1)) {
+        inner_sums[label.substr(0, pos)] += rep.count;
+      }
+    }
+    for (const auto& [inner, sum] : inner_sums) {
+      out->emplace_back(prefix + inner, sum);
+    }
+  }
+}
+
+}  // namespace
 
 Result<std::unique_ptr<SummaryManager>> SummaryManager::Create(
     Catalog* catalog, Table* base, AnnotationStore* annotations) {
@@ -17,7 +48,19 @@ Result<std::unique_ptr<SummaryManager>> SummaryManager::Create(
                            Schema({{"tuple_oid", ValueType::kInt64},
                                    {"blob", ValueType::kString}})));
   INSIGHT_RETURN_NOT_OK(mgr->storage_->CreateColumnIndex("tuple_oid"));
+  // Feed the base table's zone maps: label bounds must follow a row's
+  // versions to whatever heap page they land on, and maintenance needs
+  // the all-versions union when it re-derives a page.
+  SummaryManager* raw = mgr.get();
+  base->SetZoneLabelSource(
+      [raw](Oid oid, std::vector<std::pair<std::string, int64_t>>* out) {
+        return raw->CollectLabelZoneCounts(oid, out);
+      });
   return mgr;
+}
+
+SummaryManager::~SummaryManager() {
+  if (base_ != nullptr) base_->SetZoneLabelSource(nullptr);
 }
 
 Status SummaryManager::LinkInstance(SummaryInstance instance) {
@@ -92,6 +135,30 @@ bool SummaryManager::HasInstance(uint32_t instance_id) const {
   return false;
 }
 
+Status SummaryManager::CollectLabelZoneCounts(
+    Oid tuple_oid, std::vector<std::pair<std::string, int64_t>>* out) const {
+  const BTree* idx = storage_->GetColumnIndex("tuple_oid");
+  if (idx == nullptr) return Status::OK();
+  INSIGHT_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> hits,
+      idx->Lookup(EncodeIndexKey(Value::Int(static_cast<int64_t>(tuple_oid)))));
+  for (uint64_t hit : hits) {
+    // Union over every stored version of the summary row, any stamp: a
+    // zone rebuilt from this union stays conservative for any snapshot.
+    auto versions = storage_->GetVersionTuples(static_cast<Oid>(hit));
+    if (!versions.ok()) continue;
+    for (const Tuple& row : *versions) {
+      if (static_cast<Oid>(row.at(0).AsInt()) != tuple_oid) {
+        continue;  // Stale index entry from a reused slot.
+      }
+      auto set = SummarySet::Deserialize(row.at(1).AsString());
+      if (!set.ok()) continue;
+      AppendLabelZoneCounts(*set, out);
+    }
+  }
+  return Status::OK();
+}
+
 Result<Oid> SummaryManager::FindStorageRow(Oid tuple_oid,
                                            const Snapshot& snap) const {
   const BTree* idx = storage_->GetColumnIndex("tuple_oid");
@@ -142,10 +209,34 @@ Status SummaryManager::SaveSummaries(Oid tuple_oid, Oid storage_row,
   set.Serialize(&blob);
   Tuple row({Value::Int(static_cast<int64_t>(tuple_oid)),
              Value::String(std::move(blob))});
+  Status saved;
   if (storage_row == kInvalidOid) {
-    return storage_->Insert(row).status();
+    saved = storage_->Insert(row).status();
+  } else {
+    saved = storage_->Update(storage_row, row);
   }
-  return storage_->Update(storage_row, row);
+  INSIGHT_RETURN_NOT_OK(saved);
+  // Every summary mutation funnels through here (including WAL replay
+  // and snapshot restore), which is what makes "no label entry on a
+  // tracked page => no annotated row there" a zone-map invariant: widen
+  // the label bounds of every page holding a version of the tuple.
+  std::vector<std::pair<std::string, int64_t>> counts;
+  AppendLabelZoneCounts(set, &counts);
+  if (!counts.empty()) {
+    auto versions = base_->GetVersions(tuple_oid);
+    if (versions.ok()) {
+      std::vector<PageId> pages;
+      for (const Table::VersionInfo& info : *versions) {
+        pages.push_back(info.loc.page_id);
+      }
+      std::sort(pages.begin(), pages.end());
+      pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+      for (PageId page : pages) {
+        base_->zone_maps()->WidenLabels(page, counts);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status SummaryManager::Notify(Oid oid, uint32_t instance_id,

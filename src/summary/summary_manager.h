@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "annotation/annotation_store.h"
@@ -27,6 +28,9 @@ class SummaryManager {
  public:
   static Result<std::unique_ptr<SummaryManager>> Create(
       Catalog* catalog, Table* base, AnnotationStore* annotations);
+
+  /// Detaches the zone-map label source installed on the base table.
+  ~SummaryManager();
 
   /// Links a summary instance to this relation (the paper's
   /// `Alter Table <R> Add <InstanceName>`). Existing annotations are NOT
@@ -107,6 +111,14 @@ class SummaryManager {
  private:
   SummaryManager(Table* base, AnnotationStore* annotations)
       : base_(base), annotations_(annotations) {}
+
+  /// One row's zone-map label counts (lowercased "instance.label" ->
+  /// count), unioned over EVERY stored version of its summary row so the
+  /// result is conservative for any snapshot. Installed on the base
+  /// table as its ZoneLabelSource.
+  Status CollectLabelZoneCounts(
+      Oid tuple_oid,
+      std::vector<std::pair<std::string, int64_t>>* out) const;
 
   /// Storage-row OID for a tuple as visible to `snap`, or kInvalidOid
   /// when absent.

@@ -63,6 +63,10 @@ const std::vector<std::string>& RegisteredCrashPoints() {
       "txn_abort_mid",            // In-memory undo done, abort record not
                                   // yet appended; replay must still skip
                                   // every op of the unfinished txn.
+      "zonemap_maintain",         // Mid zone-map re-derivation (checkpoint
+                                  // runs it after sealing): zone maps are
+                                  // derived state, recovery must rebuild
+                                  // them with no false skips.
   };
   return kPoints;
 }

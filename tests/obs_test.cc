@@ -354,7 +354,10 @@ TEST_F(ObsTest, DumpMetricsExposesEverySubsystem) {
         "insight_wal_fsyncs_total", "insight_scheduler_tasks_run_total",
         "insight_sbtree_probes_total", "insight_btree_probes_total",
         "insight_heap_pages_scanned_total", "insight_queries_total",
-        "insight_query_millis", "insight_plan_qerror"}) {
+        "insight_query_millis", "insight_plan_qerror",
+        "insight_scan_pages_skipped_total", "insight_zonemap_widenings_total",
+        "insight_zonemap_stale_marks_total",
+        "insight_zonemap_page_rebuilds_total"}) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
   const std::string json = db.DumpMetricsJson();
